@@ -1,0 +1,124 @@
+"""Shared benchmark laboratory.
+
+Every table/figure benchmark draws on the same memoized pool of
+simulation runs, so e.g. the default-configuration run of `compress`
+feeds Table 5.1, Figure 5.1 and Table 5.6 without being re-simulated.
+Rendered tables are printed and archived under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.baselines.superscalar import SuperscalarModel
+from repro.caches.hierarchy import (
+    paper_default_hierarchy,
+    paper_small_hierarchy,
+)
+from repro.core.options import TranslationOptions
+from repro.isa.interpreter import Interpreter
+from repro.vliw.machine import PAPER_CONFIGS
+from repro.vmm.system import DaisySystem
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Workload size used throughout the harness.  "small" keeps the whole
+#: table suite within minutes of host time while executing tens of
+#: thousands of base instructions per benchmark.
+BENCH_SIZE = "small"
+
+
+class Lab:
+    """Memoized simulation runs + result archiving."""
+
+    def __init__(self):
+        self._workloads: Dict[str, object] = {}
+        self._daisy: Dict[tuple, object] = {}
+        self._native: Dict[str, object] = {}
+        self._traces: Dict[str, list] = {}
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def workload(self, name: str):
+        if name not in self._workloads:
+            self._workloads[name] = build_workload(name, BENCH_SIZE)
+        return self._workloads[name]
+
+    def native(self, name: str):
+        """Reference interpreter run (dynamic instruction counts)."""
+        if name not in self._native:
+            interp = Interpreter()
+            interp.load_program(self.workload(name).program)
+            result = interp.run()
+            assert result.exit_code == 0, f"{name} failed natively"
+            self._native[name] = result
+        return self._native[name]
+
+    def trace(self, name: str):
+        """Full dynamic trace (for the superscalar/oracle models)."""
+        if name not in self._traces:
+            interp = Interpreter(collect_trace=True)
+            interp.load_program(self.workload(name).program)
+            result = interp.run()
+            assert result.exit_code == 0
+            self._traces[name] = result.trace
+        return self._traces[name]
+
+    def daisy(self, name: str, config_num: int = 10,
+              page_size: int = 4096, caches: Optional[str] = None,
+              options: Optional[TranslationOptions] = None):
+        """Memoized DAISY run.  ``caches`` is None, "default" or
+        "small"."""
+        key = (name, config_num, page_size, caches,
+               id(options) if options is not None else None)
+        if key not in self._daisy:
+            opts = options or TranslationOptions(page_size=page_size)
+            hierarchy = None
+            if caches == "default":
+                hierarchy = paper_default_hierarchy()
+            elif caches == "small":
+                hierarchy = paper_small_hierarchy()
+            system = DaisySystem(PAPER_CONFIGS[config_num], opts,
+                                 cache_hierarchy=hierarchy)
+            system.load_program(self.workload(name).program)
+            result = system.run()
+            assert result.exit_code == 0, f"{name} failed under DAISY"
+            self._daisy[key] = result
+        return self._daisy[key]
+
+    def superscalar(self, name: str):
+        key = f"superscalar:{name}"
+        if key not in self._daisy:
+            model = SuperscalarModel(
+                width=2, cache_hierarchy=paper_default_hierarchy())
+            self._daisy[key] = model.run(self.trace(name))
+        return self._daisy[key]
+
+    # ------------------------------------------------------------------
+
+    def save(self, name: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+
+
+@pytest.fixture(scope="session")
+def lab():
+    return Lab()
+
+
+@pytest.fixture(scope="session")
+def workload_names():
+    return list(WORKLOAD_NAMES)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

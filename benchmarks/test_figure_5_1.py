@@ -1,0 +1,45 @@
+"""Figure 5.1: pathlength reductions across the ten machine
+configurations (ILP grows monotonically-ish from the 4-issue config 1 to
+the 24-issue config 10; all benchmarks near ILP ~2 on config 1,
+diverging at the high end)."""
+
+from repro.analysis.report import arithmetic_mean, format_table
+from repro.vliw.machine import PAPER_CONFIGS
+
+from benchmarks.conftest import run_once
+
+CONFIG_NUMS = list(range(1, 11))
+
+
+def test_figure_5_1(lab, workload_names, benchmark):
+    def compute():
+        series = {}
+        for name in workload_names:
+            series[name] = [lab.daisy(name, config_num=num).infinite_cache_ilp
+                            for num in CONFIG_NUMS]
+        return series
+
+    series = run_once(benchmark, compute)
+
+    rows = [[name] + [round(v, 2) for v in values]
+            for name, values in series.items()]
+    means = [round(arithmetic_mean([series[n][i] for n in series]), 2)
+             for i in range(len(CONFIG_NUMS))]
+    rows.append(["MEAN"] + means)
+    table = format_table(
+        ["Program"] + [PAPER_CONFIGS[num].name.split(":")[0]
+                       for num in CONFIG_NUMS],
+        rows,
+        title="Figure 5.1: ILP vs machine configuration "
+              "(paper: ~2 at config 1, diverging to 2.5-6.5 at config 10)")
+    lab.save("figure_5_1", table)
+
+    for name, values in series.items():
+        # Low-end machines extract some parallelism everywhere...
+        assert values[0] > 1.2, name
+        # ...and the big machine never loses to the smallest.
+        assert values[-1] >= values[0] * 0.95, name
+    # The mean curve rises from config 1 to config 10.
+    assert means[-1] > means[0]
+    # Config 1 clusters near the paper's "around 2".
+    assert 1.2 <= means[0] <= 3.0

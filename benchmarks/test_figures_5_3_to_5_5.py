@@ -1,0 +1,77 @@
+"""Figures 5.3-5.5: the translation-page-size sweeps.
+
+* Figure 5.3 — ILP vs page size: flat for most benchmarks (bigger pages
+  do not buy significant ILP); kernels split across small pages recover
+  when the page grows past the loop size.
+* Figure 5.4 — total VLIW code size: grows slowly with page size.
+* Figure 5.5 — direct cross-page jumps: fall steeply as pages grow.
+"""
+
+from repro.analysis.report import format_table
+
+from benchmarks.conftest import run_once
+
+PAGE_SIZES = [256, 512, 1024, 2048, 4096, 8192]
+SWEEP_NAMES = ["compress", "wc", "sort", "c_sieve", "gcc", "fgrep"]
+
+
+def _sweep(lab):
+    data = {}
+    for name in SWEEP_NAMES:
+        data[name] = [lab.daisy(name, page_size=size)
+                      for size in PAGE_SIZES]
+    return data
+
+
+def test_figure_5_3_ilp_vs_page_size(lab, benchmark):
+    data = run_once(benchmark, lambda: _sweep(lab))
+    rows = [[name] + [round(r.infinite_cache_ilp, 2) for r in results]
+            for name, results in data.items()]
+    table = format_table(
+        ["Program"] + [str(s) for s in PAGE_SIZES], rows,
+        title="Figure 5.3: ILP vs input page size "
+              "(paper: mostly flat; jumps when a loop stops spanning "
+              "pages)")
+    lab.save("figure_5_3", table)
+
+    for name, results in data.items():
+        ilps = [r.infinite_cache_ilp for r in results]
+        # No collapse anywhere, and 4K+ never much worse than 256B.
+        assert min(ilps) > 1.0, name
+        assert ilps[-1] >= ilps[0] * 0.75, name
+
+
+def test_figure_5_4_code_size_vs_page_size(lab, benchmark):
+    data = run_once(benchmark, lambda: _sweep(lab))
+    rows = [[name] + [r.code_bytes_generated for r in results]
+            for name, results in data.items()]
+    table = format_table(
+        ["Program"] + [str(s) for s in PAGE_SIZES], rows,
+        title="Figure 5.4: total VLIW code size vs page size "
+              "(paper: grows slowly with page size)")
+    lab.save("figure_5_4", table)
+
+    for name, results in data.items():
+        sizes = [r.code_bytes_generated for r in results]
+        assert all(s > 0 for s in sizes), name
+        # "Slowly": growing the page 32x changes code size by far less.
+        assert max(sizes) <= 8 * max(min(sizes), 1), name
+
+
+def test_figure_5_5_crosspage_jumps_vs_page_size(lab, benchmark):
+    data = run_once(benchmark, lambda: _sweep(lab))
+    rows = [[name] + [r.events.total_crosspage for r in results]
+            for name, results in data.items()]
+    table = format_table(
+        ["Program"] + [str(s) for s in PAGE_SIZES], rows,
+        title="Figure 5.5: cross-page jumps vs page size "
+              "(paper: orders-of-magnitude drop as pages grow)")
+    lab.save("figure_5_5", table)
+
+    for name, results in data.items():
+        jumps = [r.events.total_crosspage for r in results]
+        # Bigger pages never cross more.
+        assert jumps[-1] <= jumps[0], name
+    # Loop-heavy kernels drop dramatically once the loop fits one page.
+    sieve = [r.events.total_crosspage for r in data["c_sieve"]]
+    assert sieve[-1] < max(sieve[0], 1) or sieve[0] == sieve[-1] == 0

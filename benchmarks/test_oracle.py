@@ -1,0 +1,78 @@
+"""Chapter 6: approaching oracle parallelism.
+
+The trace-driven oracle scheduler bounds what any machine could do;
+resource-constrained variants give the "practical intermediate points on
+the way to oracle level parallelism" the chapter discusses."""
+
+from repro.analysis.report import format_table
+from repro.baselines.oracle import OracleScheduler
+
+from benchmarks.conftest import run_once
+
+ORACLE_NAMES = ["compress", "wc", "cmp", "sort", "c_sieve", "gcc"]
+
+
+def test_oracle_parallelism(lab, benchmark):
+    def compute():
+        rows = []
+        for name in ORACLE_NAMES:
+            trace = lab.trace(name)
+            unbounded = OracleScheduler().run(trace).ilp
+            like_daisy = OracleScheduler(issue_width=24, mem_ports=8) \
+                .run(trace).ilp
+            no_spec = OracleScheduler(respect_control_deps=True) \
+                .run(trace).ilp
+            daisy = lab.daisy(name).infinite_cache_ilp
+            rows.append((name, unbounded, like_daisy, no_spec, daisy))
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = format_table(
+        ["Program", "Oracle(inf)", "Oracle(24-8)", "No-speculation",
+         "DAISY"],
+        [(n, round(a, 2), round(b, 2), round(c, 2), round(d, 2))
+         for n, a, b, c, d in rows],
+        title="Chapter 6: oracle parallelism vs DAISY "
+              "(oracle >= resource-bounded oracle >= DAISY; "
+              "control deps crush ILP without speculation)")
+    lab.save("oracle", table)
+
+    for name, unbounded, bounded, no_spec, daisy in rows:
+        assert unbounded >= bounded - 1e-9, name
+        assert bounded >= daisy * 0.9, name
+        # Wall's classic result: no-speculation ILP is small.
+        assert no_spec < unbounded, name
+
+
+def test_oracle_resource_sweep(lab, benchmark):
+    """Chapter 6: 'For a given number of resources, even the oracle
+    parallelism will be limited' — the practical intermediate points on
+    the way to oracle level parallelism."""
+    widths = [2, 4, 8, 16, 24, None]     # None = infinite
+
+    def compute():
+        series = {}
+        for name in ("wc", "sort", "c_sieve"):
+            trace = lab.trace(name)
+            values = []
+            for width in widths:
+                mem = None if width is None else max(width // 3, 1)
+                values.append(OracleScheduler(
+                    issue_width=width, mem_ports=mem).run(trace).ilp)
+            series[name] = values
+        return series
+
+    series = run_once(benchmark, compute)
+    labels = [str(w) if w else "inf" for w in widths]
+    rows = [[name] + [round(v, 2) for v in values]
+            for name, values in series.items()]
+    table = format_table(["Program"] + labels, rows,
+                         title="Chapter 6: oracle ILP vs issue width "
+                               "(intermediate points toward the oracle)")
+    lab.save("oracle_sweep", table)
+
+    for name, values in series.items():
+        # Monotone non-decreasing in resources, saturating at the limit.
+        for narrow, wide in zip(values, values[1:]):
+            assert wide >= narrow - 1e-9, name
+        assert values[-1] >= values[0], name

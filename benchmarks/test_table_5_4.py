@@ -1,0 +1,41 @@
+"""Table 5.4: loads/stores per VLIW and mean VLIWs between first-level
+cache misses (paper: most VLIWs contain no missing load — stalls are
+relatively rare)."""
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import metrics_from_result
+
+from benchmarks.conftest import run_once
+
+
+def test_table_5_4(lab, workload_names, benchmark):
+    def compute():
+        rows = []
+        for name in workload_names:
+            result = lab.daisy(name, caches="default")
+            metrics = metrics_from_result(name, result)
+            rows.append(metrics)
+        return rows
+
+    metrics = run_once(benchmark, compute)
+
+    def fmt(value):
+        return "-" if value is None else round(value, 1)
+
+    table = format_table(
+        ["Program", "Loads/VLIW", "Stores/VLIW", "VLIWs/load-miss",
+         "VLIWs/store-miss", "VLIWs/mem-miss"],
+        [(m.name, round(m.loads_per_vliw, 2), round(m.stores_per_vliw, 2),
+          fmt(m.vliws_between_load_miss), fmt(m.vliws_between_store_miss),
+          fmt(m.vliws_between_memory_miss)) for m in metrics],
+        title="Table 5.4: load/store density and VLIWs between L1 misses"
+              " (paper: most VLIWs have no missing load)")
+    lab.save("table_5_4", table)
+
+    for m in metrics:
+        # Densities are bounded by the machine's 8 memory ops/VLIW.
+        assert 0 <= m.loads_per_vliw <= 8
+        assert 0 <= m.stores_per_vliw <= 8
+        # Misses are much rarer than VLIWs (paper's point).
+        if m.vliws_between_memory_miss is not None:
+            assert m.vliws_between_memory_miss > 2

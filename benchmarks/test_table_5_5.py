@@ -1,0 +1,41 @@
+"""Table 5.5: the 8-issue machine with the small 3-level hierarchy.
+
+Paper's shape: infinite-cache ILP drops from 4.2 (24-issue) to 3.0 — the
+narrower machine uses its resources more efficiently — and finite-cache
+ILP drops from 3.3 to 2.2 (gcc collapses on the 4K ICache)."""
+
+from repro.analysis.report import arithmetic_mean, format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table_5_5(lab, workload_names, benchmark):
+    def compute():
+        rows = []
+        for name in workload_names:
+            infinite = lab.daisy(name, config_num=5).infinite_cache_ilp
+            finite = lab.daisy(name, config_num=5,
+                               caches="small").finite_cache_ilp
+            rows.append((name, infinite, finite))
+        return rows
+
+    rows = run_once(benchmark, compute)
+    mean_inf = arithmetic_mean([r[1] for r in rows])
+    mean_fin = arithmetic_mean([r[2] for r in rows])
+
+    table = format_table(
+        ["Program", "Inf cache", "Finite cache"],
+        [(n, round(a, 2), round(b, 2)) for n, a, b in rows]
+        + [("MEAN", round(mean_inf, 2), round(mean_fin, 2))],
+        title="Table 5.5: 8-issue machine, small caches "
+              "(paper: 3.0 / 2.2)")
+    lab.save("table_5_5", table)
+
+    big_mean = arithmetic_mean(
+        [lab.daisy(n).infinite_cache_ilp for n in workload_names])
+    # The 8-issue machine extracts less ILP than the 24-issue one...
+    assert mean_inf <= big_mean + 1e-9
+    # ...but still a solid multiple of 1.
+    assert mean_inf > 1.5
+    # Finite caches cost more here than with the big hierarchy.
+    assert mean_fin < mean_inf

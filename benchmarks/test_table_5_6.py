@@ -1,0 +1,42 @@
+"""Table 5.6: cross-page branches by flavour (direct / via lr / via
+ctr) and VLIWs per cross-page branch.
+
+Paper's shape: huge variation — small single-page loops execute almost
+none (c_sieve: 1), big multi-page programs take one every ~10 VLIWs
+(gcc); sort's recursion makes heavy lr traffic."""
+
+from repro.analysis.report import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table_5_6(lab, workload_names, benchmark):
+    def compute():
+        rows = []
+        for name in workload_names:
+            result = lab.daisy(name)
+            cp = result.events.crosspage
+            total = result.events.total_crosspage
+            per = result.vliws / total if total else None
+            rows.append((name, cp.get("direct", 0), cp.get("lr", 0),
+                         cp.get("ctr", 0), total, per))
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = format_table(
+        ["Program", "Direct", "via lr", "via ctr", "Total",
+         "VLIWs/crosspage"],
+        [(n, d, l, c, t, "-" if p is None else round(p, 1))
+         for n, d, l, c, t, p in rows],
+        title="Table 5.6: cross-page branches by flavour "
+              "(paper: gcc 1-in-10 VLIWs; sieve ~none)")
+    lab.save("table_5_6", table)
+
+    by_name = {r[0]: r for r in rows}
+    # Single-page kernels barely cross pages.
+    assert by_name["c_sieve"][4] <= 4
+    # The multi-page interpreter crosses constantly, through ctr.
+    assert by_name["gcc"][3] > 100          # via-ctr dispatches
+    assert by_name["gcc"][5] < 30           # a crosspage every few VLIWs
+    # Quicksort's recursion produces lr returns.
+    assert by_name["sort"][2] >= 0

@@ -1,0 +1,80 @@
+"""Table 5.8: analytic overhead of dynamic compilation (Section 5.1).
+
+This table is fully analytic in the paper; the model reproduces its six
+rows exactly, and we additionally check the break-even reuse examples
+(r = 2340 realistic, r = 60 optimistic) and measure our *own* translator
+cost for context."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    OverheadModel,
+    break_even_reuse,
+    table_5_8_rows,
+)
+from repro.analysis.report import format_table
+
+from benchmarks.conftest import run_once
+
+PAPER_ROWS = [
+    (4000, 200, 39000, -47),
+    (4000, 1000, 7800, 14),
+    (4000, 10000, 780, 707),
+    (1000, 200, 39000, -59),
+    (1000, 1000, 7800, -43),
+    (1000, 10000, 780, 130),
+]
+
+
+def test_table_5_8(lab, benchmark):
+    rows = run_once(benchmark, table_5_8_rows)
+
+    table = format_table(
+        ["#Ins to compile", "Unique pages", "Reuse", "% time change"],
+        [(c, p, r, round(t, 1)) for c, p, r, t in rows],
+        title="Table 5.8: overhead of dynamic compilation "
+              "(paper rows reproduced analytically)")
+    lab.save("table_5_8", table)
+
+    for computed, expected in zip(rows, PAPER_ROWS):
+        assert computed[0] == expected[0]
+        assert computed[1] == expected[1]
+        assert computed[2] == pytest.approx(expected[2], rel=0.02)
+        assert computed[3] == pytest.approx(expected[3], abs=2.0)
+
+
+def test_break_even_examples(lab, benchmark):
+    def compute():
+        realistic = break_even_reuse(3900 * 1024 / 4)
+        optimistic = break_even_reuse(200 * 1024 / 5, base_ilp=1.5,
+                                      vliw_ilp=float("inf"))
+        return realistic, optimistic
+
+    realistic, optimistic = run_once(benchmark, compute)
+    assert realistic == pytest.approx(2340, rel=0.01)
+    assert optimistic == pytest.approx(60, rel=0.01)
+
+
+def test_measured_translator_cost(lab, workload_names, benchmark):
+    """Our incremental compiler's modelled cost per translated base
+    instruction (the paper measured 4315 RS/6000 instructions, hoped for
+    <1000 after tuning; our abstract unit is cost_per_primitive=1000 per
+    primitive)."""
+    def compute():
+        rows = []
+        for name in workload_names:
+            result = lab.daisy(name)
+            per = (result.translation_cost
+                   / max(result.instructions_translated, 1))
+            rows.append((name, result.instructions_translated, per))
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = format_table(
+        ["Program", "Static ins translated", "Cost/ins (host ops)"],
+        [(n, s, round(p, 0)) for n, s, p in rows],
+        title="Translator cost per base instruction "
+              "(paper: 4315 measured, <1000 achievable)")
+    lab.save("table_5_8_translator_cost", table)
+    # One primitive (1000 units) to a few per instruction.
+    assert all(900 <= p <= 6000 for _, _, p in rows)

@@ -1,0 +1,42 @@
+"""VLIW utilization histograms (Chapter 5: "ALU usage histograms and
+other statistical data can be obtained at the end of the run")."""
+
+from repro.analysis.report import ascii_chart, histogram_rows
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+
+from benchmarks.conftest import run_once
+
+NAMES = ["compress", "wc", "cmp", "gcc"]
+
+
+def test_utilization_histograms(lab, benchmark):
+    def compute():
+        data = {}
+        for name in NAMES:
+            system = DaisySystem(MachineConfig.default())
+            system.load_program(lab.workload(name).program)
+            result = system.run()
+            assert result.exit_code == 0
+            stats = system.engine.stats
+            data[name] = (dict(stats.parcel_histogram),
+                          stats.mean_parcels_per_vliw)
+        return data
+
+    data = run_once(benchmark, compute)
+    sections = []
+    for name, (histogram, mean) in data.items():
+        rows = histogram_rows(histogram, bucket=2)
+        chart = ascii_chart([count for _, count in rows],
+                            labels=[f"{b}-{b + 1}" for b, _ in rows],
+                            title=f"{name}: executed parcels per VLIW "
+                                  f"(mean {mean:.1f})")
+        sections.append(chart)
+    lab.save("utilization", "\n\n".join(sections))
+
+    config = MachineConfig.default()
+    for name, (histogram, mean) in data.items():
+        assert 1.0 < mean <= config.issue + config.branches
+        # Utilization varies: no benchmark saturates the machine on
+        # every cycle (the paper's resource-usage observation).
+        assert len(histogram) > 1, name

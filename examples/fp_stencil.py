@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Floating point under DAISY: the tomcatv-like Jacobi stencil.
+
+FP registers rename like integers (Chapter 2), so the stencil's
+independent loads and adds overlap across iterations — watch the ILP
+climb with machine width, and collapse when renaming is disabled.
+
+    python examples/fp_stencil.py
+"""
+
+from repro.core.options import TranslationOptions
+from repro.vliw.machine import PAPER_CONFIGS
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+
+def run(config_num, options=None):
+    workload = build_workload("tomcatv", "tiny")
+    system = DaisySystem(PAPER_CONFIGS[config_num], options)
+    system.load_program(workload.program)
+    result = system.run()
+    assert result.exit_code == 0, "stencil self-check failed"
+    return result
+
+
+def main():
+    workload = build_workload("tomcatv", "tiny")
+    print(f"workload: {workload.description}\n")
+    for num in (1, 3, 5, 10):
+        result = run(num)
+        print(f"{PAPER_CONFIGS[num].name:20s} "
+              f"ILP {result.infinite_cache_ilp:5.2f}   "
+              f"({result.base_instructions} instructions, "
+              f"{result.vliws} VLIWs)")
+    no_rename = run(10, TranslationOptions(rename=False))
+    print(f"{'cfg10, renaming OFF':20s} "
+          f"ILP {no_rename.infinite_cache_ilp:5.2f}   "
+          f"<- FP renaming is what overlaps the stencil")
+
+
+if __name__ == "__main__":
+    main()

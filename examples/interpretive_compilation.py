@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Chapter 6: interpretive compilation, live.
+
+DAISY can interpret the *first* execution of each entry point and
+compile the path the program actually took, steering the scheduler with
+real branch outcomes instead of static heuristics.  On skewed branches
+(a search loop that almost never matches) this buys substantial ILP.
+
+    python examples/interpretive_compilation.py
+"""
+
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+
+def run(workload, interpretive):
+    system = DaisySystem(MachineConfig.default(),
+                         interpretive=interpretive)
+    system.load_program(workload.program)
+    result = system.run()
+    assert result.exit_code == 0
+    return result
+
+
+def main():
+    print(f"{'workload':10s} {'heuristic':>10s} {'interpretive':>13s} "
+          f"{'interpreted ins':>16s}")
+    for name in ("fgrep", "wc", "cmp", "compress"):
+        workload = build_workload(name, "tiny")
+        heuristic = run(workload, interpretive=False)
+        interpretive = run(workload, interpretive=True)
+        print(f"{name:10s} {heuristic.infinite_cache_ilp:10.2f} "
+              f"{interpretive.infinite_cache_ilp:13.2f} "
+              f"{interpretive.interpreted_instructions:16d}")
+    print("\nthe observed-path profile steers multipath scheduling "
+          "toward the hot path\n(Chapter 6's step on the way to oracle "
+          "parallelism).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Machine comparison on one workload: DAISY across the paper's VLIW
+configurations, the oracle limit, and the in-order superscalar — a
+one-workload cut of Figure 5.1 / Table 5.3 / Chapter 6.
+
+    python examples/machine_comparison.py [workload] [size]
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.baselines.oracle import OracleScheduler
+from repro.baselines.superscalar import SuperscalarModel
+from repro.caches.hierarchy import paper_default_hierarchy
+from repro.isa.interpreter import Interpreter
+from repro.vliw.machine import PAPER_CONFIGS
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "c_sieve"
+    size = sys.argv[2] if len(sys.argv) > 2 else "tiny"
+    workload = build_workload(name, size)
+    print(f"workload: {name} ({workload.description})\n")
+
+    interp = Interpreter(collect_trace=True)
+    interp.load_program(workload.program)
+    native = interp.run()
+    print(f"dynamic base instructions: {native.instructions}\n")
+
+    rows = []
+    for num in (1, 3, 5, 10):
+        system = DaisySystem(PAPER_CONFIGS[num])
+        system.load_program(workload.program)
+        result = system.run()
+        rows.append((f"DAISY {PAPER_CONFIGS[num].name}",
+                     round(result.infinite_cache_ilp, 2)))
+
+    superscalar = SuperscalarModel(
+        width=2, cache_hierarchy=paper_default_hierarchy())
+    rows.append(("in-order superscalar (604E-like)",
+                 round(superscalar.run(native.trace).ipc, 2)))
+
+    oracle = OracleScheduler()
+    rows.append(("oracle (infinite resources)",
+                 round(oracle.run(native.trace).ilp, 2)))
+    bounded = OracleScheduler(issue_width=24, mem_ports=8)
+    rows.append(("oracle (24-issue, 8 mem)",
+                 round(bounded.run(native.trace).ilp, 2)))
+
+    print(format_table(["machine", "ILP / IPC"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: run a base-architecture program under DAISY.
+
+Assembles a small PowerPC-subset program, runs it on the reference
+interpreter (the "old machine"), then under DAISY dynamic translation,
+verifies the architected state matches bit-for-bit, and prints the tree
+VLIW code the translator produced.
+
+    python examples/quickstart.py
+"""
+
+from repro import Assembler, DaisySystem, Interpreter, MachineConfig
+
+SOURCE = """
+.org 0x1000
+_start:
+    li    r4, data           # sum an array of 32 words
+    li    r5, 32
+    mtctr r5
+    li    r6, 0
+loop:
+    lwz   r7, 0(r4)
+    add   r6, r6, r7
+    addi  r4, r4, 4
+    bdnz  loop
+    mr    r3, r6             # exit code = sum (mod 256 by the harness)
+    li    r0, 1
+    sc
+
+.org 0x2000
+data:
+    .word 1, 2, 3, 4, 5, 6, 7, 8
+    .word 1, 2, 3, 4, 5, 6, 7, 8
+    .word 1, 2, 3, 4, 5, 6, 7, 8
+    .word 1, 2, 3, 4, 5, 6, 7, 8
+"""
+
+
+def main():
+    program = Assembler().assemble(SOURCE)
+
+    # --- the old machine -------------------------------------------------
+    interp = Interpreter()
+    interp.load_program(program)
+    native = interp.run()
+    print(f"interpreter: exit={native.exit_code} "
+          f"instructions={native.instructions}")
+
+    # --- DAISY ------------------------------------------------------------
+    system = DaisySystem(MachineConfig.default())
+    system.load_program(program)
+    result = system.run()
+    print(f"DAISY:       exit={result.exit_code} "
+          f"base instructions={result.base_instructions} "
+          f"VLIWs={result.vliws} "
+          f"ILP={result.infinite_cache_ilp:.2f}")
+
+    assert result.exit_code == native.exit_code
+    assert result.base_instructions == native.instructions
+    assert interp.state.gpr == system.state.gpr
+    print("architected state identical - 100% compatible.\n")
+
+    # --- the translated code ----------------------------------------------
+    translation = system.translation_cache.lookup(0x1000)
+    print("Translated page entries:",
+          [hex(0x1000 + off) for off in sorted(translation.entries)])
+    print()
+    loop_entry = min(translation.entries)
+    print(translation.entries[loop_entry].render())
+
+
+if __name__ == "__main__":
+    main()

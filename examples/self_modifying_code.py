@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Self-modifying code under DAISY (Section 3.2).
+
+A program overwrites one of its own instructions at runtime.  The store
+hits the translated page's read-only bit, the VMM invalidates the stale
+translation, execution resumes after the modifying instruction, and the
+next branch into the page retranslates the new bytes.
+
+    python examples/self_modifying_code.py
+"""
+
+from repro import Assembler, DaisySystem, Interpreter, MachineConfig
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instruction, Opcode
+
+NEW_WORD = encode(Instruction(Opcode.LI, rt=3, imm=222))
+
+SOURCE = f"""
+.org 0x1000
+_start:
+    li    r4, patch_word
+    lwz   r5, 0(r4)
+    li    r6, patch_me
+    li    r2, 2
+    mtctr r2
+again:
+    bl    run_patchable       # first call: 111; second call: 222
+    li    r0, 3               # PUTWORD service: record what we saw
+    sc
+    stw   r5, 0(r6)           # overwrite the instruction
+    bdnz  again
+    li    r3, 0
+    li    r0, 1
+    sc
+
+run_patchable:
+patch_me:
+    li    r3, 111             # becomes li r3, 222
+    blr
+.align 4
+patch_word:
+    .word {NEW_WORD}
+"""
+
+
+def main():
+    program = Assembler().assemble(SOURCE)
+
+    interp = Interpreter()
+    interp.load_program(program)
+    native = interp.run()
+    print(f"interpreter observed: {native.output}")
+
+    system = DaisySystem(MachineConfig.default())
+    system.load_program(program)
+    result = system.run()
+    print(f"DAISY observed:       {result.output}")
+    print(f"code-modification invalidations: "
+          f"{result.events.code_modification}")
+    print(f"page translations performed:     "
+          f"{result.events.translation_missing}")
+
+    assert native.output == result.output == [111, 222]
+    assert result.events.code_modification >= 1
+    print("\nself-modifying code handled transparently.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""DAISY reproduction: dynamic compilation for 100% architectural compatibility.
+
+This package reproduces the system described in Ebcioglu & Altman,
+"DAISY: Dynamic Compilation for 100% Architectural Compatibility"
+(IBM RC 20538 / ISCA 1997): a software Virtual Machine Monitor that
+translates binaries of a *base architecture* (a PowerPC subset here)
+into tree-VLIW instructions, page by page, the first time each page
+executes.
+
+Top-level convenience re-exports cover the most common entry points::
+
+    from repro import Assembler, Interpreter, DaisySystem, MachineConfig
+
+    asm = Assembler()
+    program = asm.assemble(SOURCE)
+    system = DaisySystem(MachineConfig.default())
+    system.load_program(program)
+    result = system.run()
+    print(result.infinite_cache_ilp)
+
+See DESIGN.md for the complete module inventory and the mapping from
+the paper's tables and figures to benchmark targets.
+"""
+
+from repro.isa.assembler import Assembler, AssemblyError, Program
+from repro.isa.interpreter import Interpreter, RunResult
+from repro.vliw.machine import MachineConfig, PAPER_CONFIGS
+from repro.vmm.system import DaisySystem, DaisyRunResult
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "Program",
+    "Interpreter",
+    "RunResult",
+    "MachineConfig",
+    "PAPER_CONFIGS",
+    "DaisySystem",
+    "DaisyRunResult",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,14 @@
+"""Measurement and reporting helpers for the evaluation harness."""
+
+from repro.analysis.overhead import (
+    OverheadModel,
+    break_even_reuse,
+    table_5_8_rows,
+)
+from repro.analysis.report import ascii_chart, format_table
+from repro.analysis.stats import metrics_from_result
+from repro.analysis.summary import generate_summary
+
+__all__ = ["OverheadModel", "break_even_reuse", "table_5_8_rows",
+           "format_table", "ascii_chart", "metrics_from_result",
+           "generate_summary"]

@@ -1,0 +1,114 @@
+"""The compile-overhead model of Section 5.1.
+
+The paper relates the reuse ``r`` needed per page for the VLIW plus
+incremental compiler to beat the base architecture:
+
+.. math::
+
+    t = r \\cdot i \\left( \\frac{1}{P_R} - \\frac{1}{P_V} \\right)
+
+with ``i`` instructions per page, ``P_R``/``P_V`` the base/VLIW ILP, and
+``t`` the cycles to translate one page.  With ``N`` users sharing the
+machine the needed reuse grows ``N``-fold (Equation 5.2').
+
+Table 5.8 prices the extra runtime of a two-second program on a 1 GHz
+VLIW with ILP 4: the program executes ``2 s * 1 GHz * 4 = 8e9``
+instructions; the same work on the base architecture (ILP 1.5) takes
+5.33 s; translating ``g`` pages costs ``g * c * i`` cycles for a
+compiler that spends ``c`` instructions per instruction.  The "% time
+change" column is (VLIW total - base) / base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass
+class OverheadModel:
+    """Parameters of the Section 5.1 analysis."""
+
+    vliw_ilp: float = 4.0           # P_V
+    base_ilp: float = 1.5           # P_R
+    instructions_per_page: int = 1024   # i
+    clock_hz: float = 1e9
+    program_seconds: float = 2.0    # runtime of the program on the VLIW
+
+    # ------------------------------------------------------------------
+
+    def translate_cycles_per_page(self, compile_cost: float,
+                                  compiler_ilp: float = 1.0) -> float:
+        """t: cycles to translate one page when the compiler spends
+        ``compile_cost`` instructions per instruction."""
+        return compile_cost * self.instructions_per_page / compiler_ilp
+
+    def dynamic_instructions(self) -> float:
+        """Instructions executed by the modelled program."""
+        return self.program_seconds * self.clock_hz * self.vliw_ilp
+
+    def reuse_factor(self, pages: int) -> float:
+        """r: average executions of each page-resident instruction."""
+        return self.dynamic_instructions() / (
+            pages * self.instructions_per_page)
+
+    def time_change_percent(self, compile_cost: float, pages: int) -> float:
+        """Percent runtime change (VLIW + compilation vs base machine)."""
+        base_seconds = self.dynamic_instructions() / self.base_ilp \
+            / self.clock_hz
+        compile_seconds = pages * self.translate_cycles_per_page(
+            compile_cost) / self.clock_hz
+        vliw_seconds = self.program_seconds + compile_seconds
+        return 100.0 * (vliw_seconds - base_seconds) / base_seconds
+
+
+def break_even_reuse(translate_cycles: float, base_ilp: float = 1.5,
+                     vliw_ilp: float = 4.0,
+                     instructions_per_page: int = 1024,
+                     users: int = 1) -> float:
+    """Equation 5.2 (and its N-user generalisation): reuse needed for the
+    VLIW to match the base architecture."""
+    per_instruction_gain = (1.0 / base_ilp) - (1.0 / vliw_ilp)
+    return users * translate_cycles / (
+        instructions_per_page * per_instruction_gain)
+
+
+def table_5_8_rows(model: OverheadModel = None) -> List[Tuple]:
+    """The six rows of Table 5.8: (compile cost, pages, reuse, %change)."""
+    model = model or OverheadModel()
+    rows = []
+    for compile_cost in (4000, 1000):
+        for pages in (200, 1000, 10000):
+            rows.append((
+                compile_cost,
+                pages,
+                round(model.reuse_factor(pages)),
+                model.time_change_percent(compile_cost, pages),
+            ))
+    return rows
+
+
+#: The paper's SPEC95 measurements (Table 5.9): benchmark ->
+#: (dynamic instructions, static code size in instruction words,
+#: reuse factor = dynamic / static).  Reference constants for the
+#: benchmark that contrasts measured reuse with break-even needs.
+PAPER_SPEC95_REUSE = {
+    "go": (28_484_380_204, 135_852, 209_672),
+    "m88ksim": (74_250_235_201, 84_520, 878_493),
+    "cc1": (530_917_945, 357_166, 1_486),
+    "compress95": (46_447_459_568, 52_172, 890_276),
+    "li": (67_032_228_801, 67_084, 999_228),
+    "ijpeg": (23_240_395_306, 88_834, 261_616),
+    "perl": (31_756_251_781, 138_603, 229_117),
+    "vortex": (81_194_315_906, 212_052, 382_898),
+    "tomcatv": (19_801_801_846, 81_488, 243_003),
+    "swim": (23_285_024_298, 81_041, 287_324),
+    "su2cor": (24_910_592_778, 94_390, 263_911),
+    "hydro2d": (35_120_255_512, 95_668, 367_106),
+    "mgrid": (52_075_609_242, 83_119, 626_519),
+    "applu": (36_216_514_505, 99_526, 363_890),
+    "turb3d": (61_056_312_213, 90_411, 675_320),
+    "apsi": (21_194_979_390, 119_956, 176_690),
+    "fpppp": (97_972_804_125, 91_000, 1_076_624),
+    "wave5": (25_265_952_275, 120_091, 210_390),
+}

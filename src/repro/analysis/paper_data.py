@@ -1,0 +1,72 @@
+"""The paper's published numbers (Chapter 5), as reference constants.
+
+Used by the summary generator to print paper-vs-measured side by side
+and by tests that assert the *shapes* hold.  Benchmark keys follow our
+workload names (`gcc` = the paper's SPECint95 gcc, etc.).
+"""
+
+#: Table 5.1 — PowerPC instructions per VLIW (infinite cache, 24-issue)
+#: and average translated page size (KB per executed 4K page).
+TABLE_5_1 = {
+    "compress": (6.5, 14), "lex": (4.7, 27), "fgrep": (4.8, 17),
+    "wc": (3.0, 13), "cmp": (3.6, 10), "sort": (3.7, 23),
+    "c_sieve": (4.6, 2), "gcc": (3.0, 36),
+}
+TABLE_5_1_MEAN = (4.2, 18)
+
+#: Table 5.2 — DAISY vs traditional VLIW compiler ILP (user code).
+TABLE_5_2 = {
+    "compress": (6.8, 7.6), "lex": (3.9, 5.4), "fgrep": (4.2, 6.8),
+    "sort": (2.5, 5.1), "c_sieve": (4.6, 3.9),
+}
+TABLE_5_2_MEAN = (4.4, 5.8)
+
+#: Table 5.3 — infinite cache / finite cache / PowerPC 604E.
+TABLE_5_3 = {
+    "compress": (6.5, 2.6, 0.2), "lex": (4.7, 3.8, 1.1),
+    "fgrep": (4.8, 3.8, 0.7), "wc": (3.0, 2.9, 0.9),
+    "cmp": (3.6, 3.5, 0.9), "sort": (3.7, 2.2, 0.3),
+    "c_sieve": (4.6, 4.6, 1.2), "gcc": (3.0, 0.8, 0.5),
+}
+TABLE_5_3_MEAN = (4.2, 3.3, 0.7)
+
+#: Table 5.5 — the 8-issue machine (infinite / finite cache).
+TABLE_5_5_MEAN = (3.0, 2.2)
+
+#: Table 5.6 — crosspage branches (direct, via lr, via ctr) and
+#: VLIWs-per-crosspage for the extreme benchmarks.
+TABLE_5_6 = {
+    "c_sieve": (0, 1, 0), "gcc": (21_809_787, 21_476_762, 2_406_501),
+    "sort": (534_394, 42_777, 520_416),
+}
+TABLE_5_6_GCC_VLIWS_PER_CROSSPAGE = 10.5
+
+#: Table 5.7 — VLIWs per runtime load-store alias (None = no aliases).
+TABLE_5_7 = {
+    "compress": 65, "lex": 9333, "fgrep": 515, "wc": 359_616,
+    "cmp": 198_394, "sort": 107, "c_sieve": None, "gcc": 552,
+}
+
+#: Figure 5.1 — mean ILP at configs 1 and 10 (read off the plot).
+FIGURE_5_1_CONFIG1_BAND = (1.7, 2.4)     # "around 2"
+FIGURE_5_1_CONFIG10_MEAN = 4.2
+
+#: Figure 5.2 — gcc's first-level ICache miss rate (percent).
+FIGURE_5_2_GCC_ICACHE = 19.0
+
+#: Table 5.8 rows: (#ins to compile, pages, reuse, % time change).
+TABLE_5_8 = [
+    (4000, 200, 39000, -47), (4000, 1000, 7800, 14),
+    (4000, 10000, 780, 707), (1000, 200, 39000, -59),
+    (1000, 1000, 7800, -43), (1000, 10000, 780, 130),
+]
+
+#: Compiler overhead (Section 5.1): measured / hoped-for instructions
+#: per translated instruction, and gcc's cost for comparison.
+COMPILE_COST_MEASURED = 4315
+COMPILE_COST_TARGET = 1000
+COMPILE_COST_GCC = 65_000
+
+#: Appendix E parallelization factors.
+APPENDIX_E_S390 = (25, 4)      # instructions, VLIWs
+APPENDIX_E_X86 = (24, 7)

@@ -1,0 +1,74 @@
+"""Plain-text table rendering for the benchmark harness (the benches
+print the same rows the paper's tables report)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    if isinstance(cell, int) and abs(cell) >= 10_000:
+        return f"{cell:,}"
+    return str(cell)
+
+
+def ascii_chart(series: Sequence[float], width: int = 50,
+                labels: Sequence[str] = None, title: str = "") -> str:
+    """Horizontal bar chart in plain text (for figure benchmarks)."""
+    lines = []
+    if title:
+        lines.append(title)
+    peak = max(max(series, default=0.0), 1e-12)
+    label_width = max((len(str(l)) for l in labels), default=0) \
+        if labels else 0
+    for index, value in enumerate(series):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        label = (str(labels[index]).rjust(label_width)
+                 if labels else str(index))
+        lines.append(f"{label} |{bar} {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def histogram_rows(histogram: dict, bucket: int = 1):
+    """Sorted (bucket, count) rows from a {value: count} histogram."""
+    grouped = {}
+    for value, count in histogram.items():
+        key = (value // bucket) * bucket
+        grouped[key] = grouped.get(key, 0) + count
+    return sorted(grouped.items())
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-12)
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

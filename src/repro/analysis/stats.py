@@ -1,0 +1,80 @@
+"""Derived metrics used by the paper's tables.
+
+All functions take the raw :class:`~repro.vmm.system.DaisyRunResult` (and
+cache snapshots) and compute the quantities the tables report: pathlength
+reduction, code expansion, loads/stores per VLIW, VLIWs between misses,
+miss rates, and VLIWs per runtime alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.vmm.system import DaisyRunResult
+
+
+@dataclass
+class BenchmarkMetrics:
+    """One row of the paper's per-benchmark tables."""
+
+    name: str
+    base_instructions: int
+    vliws: int
+    cycles: int
+    infinite_cache_ilp: float
+    finite_cache_ilp: float
+    translated_code_bytes: int
+    pages_translated: int
+    loads_per_vliw: float
+    stores_per_vliw: float
+    vliws_per_alias: Optional[float]
+    crosspage: Dict[str, int]
+    vliws_between_load_miss: Optional[float] = None
+    vliws_between_store_miss: Optional[float] = None
+    vliws_between_memory_miss: Optional[float] = None
+    miss_rates: Optional[Dict[str, float]] = None
+
+
+def metrics_from_result(name: str, result: DaisyRunResult
+                        ) -> BenchmarkMetrics:
+    vliws = max(result.vliws, 1)
+    aliases = result.alias_events
+    metrics = BenchmarkMetrics(
+        name=name,
+        base_instructions=result.base_instructions,
+        vliws=result.vliws,
+        cycles=result.cycles,
+        infinite_cache_ilp=result.infinite_cache_ilp,
+        finite_cache_ilp=result.finite_cache_ilp,
+        translated_code_bytes=result.code_bytes_generated,
+        pages_translated=result.pages_translated,
+        loads_per_vliw=result.loads / vliws,
+        stores_per_vliw=result.stores / vliws,
+        vliws_per_alias=(result.vliws / aliases) if aliases else None,
+        crosspage=dict(result.events.crosspage),
+    )
+    snap = result.cache_stats
+    if snap is not None:
+        metrics.vliws_between_load_miss = (
+            result.vliws / snap.l1_load_misses if snap.l1_load_misses
+            else None)
+        metrics.vliws_between_store_miss = (
+            result.vliws / snap.l1_store_misses if snap.l1_store_misses
+            else None)
+        metrics.vliws_between_memory_miss = (
+            result.vliws / snap.l1_memory_misses if snap.l1_memory_misses
+            else None)
+        metrics.miss_rates = {
+            name: stats.miss_rate * 100.0
+            for name, stats in snap.levels.items()
+        }
+    return metrics
+
+
+def code_expansion(result: DaisyRunResult, page_size: int) -> float:
+    """Translated code bytes per base page byte (Table 5.1's 4.5x)."""
+    if result.pages_translated == 0:
+        return 0.0
+    return result.code_bytes_generated / (
+        result.pages_translated * page_size)

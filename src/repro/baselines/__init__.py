@@ -1,0 +1,23 @@
+"""Comparison systems from the paper's evaluation.
+
+* :mod:`repro.baselines.superscalar` — an in-order superscalar timing
+  model standing in for the PowerPC 604E measurements of Table 5.3;
+* :mod:`repro.baselines.oracle` — trace-based oracle scheduling
+  (Chapter 6 / Wall-style limit study);
+* :mod:`repro.baselines.traditional` — the "traditional VLIW compiler"
+  comparison of Table 5.2 (profile-directed, large windows);
+* :mod:`repro.baselines.interpreted` — the caching-interpreter cost
+  model used in the overhead discussion.
+"""
+
+from repro.baselines.superscalar import SuperscalarModel, SuperscalarResult
+from repro.baselines.oracle import OracleScheduler, OracleResult
+from repro.baselines.traditional import traditional_compiler_ilp
+from repro.baselines.interpreted import CachingInterpreterModel
+
+__all__ = [
+    "SuperscalarModel", "SuperscalarResult",
+    "OracleScheduler", "OracleResult",
+    "traditional_compiler_ilp",
+    "CachingInterpreterModel",
+]

@@ -1,0 +1,37 @@
+"""Register define/use extraction for the trace-driven timing models.
+
+Derived from the same decomposition the translator uses, so the
+superscalar and oracle models see exactly the dependences the semantics
+impose (condition fields, lr/ctr, XER bits included).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.isa import registers as regs
+from repro.isa.instructions import BranchCond, Instruction
+from repro.primitives.decompose import decompose
+
+
+def defs_uses(instr: Instruction, pc: int
+              ) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    """Flat-register defs and uses of one instruction."""
+    prims, branch = decompose(instr, pc)
+    defs = set()
+    uses = set()
+    for prim in prims:
+        for src in prim.all_sources():
+            if src not in defs:
+                uses.add(src)
+        if prim.dest is not None:
+            defs.add(prim.dest)
+    if branch is not None:
+        if branch.cond in (BranchCond.TRUE, BranchCond.FALSE,
+                           BranchCond.DNZ_TRUE, BranchCond.DNZ_FALSE):
+            uses.add(regs.crf(branch.bi >> 2))
+        if branch.decrements_ctr and regs.CTR not in defs:
+            uses.add(regs.CTR)
+        if branch.via is not None and branch.via not in defs:
+            uses.add(branch.via)
+    return frozenset(defs), frozenset(uses)

@@ -1,0 +1,121 @@
+"""Oracle parallelism from a full execution trace (Chapter 6).
+
+"If one completely interpreted the entire trace (ignoring page
+boundaries) and compiled it into VLIW code, and the VLIW had sufficiently
+large resources and registers, then oracle parallelism can be achieved
+during the second execution of that program with the same input."
+
+The scheduler below does exactly that off-line: every dynamic operation
+is placed in the earliest cycle allowed by
+
+* true register flow dependences (renaming removes anti/output deps —
+  DAISY's renaming scheme justifies this),
+* memory dependences with *perfect* alias knowledge (a load waits only
+  for the latest genuinely overlapping store; stores wait for the
+  previous access to their bytes),
+* optionally, finite per-cycle resources (issue slots / memory ports),
+  to study the "practical intermediate points on the way to oracle level
+  parallelism".
+
+ILP = trace length / schedule depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.deps import defs_uses
+from repro.isa.instructions import Instruction
+from repro.isa.interpreter import TraceEntry
+
+
+@dataclass
+class OracleResult:
+    instructions: int
+    cycles: int
+
+    @property
+    def ilp(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class OracleScheduler:
+    """Greedy earliest-cycle trace scheduling."""
+
+    def __init__(self, issue_width: Optional[int] = None,
+                 mem_ports: Optional[int] = None,
+                 respect_control_deps: bool = False,
+                 branch_resolution_latency: int = 1):
+        """``issue_width``/``mem_ports`` of None model infinite resources.
+        With ``respect_control_deps`` every operation additionally waits
+        for the previous branch to resolve — the no-speculation limit
+        Wall calls "stack" models."""
+        self.issue_width = issue_width
+        self.mem_ports = mem_ports
+        self.respect_control_deps = respect_control_deps
+        self.branch_resolution_latency = branch_resolution_latency
+
+    def run(self, trace: List[TraceEntry]) -> OracleResult:
+        reg_ready: Dict[int, int] = {}
+        #: last store cycle per word address, and last access cycle.
+        store_ready: Dict[int, int] = {}
+        access_ready: Dict[int, int] = {}
+        slots_used: Dict[int, int] = {}
+        mem_used: Dict[int, int] = {}
+        deps_cache: Dict[Tuple[int, Instruction], tuple] = {}
+        last_branch_done = 0
+        depth = 0
+
+        for pc, instr, ea in trace:
+            key = (pc, instr)
+            cached = deps_cache.get(key)
+            if cached is None:
+                cached = defs_uses(instr, pc)
+                deps_cache[key] = cached
+            defs, uses = cached
+
+            earliest = 0
+            for reg in uses:
+                earliest = max(earliest, reg_ready.get(reg, 0))
+            if self.respect_control_deps:
+                earliest = max(earliest, last_branch_done)
+
+            word = None
+            if ea is not None:
+                word = ea // 4
+                if instr.is_load():
+                    earliest = max(earliest, store_ready.get(word, 0))
+                else:
+                    earliest = max(earliest, access_ready.get(word, 0))
+
+            cycle = earliest
+            is_mem = ea is not None
+            while not self._fits(slots_used, mem_used, cycle, is_mem):
+                cycle += 1
+            slots_used[cycle] = slots_used.get(cycle, 0) + 1
+            if is_mem:
+                mem_used[cycle] = mem_used.get(cycle, 0) + 1
+
+            for reg in defs:
+                reg_ready[reg] = cycle + 1
+            if word is not None:
+                access_ready[word] = max(access_ready.get(word, 0), cycle + 1)
+                if instr.is_store():
+                    store_ready[word] = cycle + 1
+            if instr.is_branch():
+                last_branch_done = max(
+                    last_branch_done,
+                    cycle + self.branch_resolution_latency)
+            depth = max(depth, cycle + 1)
+
+        return OracleResult(instructions=len(trace), cycles=max(depth, 1))
+
+    def _fits(self, slots_used, mem_used, cycle, is_mem) -> bool:
+        if self.issue_width is not None \
+                and slots_used.get(cycle, 0) >= self.issue_width:
+            return False
+        if is_mem and self.mem_ports is not None \
+                and mem_used.get(cycle, 0) >= self.mem_ports:
+            return False
+        return True

@@ -1,0 +1,71 @@
+"""The "traditional VLIW compiler" comparison (Table 5.2).
+
+The paper compares DAISY against IBM's off-line VLIW compiler (the
+Moon-Ebcioglu line of work): many sophisticated global optimizations,
+unconstrained compile time, and profile-directed feedback.  As DESIGN.md
+documents, we stand in for that compiler with the same scheduling core
+run in an *off-line* regime:
+
+* profile-directed branch probabilities from a full training run (the
+  real trace, not heuristics);
+* much larger scheduling windows and unrolling budgets;
+* page-size limits lifted (whole-program regions; cross-page code motion
+  is what a static compiler gets for free).
+
+This is exactly the knob the paper describes DAISY trading away for
+translation speed, so "DAISY within ~25% of traditional" is reproduced
+by construction of the same mechanism, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.core.options import TranslationOptions
+from repro.isa.assembler import Program
+from repro.isa.interpreter import Interpreter
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+
+
+def traditional_options(profile, page_size: int = 1 << 16
+                        ) -> TranslationOptions:
+    """Options approximating an off-line profile-directed VLIW compiler."""
+    return TranslationOptions(
+        page_size=page_size,          # whole-program region
+        window_size=1024,
+        max_join_visits=48,
+        max_paths=128,
+        branch_profile=profile,
+        cost_per_primitive=65_000,    # gcc-like compile effort (Ch. 5)
+    )
+
+
+def traditional_compiler_ilp(program: Program,
+                             config: Optional[MachineConfig] = None,
+                             max_instructions: int = 5_000_000
+                             ) -> Tuple[float, float]:
+    """Returns (traditional ILP, DAISY ILP) for ``program`` on ``config``.
+
+    Runs the interpreter once to collect the branch profile (the
+    traditional compiler's profile-directed feedback), then measures both
+    regimes on the same machine configuration.
+    """
+    config = config or MachineConfig.default()
+
+    profiler = Interpreter()
+    profiler.load_program(program)
+    profile_run = profiler.run(max_instructions=max_instructions)
+    profile = {pc: (taken, not_taken) for pc, (taken, not_taken)
+               in profile_run.branch_profile.items()}
+
+    trad_system = DaisySystem(config, traditional_options(profile))
+    trad_system.load_program(program)
+    trad = trad_system.run()
+
+    daisy_system = DaisySystem(config, TranslationOptions())
+    daisy_system.load_program(program)
+    daisy = daisy_system.run()
+
+    return trad.infinite_cache_ilp, daisy.infinite_cache_ilp

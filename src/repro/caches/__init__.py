@@ -1,0 +1,12 @@
+"""Cache simulator (Chapter 5's "simple cache simulator")."""
+
+from repro.caches.cache import Cache, CacheStats
+from repro.caches.hierarchy import (
+    CacheHierarchy,
+    HierarchyStats,
+    paper_default_hierarchy,
+    paper_small_hierarchy,
+)
+
+__all__ = ["Cache", "CacheStats", "CacheHierarchy", "HierarchyStats",
+           "paper_default_hierarchy", "paper_small_hierarchy"]

@@ -1,0 +1,72 @@
+"""Set-associative cache model with LRU replacement.
+
+Matches what the paper's evaluation needs: hit/miss accounting per level,
+configurable size / associativity / line size, and write-allocate
+no-write-back-cost stores (the paper charges latency per miss, with no
+detailed pipeline timer)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+    load_accesses: int = 0
+    load_misses: int = 0
+    store_accesses: int = 0
+    store_misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One cache level."""
+
+    def __init__(self, name: str, size: int, assoc: int, line: int,
+                 latency: int):
+        if size % (assoc * line):
+            raise ValueError("size must be a multiple of assoc * line")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line = line
+        self.latency = latency
+        self.num_sets = size // (assoc * line)
+        # Per-set LRU list of tags (most recent last).
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def access(self, addr: int, is_store: bool = False) -> bool:
+        """Access the line containing ``addr``; returns True on hit and
+        updates LRU/allocation state."""
+        line_addr = addr // self.line
+        index = line_addr % self.num_sets
+        tag = line_addr // self.num_sets
+        ways = self._sets[index]
+        self.stats.accesses += 1
+        if is_store:
+            self.stats.store_accesses += 1
+        else:
+            self.stats.load_accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return True
+        self.stats.misses += 1
+        if is_store:
+            self.stats.store_misses += 1
+        else:
+            self.stats.load_misses += 1
+        ways.append(tag)
+        if len(ways) > self.assoc:
+            ways.pop(0)
+        return False
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]

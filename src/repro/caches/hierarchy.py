@@ -1,0 +1,123 @@
+"""Multi-level cache hierarchies from the paper's evaluation.
+
+Default configuration (24-issue experiments, Chapter 5):
+
+* 64 KB 4-way L1 data cache, 256-byte lines, 0-cycle latency
+* 64 KB direct-mapped L1 instruction cache, 256-byte lines, 0 cycles
+* 4 MB 4-way combined L2 ("JCache"), 256-byte lines, 12 cycles
+* main memory: 88 cycles
+
+Small configuration (8-issue experiments, Table 5.5):
+
+* 4 KB direct-mapped L1 I / 4 KB 4-way L1 D, 64-byte lines, 0 cycles
+* 64 KB 2-way L2 I / 64 KB 4-way L2 D, 128-byte lines, 4 cycles
+* 4 MB 4-way combined L3, 256-byte lines, 16 cycles
+* main memory: 92 cycles
+
+The model charges each access the latency of the first level that hits
+(or memory), the way the paper's "simple cache simulator" reduces ILP
+without a detailed pipeline timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.caches.cache import Cache, CacheStats
+
+
+@dataclass
+class HierarchyStats:
+    """Snapshot of all levels plus memory-access counts."""
+
+    levels: Dict[str, CacheStats]
+    memory_accesses: int
+    #: L1-data load/store misses (Table 5.4's columns).
+    l1_load_misses: int
+    l1_store_misses: int
+    l1_memory_misses: int
+
+
+class CacheHierarchy:
+    """A chain of instruction levels and data levels sharing the lower
+    combined levels."""
+
+    def __init__(self, instruction_levels: List[Cache],
+                 data_levels: List[Cache], shared_levels: List[Cache],
+                 memory_latency: int):
+        self.instruction_levels = instruction_levels
+        self.data_levels = data_levels
+        self.shared_levels = shared_levels
+        self.memory_latency = memory_latency
+        self.memory_accesses = 0
+
+    # ------------------------------------------------------------------
+
+    def _walk(self, levels: List[Cache], addr: int, is_store: bool) -> int:
+        for cache in levels:
+            if cache.access(addr, is_store):
+                return cache.latency
+        for cache in self.shared_levels:
+            if cache.access(addr, is_store):
+                return cache.latency
+        self.memory_accesses += 1
+        return self.memory_latency
+
+    def access_instruction(self, addr: int, size: int = 4) -> int:
+        """Fetch penalty in cycles for the VLIW at ``addr``."""
+        return self._walk(self.instruction_levels, addr, is_store=False)
+
+    def access_data(self, addr: int, width: int, is_store: bool) -> int:
+        return self._walk(self.data_levels, addr, is_store)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> HierarchyStats:
+        levels = {}
+        for cache in (self.instruction_levels + self.data_levels
+                      + self.shared_levels):
+            levels[cache.name] = cache.stats
+        l1d = self.data_levels[0].stats if self.data_levels else CacheStats()
+        return HierarchyStats(
+            levels=levels,
+            memory_accesses=self.memory_accesses,
+            l1_load_misses=l1d.load_misses,
+            l1_store_misses=l1d.store_misses,
+            l1_memory_misses=l1d.misses,
+        )
+
+    def flush(self) -> None:
+        for cache in (self.instruction_levels + self.data_levels
+                      + self.shared_levels):
+            cache.flush()
+
+
+def paper_default_hierarchy() -> CacheHierarchy:
+    """The Chapter 5 configuration used with the 24-issue machine."""
+    return CacheHierarchy(
+        instruction_levels=[
+            Cache("L0 ICache", size=64 << 10, assoc=1, line=256, latency=0)],
+        data_levels=[
+            Cache("L0 DCache", size=64 << 10, assoc=4, line=256, latency=0)],
+        shared_levels=[
+            Cache("L1 JCache", size=4 << 20, assoc=4, line=256, latency=12)],
+        memory_latency=88,
+    )
+
+
+def paper_small_hierarchy() -> CacheHierarchy:
+    """The Table 5.5 configuration used with the 8-issue machine."""
+    return CacheHierarchy(
+        instruction_levels=[
+            Cache("Lev1 ICache", size=4 << 10, assoc=1, line=64, latency=0),
+            Cache("Lev2 ICache", size=64 << 10, assoc=2, line=128, latency=4),
+        ],
+        data_levels=[
+            Cache("Lev1 DCache", size=4 << 10, assoc=4, line=64, latency=0),
+            Cache("Lev2 DCache", size=64 << 10, assoc=4, line=128, latency=4),
+        ],
+        shared_levels=[
+            Cache("Lev3 JCache", size=4 << 20, assoc=4, line=256, latency=16)],
+        memory_latency=92,
+    )

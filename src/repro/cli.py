@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+::
+
+    python -m repro workloads
+    python -m repro run c_sieve --size small --config 10
+    python -m repro run path/to/program.s --interpretive --caches default
+    python -m repro translate wc --size tiny
+    python -m repro translate path/to/program.s --dump-limit 40
+
+``run`` executes a built-in workload (by name) or an assembly file under
+DAISY and prints the run summary; ``translate`` additionally dumps the
+tree-VLIW code the translator produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.caches.hierarchy import (
+    paper_default_hierarchy,
+    paper_small_hierarchy,
+)
+from repro.core.options import TranslationOptions
+from repro.isa.assembler import Assembler
+from repro.vliw.machine import PAPER_CONFIGS
+from repro.vmm.system import DaisySystem
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+
+def _load_program(target: str, size: str):
+    try:
+        workload = build_workload(target, size)
+        return workload.program, workload.description
+    except KeyError:
+        pass
+    with open(target) as handle:
+        source = handle.read()
+    return Assembler().assemble(source), f"assembly file {target}"
+
+
+def _build_system(args) -> DaisySystem:
+    hierarchy = None
+    if args.caches == "default":
+        hierarchy = paper_default_hierarchy()
+    elif args.caches == "small":
+        hierarchy = paper_small_hierarchy()
+    options = TranslationOptions(page_size=args.page_size)
+    return DaisySystem(PAPER_CONFIGS[args.config], options,
+                       cache_hierarchy=hierarchy,
+                       interpretive=args.interpretive,
+                       strategy=args.strategy)
+
+
+def _print_summary(result) -> None:
+    print(f"exit code:            {result.exit_code}")
+    print(f"base instructions:    {result.base_instructions}")
+    print(f"VLIWs executed:       {result.vliws}")
+    print(f"cycles (with stalls): {result.cycles}")
+    print(f"infinite-cache ILP:   {result.infinite_cache_ilp:.2f}")
+    if result.cycles != result.vliws:
+        print(f"finite-cache ILP:     {result.finite_cache_ilp:.2f}")
+    print(f"pages translated:     {result.pages_translated}")
+    print(f"entries translated:   {result.entries_translated}")
+    print(f"translated code:      {result.code_bytes_generated} bytes")
+    print(f"alias recoveries:     {result.alias_events}")
+    print(f"cross-page branches:  {dict(result.events.crosspage)}")
+    if result.interpreted_episodes:
+        print(f"interpreted:          {result.interpreted_instructions} "
+              f"instructions in {result.interpreted_episodes} episodes")
+    if result.output:
+        print(f"program output:       {result.output}")
+
+
+def cmd_workloads(args) -> int:
+    for name in WORKLOAD_NAMES + ["tomcatv"]:
+        workload = build_workload(name, "tiny")
+        print(f"{name:10s} {workload.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    program, description = _load_program(args.target, args.size)
+    print(f"running: {description}")
+    print(f"machine: {PAPER_CONFIGS[args.config].name}\n")
+    system = _build_system(args)
+    system.load_program(program)
+    result = system.run(deliver_faults=args.deliver_faults)
+    _print_summary(result)
+    return 0 if result.exit_code == 0 else 1
+
+
+def cmd_translate(args) -> int:
+    program, description = _load_program(args.target, args.size)
+    system = _build_system(args)
+    system.load_program(program)
+    result = system.run(deliver_faults=args.deliver_faults)
+    print(f"translated: {description}\n")
+    shown = 0
+    for paddr in sorted(system.translation_cache.live_pages):
+        translation = system.translation_cache.lookup(paddr)
+        print(f"=== page {paddr:#x} "
+              f"({translation.code_size} bytes of VLIW code) ===")
+        for offset in sorted(translation.entries):
+            group = translation.entries[offset]
+            print(f"--- entry {translation.page_vaddr + offset:#x} ---")
+            for vliw in group.vliws:
+                print(vliw.render())
+                shown += 1
+                if shown >= args.dump_limit:
+                    print(f"... (truncated at {args.dump_limit} VLIWs; "
+                          f"use --dump-limit to see more)")
+                    _print_summary(result)
+                    return 0
+    print()
+    _print_summary(result)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.summary import generate_summary, summary_rows_hold
+    text = generate_summary(size=args.size)
+    print(text)
+    return 0 if summary_rows_hold(text) else 1
+
+
+def _common_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("target",
+                        help="workload name or assembly (.s) file")
+    parser.add_argument("--size", default="small",
+                        choices=["tiny", "small", "default"],
+                        help="workload size preset")
+    parser.add_argument("--config", type=int, default=10,
+                        choices=sorted(PAPER_CONFIGS),
+                        help="machine configuration (Figure 5.1 number)")
+    parser.add_argument("--page-size", type=int, default=4096,
+                        help="translation page size in bytes")
+    parser.add_argument("--caches", choices=["none", "default", "small"],
+                        default="none", help="cache hierarchy model")
+    parser.add_argument("--interpretive", action="store_true",
+                        help="Chapter 6 interpretive compilation")
+    parser.add_argument("--strategy", choices=["expansion", "hash"],
+                        default="expansion",
+                        help="translated-code mapping (Chapter 3)")
+    parser.add_argument("--deliver-faults", action="store_true",
+                        help="deliver base faults to OS vectors instead "
+                             "of aborting")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAISY: dynamic compilation for 100%% architectural "
+                    "compatibility (ISCA 1997 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list built-in workloads") \
+        .set_defaults(func=cmd_workloads)
+
+    run_parser = sub.add_parser("run", help="run a program under DAISY")
+    _common_flags(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    translate_parser = sub.add_parser(
+        "translate", help="run and dump the tree-VLIW code")
+    _common_flags(translate_parser)
+    translate_parser.add_argument("--dump-limit", type=int, default=24,
+                                  help="max VLIWs to print")
+    translate_parser.set_defaults(func=cmd_translate)
+
+    report_parser = sub.add_parser(
+        "report", help="paper-vs-measured summary of the headline results")
+    report_parser.add_argument("--size", default="small",
+                               choices=["tiny", "small", "default"],
+                               help="workload size (tiny runs cold "
+                                    "caches; small matches the bench "
+                                    "harness)")
+    report_parser.set_defaults(func=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

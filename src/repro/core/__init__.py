@@ -1,0 +1,15 @@
+"""The DAISY incremental compiler (the paper's primary contribution).
+
+Translates base-architecture code pages into groups of tree-VLIW
+instructions, one pass, scheduling each operation into the earliest VLIW
+where its operands are available — renaming results into non-architected
+registers and committing them in original program order so exceptions stay
+precise (Chapter 2, Appendix A).
+"""
+
+from repro.core.options import TranslationOptions
+from repro.core.translate import PageTranslator, PageTranslation
+from repro.core.group import GroupBuilder
+
+__all__ = ["TranslationOptions", "PageTranslator", "PageTranslation",
+           "GroupBuilder"]

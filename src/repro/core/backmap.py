@@ -1,0 +1,133 @@
+"""Mapping from VLIW code back to base instruction addresses (Section 3.5).
+
+When an exception occurs in VLIW code, the VMM must name the base
+instruction responsible.  The paper's table-free scheme: walk *backward*
+from the exception-causing parcel to the group entry (whose base address
+is known exactly), remembering conditional-branch directions; then walk
+the same path *forward*, matching assignments to architected resources
+(architected register writes, stores, conditional branches) one-to-one
+against the base instructions decoded from base memory — speculative
+parcels writing non-architected registers are passed over.  The base
+instruction matched when the faulting parcel is reached is the culprit.
+
+The engine records the executed route, which *is* the backward/forward
+path; ``find_base_pc`` runs the forward-matching walk using only the
+group entry address, the route, and base memory — it never reads the
+``base_pc`` annotations (the test suite checks the result against them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.faults import SimulationError
+from repro.isa import registers as regs
+from repro.isa.instructions import Instruction, Opcode
+from repro.primitives.decompose import BranchKind, decompose
+from repro.primitives.ops import PrimOp
+from repro.vliw.tree import Operation, Tip, TreeVliw
+
+#: The engine's recorded route: [(vliw, [tips taken, root first])].
+Route = List[Tuple[TreeVliw, List[Tip]]]
+
+FetchFn = Callable[[int], Instruction]
+
+
+class _BaseWalker:
+    """Steps through base instructions, consuming architected side
+    effects one primitive at a time."""
+
+    def __init__(self, entry_pc: int, fetch: FetchFn):
+        self.pc = entry_pc
+        self.fetch = fetch
+        self._load()
+
+    def _load(self) -> None:
+        self.instr = self.fetch(self.pc)
+        prims, self.branch = decompose(self.instr, self.pc)
+        # Only primitives with architected destinations (or stores)
+        # correspond to matchable VLIW parcels.
+        self.pending = [p for p in prims
+                        if p.is_store
+                        or (p.dest is not None
+                            and regs.is_architected(p.dest))]
+
+    def skip_effectless(self) -> None:
+        """Advance past instructions with no matchable side effect (nop,
+        effect-free moves) — they are invisible to the matching walk."""
+        while not self.pending and self.branch is None:
+            self.pc += 4
+            self._load()
+
+    def current_pc(self) -> int:
+        self.skip_effectless()
+        return self.pc
+
+    def consume_effect(self) -> None:
+        """Match one architected side effect of the current instruction;
+        advances to the next instruction when it has none left (and no
+        branch to resolve)."""
+        self.skip_effectless()
+        self.pending.pop(0)
+        if not self.pending and self.branch is None:
+            self.pc += 4
+            self._load()
+
+    def consume_branch(self, taken: Optional[bool]) -> None:
+        """Match the current instruction's branch; ``taken`` applies to
+        conditional branches."""
+        self.skip_effectless()
+        branch = self.branch
+        if branch is None:
+            raise SimulationError(
+                f"expected a branch at base pc {self.pc:#x}")
+        if branch.kind == BranchKind.DIRECT:
+            self.pc = branch.target
+        elif branch.kind == BranchKind.CONDITIONAL:
+            self.pc = branch.target if taken else branch.fallthrough
+        else:
+            raise SimulationError(
+                "indirect branch inside a matching walk")
+        self._load()
+
+
+def find_base_pc(entry_pc: int, route: Route, fault_op: Operation,
+                 fetch: FetchFn) -> int:
+    """Forward-matching walk: returns the base address of the
+    instruction responsible for the fault raised at ``fault_op``.
+
+    ``route`` must start at the group's entry VLIW (the engine resets
+    its recording at group entry, so the backward scan is implicit).
+    """
+    walker = _BaseWalker(entry_pc, fetch)
+    for vliw, tips in route:
+        for tip_index, tip in enumerate(tips):
+            for op in tip.ops:
+                is_fault = op is fault_op
+                if op.op == PrimOp.MARKER:
+                    # A followed unconditional branch.
+                    walker.consume_branch(taken=None)
+                    continue
+                architected_write = (
+                    op.is_store
+                    or (op.dest is not None
+                        and regs.is_architected(op.dest)
+                        and not op.speculative))
+                if is_fault:
+                    return walker.current_pc()
+                if architected_write:
+                    walker.consume_effect()
+            if tip.test is not None:
+                # Direction: did the route go to the taken child?
+                next_tip = tips[tip_index + 1]
+                walker.consume_branch(taken=next_tip is tip.taken)
+    raise SimulationError("faulting operation not found on route")
+
+
+def describe_route(route: Route) -> str:
+    """Human-readable dump of an executed route (debugging aid)."""
+    lines = []
+    for vliw, tips in route:
+        ops = [op.render() for tip in tips for op in tip.ops]
+        lines.append(f"VLIW{vliw.index}: " + "; ".join(ops))
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""CreateVLIWGroupForEntry: building one group of tree VLIWs.
+
+The builder maintains a probability-ordered list of open paths (Appendix
+A).  The most probable path is extended one base instruction at a time;
+conditional branches clone it; stopping points close it.  Closed on-page
+continuations become *secondary entry points* of the page translation
+(Section 3.4): they are placed on the page-level worklist and get their
+own groups.
+
+Stopping points (Appendix A's list):
+
+* a cross-page branch, an indirect branch, ``sc``/``rfi`` — mandatory;
+* a pc already visited ``max_join_visits`` times within this group
+  (bounds unrolling and join duplication);
+* the per-path window-size budget exhausted;
+* the open-path or VLIW caps (safety valves for pathological code).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa import registers as regs
+from repro.isa.encoding import DecodeError
+from repro.isa.instructions import Instruction
+from repro.primitives.decompose import (
+    BranchKind,
+    DecomposedBranch,
+    decompose,
+)
+from repro.primitives.ops import Primitive, PrimOp
+from repro.core.options import TranslationOptions
+from repro.core.paths import Path, PathList
+from repro.core.scheduler import Scheduler
+from repro.vliw.machine import MachineConfig
+from repro.vliw.tree import Exit, ExitKind, Operation, VliwGroup
+
+#: Fetch callback: base virtual pc -> decoded Instruction (may raise
+#: InstructionStorageFault / DecodeError).
+FetchFn = Callable[[int], Instruction]
+
+#: Cracker callback: base virtual pc -> (primitives, branch descriptor).
+#: The builder is ISA-agnostic through this interface — the PowerPC path
+#: wraps fetch+decompose; the Appendix E front ends supply their own.
+CrackFn = Callable[[int], Tuple[List[Primitive],
+                                Optional[DecomposedBranch]]]
+
+
+def cracker_from_fetch(fetch: FetchFn) -> CrackFn:
+    """The base-architecture cracker: fetch, decode, decompose."""
+    def crack(pc: int):
+        return decompose(fetch(pc), pc)
+    return crack
+
+
+class GroupBuilder:
+    """Builds the :class:`VliwGroup` for one entry point."""
+
+    def __init__(self, entry_pc: int, fetch: Optional[FetchFn],
+                 config: MachineConfig,
+                 options: TranslationOptions,
+                 worklist_add: Optional[Callable[[int], None]] = None,
+                 crack: Optional[CrackFn] = None):
+        self.entry_pc = entry_pc
+        self.crack = crack if crack is not None \
+            else cracker_from_fetch(fetch)
+        self.config = config
+        self.options = options
+        self.worklist_add = worklist_add or (lambda pc: None)
+        self.group = VliwGroup(entry_pc=entry_pc)
+        self.scheduler = Scheduler(self.group, config, options)
+        self.visit_counts: Dict[int, int] = {}
+        self.pathlist = PathList()
+        #: Loop headers identified incrementally (targets of backward
+        #: branches), and the group ILP estimate at each header's last
+        #: visit (the adaptive-unrolling rule of Appendix A).
+        self.loop_headers: set = set()
+        self._header_ilp: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> VliwGroup:
+        """Translate from the entry until every path is closed."""
+        self.pathlist.add(Path(continuation=self.entry_pc, prob=1.0))
+        while self.pathlist:
+            path = self.pathlist.pop_most_probable()
+            self._extend_until_event(path)
+        return self.group
+
+    # ------------------------------------------------------------------
+
+    def _extend_until_event(self, path: Path) -> None:
+        """Extend ``path`` instruction by instruction until it closes or
+        splits (split re-enqueues both halves)."""
+        while True:
+            pc = path.continuation
+            assert pc is not None
+
+            if len(self.group.vliws) >= self.options.max_vliws_per_group:
+                self._close_entry(path)
+                return
+            if not self.options.same_page(pc, self.entry_pc):
+                # Fall-through (or followed branch) off the page edge.
+                self.scheduler.close_path(path, Exit(
+                    ExitKind.OFFPAGE, target=pc, completes=False,
+                    base_pc=pc))
+                return
+            if self.visit_counts.get(pc, 0) >= self.options.max_join_visits \
+                    and path.window_used > 0:
+                self._close_entry(path)
+                return
+            if path.window_used >= self.options.window_size:
+                self._close_entry(path)
+                return
+            if pc in self.loop_headers and path.window_used > 0:
+                if self._loop_header_should_stop(path, pc):
+                    self._close_entry(path)
+                    return
+
+            try:
+                prims, branch = self.crack(pc)
+            except DecodeError:
+                seq = self.scheduler.next_seq()
+                self.scheduler.schedule_primitive(
+                    path, Primitive(PrimOp.TRAP_ILLEGAL, base_pc=pc), seq)
+                self.scheduler.close_path(path, Exit(
+                    ExitKind.ENTRY, target=pc, completes=False, base_pc=pc))
+                return
+
+            self.visit_counts[pc] = self.visit_counts.get(pc, 0) + 1
+            path.window_used += 1
+            self.group.base_instructions += 1
+
+            seq = self.scheduler.next_seq()
+            for prim in prims:
+                self.scheduler.schedule_primitive(path, prim, seq)
+
+            if branch is None:
+                path.continuation = pc + 4
+                continue
+
+            if branch.kind in (BranchKind.DIRECT, BranchKind.CONDITIONAL):
+                self._note_branch_target(pc, branch.target)
+
+            if branch.kind == BranchKind.DIRECT:
+                if self.options.same_page(branch.target, self.entry_pc):
+                    # Follow the branch: zero-resource completion marker
+                    # occupying its program-order slot in the tip.
+                    if not path.positions:
+                        self.scheduler.open_new_vliw(path)
+                    path.last.tip.ops.append(Operation(
+                        op=PrimOp.MARKER, base_pc=pc, completes=True,
+                        seq=seq))
+                    path.continuation = branch.target
+                    continue
+                self.scheduler.close_path(path, Exit(
+                    ExitKind.OFFPAGE, target=branch.target, completes=True,
+                    base_pc=pc))
+                return
+
+            if branch.kind == BranchKind.CONDITIONAL:
+                taken_prob = self.options.branch_taken_probability(
+                    pc, branch.target)
+                fall, taken = self.scheduler.schedule_conditional(
+                    path, branch, pc, taken_prob)
+                if self.options.same_page(branch.target, self.entry_pc):
+                    self._enqueue(taken)
+                else:
+                    self.scheduler.close_path(taken, Exit(
+                        ExitKind.OFFPAGE, target=branch.target,
+                        completes=False, base_pc=pc))
+                self._enqueue(fall)
+                return
+
+            if branch.kind in (BranchKind.INDIRECT_LR,
+                               BranchKind.INDIRECT_CTR,
+                               BranchKind.RFI):
+                via_loc = self.scheduler.resolve(path, branch.via)
+                self.scheduler.protect_reads(path, (via_loc,),
+                                             path.last_index
+                                             if path.positions else 0)
+                flavor = {BranchKind.INDIRECT_LR: "lr",
+                          BranchKind.INDIRECT_CTR: "ctr",
+                          BranchKind.RFI: "rfi"}[branch.kind]
+                self.scheduler.close_path(path, Exit(
+                    ExitKind.INDIRECT, via=via_loc, flavor=flavor,
+                    completes=True, base_pc=pc))
+                return
+
+            if branch.kind == BranchKind.SC:
+                self.scheduler.close_path(path, Exit(
+                    ExitKind.SC, target=branch.fallthrough, completes=True,
+                    base_pc=pc))
+                return
+
+            raise AssertionError(f"unhandled branch kind {branch.kind}")
+
+    # ------------------------------------------------------------------
+
+    def _note_branch_target(self, pc: int, target: int) -> None:
+        """Incremental loop identification: a backward branch target is
+        a loop header."""
+        if target <= pc:
+            self.loop_headers.add(target)
+
+    def _loop_header_should_stop(self, path: Path, pc: int) -> bool:
+        """Appendix A's loop-header rules, applied when a path revisits
+        an identified loop header."""
+        options = self.options
+        # Window-budget shrink for loop boundaries that are not the
+        # group entry.
+        if pc != self.entry_pc and options.loop_boundary_window_factor < 1.0:
+            remaining = options.window_size - path.window_used
+            shrunk = int(remaining * options.loop_boundary_window_factor)
+            path.window_used = options.window_size - shrunk
+            if shrunk <= 0:
+                return True
+        if not options.adaptive_unrolling:
+            return False
+        vliws = max(len(self.group.vliws), 1)
+        ilp_estimate = self.group.base_instructions / vliws
+        last = self._header_ilp.get(pc)
+        self._header_ilp[pc] = ilp_estimate
+        if last is None:
+            return False
+        return ilp_estimate <= last * (1.0 + options.adaptive_unroll_threshold)
+
+    def _enqueue(self, path: Path) -> None:
+        self.pathlist.add(path)
+        while len(self.pathlist) > self.options.max_paths:
+            victim = self.pathlist.pop_least_probable()
+            self._close_entry(victim)
+
+    def _close_entry(self, path: Path) -> None:
+        """Close a path at an artificial stopping point: jump to (and
+        register) a secondary entry point for its continuation."""
+        pc = path.continuation
+        self.scheduler.close_path(path, Exit(
+            ExitKind.ENTRY, target=pc, completes=False, base_pc=pc))
+        self.worklist_add(pc)

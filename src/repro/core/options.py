@@ -1,0 +1,105 @@
+"""Translation parameters.
+
+The defaults correspond to the paper's main experiments: 4K translation
+pages, multipath scheduling with register renaming, combining, speculative
+loads moved above stores, and the Appendix A stopping rules (window size
+and join-visit throttles).  The ablation benchmarks flip these switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+#: Branch profile type: static branch pc -> (taken_count, not_taken_count).
+BranchProfile = Dict[int, Tuple[int, int]]
+
+
+@dataclass
+class TranslationOptions:
+    """Knobs of the incremental compiler."""
+
+    #: Translation unit size in bytes (Figures 5.3-5.5 sweep this).
+    page_size: int = 4096
+
+    #: Maximum base instructions scheduled along one path before an
+    #: artificial stopping point (Appendix A: "window size limit").
+    window_size: int = 256
+
+    #: Maximum times one base pc may be (re)visited within a group before
+    #: paths stop there; bounds unrolling and code explosion ("a base
+    #: instruction will not belong to more than k+1 VLIWs").  The default
+    #: lands near the paper's ~4.5x code expansion (Table 5.1).
+    max_join_visits: int = 16
+
+    #: Upper bound on simultaneously open paths in a group; lowest
+    #: probability paths are closed first when exceeded.
+    max_paths: int = 48
+
+    #: Hard cap on VLIWs per group (safety valve).
+    max_vliws_per_group: int = 512
+
+    #: Rename results of early-scheduled ops into non-architected
+    #: registers (the core mechanism; off = strictly in-order code).
+    rename: bool = True
+
+    #: Move loads above stores optimistically (Section 2.1); runtime
+    #: aliases then cost a recovery (Table 5.7).
+    speculate_loads: bool = True
+
+    #: Replace a load that must alias the latest store to the same
+    #: address with a copy of the stored value (Chapter 5).
+    forward_stores: bool = True
+
+    #: Combine addi/ai chains so induction variables do not serialize
+    #: loop iterations (NakataniEbcioglu89 "combining").
+    combining: bool = True
+
+    #: Stop revisiting a loop header when the group's ILP estimate has
+    #: not improved since the last visit (Appendix A: "a loop header
+    #: where the ILP has not improved significantly since the last visit
+    #: to this loop header (to avoid useless unrolling)").
+    adaptive_unrolling: bool = False
+
+    #: Minimum relative ILP improvement per loop-header revisit for
+    #: adaptive unrolling to continue.
+    adaptive_unroll_threshold: float = 0.02
+
+    #: Shrink the remaining window budget when a path crosses a loop
+    #: boundary that is not the entry (Appendix A: "in order not to pull
+    #: in too many operations from the exit of a loop into a loop, or
+    #: from an inner loop into an outer loop").  1.0 disables.
+    loop_boundary_window_factor: float = 1.0
+
+    #: Static probability that a backward conditional branch is taken.
+    backward_taken_prob: float = 0.85
+
+    #: Static probability that a forward conditional branch is taken.
+    forward_taken_prob: float = 0.30
+
+    #: Optional measured profile (pc -> (taken, not_taken)); used instead
+    #: of the static heuristics when present — this is how the
+    #: traditional-compiler baseline gets profile-directed feedback.
+    branch_profile: Optional[BranchProfile] = None
+
+    #: Abstract host operations charged per scheduled primitive, feeding
+    #: the compile-overhead accounting of Table 5.8 (the paper measured
+    #: ~4315 RS/6000 instructions per PowerPC instruction).
+    cost_per_primitive: int = 1000
+
+    def branch_taken_probability(self, pc: int, target: int) -> float:
+        """Probability that the conditional branch at ``pc`` is taken."""
+        if self.branch_profile is not None and pc in self.branch_profile:
+            taken, not_taken = self.branch_profile[pc]
+            total = taken + not_taken
+            if total:
+                return taken / total
+        if target <= pc:
+            return self.backward_taken_prob
+        return self.forward_taken_prob
+
+    def page_base(self, addr: int) -> int:
+        return addr - addr % self.page_size
+
+    def same_page(self, a: int, b: int) -> bool:
+        return self.page_base(a) == self.page_base(b)

@@ -1,0 +1,136 @@
+"""Path bookkeeping for the incremental scheduler (the paper's T_PATH).
+
+A :class:`Path` is a root-to-tip route through the group's VLIW tree under
+construction.  Per path we track:
+
+* ``positions`` — the VLIWs on the route and, inside each, the tip this
+  path runs through;
+* ``rename_map`` per position — architected register -> current location
+  (the paper's ``map``; kept per path because a register may be renamed
+  differently on different paths, Appendix A's r5'/r5'' example);
+* ``avail`` — location -> earliest position index at which its value may
+  be read;
+* ``commit_pos`` — architected register -> position of its pending
+  commit (rename entries are dropped for positions beyond it);
+* ``gen`` — location -> write generation, used to validate combining and
+  store-forwarding facts;
+* ``defs``/``store_facts`` — the combining and must-alias-forwarding
+  fact tables.
+
+Cloning a path (at a conditional branch) deep-copies all bookkeeping but
+shares the VLIW/tip objects of the common prefix.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.vliw.tree import Tip, TreeVliw
+
+
+@dataclass
+class PathPosition:
+    """One VLIW on a path and the tip the path runs through inside it."""
+
+    vliw: TreeVliw
+    tip: Tip
+    rename_map: Dict[int, int] = field(default_factory=dict)
+
+
+class Path:
+    """One open scheduling path (T_PATH of Appendix A)."""
+
+    _counter = 0
+
+    def __init__(self, continuation: int, prob: float):
+        Path._counter += 1
+        self.uid = Path._counter
+        self.continuation: Optional[int] = continuation
+        self.prob = prob
+        self.positions: List[PathPosition] = []
+        self.avail: Dict[int, int] = {}
+        self.commit_pos: Dict[int, int] = {}
+        #: Combining facts: loc -> ("const", value) or
+        #: ("addi", base_loc, total_imm, base_gen).  Base generations are
+        #: validated against the *scheduler-global* write generations: a
+        #: register reused by ANY path (shared tips execute sibling
+        #: writes!) invalidates facts that still reference it.
+        self.defs: Dict[int, tuple] = {}
+        #: Store-forwarding facts: (addr_locs, imm, width) ->
+        #: (value_loc, value_gen, addr_gens).
+        self.store_facts: Dict[tuple, tuple] = {}
+        #: Sequence number of the most recent store on this path; loads
+        #: of the *same* base instruction (multi-primitive CISC like
+        #: MVC) must not speculate above it — intra-instruction byte
+        #: ordering is architected (Section 3.6's overlap semantics).
+        self.last_store_seq = -1
+        self.window_used = 0
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def last_index(self) -> int:
+        return len(self.positions) - 1
+
+    @property
+    def last(self) -> PathPosition:
+        return self.positions[-1]
+
+    def location_of(self, arch_reg: int, index: Optional[int] = None) -> int:
+        """Current location of ``arch_reg`` at position ``index`` (default:
+        the last position)."""
+        if not self.positions:
+            return arch_reg
+        pos = self.positions[index if index is not None else -1]
+        return pos.rename_map.get(arch_reg, arch_reg)
+
+    def availability(self, loc: int) -> int:
+        return self.avail.get(loc, 0)
+
+    # -- cloning --------------------------------------------------------------
+
+    def clone(self, continuation: int, prob: float) -> "Path":
+        other = Path(continuation, prob)
+        other.positions = [
+            PathPosition(pos.vliw, pos.tip, dict(pos.rename_map))
+            for pos in self.positions
+        ]
+        other.avail = dict(self.avail)
+        other.commit_pos = dict(self.commit_pos)
+        other.defs = dict(self.defs)
+        other.store_facts = dict(self.store_facts)
+        other.last_store_seq = self.last_store_seq
+        other.window_used = self.window_used
+        return other
+
+
+class PathList:
+    """Open paths ordered by decreasing probability (the Pathlist)."""
+
+    def __init__(self):
+        self._paths: List[Path] = []
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __bool__(self) -> bool:
+        return bool(self._paths)
+
+    def __iter__(self):
+        return iter(self._paths)
+
+    def add(self, path: Path) -> None:
+        keys = [-p.prob for p in self._paths]
+        index = bisect.bisect_right(keys, -path.prob)
+        self._paths.insert(index, path)
+
+    def pop_most_probable(self) -> Path:
+        return self._paths.pop(0)
+
+    def pop_least_probable(self) -> Path:
+        return self._paths.pop()
+
+    def remove(self, path: Path) -> None:
+        self._paths.remove(path)

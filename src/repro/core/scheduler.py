@@ -1,0 +1,634 @@
+"""The incremental list scheduler (Appendix A of the paper).
+
+Each RISC primitive is examined once, in original program order, and
+immediately placed into a VLIW on the current path:
+
+* the earliest position where its operands are available is found from the
+  per-path availability table;
+* if that position is *before* the last VLIW on the path and a
+  non-architected destination register is free from there to the end of
+  the path, the operation executes **out of order** into the renamed
+  register and a COMMIT parcel is placed in the last VLIW, restoring
+  original program order for architected state (precise exceptions);
+* otherwise it executes **in order** at the end of the path.
+
+Stores, service calls and privileged operations are never reordered.
+Loads may move above stores optimistically (runtime aliases recover).
+Conditional branches become tree splits in the last VLIW.
+
+This module also implements *combining* (addi/ai chain rebasing, which is
+what lets induction variables overlap across loop iterations) and
+must-alias store forwarding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.faults import SimulationError
+from repro.isa import registers as regs
+from repro.isa.instructions import BranchCond
+from repro.primitives.decompose import DecomposedBranch
+from repro.primitives.ops import INORDER_ONLY_PRIMS, PrimOp, Primitive
+from repro.core.options import TranslationOptions
+from repro.core.paths import Path, PathPosition
+from repro.vliw.machine import MachineConfig
+from repro.vliw.tree import (
+    BranchTest,
+    Exit,
+    ExitKind,
+    Operation,
+    TestKind,
+    Tip,
+    TreeVliw,
+    VliwGroup,
+)
+
+#: Destinations the renamer may redirect into scratch registers.
+_RENAMEABLE_SPECIALS = (regs.LR, regs.CTR)
+
+#: Primitives eligible for combining facts (value = base + constant).
+_COMBINABLE = (PrimOp.ADDI, PrimOp.AI)
+
+
+@dataclass
+class VliwInfo:
+    """Scheduler-side bookkeeping for one VLIW (shared by all paths)."""
+
+    alu: int = 0
+    mem: int = 0
+    stores: int = 0
+    branches: int = 0
+    free_gprs: Set[int] = field(default_factory=lambda: set(regs.NONARCH_GPRS))
+    free_crfs: Set[int] = field(default_factory=lambda: set(regs.NONARCH_CRFS))
+    free_fprs: Set[int] = field(default_factory=lambda: set(regs.NONARCH_FPRS))
+
+    def pool(self, name: str) -> Set[int]:
+        if name == "gpr":
+            return self.free_gprs
+        if name == "crf":
+            return self.free_crfs
+        return self.free_fprs
+
+
+class Scheduler:
+    """Schedules primitives and branches into a :class:`VliwGroup`."""
+
+    def __init__(self, group: VliwGroup, config: MachineConfig,
+                 options: TranslationOptions):
+        self.group = group
+        self.config = config
+        self.options = options
+        self.infos: List[VliwInfo] = []
+        self._seq = 0
+        #: Global write generations per register location.  Shared across
+        #: paths: sibling paths insert writes into shared tips, so a
+        #: reuse by ANY path must invalidate facts referencing the
+        #: register (soundness of combining and store forwarding).
+        self._gen = {}
+        # Round-robin allocation cursors: spreading allocations across
+        # the scratch registers keeps combining facts (whose base is an
+        # older renamed register) alive longer than min-first reuse.
+        self._next_cursor: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # VLIW management
+    # ------------------------------------------------------------------
+
+    def info(self, vliw: TreeVliw) -> VliwInfo:
+        return self.infos[vliw.index]
+
+    def open_new_vliw(self, path: Path) -> PathPosition:
+        """Append a fresh VLIW to ``path`` (the paper's OpenNewVLIW)."""
+        vliw = self.group.new_vliw(
+            entry_base_pc=path.continuation if path.continuation else 0)
+        self.infos.append(VliwInfo())
+        tip = vliw.root
+        if path.positions:
+            prev = path.last
+            prev.tip.exit = Exit(ExitKind.GOTO, vliw=vliw)
+            prev_index = path.last_index
+            new_map = {
+                r: loc for r, loc in prev.rename_map.items()
+                if path.commit_pos.get(r, 1 << 60) > prev_index
+            }
+        else:
+            new_map = {}
+        position = PathPosition(vliw, tip, new_map)
+        path.positions.append(position)
+        return position
+
+    # ------------------------------------------------------------------
+    # Resource checks (per-VLIW, shared across paths)
+    # ------------------------------------------------------------------
+
+    def _alu_ok(self, info: VliwInfo) -> bool:
+        return (info.alu < self.config.alus
+                and info.alu + info.mem < self.config.issue)
+
+    def _mem_ok(self, info: VliwInfo, is_store: bool) -> bool:
+        if info.mem >= self.config.mem:
+            return False
+        if info.alu + info.mem >= self.config.issue:
+            return False
+        if is_store and info.stores >= self.config.stores:
+            return False
+        return True
+
+    def _branch_ok(self, info: VliwInfo) -> bool:
+        return info.branches < self.config.branches
+
+    # ------------------------------------------------------------------
+    # Register allocation
+    # ------------------------------------------------------------------
+
+    def _pool_for(self, dest: int):
+        if regs.is_crf(dest):
+            return "crf"
+        if regs.is_fpr(dest):
+            return "fpr"
+        return "gpr"
+
+    def _free_until_end(self, path: Path, start: int, pool: str) -> Set[int]:
+        """Non-architected registers free in every VLIW of the path from
+        position ``start`` to the end (the paper's FreeGprsUntilEnd)."""
+        free: Optional[Set[int]] = None
+        for pos in path.positions[start:]:
+            pool_set = self.info(pos.vliw).pool(pool)
+            free = set(pool_set) if free is None else free & pool_set
+            if not free:
+                return set()
+        return free or set()
+
+    def _claim(self, path: Path, reg: int, start: int, pool: str) -> None:
+        """Mark ``reg`` busy in positions start..end of the path."""
+        for pos in path.positions[start:]:
+            self.info(pos.vliw).pool(pool).discard(reg)
+
+    def _pick_register(self, free: Set[int], pool: str) -> int:
+        """Round-robin choice among the free scratch registers."""
+        ordered = sorted(free)
+        cursor = self._next_cursor.get(pool, 0)
+        chosen = next((reg for reg in ordered if reg >= cursor), ordered[0])
+        self._next_cursor[pool] = chosen + 1
+        return chosen
+
+    def _is_renameable(self, dest: Optional[int]) -> bool:
+        if dest is None or not self.options.rename:
+            return False
+        if regs.is_gpr(dest) or regs.is_crf(dest) or regs.is_fpr(dest):
+            return True
+        return dest in _RENAMEABLE_SPECIALS
+
+    def protect_reads(self, path: Path, locs, read_pos: int) -> None:
+        """Keep non-architected source registers from being reallocated
+        at or before the position where they are read.
+
+        The paper's map/FreeGprs protocol guarantees renamed registers
+        are only read inside their claimed window; combining facts and
+        post-commit reads can escape that window, so every read claims
+        its sources up to the reading VLIW.
+        """
+        for loc in locs:
+            if loc is None or regs.is_architected(loc):
+                continue
+            pool = self._pool_for(loc)
+            for pos in path.positions[:read_pos + 1]:
+                self.info(pos.vliw).pool(pool).discard(loc)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping after a write
+    # ------------------------------------------------------------------
+
+    def bump_gen(self, loc: int) -> int:
+        value = self._gen.get(loc, 0) + 1
+        self._gen[loc] = value
+        return value
+
+    def gen_of(self, loc: int) -> int:
+        return self._gen.get(loc, 0)
+
+    def _note_write(self, path: Path, loc: int, fact: Optional[tuple]) -> None:
+        self.bump_gen(loc)
+        if fact is not None:
+            path.defs[loc] = fact
+        else:
+            path.defs.pop(loc, None)
+
+    def _note_xer_write(self, path: Path, prim: Primitive,
+                        write_pos: int) -> None:
+        """Carry/overflow extender bits land in the architected XER when
+        the value commits: readers of CA/OV/SO must wait for that
+        position (the mfxer-after-renamed-ai case of Appendix D)."""
+        if prim.sets_ca:
+            path.avail[regs.CA] = write_pos + 1
+            self.bump_gen(regs.CA)
+        if prim.sets_ov:
+            path.avail[regs.OV] = write_pos + 1
+            path.avail[regs.SO] = write_pos + 1
+            self.bump_gen(regs.OV)
+            self.bump_gen(regs.SO)
+
+    def _fact_after(self, path: Path, prim_op: PrimOp,
+                    src_locs: Tuple[int, ...], imm: Optional[int]
+                    ) -> Optional[tuple]:
+        """Combining fact describing the value just computed."""
+        if not self.options.combining:
+            return None
+        if prim_op == PrimOp.LIMM:
+            return ("const", imm)
+        if prim_op in _COMBINABLE:
+            if not src_locs:
+                return ("const", imm)
+            base = src_locs[0]
+            prior = self._valid_fact(path, base)
+            if prior is not None and prior[0] == "const" \
+                    and prim_op == PrimOp.ADDI:
+                return ("const", (prior[1] + imm) & 0xFFFFFFFF)
+            if prior is not None and prior[0] == "addi":
+                _, deeper_base, total, base_gen = prior
+                return ("addi", deeper_base, total + imm, base_gen)
+            return ("addi", base, imm, self.gen_of(base))
+        return None
+
+    def _valid_fact(self, path: Path, loc: int) -> Optional[tuple]:
+        fact = path.defs.get(loc)
+        if fact is None:
+            return None
+        if fact[0] == "addi":
+            _, base, _, base_gen = fact
+            if self.gen_of(base) != base_gen:
+                path.defs.pop(loc, None)
+                return None
+        return fact
+
+    def _copy_fact(self, path: Path, src_loc: int) -> Optional[tuple]:
+        """Fact for a MOVE/COMMIT destination: dest == src + 0."""
+        if not self.options.combining:
+            return None
+        prior = self._valid_fact(path, src_loc)
+        if prior is not None and prior[0] == "const":
+            return prior
+        return ("addi", src_loc, 0, self.gen_of(src_loc))
+
+    # ------------------------------------------------------------------
+    # Primitive scheduling
+    # ------------------------------------------------------------------
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def schedule_primitive(self, path: Path, prim: Primitive,
+                           seq: int) -> None:
+        """Schedule one primitive on ``path`` (DecodeAndScheduleOneInstr's
+        per-primitive work)."""
+        self.group.translation_cost += self.options.cost_per_primitive
+        if not path.positions:
+            self.open_new_vliw(path)
+
+        if prim.is_store:
+            self._schedule_store(path, prim, seq)
+        elif prim.is_load:
+            self._schedule_load(path, prim, seq)
+        elif prim.op in INORDER_ONLY_PRIMS or not self._is_renameable(prim.dest):
+            self._schedule_inorder_misc(path, prim, seq)
+        else:
+            self._schedule_value_op(path, prim, seq)
+
+    # -- general renameable value ops ----------------------------------------
+
+    def _schedule_value_op(self, path: Path, prim: Primitive,
+                           seq: int) -> None:
+        op_kind = prim.op
+        imm = prim.imm
+        ca_step: Optional[int] = None
+        src_locs = tuple(path.location_of(s) for s in prim.srcs)
+
+        # Combining: rebase addi/ai chains (transitively, onto the oldest
+        # still-valid base) and fold constants.
+        if self.options.combining and op_kind in _COMBINABLE \
+                and len(src_locs) == 1:
+            base = src_locs[0]
+            total = imm
+            rebased = False
+            for _ in range(64):   # chains cannot cycle; depth guard only
+                fact = self._valid_fact(path, base)
+                if fact is None:
+                    break
+                if fact[0] == "const":
+                    if op_kind == PrimOp.ADDI:
+                        op_kind = PrimOp.LIMM
+                        imm = (fact[1] + total) & 0xFFFFFFFF
+                        src_locs = ()
+                    break
+                _, deeper, fact_total, _gen = fact
+                base = deeper
+                total += fact_total
+                rebased = True
+            if rebased and src_locs:
+                if op_kind == PrimOp.AI:
+                    ca_step = imm
+                imm = total
+                src_locs = (base,)
+
+        fact = self._fact_after(path, op_kind, src_locs, imm)
+        ready = max((path.availability(loc) for loc in src_locs), default=0)
+        self._place_value_op(path, prim, op_kind, src_locs, imm, ca_step,
+                             fact, ready, seq)
+
+    def _place_value_op(self, path: Path, prim: Primitive, op_kind: PrimOp,
+                        src_locs: Tuple[int, ...], imm: Optional[int],
+                        ca_step: Optional[int], fact: Optional[tuple],
+                        ready: int, seq: int,
+                        is_mem_load: bool = False,
+                        allow_speculation: bool = True) -> None:
+        """Common placement logic for renameable-destination operations."""
+        while path.last_index < ready:
+            self.open_new_vliw(path)
+
+        pool = self._pool_for(prim.dest)
+        placed_pos: Optional[int] = None
+        renamed: Optional[int] = None
+        if self._is_renameable(prim.dest) and allow_speculation \
+                and (not is_mem_load or self.options.speculate_loads):
+            if prim.prefer_rename and ready >= path.last_index:
+                # Appendix D: force renaming of recurrence updates (ctr
+                # decrements) by extending the path so an out-of-order
+                # slot exists.
+                while path.last_index <= ready:
+                    self.open_new_vliw(path)
+            w = ready
+            while w < path.last_index:
+                info = self.info(path.positions[w].vliw)
+                resource_ok = (self._mem_ok(info, False) if is_mem_load
+                               else self._alu_ok(info))
+                if resource_ok:
+                    free = self._free_until_end(path, w, pool)
+                    if free:
+                        renamed = self._pick_register(free, pool)
+                        placed_pos = w
+                        break
+                w += 1
+
+        if placed_pos is not None and renamed is not None:
+            self._emit_out_of_order(path, prim, op_kind, src_locs, imm,
+                                    ca_step, fact, placed_pos, renamed,
+                                    pool, seq, is_mem_load)
+        else:
+            self._emit_in_order(path, prim, op_kind, src_locs, imm, ca_step,
+                                fact, seq, is_mem_load)
+
+    def _emit_out_of_order(self, path, prim, op_kind, src_locs, imm, ca_step,
+                           fact, w, renamed, pool, seq, is_mem_load) -> None:
+        pos = path.positions[w]
+        info = self.info(pos.vliw)
+        operation = Operation(op=op_kind, dest=renamed, srcs=src_locs,
+                              imm=imm, speculative=True,
+                              base_pc=prim.base_pc, completes=False, seq=seq,
+                              arch_dest=prim.dest, ca_step=ca_step)
+        pos.tip.ops.append(operation)
+        self.protect_reads(path, src_locs, w)
+        if is_mem_load:
+            info.mem += 1
+        else:
+            info.alu += 1
+        self._claim(path, renamed, w + 1, pool)
+        path.avail[renamed] = w + 1
+        self._note_write(path, renamed, fact)
+
+        # Commit in the last VLIW (or a new one if it is full).
+        if not self._alu_ok(self.info(path.last.vliw)):
+            self.open_new_vliw(path)
+        last_index = path.last_index
+        last = path.last
+        commit = Operation(op=PrimOp.COMMIT, dest=prim.dest, srcs=(renamed,),
+                           speculative=False, base_pc=prim.base_pc,
+                           completes=prim.completes, seq=seq,
+                           arch_dest=prim.dest,
+                           discharges=seq if is_mem_load else None)
+        last.tip.ops.append(commit)
+        self.info(last.vliw).alu += 1
+        self.group.translation_cost += self.options.cost_per_primitive
+
+        # Rename map: dest reads come from `renamed` until the commit.
+        for pos2 in path.positions[w + 1:]:
+            pos2.rename_map[prim.dest] = renamed
+        path.commit_pos[prim.dest] = last_index
+        path.avail[prim.dest] = last_index + 1
+        self._note_write(path, prim.dest, self._copy_fact(path, renamed))
+        self._note_xer_write(path, prim, last_index)
+
+    def _emit_in_order(self, path, prim, op_kind, src_locs, imm, ca_step,
+                       fact, seq, is_mem_load) -> None:
+        info = self.info(path.last.vliw)
+        resource_ok = (self._mem_ok(info, False) if is_mem_load
+                       else self._alu_ok(info))
+        if not resource_ok:
+            self.open_new_vliw(path)
+            info = self.info(path.last.vliw)
+        operation = Operation(op=op_kind, dest=prim.dest, srcs=src_locs,
+                              imm=imm, speculative=False,
+                              base_pc=prim.base_pc, completes=prim.completes,
+                              seq=seq, arch_dest=prim.dest, ca_step=ca_step)
+        path.last.tip.ops.append(operation)
+        self.protect_reads(path, src_locs, path.last_index)
+        if is_mem_load:
+            info.mem += 1
+        else:
+            info.alu += 1
+        last_index = path.last_index
+        if prim.dest is not None:
+            path.last.rename_map.pop(prim.dest, None)
+            path.commit_pos.pop(prim.dest, None)
+            path.avail[prim.dest] = last_index + 1
+            self._note_write(path, prim.dest, fact)
+        self._note_xer_write(path, prim, last_index)
+
+    # -- loads -----------------------------------------------------------------
+
+    def _schedule_load(self, path: Path, prim: Primitive, seq: int) -> None:
+        addr_locs = tuple(path.location_of(s) for s in prim.srcs)
+
+        if self.options.forward_stores:
+            forwarded = self._try_forward(path, prim, addr_locs, seq)
+            if forwarded:
+                return
+
+        ready = max((path.availability(loc) for loc in addr_locs), default=0)
+        # Loads never move above a store of the same base instruction:
+        # a CISC's internal byte order is architected (MVC overlap).
+        same_instruction_store = (seq == path.last_store_seq)
+        self._place_value_op(path, prim, prim.op, addr_locs, prim.imm,
+                             None, None, ready, seq, is_mem_load=True,
+                             allow_speculation=not same_instruction_store)
+
+    def _try_forward(self, path: Path, prim: Primitive,
+                     addr_locs: Tuple[int, ...], seq: int) -> bool:
+        """Must-alias forwarding: the load provably reads the latest
+        store's value -> replace with a register copy (Chapter 5)."""
+        sig = (addr_locs, prim.imm, prim.mem_width)
+        fact = path.store_facts.get(sig)
+        if fact is None:
+            return False
+        value_loc, value_gen, addr_gens = fact
+        if self.gen_of(value_loc) != value_gen:
+            return False
+        for loc, gen in zip(addr_locs, addr_gens):
+            if self.gen_of(loc) != gen:
+                return False
+        move = Primitive(PrimOp.MOVE, dest=prim.dest, srcs=(),
+                         base_pc=prim.base_pc, completes=prim.completes)
+        ready = path.availability(value_loc)
+        self._place_value_op(path, move, PrimOp.MOVE, (value_loc,), None,
+                             None, self._copy_fact(path, value_loc),
+                             ready, seq)
+        return True
+
+    # -- stores ------------------------------------------------------------------
+
+    def _schedule_store(self, path: Path, prim: Primitive, seq: int) -> None:
+        addr_locs = tuple(path.location_of(s) for s in prim.srcs)
+        value_loc = path.location_of(prim.value_src)
+        # Stores go in the last VLIW "or later, if dependent": their
+        # sources must be available at the VLIW's entry.
+        ready = max((path.availability(loc)
+                     for loc in addr_locs + (value_loc,)), default=0)
+        while path.last_index < ready:
+            self.open_new_vliw(path)
+        info = self.info(path.last.vliw)
+        if not self._mem_ok(info, True):
+            self.open_new_vliw(path)
+            info = self.info(path.last.vliw)
+        operation = Operation(op=prim.op, srcs=addr_locs, imm=prim.imm,
+                              value_src=value_loc, speculative=False,
+                              base_pc=prim.base_pc, completes=prim.completes,
+                              seq=seq)
+        path.last.tip.ops.append(operation)
+        info.mem += 1
+        info.stores += 1
+        path.last_store_seq = seq
+        self.protect_reads(path, addr_locs + (value_loc,), path.last_index)
+
+        if self.options.forward_stores:
+            # A store invalidates all other forwarding facts (it might
+            # alias them through different registers), then records its own.
+            sig = (addr_locs, prim.imm, prim.mem_width)
+            path.store_facts.clear()
+            path.store_facts[sig] = (
+                value_loc, self.gen_of(value_loc),
+                tuple(self.gen_of(loc) for loc in addr_locs))
+
+    # -- in-order specials ----------------------------------------------------------
+
+    def _schedule_inorder_misc(self, path: Path, prim: Primitive,
+                               seq: int) -> None:
+        src_locs = tuple(path.location_of(s) for s in prim.srcs)
+        ready = max((path.availability(loc) for loc in src_locs), default=0)
+        while path.last_index < ready:
+            self.open_new_vliw(path)
+        info = self.info(path.last.vliw)
+        if not self._alu_ok(info):
+            self.open_new_vliw(path)
+            info = self.info(path.last.vliw)
+        operation = Operation(op=prim.op, dest=prim.dest, srcs=src_locs,
+                              imm=prim.imm, speculative=False,
+                              base_pc=prim.base_pc, completes=prim.completes,
+                              seq=seq, arch_dest=prim.dest)
+        path.last.tip.ops.append(operation)
+        info.alu += 1
+        self.protect_reads(path, src_locs, path.last_index)
+        if prim.dest is not None:
+            path.last.rename_map.pop(prim.dest, None)
+            path.commit_pos.pop(prim.dest, None)
+            path.avail[prim.dest] = path.last_index + 1
+            self._note_write(path, prim.dest, None)
+        if prim.is_store or prim.op == PrimOp.SERVICE:
+            path.store_facts.clear()
+
+    # ------------------------------------------------------------------
+    # Conditional branches
+    # ------------------------------------------------------------------
+
+    _TEST_KINDS = {
+        BranchCond.TRUE: TestKind.CR_TRUE,
+        BranchCond.FALSE: TestKind.CR_FALSE,
+        BranchCond.DNZ: TestKind.REG_NZ,
+        BranchCond.DZ: TestKind.REG_Z,
+        BranchCond.DNZ_TRUE: TestKind.REG_NZ_CR_TRUE,
+        BranchCond.DNZ_FALSE: TestKind.REG_NZ_CR_FALSE,
+    }
+
+    def schedule_conditional(self, path: Path, branch: DecomposedBranch,
+                             base_pc: int, taken_prob: float
+                             ) -> Tuple[Path, Path]:
+        """Split the path at a conditional branch (ScheduleBranchCond).
+
+        Returns ``(fall_path, taken_path)``; the caller decides which to
+        keep open.  ``path`` itself becomes the fall-through path.
+        """
+        if not path.positions:
+            self.open_new_vliw(path)
+
+        test_locs = []
+        crf_loc = None
+        ctr_loc = None
+        if branch.cond in (BranchCond.TRUE, BranchCond.FALSE,
+                           BranchCond.DNZ_TRUE, BranchCond.DNZ_FALSE):
+            crf_loc = path.location_of(regs.crf(branch.bi >> 2))
+            test_locs.append(crf_loc)
+        if branch.decrements_ctr:
+            ctr_loc = path.location_of(regs.CTR)
+            test_locs.append(ctr_loc)
+
+        ready = max((path.availability(loc) for loc in test_locs), default=0)
+        v = max(ready, path.last_index)
+        while path.last_index < v:
+            self.open_new_vliw(path)
+        if not self._branch_ok(self.info(path.last.vliw)):
+            self.open_new_vliw(path)
+            # Re-resolve after opening a VLIW (maps may have dropped).
+            if crf_loc is not None:
+                crf_loc = path.location_of(regs.crf(branch.bi >> 2))
+            if ctr_loc is not None:
+                ctr_loc = path.location_of(regs.CTR)
+
+        tip = path.last.tip
+        info = self.info(path.last.vliw)
+        test = BranchTest(kind=self._TEST_KINDS[branch.cond], reg=ctr_loc,
+                          crf_reg=crf_loc, bit=branch.bi & 3, base_pc=base_pc)
+        taken_tip = Tip()
+        fall_tip = Tip()
+        tip.test = test
+        tip.taken = taken_tip
+        tip.fall = fall_tip
+        info.branches += 1
+        self.group.translation_cost += self.options.cost_per_primitive
+        self.protect_reads(path, [crf_loc, ctr_loc], path.last_index)
+
+        taken = path.clone(branch.target, prob=path.prob * taken_prob)
+        taken.positions[-1].tip = taken_tip
+        path.positions[-1].tip = fall_tip
+        path.prob *= (1.0 - taken_prob)
+        path.continuation = branch.fallthrough
+        return path, taken
+
+    # ------------------------------------------------------------------
+    # Path closing
+    # ------------------------------------------------------------------
+
+    def close_path(self, path: Path, exit_: Exit) -> None:
+        """Seal the path's last open tip with ``exit_``."""
+        if not path.positions:
+            self.open_new_vliw(path)
+        tip = path.last.tip
+        if tip.exit is not None or tip.test is not None:
+            raise SimulationError("closing a tip that is not open")
+        tip.exit = exit_
+        path.continuation = None
+
+    def resolve(self, path: Path, arch_reg: int) -> int:
+        """Current location of an architected register on ``path``
+        (used when emitting indirect exits)."""
+        return path.location_of(arch_reg)

@@ -1,0 +1,142 @@
+"""Page-level translation: TranslateOneEntry and the page worklist.
+
+A :class:`PageTranslation` is the VMM-side record for one base
+architecture page: the groups translated for each valid entry offset, the
+code-size accounting used by the cast-out policy, and the simulated
+addresses of the VLIWs (which drive the instruction-cache model).
+
+Translation follows Figure 2.1: translating one entry discovers secondary
+entry points (closed continuations, branch targets beyond the stopping
+rules); those are translated in turn until the worklist drains.  Runtime
+later discovers more entries (computed branches, returns) — the VMM calls
+:meth:`PageTranslation.ensure_entry` then, mirroring the "invalid entry
+point" exception of Section 3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction
+from repro.core.group import GroupBuilder
+from repro.core.options import TranslationOptions
+from repro.vliw.machine import MachineConfig
+from repro.vliw.tree import VliwGroup
+
+
+@dataclass
+class PageTranslation:
+    """Translated-code record for one base page."""
+
+    page_vaddr: int                    # base virtual address of the page
+    page_paddr: int                    # base physical address of the page
+    page_size: int
+    #: Simulated VLIW-memory address where this page's translation lives.
+    code_base: int = 0
+    entries: Dict[int, VliwGroup] = field(default_factory=dict)
+    code_size: int = 0
+    #: VLIW real memory reserved for this translation.  Under the fixed
+    #: N-times expansion mapping this is rounded up to whole N*page
+    #: areas ("empty wasted space on pages due to the 4X fixed
+    #: expansion"); under the hash-table mapping it equals the actual
+    #: code size (Chapter 3's two alternatives).
+    reserved_bytes: int = 0
+    translation_cost: int = 0
+    base_instructions_translated: int = 0
+    #: Number of times entries were (re)translated for this page.
+    translations_performed: int = 0
+
+    def has_entry(self, offset: int) -> bool:
+        return offset in self.entries
+
+    def group_at(self, offset: int) -> Optional[VliwGroup]:
+        return self.entries.get(offset)
+
+
+class PageTranslator:
+    """Creates and extends page translations (the VMM's compiler side)."""
+
+    def __init__(self, fetch_word: Callable[[int], int],
+                 config: MachineConfig, options: TranslationOptions):
+        """``fetch_word`` maps a base *virtual* address to the 32-bit
+        instruction word (through the base page tables)."""
+        self.fetch_word = fetch_word
+        self.config = config
+        self.options = options
+        #: Aggregate statistics across all translations ever performed.
+        self.total_entries_translated = 0
+        self.total_base_instructions = 0
+        self.total_cost = 0
+
+    # ------------------------------------------------------------------
+
+    def _fetch_instruction(self, pc: int) -> Instruction:
+        return decode(self.fetch_word(pc))
+
+    def new_translation(self, page_vaddr: int, page_paddr: int,
+                        code_base: int) -> PageTranslation:
+        return PageTranslation(page_vaddr=page_vaddr, page_paddr=page_paddr,
+                               page_size=self.options.page_size,
+                               code_base=code_base)
+
+    def ensure_entry(self, translation: PageTranslation,
+                     entry_pc: int) -> VliwGroup:
+        """Return the group for ``entry_pc``, translating it (and any
+        secondary entries it discovers) if needed."""
+        # Entries are keyed by page offset so virtual aliases of the same
+        # physical page share translations (page-aligned mappings).
+        offset = entry_pc % translation.page_size
+        existing = translation.entries.get(offset)
+        if existing is not None:
+            return existing
+
+        page_base = entry_pc - offset
+        worklist: List[int] = [entry_pc]
+        pending: Set[int] = {entry_pc}
+        first_group: Optional[VliwGroup] = None
+        while worklist:
+            pc = worklist.pop(0)
+            off = pc % translation.page_size
+            if off in translation.entries:
+                continue
+
+            def add_to_worklist(target_pc: int) -> None:
+                if not page_base <= target_pc < page_base + translation.page_size:
+                    return
+                t_off = target_pc % translation.page_size
+                if t_off in translation.entries or target_pc in pending:
+                    return
+                pending.add(target_pc)
+                worklist.append(target_pc)
+
+            builder = GroupBuilder(pc, self._fetch_instruction, self.config,
+                                   self.options, add_to_worklist)
+            group = builder.build()
+            self._layout(translation, group)
+            translation.entries[off] = group
+            translation.translations_performed += 1
+            translation.code_size += group.code_size()
+            translation.translation_cost += group.translation_cost
+            translation.base_instructions_translated += group.base_instructions
+            self.total_entries_translated += 1
+            self.total_base_instructions += group.base_instructions
+            self.total_cost += group.translation_cost
+            if first_group is None and pc == entry_pc:
+                first_group = group
+
+        result = translation.entries.get(offset)
+        assert result is not None
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _layout(self, translation: PageTranslation,
+                group: VliwGroup) -> None:
+        """Assign simulated VLIW-memory addresses (sequential layout in
+        the page's translated-code area, Section 3.4)."""
+        cursor = translation.code_base + translation.code_size
+        for vliw in group.vliws:
+            vliw.address = cursor
+            cursor += vliw.size_bytes()

@@ -1,0 +1,93 @@
+"""Fault and exception types shared across the base architecture and VMM.
+
+The paper distinguishes *base architecture* exceptions (page faults,
+illegal instructions, external interrupts — delivered to the unmodified
+base operating system by the VMM, Section 3.3) from *VMM-internal*
+exceptions (translation missing, invalid entry point, code modification —
+handled entirely inside the VMM, Sections 3.1-3.4).  This module defines
+the base-architecture side plus the simulator-control exceptions; the
+VMM-internal ones live in ``repro.vmm.exceptions``.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Internal inconsistency in the simulator itself (a bug, not a
+    modelled architectural event)."""
+
+
+class BaseArchFault(Exception):
+    """An exception architected in the base architecture.
+
+    ``vector`` is the base-architecture real address of the first-level
+    interrupt handler (PowerPC convention: 0x300 storage, 0x400
+    instruction storage, 0x700 program, 0xC00 system call).
+    """
+
+    vector = 0x700
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.__class__.__name__)
+
+
+class DataStorageFault(BaseArchFault):
+    """Data page fault / protection violation (PowerPC DSI, vector 0x300)."""
+
+    vector = 0x300
+
+    def __init__(self, address: int, is_store: bool = False):
+        super().__init__(f"data storage fault at {address:#x}")
+        self.address = address
+        self.is_store = is_store
+
+
+class InstructionStorageFault(BaseArchFault):
+    """Instruction fetch page fault (PowerPC ISI, vector 0x400)."""
+
+    vector = 0x400
+
+    def __init__(self, address: int):
+        super().__init__(f"instruction storage fault at {address:#x}")
+        self.address = address
+
+
+class ProgramFault(BaseArchFault):
+    """Illegal instruction / privileged-op-in-user-state (vector 0x700)."""
+
+    vector = 0x700
+
+    def __init__(self, address: int, reason: str):
+        super().__init__(f"program fault at {address:#x}: {reason}")
+        self.address = address
+        self.reason = reason
+
+
+class AlignmentFault(BaseArchFault):
+    """Unaligned access where the implementation requires alignment."""
+
+    vector = 0x600
+
+    def __init__(self, address: int):
+        super().__init__(f"alignment fault at {address:#x}")
+        self.address = address
+
+
+class SystemCallFault(BaseArchFault):
+    """``sc`` executed (vector 0xC00); normally intercepted as an
+    emulator service per the paper's methodology (kernel routines are not
+    simulated; Chapter 5)."""
+
+    vector = 0xC00
+
+
+class ProgramExit(Exception):
+    """The emulated program requested termination via the exit service."""
+
+    def __init__(self, code: int = 0):
+        super().__init__(f"program exited with code {code}")
+        self.code = code
+
+
+class InstructionBudgetExceeded(Exception):
+    """Safety valve: the run exceeded its instruction/cycle budget."""

@@ -1,0 +1,23 @@
+"""Multi-architecture front ends (Appendix E, Section 2.2).
+
+DAISY's primitives are meant to serve several base architectures: the
+paper shows S/390 and x86 fragments cracked into the same RISC
+primitives and parallelized by the same scheduler.  These mini front
+ends reproduce that demonstration: each models the subset of its
+architecture the appendix exercises — three-input address arithmetic,
+S/390 condition codes in a condition field, the 24/31-bit address mask,
+x86 descriptor lookups and stack operations — and hands the primitives
+to the unmodified DAISY scheduler.
+"""
+
+from repro.frontends.common import (
+    ForeignProgram,
+    FragmentInstruction,
+    run_foreign,
+    schedule_fragment,
+    translate_foreign,
+)
+from repro.frontends import s390, x86
+
+__all__ = ["ForeignProgram", "FragmentInstruction", "run_foreign",
+           "schedule_fragment", "translate_foreign", "s390", "x86"]

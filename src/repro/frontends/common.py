@@ -1,0 +1,250 @@
+"""Scheduling pre-cracked instruction fragments.
+
+The Appendix E examples are straight-line-with-exits fragments: each
+foreign instruction cracks to RISC primitives plus an optional
+conditional exit.  ``schedule_fragment`` drives the real DAISY scheduler
+over such a fragment and reports the parallelization the appendix quotes
+(e.g. "25 390 instructions in 4 VLIWs = 6.25 S/390 instructions per
+VLIW").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.options import TranslationOptions
+from repro.core.paths import Path
+from repro.core.scheduler import Scheduler
+from repro.isa.instructions import BranchCond
+from repro.primitives.decompose import DecomposedBranch, BranchKind
+from repro.primitives.ops import Primitive
+from repro.vliw.machine import MachineConfig
+from repro.vliw.tree import Exit, ExitKind, VliwGroup
+
+
+@dataclass
+class FragmentInstruction:
+    """One foreign instruction: its primitives plus an optional
+    conditional side exit (test on a condition-field bit)."""
+
+    mnemonic: str
+    prims: List[Primitive] = field(default_factory=list)
+    #: (BranchCond.TRUE/FALSE, bi, display-target) — a conditional exit.
+    cond_exit: Optional[Tuple[BranchCond, int, str]] = None
+    #: Unconditional end of fragment after this instruction.
+    ends_fragment: bool = False
+    #: For :class:`ForeignProgram`: a conditional branch to a local
+    #: label (instead of an exit) — (BranchCond, bi, label).
+    cond_branch: Optional[Tuple[BranchCond, int, str]] = None
+    #: Unconditional branch to a local label.
+    goto: Optional[str] = None
+
+
+@dataclass
+class FragmentResult:
+    group: VliwGroup
+    instructions: int
+    vliws: int
+
+    @property
+    def instructions_per_vliw(self) -> float:
+        return self.instructions / self.vliws if self.vliws else 0.0
+
+    def render(self) -> str:
+        return self.group.render()
+
+
+def schedule_fragment(instructions: List[FragmentInstruction],
+                      config: Optional[MachineConfig] = None,
+                      options: Optional[TranslationOptions] = None
+                      ) -> FragmentResult:
+    """Schedule a fragment along its main path (side exits close
+    immediately, as the appendix's lettered paths do)."""
+    config = config or MachineConfig.default()
+    options = options or TranslationOptions()
+    group = VliwGroup(entry_pc=0)
+    scheduler = Scheduler(group, config, options)
+    path = Path(continuation=0, prob=1.0)
+    scheduler.open_new_vliw(path)
+
+    fake_pc = 0
+    for instr in instructions:
+        seq = scheduler.next_seq()
+        for prim in instr.prims:
+            prim.base_pc = fake_pc
+            scheduler.schedule_primitive(path, prim, seq)
+        if instr.cond_exit is not None:
+            cond, bi, target = instr.cond_exit
+            branch = DecomposedBranch(
+                BranchKind.CONDITIONAL, target=1 << 30,
+                fallthrough=fake_pc + 4, cond=cond, bi=bi)
+            path, taken = scheduler.schedule_conditional(
+                path, branch, fake_pc, taken_prob=0.3)
+            scheduler.close_path(taken, Exit(
+                ExitKind.OFFPAGE, target=1 << 30, completes=False,
+                base_pc=fake_pc))
+        fake_pc += 4
+        group.base_instructions += 1
+        if instr.ends_fragment:
+            break
+
+    if path.continuation is not None:
+        scheduler.close_path(path, Exit(ExitKind.OFFPAGE, target=fake_pc,
+                                        completes=False, base_pc=fake_pc))
+    return FragmentResult(group=group,
+                          instructions=len(instructions),
+                          vliws=len(group.vliws))
+
+
+# ---------------------------------------------------------------------------
+# Full foreign programs: labels, loops, joins — through the real
+# GroupBuilder (the builder is ISA-agnostic via its cracker interface).
+# ---------------------------------------------------------------------------
+
+class ForeignProgram:
+    """A foreign-ISA program with local control flow.
+
+    Instructions occupy synthetic pcs 0, 4, 8, ... on a single
+    translation page; labels name instruction indices.  ``cracker``
+    adapts the program to :class:`~repro.core.group.GroupBuilder`, so
+    the full DAISY machinery (multipath scheduling, unrolling, combining,
+    secondary entries) applies to S/390 or x86 code unchanged.
+    """
+
+    EXIT_PC = 1 << 20   # off-page pc used as the program's exit target
+
+    def __init__(self):
+        self.instructions: List[FragmentInstruction] = []
+        self.labels: dict = {}
+
+    def label(self, name: str) -> "ForeignProgram":
+        self.labels[name] = 4 * len(self.instructions)
+        return self
+
+    def add(self, *instructions: FragmentInstruction) -> "ForeignProgram":
+        self.instructions.extend(instructions)
+        return self
+
+    def _target(self, label: str) -> int:
+        return self.labels[label]
+
+    def cracker(self):
+        from repro.isa.encoding import DecodeError
+        from repro.primitives.decompose import BranchKind, DecomposedBranch
+
+        def crack(pc: int):
+            index = pc // 4
+            if pc % 4 or not 0 <= index < len(self.instructions):
+                raise DecodeError(f"foreign pc out of range: {pc:#x}")
+            instr = self.instructions[index]
+            prims = [
+                Primitive(p.op, dest=p.dest, srcs=p.srcs, imm=p.imm,
+                          value_src=p.value_src, base_pc=pc,
+                          completes=p.completes,
+                          prefer_rename=p.prefer_rename)
+                for p in instr.prims
+            ]
+            branch = None
+            if instr.cond_branch is not None:
+                cond, bi, label = instr.cond_branch
+                branch = DecomposedBranch(
+                    BranchKind.CONDITIONAL, target=self._target(label),
+                    fallthrough=pc + 4, cond=cond, bi=bi)
+            elif instr.cond_exit is not None:
+                cond, bi, _ = instr.cond_exit
+                branch = DecomposedBranch(
+                    BranchKind.CONDITIONAL, target=self.EXIT_PC,
+                    fallthrough=pc + 4, cond=cond, bi=bi)
+            elif instr.goto is not None:
+                branch = DecomposedBranch(
+                    BranchKind.DIRECT, target=self._target(instr.goto))
+            elif instr.ends_fragment \
+                    or index == len(self.instructions) - 1:
+                branch = DecomposedBranch(BranchKind.DIRECT,
+                                          target=self.EXIT_PC)
+            return prims, branch
+
+        return crack
+
+
+@dataclass
+class ForeignTranslation:
+    """Translated groups per entry pc for one :class:`ForeignProgram`."""
+
+    program: ForeignProgram
+    entries: dict
+    config: MachineConfig
+    options: TranslationOptions
+
+    @property
+    def total_vliws(self) -> int:
+        return sum(len(g.vliws) for g in self.entries.values())
+
+
+def translate_foreign(program: ForeignProgram,
+                      config: Optional[MachineConfig] = None,
+                      options: Optional[TranslationOptions] = None
+                      ) -> ForeignTranslation:
+    """Translate a foreign program from pc 0, following secondary
+    entries (the per-page worklist of TranslateOneEntry)."""
+    from repro.core.group import GroupBuilder
+    config = config or MachineConfig.default()
+    # A generous single "page" holds the whole fragment program.
+    options = options or TranslationOptions()
+    if options.page_size < ForeignProgram.EXIT_PC:
+        from dataclasses import replace
+        options = replace(options, page_size=ForeignProgram.EXIT_PC)
+    crack = program.cracker()
+    entries: dict = {}
+    worklist = [0]
+    pending = {0}
+    while worklist:
+        pc = worklist.pop(0)
+        if pc in entries:
+            continue
+
+        def add(target_pc: int) -> None:
+            if target_pc < ForeignProgram.EXIT_PC \
+                    and target_pc not in entries \
+                    and target_pc not in pending:
+                pending.add(target_pc)
+                worklist.append(target_pc)
+
+        builder = GroupBuilder(pc, None, config, options,
+                               worklist_add=add, crack=crack)
+        entries[pc] = builder.build()
+    return ForeignTranslation(program=program, entries=entries,
+                              config=config, options=options)
+
+
+def run_foreign(translation: ForeignTranslation, engine,
+                max_vliws: int = 200_000) -> int:
+    """Execute a translated foreign program on a
+    :class:`~repro.vliw.engine.VliwEngine`; returns the exit target."""
+    from repro.faults import InstructionBudgetExceeded
+    from repro.vliw.engine import ExitReason
+    pc = 0
+    while True:
+        if engine.stats.vliws > max_vliws:
+            raise InstructionBudgetExceeded(f"exceeded {max_vliws} VLIWs")
+        group = translation.entries.get(pc)
+        if group is None:
+            # Runtime-discovered entry (computed/asymmetric control flow).
+            crack = translation.program.cracker()
+            from repro.core.group import GroupBuilder
+            builder = GroupBuilder(pc, None, translation.config,
+                                   translation.options, crack=crack)
+            group = builder.build()
+            translation.entries[pc] = group
+        exit_ = engine.run_group(group)
+        if exit_.reason in (ExitReason.ENTRY, ExitReason.ALIAS,
+                            ExitReason.RETRANSLATE):
+            pc = exit_.target
+            continue
+        if exit_.reason == ExitReason.OFFPAGE:
+            if exit_.target >= ForeignProgram.EXIT_PC:
+                return exit_.target
+            pc = exit_.target
+            continue
+        return exit_.target

@@ -1,0 +1,399 @@
+"""S/390 mini front end (Appendix E.1/E.2, Section 2.2).
+
+Cracks a subset of S/390 into DAISY primitives:
+
+* base+index+displacement addressing uses the *three-input add* the
+  paper lists as a commonality requirement (a memory primitive's address
+  is the sum of its source registers plus the displacement);
+* ``LA`` applies the 24/31-bit *effective address mask* register;
+* the condition code is a DAISY condition field, renameable like any
+  other (cr0 plays the S/390 CC);
+* supervisor operations (``LCTL``) emit TRAP_PRIV + STORE-REAL-style
+  accesses to the VMM's control-register area.
+
+The goal mirrors the appendix: show the unmodified scheduler
+parallelizing S/390 code (their fragment: 25 instructions in 4 VLIWs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.isa import registers as regs
+from repro.isa.instructions import BranchCond
+from repro.frontends.common import FragmentInstruction
+from repro.primitives.ops import PrimOp, Primitive
+
+#: S/390 GPRs map directly onto flat GPR indices.
+#: The effective-address mask lives in a scratch-visible architected
+#: register by convention (r28), the VMM real-area pointer in r29.
+EAMASK_REG = regs.gpr(28)
+RRA_REG = regs.gpr(29)
+
+#: S/390 condition code lives in cr0.
+CC = regs.crf(0)
+
+
+def _addr(base: int, index: int = 0) -> Tuple[int, ...]:
+    srcs = ()
+    if base:
+        srcs += (regs.gpr(base),)
+    if index:
+        srcs += (regs.gpr(index),)
+    return srcs
+
+
+def l(rt: int, disp: int, base: int = 0, index: int = 0
+      ) -> FragmentInstruction:
+    """L/LX: load word, base+index+displacement (three-input add)."""
+    return FragmentInstruction("l", [Primitive(
+        PrimOp.LD4, dest=regs.gpr(rt), srcs=_addr(base, index), imm=disp,
+        completes=True)])
+
+
+def lh(rt: int, disp: int, base: int = 0) -> FragmentInstruction:
+    return FragmentInstruction("lh", [Primitive(
+        PrimOp.LD2, dest=regs.gpr(rt), srcs=_addr(base), imm=disp,
+        completes=True)])
+
+
+def st(rs: int, disp: int, base: int = 0, index: int = 0
+       ) -> FragmentInstruction:
+    return FragmentInstruction("st", [Primitive(
+        PrimOp.ST4, srcs=_addr(base, index), imm=disp,
+        value_src=regs.gpr(rs), completes=True)])
+
+
+def stc(rs: int, disp: int, base: int = 0, index: int = 0
+        ) -> FragmentInstruction:
+    """STC: store character (one byte)."""
+    return FragmentInstruction("stc", [Primitive(
+        PrimOp.ST1, srcs=_addr(base, index), imm=disp,
+        value_src=regs.gpr(rs), completes=True)])
+
+
+def mvi(disp: int, base: int, value: int) -> FragmentInstruction:
+    """MVI: move immediate byte to storage — cracks to li + stb."""
+    scratch = regs.gpr(27)
+    return FragmentInstruction("mvi", [
+        Primitive(PrimOp.LIMM, dest=scratch, imm=value),
+        Primitive(PrimOp.ST1, srcs=_addr(base), imm=disp,
+                  value_src=scratch, completes=True),
+    ])
+
+
+def la(rt: int, disp: int, base: int = 0, index: int = 0
+       ) -> FragmentInstruction:
+    """LA: load address, AND'ed with the address-mask register (the
+    24/31-bit mode support of Section 2.2)."""
+    return FragmentInstruction("la", [
+        Primitive(PrimOp.ADDI, dest=regs.gpr(rt), srcs=_addr(base, index),
+                  imm=disp),
+        Primitive(PrimOp.AND, dest=regs.gpr(rt),
+                  srcs=(regs.gpr(rt), EAMASK_REG), completes=True),
+    ])
+
+
+def lr(rt: int, ra: int) -> FragmentInstruction:
+    return FragmentInstruction("lr", [Primitive(
+        PrimOp.MOVE, dest=regs.gpr(rt), srcs=(regs.gpr(ra),),
+        completes=True)])
+
+
+def ltr(rt: int, ra: int) -> FragmentInstruction:
+    """LTR: load and test — sets the condition code."""
+    return FragmentInstruction("ltr", [
+        Primitive(PrimOp.MOVE, dest=regs.gpr(rt), srcs=(regs.gpr(ra),)),
+        Primitive(PrimOp.CMPI_S, dest=CC,
+                  srcs=(regs.gpr(rt), regs.SO), imm=0, completes=True),
+    ])
+
+
+def ar(rt: int, ra: int) -> FragmentInstruction:
+    return FragmentInstruction("ar", [
+        Primitive(PrimOp.ADD, dest=regs.gpr(rt),
+                  srcs=(regs.gpr(rt), regs.gpr(ra))),
+        Primitive(PrimOp.CMPI_S, dest=CC,
+                  srcs=(regs.gpr(rt), regs.SO), imm=0, completes=True),
+    ])
+
+
+def basr(rt: int) -> FragmentInstruction:
+    """BASR r,0: save the (virtual) next address — the appendix cracks
+    this to an la off the current-page register."""
+    return FragmentInstruction("basr", [Primitive(
+        PrimOp.LIMM, dest=regs.gpr(rt), imm=0x9DA, completes=True)])
+
+
+def cli(disp: int, base: int, value: int) -> FragmentInstruction:
+    """CLI: compare logical immediate with a storage byte."""
+    scratch = regs.gpr(27)
+    return FragmentInstruction("cli", [
+        Primitive(PrimOp.LD1, dest=scratch, srcs=_addr(base), imm=disp),
+        Primitive(PrimOp.CMPI_U, dest=CC, srcs=(scratch, regs.SO),
+                  imm=value, completes=True),
+    ])
+
+
+def ch(rs: int, disp: int, base: int = 0) -> FragmentInstruction:
+    """CH: compare halfword from storage."""
+    scratch = regs.gpr(27)
+    return FragmentInstruction("ch", [
+        Primitive(PrimOp.LD2, dest=scratch, srcs=_addr(base), imm=disp),
+        Primitive(PrimOp.CMP_S, dest=CC,
+                  srcs=(regs.gpr(rs), scratch, regs.SO), completes=True),
+    ])
+
+
+def tm(disp: int, base: int, mask: int) -> FragmentInstruction:
+    """TM: test under mask — sets the condition code from a byte AND."""
+    scratch = regs.gpr(27)
+    return FragmentInstruction("tm", [
+        Primitive(PrimOp.LD1, dest=scratch, srcs=_addr(base), imm=disp),
+        Primitive(PrimOp.ANDI, dest=scratch, srcs=(scratch,), imm=mask),
+        Primitive(PrimOp.CMPI_U, dest=CC, srcs=(scratch, regs.SO),
+                  imm=0, completes=True),
+    ])
+
+
+def lctl(disp: int, base: int) -> FragmentInstruction:
+    """LCTL (one register): privileged — trap check, load, store to the
+    VMM's control-register area via the real-area pointer."""
+    scratch = regs.gpr(27)
+    return FragmentInstruction("lctl", [
+        Primitive(PrimOp.LD4, dest=scratch, srcs=_addr(base), imm=disp),
+        Primitive(PrimOp.TRAP_PRIV, srcs=(regs.MSR,)),
+        Primitive(PrimOp.ST4, srcs=(RRA_REG,), imm=0x180,
+                  value_src=scratch, completes=True),
+    ])
+
+
+def mc() -> FragmentInstruction:
+    """MC: monitor call — load the monitor-mask control register from
+    the VMM area, test the class bit, trap if enabled."""
+    scratch = regs.gpr(27)
+    scratch2 = regs.gpr(26)
+    return FragmentInstruction("mc", [
+        Primitive(PrimOp.LD4, dest=scratch, srcs=(RRA_REG,), imm=0x1A0),
+        Primitive(PrimOp.ANDI, dest=scratch2, srcs=(scratch,), imm=256),
+        Primitive(PrimOp.CMPI_U, dest=CC, srcs=(scratch2, regs.SO),
+                  imm=0, completes=True),
+    ])
+
+
+def lhi(rt: int, value: int) -> FragmentInstruction:
+    """LHI: load halfword immediate."""
+    return FragmentInstruction("lhi", [Primitive(
+        PrimOp.LIMM, dest=regs.gpr(rt), imm=value & 0xFFFF,
+        completes=True)])
+
+
+def ahi(rt: int, value: int) -> FragmentInstruction:
+    """AHI: add halfword immediate, setting the condition code."""
+    return FragmentInstruction("ahi", [
+        Primitive(PrimOp.ADDI, dest=regs.gpr(rt), srcs=(regs.gpr(rt),),
+                  imm=value),
+        Primitive(PrimOp.CMPI_S, dest=CC, srcs=(regs.gpr(rt), regs.SO),
+                  imm=0, completes=True),
+    ])
+
+
+def _rr_logical(name: str, op: PrimOp):
+    def make(rt: int, ra: int) -> FragmentInstruction:
+        return FragmentInstruction(name, [
+            Primitive(op, dest=regs.gpr(rt),
+                      srcs=(regs.gpr(rt), regs.gpr(ra))),
+            Primitive(PrimOp.CMPI_S, dest=CC,
+                      srcs=(regs.gpr(rt), regs.SO), imm=0, completes=True),
+        ])
+    return make
+
+
+nr = _rr_logical("nr", PrimOp.AND)
+or_ = _rr_logical("or", PrimOp.OR)
+xr = _rr_logical("xr", PrimOp.XOR)
+
+
+def sll(rt: int, amount: int) -> FragmentInstruction:
+    return FragmentInstruction("sll", [Primitive(
+        PrimOp.SLLI, dest=regs.gpr(rt), srcs=(regs.gpr(rt),),
+        imm=amount & 0x1F, completes=True)])
+
+
+def srl(rt: int, amount: int) -> FragmentInstruction:
+    return FragmentInstruction("srl", [Primitive(
+        PrimOp.SRLI, dest=regs.gpr(rt), srcs=(regs.gpr(rt),),
+        imm=amount & 0x1F, completes=True)])
+
+
+def ic(rt: int, disp: int, base: int = 0) -> FragmentInstruction:
+    """IC: insert character — byte into the low 8 bits, rest preserved."""
+    scratch = regs.gpr(27)
+    return FragmentInstruction("ic", [
+        Primitive(PrimOp.LD1, dest=scratch, srcs=_addr(base), imm=disp),
+        Primitive(PrimOp.ANDI, dest=regs.gpr(rt), srcs=(regs.gpr(rt),),
+                  imm=0x3F00),   # clear the low byte (14-bit mask form)
+        Primitive(PrimOp.OR, dest=regs.gpr(rt),
+                  srcs=(regs.gpr(rt), scratch), completes=True),
+    ])
+
+
+def lcr(rt: int, ra: int) -> FragmentInstruction:
+    """LCR: load complement, setting the condition code."""
+    return FragmentInstruction("lcr", [
+        Primitive(PrimOp.NEG, dest=regs.gpr(rt), srcs=(regs.gpr(ra),)),
+        Primitive(PrimOp.CMPI_S, dest=CC, srcs=(regs.gpr(rt), regs.SO),
+                  imm=0, completes=True),
+    ])
+
+
+def sth(rs: int, disp: int, base: int = 0) -> FragmentInstruction:
+    return FragmentInstruction("sth", [Primitive(
+        PrimOp.ST2, srcs=_addr(base), imm=disp,
+        value_src=regs.gpr(rs), completes=True)])
+
+
+def cl(rs: int, disp: int, base: int = 0) -> FragmentInstruction:
+    """CL: compare logical with a storage word."""
+    scratch = regs.gpr(27)
+    return FragmentInstruction("cl", [
+        Primitive(PrimOp.LD4, dest=scratch, srcs=_addr(base), imm=disp),
+        Primitive(PrimOp.CMP_U, dest=CC,
+                  srcs=(regs.gpr(rs), scratch, regs.SO), completes=True),
+    ])
+
+
+def mvc(dst_disp: int, dst_base: int, src_disp: int, src_base: int,
+        length: int) -> FragmentInstruction:
+    """MVC: move characters, with the Section 3.6 restart protocol.
+
+    "An S/390 MVC instruction has to touch the upper end of the memory
+    operands first, before starting the move from the lower end" — so a
+    page fault fires before the instruction has any side effects, and
+    the OS can restart it from scratch.  The crack emits the two touch
+    loads first, then the byte moves."""
+    if not 1 <= length <= 16:
+        raise ValueError("demo mvc supports 1..16 bytes")
+    scratch = regs.gpr(27)
+    prims = [
+        # Pre-test both operands' upper ends (may fault; no side
+        # effects have happened yet).
+        Primitive(PrimOp.LD1, dest=scratch, srcs=_addr(src_base),
+                  imm=src_disp + length - 1),
+        Primitive(PrimOp.LD1, dest=scratch, srcs=_addr(dst_base),
+                  imm=dst_disp + length - 1),
+    ]
+    for offset in range(length):
+        prims.append(Primitive(PrimOp.LD1, dest=scratch,
+                               srcs=_addr(src_base),
+                               imm=src_disp + offset))
+        prims.append(Primitive(PrimOp.ST1, srcs=_addr(dst_base),
+                               imm=dst_disp + offset,
+                               value_src=scratch))
+    prims[-1].completes = True
+    return FragmentInstruction("mvc", prims)
+
+
+def bct(reg: int, label: str) -> FragmentInstruction:
+    """BCT: branch on count — decrement, branch while nonzero.  The
+    decrement prefers renaming (the Appendix D treatment, applied to a
+    general register); the zero test goes through the frontend's scratch
+    condition field cr7."""
+    scratch_cc = regs.crf(7)
+    instr = FragmentInstruction("bct", [
+        Primitive(PrimOp.ADDI, dest=regs.gpr(reg), srcs=(regs.gpr(reg),),
+                  imm=-1, prefer_rename=True),
+        Primitive(PrimOp.CMPI_S, dest=scratch_cc,
+                  srcs=(regs.gpr(reg), regs.SO), imm=0),
+    ])
+    instr.cond_branch = (BranchCond.FALSE, 7 * 4 + 2, label)  # != 0
+    return instr
+
+
+def counted_loop_program(iterations: int) -> "ForeignProgram":
+    """An S/390 counted loop: sum `iterations` words via L/AR/LA/BCT —
+    the loop shape the appendix's systems code lives in."""
+    from repro.frontends.common import ForeignProgram
+    program = ForeignProgram()
+    program.add(
+        lhi(2, 0),               # sum
+        lhi(3, iterations),      # count
+        lhi(4, 0x100),           # cursor
+    )
+    program.label("loop")
+    program.add(
+        l(5, 0, base=4),         # load word
+        ar(2, 5),                # sum += word
+        la(4, 4, base=4),        # cursor += 4 (masked)
+        bct(3, "loop"),
+    )
+    program.add(st(2, 0x80))     # store the sum
+    return program
+
+
+def bc_exit(cond: BranchCond, target: str) -> FragmentInstruction:
+    """BC: conditional branch out of the fragment on a CC bit.  S/390
+    CC 'equal' maps to the field's EQ bit."""
+    return FragmentInstruction("bc", [], cond_exit=(cond, 2, target))
+
+
+def bcr_nop() -> FragmentInstruction:
+    """BCR 15,0: used as a serialization no-op (the appendix assumes a
+    strongly consistent memory system and emits nop)."""
+    return FragmentInstruction("bcr", [Primitive(PrimOp.NOP,
+                                                 completes=True)])
+
+
+def appendix_fragment() -> List[FragmentInstruction]:
+    """The Appendix E.1 S/390 fragment (instructions A..X)."""
+    return [
+        l(10, 2892),                      # A
+        lh(2, 118),                       # B
+        mvi(552, 0, 4),                   # C
+        stc(2, 288, base=10, index=2),    # D: three-input address
+        basr(9),                          # E
+        l(9, 1434, base=9),               # F
+        la(6, 4095, base=9),              # G: address mask applied
+        l(5, 520),                        # H
+        lctl(36, 5),                      # I: privileged
+        l(7, 528),                        # J
+        l(8, 548),                        # K
+        bcr_nop(),                        # L
+        l(0, 28, base=10),                # M
+        ltr(0, 0),                        # N (paper: LTR R0,R0)
+        bc_exit(BranchCond.FALSE, "L1A30"),   # N': BNE L1A30
+        mc(),                             # O
+        tm(114, 8, 8),                    # P
+        bc_exit(BranchCond.TRUE, "L13AA"),    # Q: BZ
+        ch(0, 118, base=8),               # R
+        bc_exit(BranchCond.TRUE, "L13AA"),    # S: BZ
+        cli(540, 7, 0),                   # T
+        bc_exit(BranchCond.FALSE, "L1D30"),   # U: BNE
+        l(3, 36, base=10),                # V
+        ltr(3, 3),                        # W
+        bc_exit(BranchCond.TRUE, "L13DE"),    # X: BZ
+    ]
+
+
+def field_extract_fragment() -> List[FragmentInstruction]:
+    """A second fragment in the style of S/390 systems code: field
+    extraction and repacking with logicals, shifts, and IC/STH — heavy
+    in condition-code definitions for the renamer to untangle."""
+    return [
+        lhi(2, 0x1200),
+        l(3, 0x40),
+        lr(4, 3),
+        srl(4, 8),
+        nr(4, 2),
+        ic(4, 0x45),
+        sll(4, 4),
+        xr(4, 3),
+        ahi(4, 12),
+        bc_exit(BranchCond.FALSE, "NONZERO"),
+        lcr(5, 4),
+        sth(5, 0x80),
+        cl(5, 0x84),
+        bc_exit(BranchCond.TRUE, "EQUAL"),
+        or_(5, 3),
+        st(5, 0x88),
+    ]

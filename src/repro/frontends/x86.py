@@ -1,0 +1,306 @@
+"""x86 (16-bit) mini front end (Appendix E.3/E.4, Section 2.2).
+
+Cracks the appendix's routine into DAISY primitives:
+
+* ``push``/``pop`` become store/load plus stack-pointer arithmetic (the
+  ai chains DAISY's combining collapses);
+* segment loads (``mov es, ax``) become *descriptor lookups* — modelled
+  as a load from the descriptor table indexed by the selector;
+* flag-setting instructions write an x86-flavoured condition field (the
+  "conditional flags out of 8/16/32-bit registers" requirement);
+* ``retf`` cracks into the link-register load, stack pop, descriptor
+  lookup and cross-page branch of the appendix listing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa import registers as regs
+from repro.isa.instructions import BranchCond
+from repro.frontends.common import FragmentInstruction
+from repro.primitives.ops import PrimOp, Primitive
+
+# 16-bit register file mapping (flat GPR indices).
+AX, BX, CX, DX = regs.gpr(1), regs.gpr(2), regs.gpr(3), regs.gpr(4)
+SP, BP, SI, DI = regs.gpr(5), regs.gpr(6), regs.gpr(7), regs.gpr(8)
+ES, CS, SS, DS = regs.gpr(9), regs.gpr(10), regs.gpr(11), regs.gpr(12)
+#: Descriptor-table base (the descriptor lookaside the appendix cites).
+DTBASE = regs.gpr(25)
+#: Scratch temporaries (t1/t2 of the appendix listing).
+T1, T2 = regs.gpr(24), regs.gpr(23)
+
+#: x86 flags live in cr1 (ZF on the EQ bit, SF on LT).
+FLAGS = regs.crf(1)
+
+
+def push(reg: int) -> FragmentInstruction:
+    return FragmentInstruction("push", [
+        Primitive(PrimOp.ST2, srcs=(SP, SS), imm=-2, value_src=reg),
+        Primitive(PrimOp.AI, dest=SP, srcs=(SP,), imm=-2, completes=True),
+    ])
+
+
+def pop(reg: int) -> FragmentInstruction:
+    return FragmentInstruction("pop", [
+        Primitive(PrimOp.LD2, dest=reg, srcs=(SP, SS), imm=0),
+        Primitive(PrimOp.AI, dest=SP, srcs=(SP,), imm=2, completes=True),
+    ])
+
+
+def pop_seg(seg: int) -> FragmentInstruction:
+    """pop ds: pop the selector, then the descriptor lookup."""
+    return FragmentInstruction("pop_seg", [
+        Primitive(PrimOp.LD2, dest=T1, srcs=(SP, SS), imm=0),
+        Primitive(PrimOp.AI, dest=SP, srcs=(SP,), imm=2),
+        Primitive(PrimOp.LD4, dest=seg, srcs=(DTBASE, T1), imm=0,
+                  completes=True),
+    ])
+
+
+def mov_rr(dst: int, src: int) -> FragmentInstruction:
+    return FragmentInstruction("mov", [Primitive(
+        PrimOp.MOVE, dest=dst, srcs=(src,), completes=True)])
+
+
+def mov_load(dst: int, disp: int, base: int, seg: int
+             ) -> FragmentInstruction:
+    """mov reg, [base+disp] with a segment base (three-input address)."""
+    return FragmentInstruction("mov_load", [Primitive(
+        PrimOp.LD2, dest=dst, srcs=(base, seg), imm=disp,
+        completes=True)])
+
+
+def mov_seg(seg: int, src: int) -> FragmentInstruction:
+    """mov es, ax — descriptor lookup through the descriptor table."""
+    return FragmentInstruction("mov_seg", [Primitive(
+        PrimOp.LD4, dest=seg, srcs=(DTBASE, src), imm=0,
+        completes=True)])
+
+
+def test_imm(reg: int, mask: int) -> FragmentInstruction:
+    return FragmentInstruction("test", [
+        Primitive(PrimOp.ANDI, dest=T1, srcs=(reg,), imm=mask),
+        Primitive(PrimOp.CMPI_U, dest=FLAGS, srcs=(T1, regs.SO), imm=0,
+                  completes=True),
+    ])
+
+
+def cmp_rr(a: int, b: int) -> FragmentInstruction:
+    return FragmentInstruction("cmp", [Primitive(
+        PrimOp.CMP_S, dest=FLAGS, srcs=(a, b, regs.SO), completes=True)])
+
+
+def cmp_mem_imm(disp: int, base: int, seg: int, value: int
+                ) -> FragmentInstruction:
+    return FragmentInstruction("cmp_mem", [
+        Primitive(PrimOp.LD2, dest=T1, srcs=(base, seg) if base else (seg,),
+                  imm=disp),
+        Primitive(PrimOp.CMPI_S, dest=FLAGS, srcs=(T1, regs.SO),
+                  imm=value, completes=True),
+    ])
+
+
+def jcc(cond: BranchCond, target: str) -> FragmentInstruction:
+    """jz/jnz/je/jne — test the ZF (EQ) bit of the flags field."""
+    return FragmentInstruction("jcc", [], cond_exit=(cond, 4 + 2, target))
+
+
+def jcxz(target: str) -> FragmentInstruction:
+    """jcxz: compare cx with 0, then the conditional exit."""
+    instr = FragmentInstruction("jcxz", [
+        Primitive(PrimOp.CMPI_S, dest=regs.crf(2),
+                  srcs=(CX, regs.SO), imm=0)])
+    instr.cond_exit = (BranchCond.TRUE, 8 + 2, target)
+    return instr
+
+
+def call(target: str) -> FragmentInstruction:
+    """call near: push the return address, leave the fragment."""
+    instr = FragmentInstruction("call", [
+        Primitive(PrimOp.LIMM, dest=T1, imm=0x1234),
+        Primitive(PrimOp.ST2, srcs=(SP, SS), imm=-2, value_src=T1),
+        Primitive(PrimOp.AI, dest=SP, srcs=(SP,), imm=-2, completes=True),
+    ])
+    instr.ends_fragment = True
+    return instr
+
+
+def leave() -> FragmentInstruction:
+    return FragmentInstruction("leave", [
+        Primitive(PrimOp.MOVE, dest=SP, srcs=(BP,)),
+        Primitive(PrimOp.LD2, dest=BP, srcs=(SP, SS), imm=0),
+        Primitive(PrimOp.AI, dest=SP, srcs=(SP,), imm=2, completes=True),
+    ])
+
+
+def retf(imm: int) -> FragmentInstruction:
+    """retf n: pop ip and cs (descriptor lookup), adjust sp, branch."""
+    instr = FragmentInstruction("retf", [
+        Primitive(PrimOp.LD2, dest=regs.LR2, srcs=(SP, SS), imm=0),
+        Primitive(PrimOp.LD2, dest=T2, srcs=(SP, SS), imm=2),
+        Primitive(PrimOp.AI, dest=SP, srcs=(SP,), imm=4 + imm),
+        Primitive(PrimOp.LD4, dest=CS, srcs=(DTBASE, T2), imm=0,
+                  completes=True),
+    ])
+    instr.ends_fragment = True
+    return instr
+
+
+def mov_imm(dst: int, value: int) -> FragmentInstruction:
+    return FragmentInstruction("mov_imm", [Primitive(
+        PrimOp.LIMM, dest=dst, imm=value, completes=True)])
+
+
+def mov_store(disp: int, base: int, seg: int, src: int
+              ) -> FragmentInstruction:
+    """mov [base+disp], reg (segment-based address)."""
+    return FragmentInstruction("mov_store", [Primitive(
+        PrimOp.ST2, srcs=(base, seg) if base else (seg,), imm=disp,
+        value_src=src, completes=True)])
+
+
+def add_rr(dst: int, src: int) -> FragmentInstruction:
+    """add dst, src — sets the flags."""
+    return FragmentInstruction("add", [
+        Primitive(PrimOp.ADD, dest=dst, srcs=(dst, src)),
+        Primitive(PrimOp.CMPI_S, dest=FLAGS, srcs=(dst, regs.SO), imm=0,
+                  completes=True),
+    ])
+
+
+def sub_rr(dst: int, src: int) -> FragmentInstruction:
+    return FragmentInstruction("sub", [
+        Primitive(PrimOp.SUB, dest=dst, srcs=(dst, src)),
+        Primitive(PrimOp.CMPI_S, dest=FLAGS, srcs=(dst, regs.SO), imm=0,
+                  completes=True),
+    ])
+
+
+def inc(dst: int) -> FragmentInstruction:
+    """inc — the x86 ai-chain case combining collapses."""
+    return FragmentInstruction("inc", [Primitive(
+        PrimOp.AI, dest=dst, srcs=(dst,), imm=1, completes=True)])
+
+
+def dec(dst: int) -> FragmentInstruction:
+    return FragmentInstruction("dec", [Primitive(
+        PrimOp.AI, dest=dst, srcs=(dst,), imm=-1, completes=True)])
+
+
+def xchg(a: int, b: int) -> FragmentInstruction:
+    return FragmentInstruction("xchg", [
+        Primitive(PrimOp.MOVE, dest=T1, srcs=(a,)),
+        Primitive(PrimOp.MOVE, dest=a, srcs=(b,)),
+        Primitive(PrimOp.MOVE, dest=b, srcs=(T1,), completes=True),
+    ])
+
+
+def shl1(dst: int) -> FragmentInstruction:
+    return FragmentInstruction("shl", [Primitive(
+        PrimOp.SLLI, dest=dst, srcs=(dst,), imm=1, completes=True)])
+
+
+def lodsw() -> FragmentInstruction:
+    """lodsw: ax = ds:[si]; si += 2."""
+    return FragmentInstruction("lodsw", [
+        Primitive(PrimOp.LD2, dest=AX, srcs=(SI, DS), imm=0),
+        Primitive(PrimOp.AI, dest=SI, srcs=(SI,), imm=2, completes=True),
+    ])
+
+
+def stosw() -> FragmentInstruction:
+    """stosw: es:[di] = ax; di += 2."""
+    return FragmentInstruction("stosw", [
+        Primitive(PrimOp.ST2, srcs=(DI, ES), imm=0, value_src=AX),
+        Primitive(PrimOp.AI, dest=DI, srcs=(DI,), imm=2, completes=True),
+    ])
+
+
+def copy_checksum_fragment() -> List[FragmentInstruction]:
+    """A second x86 fragment: an unrolled string copy with a running
+    checksum (the lods/stos idiom compilers unroll) — stresses the
+    sp/si/di ai chains and store/load scheduling."""
+    body: List[FragmentInstruction] = [
+        mov_imm(BX, 0),            # checksum
+        mov_imm(DX, 0),            # parity-ish accumulator
+    ]
+    for _ in range(6):
+        body += [
+            lodsw(),
+            add_rr(BX, AX),
+            xchg(AX, DX),
+            shl1(AX),
+            stosw(),
+        ]
+    body += [
+        cmp_rr(BX, DX),
+        jcc(BranchCond.TRUE, "equal_sums"),
+        inc(BX),
+        dec(DX),
+        mov_store(0x10, 0, SS, BX),
+    ]
+    return body
+
+
+def jnz_loop(label: str) -> FragmentInstruction:
+    """dec cx; jnz label — the classic x86 loop idiom (the `loop`
+    instruction's expansion)."""
+    instr = FragmentInstruction("dec_jnz", [
+        Primitive(PrimOp.AI, dest=CX, srcs=(CX,), imm=-1,
+                  prefer_rename=True),
+        Primitive(PrimOp.CMPI_S, dest=FLAGS, srcs=(CX, regs.SO), imm=0),
+    ])
+    instr.cond_branch = (BranchCond.FALSE, 4 + 2, label)   # ZF clear
+    return instr
+
+
+def string_copy_program(count: int) -> "ForeignProgram":
+    """rep movsw in its open-coded form: a lods/stos loop with a
+    checksum, counted in cx."""
+    from repro.frontends.common import ForeignProgram
+    program = ForeignProgram()
+    program.add(
+        mov_imm(BX, 0),          # checksum
+        mov_imm(CX, count),
+    )
+    program.label("copy")
+    program.add(
+        lodsw(),
+        add_rr(BX, AX),
+        stosw(),
+        jnz_loop("copy"),
+    )
+    program.add(mov_store(0x20, 0, SS, BX))
+    return program
+
+
+def appendix_routine() -> List[FragmentInstruction]:
+    """The Appendix E.3 x86 routine along path A-F, K-X, HH-KK."""
+    return [
+        push(BP),                                  # A
+        mov_rr(BP, SP),                            # B
+        push(DS),                                  # C
+        mov_load(AX, 6, BP, SS),                   # D
+        test_imm(AX, 1),                           # E
+        jcc(BranchCond.FALSE, "loc_0240"),         # F (jnz -> stay on ZF)
+        # --- loc_0240 side (K..X) ---
+        mov_seg(ES, AX),                           # K
+        cmp_mem_imm(0x391, 0, ES, 0x454E),         # L
+        jcc(BranchCond.TRUE, "loc_0245"),          # M (je)
+        mov_seg(ES, CS),                           # N (via cs:[2])
+        mov_load(CX, 0x68, 0, ES),                 # O
+        jcxz("loc_0242"),                          # P
+        mov_seg(ES, CX),                           # Q
+        cmp_rr(AX, CX),                            # R
+        jcc(BranchCond.TRUE, "loc_0243"),          # S (je)
+        mov_load(CX, 0x01, 0, ES),                 # T
+        cmp_mem_imm(0x14, 0, ES, 0),               # U (vs ax simplified)
+        jcc(BranchCond.FALSE, "loc_0241"),         # V (jne)
+        mov_load(AX, 0x15, 0, ES),                 # W
+        # --- loc_0245 (HH..KK) ---
+        mov_rr(CX, AX),                            # HH
+        pop_seg(DS),                               # II
+        leave(),                                   # JJ
+        retf(2),                                   # KK
+    ]

@@ -1,0 +1,29 @@
+"""Base architecture: a PowerPC subset with simplified fixed-width encodings.
+
+The paper emulates the IBM PowerPC.  This package implements a documented
+32-bit subset carrying every feature the DAISY translation mechanisms rely
+on: eight 4-bit condition-register fields, the lr/ctr special registers,
+CA/OV/SO bits in the XER, CISC load/store-multiple instructions, ``bc``
+forms that decrement ctr, ``sc``/``rfi``, and big-endian memory.
+"""
+
+from repro.isa.instructions import Instruction, Opcode, BranchCond
+from repro.isa.encoding import encode, decode, DecodeError
+from repro.isa.assembler import Assembler, AssemblyError, Program
+from repro.isa.state import CpuState
+from repro.isa.interpreter import Interpreter, RunResult
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "BranchCond",
+    "encode",
+    "decode",
+    "DecodeError",
+    "Assembler",
+    "AssemblyError",
+    "Program",
+    "CpuState",
+    "Interpreter",
+    "RunResult",
+]

@@ -1,0 +1,581 @@
+"""Two-pass assembler for the base architecture.
+
+All workloads in ``repro.workloads`` are written in this assembly dialect,
+assembled to real 32-bit words, and placed in simulated memory — the DAISY
+translator then reads them back out of memory exactly as the paper's VMM
+reads PowerPC pages.
+
+Dialect summary::
+
+    # comment                      ; also a comment
+    .org   0x1000                  # set location counter
+    .equ   SIZE, 100               # named constant
+    .word  1, 2, SIZE              # 32-bit data
+    .half  7                       # 16-bit data
+    .byte  1, 2, 3
+    .space 64                      # zero bytes
+    .align 8
+    .asciz "text"
+
+    loop:  ai    r2, r2, 1
+           cmpi  cr0, r2, SIZE
+           blt   loop              # alias of bc t, cr0.lt, loop
+           bc    dnz, loop         # ctr-decrement form
+           lwz   r3, 8(r1)         # d-form memory operand
+           li    r4, buffer        # 19-bit immediate, symbols allowed
+           blr
+
+Condition-register bits are written ``crN.lt`` / ``.gt`` / ``.eq`` / ``.so``.
+Branch aliases: ``beq bne blt bge bgt ble bso bns`` (optional leading
+``crN,``), ``bdnz``, ``bdz``.  Register aliases: ``mr`` (or), ``not`` (nor),
+``sub`` has a ``subi`` immediate alias.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.isa.encoding import encode
+from repro.isa.instructions import BranchCond, Instruction, Opcode
+
+
+class AssemblyError(Exception):
+    """Syntax or range error, annotated with the source line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+@dataclass
+class Program:
+    """An assembled image: contiguous chunks of bytes plus symbols."""
+
+    entry: int = 0
+    chunks: List[Tuple[int, bytearray]] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    def sections(self) -> Iterator[Tuple[int, bytes]]:
+        for addr, data in self.chunks:
+            yield addr, bytes(data)
+
+    def symbol(self, name: str) -> int:
+        return self.symbols[name]
+
+    @property
+    def code_size(self) -> int:
+        return sum(len(data) for _, data in self.chunks)
+
+
+# Operand pattern names (see _MNEMONICS below).
+_P_RRR = "rt,ra,rb"
+_P_RR = "rt,ra"
+_P_RRI = "rt,ra,imm"
+_P_RI = "rt,imm"
+_P_CMP = "crf,ra,rb"
+_P_CMPI = "crf,ra,imm"
+_P_CRB = "bt,ba,bb"
+_P_MEM = "rt,d(ra)"
+_P_B = "offset"
+_P_BC = "cond,[bi,]offset"
+_P_R = "rt"
+_P_MTCRF = "mask,rt"
+_P_NONE = ""
+_P_FFF = "frt,fra,frb"
+_P_FF = "frt,frb"
+_P_FMEM = "frt,d(ra)"
+_P_FCMP = "crf,fra,frb"
+
+_MNEMONICS: Dict[str, Tuple[Opcode, str]] = {
+    "add": (Opcode.ADD, _P_RRR), "sub": (Opcode.SUB, _P_RRR),
+    "mullw": (Opcode.MULLW, _P_RRR), "divw": (Opcode.DIVW, _P_RRR),
+    "divwu": (Opcode.DIVWU, _P_RRR),
+    "and": (Opcode.AND, _P_RRR), "or": (Opcode.OR, _P_RRR),
+    "xor": (Opcode.XOR, _P_RRR), "nand": (Opcode.NAND, _P_RRR),
+    "nor": (Opcode.NOR, _P_RRR), "andc": (Opcode.ANDC, _P_RRR),
+    "slw": (Opcode.SLW, _P_RRR), "srw": (Opcode.SRW, _P_RRR),
+    "sraw": (Opcode.SRAW, _P_RRR),
+    "neg": (Opcode.NEG, _P_RR), "cntlzw": (Opcode.CNTLZW, _P_RR),
+    "addi": (Opcode.ADDI, _P_RRI), "ai": (Opcode.AI, _P_RRI),
+    "mulli": (Opcode.MULLI, _P_RRI), "andi.": (Opcode.ANDI_, _P_RRI),
+    "ori": (Opcode.ORI, _P_RRI), "xori": (Opcode.XORI, _P_RRI),
+    "slwi": (Opcode.SLWI, _P_RRI), "srwi": (Opcode.SRWI, _P_RRI),
+    "srawi": (Opcode.SRAWI, _P_RRI),
+    "li": (Opcode.LI, _P_RI),
+    "cmp": (Opcode.CMP, _P_CMP), "cmpl": (Opcode.CMPL, _P_CMP),
+    "cmpi": (Opcode.CMPI, _P_CMPI), "cmpli": (Opcode.CMPLI, _P_CMPI),
+    "crand": (Opcode.CRAND, _P_CRB), "cror": (Opcode.CROR, _P_CRB),
+    "crxor": (Opcode.CRXOR, _P_CRB), "crnand": (Opcode.CRNAND, _P_CRB),
+    "mtcrf": (Opcode.MTCRF, _P_MTCRF), "mfcr": (Opcode.MFCR, _P_R),
+    "lwz": (Opcode.LWZ, _P_MEM), "lwzx": (Opcode.LWZX, _P_RRR),
+    "lbz": (Opcode.LBZ, _P_MEM), "lbzx": (Opcode.LBZX, _P_RRR),
+    "lhz": (Opcode.LHZ, _P_MEM), "lhzx": (Opcode.LHZX, _P_RRR),
+    "stw": (Opcode.STW, _P_MEM), "stwx": (Opcode.STWX, _P_RRR),
+    "stb": (Opcode.STB, _P_MEM), "stbx": (Opcode.STBX, _P_RRR),
+    "sth": (Opcode.STH, _P_MEM), "sthx": (Opcode.STHX, _P_RRR),
+    "lmw": (Opcode.LMW, _P_MEM), "stmw": (Opcode.STMW, _P_MEM),
+    "b": (Opcode.B, _P_B), "bl": (Opcode.BL, _P_B),
+    "bc": (Opcode.BC, _P_BC), "bcl": (Opcode.BCL, _P_BC),
+    "blr": (Opcode.BLR, _P_NONE), "blrl": (Opcode.BLRL, _P_NONE),
+    "bctr": (Opcode.BCTR, _P_NONE), "bctrl": (Opcode.BCTRL, _P_NONE),
+    "mtlr": (Opcode.MTLR, _P_R), "mflr": (Opcode.MFLR, _P_R),
+    "mtctr": (Opcode.MTCTR, _P_R), "mfctr": (Opcode.MFCTR, _P_R),
+    "mtxer": (Opcode.MTXER, _P_R), "mfxer": (Opcode.MFXER, _P_R),
+    "sc": (Opcode.SC, _P_NONE), "rfi": (Opcode.RFI, _P_NONE),
+    "mtmsr": (Opcode.MTMSR, _P_R), "mfmsr": (Opcode.MFMSR, _P_R),
+    "nop": (Opcode.NOP, _P_NONE),
+    "fadd": (Opcode.FADD, _P_FFF), "fsub": (Opcode.FSUB, _P_FFF),
+    "fmul": (Opcode.FMUL, _P_FFF), "fdiv": (Opcode.FDIV, _P_FFF),
+    "fmr": (Opcode.FMR, _P_FF), "fneg": (Opcode.FNEG, _P_FF),
+    "fabs": (Opcode.FABS, _P_FF),
+    "lfd": (Opcode.LFD, _P_FMEM), "stfd": (Opcode.STFD, _P_FMEM),
+    "fcmpu": (Opcode.FCMPU, _P_FCMP),
+}
+
+#: Branch-condition aliases: name -> (BranchCond, CR bit within field or None).
+_BRANCH_ALIASES = {
+    "beq": (BranchCond.TRUE, 2), "bne": (BranchCond.FALSE, 2),
+    "blt": (BranchCond.TRUE, 0), "bge": (BranchCond.FALSE, 0),
+    "bgt": (BranchCond.TRUE, 1), "ble": (BranchCond.FALSE, 1),
+    "bso": (BranchCond.TRUE, 3), "bns": (BranchCond.FALSE, 3),
+}
+
+_COND_NAMES = {
+    "t": BranchCond.TRUE, "f": BranchCond.FALSE,
+    "dnz": BranchCond.DNZ, "dz": BranchCond.DZ,
+    "dnzt": BranchCond.DNZ_TRUE, "dnzf": BranchCond.DNZ_FALSE,
+}
+
+_CR_BIT_NAMES = {"lt": 0, "gt": 1, "eq": 2, "so": 3}
+
+_MEM_RE = re.compile(r"^(.*)\((r\d+)\)$")
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas not inside parentheses or quotes."""
+    parts, depth, current, in_str = [], 0, "", False
+    for ch in text:
+        if ch == '"':
+            in_str = not in_str
+        if ch == "," and depth == 0 and not in_str:
+            parts.append(current.strip())
+            current = ""
+            continue
+        if ch == "(" and not in_str:
+            depth += 1
+        elif ch == ")" and not in_str:
+            depth -= 1
+        current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+class Assembler:
+    """Assembles the dialect described in the module docstring."""
+
+    def __init__(self, default_org: int = 0x1000):
+        self.default_org = default_org
+
+    # -- public API -----------------------------------------------------------
+
+    def assemble(self, source: str, entry: Optional[str] = None) -> Program:
+        """Assemble ``source``; ``entry`` names the entry symbol (defaults
+        to ``_start`` if present, else the lowest code address)."""
+        lines = self._clean(source)
+        symbols = self._first_pass(lines)
+        program = self._second_pass(lines, symbols)
+        if entry is not None:
+            program.entry = symbols[entry]
+        elif "_start" in symbols:
+            program.entry = symbols["_start"]
+        elif program.chunks:
+            program.entry = min(addr for addr, _ in program.chunks)
+        program.symbols = symbols
+        return program
+
+    # -- implementation ---------------------------------------------------------
+
+    def _clean(self, source: str) -> List[Tuple[int, str]]:
+        cleaned = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw
+            # Strip comments, respecting string literals.
+            out, in_str = "", False
+            for ch in line:
+                if ch == '"':
+                    in_str = not in_str
+                if ch in "#;" and not in_str:
+                    break
+                out += ch
+            out = out.strip()
+            if out:
+                cleaned.append((lineno, out))
+        return cleaned
+
+    def _first_pass(self, lines) -> Dict[str, int]:
+        symbols: Dict[str, int] = {}
+        pc = self.default_org
+        for lineno, line in lines:
+            line = self._take_labels(line, lineno, symbols, pc)
+            if not line:
+                continue
+            pc = self._advance(line, lineno, pc, symbols, emit=None)
+        return symbols
+
+    def _second_pass(self, lines, symbols) -> Program:
+        program = Program()
+        sections: List[Tuple[int, bytearray]] = []
+        current = {"start": self.default_org, "data": bytearray()}
+
+        def emit(data: bytes) -> None:
+            current["data"].extend(data)
+
+        def flush() -> None:
+            if current["data"]:
+                sections.append((current["start"], current["data"]))
+
+        def reorg(new_pc: int) -> None:
+            flush()
+            current["start"] = new_pc
+            current["data"] = bytearray()
+
+        pc = self.default_org
+        for lineno, line in lines:
+            line = self._take_labels(line, lineno, {}, pc, define=False)
+            if not line:
+                continue
+            pc = self._advance(line, lineno, pc, symbols, emit=emit,
+                               reorg=reorg)
+        flush()
+        program.chunks = sorted(sections, key=lambda pair: pair[0])
+        return program
+
+    def _take_labels(self, line: str, lineno: int, symbols: Dict[str, int],
+                     pc: int, define: bool = True) -> str:
+        while True:
+            match = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:\s*(.*)$", line)
+            if not match:
+                return line
+            name, rest = match.group(1), match.group(2)
+            if define:
+                if name in symbols:
+                    raise AssemblyError(lineno, f"duplicate label {name!r}")
+                symbols[name] = pc
+            line = rest
+
+    def _advance(self, line: str, lineno: int, pc: int,
+                 symbols: Dict[str, int], emit, reorg=None) -> int:
+        """Process one statement; returns the new location counter.  When
+        ``emit`` is None this is the sizing pass."""
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        rest = rest.strip()
+
+        if mnemonic.startswith("."):
+            return self._directive(mnemonic, rest, lineno, pc, symbols,
+                                   emit, reorg)
+
+        instr = None
+        if emit is not None:
+            instr = self._parse_instruction(mnemonic, rest, lineno, pc, symbols)
+            emit(encode(instr).to_bytes(4, "big"))
+        else:
+            if (mnemonic not in _MNEMONICS
+                    and mnemonic not in _BRANCH_ALIASES
+                    and mnemonic not in ("mr", "not", "subi", "bdnz", "bdz")):
+                raise AssemblyError(lineno, f"unknown mnemonic {mnemonic!r}")
+        return pc + 4
+
+    # -- directives ---------------------------------------------------------------
+
+    def _directive(self, name, rest, lineno, pc, symbols, emit, reorg) -> int:
+        operands = _split_operands(rest) if rest else []
+        if name == ".org":
+            new_pc = self._expr(operands[0], lineno, pc, symbols,
+                                required=True)
+            if new_pc is None:
+                raise AssemblyError(lineno, ".org needs a constant expression")
+            if reorg is not None:
+                reorg(new_pc)
+            return new_pc
+        if name == ".equ":
+            if len(operands) != 2:
+                raise AssemblyError(lineno, ".equ takes name, value")
+            value = self._expr(operands[1], lineno, pc, symbols, required=True)
+            symbols[operands[0]] = value
+            return pc
+        if name == ".word":
+            for op in operands:
+                if emit is not None:
+                    value = self._expr(op, lineno, pc, symbols, required=True)
+                    emit((value & 0xFFFFFFFF).to_bytes(4, "big"))
+                pc += 4
+            return pc
+        if name == ".half":
+            for op in operands:
+                if emit is not None:
+                    value = self._expr(op, lineno, pc, symbols, required=True)
+                    emit((value & 0xFFFF).to_bytes(2, "big"))
+                pc += 2
+            return pc
+        if name == ".byte":
+            for op in operands:
+                if emit is not None:
+                    value = self._expr(op, lineno, pc, symbols, required=True)
+                    emit(bytes([value & 0xFF]))
+                pc += 1
+            return pc
+        if name == ".space":
+            count = self._expr(operands[0], lineno, pc, symbols, required=True)
+            if emit is not None:
+                emit(b"\x00" * count)
+            return pc + count
+        if name == ".align":
+            alignment = self._expr(operands[0], lineno, pc, symbols, required=True)
+            new_pc = (pc + alignment - 1) // alignment * alignment
+            if emit is not None and new_pc > pc:
+                emit(b"\x00" * (new_pc - pc))
+            return new_pc
+        if name == ".asciz":
+            text = rest.strip()
+            if not (text.startswith('"') and text.endswith('"')):
+                raise AssemblyError(lineno, ".asciz needs a quoted string")
+            data = text[1:-1].encode("latin-1").decode("unicode_escape") \
+                .encode("latin-1") + b"\x00"
+            if emit is not None:
+                emit(data)
+            return pc + len(data)
+        raise AssemblyError(lineno, f"unknown directive {name!r}")
+
+    # -- instruction parsing ----------------------------------------------------------
+
+    def _parse_instruction(self, mnemonic, rest, lineno, pc, symbols) -> Instruction:
+        # Aliases first.
+        if mnemonic == "mr":
+            rt, ra = self._regs(rest, 2, lineno)
+            return Instruction(Opcode.OR, rt=rt, ra=ra, rb=ra)
+        if mnemonic == "not":
+            rt, ra = self._regs(rest, 2, lineno)
+            return Instruction(Opcode.NOR, rt=rt, ra=ra, rb=ra)
+        if mnemonic == "subi":
+            ops = _split_operands(rest)
+            if len(ops) != 3:
+                raise AssemblyError(lineno, "subi takes rt, ra, imm")
+            rt, ra = self._reg(ops[0], lineno), self._reg(ops[1], lineno)
+            imm = self._expr(ops[2], lineno, pc, symbols, required=True)
+            return Instruction(Opcode.ADDI, rt=rt, ra=ra, imm=-imm)
+        if mnemonic in ("bdnz", "bdz"):
+            target = self._expr(rest, lineno, pc, symbols, required=True)
+            cond = BranchCond.DNZ if mnemonic == "bdnz" else BranchCond.DZ
+            return Instruction(Opcode.BC, cond=cond, bi=0,
+                               offset=self._reloff(target, pc, lineno))
+        if mnemonic in _BRANCH_ALIASES:
+            cond, bit = _BRANCH_ALIASES[mnemonic]
+            ops = _split_operands(rest)
+            crf_index = 0
+            if len(ops) == 2:
+                crf_index = self._crf(ops[0], lineno)
+                ops = ops[1:]
+            target = self._expr(ops[0], lineno, pc, symbols, required=True)
+            return Instruction(Opcode.BC, cond=cond, bi=crf_index * 4 + bit,
+                               offset=self._reloff(target, pc, lineno))
+
+        if mnemonic not in _MNEMONICS:
+            raise AssemblyError(lineno, f"unknown mnemonic {mnemonic!r}")
+        opcode, pattern = _MNEMONICS[mnemonic]
+        ops = _split_operands(rest) if rest else []
+
+        if pattern == _P_NONE:
+            self._arity(ops, 0, mnemonic, lineno)
+            return Instruction(opcode)
+        if pattern == _P_R:
+            self._arity(ops, 1, mnemonic, lineno)
+            return Instruction(opcode, rt=self._reg(ops[0], lineno))
+        if pattern == _P_RR:
+            self._arity(ops, 2, mnemonic, lineno)
+            return Instruction(opcode, rt=self._reg(ops[0], lineno),
+                               ra=self._reg(ops[1], lineno))
+        if pattern == _P_RRR:
+            self._arity(ops, 3, mnemonic, lineno)
+            return Instruction(opcode, rt=self._reg(ops[0], lineno),
+                               ra=self._reg(ops[1], lineno),
+                               rb=self._reg(ops[2], lineno))
+        if pattern == _P_RRI:
+            self._arity(ops, 3, mnemonic, lineno)
+            return Instruction(opcode, rt=self._reg(ops[0], lineno),
+                               ra=self._reg(ops[1], lineno),
+                               imm=self._expr(ops[2], lineno, pc, symbols,
+                                              required=True))
+        if pattern == _P_RI:
+            self._arity(ops, 2, mnemonic, lineno)
+            return Instruction(opcode, rt=self._reg(ops[0], lineno),
+                               imm=self._expr(ops[1], lineno, pc, symbols,
+                                              required=True))
+        if pattern == _P_CMP:
+            self._arity(ops, 3, mnemonic, lineno)
+            return Instruction(opcode, crf=self._crf(ops[0], lineno),
+                               ra=self._reg(ops[1], lineno),
+                               rb=self._reg(ops[2], lineno))
+        if pattern == _P_CMPI:
+            self._arity(ops, 3, mnemonic, lineno)
+            return Instruction(opcode, crf=self._crf(ops[0], lineno),
+                               ra=self._reg(ops[1], lineno),
+                               imm=self._expr(ops[2], lineno, pc, symbols,
+                                              required=True))
+        if pattern == _P_CRB:
+            self._arity(ops, 3, mnemonic, lineno)
+            return Instruction(opcode, rt=self._crbit(ops[0], lineno),
+                               ra=self._crbit(ops[1], lineno),
+                               rb=self._crbit(ops[2], lineno))
+        if pattern == _P_MEM:
+            self._arity(ops, 2, mnemonic, lineno)
+            rt = self._reg(ops[0], lineno)
+            match = _MEM_RE.match(ops[1].replace(" ", ""))
+            if not match:
+                raise AssemblyError(lineno, f"bad memory operand {ops[1]!r}")
+            disp = self._expr(match.group(1) or "0", lineno, pc, symbols,
+                              required=True)
+            ra = self._reg(match.group(2), lineno)
+            return Instruction(opcode, rt=rt, ra=ra, imm=disp)
+        if pattern == _P_B:
+            self._arity(ops, 1, mnemonic, lineno)
+            target = self._expr(ops[0], lineno, pc, symbols, required=True)
+            return Instruction(opcode, offset=self._reloff(target, pc, lineno))
+        if pattern == _P_BC:
+            if len(ops) not in (2, 3):
+                raise AssemblyError(lineno, "bc takes cond, [crbit,] target")
+            cond_name = ops[0].lower()
+            if cond_name not in _COND_NAMES:
+                raise AssemblyError(lineno, f"unknown condition {ops[0]!r}")
+            cond = _COND_NAMES[cond_name]
+            bi = 0
+            if len(ops) == 3:
+                bi = self._crbit(ops[1], lineno)
+            target = self._expr(ops[-1], lineno, pc, symbols, required=True)
+            return Instruction(opcode, cond=cond, bi=bi,
+                               offset=self._reloff(target, pc, lineno))
+        if pattern == _P_MTCRF:
+            self._arity(ops, 2, mnemonic, lineno)
+            mask = self._expr(ops[0], lineno, pc, symbols, required=True)
+            return Instruction(opcode, rt=self._reg(ops[1], lineno), imm=mask)
+        if pattern == _P_FFF:
+            self._arity(ops, 3, mnemonic, lineno)
+            return Instruction(opcode, rt=self._freg(ops[0], lineno),
+                               ra=self._freg(ops[1], lineno),
+                               rb=self._freg(ops[2], lineno))
+        if pattern == _P_FF:
+            self._arity(ops, 2, mnemonic, lineno)
+            return Instruction(opcode, rt=self._freg(ops[0], lineno),
+                               rb=self._freg(ops[1], lineno))
+        if pattern == _P_FMEM:
+            self._arity(ops, 2, mnemonic, lineno)
+            frt = self._freg(ops[0], lineno)
+            match = _MEM_RE.match(ops[1].replace(" ", ""))
+            if not match:
+                raise AssemblyError(lineno, f"bad memory operand {ops[1]!r}")
+            disp = self._expr(match.group(1) or "0", lineno, pc, symbols,
+                              required=True)
+            ra = self._reg(match.group(2), lineno)
+            return Instruction(opcode, rt=frt, ra=ra, imm=disp)
+        if pattern == _P_FCMP:
+            self._arity(ops, 3, mnemonic, lineno)
+            return Instruction(opcode, crf=self._crf(ops[0], lineno),
+                               ra=self._freg(ops[1], lineno),
+                               rb=self._freg(ops[2], lineno))
+        raise AssertionError(f"unhandled pattern {pattern}")
+
+    # -- operand helpers ----------------------------------------------------------------
+
+    def _arity(self, ops, expected, mnemonic, lineno):
+        if len(ops) != expected:
+            raise AssemblyError(
+                lineno, f"{mnemonic} takes {expected} operands, got {len(ops)}")
+
+    def _regs(self, rest, count, lineno):
+        ops = _split_operands(rest)
+        self._arity(ops, count, "alias", lineno)
+        return tuple(self._reg(op, lineno) for op in ops)
+
+    def _reg(self, text, lineno) -> int:
+        match = re.match(r"^r(\d+)$", text.strip())
+        if not match or not 0 <= int(match.group(1)) < 32:
+            raise AssemblyError(lineno, f"bad register {text!r}")
+        return int(match.group(1))
+
+    def _freg(self, text, lineno) -> int:
+        match = re.match(r"^f(\d+)$", text.strip())
+        if not match or not 0 <= int(match.group(1)) < 32:
+            raise AssemblyError(lineno, f"bad FP register {text!r}")
+        return int(match.group(1))
+
+    def _crf(self, text, lineno) -> int:
+        match = re.match(r"^cr(\d+)$", text.strip())
+        if not match or not 0 <= int(match.group(1)) < 8:
+            raise AssemblyError(lineno, f"bad condition field {text!r}")
+        return int(match.group(1))
+
+    def _crbit(self, text, lineno) -> int:
+        text = text.strip()
+        match = re.match(r"^cr(\d+)\.(lt|gt|eq|so)$", text)
+        if match:
+            crf_index = int(match.group(1))
+            if crf_index >= 8:
+                raise AssemblyError(lineno, f"bad condition field in {text!r}")
+            return crf_index * 4 + _CR_BIT_NAMES[match.group(2)]
+        try:
+            value = int(text, 0)
+        except ValueError:
+            raise AssemblyError(lineno, f"bad CR bit {text!r}")
+        if not 0 <= value < 32:
+            raise AssemblyError(lineno, f"CR bit out of range {value}")
+        return value
+
+    def _reloff(self, target, pc, lineno) -> int:
+        delta = target - pc
+        if delta % 4:
+            raise AssemblyError(lineno, f"misaligned branch target {target:#x}")
+        return delta // 4
+
+    def _expr(self, text, lineno, pc, symbols, required=False) -> Optional[int]:
+        """Evaluate an expression of integers, symbols, '.', '+', '-'."""
+        text = text.strip()
+        if not text:
+            raise AssemblyError(lineno, "empty expression")
+        tokens = re.findall(r"[+-]|[^+-]+", text)
+        total, sign, expect_term = 0, 1, True
+        for token in tokens:
+            token = token.strip()
+            if token in "+-":
+                if expect_term and token == "-":
+                    sign = -sign
+                    continue
+                sign = 1 if token == "+" else -1
+                expect_term = True
+                continue
+            value = self._term(token, lineno, pc, symbols, required)
+            if value is None:
+                return None
+            total += sign * value
+            sign, expect_term = 1, False
+        return total
+
+    def _term(self, token, lineno, pc, symbols, required) -> Optional[int]:
+        token = token.strip()
+        if token == ".":
+            return pc
+        if re.match(r"^0[xX][0-9a-fA-F]+$", token) or token.isdigit():
+            return int(token, 0)
+        if re.match(r"^'\\?.'$", token):
+            inner = token[1:-1]
+            return ord(inner.encode().decode("unicode_escape"))
+        if _LABEL_RE.match(token):
+            if token in symbols:
+                return symbols[token]
+            if required:
+                raise AssemblyError(lineno, f"undefined symbol {token!r}")
+            return None
+        raise AssemblyError(lineno, f"bad expression term {token!r}")

@@ -1,0 +1,108 @@
+"""Disassembler for the base architecture (listings and diagnostics).
+
+Round-trips with the assembler for every instruction form; the property
+test suite checks ``assemble(disassemble(word)) == word``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import (
+    FMT_B,
+    FMT_BC,
+    FMT_CMP,
+    FMT_CMPI,
+    FMT_CR,
+    FMT_NONE,
+    FMT_R,
+    FMT_RI19,
+    FMT_RRI,
+    FMT_RRR,
+    instruction_format,
+)
+from repro.isa.instructions import BranchCond, Instruction, Opcode
+
+#: Mnemonics for opcodes whose enum name is not the assembly spelling.
+_SPECIAL_NAMES = {
+    Opcode.ANDI_: "andi.",
+}
+
+#: D-form memory opcodes rendered as ``rt, d(ra)``.
+_MEM_OPCODES = frozenset({
+    Opcode.LWZ, Opcode.LBZ, Opcode.LHZ,
+    Opcode.STW, Opcode.STB, Opcode.STH,
+    Opcode.LMW, Opcode.STMW,
+})
+
+#: Two-register ALU ops (encoded RRR with rb ignored).
+_TWO_REG = frozenset({Opcode.NEG, Opcode.CNTLZW})
+
+#: Floating point opcode groups.
+_FP_THREE = frozenset({Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV})
+_FP_TWO = frozenset({Opcode.FMR, Opcode.FNEG, Opcode.FABS})
+_FP_MEM = frozenset({Opcode.LFD, Opcode.STFD})
+
+_COND_SPELLING = {
+    BranchCond.TRUE: "t", BranchCond.FALSE: "f",
+    BranchCond.DNZ: "dnz", BranchCond.DZ: "dz",
+    BranchCond.DNZ_TRUE: "dnzt", BranchCond.DNZ_FALSE: "dnzf",
+}
+
+_CR_BIT_SPELLING = ("lt", "gt", "eq", "so")
+
+
+def _crbit(bi: int) -> str:
+    return f"cr{bi >> 2}.{_CR_BIT_SPELLING[bi & 3]}"
+
+
+def mnemonic(opcode: Opcode) -> str:
+    return _SPECIAL_NAMES.get(opcode, opcode.name.lower())
+
+
+def disassemble(instr: Instruction, pc: int = 0) -> str:
+    """Render ``instr`` (fetched at ``pc``) as one line of assembly.
+
+    Branch targets are rendered as absolute hex addresses computed
+    relative to ``pc``.
+    """
+    name = mnemonic(instr.opcode)
+    fmt = instruction_format(instr.opcode)
+    if instr.opcode in _FP_THREE:
+        return f"{name} f{instr.rt}, f{instr.ra}, f{instr.rb}"
+    if instr.opcode in _FP_TWO:
+        return f"{name} f{instr.rt}, f{instr.rb}"
+    if instr.opcode in _FP_MEM:
+        return f"{name} f{instr.rt}, {instr.imm}(r{instr.ra})"
+    if instr.opcode == Opcode.FCMPU:
+        return f"{name} cr{instr.crf}, f{instr.ra}, f{instr.rb}"
+    if instr.opcode in _MEM_OPCODES:
+        return f"{name} r{instr.rt}, {instr.imm}(r{instr.ra})"
+    if instr.opcode in _TWO_REG:
+        return f"{name} r{instr.rt}, r{instr.ra}"
+    if instr.opcode == Opcode.MTCRF:
+        return f"{name} {instr.imm:#x}, r{instr.rt}"
+    if fmt == FMT_RRR:
+        return f"{name} r{instr.rt}, r{instr.ra}, r{instr.rb}"
+    if fmt == FMT_RRI:
+        return f"{name} r{instr.rt}, r{instr.ra}, {instr.imm}"
+    if fmt == FMT_RI19:
+        return f"{name} r{instr.rt}, {instr.imm}"
+    if fmt == FMT_CMP:
+        return f"{name} cr{instr.crf}, r{instr.ra}, r{instr.rb}"
+    if fmt == FMT_CMPI:
+        return f"{name} cr{instr.crf}, r{instr.ra}, {instr.imm}"
+    if fmt == FMT_CR:
+        return (f"{name} {_crbit(instr.rt)}, {_crbit(instr.ra)}, "
+                f"{_crbit(instr.rb)}")
+    if fmt == FMT_B:
+        return f"{name} {pc + instr.offset * 4:#x}"
+    if fmt == FMT_BC:
+        cond = _COND_SPELLING[instr.cond]
+        target = pc + instr.offset * 4
+        if instr.cond in (BranchCond.DNZ, BranchCond.DZ):
+            return f"{name} {cond}, {target:#x}"
+        return f"{name} {cond}, {_crbit(instr.bi)}, {target:#x}"
+    if fmt == FMT_R:
+        return f"{name} r{instr.rt}"
+    if fmt == FMT_NONE:
+        return name
+    raise AssertionError(f"unhandled format {fmt}")

@@ -1,0 +1,230 @@
+"""Binary encoding of the base architecture.
+
+Instructions are fixed 32-bit words stored big-endian in memory (PowerPC is
+big-endian; Section 2.2 of the paper).  The field layout is our own — the
+DAISY mechanisms are encoding-agnostic — but it is a real binary encoding:
+pages of code are arrays of words, the translator decodes them out of
+simulated memory, and self-modifying code really overwrites them.
+
+Formats (bit 31 is the most significant):
+
+===========  ==============================================================
+FMT_RRR      op[31:24] rt[23:19] ra[18:14] rb[13:9]
+FMT_RRI      op[31:24] rt[23:19] ra[18:14] imm14[13:0]
+FMT_CMP      op[31:24] crf[23:20] ra[19:15] rb[14:10]
+FMT_CMPI     op[31:24] crf[23:20] ra[19:15] imm15[14:0]
+FMT_CR       op[31:24] bt[23:19] ba[18:14] bb[13:9]
+FMT_B        op[31:24] offset24[23:0]          (signed, in words)
+FMT_BC       op[31:24] cond[23:21] bi[20:16] offset16[15:0] (signed, words)
+FMT_R        op[31:24] rt[23:19]
+FMT_NONE     op[31:24]
+===========  ==============================================================
+
+Immediates are sign-extended for arithmetic/compare/displacement forms and
+zero-extended for logical/shift/mask forms, mirroring PowerPC conventions.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import BranchCond, Instruction, Opcode
+
+
+class DecodeError(Exception):
+    """Raised when a word does not decode to a valid instruction."""
+
+
+# ---------------------------------------------------------------------------
+# Format assignment
+# ---------------------------------------------------------------------------
+
+FMT_RRR = "rrr"
+FMT_RRI = "rri"
+FMT_CMP = "cmp"
+FMT_CMPI = "cmpi"
+FMT_CR = "cr"
+FMT_B = "b"
+FMT_BC = "bc"
+FMT_R = "r"
+FMT_RI19 = "ri19"
+FMT_NONE = "none"
+
+_FORMATS = {
+    Opcode.ADD: FMT_RRR, Opcode.SUB: FMT_RRR, Opcode.MULLW: FMT_RRR,
+    Opcode.DIVW: FMT_RRR, Opcode.DIVWU: FMT_RRR, Opcode.AND: FMT_RRR,
+    Opcode.OR: FMT_RRR, Opcode.XOR: FMT_RRR, Opcode.NAND: FMT_RRR,
+    Opcode.NOR: FMT_RRR, Opcode.ANDC: FMT_RRR, Opcode.SLW: FMT_RRR,
+    Opcode.SRW: FMT_RRR, Opcode.SRAW: FMT_RRR,
+    Opcode.NEG: FMT_RRR, Opcode.CNTLZW: FMT_RRR,
+    Opcode.ADDI: FMT_RRI, Opcode.AI: FMT_RRI, Opcode.MULLI: FMT_RRI,
+    Opcode.ANDI_: FMT_RRI, Opcode.ORI: FMT_RRI, Opcode.XORI: FMT_RRI,
+    Opcode.SLWI: FMT_RRI, Opcode.SRWI: FMT_RRI, Opcode.SRAWI: FMT_RRI,
+    Opcode.CMP: FMT_CMP, Opcode.CMPL: FMT_CMP,
+    Opcode.CMPI: FMT_CMPI, Opcode.CMPLI: FMT_CMPI,
+    Opcode.CRAND: FMT_CR, Opcode.CROR: FMT_CR, Opcode.CRXOR: FMT_CR,
+    Opcode.CRNAND: FMT_CR,
+    Opcode.MTCRF: FMT_RRI, Opcode.MFCR: FMT_R,
+    Opcode.LWZ: FMT_RRI, Opcode.LWZX: FMT_RRR, Opcode.LBZ: FMT_RRI,
+    Opcode.LBZX: FMT_RRR, Opcode.LHZ: FMT_RRI, Opcode.LHZX: FMT_RRR,
+    Opcode.STW: FMT_RRI, Opcode.STWX: FMT_RRR, Opcode.STB: FMT_RRI,
+    Opcode.STBX: FMT_RRR, Opcode.STH: FMT_RRI, Opcode.STHX: FMT_RRR,
+    Opcode.LMW: FMT_RRI, Opcode.STMW: FMT_RRI,
+    Opcode.B: FMT_B, Opcode.BL: FMT_B,
+    Opcode.BC: FMT_BC, Opcode.BCL: FMT_BC,
+    Opcode.BLR: FMT_NONE, Opcode.BLRL: FMT_NONE,
+    Opcode.BCTR: FMT_NONE, Opcode.BCTRL: FMT_NONE,
+    Opcode.MTLR: FMT_R, Opcode.MFLR: FMT_R, Opcode.MTCTR: FMT_R,
+    Opcode.MFCTR: FMT_R, Opcode.MTXER: FMT_R, Opcode.MFXER: FMT_R,
+    Opcode.SC: FMT_NONE, Opcode.RFI: FMT_NONE,
+    Opcode.MTMSR: FMT_R, Opcode.MFMSR: FMT_R,
+    Opcode.NOP: FMT_NONE,
+    Opcode.LI: FMT_RI19,
+    # Floating point: register fields name FPRs but encode identically.
+    Opcode.FADD: FMT_RRR, Opcode.FSUB: FMT_RRR, Opcode.FMUL: FMT_RRR,
+    Opcode.FDIV: FMT_RRR, Opcode.FMR: FMT_RRR, Opcode.FNEG: FMT_RRR,
+    Opcode.FABS: FMT_RRR,
+    Opcode.LFD: FMT_RRI, Opcode.STFD: FMT_RRI,
+    Opcode.FCMPU: FMT_CMP,
+}
+
+#: Opcodes whose immediate field is sign-extended.
+_SIGNED_IMM = frozenset({
+    Opcode.ADDI, Opcode.AI, Opcode.MULLI,
+    Opcode.LWZ, Opcode.LBZ, Opcode.LHZ,
+    Opcode.STW, Opcode.STB, Opcode.STH,
+    Opcode.LMW, Opcode.STMW,
+    Opcode.LFD, Opcode.STFD,
+    Opcode.CMPI,
+})
+
+IMM14_MIN, IMM14_MAX = -(1 << 13), (1 << 13) - 1
+UIMM14_MAX = (1 << 14) - 1
+IMM15_MIN, IMM15_MAX = -(1 << 14), (1 << 14) - 1
+UIMM15_MAX = (1 << 15) - 1
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _field(value: int, bits: int, name: str) -> int:
+    if not 0 <= value < (1 << bits):
+        raise ValueError(f"{name} does not fit in {bits} bits: {value}")
+    return value
+
+
+def instruction_format(opcode: Opcode) -> str:
+    """The encoding format name for ``opcode``."""
+    return _FORMATS[opcode]
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an :class:`Instruction` into its 32-bit word."""
+    op = int(instr.opcode) << 24
+    fmt = _FORMATS[instr.opcode]
+    if fmt == FMT_RRR:
+        return (op | _field(instr.rt, 5, "rt") << 19
+                | _field(instr.ra, 5, "ra") << 14
+                | _field(instr.rb, 5, "rb") << 9)
+    if fmt == FMT_RRI:
+        if instr.opcode in _SIGNED_IMM:
+            if not IMM14_MIN <= instr.imm <= IMM14_MAX:
+                raise ValueError(f"imm14 out of range: {instr.imm}")
+            imm = instr.imm & 0x3FFF
+        else:
+            if not 0 <= instr.imm <= UIMM14_MAX:
+                raise ValueError(f"uimm14 out of range: {instr.imm}")
+            imm = instr.imm
+        return (op | _field(instr.rt, 5, "rt") << 19
+                | _field(instr.ra, 5, "ra") << 14 | imm)
+    if fmt == FMT_CMP:
+        return (op | _field(instr.crf, 4, "crf") << 20
+                | _field(instr.ra, 5, "ra") << 15
+                | _field(instr.rb, 5, "rb") << 10)
+    if fmt == FMT_CMPI:
+        if instr.opcode in _SIGNED_IMM:
+            if not IMM15_MIN <= instr.imm <= IMM15_MAX:
+                raise ValueError(f"imm15 out of range: {instr.imm}")
+            imm = instr.imm & 0x7FFF
+        else:
+            if not 0 <= instr.imm <= UIMM15_MAX:
+                raise ValueError(f"uimm15 out of range: {instr.imm}")
+            imm = instr.imm
+        return (op | _field(instr.crf, 4, "crf") << 20
+                | _field(instr.ra, 5, "ra") << 15 | imm)
+    if fmt == FMT_CR:
+        return (op | _field(instr.rt, 5, "bt") << 19
+                | _field(instr.ra, 5, "ba") << 14
+                | _field(instr.rb, 5, "bb") << 9)
+    if fmt == FMT_B:
+        if not -(1 << 23) <= instr.offset < (1 << 23):
+            raise ValueError(f"branch offset out of range: {instr.offset}")
+        return op | (instr.offset & 0xFFFFFF)
+    if fmt == FMT_BC:
+        if not -(1 << 15) <= instr.offset < (1 << 15):
+            raise ValueError(f"bc offset out of range: {instr.offset}")
+        return (op | _field(int(instr.cond), 3, "cond") << 21
+                | _field(instr.bi, 5, "bi") << 16
+                | (instr.offset & 0xFFFF))
+    if fmt == FMT_R:
+        return op | _field(instr.rt, 5, "rt") << 19
+    if fmt == FMT_RI19:
+        if not -(1 << 18) <= instr.imm < (1 << 18):
+            raise ValueError(f"imm19 out of range: {instr.imm}")
+        return op | _field(instr.rt, 5, "rt") << 19 | (instr.imm & 0x7FFFF)
+    if fmt == FMT_NONE:
+        return op
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for unknown opcodes (the interpreter turns
+    this into an illegal-instruction program exception).
+    """
+    opnum = (word >> 24) & 0xFF
+    try:
+        opcode = Opcode(opnum)
+    except ValueError:
+        raise DecodeError(f"illegal opcode {opnum:#x} in word {word:#010x}")
+    fmt = _FORMATS[opcode]
+    if fmt == FMT_RRR:
+        return Instruction(opcode, rt=(word >> 19) & 0x1F,
+                           ra=(word >> 14) & 0x1F, rb=(word >> 9) & 0x1F)
+    if fmt == FMT_RRI:
+        imm = word & 0x3FFF
+        if opcode in _SIGNED_IMM:
+            imm = _sext(imm, 14)
+        return Instruction(opcode, rt=(word >> 19) & 0x1F,
+                           ra=(word >> 14) & 0x1F, imm=imm)
+    if fmt == FMT_CMP:
+        return Instruction(opcode, crf=(word >> 20) & 0xF,
+                           ra=(word >> 15) & 0x1F, rb=(word >> 10) & 0x1F)
+    if fmt == FMT_CMPI:
+        imm = word & 0x7FFF
+        if opcode in _SIGNED_IMM:
+            imm = _sext(imm, 15)
+        return Instruction(opcode, crf=(word >> 20) & 0xF,
+                           ra=(word >> 15) & 0x1F, imm=imm)
+    if fmt == FMT_CR:
+        return Instruction(opcode, rt=(word >> 19) & 0x1F,
+                           ra=(word >> 14) & 0x1F, rb=(word >> 9) & 0x1F)
+    if fmt == FMT_B:
+        return Instruction(opcode, offset=_sext(word & 0xFFFFFF, 24))
+    if fmt == FMT_BC:
+        cond_num = (word >> 21) & 0x7
+        try:
+            cond = BranchCond(cond_num)
+        except ValueError:
+            raise DecodeError(f"illegal bc condition {cond_num}")
+        return Instruction(opcode, cond=cond, bi=(word >> 16) & 0x1F,
+                           offset=_sext(word & 0xFFFF, 16))
+    if fmt == FMT_R:
+        return Instruction(opcode, rt=(word >> 19) & 0x1F)
+    if fmt == FMT_RI19:
+        return Instruction(opcode, rt=(word >> 19) & 0x1F,
+                           imm=_sext(word & 0x7FFFF, 19))
+    if fmt == FMT_NONE:
+        return Instruction(opcode)
+    raise AssertionError(f"unhandled format {fmt}")

@@ -1,0 +1,242 @@
+"""Instruction definitions for the PowerPC-subset base architecture.
+
+Each instruction is represented by the :class:`Instruction` dataclass.  The
+set below is the subset of PowerPC the paper's mechanisms exercise; the
+binary encoding is our own fixed 32-bit layout (see ``encoding.py``) — the
+paper's ideas are encoding-agnostic, and DESIGN.md documents this
+substitution.
+
+Instruction categories
+----------------------
+
+=============  ==============================================================
+three-reg ALU  add sub mullw divw divwu and or xor nand nor andc slw srw sraw
+two-reg ALU    neg cntlzw mr (assembler alias of ``or``)
+reg-imm ALU    addi ai (records carry) mulli andi_ ori xori slwi srwi srawi
+compare        cmp cmpl cmpi cmpli   (write a 4-bit condition field)
+CR logic       crand cror crxor crnand mtcrf mfcr
+loads/stores   lwz lwzx lbz lbzx lhz lhzx stw stwx stb stbx sth sthx
+CISC           lmw stmw  (load/store multiple — cracked into primitives)
+branches       b bl bc bcl blr blrl bctr bctrl
+SPR moves      mtlr mflr mtctr mfctr mtxer mfxer
+system         sc rfi mtmsr mfmsr nop
+=============  ==============================================================
+
+``ai`` follows the paper's Appendix D discussion: it is the add-immediate
+form that *always* sets the XER carry bit, which creates the output
+dependence DAISY must rename away.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Opcode(enum.IntEnum):
+    """Operation codes of the base architecture.
+
+    Values double as the 6-or-more-bit primary opcode in the binary
+    encoding; keep them stable.
+    """
+
+    # Three-register ALU.
+    ADD = 1
+    SUB = 2          # rt = ra - rb
+    MULLW = 3
+    DIVW = 4
+    DIVWU = 5
+    AND = 6
+    OR = 7
+    XOR = 8
+    NAND = 9
+    NOR = 10
+    ANDC = 11
+    SLW = 12
+    SRW = 13
+    SRAW = 14
+
+    # Two-register ALU.
+    NEG = 15
+    CNTLZW = 16
+
+    # Register-immediate ALU.
+    ADDI = 17        # no carry
+    AI = 18          # add immediate, records CA (PowerPC addic-style)
+    MULLI = 19
+    ANDI_ = 20       # and immediate, sets cr0 (PowerPC andi.)
+    ORI = 21
+    XORI = 22
+    SLWI = 23
+    SRWI = 24
+    SRAWI = 25       # records CA
+
+    # Compares (destination is a condition field).
+    CMP = 26
+    CMPL = 27
+    CMPI = 28
+    CMPLI = 29
+
+    # Condition-register logic.
+    CRAND = 30
+    CROR = 31
+    CRXOR = 32
+    CRNAND = 33
+    MTCRF = 34
+    MFCR = 35
+
+    # Loads.
+    LWZ = 36
+    LWZX = 37
+    LBZ = 38
+    LBZX = 39
+    LHZ = 40
+    LHZX = 41
+
+    # Stores.
+    STW = 42
+    STWX = 43
+    STB = 44
+    STBX = 45
+    STH = 46
+    STHX = 47
+
+    # CISC load/store multiple.
+    LMW = 48
+    STMW = 49
+
+    # Branches.
+    B = 50           # unconditional pc-relative
+    BL = 51          # ... and link
+    BC = 52          # conditional (BranchCond in `cond`), pc-relative
+    BCL = 53         # ... and link
+    BLR = 54         # branch to lr
+    BLRL = 55        # branch to lr and link
+    BCTR = 56        # branch to ctr
+    BCTRL = 57       # branch to ctr and link
+
+    # Special-register moves.
+    MTLR = 58
+    MFLR = 59
+    MTCTR = 60
+    MFCTR = 61
+    MTXER = 62
+    MFXER = 63
+
+    # System.
+    SC = 64
+    RFI = 65
+    MTMSR = 66
+    MFMSR = 67
+    NOP = 68
+
+    # Wide load-immediate (rt = sext(imm19)); materialises addresses in one
+    # instruction, standing in for PowerPC's lis/ori pairs.
+    LI = 69
+
+    # Floating point (IEEE double precision).
+    FADD = 70
+    FSUB = 71
+    FMUL = 72
+    FDIV = 73
+    FMR = 74         # frt = frb
+    FNEG = 75
+    FABS = 76
+    LFD = 77         # load 8-byte double
+    STFD = 78
+    FCMPU = 79       # unordered compare into a condition field
+
+
+class BranchCond(enum.IntEnum):
+    """Condition encodings for ``bc``/``bcl``.
+
+    ``bi`` in the instruction selects a single condition-register *bit*
+    (``4*crf + bit`` with bit 0=LT 1=GT 2=EQ 3=SO), tested true or false.
+    The ``DNZ``/``DZ`` forms first decrement ctr and test it — the forms
+    Appendix D shows serializing loops unless ctr is renamed.
+    """
+
+    ALWAYS = 0        # used internally; `b` is preferred in assembly
+    TRUE = 1          # branch if CR bit set
+    FALSE = 2         # branch if CR bit clear
+    DNZ = 3           # ctr -= 1; branch if ctr != 0
+    DZ = 4            # ctr -= 1; branch if ctr == 0
+    DNZ_TRUE = 5      # ctr -= 1; branch if ctr != 0 and CR bit set
+    DNZ_FALSE = 6     # ctr -= 1; branch if ctr != 0 and CR bit clear
+
+
+#: Opcodes that read memory.
+LOAD_OPCODES = frozenset({
+    Opcode.LWZ, Opcode.LWZX, Opcode.LBZ, Opcode.LBZX,
+    Opcode.LHZ, Opcode.LHZX, Opcode.LMW, Opcode.LFD,
+})
+
+#: Opcodes that write memory.
+STORE_OPCODES = frozenset({
+    Opcode.STW, Opcode.STWX, Opcode.STB, Opcode.STBX,
+    Opcode.STH, Opcode.STHX, Opcode.STMW, Opcode.STFD,
+})
+
+#: Opcodes that end straight-line fetch.
+BRANCH_OPCODES = frozenset({
+    Opcode.B, Opcode.BL, Opcode.BC, Opcode.BCL,
+    Opcode.BLR, Opcode.BLRL, Opcode.BCTR, Opcode.BCTRL,
+    Opcode.SC, Opcode.RFI,
+})
+
+#: Indirect branches (target comes from a register).
+INDIRECT_BRANCH_OPCODES = frozenset({
+    Opcode.BLR, Opcode.BLRL, Opcode.BCTR, Opcode.BCTRL,
+})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded base-architecture instruction.
+
+    Field use depends on :attr:`opcode`:
+
+    * ``rt``  — destination GPR (or source GPR for stores / mt* moves)
+    * ``ra``/``rb`` — source GPRs
+    * ``imm`` — 16-bit immediate, sign-extended where the opcode calls
+      for it (``addi ai mulli cmpi`` and load/store displacements) and
+      zero-extended for logical immediates
+    * ``crf`` — destination condition field for compares
+    * ``cond``/``bi`` — branch condition and CR bit for ``bc``/``bcl``
+    * ``offset`` — branch displacement in *instructions* (words),
+      pc-relative
+    """
+
+    opcode: Opcode
+    rt: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    crf: int = 0
+    cond: BranchCond = BranchCond.ALWAYS
+    bi: int = 0
+    offset: int = 0
+
+    def is_load(self) -> bool:
+        return self.opcode in LOAD_OPCODES
+
+    def is_store(self) -> bool:
+        return self.opcode in STORE_OPCODES
+
+    def is_branch(self) -> bool:
+        return self.opcode in BRANCH_OPCODES
+
+    def is_indirect_branch(self) -> bool:
+        return self.opcode in INDIRECT_BRANCH_OPCODES
+
+    def is_conditional_branch(self) -> bool:
+        return self.opcode in (Opcode.BC, Opcode.BCL)
+
+    def sets_link(self) -> bool:
+        return self.opcode in (Opcode.BL, Opcode.BCL, Opcode.BLRL, Opcode.BCTRL)
+
+    def decrements_ctr(self) -> bool:
+        return self.opcode in (Opcode.BC, Opcode.BCL) and self.cond in (
+            BranchCond.DNZ, BranchCond.DZ,
+            BranchCond.DNZ_TRUE, BranchCond.DNZ_FALSE,
+        )

@@ -1,0 +1,167 @@
+"""Reference interpreter for the base architecture.
+
+This is the "old machine": it defines the architected behaviour every DAISY
+run must reproduce bit-for-bit, produces the dynamic instruction counts that
+pathlength reduction (ILP) is measured against (Table 5.1), and generates
+the execution traces consumed by the oracle scheduler (Chapter 6) and the
+PowerPC-604E-like baseline (Table 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.faults import (
+    BaseArchFault,
+    InstructionBudgetExceeded,
+    ProgramExit,
+)
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.semantics import ExecutionEnv, execute, effective_address
+from repro.isa.services import EmulatorServices
+from repro.isa.state import CpuState
+from repro.memory.memory import PhysicalMemory
+from repro.memory.mmu import Mmu
+
+#: One dynamic instruction: (pc, instruction, data effective address or None).
+TraceEntry = Tuple[int, Instruction, Optional[int]]
+
+
+@dataclass
+class RunResult:
+    """Outcome and statistics of an interpreter run."""
+
+    exit_code: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    trace: Optional[List[TraceEntry]] = None
+    output: List[int] = field(default_factory=list)
+    #: Per-static-branch (taken, not-taken) counts; feeds the profile used
+    #: by the traditional-VLIW-compiler baseline.
+    branch_profile: dict = field(default_factory=dict)
+
+
+class Interpreter:
+    """Executes base-architecture binaries out of simulated memory.
+
+    Parameters
+    ----------
+    memory, mmu, state:
+        Shared substrate objects; fresh ones are created when omitted.
+    services:
+        ``sc`` handler (defaults to a new :class:`EmulatorServices`).
+    collect_trace:
+        When true, :meth:`run` records a full dynamic trace (pc,
+        instruction, effective address) for the oracle/superscalar
+        baselines.  Traces can be long; leave off otherwise.
+    """
+
+    def __init__(self, memory: Optional[PhysicalMemory] = None,
+                 mmu: Optional[Mmu] = None,
+                 state: Optional[CpuState] = None,
+                 services=None,
+                 collect_trace: bool = False):
+        self.memory = memory or PhysicalMemory()
+        self.mmu = mmu or Mmu(physical_size=self.memory.size)
+        self.state = state or CpuState()
+        self.services = services if services is not None else EmulatorServices()
+        self.env = ExecutionEnv(self.memory, self.mmu, self.services)
+        self.collect_trace = collect_trace
+        self._decode_cache: dict = {}
+
+    def load_program(self, program) -> None:
+        """Place an assembled :class:`~repro.isa.assembler.Program` into
+        memory and point pc at its entry."""
+        for addr, data in program.sections():
+            self.memory.load_raw(addr, data)
+        self.state.pc = program.entry
+
+    def fetch(self, pc: int) -> Instruction:
+        """Fetch and decode the instruction at virtual address ``pc``."""
+        paddr = self.mmu.translate_fetch(pc)
+        word = self.memory.read_word(paddr)
+        cached = self._decode_cache.get(word)
+        if cached is None:
+            cached = decode(word)
+            self._decode_cache[word] = cached
+        return cached
+
+    def step(self) -> Instruction:
+        """Execute a single instruction; returns it."""
+        instr = self.fetch(self.state.pc)
+        next_pc = execute(self.state, instr, self.env)
+        self.state.pc = next_pc
+        return instr
+
+    def run(self, entry: Optional[int] = None,
+            max_instructions: int = 50_000_000,
+            deliver_faults: bool = False) -> RunResult:
+        """Run until the program exits (or faults).
+
+        ``deliver_faults`` emulates hardware interrupt delivery: on a base
+        architecture fault, srr0/srr1 are set and control transfers to the
+        architected vector (requires handler code in the image).  When
+        false, faults propagate to the caller — convenient for tests.
+        """
+        state = self.state
+        if entry is not None:
+            state.pc = entry
+        result = RunResult()
+        trace: Optional[List[TraceEntry]] = [] if self.collect_trace else None
+        profile = result.branch_profile
+        while True:
+            if result.instructions >= max_instructions:
+                raise InstructionBudgetExceeded(
+                    f"exceeded {max_instructions} instructions")
+            pc_before = state.pc
+            try:
+                instr = self.fetch(pc_before)
+                next_pc = execute(state, instr, self.env)
+            except ProgramExit as exit_exc:
+                result.instructions += 1
+                result.exit_code = exit_exc.code
+                if trace is not None:
+                    trace.append((pc_before, self.fetch(pc_before), None))
+                break
+            except BaseArchFault as fault:
+                if not deliver_faults:
+                    raise
+                self._deliver(fault, pc_before)
+                continue
+            result.instructions += 1
+            if instr.is_load():
+                result.loads += 1
+            elif instr.is_store():
+                result.stores += 1
+            elif instr.is_branch():
+                result.branches += 1
+                taken = next_pc != pc_before + 4
+                if taken:
+                    result.taken_branches += 1
+                if instr.is_conditional_branch():
+                    stats = profile.setdefault(pc_before, [0, 0])
+                    stats[0 if taken else 1] += 1
+            if trace is not None:
+                trace.append((pc_before, instr,
+                              effective_address(state, instr)))
+            state.pc = next_pc
+        result.trace = trace
+        if hasattr(self.services, "output"):
+            result.output = list(self.services.output)
+        return result
+
+    def _deliver(self, fault: BaseArchFault, pc: int) -> None:
+        """Architected interrupt delivery (Section 3.3's PowerPC example)."""
+        state = self.state
+        state.srr0 = pc
+        state.srr1 = state.msr
+        state.msr &= ~0x4000  # enter supervisor state (clear PR)
+        if hasattr(fault, "address"):
+            state.dar = fault.address
+        state.dsisr = 0x02000000 if getattr(fault, "is_store", False) else 0x40000000
+        state.pc = fault.vector

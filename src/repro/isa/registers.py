@@ -1,0 +1,145 @@
+"""Register-space definitions shared by the base architecture and the VLIW.
+
+The base architecture (PowerPC subset) architects:
+
+* 32 general purpose registers  ``r0`` .. ``r31``
+* 8 condition-register fields   ``cr0`` .. ``cr7`` (4 bits each: LT GT EQ SO)
+* the link register ``lr`` and count register ``ctr``
+* the XER bits ``ca`` (carry), ``ov`` (overflow), ``so`` (summary overflow)
+* supervisor special registers ``msr srr0 srr1 dar dsisr``
+
+The migrant VLIW is a superset (Section 2 of the paper): 64 GPRs and 16
+condition fields, of which the upper halves are *non-architected* — they are
+invisible to base-architecture software and are the scratch space the
+translator renames speculative results into.
+
+Every register (architected or not) is identified by a small integer in one
+flat index space so the scheduler can keep per-register availability arrays.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Flat register index space
+# ---------------------------------------------------------------------------
+
+NUM_BASE_GPRS = 32
+NUM_VLIW_GPRS = 64
+
+NUM_BASE_CRFS = 8
+NUM_VLIW_CRFS = 16
+
+# GPRs occupy indices [0, 64).
+GPR0 = 0
+
+# Condition-register fields occupy [64, 80).
+CRF0 = NUM_VLIW_GPRS
+
+# Special registers.
+LR = CRF0 + NUM_VLIW_CRFS          # 80
+CTR = LR + 1                       # 81
+CA = CTR + 1                       # 82  XER carry bit
+OV = CA + 1                        # 83  XER overflow bit
+SO = OV + 1                        # 84  XER summary-overflow bit
+LR2 = SO + 1                       # 85  non-architected second link register
+                                   #     (Appendix D: indirect jumps in tree code)
+MSR = LR2 + 1
+SRR0 = MSR + 1
+SRR1 = SRR0 + 1
+DAR = SRR1 + 1
+DSISR = DAR + 1
+
+# Floating point registers occupy a block after the specials: 32
+# architected (f0-f31) plus 32 non-architected scratch FPRs — the paper
+# notes speculative renaming "should include floating point registers".
+NUM_BASE_FPRS = 32
+NUM_VLIW_FPRS = 64
+FPR0 = DSISR + 1
+
+NUM_REGISTERS = FPR0 + NUM_VLIW_FPRS
+
+#: Condition-field bit positions within a 4-bit field value.
+CR_LT = 0b1000
+CR_GT = 0b0100
+CR_EQ = 0b0010
+CR_SO = 0b0001
+
+
+def gpr(n: int) -> int:
+    """Flat index of general purpose register ``n``."""
+    if not 0 <= n < NUM_VLIW_GPRS:
+        raise ValueError(f"gpr number out of range: {n}")
+    return GPR0 + n
+
+
+def crf(n: int) -> int:
+    """Flat index of condition-register field ``n``."""
+    if not 0 <= n < NUM_VLIW_CRFS:
+        raise ValueError(f"crf number out of range: {n}")
+    return CRF0 + n
+
+
+def fpr(n: int) -> int:
+    """Flat index of floating point register ``n``."""
+    if not 0 <= n < NUM_VLIW_FPRS:
+        raise ValueError(f"fpr number out of range: {n}")
+    return FPR0 + n
+
+
+def is_gpr(index: int) -> bool:
+    return GPR0 <= index < GPR0 + NUM_VLIW_GPRS
+
+
+def is_crf(index: int) -> bool:
+    return CRF0 <= index < CRF0 + NUM_VLIW_CRFS
+
+
+def is_fpr(index: int) -> bool:
+    return FPR0 <= index < FPR0 + NUM_VLIW_FPRS
+
+
+def is_architected(index: int) -> bool:
+    """True if the register is part of the *base* architecture state.
+
+    Writes to architected registers must happen in original program order
+    for precise exceptions (Section 2); everything else is scratch the
+    scheduler may write speculatively.
+    """
+    if is_gpr(index):
+        return index - GPR0 < NUM_BASE_GPRS
+    if is_crf(index):
+        return index - CRF0 < NUM_BASE_CRFS
+    if is_fpr(index):
+        return index - FPR0 < NUM_BASE_FPRS
+    return index != LR2
+
+
+def register_name(index: int) -> str:
+    """Human-readable name used by the disassembler and VLIW listings."""
+    if is_gpr(index):
+        return f"r{index - GPR0}"
+    if is_crf(index):
+        return f"cr{index - CRF0}"
+    if is_fpr(index):
+        return f"f{index - FPR0}"
+    names = {
+        LR: "lr", CTR: "ctr", CA: "ca", OV: "ov", SO: "so", LR2: "lr2",
+        MSR: "msr", SRR0: "srr0", SRR1: "srr1", DAR: "dar", DSISR: "dsisr",
+    }
+    try:
+        return names[index]
+    except KeyError:
+        raise ValueError(f"unknown register index {index}") from None
+
+
+#: Registers that the renamer may allocate as speculative GPR destinations.
+NONARCH_GPRS = tuple(range(GPR0 + NUM_BASE_GPRS, GPR0 + NUM_VLIW_GPRS))
+
+#: Registers the renamer may allocate as speculative condition-field
+#: destinations (renaming condition codes enables parallel ``forall`` loops,
+#: Section 2 end).
+NONARCH_CRFS = tuple(range(CRF0 + NUM_BASE_CRFS, CRF0 + NUM_VLIW_CRFS))
+
+#: Registers the renamer may allocate as speculative floating point
+#: destinations.
+NONARCH_FPRS = tuple(range(FPR0 + NUM_BASE_FPRS, FPR0 + NUM_VLIW_FPRS))

@@ -1,0 +1,582 @@
+"""Execution semantics of the base architecture.
+
+One function per opcode, dispatched through :data:`HANDLERS`.  These
+semantics are the single source of truth: the interpreter executes them
+directly, and the DAISY translator's RISC primitives are defined so that a
+translated program produces bit-identical architected state (the
+equivalence test suite checks exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.faults import ProgramFault, SystemCallFault
+from repro.isa.instructions import BranchCond, Instruction, Opcode
+from repro.isa.state import CpuState, s32, u32
+from repro.memory.memory import PhysicalMemory
+from repro.memory.mmu import Mmu
+
+
+@dataclass
+class ExecutionEnv:
+    """Everything an instruction may touch besides the register state."""
+
+    memory: PhysicalMemory
+    mmu: Mmu
+    #: Handler for ``sc``; receives the CpuState, may raise
+    #: :class:`~repro.faults.ProgramExit`.  ``None`` raises the architected
+    #: system-call fault instead.
+    services: Optional[Callable[[CpuState], None]] = None
+
+
+Handler = Callable[[CpuState, Instruction, ExecutionEnv], int]
+
+
+def _ra_or_zero(state: CpuState, ra: int) -> int:
+    """PowerPC convention: rA=0 reads as literal 0 in addi and in
+    load/store effective-address computation."""
+    return 0 if ra == 0 else state.gpr[ra]
+
+
+def _count_leading_zeros(value: int) -> int:
+    value = u32(value)
+    if value == 0:
+        return 32
+    return 32 - value.bit_length()
+
+
+# ---------------------------------------------------------------------------
+# ALU
+# ---------------------------------------------------------------------------
+
+def _exec_add(state, instr, env):
+    state.set_gpr(instr.rt, state.gpr[instr.ra] + state.gpr[instr.rb])
+    return state.pc + 4
+
+
+def _exec_sub(state, instr, env):
+    state.set_gpr(instr.rt, state.gpr[instr.ra] - state.gpr[instr.rb])
+    return state.pc + 4
+
+
+def _exec_mullw(state, instr, env):
+    state.set_gpr(instr.rt, s32(state.gpr[instr.ra]) * s32(state.gpr[instr.rb]))
+    return state.pc + 4
+
+
+def _exec_divw(state, instr, env):
+    divisor = s32(state.gpr[instr.rb])
+    if divisor == 0:
+        # Documented simplification: result 0, OV and SO set.
+        state.set_gpr(instr.rt, 0)
+        state.ov = 1
+        state.so = 1
+    else:
+        quotient = int(s32(state.gpr[instr.ra]) / divisor)  # trunc toward 0
+        state.set_gpr(instr.rt, quotient)
+        state.ov = 0
+    return state.pc + 4
+
+
+def _exec_divwu(state, instr, env):
+    divisor = u32(state.gpr[instr.rb])
+    if divisor == 0:
+        state.set_gpr(instr.rt, 0)
+        state.ov = 1
+        state.so = 1
+    else:
+        state.set_gpr(instr.rt, u32(state.gpr[instr.ra]) // divisor)
+        state.ov = 0
+    return state.pc + 4
+
+
+def _logical(fn):
+    def handler(state, instr, env):
+        state.set_gpr(instr.rt, fn(state.gpr[instr.ra], state.gpr[instr.rb]))
+        return state.pc + 4
+    return handler
+
+
+_exec_and = _logical(lambda a, b: a & b)
+_exec_or = _logical(lambda a, b: a | b)
+_exec_xor = _logical(lambda a, b: a ^ b)
+_exec_nand = _logical(lambda a, b: ~(a & b))
+_exec_nor = _logical(lambda a, b: ~(a | b))
+_exec_andc = _logical(lambda a, b: a & ~b)
+
+
+def _exec_slw(state, instr, env):
+    shift = state.gpr[instr.rb] & 0x3F
+    state.set_gpr(instr.rt, 0 if shift > 31 else state.gpr[instr.ra] << shift)
+    return state.pc + 4
+
+
+def _exec_srw(state, instr, env):
+    shift = state.gpr[instr.rb] & 0x3F
+    state.set_gpr(instr.rt, 0 if shift > 31 else u32(state.gpr[instr.ra]) >> shift)
+    return state.pc + 4
+
+
+def _exec_sraw(state, instr, env):
+    shift = state.gpr[instr.rb] & 0x3F
+    value = s32(state.gpr[instr.ra])
+    if shift > 31:
+        result = -1 if value < 0 else 0
+        state.ca = 1 if value < 0 else 0   # all bits shifted out
+    else:
+        result = value >> shift
+        shifted_out = u32(state.gpr[instr.ra]) & ((1 << shift) - 1)
+        state.ca = 1 if value < 0 and shifted_out else 0
+    state.set_gpr(instr.rt, result)
+    return state.pc + 4
+
+
+def _exec_neg(state, instr, env):
+    state.set_gpr(instr.rt, -s32(state.gpr[instr.ra]))
+    return state.pc + 4
+
+
+def _exec_cntlzw(state, instr, env):
+    state.set_gpr(instr.rt, _count_leading_zeros(state.gpr[instr.ra]))
+    return state.pc + 4
+
+
+def _exec_addi(state, instr, env):
+    state.set_gpr(instr.rt, _ra_or_zero(state, instr.ra) + instr.imm)
+    return state.pc + 4
+
+
+def _exec_ai(state, instr, env):
+    # The paper's Appendix D pain point: ai always records the carry.
+    total = u32(state.gpr[instr.ra]) + u32(instr.imm)
+    state.ca = 1 if total > 0xFFFFFFFF else 0
+    state.set_gpr(instr.rt, total)
+    return state.pc + 4
+
+
+def _exec_mulli(state, instr, env):
+    state.set_gpr(instr.rt, s32(state.gpr[instr.ra]) * instr.imm)
+    return state.pc + 4
+
+
+def _exec_andi_(state, instr, env):
+    result = state.gpr[instr.ra] & instr.imm
+    state.set_gpr(instr.rt, result)
+    state.set_compare_field(0, result, 0, signed=True)
+    return state.pc + 4
+
+
+def _exec_ori(state, instr, env):
+    state.set_gpr(instr.rt, state.gpr[instr.ra] | instr.imm)
+    return state.pc + 4
+
+
+def _exec_xori(state, instr, env):
+    state.set_gpr(instr.rt, state.gpr[instr.ra] ^ instr.imm)
+    return state.pc + 4
+
+
+def _exec_slwi(state, instr, env):
+    state.set_gpr(instr.rt, state.gpr[instr.ra] << (instr.imm & 0x1F))
+    return state.pc + 4
+
+
+def _exec_srwi(state, instr, env):
+    state.set_gpr(instr.rt, u32(state.gpr[instr.ra]) >> (instr.imm & 0x1F))
+    return state.pc + 4
+
+
+def _exec_srawi(state, instr, env):
+    shift = instr.imm & 0x1F
+    value = s32(state.gpr[instr.ra])
+    shifted_out = u32(state.gpr[instr.ra]) & ((1 << shift) - 1)
+    state.ca = 1 if value < 0 and shifted_out else 0
+    state.set_gpr(instr.rt, value >> shift)
+    return state.pc + 4
+
+
+def _exec_li(state, instr, env):
+    state.set_gpr(instr.rt, instr.imm)
+    return state.pc + 4
+
+
+# ---------------------------------------------------------------------------
+# Compares and CR logic
+# ---------------------------------------------------------------------------
+
+def _exec_cmp(state, instr, env):
+    state.set_compare_field(instr.crf, state.gpr[instr.ra],
+                            state.gpr[instr.rb], signed=True)
+    return state.pc + 4
+
+
+def _exec_cmpl(state, instr, env):
+    state.set_compare_field(instr.crf, state.gpr[instr.ra],
+                            state.gpr[instr.rb], signed=False)
+    return state.pc + 4
+
+
+def _exec_cmpi(state, instr, env):
+    state.set_compare_field(instr.crf, state.gpr[instr.ra], u32(instr.imm),
+                            signed=True)
+    return state.pc + 4
+
+
+def _exec_cmpli(state, instr, env):
+    state.set_compare_field(instr.crf, state.gpr[instr.ra], instr.imm,
+                            signed=False)
+    return state.pc + 4
+
+
+def _cr_logical(fn):
+    def handler(state, instr, env):
+        a = state.get_cr_bit(instr.ra)
+        b = state.get_cr_bit(instr.rb)
+        state.set_cr_bit(instr.rt, fn(a, b))
+        return state.pc + 4
+    return handler
+
+
+_exec_crand = _cr_logical(lambda a, b: a & b)
+_exec_cror = _cr_logical(lambda a, b: a | b)
+_exec_crxor = _cr_logical(lambda a, b: a ^ b)
+_exec_crnand = _cr_logical(lambda a, b: 1 - (a & b))
+
+
+def _exec_mtcrf(state, instr, env):
+    state.set_cr_word(state.gpr[instr.rt], mask=instr.imm & 0xFF)
+    return state.pc + 4
+
+
+def _exec_mfcr(state, instr, env):
+    state.set_gpr(instr.rt, state.cr_word())
+    return state.pc + 4
+
+
+# ---------------------------------------------------------------------------
+# Loads and stores
+# ---------------------------------------------------------------------------
+
+def _ea_d(state, instr):
+    return u32(_ra_or_zero(state, instr.ra) + instr.imm)
+
+
+def _ea_x(state, instr):
+    return u32(_ra_or_zero(state, instr.ra) + state.gpr[instr.rb])
+
+
+def _load(state, instr, env, ea, width):
+    paddr = env.mmu.translate_data(ea, is_store=False)
+    if width == 1:
+        return env.memory.read_byte(paddr)
+    if width == 2:
+        return env.memory.read_half(paddr)
+    return env.memory.read_word(paddr)
+
+
+def _store(state, instr, env, ea, width, value):
+    paddr = env.mmu.translate_data(ea, is_store=True)
+    if width == 1:
+        env.memory.write_byte(paddr, value)
+    elif width == 2:
+        env.memory.write_half(paddr, value)
+    else:
+        env.memory.write_word(paddr, value)
+
+
+def _make_load(width, indexed):
+    def handler(state, instr, env):
+        ea = _ea_x(state, instr) if indexed else _ea_d(state, instr)
+        state.set_gpr(instr.rt, _load(state, instr, env, ea, width))
+        return state.pc + 4
+    return handler
+
+
+def _make_store(width, indexed):
+    def handler(state, instr, env):
+        ea = _ea_x(state, instr) if indexed else _ea_d(state, instr)
+        _store(state, instr, env, ea, width, state.gpr[instr.rt])
+        return state.pc + 4
+    return handler
+
+
+def _exec_lmw(state, instr, env):
+    # CISC: loads rt..r31 from consecutive words.  PowerPC semantics allow
+    # restart after a partial fault (Section 3.6).
+    ea = _ea_d(state, instr)
+    for reg in range(instr.rt, 32):
+        state.set_gpr(reg, _load(state, instr, env, ea, 4))
+        ea = u32(ea + 4)
+    return state.pc + 4
+
+
+def _exec_stmw(state, instr, env):
+    ea = _ea_d(state, instr)
+    for reg in range(instr.rt, 32):
+        _store(state, instr, env, ea, 4, state.gpr[reg])
+        ea = u32(ea + 4)
+    return state.pc + 4
+
+
+# ---------------------------------------------------------------------------
+# Branches
+# ---------------------------------------------------------------------------
+
+def branch_condition_met(state: CpuState, cond: BranchCond, bi: int) -> bool:
+    """Evaluate a ``bc`` condition *after* any ctr decrement has happened."""
+    if cond == BranchCond.ALWAYS:
+        return True
+    if cond == BranchCond.TRUE:
+        return state.get_cr_bit(bi) == 1
+    if cond == BranchCond.FALSE:
+        return state.get_cr_bit(bi) == 0
+    if cond == BranchCond.DNZ:
+        return state.ctr != 0
+    if cond == BranchCond.DZ:
+        return state.ctr == 0
+    if cond == BranchCond.DNZ_TRUE:
+        return state.ctr != 0 and state.get_cr_bit(bi) == 1
+    if cond == BranchCond.DNZ_FALSE:
+        return state.ctr != 0 and state.get_cr_bit(bi) == 0
+    raise AssertionError(f"unknown branch condition {cond}")
+
+
+def _exec_b(state, instr, env):
+    return u32(state.pc + instr.offset * 4)
+
+
+def _exec_bl(state, instr, env):
+    state.lr = u32(state.pc + 4)
+    return u32(state.pc + instr.offset * 4)
+
+
+def _exec_bc(state, instr, env):
+    if instr.decrements_ctr():
+        state.ctr = u32(state.ctr - 1)
+    if branch_condition_met(state, instr.cond, instr.bi):
+        target = u32(state.pc + instr.offset * 4)
+    else:
+        target = state.pc + 4
+    if instr.opcode == Opcode.BCL:
+        state.lr = u32(state.pc + 4)
+    return target
+
+
+def _exec_blr(state, instr, env):
+    return state.lr & ~3
+
+
+def _exec_blrl(state, instr, env):
+    target = state.lr & ~3
+    state.lr = u32(state.pc + 4)
+    return target
+
+
+def _exec_bctr(state, instr, env):
+    return state.ctr & ~3
+
+
+def _exec_bctrl(state, instr, env):
+    state.lr = u32(state.pc + 4)
+    return state.ctr & ~3
+
+
+# ---------------------------------------------------------------------------
+# SPR moves and system instructions
+# ---------------------------------------------------------------------------
+
+def _exec_mtlr(state, instr, env):
+    state.lr = state.gpr[instr.rt]
+    return state.pc + 4
+
+
+def _exec_mflr(state, instr, env):
+    state.set_gpr(instr.rt, state.lr)
+    return state.pc + 4
+
+
+def _exec_mtctr(state, instr, env):
+    state.ctr = state.gpr[instr.rt]
+    return state.pc + 4
+
+
+def _exec_mfctr(state, instr, env):
+    state.set_gpr(instr.rt, state.ctr)
+    return state.pc + 4
+
+
+def _exec_mtxer(state, instr, env):
+    value = state.gpr[instr.rt]
+    state.so = (value >> 31) & 1
+    state.ov = (value >> 30) & 1
+    state.ca = (value >> 29) & 1
+    return state.pc + 4
+
+
+def _exec_mfxer(state, instr, env):
+    state.set_gpr(instr.rt,
+                  (state.so << 31) | (state.ov << 30) | (state.ca << 29))
+    return state.pc + 4
+
+
+def _exec_sc(state, instr, env):
+    if env.services is None:
+        raise SystemCallFault()
+    env.services(state)
+    return state.pc + 4
+
+
+def _exec_rfi(state, instr, env):
+    if not state.is_supervisor():
+        raise ProgramFault(state.pc, "rfi in user mode")
+    state.msr = state.srr1
+    return state.srr0 & ~3
+
+
+def _exec_mtmsr(state, instr, env):
+    if not state.is_supervisor():
+        raise ProgramFault(state.pc, "mtmsr in user mode")
+    state.msr = state.gpr[instr.rt]
+    return state.pc + 4
+
+
+def _exec_mfmsr(state, instr, env):
+    state.set_gpr(instr.rt, state.msr)
+    return state.pc + 4
+
+
+def _exec_nop(state, instr, env):
+    return state.pc + 4
+
+
+# ---------------------------------------------------------------------------
+# Floating point (IEEE double precision; Python floats are IEEE doubles,
+# so the interpreter and the VLIW engine agree bit-for-bit).
+# ---------------------------------------------------------------------------
+
+def _float_binop(fn):
+    def handler(state, instr, env):
+        state.fpr[instr.rt] = fn(state.fpr[instr.ra], state.fpr[instr.rb])
+        return state.pc + 4
+    return handler
+
+
+def fdiv_ieee(a: float, b: float) -> float:
+    """Shared fdiv semantics (interpreter and VLIW engine must agree).
+
+    Documented simplification: division by zero yields IEEE infinities
+    (or NaN for 0/0); no FP exceptions are modelled."""
+    if b == 0.0:
+        if a == 0.0:
+            return float("nan")
+        return float("inf") if (a > 0) == (b >= 0) else float("-inf")
+    return a / b
+
+
+_exec_fadd = _float_binop(lambda a, b: a + b)
+_exec_fsub = _float_binop(lambda a, b: a - b)
+_exec_fmul = _float_binop(lambda a, b: a * b)
+_exec_fdiv_op = _float_binop(fdiv_ieee)
+
+
+def _exec_fmr(state, instr, env):
+    state.fpr[instr.rt] = state.fpr[instr.rb]
+    return state.pc + 4
+
+
+def _exec_fneg(state, instr, env):
+    state.fpr[instr.rt] = -state.fpr[instr.rb]
+    return state.pc + 4
+
+
+def _exec_fabs(state, instr, env):
+    state.fpr[instr.rt] = abs(state.fpr[instr.rb])
+    return state.pc + 4
+
+
+def _exec_lfd(state, instr, env):
+    ea = _ea_d(state, instr)
+    paddr = env.mmu.translate_data(ea, is_store=False)
+    state.fpr[instr.rt] = env.memory.read_double(paddr)
+    return state.pc + 4
+
+
+def _exec_stfd(state, instr, env):
+    ea = _ea_d(state, instr)
+    paddr = env.mmu.translate_data(ea, is_store=True)
+    env.memory.write_double(paddr, state.fpr[instr.rt])
+    return state.pc + 4
+
+
+def _exec_fcmpu(state, instr, env):
+    a, b = state.fpr[instr.ra], state.fpr[instr.rb]
+    if a != a or b != b:          # NaN: unordered sets the SO/FU bit
+        fld = 0b0001
+    elif a < b:
+        fld = 0b1000
+    elif a > b:
+        fld = 0b0100
+    else:
+        fld = 0b0010
+    state.cr[instr.crf] = fld
+    return state.pc + 4
+
+
+HANDLERS: Dict[Opcode, Handler] = {
+    Opcode.ADD: _exec_add, Opcode.SUB: _exec_sub, Opcode.MULLW: _exec_mullw,
+    Opcode.DIVW: _exec_divw, Opcode.DIVWU: _exec_divwu,
+    Opcode.AND: _exec_and, Opcode.OR: _exec_or, Opcode.XOR: _exec_xor,
+    Opcode.NAND: _exec_nand, Opcode.NOR: _exec_nor, Opcode.ANDC: _exec_andc,
+    Opcode.SLW: _exec_slw, Opcode.SRW: _exec_srw, Opcode.SRAW: _exec_sraw,
+    Opcode.NEG: _exec_neg, Opcode.CNTLZW: _exec_cntlzw,
+    Opcode.ADDI: _exec_addi, Opcode.AI: _exec_ai, Opcode.MULLI: _exec_mulli,
+    Opcode.ANDI_: _exec_andi_, Opcode.ORI: _exec_ori, Opcode.XORI: _exec_xori,
+    Opcode.SLWI: _exec_slwi, Opcode.SRWI: _exec_srwi,
+    Opcode.SRAWI: _exec_srawi, Opcode.LI: _exec_li,
+    Opcode.CMP: _exec_cmp, Opcode.CMPL: _exec_cmpl,
+    Opcode.CMPI: _exec_cmpi, Opcode.CMPLI: _exec_cmpli,
+    Opcode.CRAND: _exec_crand, Opcode.CROR: _exec_cror,
+    Opcode.CRXOR: _exec_crxor, Opcode.CRNAND: _exec_crnand,
+    Opcode.MTCRF: _exec_mtcrf, Opcode.MFCR: _exec_mfcr,
+    Opcode.LWZ: _make_load(4, False), Opcode.LWZX: _make_load(4, True),
+    Opcode.LBZ: _make_load(1, False), Opcode.LBZX: _make_load(1, True),
+    Opcode.LHZ: _make_load(2, False), Opcode.LHZX: _make_load(2, True),
+    Opcode.STW: _make_store(4, False), Opcode.STWX: _make_store(4, True),
+    Opcode.STB: _make_store(1, False), Opcode.STBX: _make_store(1, True),
+    Opcode.STH: _make_store(2, False), Opcode.STHX: _make_store(2, True),
+    Opcode.LMW: _exec_lmw, Opcode.STMW: _exec_stmw,
+    Opcode.B: _exec_b, Opcode.BL: _exec_bl,
+    Opcode.BC: _exec_bc, Opcode.BCL: _exec_bc,
+    Opcode.BLR: _exec_blr, Opcode.BLRL: _exec_blrl,
+    Opcode.BCTR: _exec_bctr, Opcode.BCTRL: _exec_bctrl,
+    Opcode.MTLR: _exec_mtlr, Opcode.MFLR: _exec_mflr,
+    Opcode.MTCTR: _exec_mtctr, Opcode.MFCTR: _exec_mfctr,
+    Opcode.MTXER: _exec_mtxer, Opcode.MFXER: _exec_mfxer,
+    Opcode.SC: _exec_sc, Opcode.RFI: _exec_rfi,
+    Opcode.MTMSR: _exec_mtmsr, Opcode.MFMSR: _exec_mfmsr,
+    Opcode.NOP: _exec_nop,
+    Opcode.FADD: _exec_fadd, Opcode.FSUB: _exec_fsub,
+    Opcode.FMUL: _exec_fmul, Opcode.FDIV: _exec_fdiv_op,
+    Opcode.FMR: _exec_fmr, Opcode.FNEG: _exec_fneg,
+    Opcode.FABS: _exec_fabs,
+    Opcode.LFD: _exec_lfd, Opcode.STFD: _exec_stfd,
+    Opcode.FCMPU: _exec_fcmpu,
+}
+
+
+def execute(state: CpuState, instr: Instruction, env: ExecutionEnv) -> int:
+    """Execute one instruction; returns the next pc (does not write it)."""
+    return HANDLERS[instr.opcode](state, instr, env)
+
+
+def effective_address(state: CpuState, instr: Instruction) -> Optional[int]:
+    """The data effective address an instruction would access, or ``None``
+    for non-memory instructions (used by trace collection and baselines)."""
+    if not (instr.is_load() or instr.is_store()):
+        return None
+    from repro.isa.encoding import instruction_format, FMT_RRR
+    if instruction_format(instr.opcode) == FMT_RRR:
+        return _ea_x(state, instr)
+    return _ea_d(state, instr)

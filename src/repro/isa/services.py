@@ -1,0 +1,53 @@
+"""Emulator services invoked through ``sc``.
+
+The paper's methodology (Chapter 5) translates calls to kernel routines
+into real calls and does not simulate the kernel.  We mirror that with a
+tiny service layer: ``sc`` with a service number in r0 performs the service
+directly in the host, costing one base instruction.  Both the interpreter
+and the DAISY system route ``sc`` here, so traces and architected state
+stay comparable.
+
+Services
+--------
+
+=====  =========================  =======================================
+r0     name                       effect
+=====  =========================  =======================================
+1      EXIT                       terminate; exit code in r3
+2      PUTCHAR                    append r3 & 0xFF to the output stream
+3      PUTWORD                    append r3 (32-bit) to the output stream
+=====  =========================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.faults import ProgramExit, ProgramFault
+from repro.isa.state import CpuState
+
+SVC_EXIT = 1
+SVC_PUTCHAR = 2
+SVC_PUTWORD = 3
+
+
+class EmulatorServices:
+    """Callable service handler collecting program output."""
+
+    def __init__(self):
+        self.output: List[int] = []
+
+    def __call__(self, state: CpuState) -> None:
+        service = state.gpr[0]
+        if service == SVC_EXIT:
+            raise ProgramExit(state.gpr[3])
+        if service == SVC_PUTCHAR:
+            self.output.append(state.gpr[3] & 0xFF)
+            return
+        if service == SVC_PUTWORD:
+            self.output.append(state.gpr[3])
+            return
+        raise ProgramFault(state.pc, f"unknown service {service}")
+
+    def output_bytes(self) -> bytes:
+        return bytes(v & 0xFF for v in self.output)

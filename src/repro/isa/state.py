@@ -1,0 +1,136 @@
+"""Architected processor state of the base architecture.
+
+This is exactly the state the paper's precise-exception machinery must keep
+consistent: at any base-instruction boundary, an external observer (the base
+OS, a debugger) sees these registers as if the program had run on the
+original machine.  Non-architected VLIW state (r32-r63, cr8-15, exception
+tags) lives in ``repro.vliw.registers`` and is invisible here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+MASK32 = 0xFFFFFFFF
+
+# MSR bits (a small subset of PowerPC's).
+MSR_EE = 0x8000   # external interrupts enabled
+MSR_PR = 0x4000   # problem state (user mode) when set
+MSR_IR = 0x0020   # instruction relocation
+MSR_DR = 0x0010   # data relocation
+
+#: Condition-field bit order used by the ``bi`` operand of ``bc``.
+CR_BIT_LT, CR_BIT_GT, CR_BIT_EQ, CR_BIT_SO = 0, 1, 2, 3
+
+
+def u32(value: int) -> int:
+    """Wrap to an unsigned 32-bit value."""
+    return value & MASK32
+
+
+def s32(value: int) -> int:
+    """Interpret a 32-bit pattern as signed."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class CpuState:
+    """Architected registers of the PowerPC-subset base architecture."""
+
+    def __init__(self):
+        self.gpr: List[int] = [0] * 32
+        #: IEEE double-precision floating point registers.
+        self.fpr: List[float] = [0.0] * 32
+        #: Eight 4-bit condition fields (LT GT EQ SO from the MSB down).
+        self.cr: List[int] = [0] * 8
+        self.lr = 0
+        self.ctr = 0
+        self.ca = 0
+        self.ov = 0
+        self.so = 0
+        self.pc = 0
+        self.msr = MSR_PR          # start in user mode, interrupts off
+        self.srr0 = 0
+        self.srr1 = 0
+        self.dar = 0
+        self.dsisr = 0
+
+    # -- GPR access with 32-bit wrapping -------------------------------------
+
+    def get_gpr(self, n: int) -> int:
+        return self.gpr[n]
+
+    def set_gpr(self, n: int, value: int) -> None:
+        self.gpr[n] = u32(value)
+
+    # -- condition register ---------------------------------------------------
+
+    def get_cr_bit(self, bi: int) -> int:
+        """The single CR bit selected by ``bi`` (0..31)."""
+        fld = self.cr[bi >> 2]
+        return (fld >> (3 - (bi & 3))) & 1
+
+    def set_cr_bit(self, bi: int, value: int) -> None:
+        shift = 3 - (bi & 3)
+        fld = self.cr[bi >> 2]
+        fld = (fld & ~(1 << shift)) | ((value & 1) << shift)
+        self.cr[bi >> 2] = fld
+
+    def cr_word(self) -> int:
+        """Full 32-bit condition register (for ``mfcr``)."""
+        word = 0
+        for fld in self.cr:
+            word = (word << 4) | (fld & 0xF)
+        return word
+
+    def set_cr_word(self, word: int, mask: int = 0xFF) -> None:
+        """Write fields selected by the 8-bit ``mask`` (for ``mtcrf``);
+        mask bit 7 selects cr0."""
+        for i in range(8):
+            if mask & (0x80 >> i):
+                self.cr[i] = (word >> (4 * (7 - i))) & 0xF
+
+    def set_compare_field(self, crf_index: int, lhs: int, rhs: int,
+                          signed: bool = True) -> None:
+        """Write a compare result into condition field ``crf_index``."""
+        if signed:
+            lhs, rhs = s32(lhs), s32(rhs)
+        else:
+            lhs, rhs = u32(lhs), u32(rhs)
+        if lhs < rhs:
+            fld = 0b1000
+        elif lhs > rhs:
+            fld = 0b0100
+        else:
+            fld = 0b0010
+        self.cr[crf_index] = fld | (self.so & 1)
+
+    # -- mode ------------------------------------------------------------------
+
+    def is_supervisor(self) -> bool:
+        return not (self.msr & MSR_PR)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A comparable copy of all architected state (used by the
+        equivalence tests that check DAISY against the interpreter)."""
+        return {
+            "gpr": list(self.gpr), "fpr": list(self.fpr),
+            "cr": list(self.cr),
+            "lr": self.lr, "ctr": self.ctr,
+            "ca": self.ca, "ov": self.ov, "so": self.so,
+            "pc": self.pc, "msr": self.msr,
+            "srr0": self.srr0, "srr1": self.srr1,
+            "dar": self.dar, "dsisr": self.dsisr,
+        }
+
+    def copy(self) -> "CpuState":
+        other = CpuState()
+        other.gpr = list(self.gpr)
+        other.fpr = list(self.fpr)
+        other.cr = list(self.cr)
+        for name in ("lr", "ctr", "ca", "ov", "so", "pc", "msr",
+                     "srr0", "srr1", "dar", "dsisr"):
+            setattr(other, name, getattr(self, name))
+        return other

@@ -1,0 +1,7 @@
+"""Memory substrate: physical memory with translation read-only bits, the
+base architecture page table, and the data TLB (Chapter 4 of the paper)."""
+
+from repro.memory.memory import PhysicalMemory
+from repro.memory.mmu import Mmu, Dtlb, PageTable
+
+__all__ = ["PhysicalMemory", "Mmu", "Dtlb", "PageTable"]

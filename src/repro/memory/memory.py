@@ -1,0 +1,122 @@
+"""Base-architecture physical memory.
+
+Big-endian byte-addressed storage with the extra *translated* read-only bit
+of Section 3.2: each unit (4K by default, matching the paper's choice for
+PowerPC) carries a bit, invisible to the base architecture, that the VMM
+sets when it translates code in that unit.  A store into a protected unit
+triggers the registered code-modification hook *before* the store completes,
+so the VMM can invalidate the stale translation; the store itself then
+proceeds (the paper's semantics: the exception is precise and the program
+resumes after the modifying instruction).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+from repro.faults import DataStorageFault
+
+
+class PhysicalMemory:
+    """Byte-addressed big-endian physical memory.
+
+    Parameters
+    ----------
+    size:
+        Size in bytes.  Accesses outside ``[0, size)`` raise
+        :class:`~repro.faults.DataStorageFault`.
+    protect_unit:
+        Granularity of the translated read-only bits (Section 3.2 suggests
+        4K for PowerPC).
+    """
+
+    def __init__(self, size: int = 1 << 20, protect_unit: int = 4096):
+        self.size = size
+        self.protect_unit = protect_unit
+        self._bytes = bytearray(size)
+        self._protected_units: set = set()
+        #: Called with the store's physical address whenever a store hits a
+        #: protected unit; wired to the VMM's code-modification handler.
+        self.code_modification_hook: Optional[Callable[[int], None]] = None
+
+    # -- protection bits ----------------------------------------------------
+
+    def protect_range(self, start: int, length: int) -> None:
+        """Set the translated read-only bit for every unit overlapping
+        ``[start, start+length)``."""
+        first = start // self.protect_unit
+        last = (start + max(length, 1) - 1) // self.protect_unit
+        self._protected_units.update(range(first, last + 1))
+
+    def unprotect_range(self, start: int, length: int) -> None:
+        first = start // self.protect_unit
+        last = (start + max(length, 1) - 1) // self.protect_unit
+        self._protected_units.difference_update(range(first, last + 1))
+
+    def is_protected(self, addr: int) -> bool:
+        return addr // self.protect_unit in self._protected_units
+
+    # -- bounds -------------------------------------------------------------
+
+    def _check(self, addr: int, length: int, is_store: bool) -> None:
+        if addr < 0 or addr + length > self.size:
+            raise DataStorageFault(addr, is_store=is_store)
+
+    def _store_check(self, addr: int, length: int) -> None:
+        self._check(addr, length, is_store=True)
+        if self.code_modification_hook is not None and self.is_protected(addr):
+            self.code_modification_hook(addr)
+
+    # -- loads --------------------------------------------------------------
+
+    def read_byte(self, addr: int) -> int:
+        self._check(addr, 1, False)
+        return self._bytes[addr]
+
+    def read_half(self, addr: int) -> int:
+        self._check(addr, 2, False)
+        return int.from_bytes(self._bytes[addr:addr + 2], "big")
+
+    def read_word(self, addr: int) -> int:
+        self._check(addr, 4, False)
+        return int.from_bytes(self._bytes[addr:addr + 4], "big")
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        self._check(addr, length, False)
+        return bytes(self._bytes[addr:addr + length])
+
+    def read_double(self, addr: int) -> float:
+        """IEEE double, big-endian (PowerPC lfd)."""
+        self._check(addr, 8, False)
+        return struct.unpack(">d", self._bytes[addr:addr + 8])[0]
+
+    # -- stores -------------------------------------------------------------
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self._store_check(addr, 1)
+        self._bytes[addr] = value & 0xFF
+
+    def write_half(self, addr: int, value: int) -> None:
+        self._store_check(addr, 2)
+        self._bytes[addr:addr + 2] = (value & 0xFFFF).to_bytes(2, "big")
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._store_check(addr, 4)
+        self._bytes[addr:addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._store_check(addr, len(data))
+        self._bytes[addr:addr + len(data)] = data
+
+    def write_double(self, addr: int, value: float) -> None:
+        self._store_check(addr, 8)
+        self._bytes[addr:addr + 8] = struct.pack(">d", value)
+
+    # -- loader backdoor ----------------------------------------------------
+
+    def load_raw(self, addr: int, data: bytes) -> None:
+        """Image loading: bypasses protection hooks (used before execution
+        starts, the way firmware would place the program in memory)."""
+        self._check(addr, len(data), True)
+        self._bytes[addr:addr + len(data)] = data

@@ -1,0 +1,138 @@
+"""Base-architecture address translation: page table and data TLB.
+
+Chapter 4: data memory accesses by translated code go through the base
+architecture's translation mechanism, modelled here as a page table plus a
+DTLB.  When data relocation is off (real mode) addresses map identically but
+the DTLB is still consulted so out-of-bounds real-mode accesses can be
+caught (the paper uses this to protect the VLIW translation area).
+
+The same structures serve instruction fetch for the interpreter; the VMM's
+ITLB (``repro.vmm.itlb``) layers the VLIW-specific mapping on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.faults import DataStorageFault, InstructionStorageFault
+
+
+@dataclass
+class PageTable:
+    """The base operating system's page table: virtual page -> physical page.
+
+    Our workloads mostly run with the identity map (real mode), but tests
+    exercise non-identity mappings because the VLIW address-mapping story
+    (Section 3.1's 0x30000 -> 0x2000 example) depends on them.
+    """
+
+    page_size: int = 4096
+    entries: Dict[int, int] = field(default_factory=dict)
+
+    def map(self, vaddr: int, paddr: int) -> None:
+        if vaddr % self.page_size or paddr % self.page_size:
+            raise ValueError("page table entries must be page aligned")
+        self.entries[vaddr // self.page_size] = paddr // self.page_size
+
+    def unmap(self, vaddr: int) -> None:
+        self.entries.pop(vaddr // self.page_size, None)
+
+    def lookup(self, vaddr: int) -> Optional[int]:
+        """Physical address for ``vaddr``, or None if unmapped."""
+        ppage = self.entries.get(vaddr // self.page_size)
+        if ppage is None:
+            return None
+        return ppage * self.page_size + vaddr % self.page_size
+
+
+class Dtlb:
+    """Data translation lookaside buffer with hit/miss statistics.
+
+    The paper (Chapter 4) prepends an address-prefix (relocation-enabled
+    bit etc.) to the effective address so real-mode and virtual-mode
+    entries coexist; we model that with a (mode, vpage) key.
+    """
+
+    def __init__(self, entries: int = 128, page_size: int = 4096):
+        self.capacity = entries
+        self.page_size = page_size
+        self._map: Dict[tuple, int] = {}
+        self._order: list = []
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, mode: int, vpage: int) -> Optional[int]:
+        key = (mode, vpage)
+        ppage = self._map.get(key)
+        if ppage is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ppage
+
+    def insert(self, mode: int, vpage: int, ppage: int) -> None:
+        key = (mode, vpage)
+        if key not in self._map and len(self._map) >= self.capacity:
+            victim = self._order.pop(0)
+            del self._map[victim]
+        if key not in self._map:
+            self._order.append(key)
+        self._map[key] = ppage
+
+    def invalidate_all(self) -> None:
+        self._map.clear()
+        self._order.clear()
+
+    def invalidate_page(self, vpage: int) -> None:
+        for key in [k for k in self._map if k[1] == vpage]:
+            del self._map[key]
+            self._order.remove(key)
+
+
+class Mmu:
+    """Combines the page table, DTLB, and relocation mode.
+
+    ``relocation_on`` mirrors the MSR DR/IR bits: when off, virtual equals
+    physical (identity), subject to a physical-size bound.
+    """
+
+    def __init__(self, page_table: Optional[PageTable] = None,
+                 physical_size: int = 1 << 20, page_size: int = 4096):
+        self.page_table = page_table or PageTable(page_size=page_size)
+        self.page_size = page_size
+        self.physical_size = physical_size
+        self.relocation_on = False
+        self.dtlb = Dtlb(page_size=page_size)
+
+    def translate_data(self, vaddr: int, is_store: bool = False) -> int:
+        """Virtual -> physical for a data access; raises
+        :class:`DataStorageFault` on failure."""
+        mode = 1 if self.relocation_on else 0
+        vpage = vaddr // self.page_size
+        ppage = self.dtlb.lookup(mode, vpage)
+        if ppage is None:
+            ppage = self._walk(vaddr, vpage)
+            if ppage is None:
+                raise DataStorageFault(vaddr, is_store=is_store)
+            self.dtlb.insert(mode, vpage, ppage)
+        return ppage * self.page_size + vaddr % self.page_size
+
+    def translate_fetch(self, vaddr: int) -> int:
+        """Virtual -> physical for instruction fetch; raises
+        :class:`InstructionStorageFault` on failure."""
+        vpage = vaddr // self.page_size
+        ppage = self._walk(vaddr, vpage)
+        if ppage is None:
+            raise InstructionStorageFault(vaddr)
+        return ppage * self.page_size + vaddr % self.page_size
+
+    def _walk(self, vaddr: int, vpage: int) -> Optional[int]:
+        if not self.relocation_on:
+            if 0 <= vaddr < self.physical_size:
+                return vpage
+            return None
+        paddr = self.page_table.lookup(vaddr)
+        if paddr is None or paddr >= self.physical_size:
+            return None
+        return paddr // self.page_size

@@ -1,0 +1,13 @@
+"""RISC primitive intermediate representation.
+
+Base-architecture instructions are *cracked* into RISC primitives before
+scheduling (Chapter 2: "converted into RISC primitives (if a CISCy
+operation)").  Most of our PowerPC subset maps 1:1; ``lmw``/``stmw``,
+``mtcrf``, ``mfcr``, the XER moves, and the ctr-decrementing branch forms
+expand into several primitives.
+"""
+
+from repro.primitives.ops import PrimOp, Primitive
+from repro.primitives.decompose import decompose, DecomposedBranch
+
+__all__ = ["PrimOp", "Primitive", "decompose", "DecomposedBranch"]

@@ -1,0 +1,331 @@
+"""Cracking base-architecture instructions into RISC primitives.
+
+``decompose`` maps one decoded instruction to ``(primitives, branch)``:
+
+* ``primitives`` — the RISC primitives performing the instruction's data
+  side effects, in architectural order (the last one carries
+  ``completes=True``);
+* ``branch`` — a :class:`DecomposedBranch` describing control flow, or
+  ``None`` for fall-through instructions.
+
+The decomposition matches the interpreter semantics exactly (the
+equivalence tests run both).  Notable expansions:
+
+* ``lmw``/``stmw``  — one LD4/ST4 per register (the paper's
+  LOAD-MULTIPLE-REGISTERS footnote in Chapter 2);
+* ``andi.``         — AND plus compare-with-zero into cr0;
+* ``mtcrf``         — one EXTRACT_CRF per selected field (the paper's
+  ``mtcrf2``, Appendix D);
+* ``bc`` with ctr decrement — an explicit ``addi ctr, ctr, -1`` primitive
+  so the decrement can be renamed and loop iterations overlap
+  (Appendix D);
+* ``bl``/``bcl``    — an explicit LIMM of the return address into lr,
+  because tree code is not sequential (Appendix D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.isa import registers as regs
+from repro.isa.instructions import BranchCond, Instruction, Opcode
+from repro.isa.state import u32
+from repro.primitives.ops import PrimOp, Primitive
+
+
+class BranchKind(enum.Enum):
+    DIRECT = "direct"             # b / bl
+    CONDITIONAL = "conditional"   # bc / bcl
+    INDIRECT_LR = "indirect_lr"   # blr / blrl
+    INDIRECT_CTR = "indirect_ctr"  # bctr / bctrl
+    SC = "sc"                     # system call: service, then fall through
+    RFI = "rfi"                   # return from interrupt via srr0
+
+
+@dataclass
+class DecomposedBranch:
+    """Control-flow behaviour of a branch instruction.
+
+    ``target`` is the absolute base-architecture target for direct forms.
+    For conditional branches, ``cond``/``bi`` describe the test (evaluated
+    *after* any ctr-decrement primitive, which appears in the primitive
+    list) and ``fallthrough`` is the next sequential address.
+    """
+
+    kind: BranchKind
+    target: Optional[int] = None
+    fallthrough: Optional[int] = None
+    cond: BranchCond = BranchCond.ALWAYS
+    bi: int = 0
+    decrements_ctr: bool = False
+    #: Register holding the runtime target for indirect kinds (flat index).
+    via: Optional[int] = None
+
+
+_THREE_REG = {
+    Opcode.ADD: PrimOp.ADD, Opcode.SUB: PrimOp.SUB, Opcode.MULLW: PrimOp.MULL,
+    Opcode.DIVW: PrimOp.DIV, Opcode.DIVWU: PrimOp.DIVU,
+    Opcode.AND: PrimOp.AND, Opcode.OR: PrimOp.OR, Opcode.XOR: PrimOp.XOR,
+    Opcode.NAND: PrimOp.NAND, Opcode.NOR: PrimOp.NOR,
+    Opcode.ANDC: PrimOp.ANDC, Opcode.SLW: PrimOp.SLL,
+    Opcode.SRW: PrimOp.SRL, Opcode.SRAW: PrimOp.SRA,
+}
+
+_REG_IMM = {
+    Opcode.AI: PrimOp.AI, Opcode.MULLI: PrimOp.MULLI,
+    Opcode.ORI: PrimOp.ORI, Opcode.XORI: PrimOp.XORI,
+    Opcode.SLWI: PrimOp.SLLI, Opcode.SRWI: PrimOp.SRLI,
+    Opcode.SRAWI: PrimOp.SRAI,
+}
+
+_CMP = {
+    Opcode.CMP: PrimOp.CMP_S, Opcode.CMPL: PrimOp.CMP_U,
+    Opcode.CMPI: PrimOp.CMPI_S, Opcode.CMPLI: PrimOp.CMPI_U,
+}
+
+_CRB = {
+    Opcode.CRAND: PrimOp.CRB_AND, Opcode.CROR: PrimOp.CRB_OR,
+    Opcode.CRXOR: PrimOp.CRB_XOR, Opcode.CRNAND: PrimOp.CRB_NAND,
+}
+
+_LOADS = {
+    Opcode.LWZ: (PrimOp.LD4, False), Opcode.LWZX: (PrimOp.LD4, True),
+    Opcode.LBZ: (PrimOp.LD1, False), Opcode.LBZX: (PrimOp.LD1, True),
+    Opcode.LHZ: (PrimOp.LD2, False), Opcode.LHZX: (PrimOp.LD2, True),
+}
+
+_STORES = {
+    Opcode.STW: (PrimOp.ST4, False), Opcode.STWX: (PrimOp.ST4, True),
+    Opcode.STB: (PrimOp.ST1, False), Opcode.STBX: (PrimOp.ST1, True),
+    Opcode.STH: (PrimOp.ST2, False), Opcode.STHX: (PrimOp.ST2, True),
+}
+
+_FP_BINOPS = {
+    Opcode.FADD: PrimOp.FADD, Opcode.FSUB: PrimOp.FSUB,
+    Opcode.FMUL: PrimOp.FMUL, Opcode.FDIV: PrimOp.FDIV,
+}
+
+
+def _addr_srcs(ra: int, rb: Optional[int] = None) -> Tuple[int, ...]:
+    """Address source registers; rA=0 reads as literal zero."""
+    srcs: Tuple[int, ...] = () if ra == 0 else (regs.gpr(ra),)
+    if rb is not None:
+        srcs += (regs.gpr(rb),)
+    return srcs
+
+
+def _mark_completion(prims: List[Primitive]) -> List[Primitive]:
+    if prims:
+        prims[-1].completes = True
+    return prims
+
+
+def decompose(instr: Instruction, pc: int
+              ) -> Tuple[List[Primitive], Optional[DecomposedBranch]]:
+    """Crack ``instr`` (fetched at ``pc``) into primitives + branch info."""
+    op = instr.opcode
+    prims: List[Primitive] = []
+    branch: Optional[DecomposedBranch] = None
+
+    if op in _THREE_REG:
+        prims.append(Primitive(_THREE_REG[op], dest=regs.gpr(instr.rt),
+                               srcs=(regs.gpr(instr.ra), regs.gpr(instr.rb)),
+                               base_pc=pc))
+    elif op == Opcode.NEG:
+        prims.append(Primitive(PrimOp.NEG, dest=regs.gpr(instr.rt),
+                               srcs=(regs.gpr(instr.ra),), base_pc=pc))
+    elif op == Opcode.CNTLZW:
+        prims.append(Primitive(PrimOp.CNTLZ, dest=regs.gpr(instr.rt),
+                               srcs=(regs.gpr(instr.ra),), base_pc=pc))
+    elif op == Opcode.ADDI:
+        prims.append(Primitive(PrimOp.ADDI, dest=regs.gpr(instr.rt),
+                               srcs=_addr_srcs(instr.ra), imm=instr.imm,
+                               base_pc=pc))
+    elif op in _REG_IMM:
+        prims.append(Primitive(_REG_IMM[op], dest=regs.gpr(instr.rt),
+                               srcs=(regs.gpr(instr.ra),), imm=instr.imm,
+                               base_pc=pc))
+    elif op == Opcode.ANDI_:
+        # Two architected side effects -> two primitives.
+        prims.append(Primitive(PrimOp.ANDI, dest=regs.gpr(instr.rt),
+                               srcs=(regs.gpr(instr.ra),), imm=instr.imm,
+                               base_pc=pc))
+        prims.append(Primitive(PrimOp.CMPI_S, dest=regs.crf(0),
+                               srcs=(regs.gpr(instr.rt), regs.SO), imm=0,
+                               base_pc=pc))
+    elif op == Opcode.LI:
+        prims.append(Primitive(PrimOp.LIMM, dest=regs.gpr(instr.rt),
+                               imm=instr.imm, base_pc=pc))
+    elif op in _CMP:
+        srcs: Tuple[int, ...]
+        if op in (Opcode.CMP, Opcode.CMPL):
+            srcs = (regs.gpr(instr.ra), regs.gpr(instr.rb), regs.SO)
+            prims.append(Primitive(_CMP[op], dest=regs.crf(instr.crf),
+                                   srcs=srcs, base_pc=pc))
+        else:
+            srcs = (regs.gpr(instr.ra), regs.SO)
+            prims.append(Primitive(_CMP[op], dest=regs.crf(instr.crf),
+                                   srcs=srcs, imm=instr.imm, base_pc=pc))
+    elif op in _CRB:
+        dest_field = regs.crf(instr.rt >> 2)
+        packed = ((instr.rt & 3) << 6) | ((instr.ra & 3) << 3) | (instr.rb & 3)
+        prims.append(Primitive(_CRB[op], dest=dest_field,
+                               srcs=(dest_field, regs.crf(instr.ra >> 2),
+                                     regs.crf(instr.rb >> 2)),
+                               imm=packed, base_pc=pc))
+    elif op == Opcode.MTCRF:
+        mask = instr.imm & 0xFF
+        selected = [i for i in range(8) if mask & (0x80 >> i)]
+        for i in selected:
+            prims.append(Primitive(PrimOp.EXTRACT_CRF, dest=regs.crf(i),
+                                   srcs=(regs.gpr(instr.rt),), imm=i,
+                                   base_pc=pc))
+        if not selected:
+            prims.append(Primitive(PrimOp.NOP, base_pc=pc))
+    elif op == Opcode.MFCR:
+        prims.append(Primitive(PrimOp.GATHER_CR, dest=regs.gpr(instr.rt),
+                               srcs=tuple(regs.crf(i) for i in range(8)),
+                               base_pc=pc))
+    elif op in _LOADS:
+        prim_op, indexed = _LOADS[op]
+        if indexed:
+            prims.append(Primitive(prim_op, dest=regs.gpr(instr.rt),
+                                   srcs=_addr_srcs(instr.ra, instr.rb),
+                                   imm=0, base_pc=pc))
+        else:
+            prims.append(Primitive(prim_op, dest=regs.gpr(instr.rt),
+                                   srcs=_addr_srcs(instr.ra), imm=instr.imm,
+                                   base_pc=pc))
+    elif op in _STORES:
+        prim_op, indexed = _STORES[op]
+        if indexed:
+            prims.append(Primitive(prim_op, srcs=_addr_srcs(instr.ra, instr.rb),
+                                   imm=0, value_src=regs.gpr(instr.rt),
+                                   base_pc=pc))
+        else:
+            prims.append(Primitive(prim_op, srcs=_addr_srcs(instr.ra),
+                                   imm=instr.imm, value_src=regs.gpr(instr.rt),
+                                   base_pc=pc))
+    elif op == Opcode.LMW:
+        if instr.ra != 0 and instr.rt <= instr.ra:
+            raise ValueError("lmw with base register in the loaded range")
+        for k, reg in enumerate(range(instr.rt, 32)):
+            prims.append(Primitive(PrimOp.LD4, dest=regs.gpr(reg),
+                                   srcs=_addr_srcs(instr.ra),
+                                   imm=instr.imm + 4 * k, base_pc=pc))
+    elif op == Opcode.STMW:
+        for k, reg in enumerate(range(instr.rt, 32)):
+            prims.append(Primitive(PrimOp.ST4, srcs=_addr_srcs(instr.ra),
+                                   imm=instr.imm + 4 * k,
+                                   value_src=regs.gpr(reg), base_pc=pc))
+    elif op == Opcode.MTLR:
+        prims.append(Primitive(PrimOp.MOVE, dest=regs.LR,
+                               srcs=(regs.gpr(instr.rt),), base_pc=pc))
+    elif op == Opcode.MFLR:
+        prims.append(Primitive(PrimOp.MOVE, dest=regs.gpr(instr.rt),
+                               srcs=(regs.LR,), base_pc=pc))
+    elif op == Opcode.MTCTR:
+        prims.append(Primitive(PrimOp.MOVE, dest=regs.CTR,
+                               srcs=(regs.gpr(instr.rt),), base_pc=pc))
+    elif op == Opcode.MFCTR:
+        prims.append(Primitive(PrimOp.MOVE, dest=regs.gpr(instr.rt),
+                               srcs=(regs.CTR,), base_pc=pc))
+    elif op == Opcode.MTXER:
+        prims.append(Primitive(PrimOp.SET_CA, dest=regs.CA,
+                               srcs=(regs.gpr(instr.rt),), base_pc=pc))
+        prims.append(Primitive(PrimOp.SET_OV, dest=regs.OV,
+                               srcs=(regs.gpr(instr.rt),), base_pc=pc))
+        prims.append(Primitive(PrimOp.SET_SO, dest=regs.SO,
+                               srcs=(regs.gpr(instr.rt),), base_pc=pc))
+    elif op == Opcode.MFXER:
+        prims.append(Primitive(PrimOp.GATHER_XER, dest=regs.gpr(instr.rt),
+                               srcs=(regs.CA, regs.OV, regs.SO), base_pc=pc))
+    elif op == Opcode.MTMSR:
+        prims.append(Primitive(PrimOp.TRAP_PRIV, srcs=(regs.MSR,),
+                               base_pc=pc))
+        prims.append(Primitive(PrimOp.MOVE, dest=regs.MSR,
+                               srcs=(regs.gpr(instr.rt),), base_pc=pc))
+    elif op == Opcode.MFMSR:
+        prims.append(Primitive(PrimOp.MOVE, dest=regs.gpr(instr.rt),
+                               srcs=(regs.MSR,), base_pc=pc))
+    elif op in _FP_BINOPS:
+        prims.append(Primitive(_FP_BINOPS[op], dest=regs.fpr(instr.rt),
+                               srcs=(regs.fpr(instr.ra),
+                                     regs.fpr(instr.rb)), base_pc=pc))
+    elif op == Opcode.FMR:
+        prims.append(Primitive(PrimOp.MOVE, dest=regs.fpr(instr.rt),
+                               srcs=(regs.fpr(instr.rb),), base_pc=pc))
+    elif op == Opcode.FNEG:
+        prims.append(Primitive(PrimOp.FNEG, dest=regs.fpr(instr.rt),
+                               srcs=(regs.fpr(instr.rb),), base_pc=pc))
+    elif op == Opcode.FABS:
+        prims.append(Primitive(PrimOp.FABS, dest=regs.fpr(instr.rt),
+                               srcs=(regs.fpr(instr.rb),), base_pc=pc))
+    elif op == Opcode.LFD:
+        prims.append(Primitive(PrimOp.LD8F, dest=regs.fpr(instr.rt),
+                               srcs=_addr_srcs(instr.ra), imm=instr.imm,
+                               base_pc=pc))
+    elif op == Opcode.STFD:
+        prims.append(Primitive(PrimOp.ST8F, srcs=_addr_srcs(instr.ra),
+                               imm=instr.imm, value_src=regs.fpr(instr.rt),
+                               base_pc=pc))
+    elif op == Opcode.FCMPU:
+        prims.append(Primitive(PrimOp.FCMP_U, dest=regs.crf(instr.crf),
+                               srcs=(regs.fpr(instr.ra),
+                                     regs.fpr(instr.rb)), base_pc=pc))
+    elif op == Opcode.NOP:
+        prims.append(Primitive(PrimOp.NOP, base_pc=pc))
+    elif op == Opcode.B or op == Opcode.BL:
+        if instr.sets_link():
+            prims.append(Primitive(PrimOp.LIMM, dest=regs.LR,
+                                   imm=u32(pc + 4), base_pc=pc))
+        branch = DecomposedBranch(BranchKind.DIRECT,
+                                  target=u32(pc + instr.offset * 4))
+    elif op in (Opcode.BC, Opcode.BCL):
+        if instr.decrements_ctr():
+            prims.append(Primitive(PrimOp.ADDI, dest=regs.CTR,
+                                   srcs=(regs.CTR,), imm=-1, base_pc=pc,
+                                   prefer_rename=True))
+        if instr.sets_link():
+            prims.append(Primitive(PrimOp.LIMM, dest=regs.LR,
+                                   imm=u32(pc + 4), base_pc=pc))
+        branch = DecomposedBranch(BranchKind.CONDITIONAL,
+                                  target=u32(pc + instr.offset * 4),
+                                  fallthrough=u32(pc + 4),
+                                  cond=instr.cond, bi=instr.bi,
+                                  decrements_ctr=instr.decrements_ctr())
+    elif op == Opcode.BLR:
+        branch = DecomposedBranch(BranchKind.INDIRECT_LR, via=regs.LR)
+    elif op == Opcode.BLRL:
+        # The target is the *old* lr; stage it in the non-architected lr2
+        # before overwriting lr with the return address (Appendix D).
+        prims.append(Primitive(PrimOp.MOVE, dest=regs.LR2,
+                               srcs=(regs.LR,), base_pc=pc))
+        prims.append(Primitive(PrimOp.LIMM, dest=regs.LR,
+                               imm=u32(pc + 4), base_pc=pc))
+        branch = DecomposedBranch(BranchKind.INDIRECT_LR, via=regs.LR2)
+    elif op in (Opcode.BCTR, Opcode.BCTRL):
+        if instr.sets_link():
+            prims.append(Primitive(PrimOp.LIMM, dest=regs.LR,
+                                   imm=u32(pc + 4), base_pc=pc))
+        branch = DecomposedBranch(BranchKind.INDIRECT_CTR, via=regs.CTR)
+    elif op == Opcode.SC:
+        prims.append(Primitive(PrimOp.SERVICE, base_pc=pc))
+        branch = DecomposedBranch(BranchKind.SC, fallthrough=u32(pc + 4))
+    elif op == Opcode.RFI:
+        prims.append(Primitive(PrimOp.TRAP_PRIV, srcs=(regs.MSR,),
+                               base_pc=pc))
+        prims.append(Primitive(PrimOp.MOVE, dest=regs.MSR,
+                               srcs=(regs.SRR1,), base_pc=pc))
+        branch = DecomposedBranch(BranchKind.RFI, via=regs.SRR0)
+    else:
+        raise ValueError(f"cannot decompose {op!r}")
+
+    # Fall-through instructions complete at their last primitive; branch
+    # instructions complete at the branch exit itself (the engine counts
+    # the exit), so their helper primitives are never completion points.
+    if branch is None:
+        _mark_completion(prims)
+    return prims, branch

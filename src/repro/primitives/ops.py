@@ -1,0 +1,168 @@
+"""Primitive operations of the migrant VLIW architecture.
+
+These are the RISC parcels that fill tree-VLIW instructions.  Every
+primitive has at most one destination register; instructions with several
+architected side effects are cracked into several primitives (e.g.
+``andi.`` becomes an AND plus a compare).  The XER carry/overflow written
+by ``ai``/``srawi``/``divw`` travels in *extender bits* of the destination
+value (Appendix D) and is committed together with it, so it needs no
+separate destination.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class PrimOp(enum.Enum):
+    # Three-register ALU.
+    ADD = "add"
+    SUB = "sub"
+    MULL = "mull"
+    DIV = "div"
+    DIVU = "divu"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    ANDC = "andc"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"            # records CA in the extender
+    # Two-register / immediate ALU.
+    NEG = "neg"
+    CNTLZ = "cntlz"
+    ADDI = "addi"
+    AI = "ai"              # records CA in the extender
+    MULLI = "mulli"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"          # records CA in the extender
+    LIMM = "limm"          # dest = imm (also materialises link addresses)
+    MOVE = "move"          # dest = src (register class free)
+    COMMIT = "commit"      # in-order copy renamed -> architected
+                           # (also moves extender bits into CA/OV/SO)
+    # Compares: dest is a condition field.
+    CMP_S = "cmp_s"
+    CMP_U = "cmp_u"
+    CMPI_S = "cmpi_s"
+    CMPI_U = "cmpi_u"
+    # Condition-register bit logic: dest is a condition field; imm packs
+    # (dest_bit, a_bit, b_bit); srcs = (old_dest_field, a_field, b_field).
+    CRB_AND = "crb_and"
+    CRB_OR = "crb_or"
+    CRB_XOR = "crb_xor"
+    CRB_NAND = "crb_nand"
+    # mtcrf/mfcr support.
+    EXTRACT_CRF = "extract_crf"   # dest = 4-bit field i of src; imm = i
+    GATHER_CR = "gather_cr"       # dest gpr = concatenation of 8 fields
+    GATHER_XER = "gather_xer"     # dest gpr = so|ov|ca << 29
+    SET_CA = "set_ca"             # dest CA = bit 29 of src, etc.
+    SET_OV = "set_ov"
+    SET_SO = "set_so"
+    # Floating point (IEEE double).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FNEG = "fneg"
+    FABS = "fabs"
+    FCMP_U = "fcmp_u"             # dest is a condition field
+    # Memory.  Address = sum of src registers + imm.
+    LD1 = "ld1"
+    LD2 = "ld2"
+    LD4 = "ld4"
+    LD8F = "ld8f"                 # double-precision load
+    ST1 = "st1"
+    ST2 = "st2"
+    ST4 = "st4"
+    ST8F = "st8f"
+    # System.
+    TRAP_PRIV = "trap_priv"       # fault unless supervisor (reads MSR)
+    TRAP_ILLEGAL = "trap_illegal"  # undecodable base instruction
+    SERVICE = "service"           # sc service call (in-order only)
+    NOP = "nop"
+    #: Zero-resource completion marker for unconditional direct branches
+    #: the translator followed (occupies a program-order slot so precise
+    #: recovery never double-counts; costs no issue slot or code bytes).
+    MARKER = "marker"
+
+
+LOAD_PRIMS = frozenset({PrimOp.LD1, PrimOp.LD2, PrimOp.LD4, PrimOp.LD8F})
+STORE_PRIMS = frozenset({PrimOp.ST1, PrimOp.ST2, PrimOp.ST4, PrimOp.ST8F})
+
+#: Primitives that may never be executed speculatively / out of order
+#: (stores, service calls, privileged traps — Section 2 of the paper).
+INORDER_ONLY_PRIMS = STORE_PRIMS | {PrimOp.SERVICE, PrimOp.TRAP_PRIV,
+                                    PrimOp.TRAP_ILLEGAL}
+
+#: Primitives that record a carry into the extender bits.
+CA_SETTING_PRIMS = frozenset({PrimOp.AI, PrimOp.SRA, PrimOp.SRAI})
+
+#: Primitives that record overflow into the extender bits.
+OV_SETTING_PRIMS = frozenset({PrimOp.DIV, PrimOp.DIVU})
+
+_MEM_WIDTH = {
+    PrimOp.LD1: 1, PrimOp.LD2: 2, PrimOp.LD4: 4, PrimOp.LD8F: 8,
+    PrimOp.ST1: 1, PrimOp.ST2: 2, PrimOp.ST4: 4, PrimOp.ST8F: 8,
+}
+
+
+@dataclass
+class Primitive:
+    """One RISC primitive in terms of *architected* registers.
+
+    The scheduler turns primitives into scheduled
+    :class:`repro.vliw.tree.Operation` instances, renaming registers as it
+    goes.  ``srcs`` uses the flat register index space of
+    ``repro.isa.registers``.  For memory primitives the effective address
+    is ``sum(addr_srcs) + imm`` and for stores ``value_src`` names the
+    stored register (kept separate so the renamer can tell address
+    operands from data operands).
+    """
+
+    op: PrimOp
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: Optional[int] = None
+    value_src: Optional[int] = None   # stores only
+    base_pc: int = 0
+    #: Force out-of-order renaming even when the operands are only ready
+    #: at the end of the path (Appendix D: ctr decrements must be renamed
+    #: or loop iterations serialize on the counter).
+    prefer_rename: bool = False
+    #: True on the final primitive of each base instruction: the point at
+    #: which the instruction architecturally completes (used for precise
+    #: exceptions and for counting completed base instructions).
+    completes: bool = False
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_PRIMS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_PRIMS
+
+    @property
+    def mem_width(self) -> int:
+        return _MEM_WIDTH[self.op]
+
+    @property
+    def sets_ca(self) -> bool:
+        return self.op in CA_SETTING_PRIMS
+
+    @property
+    def sets_ov(self) -> bool:
+        return self.op in OV_SETTING_PRIMS
+
+    def all_sources(self) -> Tuple[int, ...]:
+        if self.value_src is not None:
+            return self.srcs + (self.value_src,)
+        return self.srcs

@@ -1,0 +1,8 @@
+"""The migrant architecture: tree-VLIW instructions, resource
+configurations, extended register file, and the execution engine."""
+
+from repro.vliw.machine import MachineConfig, PAPER_CONFIGS
+from repro.vliw.tree import Operation, Tip, TreeVliw, VliwGroup
+
+__all__ = ["MachineConfig", "PAPER_CONFIGS", "Operation", "Tip",
+           "TreeVliw", "VliwGroup"]

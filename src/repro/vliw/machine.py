@@ -1,0 +1,63 @@
+"""VLIW machine resource configurations.
+
+Figure 5.1 of the paper sweeps ten configurations described as
+``<Arch #>: #Issue - #ALUs - #MemAcc - #Branches``.  The big default
+machine (Chapter 5) issues 24 operations per cycle of which 8 may be
+stores, with 7 conditional branches (8-way branching); the *small*
+machine issues 8 ALU/memory operations of which at most 4 are memory
+accesses, plus 3 conditional branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Per-cycle resource limits of a tree-VLIW implementation.
+
+    ``issue`` bounds the total number of ALU + memory parcels in one VLIW;
+    ``alus`` bounds ALU parcels, ``mem`` bounds loads+stores (``stores``
+    additionally bounds stores), and ``branches`` bounds *conditional*
+    branches per VLIW (a tree VLIW with ``b`` conditional branches has
+    ``b + 1`` exits)."""
+
+    name: str
+    issue: int
+    alus: int
+    mem: int
+    branches: int
+    stores: int = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.stores is None:
+            object.__setattr__(self, "stores", self.mem)
+
+    @staticmethod
+    def default() -> "MachineConfig":
+        """The paper's large 24-issue tree-VLIW machine."""
+        return PAPER_CONFIGS[10]
+
+    @staticmethod
+    def eight_issue() -> "MachineConfig":
+        """The paper's 8-issue machine (Tables 5.5): 8 ALU/Mem ops of
+        which at most 4 memory, plus 3 conditional branches."""
+        return PAPER_CONFIGS[5]
+
+
+#: The ten architecture configurations of Figure 5.1, keyed by the
+#: paper's configuration number.  ``<#>: issue-alus-mem-branches``.
+PAPER_CONFIGS = {
+    1: MachineConfig("cfg1: 4-2-2-1", issue=4, alus=2, mem=2, branches=1),
+    2: MachineConfig("cfg2: 4-4-2-2", issue=4, alus=4, mem=2, branches=2),
+    3: MachineConfig("cfg3: 4-4-4-3", issue=4, alus=4, mem=4, branches=3),
+    4: MachineConfig("cfg4: 6-6-3-3", issue=6, alus=6, mem=3, branches=3),
+    5: MachineConfig("cfg5: 8-8-4-3", issue=8, alus=8, mem=4, branches=3),
+    6: MachineConfig("cfg6: 8-8-4-7", issue=8, alus=8, mem=4, branches=7),
+    7: MachineConfig("cfg7: 8-8-8-7", issue=8, alus=8, mem=8, branches=7),
+    8: MachineConfig("cfg8: 12-12-8-7", issue=12, alus=12, mem=8, branches=7),
+    9: MachineConfig("cfg9: 16-16-8-7", issue=16, alus=16, mem=8, branches=7),
+    10: MachineConfig("cfg10: 24-16-8-7", issue=24, alus=16, mem=8,
+                      branches=7, stores=8),
+}

@@ -1,0 +1,189 @@
+"""The VLIW's extended register file.
+
+Architected registers live in the wrapped
+:class:`~repro.isa.state.CpuState` (so the VMM, interpreter fallback and
+service layer always see consistent base-architecture state); the
+non-architected registers (r32-r63, cr8-15, lr2) live here.
+
+Each register additionally carries (Section 2.1):
+
+* an **exception tag** — set instead of faulting when a *speculative*
+  operation errs; consuming a tagged register non-speculatively raises the
+  deferred exception;
+* **extender bits** — the CA/OV values an ``ai``-like operation computed
+  alongside its renamed result, committed into the architected XER bits
+  together with the value (Appendix D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.faults import BaseArchFault, SimulationError
+from repro.isa import registers as regs
+from repro.isa.state import CpuState, u32
+
+
+class TaggedRegisterFault(Exception):
+    """A non-speculative operation consumed a register whose exception
+    tag is set; carries the deferred base-architecture fault."""
+
+    def __init__(self, register: int, fault: BaseArchFault):
+        super().__init__(
+            f"exception tag on {regs.register_name(register)}: {fault}")
+        self.register = register
+        self.fault = fault
+
+
+class ExtendedRegisters:
+    """Register file of the migrant VLIW, layered over a CpuState."""
+
+    def __init__(self, state: CpuState):
+        self.state = state
+        #: Values of non-architected registers, by flat index.
+        self._scratch: Dict[int, int] = {}
+        #: Deferred faults, by flat index (speculative results only).
+        self.tags: Dict[int, BaseArchFault] = {}
+        #: Extender bits (ca, ov) per register, by flat index.
+        self.extenders: Dict[int, tuple] = {}
+
+    # -- raw value access (no tag checking) ---------------------------------
+
+    def read_raw(self, index: int):
+        state = self.state
+        if regs.is_gpr(index):
+            n = index - regs.GPR0
+            if n < regs.NUM_BASE_GPRS:
+                return state.gpr[n]
+            return self._scratch.get(index, 0)
+        if regs.is_fpr(index):
+            n = index - regs.FPR0
+            if n < regs.NUM_BASE_FPRS:
+                return state.fpr[n]
+            return self._scratch.get(index, 0.0)
+        if regs.is_crf(index):
+            n = index - regs.CRF0
+            if n < regs.NUM_BASE_CRFS:
+                return state.cr[n]
+            return self._scratch.get(index, 0)
+        if index == regs.LR:
+            return state.lr
+        if index == regs.CTR:
+            return state.ctr
+        if index == regs.CA:
+            return state.ca
+        if index == regs.OV:
+            return state.ov
+        if index == regs.SO:
+            return state.so
+        if index == regs.LR2:
+            return self._scratch.get(index, 0)
+        if index == regs.MSR:
+            return state.msr
+        if index == regs.SRR0:
+            return state.srr0
+        if index == regs.SRR1:
+            return state.srr1
+        if index == regs.DAR:
+            return state.dar
+        if index == regs.DSISR:
+            return state.dsisr
+        raise SimulationError(f"read of unknown register index {index}")
+
+    def write_raw(self, index: int, value) -> None:
+        state = self.state
+        if regs.is_fpr(index):
+            n = index - regs.FPR0
+            value = float(value)
+            if n < regs.NUM_BASE_FPRS:
+                state.fpr[n] = value
+            else:
+                self._scratch[index] = value
+            return
+        value = u32(value)
+        if regs.is_gpr(index):
+            n = index - regs.GPR0
+            if n < regs.NUM_BASE_GPRS:
+                state.gpr[n] = value
+            else:
+                self._scratch[index] = value
+            return
+        if regs.is_crf(index):
+            n = index - regs.CRF0
+            if n < regs.NUM_BASE_CRFS:
+                state.cr[n] = value & 0xF
+            else:
+                self._scratch[index] = value & 0xF
+            return
+        if index == regs.LR:
+            state.lr = value
+        elif index == regs.CTR:
+            state.ctr = value
+        elif index == regs.CA:
+            state.ca = value & 1
+        elif index == regs.OV:
+            state.ov = value & 1
+        elif index == regs.SO:
+            state.so = value & 1
+        elif index == regs.LR2:
+            self._scratch[index] = value
+        elif index == regs.MSR:
+            state.msr = value
+        elif index == regs.SRR0:
+            state.srr0 = value
+        elif index == regs.SRR1:
+            state.srr1 = value
+        elif index == regs.DAR:
+            state.dar = value
+        elif index == regs.DSISR:
+            state.dsisr = value
+        else:
+            raise SimulationError(f"write of unknown register index {index}")
+
+    # -- tag-aware access -----------------------------------------------------
+
+    def read(self, index: int, speculative: bool) -> int:
+        """Read for an operation's source.  Non-speculative consumption of
+        a tagged register raises the deferred fault (Section 2.1)."""
+        if index in self.tags and not speculative:
+            raise TaggedRegisterFault(index, self.tags[index])
+        return self.read_raw(index)
+
+    def is_tagged(self, index: int) -> bool:
+        return index in self.tags
+
+    def set_tag(self, index: int, fault: BaseArchFault) -> None:
+        if regs.is_architected(index):
+            raise SimulationError(
+                f"cannot tag architected register {regs.register_name(index)}")
+        self.tags[index] = fault
+
+    def write_result(self, index: int, value: int,
+                     ca: Optional[int] = None,
+                     ov: Optional[int] = None) -> None:
+        """Write an operation result, clearing any stale tag and recording
+        extender bits when supplied (``None`` = this op does not produce
+        that bit; the commit then leaves the architected bit alone)."""
+        self.tags.pop(index, None)
+        self.write_raw(index, value)
+        if ca is not None or ov is not None:
+            self.extenders[index] = (ca, ov)
+        else:
+            self.extenders.pop(index, None)
+
+    def propagate_tag(self, dest: int, srcs) -> bool:
+        """Speculative ops propagate tags from sources to destination;
+        returns True if the destination became tagged."""
+        for src in srcs:
+            if src in self.tags:
+                self.tags[dest] = self.tags[src]
+                return True
+        return False
+
+    def clear_speculative_state(self) -> None:
+        """Discard all non-architected values, tags and extenders — the
+        context-switch / recovery story of Section 2.1 (nothing
+        speculative survives)."""
+        self._scratch.clear()
+        self.tags.clear()
+        self.extenders.clear()

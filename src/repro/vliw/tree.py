@@ -1,0 +1,273 @@
+"""Tree VLIW instructions (Ebcioglu's tree-instruction model).
+
+A VLIW instruction is a *tree* of operations with multiple conditional
+branches: all branch conditions are evaluated against register values at
+VLIW entry, selecting one root-to-leaf path; the ALU/memory operations on
+that path execute in parallel (reads before writes), and the leaf's exit
+names the next VLIW (Chapter 2, bullet 4).
+
+Structures:
+
+* :class:`Operation` — one scheduled parcel (possibly speculative, with a
+  renamed destination);
+* :class:`BranchTest` — one conditional split;
+* :class:`Tip` — a tree node: operations, then either a split into two
+  child tips or a terminal :class:`Exit`;
+* :class:`TreeVliw` — one VLIW (a root tip);
+* :class:`VliwGroup` — the tree of VLIWs generated for one entry point
+  (the unit the paper's ``CreateVLIWGroupForEntry`` builds).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.isa.registers import register_name
+from repro.primitives.ops import (
+    CA_SETTING_PRIMS,
+    LOAD_PRIMS,
+    OV_SETTING_PRIMS,
+    PrimOp,
+    STORE_PRIMS,
+)
+
+
+@dataclass
+class Operation:
+    """One parcel of a tree VLIW.
+
+    ``dest``/``srcs`` are flat register indices *after* renaming;
+    ``arch_dest`` remembers the architected destination the value will be
+    committed to (``None`` for ops whose dest was not renamed; equal to
+    ``dest`` for in-order ops).  ``seq`` is the program-order index of the
+    parent base instruction within its group translation — the engine's
+    load-store alias detection is keyed on it.
+    """
+
+    op: PrimOp
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: Optional[int] = None
+    value_src: Optional[int] = None
+    speculative: bool = False
+    base_pc: int = 0
+    completes: bool = False
+    seq: int = 0
+    arch_dest: Optional[int] = None
+    #: For COMMIT parcels: sequence number of the speculative load this
+    #: commit discharges from alias tracking (None otherwise).
+    discharges: Optional[int] = None
+    #: For combined ``ai`` chains: the original step immediate, so the
+    #: engine computes the architecturally correct carry of the *last*
+    #: step, not of the combined addition (see core.scheduler).
+    ca_step: Optional[int] = None
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_PRIMS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_PRIMS
+
+    @property
+    def sets_ca(self) -> bool:
+        return self.op in CA_SETTING_PRIMS
+
+    @property
+    def sets_ov(self) -> bool:
+        return self.op in OV_SETTING_PRIMS
+
+    def render(self) -> str:
+        """Assembly-listing style rendering (for dumps and examples)."""
+        parts = [self.op.value]
+        if self.speculative:
+            parts[0] += ".s"
+        operands = []
+        if self.dest is not None:
+            operands.append(register_name(self.dest))
+        operands.extend(register_name(s) for s in self.srcs)
+        if self.value_src is not None:
+            operands.append(f"val={register_name(self.value_src)}")
+        if self.imm is not None:
+            operands.append(str(self.imm))
+        return f"{parts[0]} " + ",".join(operands)
+
+
+class TestKind(enum.Enum):
+    CR_TRUE = "cr_true"
+    CR_FALSE = "cr_false"
+    REG_NZ = "reg_nz"
+    REG_Z = "reg_z"
+    REG_NZ_CR_TRUE = "reg_nz_cr_true"
+    REG_NZ_CR_FALSE = "reg_nz_cr_false"
+
+
+@dataclass
+class BranchTest:
+    """A conditional split: evaluated against VLIW-entry register values.
+
+    ``reg`` is the counter-like register (for the REG_* kinds) and
+    ``crf_reg``/``bit`` select a condition bit, both as flat indices after
+    renaming.
+    """
+
+    kind: TestKind
+    reg: Optional[int] = None
+    crf_reg: Optional[int] = None
+    bit: int = 0
+    base_pc: int = 0
+
+    def render(self) -> str:
+        if self.kind in (TestKind.CR_TRUE, TestKind.CR_FALSE):
+            sense = "" if self.kind == TestKind.CR_TRUE else "!"
+            return f"{sense}{register_name(self.crf_reg)}.{'ltgteqso'[self.bit*2:self.bit*2+2]}"
+        if self.kind == TestKind.REG_NZ:
+            return f"{register_name(self.reg)}!=0"
+        if self.kind == TestKind.REG_Z:
+            return f"{register_name(self.reg)}==0"
+        sense = "" if self.kind == TestKind.REG_NZ_CR_TRUE else "!"
+        return (f"{register_name(self.reg)}!=0&&"
+                f"{sense}{register_name(self.crf_reg)}.bit{self.bit}")
+
+
+class ExitKind(enum.Enum):
+    GOTO = "goto"           # to another VLIW of the same group
+    ENTRY = "entry"         # to another entry point on the same page
+    OFFPAGE = "offpage"     # direct cross-page branch (GO_ACROSS_PAGE)
+    INDIRECT = "indirect"   # via a register (lr / ctr / srr0)
+    SC = "sc"               # service call, then continue at fallthrough
+
+
+@dataclass
+class Exit:
+    """Terminal action of a tip."""
+
+    kind: ExitKind
+    #: Target TreeVliw for GOTO.
+    vliw: Optional["TreeVliw"] = None
+    #: Base-architecture continuation/target address (ENTRY, OFFPAGE, SC).
+    target: Optional[int] = None
+    #: Flat register index holding the runtime target (INDIRECT).
+    via: Optional[int] = None
+    #: "lr" / "ctr" / "rfi" — crosspage branch flavour (Table 5.6).
+    flavor: str = ""
+    base_pc: int = 0
+    #: True when this exit is the architectural completion of a base
+    #: branch instruction (artificial stops — window limits, join points —
+    #: do not complete anything).
+    completes: bool = False
+
+    def render(self) -> str:
+        if self.kind == ExitKind.GOTO:
+            return f"b VLIW{self.vliw.index}"
+        if self.kind == ExitKind.ENTRY:
+            return f"b entry {self.target:#x}"
+        if self.kind == ExitKind.OFFPAGE:
+            return f"go_across_page {self.target:#x}"
+        if self.kind == ExitKind.INDIRECT:
+            return f"go_indirect {register_name(self.via)} [{self.flavor}]"
+        return f"service, continue {self.target:#x}"
+
+
+@dataclass
+class Tip:
+    """One node of a VLIW's operation tree."""
+
+    ops: List[Operation] = field(default_factory=list)
+    test: Optional[BranchTest] = None
+    taken: Optional["Tip"] = None
+    fall: Optional["Tip"] = None
+    exit: Optional[Exit] = None
+
+    @property
+    def is_open(self) -> bool:
+        return self.test is None and self.exit is None
+
+    def walk(self) -> Iterator["Tip"]:
+        yield self
+        if self.test is not None:
+            yield from self.taken.walk()
+            yield from self.fall.walk()
+
+
+@dataclass
+class TreeVliw:
+    """One tree VLIW instruction."""
+
+    index: int
+    root: Tip = field(default_factory=Tip)
+    #: Base-architecture code offset corresponding to this VLIW's entry
+    #: (the no-op side table of Section 3.5, used by the backmapper).
+    entry_base_pc: int = 0
+    #: Simulated VLIW-memory address (assigned at layout; drives the
+    #: instruction-cache model).
+    address: int = 0
+
+    def all_tips(self) -> Iterator[Tip]:
+        return self.root.walk()
+
+    def all_ops(self) -> Iterator[Operation]:
+        for tip in self.all_tips():
+            yield from tip.ops
+
+    def num_parcels(self) -> int:
+        ops = sum(1 for op in self.all_ops() if op.op is not PrimOp.MARKER)
+        tests = sum(1 for tip in self.all_tips() if tip.test is not None)
+        return ops + tests
+
+    def size_bytes(self) -> int:
+        """Instruction-memory footprint model: an 8-byte header plus 4
+        bytes per parcel (ALU/memory op, branch test, or exit)."""
+        exits = sum(1 for tip in self.all_tips() if tip.exit is not None)
+        return 8 + 4 * (self.num_parcels() + exits)
+
+    def render(self, indent: str = "  ") -> str:
+        lines = [f"VLIW{self.index}:  (base {self.entry_base_pc:#x})"]
+
+        def rec(tip: Tip, depth: int) -> None:
+            pad = indent * depth
+            for op in tip.ops:
+                lines.append(f"{pad}{op.render()}")
+            if tip.test is not None:
+                lines.append(f"{pad}if {tip.test.render()}:")
+                rec(tip.taken, depth + 1)
+                lines.append(f"{pad}else:")
+                rec(tip.fall, depth + 1)
+            elif tip.exit is not None:
+                lines.append(f"{pad}{tip.exit.render()}")
+            else:
+                lines.append(f"{pad}<open>")
+
+        rec(self.root, 1)
+        return "\n".join(lines)
+
+
+@dataclass
+class VliwGroup:
+    """The VLIWs generated for one entry point of one page."""
+
+    entry_pc: int                      # base-architecture virtual address
+    vliws: List[TreeVliw] = field(default_factory=list)
+    #: Number of base instructions scheduled into this group (static).
+    base_instructions: int = 0
+    #: Host-side work expended translating this group, in abstract
+    #: "translator operations" (feeds the Table 5.8 overhead model).
+    translation_cost: int = 0
+
+    def new_vliw(self, entry_base_pc: int = 0) -> TreeVliw:
+        vliw = TreeVliw(index=len(self.vliws), entry_base_pc=entry_base_pc)
+        self.vliws.append(vliw)
+        return vliw
+
+    @property
+    def entry_vliw(self) -> TreeVliw:
+        return self.vliws[0]
+
+    def code_size(self) -> int:
+        return sum(v.size_bytes() for v in self.vliws)
+
+    def render(self) -> str:
+        return "\n".join(v.render() for v in self.vliws)

@@ -1,0 +1,10 @@
+"""The Virtual Machine Monitor (Chapter 3).
+
+Resides conceptually in ROM: owns the translated-code area, fields every
+exception, creates and destroys page translations, and delivers
+architected interrupts to the unmodified base operating system.
+"""
+
+from repro.vmm.system import DaisySystem, DaisyRunResult
+
+__all__ = ["DaisySystem", "DaisyRunResult"]

@@ -1,0 +1,46 @@
+"""VLIW address-space layout (Figure 3.1).
+
+The VLIW virtual address space has three sections: the low section is the
+base architecture's physical memory (identity mapped); the middle holds
+the VMM ROM and its read/write area; the top, starting at ``VLIW_BASE``,
+is the translated-code area, where the translation of the base physical
+page at address ``n`` lives at ``n * N + VLIW_BASE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Start of the translated-code area (a large power of two, as the paper
+#: suggests — 0x80000000).
+VLIW_BASE = 0x80000000
+
+#: Default expansion factor N between a base page and its translated-code
+#: area page (the paper picks 4 for PowerPC).
+DEFAULT_EXPANSION = 4
+
+#: Start of the VMM ROM section (middle of the VLIW space).
+VMM_ROM_BASE = 0x02000000
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Mapping between base physical addresses and translated-code
+    addresses."""
+
+    expansion: int = DEFAULT_EXPANSION
+    vliw_base: int = VLIW_BASE
+
+    def code_address(self, base_paddr: int) -> int:
+        """VLIW virtual address of the translation of the base physical
+        address ``base_paddr`` (Section 3.1: n * N + VLIW_BASE)."""
+        return base_paddr * self.expansion + self.vliw_base
+
+    def base_address(self, code_addr: int) -> int:
+        """Inverse of :meth:`code_address` (used by the backmapper:
+        ``VLIW addr / N - VLIW_BASE`` recovers the base offset)."""
+        return (code_addr - self.vliw_base) // self.expansion
+
+    def code_area_size(self, page_size: int) -> int:
+        """Size of one page's translated-code area (N * page size)."""
+        return page_size * self.expansion

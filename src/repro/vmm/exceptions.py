@@ -1,0 +1,38 @@
+"""VMM-internal exception/event types (Sections 3.1-3.4).
+
+These never reach the base operating system; the VMM handles them by
+translating, creating entry points, or invalidating translations.  They
+are modelled as counted events rather than Python exceptions, since the
+VMM handles them synchronously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class VmmEventCounts:
+    """How often each VMM-internal exception fired."""
+
+    #: "VLIW translation missing": first branch into an untranslated page.
+    translation_missing: int = 0
+    #: "Invalid entry point": branch to an offset of a translated page
+    #: that has no valid entry yet (Section 3.4).
+    invalid_entry: int = 0
+    #: "Code modification": store into a protected (translated) unit.
+    code_modification: int = 0
+    #: Translations discarded by the LRU cast-out policy.
+    castouts: int = 0
+    #: Cross-page branches executed, by flavour (Table 5.6).
+    crosspage: Dict[str, int] = field(
+        default_factory=lambda: {"direct": 0, "lr": 0, "ctr": 0, "rfi": 0})
+    #: External interrupts delivered.
+    external_interrupts: int = 0
+    #: Base-architecture faults delivered to the base OS.
+    faults_delivered: int = 0
+
+    @property
+    def total_crosspage(self) -> int:
+        return sum(self.crosspage.values())

@@ -1,0 +1,115 @@
+"""Interpretive compilation (Chapter 6).
+
+"In DAISY's interpretive compilation approach, the first time an entry
+point to a page is encountered, the instructions ... are interpreted and
+the execution path revealed by the interpretation is compiled into
+VLIWs."  The profile gathered while interpreting — actual branch
+outcomes, not heuristics — then steers the scheduler's path choices, so
+the compiled group spends its resources on the path the program really
+takes (and can approach oracle parallelism as more paths are observed).
+
+:class:`InterpretiveExecutor` interprets from an entry until a natural
+stopping point (cross-page branch, indirect branch, service call, or an
+instruction budget), mutating the real architected state and recording
+the branch profile.  The VMM then translates the entry with the
+accumulated profile and resumes in VLIW code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.faults import ProgramExit
+from repro.isa.encoding import decode
+from repro.isa.semantics import ExecutionEnv, execute
+from repro.isa.state import CpuState
+
+
+@dataclass
+class InterpretationResult:
+    """Outcome of one interpretive episode."""
+
+    resume_pc: int
+    instructions: int
+    #: Static branch pc -> [taken, not_taken] observed this episode.
+    profile: Dict[int, list] = field(default_factory=dict)
+    exited: bool = False
+    exit_code: int = 0
+
+
+class InterpretiveExecutor:
+    """Interprets base code until a stopping point, gathering profile."""
+
+    def __init__(self, fetch_word: Callable[[int], int], state: CpuState,
+                 env: ExecutionEnv, page_size: int):
+        self.fetch_word = fetch_word
+        self.state = state
+        self.env = env
+        self.page_size = page_size
+
+    def interpret_from(self, entry_pc: int, budget: int = 256,
+                       stop_on_anchor: bool = False
+                       ) -> InterpretationResult:
+        """Execute instructions starting at ``entry_pc`` until a
+        stopping point; returns where translated execution should
+        resume.  BaseArchFault propagates to the caller (the VMM
+        delivers it with the architected semantics).
+
+        With ``stop_on_anchor`` (the Section 3.4 after-rfi mode) the
+        walk additionally stops at subroutine calls and taken backward
+        branches — "this technique limits the entry points to loop
+        headers, normal page entry points, and indirect branch targets,
+        and guarantees that we will quickly leave the interpretive
+        mode"."""
+        state = self.state
+        state.pc = entry_pc
+        page_base = entry_pc - entry_pc % self.page_size
+        result = InterpretationResult(resume_pc=entry_pc, instructions=0)
+
+        while True:
+            pc = state.pc
+            instr = decode(self.fetch_word(pc))
+            try:
+                next_pc = execute(state, instr, self.env)
+            except ProgramExit as exit_exc:
+                result.instructions += 1
+                result.exited = True
+                result.exit_code = exit_exc.code
+                result.resume_pc = pc
+                return result
+            result.instructions += 1
+
+            if instr.is_conditional_branch():
+                taken = next_pc != pc + 4
+                stats = result.profile.setdefault(pc, [0, 0])
+                stats[0 if taken else 1] += 1
+
+            state.pc = next_pc
+
+            # Stopping points: leave interpretation at a clean boundary
+            # the translator will make an entry for.
+            if next_pc - next_pc % self.page_size != page_base:
+                break                      # cross-page
+            if instr.is_indirect_branch():
+                break
+            if instr.opcode.name == "SC":
+                break
+            if stop_on_anchor:
+                if instr.sets_link():
+                    break                  # subroutine call
+                if instr.is_branch() and next_pc <= pc:
+                    break                  # taken backward branch
+            if result.instructions >= budget:
+                break
+
+        result.resume_pc = state.pc
+        return result
+
+
+def merge_profile(accumulated: Dict[int, Tuple[int, int]],
+                  episode: Dict[int, list]) -> None:
+    """Fold an episode's branch observations into the running profile."""
+    for pc, (taken, not_taken) in episode.items():
+        old_taken, old_not = accumulated.get(pc, (0, 0))
+        accumulated[pc] = (old_taken + taken, old_not + not_taken)

@@ -1,0 +1,54 @@
+"""Instruction TLB for GO_ACROSS_PAGE (Section 3.4 / Figure 3.2).
+
+Maps base-architecture virtual page numbers directly to the translated
+page record, so a cross-page branch resolves in one lookup.  An address
+prefix bit distinguishes real-mode from relocated-mode entries ("mappings
+for base page no. 10 physical and base page no. 10 virtual may coexist").
+Entries are invalidated when "the assumptions that caused an ITLB entry
+to be created change": TLB invalidates, code modification, and cast-outs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.core.translate import PageTranslation
+
+
+class Itlb:
+    def __init__(self, entries: int = 256):
+        self.capacity = entries
+        self._map: "OrderedDict[Tuple[int, int], PageTranslation]" = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, mode: int, vpage: int) -> Optional[PageTranslation]:
+        key = (mode, vpage)
+        translation = self._map.get(key)
+        if translation is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._map.move_to_end(key)
+        return translation
+
+    def insert(self, mode: int, vpage: int,
+               translation: PageTranslation) -> None:
+        key = (mode, vpage)
+        self._map[key] = translation
+        self._map.move_to_end(key)
+        while len(self._map) > self.capacity:
+            self._map.popitem(last=False)
+
+    def invalidate_translation(self, page_paddr: int) -> None:
+        """Drop every entry pointing at the translation of
+        ``page_paddr``."""
+        stale = [key for key, t in self._map.items()
+                 if t.page_paddr == page_paddr]
+        for key in stale:
+            del self._map[key]
+
+    def invalidate_all(self) -> None:
+        self._map.clear()

@@ -1,0 +1,88 @@
+"""The pool of translated pages with LRU cast-out (Section 3.1).
+
+The VMM maps each translated page to a frame from a pool in the upper
+part of VLIW real storage, "discarding the least recently used ones in
+the pool if no more page frames are available".  We model the pool as a
+byte budget on total translated code.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional
+
+from repro.core.translate import PageTranslation
+
+
+class TranslationCache:
+    """LRU cache of :class:`PageTranslation` records keyed by the base
+    physical page address."""
+
+    def __init__(self, capacity_bytes: int = 8 << 20):
+        self.capacity_bytes = capacity_bytes
+        self._pages: "OrderedDict[int, PageTranslation]" = OrderedDict()
+        self.castouts = 0
+        self.invalidations = 0
+        #: Pages whose translations must never be cast out — the paper's
+        #: real-time pinning (Section 3.7): interrupt handlers and other
+        #: fragments needing predictable latency.  Pinned pages are still
+        #: destroyed by code modification (correctness trumps pinning).
+        self.pinned: set = set()
+        #: Called with each cast-out/invalidated translation (the VMM
+        #: unwires ITLB entries and read-only bits there).
+        self.on_evict: Optional[Callable[[PageTranslation], None]] = None
+
+    def lookup(self, page_paddr: int) -> Optional[PageTranslation]:
+        translation = self._pages.get(page_paddr)
+        if translation is not None:
+            self._pages.move_to_end(page_paddr)
+        return translation
+
+    def insert(self, translation: PageTranslation) -> None:
+        self._pages[translation.page_paddr] = translation
+        self._pages.move_to_end(translation.page_paddr)
+        self._enforce_capacity(keep=translation.page_paddr)
+
+    def touch_size(self, translation: PageTranslation) -> None:
+        """Re-check capacity after a translation grew (new entries)."""
+        self._enforce_capacity(keep=translation.page_paddr)
+
+    def invalidate(self, page_paddr: int) -> Optional[PageTranslation]:
+        """Destroy the translation of a page (code modification,
+        Section 3.2)."""
+        translation = self._pages.pop(page_paddr, None)
+        if translation is not None:
+            self.invalidations += 1
+            if self.on_evict is not None:
+                self.on_evict(translation)
+        return translation
+
+    def invalidate_all(self) -> None:
+        for paddr in list(self._pages):
+            self.invalidate(paddr)
+
+    @property
+    def total_code_bytes(self) -> int:
+        """Pool occupancy: reserved bytes where set (the fixed-expansion
+        mapping wastes the rest of each N*page area), else actual code."""
+        return sum(max(t.reserved_bytes, t.code_size)
+                   for t in self._pages.values())
+
+    @property
+    def live_pages(self) -> List[int]:
+        return list(self._pages)
+
+    def _enforce_capacity(self, keep: int) -> None:
+        while (self.total_code_bytes > self.capacity_bytes
+               and len(self._pages) > 1):
+            victim_paddr = None
+            for candidate in self._pages:       # LRU order
+                if candidate != keep and candidate not in self.pinned:
+                    victim_paddr = candidate
+                    break
+            if victim_paddr is None:
+                break    # everything else is pinned or running
+            victim = self._pages.pop(victim_paddr)
+            self.castouts += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)

@@ -1,0 +1,70 @@
+"""Saving and restoring the translation cache (Appendix B).
+
+"The VMM can save the translation cache at power down time on hard
+disk, and restore it at power up time."  Saved translations carry a
+digest of the base page bytes they were compiled from; on restore,
+translations whose pages changed are silently dropped (the
+code-modification story must hold across reboots too).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import List, Tuple
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class _SavedTranslation:
+    digest: bytes
+    translation: object   # PageTranslation
+
+
+def _page_digest(system, translation) -> bytes:
+    page_bytes = system.memory.read_bytes(translation.page_paddr,
+                                          translation.page_size)
+    return hashlib.sha256(page_bytes).digest()
+
+
+def save_translations(system, path: str) -> int:
+    """Write every live translation to ``path``; returns the count."""
+    saved: List[_SavedTranslation] = []
+    for paddr in system.translation_cache.live_pages:
+        translation = system.translation_cache.lookup(paddr)
+        saved.append(_SavedTranslation(
+            digest=_page_digest(system, translation),
+            translation=translation))
+    with open(path, "wb") as handle:
+        pickle.dump((FORMAT_VERSION, system.options.page_size, saved),
+                    handle)
+    return len(saved)
+
+
+def load_translations(system, path: str) -> Tuple[int, int]:
+    """Restore translations from ``path`` into ``system``.
+
+    Returns (restored, skipped): entries whose page bytes changed since
+    the save — or that were written for a different page size — are
+    skipped.
+    """
+    with open(path, "rb") as handle:
+        version, page_size, saved = pickle.load(handle)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported translation-save version {version}")
+    restored = skipped = 0
+    if page_size != system.options.page_size:
+        return 0, len(saved)
+    for entry in saved:
+        translation = entry.translation
+        if _page_digest(system, translation) != entry.digest:
+            skipped += 1
+            continue
+        system.translation_cache.insert(translation)
+        system.memory.protect_range(translation.page_paddr,
+                                    translation.page_size)
+        system._pages_ever_translated.add(translation.page_paddr)
+        restored += 1
+    return restored, skipped

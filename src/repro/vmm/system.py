@@ -1,0 +1,512 @@
+"""The complete DAISY system: VMM + translator + VLIW engine.
+
+:class:`DaisySystem` is the top-level object a user runs base-architecture
+binaries on.  It owns the shared machine state (memory, MMU, architected
+registers), fields every exception the way the paper's VMM does, and
+drives the execute/translate loop:
+
+1. look up the translation of the current base pc (ITLB, then the
+   translated-page pool; translating the page / creating the entry point
+   on a miss — the "translation missing" and "invalid entry point"
+   exceptions of Sections 3.1 and 3.4);
+2. run the VLIW group until it exits;
+3. dispatch on the exit: cross-page branches, same-page entries, service
+   calls, alias recoveries, code-modification retranslations, external
+   interrupts, and precise base-architecture faults delivered to the
+   (unmodified) base OS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.options import TranslationOptions
+from repro.core.translate import PageTranslation, PageTranslator
+from repro.faults import (
+    BaseArchFault,
+    InstructionBudgetExceeded,
+    InstructionStorageFault,
+    ProgramExit,
+)
+from repro.isa.services import EmulatorServices
+from repro.isa.state import CpuState, MSR_PR
+from repro.memory.memory import PhysicalMemory
+from repro.memory.mmu import Mmu
+from repro.vliw.engine import (
+    EngineExit,
+    ExitReason,
+    PreciseFault,
+    VliwEngine,
+)
+from repro.vliw.machine import MachineConfig
+from repro.vliw.registers import ExtendedRegisters
+from repro.vmm.address_map import AddressMap
+from repro.vmm.exceptions import VmmEventCounts
+from repro.vmm.interpretive import InterpretiveExecutor, merge_profile
+from repro.vmm.itlb import Itlb
+from repro.vmm.page_cache import TranslationCache
+
+EXTERNAL_INTERRUPT_VECTOR = 0x500
+
+
+@dataclass
+class DaisyRunResult:
+    """Outcome and statistics of one DAISY run."""
+
+    exit_code: int = 0
+    #: Dynamic base instructions completed (the trace length).
+    base_instructions: int = 0
+    #: VLIW instructions executed (= cycles with infinite caches).
+    vliws: int = 0
+    #: Cycles including cache-miss stalls (equals ``vliws`` when no cache
+    #: hierarchy is attached).
+    cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    alias_events: int = 0
+    events: VmmEventCounts = field(default_factory=VmmEventCounts)
+    #: Distinct pages translated (static).
+    pages_translated: int = 0
+    entries_translated: int = 0
+    #: Static base instructions processed by the translator.
+    instructions_translated: int = 0
+    translation_cost: int = 0
+    #: Total translated code bytes generated (including retranslations).
+    code_bytes_generated: int = 0
+    itlb_hits: int = 0
+    itlb_misses: int = 0
+    output: List[int] = field(default_factory=list)
+    cache_stats: Optional[object] = None
+    #: Chapter 6 interpretive-compilation accounting: instructions
+    #: executed by the VMM interpreter before each entry was compiled.
+    interpreted_instructions: int = 0
+    interpreted_episodes: int = 0
+
+    @property
+    def infinite_cache_ilp(self) -> float:
+        """Pathlength reduction: base instructions per VLIW (Table 5.1).
+
+        Interpreted instructions (interpretive mode's first executions)
+        are excluded from the numerator — the paper measures the ILP of
+        the translated code."""
+        translated = self.base_instructions - self.interpreted_instructions
+        return translated / self.vliws if self.vliws else 0.0
+
+    @property
+    def finite_cache_ilp(self) -> float:
+        return self.base_instructions / self.cycles if self.cycles else 0.0
+
+
+class DaisySystem:
+    """Runs base-architecture programs under dynamic translation."""
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 options: Optional[TranslationOptions] = None,
+                 memory_size: int = 1 << 20,
+                 services=None,
+                 cache_hierarchy=None,
+                 translation_capacity_bytes: int = 8 << 20,
+                 interpretive: bool = False,
+                 strategy: str = "expansion",
+                 hash_lookup_cycles: int = 8,
+                 crosspage_extra_cycles: int = 0):
+        """``strategy`` selects Chapter 3's translated-code mapping:
+
+        * ``"expansion"`` — the n*N + VLIW_BASE layout: fast cross-page
+          branches (hardware ITLB), but each page reserves a whole
+          N-times-expanded area of VLIW real memory;
+        * ``"hash"`` — the software hash table: translations are packed
+          contiguously (no wasted pool space), but an ITLB miss on a
+          cross-page branch costs ``hash_lookup_cycles`` extra cycles
+          ("less than 10 VLIW instructions normally suffice").
+
+        ``crosspage_extra_cycles`` models Section 3.4's lower-hardware
+        GO_ACROSS_PAGE alternatives: 0 for the ITLB-parallel lookup, 1
+        for the LRA + GO_ACROSS_PAGE2 split, 2 for the pointer-vector
+        indirection — charged on every cross-page transfer.
+        """
+        if strategy not in ("expansion", "hash"):
+            raise ValueError(f"unknown translation strategy {strategy!r}")
+        self.config = config or MachineConfig.default()
+        self.options = options or TranslationOptions()
+        self.memory = PhysicalMemory(size=memory_size,
+                                     protect_unit=self.options.page_size)
+        self.mmu = Mmu(physical_size=memory_size)
+        self.state = CpuState()
+        self.xregs = ExtendedRegisters(self.state)
+        self.services = services if services is not None else EmulatorServices()
+        self.address_map = AddressMap()
+        self.translator = PageTranslator(self._fetch_word, self.config,
+                                         self.options)
+        self.translation_cache = TranslationCache(translation_capacity_bytes)
+        self.translation_cache.on_evict = self._on_evict
+        self.itlb = Itlb()
+        self.events = VmmEventCounts()
+        self.pinned_pages = self.translation_cache.pinned
+        self.engine = VliwEngine(self.xregs, self.memory, self.mmu,
+                                 services=self.services,
+                                 cache_hierarchy=cache_hierarchy,
+                                 interrupt_pending=self._interrupt_pending)
+        self.cache_hierarchy = cache_hierarchy
+        self.memory.code_modification_hook = self._on_code_modification
+        # Fault/interrupt handler translations are pinned once created,
+        # "to help achieve fast interrupt response later on" (Section
+        # 3.3); user code can pin more via pin_page().
+        self._pin_vectors = True
+        self.strategy = strategy
+        self.hash_lookup_cycles = hash_lookup_cycles
+        self.crosspage_extra_cycles = crosspage_extra_cycles
+        self._hash_code_cursor = self.address_map.vliw_base
+        self._current_page_paddr: Optional[int] = None
+        self._pages_ever_translated: set = set()
+        self._pending_external_interrupt = False
+        #: Chapter 6 interpretive compilation: interpret each entry's
+        #: first execution and compile with the observed profile.
+        self.interpretive = interpretive
+        #: Section 3.4: after an rfi into a translated page, interpret
+        #: until the next anchor (call / backward branch / cross-page)
+        #: rather than minting an entry point at every interrupted pc.
+        self.interpret_after_rfi = False
+        self._accumulated_profile: dict = {}
+        self._interpreted_instructions = 0
+        self._interpreted_episodes = 0
+        if interpretive:
+            self.options.branch_profile = self._accumulated_profile
+        from repro.isa.semantics import ExecutionEnv
+        self._interp_executor = InterpretiveExecutor(
+            self._fetch_word, self.state,
+            ExecutionEnv(self.memory, self.mmu, self.services),
+            self.options.page_size)
+
+    # ------------------------------------------------------------------
+    # Program loading
+    # ------------------------------------------------------------------
+
+    def load_program(self, program) -> None:
+        for addr, data in program.sections():
+            self.memory.load_raw(addr, data)
+        self.state.pc = program.entry
+
+    # ------------------------------------------------------------------
+    # External interrupt injection (tests / real-time experiments)
+    # ------------------------------------------------------------------
+
+    def raise_external_interrupt(self) -> None:
+        self._pending_external_interrupt = True
+
+    def pin_page(self, vaddr: int) -> None:
+        """Pin a page's translation against cast-out (Section 3.7's
+        real-time support: "communicate to the VMM indicating that the
+        translation of a routine should be pinned")."""
+        paddr = self.mmu.translate_fetch(vaddr)
+        self.translation_cache.pinned.add(
+            paddr - paddr % self.options.page_size)
+
+    def unpin_page(self, vaddr: int) -> None:
+        paddr = self.mmu.translate_fetch(vaddr)
+        self.translation_cache.pinned.discard(
+            paddr - paddr % self.options.page_size)
+
+    def _interrupt_pending(self) -> bool:
+        return self._pending_external_interrupt
+
+    # ------------------------------------------------------------------
+    # VMM exception handlers
+    # ------------------------------------------------------------------
+
+    def _fetch_word(self, pc: int) -> int:
+        paddr = self.mmu.translate_fetch(pc)
+        return self.memory.read_word(paddr)
+
+    def _on_code_modification(self, store_paddr: int) -> None:
+        page_paddr = store_paddr - store_paddr % self.options.page_size
+        translation = self.translation_cache.invalidate(page_paddr)
+        if translation is not None:
+            self.events.code_modification += 1
+            if page_paddr == self._current_page_paddr:
+                self.engine.translation_invalidated = True
+
+    def _on_evict(self, translation: PageTranslation) -> None:
+        self.itlb.invalidate_translation(translation.page_paddr)
+        self.memory.unprotect_range(translation.page_paddr,
+                                    translation.page_size)
+
+    # ------------------------------------------------------------------
+    # Translation lookup (the GO_ACROSS_PAGE path)
+    # ------------------------------------------------------------------
+
+    def _lookup_group(self, pc: int, via_itlb: bool):
+        """Find (translating if needed) the VLIW group for base pc."""
+        page_size = self.options.page_size
+        vpage = pc // page_size
+        mode = 1 if self.mmu.relocation_on else 0
+
+        translation = None
+        if via_itlb:
+            translation = self.itlb.lookup(mode, vpage)
+        if translation is None:
+            if via_itlb and self.strategy == "hash":
+                # Software hash lookup of the translated entry
+                # (Section 3.4's "simulate a big direct mapped ITLB in
+                # VLIW real memory by software").
+                self.engine.stats.stall_cycles += self.hash_lookup_cycles
+            paddr = self.mmu.translate_fetch(pc)
+            page_paddr = paddr - paddr % page_size
+            translation = self.translation_cache.lookup(page_paddr)
+            created = False
+            if translation is None:
+                # "VLIW translation missing" exception (Section 3.1).
+                self.events.translation_missing += 1
+                translation = self.translator.new_translation(
+                    page_vaddr=pc - pc % page_size,
+                    page_paddr=page_paddr,
+                    code_base=self._allocate_code_base(page_paddr))
+                self.translator.ensure_entry(translation, pc)
+                self._account_reservation(translation)
+                self.translation_cache.insert(translation)
+                self.memory.protect_range(page_paddr, page_size)
+                self._pages_ever_translated.add(page_paddr)
+                created = True
+            self.itlb.insert(mode, vpage, translation)
+            if created:
+                group = translation.group_at(pc % page_size)
+                self._current_page_paddr = translation.page_paddr
+                return group, translation
+
+        group = translation.group_at(pc % page_size)
+        if group is None:
+            # "Invalid entry point" exception (Section 3.4).
+            self.events.invalid_entry += 1
+            group = self.translator.ensure_entry(translation, pc)
+            self._account_reservation(translation)
+            self.translation_cache.touch_size(translation)
+        self._current_page_paddr = translation.page_paddr
+        return group, translation
+
+    def _allocate_code_base(self, page_paddr: int) -> int:
+        """Where this page's translation lives in VLIW memory."""
+        if self.strategy == "expansion":
+            return self.address_map.code_address(page_paddr)
+        base = self._hash_code_cursor
+        return base
+
+    def _account_reservation(self, translation: PageTranslation) -> None:
+        """Pool-space accounting per strategy (Chapter 3)."""
+        area = self.address_map.code_area_size(self.options.page_size)
+        if self.strategy == "expansion":
+            # Whole N*page areas, rounded up.
+            areas = max(1, -(-translation.code_size // area))
+            translation.reserved_bytes = areas * area
+        else:
+            translation.reserved_bytes = translation.code_size
+            self._hash_code_cursor = max(
+                self._hash_code_cursor,
+                translation.code_base + translation.code_size)
+
+    # ------------------------------------------------------------------
+    # Interrupt delivery to the base OS (Section 3.3)
+    # ------------------------------------------------------------------
+
+    def _deliver_fault(self, fault: BaseArchFault, base_pc: int) -> int:
+        """Perform the architected interrupt actions; returns the vector
+        (whose translation the VMM then branches to)."""
+        from repro.isa.state import MSR_EE
+        state = self.state
+        state.srr0 = base_pc
+        state.srr1 = state.msr
+        state.msr &= ~(MSR_PR | MSR_EE)
+        if hasattr(fault, "address"):
+            state.dar = fault.address
+        state.dsisr = (0x02000000 if getattr(fault, "is_store", False)
+                       else 0x40000000)
+        self.events.faults_delivered += 1
+        if self._pin_vectors:
+            # Keep interrupt handlers resident for fast response
+            # (Section 3.3: "subsequently will not be cast out").
+            try:
+                self.pin_page(fault.vector)
+            except InstructionStorageFault:
+                pass
+        return fault.vector
+
+    def _deliver_external(self, resume_pc: int) -> int:
+        from repro.isa.state import MSR_EE
+        state = self.state
+        state.srr0 = resume_pc
+        state.srr1 = state.msr
+        state.msr &= ~(MSR_PR | MSR_EE)   # supervisor, interrupts off
+        self.events.external_interrupts += 1
+        self._pending_external_interrupt = False
+        return EXTERNAL_INTERRUPT_VECTOR
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, entry: Optional[int] = None,
+            max_vliws: int = 50_000_000,
+            deliver_faults: bool = False) -> DaisyRunResult:
+        """Run the loaded program under dynamic translation until it
+        exits (or faults, when ``deliver_faults`` is false)."""
+        pc = entry if entry is not None else self.state.pc
+        result = DaisyRunResult()
+        stats = self.engine.stats
+        exit_code = 0
+
+        while True:
+            if stats.vliws > max_vliws:
+                raise InstructionBudgetExceeded(
+                    f"exceeded {max_vliws} VLIWs")
+
+            if self.interpretive and not self._entry_compiled(pc):
+                outcome = self._interpret_and_compile(pc, deliver_faults)
+                if outcome is None:
+                    # Fault delivered; continue at the handler vector.
+                    pc = self.state.pc
+                    continue
+                done, pc, code = outcome
+                if done:
+                    exit_code = code
+                    break
+                continue
+
+            try:
+                group, translation = self._lookup_group(
+                    pc, via_itlb=True)
+            except InstructionStorageFault as fault:
+                if not deliver_faults:
+                    self._fill(result, exit_code)
+                    raise
+                pc = self._deliver_fault(fault, pc)
+                continue
+
+            self.state.pc = pc
+            try:
+                engine_exit = self.engine.run_group(group)
+            except ProgramExit as program_exit:
+                # The exit service completed one final base instruction.
+                stats.completed += 1
+                exit_code = program_exit.code
+                break
+            except PreciseFault as precise:
+                if not deliver_faults:
+                    self._fill(result, exit_code)
+                    raise
+                pc = self._deliver_fault(precise.fault, precise.base_pc)
+                continue
+
+            try:
+                pc = self._dispatch(engine_exit, translation)
+            except ProgramExit as program_exit:
+                # Interpret-after-rfi ran straight into the exit service.
+                exit_code = program_exit.code
+                break
+
+        self._fill(result, exit_code)
+        return result
+
+    # ------------------------------------------------------------------
+    # Interpretive compilation (Chapter 6)
+    # ------------------------------------------------------------------
+
+    def _entry_compiled(self, pc: int) -> bool:
+        page_size = self.options.page_size
+        try:
+            paddr = self.mmu.translate_fetch(pc)
+        except InstructionStorageFault:
+            return True   # let the normal path deliver the fault
+        translation = self.translation_cache.lookup(
+            paddr - paddr % page_size)
+        return translation is not None and translation.has_entry(
+            pc % page_size)
+
+    def _interpret_and_compile(self, pc: int, deliver_faults: bool):
+        """Interpret the first execution of an entry, then compile it
+        with the observed profile.  Returns (done, next_pc, exit_code),
+        or None when a fault was delivered to the base OS."""
+        try:
+            episode = self._interp_executor.interpret_from(pc)
+        except BaseArchFault as fault:
+            if not deliver_faults:
+                raise
+            vector = self._deliver_fault(fault, self.state.pc)
+            self.state.pc = vector
+            return None
+        self._interpreted_instructions += episode.instructions
+        self._interpreted_episodes += 1
+        merge_profile(self._accumulated_profile, episode.profile)
+        # Compile the entry for all subsequent executions.
+        self._lookup_group(pc, via_itlb=False)
+        if episode.exited:
+            self.engine.stats.completed += episode.instructions
+            return (True, episode.resume_pc, episode.exit_code)
+        self.engine.stats.completed += episode.instructions
+        return (False, episode.resume_pc, 0)
+
+    def _dispatch(self, engine_exit: EngineExit,
+                  translation: PageTranslation) -> int:
+        """Turn an engine exit into the next base pc, counting events."""
+        target = engine_exit.target
+        reason = engine_exit.reason
+        if reason == ExitReason.OFFPAGE:
+            self.events.crosspage["direct"] += 1
+            self.engine.stats.stall_cycles += self.crosspage_extra_cycles
+            return target
+        if reason == ExitReason.INDIRECT:
+            if target // self.options.page_size != \
+                    translation.page_vaddr // self.options.page_size:
+                flavor = engine_exit.flavor or "lr"
+                self.events.crosspage[flavor] = \
+                    self.events.crosspage.get(flavor, 0) + 1
+                self.engine.stats.stall_cycles += \
+                    self.crosspage_extra_cycles
+            if engine_exit.flavor == "rfi" and self.interpret_after_rfi \
+                    and not self._entry_compiled(target):
+                episode = self._interp_executor.interpret_from(
+                    target, stop_on_anchor=True)
+                self._interpreted_instructions += episode.instructions
+                self._interpreted_episodes += 1
+                self.engine.stats.completed += episode.instructions
+                if episode.exited:
+                    raise ProgramExit(episode.exit_code)
+                return episode.resume_pc
+            return target
+        if reason in (ExitReason.ENTRY, ExitReason.SC, ExitReason.ALIAS,
+                      ExitReason.RETRANSLATE):
+            return target
+        if reason == ExitReason.INTERRUPT:
+            return self._deliver_external(target)
+        raise AssertionError(f"unhandled exit reason {reason}")
+
+    # ------------------------------------------------------------------
+
+    def _fill(self, result: DaisyRunResult, exit_code: int) -> None:
+        stats = self.engine.stats
+        result.exit_code = exit_code
+        result.base_instructions = stats.completed
+        result.vliws = stats.vliws
+        result.cycles = stats.cycles
+        result.loads = stats.loads
+        result.stores = stats.stores
+        result.alias_events = stats.alias_events
+        result.events = self.events
+        result.events.castouts = self.translation_cache.castouts
+        result.pages_translated = len(self._pages_ever_translated)
+        result.entries_translated = self.translator.total_entries_translated
+        result.instructions_translated = \
+            self.translator.total_base_instructions
+        result.translation_cost = self.translator.total_cost
+        result.code_bytes_generated = sum(
+            t.code_size for t in
+            (self.translation_cache.lookup(p)
+             for p in self.translation_cache.live_pages)
+            if t is not None)
+        result.itlb_hits = self.itlb.hits
+        result.itlb_misses = self.itlb.misses
+        if hasattr(self.services, "output"):
+            result.output = list(self.services.output)
+        if self.cache_hierarchy is not None:
+            result.cache_stats = self.cache_hierarchy.snapshot()
+        result.interpreted_instructions = self._interpreted_instructions
+        result.interpreted_episodes = self._interpreted_episodes

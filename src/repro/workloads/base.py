@@ -1,0 +1,79 @@
+"""Shared infrastructure for the synthetic workloads.
+
+Data generation is deterministic (seeded) so a workload's expected
+results can be computed in Python and baked into the program as
+constants; each program checks itself and exits 0 on success.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.assembler import Assembler, Program
+
+#: Size presets: "tiny" for unit tests, "small" for quick integration
+#: tests, "default" for the benchmark harness.
+SIZES = ("tiny", "small", "default")
+
+#: Data area (below the 19-bit li immediate range limit of 0x3ffff).
+DATA_BASE = 0x20000
+STACK_TOP = 0x3F000
+
+
+@dataclass
+class Workload:
+    """A ready-to-run base-architecture program."""
+
+    name: str
+    program: Program
+    description: str
+    #: Expected exit code (always 0: programs self-check).
+    expected_exit: int = 0
+
+
+def assemble(name: str, source: str, description: str) -> Workload:
+    assembler = Assembler()
+    program = assembler.assemble(source)
+    return Workload(name=name, program=program, description=description)
+
+
+def rng(name: str) -> random.Random:
+    """Deterministic per-workload random stream."""
+    return random.Random(f"daisy-{name}")
+
+
+def words_directive(label: str, values) -> str:
+    """Emit a labelled .word block (wrapped lines)."""
+    lines = [f"{label}:"]
+    values = list(values)
+    for i in range(0, len(values), 8):
+        chunk = ", ".join(str(v & 0xFFFFFFFF) for v in values[i:i + 8])
+        lines.append(f"    .word {chunk}")
+    if not values:
+        lines.append("    .word 0")
+    return "\n".join(lines)
+
+
+def bytes_directive(label: str, data: bytes) -> str:
+    """Emit a labelled .byte block."""
+    lines = [f"{label}:"]
+    for i in range(0, len(data), 16):
+        chunk = ", ".join(str(b) for b in data[i:i + 16])
+        lines.append(f"    .byte {chunk}")
+    if not data:
+        lines.append("    .byte 0")
+    return "\n".join(lines)
+
+
+#: Standard exit stubs shared by all workloads: branch to `pass_exit` on
+#: success, `fail_exit` with a code in r3 otherwise.
+EXIT_STUBS = """
+pass_exit:
+    li    r3, 0
+    li    r0, 1
+    sc
+fail_exit:                 # r3 carries the failure code
+    li    r0, 1
+    sc
+"""

@@ -1,0 +1,73 @@
+"""Sieve of Eratosthenes — the Stanford integer benchmark of Table 5.1."""
+
+from __future__ import annotations
+
+from repro.workloads.base import DATA_BASE, EXIT_STUBS, Workload, assemble
+
+_LIMITS = {"tiny": 200, "small": 1000, "default": 8190}
+
+
+def _prime_count(limit: int) -> int:
+    sieve = bytearray([1] * (limit + 1))
+    count = 0
+    for i in range(2, limit + 1):
+        if sieve[i]:
+            count += 1
+            for j in range(i + i, limit + 1, i):
+                sieve[j] = 0
+    return count
+
+
+def build(size: str = "default") -> Workload:
+    limit = _LIMITS[size]
+    expected = _prime_count(limit)
+    source = f"""
+.equ LIMIT, {limit}
+.equ EXPECTED, {expected}
+.equ FLAGS, {DATA_BASE:#x}
+
+.org 0x1000
+_start:
+    # ---- initialise flags[2..LIMIT] = 1 -------------------------------
+    li    r4, FLAGS
+    li    r5, 1
+    li    r6, LIMIT-1          # count of entries from 2..LIMIT
+    mtctr r6
+    addi  r7, r4, 2
+init:
+    stb   r5, 0(r7)
+    addi  r7, r7, 1
+    bdnz  init
+
+    # ---- main sieve ----------------------------------------------------
+    li    r8, 0                # prime count
+    li    r9, 2                # candidate i
+outer:
+    lbzx  r10, r4, r9          # flags[i]
+    cmpi  cr0, r10, 0
+    beq   next_candidate
+    addi  r8, r8, 1            # count += 1
+    add   r11, r9, r9          # j = 2*i
+    cmpi  cr1, r11, LIMIT
+    bgt   cr1, next_candidate
+    li    r12, 0
+inner:
+    stbx  r12, r4, r11         # flags[j] = 0
+    add   r11, r11, r9
+    cmpi  cr1, r11, LIMIT
+    ble   cr1, inner
+next_candidate:
+    addi  r9, r9, 1
+    cmpi  cr0, r9, LIMIT
+    ble   outer
+
+    # ---- self check -----------------------------------------------------
+    cmpi  cr0, r8, EXPECTED
+    beq   pass_exit
+    li    r3, 1
+    b     fail_exit
+{EXIT_STUBS}
+"""
+    return assemble("c_sieve", source,
+                    f"Eratosthenes sieve up to {limit} "
+                    f"(expects {expected} primes)")

@@ -1,0 +1,68 @@
+"""cmp — byte comparison of two buffers (an AIX utility of Table 5.1)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import (
+    DATA_BASE,
+    EXIT_STUBS,
+    Workload,
+    assemble,
+    bytes_directive,
+    rng,
+)
+
+_SIZES = {"tiny": 800, "small": 8000, "default": 60000}
+
+
+def build(size: str = "default") -> Workload:
+    length = _SIZES[size]
+    r = rng("cmp")
+    buf_a = bytes(r.randrange(256) for _ in range(length))
+    # Identical except for one byte near the end (cmp must scan almost
+    # everything, like comparing two nearly identical files).
+    diff_at = length - 7
+    buf_b = bytearray(buf_a)
+    buf_b[diff_at] = (buf_b[diff_at] + 1) & 0xFF
+    buf_b = bytes(buf_b)
+
+    a_base = DATA_BASE
+    b_base = DATA_BASE + length + 64
+    source = f"""
+.equ BUF_A, {a_base:#x}
+.equ BUF_B, {b_base:#x}
+.equ LEN, {length}
+.equ EXP_DIFF, {diff_at}
+
+.org 0x1000
+_start:
+    li    r4, BUF_A
+    li    r5, BUF_B
+    li    r6, 0                 # index
+    li    r7, LEN
+loop:
+    cmp   cr0, r6, r7
+    bge   all_equal
+    lbzx  r8, r4, r6
+    lbzx  r9, r5, r6
+    cmp   cr1, r8, r9
+    bne   cr1, found_diff
+    addi  r6, r6, 1
+    b     loop
+found_diff:
+    cmpi  cr0, r6, EXP_DIFF
+    beq   pass_exit
+    li    r3, 1
+    b     fail_exit
+all_equal:
+    li    r3, 2                 # should have found a difference
+    b     fail_exit
+{EXIT_STUBS}
+
+.org BUF_A
+{bytes_directive("buffer_a", buf_a)}
+.org BUF_B
+{bytes_directive("buffer_b", buf_b)}
+"""
+    return assemble("cmp", source,
+                    f"compare two {length}-byte buffers differing at "
+                    f"offset {diff_at}")

@@ -1,0 +1,177 @@
+"""compress — LZW-style compression (SPECint95 compress stand-in).
+
+Implements the LZW inner loop the way compress does: for every input
+byte, probe an open-addressed hash table keyed on (prefix code, byte);
+on a miss, emit the prefix code and insert a new dictionary entry.  The
+emitted code stream is folded into a running checksum that a Python
+model of the same algorithm predicts exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.workloads.base import (
+    DATA_BASE,
+    EXIT_STUBS,
+    Workload,
+    assemble,
+    bytes_directive,
+    rng,
+)
+
+_SIZES = {"tiny": 700, "small": 7000, "default": 50000}
+
+_TABLE_SLOTS = 4096           # open-addressed hash slots
+_MAX_CODE = 4000              # freeze the dictionary before it fills
+
+
+def _make_text(length: int) -> bytes:
+    """Compressible text: random words from a small vocabulary."""
+    r = rng("compress")
+    vocab = [bytes(r.randrange(97, 123) for _ in range(r.randint(2, 9)))
+             for _ in range(48)]
+    out = bytearray()
+    while len(out) < length:
+        out.extend(r.choice(vocab))
+        out.append(32)
+    return bytes(out[:length])
+
+
+def _lzw_model(text: bytes) -> Tuple[int, int]:
+    """Reference LZW: returns (#codes emitted, checksum)."""
+    table = {}
+    next_code = 256
+    checksum = 0
+    count = 0
+
+    def emit(code: int):
+        nonlocal checksum, count
+        checksum = ((checksum * 31) + code) & 0xFFFFFFFF
+        count += 1
+
+    w = text[0]
+    for c in text[1:]:
+        key = (w << 8) | c
+        code = table.get(key)
+        if code is not None:
+            w = code
+        else:
+            emit(w)
+            if next_code < _MAX_CODE:
+                table[key] = next_code
+                next_code += 1
+            w = c
+    emit(w)
+    return count, checksum
+
+
+def build(size: str = "default") -> Workload:
+    text = _make_text(_SIZES[size])
+    count, checksum = _lzw_model(text)
+    text_base = DATA_BASE
+    keys_base = (text_base + len(text) + 4096) & ~0xFFF
+    codes_base = keys_base + 4 * _TABLE_SLOTS
+    source = f"""
+.equ TEXT, {text_base:#x}
+.equ TLEN, {len(text)}
+.equ KEYS, {keys_base:#x}       # stored key+1 per slot (0 = empty)
+.equ CODES, {codes_base:#x}
+.equ MAXCODE, {_MAX_CODE}
+.equ EXP_COUNT, {count}
+.equ EXP_SUM, {checksum}
+
+.org 0x1000
+_start:
+    # ---- clear the hash table ----------------------------------------
+    li    r4, KEYS
+    li    r5, {2 * _TABLE_SLOTS}      # keys + codes, in words
+    mtctr r5
+    li    r6, 0
+clear:
+    stw   r6, 0(r4)
+    addi  r4, r4, 4
+    bdnz  clear
+
+    # ---- LZW main loop -------------------------------------------------
+    li    r4, TEXT
+    li    r5, TLEN
+    add   r5, r4, r5             # end
+    li    r10, KEYS
+    li    r11, CODES
+    li    r12, 256               # next_code
+    li    r14, 0                 # checksum
+    li    r15, 0                 # emitted count
+    lbz   r6, 0(r4)              # w = first byte
+    addi  r4, r4, 1
+mainloop:
+    cmpl  cr0, r4, r5
+    bge   finish
+    lbz   r7, 0(r4)              # c
+    addi  r4, r4, 1
+    slwi  r8, r6, 8
+    or    r8, r8, r7             # key = (w << 8) | c
+    addi  r8, r8, 1              # stored form: key + 1
+
+    # ---- hash probe ----------------------------------------------------
+    srwi  r9, r8, 7
+    xor   r9, r9, r8
+    slwi  r9, r9, 2
+    andi. r9, r9, 0x3FFC         # slot byte offset (4096 slots)
+probe:
+    lwzx  r16, r10, r9
+    cmpi  cr1, r16, 0
+    beq   cr1, miss
+    cmp   cr2, r16, r8
+    beq   cr2, hit
+    addi  r9, r9, 4
+    andi. r9, r9, 0x3FFC
+    b     probe
+hit:
+    lwzx  r6, r11, r9            # w = codes[slot]
+    b     mainloop
+miss:
+    # emit w: checksum = checksum*31 + w
+    mulli r17, r14, 31
+    add   r14, r17, r6
+    addi  r15, r15, 1
+    # insert (key -> next_code) if the dictionary is not frozen
+    cmpi  cr3, r12, MAXCODE
+    bge   cr3, frozen
+    stwx  r8, r10, r9            # keys[slot] = key+1
+    stwx  r12, r11, r9           # codes[slot] = next_code
+    addi  r12, r12, 1
+frozen:
+    mr    r6, r7                 # w = c
+    b     mainloop
+
+finish:
+    # emit the final w
+    mulli r17, r14, 31
+    add   r14, r17, r6
+    addi  r15, r15, 1
+    # ---- self check -----------------------------------------------------
+    cmpi  cr0, r15, EXP_COUNT
+    bne   bad1
+    li    r18, exp_sum_word      # 32-bit constant loaded from memory
+    lwz   r18, 0(r18)
+    cmp   cr0, r14, r18
+    bne   bad2
+    b     pass_exit
+bad1:
+    li    r3, 1
+    b     fail_exit
+bad2:
+    li    r3, 2
+    b     fail_exit
+{EXIT_STUBS}
+.align 4
+exp_sum_word:
+    .word EXP_SUM
+
+.org TEXT
+{bytes_directive("text_data", text)}
+"""
+    return assemble("compress", source,
+                    f"LZW compression of {len(text)} bytes "
+                    f"({count} codes emitted)")

@@ -1,0 +1,99 @@
+"""fgrep — fixed-string search (an AIX utility of Table 5.1)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import (
+    DATA_BASE,
+    EXIT_STUBS,
+    Workload,
+    assemble,
+    bytes_directive,
+    rng,
+)
+
+_SIZES = {"tiny": 800, "small": 8000, "default": 60000}
+
+_PATTERN = b"needle"
+
+
+def _make_text(length: int) -> bytes:
+    r = rng("fgrep")
+    alphabet = b"abcdefghijklmnop \n"
+    out = bytearray()
+    while len(out) < length:
+        if r.random() < 0.004:
+            out.extend(_PATTERN)
+        else:
+            out.append(alphabet[r.randrange(len(alphabet))])
+    return bytes(out[:length])
+
+
+def _count_matches(text: bytes, pattern: bytes) -> int:
+    count = 0
+    start = 0
+    while True:
+        index = text.find(pattern, start)
+        if index < 0:
+            return count
+        count += 1
+        start = index + 1   # overlapping occurrences count separately
+
+
+def build(size: str = "default") -> Workload:
+    text = _make_text(_SIZES[size])
+    expected = _count_matches(text, _PATTERN)
+    text_base = DATA_BASE
+    pat_base = DATA_BASE + len(text) + 64
+    source = f"""
+.equ TEXT, {text_base:#x}
+.equ PAT, {pat_base:#x}
+.equ TLEN, {len(text)}
+.equ PLEN, {len(_PATTERN)}
+.equ EXPECTED, {expected}
+
+.org 0x1000
+_start:
+    li    r4, TEXT
+    li    r5, PAT
+    li    r6, 0                 # i (text index)
+    li    r7, TLEN - PLEN       # last start position
+    li    r8, 0                 # match count
+    lbz   r9, 0(r5)             # first pattern byte
+outer:
+    cmp   cr0, r6, r7
+    bgt   done
+    lbzx  r10, r4, r6           # text[i]
+    cmp   cr1, r10, r9
+    bne   cr1, next
+    # first byte matched: compare the rest
+    li    r11, 1                # j
+inner:
+    cmpi  cr2, r11, PLEN
+    bge   cr2, hit              # whole pattern matched
+    add   r12, r6, r11
+    lbzx  r13, r4, r12          # text[i+j]
+    lbzx  r14, r5, r11          # pat[j]
+    cmp   cr3, r13, r14
+    bne   cr3, next
+    addi  r11, r11, 1
+    b     inner
+hit:
+    addi  r8, r8, 1
+next:
+    addi  r6, r6, 1
+    b     outer
+done:
+    cmpi  cr0, r8, EXPECTED
+    beq   pass_exit
+    li    r3, 1
+    b     fail_exit
+{EXIT_STUBS}
+
+.org TEXT
+{bytes_directive("text_data", text)}
+.org PAT
+{bytes_directive("pattern", _PATTERN)}
+"""
+    return assemble("fgrep", source,
+                    f"find {expected} occurrences of "
+                    f"{_PATTERN.decode()} in {len(text)} bytes")

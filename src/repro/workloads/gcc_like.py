@@ -1,0 +1,306 @@
+"""gcc — a large, branchy, multi-page program (SPECint95 gcc stand-in).
+
+A stack-machine bytecode interpreter whose opcode handlers are spread
+over several code pages: every bytecode operation costs a ctr-indirect
+dispatch plus a direct branch back, most of them crossing pages — giving
+the big working set, poor I-cache locality, and high cross-page branch
+rate the paper reports for gcc (Tables 5.1, 5.6; Figure 5.2).
+
+Duplicate handler variants (the generator emits several functionally
+identical handlers per operation class) inflate the static code size the
+way a big compiler's many similar case arms do.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.base import (
+    DATA_BASE,
+    EXIT_STUBS,
+    Workload,
+    assemble,
+    bytes_directive,
+    rng,
+)
+
+_SIZES = {"tiny": 250, "small": 2500, "default": 20000}
+
+#: Extra opcodes beyond the table: PUSH and the VM-level control flow.
+_JNZ_OPCODE = 255       # pop; if nonzero, vm_pc += signed imm8
+
+# Opcode space: (name, kind, duplicates).  Kind selects the handler
+# template; duplicates create distinct handlers with identical semantics.
+_OP_CLASSES = [
+    ("add", "binop:add", 4),
+    ("sub", "binop:sub", 4),
+    ("xor", "binop:xor", 4),
+    ("or", "binop:or", 3),
+    ("and", "binop:and", 3),
+    ("dup", "dup", 1),
+    ("swap", "swap", 1),
+    ("drop", "drop", 1),
+    ("shl1", "unop:shl", 2),
+    ("shr1", "unop:shr", 2),
+    ("neg", "unop:neg", 2),
+    ("inc", "unop:inc", 2),
+    ("dec", "unop:dec", 2),
+]
+
+_PUSH_OPCODE = 0  # opcode 0 is PUSH imm8; the classes follow
+
+
+def _opcode_table() -> List[Tuple[str, str]]:
+    """Flat opcode list: [(label, kind)], index = opcode - 1."""
+    table = []
+    for name, kind, dups in _OP_CLASSES:
+        for i in range(dups):
+            table.append((f"op_{name}_{i}", kind))
+    return table
+
+
+def _model(bytecode: bytes) -> int:
+    """Reference interpreter; returns the xor-fold of the final stack."""
+    table = _opcode_table()
+    stack: List[int] = []
+    pc = 0
+    mask = 0xFFFFFFFF
+    while pc < len(bytecode):
+        op = bytecode[pc]
+        pc += 1
+        if op == _PUSH_OPCODE:
+            stack.append(bytecode[pc])
+            pc += 1
+            continue
+        if op == _JNZ_OPCODE:
+            offset = bytecode[pc] - 256 if bytecode[pc] >= 128 \
+                else bytecode[pc]
+            pc += 1
+            value = stack.pop()
+            if value & mask:
+                pc += offset
+            continue
+        kind = table[op - 1][1]
+        if kind.startswith("binop"):
+            b, a = stack.pop(), stack.pop()
+            fn = kind.split(":")[1]
+            value = {"add": a + b, "sub": a - b, "xor": a ^ b,
+                     "or": a | b, "and": a & b}[fn]
+            stack.append(value & mask)
+        elif kind == "dup":
+            stack.append(stack[-1])
+        elif kind == "swap":
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+        elif kind == "drop":
+            stack.pop()
+        else:
+            a = stack.pop()
+            fn = kind.split(":")[1]
+            value = {"shl": a << 1, "shr": a >> 1, "neg": -a,
+                     "inc": a + 1, "dec": a - 1}[fn]
+            stack.append(value & mask)
+    result = 0
+    for value in stack:
+        result ^= value
+    return result & mask
+
+
+def _make_bytecode(length: int) -> bytes:
+    r = rng("gcc")
+    table = _opcode_table()
+    binops = [i + 1 for i, (_, k) in enumerate(table)
+              if k.startswith("binop")]
+    unops = [i + 1 for i, (_, k) in enumerate(table)
+             if k.startswith("unop")]
+    dup = [i + 1 for i, (_, k) in enumerate(table) if k == "dup"][0]
+    swap = [i + 1 for i, (_, k) in enumerate(table) if k == "swap"][0]
+    drop = [i + 1 for i, (_, k) in enumerate(table) if k == "drop"][0]
+
+    dec_op = [i + 1 for i, (n, k) in enumerate(table)
+              if n.startswith("op_dec")][0]
+    dup_op = dup
+
+    out = bytearray()
+    depth = 0
+    loops_left = max(3, length // 150)
+    while len(out) < length:
+        roll = r.random()
+        if depth < 2 or (roll < 0.28 and depth < 14):
+            out.extend([_PUSH_OPCODE, r.randrange(256)])
+            depth += 1
+        elif roll < 0.34 and loops_left > 0 and depth < 13:
+            # A VM-level counted loop: push k; {dec, dup, jnz -4}.
+            loops_left -= 1
+            out.extend([_PUSH_OPCODE, r.randint(3, 12)])
+            out.extend([dec_op, dup_op, _JNZ_OPCODE, 256 - 4])
+            depth += 1          # the exhausted counter (0) remains
+        elif roll < 0.60:
+            out.append(r.choice(binops))
+            depth -= 1
+        elif roll < 0.80:
+            out.append(r.choice(unops))
+        elif roll < 0.88 and depth < 14:
+            out.append(dup)
+            depth += 1
+        elif roll < 0.94:
+            out.append(swap)
+        elif depth > 2:
+            out.append(drop)
+            depth -= 1
+    return bytes(out)
+
+
+_HANDLER_TEMPLATES = {
+    "binop:add": "    lwz   r23, -4(r20)\n    lwz   r24, -8(r20)\n"
+                 "    add   r24, r24, r23\n",
+    "binop:sub": "    lwz   r23, -4(r20)\n    lwz   r24, -8(r20)\n"
+                 "    sub   r24, r24, r23\n",
+    "binop:xor": "    lwz   r23, -4(r20)\n    lwz   r24, -8(r20)\n"
+                 "    xor   r24, r24, r23\n",
+    "binop:or": "    lwz   r23, -4(r20)\n    lwz   r24, -8(r20)\n"
+                "    or    r24, r24, r23\n",
+    "binop:and": "    lwz   r23, -4(r20)\n    lwz   r24, -8(r20)\n"
+                 "    and   r24, r24, r23\n",
+}
+
+
+def _handler_source(label: str, kind: str) -> str:
+    lines = [f"{label}:"]
+    if kind.startswith("binop"):
+        lines.append(_HANDLER_TEMPLATES[kind].rstrip("\n"))
+        lines.append("    stw   r24, -8(r20)")
+        lines.append("    subi  r20, r20, 4")
+    elif kind == "dup":
+        lines.append("    lwz   r23, -4(r20)")
+        lines.append("    stw   r23, 0(r20)")
+        lines.append("    addi  r20, r20, 4")
+    elif kind == "swap":
+        lines.append("    lwz   r23, -4(r20)")
+        lines.append("    lwz   r24, -8(r20)")
+        lines.append("    stw   r23, -8(r20)")
+        lines.append("    stw   r24, -4(r20)")
+    elif kind == "drop":
+        lines.append("    subi  r20, r20, 4")
+    else:
+        op = kind.split(":")[1]
+        lines.append("    lwz   r23, -4(r20)")
+        body = {"shl": "    slwi  r23, r23, 1",
+                "shr": "    srwi  r23, r23, 1",
+                "neg": "    neg   r23, r23",
+                "inc": "    addi  r23, r23, 1",
+                "dec": "    subi  r23, r23, 1"}[op]
+        lines.append(body)
+        lines.append("    stw   r23, -4(r20)")
+    lines.append("    b     dispatch")
+    return "\n".join(lines)
+
+
+def build(size: str = "default") -> Workload:
+    bytecode = _make_bytecode(_SIZES[size])
+    expected = _model(bytecode)
+    table = _opcode_table()
+
+    code_base = DATA_BASE
+    vmstack_base = DATA_BASE + len(bytecode) + 256
+    jumptab_base = (vmstack_base + 4096 + 255) & ~0xFF
+
+    # Spread handlers over pages 0x2000..0x6000 round-robin.
+    handler_pages = [0x2000, 0x3000, 0x4000, 0x5000, 0x6000]
+    page_chunks = {page: [] for page in handler_pages}
+    for index, (label, kind) in enumerate(table):
+        page = handler_pages[index % len(handler_pages)]
+        page_chunks[page].append(_handler_source(label, kind))
+
+    handler_sections = []
+    for page in handler_pages:
+        handler_sections.append(f".org {page:#x}")
+        handler_sections.append("\n".join(page_chunks[page]))
+    handlers_text = "\n".join(handler_sections)
+
+    def jump_entry(i: int) -> str:
+        if i == 0:
+            return "    .word op_push"
+        if i == _JNZ_OPCODE:
+            return "    .word op_jnz"
+        if i <= len(table):
+            return f"    .word {table[i - 1][0]}"
+        return "    .word op_push"    # unused opcodes never occur
+    jump_words = "\n".join(jump_entry(i) for i in range(256))
+
+    source = f"""
+.equ BYTECODE, {code_base:#x}
+.equ BLEN, {len(bytecode)}
+.equ VMSTACK, {vmstack_base:#x}
+.equ JUMPTAB, {jumptab_base:#x}
+
+.org 0x1000
+_start:
+    li    r20, VMSTACK          # VM stack pointer (grows up)
+    li    r21, BYTECODE         # VM pc
+    li    r22, BLEN
+    add   r22, r21, r22         # end
+    li    r25, JUMPTAB
+dispatch:
+    cmpl  cr0, r21, r22
+    bge   interp_done
+    lbz   r23, 0(r21)           # opcode
+    addi  r21, r21, 1
+    slwi  r23, r23, 2
+    lwzx  r24, r25, r23         # handler address
+    mtctr r24
+    bctr
+
+op_push:
+    lbz   r23, 0(r21)
+    addi  r21, r21, 1
+    stw   r23, 0(r20)
+    addi  r20, r20, 4
+    b     dispatch
+
+op_jnz:
+    lbz   r23, 0(r21)        # signed offset byte
+    addi  r21, r21, 1
+    lwz   r24, -4(r20)       # pop the tested value
+    subi  r20, r20, 4
+    cmpi  cr1, r24, 0
+    beq   cr1, dispatch
+    slwi  r23, r23, 24       # sign-extend the offset
+    srawi r23, r23, 24
+    add   r21, r21, r23
+    b     dispatch
+
+interp_done:
+    # xor-fold the remaining VM stack
+    li    r4, VMSTACK
+    li    r5, 0
+fold:
+    cmpl  cr0, r4, r20
+    bge   check
+    lwz   r6, 0(r4)
+    addi  r4, r4, 4
+    xor   r5, r5, r6
+    b     fold
+check:
+    li    r7, exp_word
+    lwz   r7, 0(r7)
+    cmp   cr0, r5, r7
+    beq   pass_exit
+    li    r3, 1
+    b     fail_exit
+{EXIT_STUBS}
+.align 4
+exp_word:
+    .word {expected}
+
+{handlers_text}
+
+.org JUMPTAB
+jump_table:
+{jump_words}
+
+.org BYTECODE
+{bytes_directive("bytecode_data", bytecode)}
+"""
+    return assemble("gcc", source,
+                    f"bytecode interpreter over {len(bytecode)} bytes of "
+                    f"bytecode, handlers across {len(handler_pages)} pages")

@@ -1,0 +1,182 @@
+"""lex — table-driven DFA tokenizer (an AIX utility of Table 5.1).
+
+The scanner walks a character-class map and a state-transition table
+exactly the way lex-generated scanners do: two indexed byte loads and a
+dispatch per input character.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.workloads.base import (
+    DATA_BASE,
+    EXIT_STUBS,
+    Workload,
+    assemble,
+    bytes_directive,
+    rng,
+)
+
+_SIZES = {"tiny": 600, "small": 6000, "default": 48000}
+
+# Character classes.
+_CLS_LETTER, _CLS_DIGIT, _CLS_SPACE, _CLS_OP = 0, 1, 2, 3
+# States.
+_ST_START, _ST_IDENT, _ST_NUM = 0, 1, 2
+# Actions.
+_ACT_NONE, _ACT_IDENT, _ACT_NUM, _ACT_OP = 0, 1, 2, 3
+
+#: next_state[state*4 + cls], action[state*4 + cls]
+_NEXT = [
+    # start:  letter    digit    space     op
+    _ST_IDENT, _ST_NUM, _ST_START, _ST_START,
+    # ident:
+    _ST_IDENT, _ST_IDENT, _ST_START, _ST_START,
+    # num:
+    _ST_NUM, _ST_NUM, _ST_START, _ST_START,
+]
+_ACTION = [
+    _ACT_IDENT, _ACT_NUM, _ACT_NONE, _ACT_OP,
+    _ACT_NONE, _ACT_NONE, _ACT_NONE, _ACT_OP,
+    _ACT_NONE, _ACT_NONE, _ACT_NONE, _ACT_OP,
+]
+
+
+def _class_map() -> bytes:
+    table = bytearray([_CLS_OP] * 256)
+    for c in range(ord("a"), ord("z") + 1):
+        table[c] = _CLS_LETTER
+    for c in range(ord("A"), ord("Z") + 1):
+        table[c] = _CLS_LETTER
+    table[ord("_")] = _CLS_LETTER
+    for c in range(ord("0"), ord("9") + 1):
+        table[c] = _CLS_DIGIT
+    for c in b" \t\n\r":
+        table[c] = _CLS_SPACE
+    return bytes(table)
+
+
+def _make_text(length: int) -> bytes:
+    r = rng("lex")
+    pieces = []
+    total = 0
+    while total < length:
+        kind = r.random()
+        if kind < 0.45:
+            token = "".join(r.choice("abcdefgh_")
+                            for _ in range(r.randint(1, 8)))
+        elif kind < 0.75:
+            token = "".join(r.choice("0123456789")
+                            for _ in range(r.randint(1, 5)))
+        else:
+            token = r.choice("+-*/=<>(){};,")
+        pieces.append(token)
+        pieces.append(r.choice([" ", " ", "\n"]))
+        total += len(token) + 1
+    return ("".join(pieces)[:length]).encode("ascii")
+
+
+def _scan(text: bytes) -> Tuple[int, int, int]:
+    classes = _class_map()
+    state = _ST_START
+    idents = nums = ops = 0
+    for byte in text:
+        cls = classes[byte]
+        index = state * 4 + cls
+        action = _ACTION[index]
+        if action == _ACT_IDENT:
+            idents += 1
+        elif action == _ACT_NUM:
+            nums += 1
+        elif action == _ACT_OP:
+            ops += 1
+        state = _NEXT[index]
+    return idents, nums, ops
+
+
+def build(size: str = "default") -> Workload:
+    text = _make_text(_SIZES[size])
+    idents, nums, ops = _scan(text)
+    text_base = DATA_BASE
+    cls_base = DATA_BASE + len(text) + 64
+    next_base = cls_base + 256
+    act_base = next_base + 16
+    source = f"""
+.equ TEXT, {text_base:#x}
+.equ CLASSMAP, {cls_base:#x}
+.equ NEXTTAB, {next_base:#x}
+.equ ACTTAB, {act_base:#x}
+.equ TLEN, {len(text)}
+.equ EXP_IDENT, {idents}
+.equ EXP_NUM, {nums}
+.equ EXP_OP, {ops}
+
+.org 0x1000
+_start:
+    li    r4, TEXT
+    li    r5, TLEN
+    add   r5, r4, r5             # end
+    li    r6, CLASSMAP
+    li    r7, NEXTTAB
+    li    r8, ACTTAB
+    li    r9, 0                  # state
+    li    r10, 0                 # ident count
+    li    r11, 0                 # num count
+    li    r12, 0                 # op count
+loop:
+    cmpl  cr0, r4, r5
+    bge   done
+    lbz   r13, 0(r4)             # c = *p++
+    addi  r4, r4, 1
+    lbzx  r14, r6, r13           # cls = classmap[c]
+    slwi  r15, r9, 2
+    add   r15, r15, r14          # index = state*4 + cls
+    lbzx  r16, r8, r15           # action
+    lbzx  r9, r7, r15            # state = next[index]
+    cmpi  cr1, r16, 0
+    beq   cr1, loop              # ACT_NONE (common case)
+    cmpi  cr2, r16, 1
+    bne   cr2, not_ident
+    addi  r10, r10, 1
+    b     loop
+not_ident:
+    cmpi  cr3, r16, 2
+    bne   cr3, is_op
+    addi  r11, r11, 1
+    b     loop
+is_op:
+    addi  r12, r12, 1
+    b     loop
+
+done:
+    cmpi  cr0, r10, EXP_IDENT
+    bne   bad1
+    cmpi  cr0, r11, EXP_NUM
+    bne   bad2
+    cmpi  cr0, r12, EXP_OP
+    bne   bad3
+    b     pass_exit
+bad1:
+    li    r3, 1
+    b     fail_exit
+bad2:
+    li    r3, 2
+    b     fail_exit
+bad3:
+    li    r3, 3
+    b     fail_exit
+{EXIT_STUBS}
+
+.org TEXT
+{bytes_directive("text_data", text)}
+.org CLASSMAP
+{bytes_directive("class_map", _class_map())}
+.org NEXTTAB
+{bytes_directive("next_table", bytes(_NEXT))}
+.org ACTTAB
+{bytes_directive("action_table", bytes(_ACTION))}
+"""
+    return assemble("lex", source,
+                    f"DFA scan of {len(text)} bytes "
+                    f"({idents} idents, {nums} numbers, {ops} operators)")

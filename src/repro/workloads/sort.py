@@ -1,0 +1,136 @@
+"""sort — recursive quicksort of words (an AIX utility of Table 5.1).
+
+Recursion through ``bl``/``blr`` exercises the link-register indirect
+branches counted in Table 5.6 and the call/return entry points of the
+page-translation machinery.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (
+    DATA_BASE,
+    EXIT_STUBS,
+    STACK_TOP,
+    Workload,
+    assemble,
+    rng,
+    words_directive,
+)
+
+_SIZES = {"tiny": 60, "small": 400, "default": 1600}
+
+
+def build(size: str = "default") -> Workload:
+    count = _SIZES[size]
+    r = rng("sort")
+    values = [r.randrange(0, 1 << 30) for _ in range(count)]
+    checksum = sum(values) & 0xFFFFFFFF
+    array_base = DATA_BASE
+    source = f"""
+.equ ARRAY, {array_base:#x}
+.equ COUNT, {count}
+.equ STACK, {STACK_TOP:#x}
+.equ CHECKSUM, {checksum}
+
+.org 0x1000
+_start:
+    li    r1, STACK
+    li    r3, ARRAY                 # lo address
+    li    r4, ARRAY + {4 * (count - 1)}  # hi address
+    bl    qsort
+
+    # ---- verify ascending order and checksum --------------------------
+    li    r4, ARRAY
+    li    r5, COUNT - 1
+    mtctr r5
+    lwz   r6, 0(r4)                 # previous
+    mr    r9, r6                    # running checksum
+verify:
+    lwz   r7, 4(r4)
+    addi  r4, r4, 4
+    add   r9, r9, r7
+    cmp   cr0, r6, r7
+    bgt   order_bad
+    mr    r6, r7
+    bdnz  verify
+    li    r10, checksum_word
+    lwz   r10, 0(r10)
+    cmp   cr0, r9, r10
+    bne   sum_bad
+    b     pass_exit
+order_bad:
+    li    r3, 1
+    b     fail_exit
+sum_bad:
+    li    r3, 2
+    b     fail_exit
+
+# ---- qsort(lo=r3, hi=r4): recursive, partition out of line -----------
+# qsort and partition live on separate code pages, as they would in a
+# real binary with a shared-library partition: every invocation performs
+# a direct cross-page call and a via-lr cross-page return (Table 5.6).
+.org 0x2000
+qsort:
+    cmpl  cr0, r3, r4
+    bge   qret
+    mflr  r0
+    stw   r0, -4(r1)
+    stw   r30, -8(r1)
+    stw   r31, -12(r1)
+    addi  r1, r1, -16
+    mr    r30, r3                   # lo
+    mr    r31, r4                   # hi
+    bl    partition                 # cross-page call; p returned in r3
+    stw   r3, 0(r1)                 # save p
+    subi  r4, r3, 4                 # qsort(lo, p - 4)
+    mr    r3, r30
+    bl    qsort
+    lwz   r6, 0(r1)
+    addi  r3, r6, 4                 # qsort(p + 4, hi)
+    mr    r4, r31
+    bl    qsort
+    addi  r1, r1, 16
+    lwz   r0, -4(r1)
+    mtlr  r0
+    lwz   r30, -8(r1)
+    lwz   r31, -12(r1)
+qret:
+    blr
+
+# ---- partition(lo=r3, hi=r4) -> p in r3 (Lomuto, leaf) -----------------
+.org 0x3000
+partition:
+    lwz   r5, 0(r4)                 # pivot = *hi
+    subi  r6, r3, 4                 # i = lo - 4
+    mr    r7, r3                    # j = lo
+ploop:
+    cmpl  cr0, r7, r4
+    bge   pdone
+    lwz   r8, 0(r7)
+    cmp   cr1, r8, r5
+    bgt   cr1, pskip
+    addi  r6, r6, 4
+    lwz   r9, 0(r6)
+    stw   r8, 0(r6)
+    stw   r9, 0(r7)
+pskip:
+    addi  r7, r7, 4
+    b     ploop
+pdone:
+    addi  r6, r6, 4                 # p = i + 4
+    lwz   r8, 0(r6)
+    lwz   r9, 0(r4)
+    stw   r9, 0(r6)
+    stw   r8, 0(r4)
+    mr    r3, r6
+    blr
+{EXIT_STUBS}
+.align 4
+checksum_word:
+    .word CHECKSUM
+
+.org ARRAY
+{words_directive("array_data", values)}
+"""
+    return assemble("sort", source,
+                    f"quicksort of {count} random words")

@@ -1,0 +1,181 @@
+"""tomcatv — a floating point stencil kernel (SPECfp95 stand-in).
+
+A Jacobi smoothing sweep over a 2-D grid of IEEE doubles: the classic
+vectorizable mesh-relaxation loop of tomcatv/swim.  Exercises the FP
+register renaming the paper calls for ("speculative execution of
+operations by renaming the result register should include floating
+point registers"), 8-byte loads/stores, and FP compares.
+
+The expected checksum is computed by a bit-exact Python model (Python
+floats are IEEE doubles and the summation order matches the assembly),
+so the self-check is exact equality.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.workloads.base import (
+    DATA_BASE,
+    EXIT_STUBS,
+    Workload,
+    assemble,
+    rng,
+)
+
+_SIZES = {"tiny": (8, 2), "small": (14, 3), "default": (22, 5)}
+
+
+def _initial_grid(n: int) -> List[List[float]]:
+    r = rng("tomcatv")
+    return [[round(r.uniform(-4.0, 4.0), 3) for _ in range(n)]
+            for _ in range(n)]
+
+
+def _model(grid: List[List[float]], iterations: int) -> float:
+    n = len(grid)
+    a = [row[:] for row in grid]
+    b = [row[:] for row in grid]
+    for _ in range(iterations):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                b[i][j] = 0.25 * (((a[i - 1][j] + a[i + 1][j])
+                                   + a[i][j - 1]) + a[i][j + 1])
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                a[i][j] = b[i][j]
+    checksum = 0.0
+    for i in range(n):
+        for j in range(n):
+            checksum += a[i][j]
+    return checksum
+
+
+def _doubles_directive(label: str, values) -> str:
+    lines = [f"{label}:"]
+    for value in values:
+        packed = struct.pack(">d", value)
+        lines.append("    .byte " + ", ".join(str(b) for b in packed))
+    return "\n".join(lines)
+
+
+def build(size: str = "default") -> Workload:
+    n, iterations = _SIZES[size]
+    grid = _initial_grid(n)
+    expected = _model(grid, iterations)
+
+    stride = n * 8
+    a_base = DATA_BASE
+    b_base = a_base + n * stride + 64
+    flat = [grid[i][j] for i in range(n) for j in range(n)]
+
+    source = f"""
+.equ A, {a_base:#x}
+.equ B, {b_base:#x}
+.equ N, {n}
+.equ STRIDE, {stride}
+.equ ITERS, {iterations}
+
+.org 0x1000
+_start:
+    # copy A into B so border cells match (model copies the grid)
+    li    r4, A
+    li    r5, B
+    li    r6, {n * n}
+    mtctr r6
+copy0:
+    lfd   f0, 0(r4)
+    stfd  f0, 0(r5)
+    addi  r4, r4, 8
+    addi  r5, r5, 8
+    bdnz  copy0
+
+    li    r10, ITERS         # iteration counter
+sweep:
+    # ---- b[i][j] = 0.25 * (a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1])
+    li    r4, A + STRIDE     # &a[1][0]
+    li    r5, B + STRIDE     # &b[1][0]
+    li    r6, N - 2          # rows
+    # 0.25 = 1.0/4.0, built once: f10 = 0.25
+    li    r7, quarter
+    lfd   f10, 0(r7)
+row:
+    li    r8, N - 2          # columns
+    addi  r11, r4, 8         # &a[i][1]
+    addi  r12, r5, 8         # &b[i][1]
+col:
+    lfd   f1, -STRIDE(r11)   # a[i-1][j]
+    lfd   f2, STRIDE(r11)    # a[i+1][j]
+    lfd   f3, -8(r11)        # a[i][j-1]
+    lfd   f4, 8(r11)         # a[i][j+1]
+    fadd  f5, f1, f2
+    fadd  f5, f5, f3
+    fadd  f5, f5, f4
+    fmul  f5, f5, f10
+    stfd  f5, 0(r12)
+    addi  r11, r11, 8
+    addi  r12, r12, 8
+    subi  r8, r8, 1
+    cmpi  cr0, r8, 0
+    bgt   col
+    addi  r4, r4, STRIDE
+    addi  r5, r5, STRIDE
+    subi  r6, r6, 1
+    cmpi  cr0, r6, 0
+    bgt   row
+
+    # ---- copy interior of B back into A --------------------------------
+    li    r4, A + STRIDE
+    li    r5, B + STRIDE
+    li    r6, N - 2
+crow:
+    li    r8, N - 2
+    addi  r11, r4, 8
+    addi  r12, r5, 8
+ccol:
+    lfd   f0, 0(r12)
+    stfd  f0, 0(r11)
+    addi  r11, r11, 8
+    addi  r12, r12, 8
+    subi  r8, r8, 1
+    cmpi  cr0, r8, 0
+    bgt   ccol
+    addi  r4, r4, STRIDE
+    addi  r5, r5, STRIDE
+    subi  r6, r6, 1
+    cmpi  cr0, r6, 0
+    bgt   crow
+
+    subi  r10, r10, 1
+    cmpi  cr0, r10, 0
+    bgt   sweep
+
+    # ---- checksum: row-major sum, same order as the model ---------------
+    li    r4, A
+    li    r6, {n * n}
+    mtctr r6
+    fsub  f6, f6, f6         # f6 = 0.0
+sum:
+    lfd   f0, 0(r4)
+    fadd  f6, f6, f0
+    addi  r4, r4, 8
+    bdnz  sum
+
+    li    r7, expected_word
+    lfd   f7, 0(r7)
+    fcmpu cr0, f6, f7
+    beq   pass_exit
+    li    r3, 1
+    b     fail_exit
+{EXIT_STUBS}
+.align 8
+{_doubles_directive("quarter", [0.25])}
+{_doubles_directive("expected_word", [expected])}
+
+.org A
+{_doubles_directive("grid_a", flat)}
+"""
+    return assemble("tomcatv", source,
+                    f"Jacobi smoothing of a {n}x{n} double grid, "
+                    f"{iterations} sweeps")

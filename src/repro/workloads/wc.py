@@ -1,0 +1,112 @@
+"""wc — line/word/character counting (an AIX utility of Table 5.1)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import (
+    DATA_BASE,
+    EXIT_STUBS,
+    Workload,
+    assemble,
+    bytes_directive,
+    rng,
+)
+
+_SIZES = {"tiny": 600, "small": 6000, "default": 48000}
+
+_WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta",
+          "theta", "iota", "kappa", "lambda", "mu", "nu", "xi", "pi"]
+
+
+def _make_text(length: int) -> bytes:
+    r = rng("wc")
+    out = []
+    line_len = 0
+    while sum(len(w) + 1 for w in out) < length:
+        word = r.choice(_WORDS)
+        out.append(word)
+        line_len += len(word) + 1
+        if line_len > r.randint(40, 70):
+            out.append("\n")
+            line_len = 0
+        else:
+            out.append(" " * r.randint(1, 3))
+    text = "".join(out)[:length - 1] + "\n"
+    return text.encode("ascii")
+
+
+def _counts(text: bytes):
+    lines = text.count(b"\n")
+    words = len(text.split())
+    return lines, words, len(text)
+
+
+def build(size: str = "default") -> Workload:
+    text = _make_text(_SIZES[size])
+    lines, words, chars = _counts(text)
+    source = f"""
+.equ TEXT, {DATA_BASE:#x}
+.equ LEN, {len(text)}
+.equ EXP_LINES, {lines}
+.equ EXP_WORDS, {words}
+.equ EXP_CHARS, {chars}
+
+.org 0x1000
+_start:
+    li    r4, TEXT
+    li    r5, LEN
+    add   r5, r4, r5           # end pointer
+    li    r6, 0                # lines
+    li    r7, 0                # words
+    li    r8, 0                # chars
+    li    r9, 0                # in_word flag
+loop:
+    cmpl  cr0, r4, r5
+    bge   report
+    lbz   r10, 0(r4)
+    addi  r4, r4, 1
+    addi  r8, r8, 1            # chars += 1
+    cmpi  cr1, r10, 10         # newline?
+    bne   cr1, not_nl
+    addi  r6, r6, 1
+not_nl:
+    cmpi  cr2, r10, 32         # space
+    beq   cr2, is_space
+    cmpi  cr3, r10, 10
+    beq   cr3, is_space
+    cmpi  cr4, r10, 9          # tab
+    beq   cr4, is_space
+    # non-space character
+    cmpi  cr5, r9, 0
+    bne   cr5, loop            # already inside a word
+    li    r9, 1
+    addi  r7, r7, 1            # words += 1
+    b     loop
+is_space:
+    li    r9, 0
+    b     loop
+
+report:
+    cmpi  cr0, r6, EXP_LINES
+    bne   bad1
+    cmpi  cr0, r7, EXP_WORDS
+    bne   bad2
+    cmpi  cr0, r8, EXP_CHARS
+    bne   bad3
+    b     pass_exit
+bad1:
+    li    r3, 1
+    b     fail_exit
+bad2:
+    li    r3, 2
+    b     fail_exit
+bad3:
+    li    r3, 3
+    b     fail_exit
+{EXIT_STUBS}
+
+.org TEXT
+{bytes_directive("text_data", text)}
+"""
+    return assemble("wc", source,
+                    f"word count over {len(text)} bytes "
+                    f"({lines} lines, {words} words)")

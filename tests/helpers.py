@@ -1,0 +1,58 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.core.group import GroupBuilder
+from repro.core.options import TranslationOptions
+from repro.isa.assembler import Assembler
+from repro.isa.encoding import decode
+from repro.isa.interpreter import Interpreter
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+
+
+def build_group(source: str, entry: int = 0x1000,
+                config: MachineConfig = None,
+                options: TranslationOptions = None):
+    """Assemble ``source`` and translate one group from ``entry``."""
+    program = Assembler().assemble(source)
+    images = {addr: data for addr, data in program.sections()}
+
+    def fetch(pc):
+        for addr, data in images.items():
+            if addr <= pc < addr + len(data):
+                off = pc - addr
+                return decode(int.from_bytes(data[off:off + 4], "big"))
+        raise AssertionError(f"fetch outside image: {pc:#x}")
+
+    builder = GroupBuilder(entry, fetch, config or MachineConfig.default(),
+                           options or TranslationOptions())
+    return builder.build(), builder
+
+
+def run_native(program, **kwargs):
+    interp = Interpreter()
+    interp.load_program(program)
+    result = interp.run(**kwargs)
+    return interp, result
+
+
+def run_daisy(program, config=None, options=None, check=True, **kwargs):
+    system = DaisySystem(config or MachineConfig.default(), options)
+    if check:
+        system.engine.check_parallel_semantics = True
+    system.load_program(program)
+    result = system.run(**kwargs)
+    return system, result
+
+
+def assert_state_equivalent(interp, system):
+    """Architected state equality after both runs (pc excluded: the
+    interpreter stops on the sc, DAISY's resume point is equivalent)."""
+    native = interp.state.snapshot()
+    daisy = system.state.snapshot()
+    native.pop("pc")
+    daisy.pop("pc")
+    assert native == daisy, {
+        key: (native[key], daisy[key])
+        for key in native if native[key] != daisy[key]}

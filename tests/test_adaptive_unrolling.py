@@ -1,0 +1,97 @@
+"""Appendix A's loop-header stopping rules: adaptive unrolling and the
+loop-boundary window shrink."""
+
+import pytest
+
+from repro.core.options import TranslationOptions
+from repro.workloads import build_workload
+
+from tests.helpers import (
+    assert_state_equivalent,
+    build_group,
+    run_daisy,
+    run_native,
+)
+
+LOOP = """
+.org 0x1000
+entry:
+    li    r5, 100
+    mtctr r5
+loop:
+    ai    r2, r2, 1
+    stw   r2, 0(r6)
+    addi  r6, r6, 4
+    bdnz  loop
+    b     0x9000
+"""
+
+NESTED = """
+.org 0x1000
+entry:
+    li    r5, 10
+outer:
+    li    r7, 10
+inner:
+    addi  r2, r2, 1
+    subi  r7, r7, 1
+    cmpi  cr1, r7, 0
+    bgt   cr1, inner
+    subi  r5, r5, 1
+    cmpi  cr0, r5, 0
+    bgt   outer
+    b     0x9000
+"""
+
+
+class TestLoopIdentification:
+    def test_backward_targets_become_headers(self):
+        group, builder = build_group(LOOP)
+        assert 0x1008 in builder.loop_headers   # the loop label
+
+    def test_nested_loops_both_identified(self):
+        group, builder = build_group(NESTED)
+        assert len(builder.loop_headers) == 2
+
+
+class TestAdaptiveUnrolling:
+    def test_stops_unrolling_when_ilp_flat(self):
+        options = TranslationOptions(adaptive_unrolling=True,
+                                     max_join_visits=64,
+                                     window_size=2048)
+        adaptive, builder_a = build_group(LOOP, options=options)
+        unlimited, builder_u = build_group(
+            LOOP, options=TranslationOptions(max_join_visits=64,
+                                             window_size=2048))
+        # Adaptive stops well before the visit-count throttle.
+        visits_a = builder_a.visit_counts.get(0x1008, 0)
+        visits_u = builder_u.visit_counts.get(0x1008, 0)
+        assert visits_a < visits_u
+
+    def test_equivalence_preserved(self):
+        workload = build_workload("c_sieve", "tiny")
+        interp, native = run_native(workload.program)
+        options = TranslationOptions(adaptive_unrolling=True)
+        system, daisy = run_daisy(workload.program, options=options)
+        assert daisy.exit_code == 0
+        assert daisy.base_instructions == native.instructions
+        assert_state_equivalent(interp, system)
+
+
+class TestLoopBoundaryWindow:
+    def test_window_shrinks_at_inner_loop(self):
+        options = TranslationOptions(loop_boundary_window_factor=0.25,
+                                     window_size=256, max_join_visits=32)
+        shrunk, builder_s = build_group(NESTED, options=options)
+        free, builder_f = build_group(
+            NESTED, options=TranslationOptions(window_size=256,
+                                               max_join_visits=32))
+        assert shrunk.base_instructions <= free.base_instructions
+
+    def test_equivalence_preserved(self):
+        workload = build_workload("wc", "tiny")
+        interp, native = run_native(workload.program)
+        options = TranslationOptions(loop_boundary_window_factor=0.5)
+        system, daisy = run_daisy(workload.program, options=options)
+        assert daisy.exit_code == 0
+        assert_state_equivalent(interp, system)

@@ -1,0 +1,101 @@
+"""Section 5.1's overhead model must reproduce the paper's published
+numbers exactly (Table 5.8, the r=2340 and r=60 break-even examples)."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    OverheadModel,
+    PAPER_SPEC95_REUSE,
+    break_even_reuse,
+    table_5_8_rows,
+)
+from repro.analysis.report import (
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+)
+
+
+class TestBreakEven:
+    def test_equation_5_3(self):
+        """'t = 427 r' for i=1024, P_R=1.5, P_V=4."""
+        reuse = break_even_reuse(translate_cycles=427, base_ilp=1.5,
+                                 vliw_ilp=4.0)
+        assert reuse == pytest.approx(1.0, rel=0.01)
+
+    def test_paper_realistic_case_r_2340(self):
+        """3900 instructions/instruction at compiler ILP 4 -> r = 2340."""
+        t = 3900 * 1024 / 4
+        reuse = break_even_reuse(t)
+        assert reuse == pytest.approx(2340, rel=0.01)
+
+    def test_paper_optimistic_case_r_60(self):
+        """200 instructions/instruction, compiler ILP 5, infinite VLIW
+        ILP, base 1.5 -> r = 60."""
+        t = 200 * 1024 / 5
+        reuse = break_even_reuse(t, base_ilp=1.5, vliw_ilp=float("inf"))
+        assert reuse == pytest.approx(60, rel=0.01)
+
+    def test_multiuser_scales_linearly(self):
+        t = 3900 * 1024 / 4
+        single = break_even_reuse(t)
+        ten = break_even_reuse(t, users=10)
+        assert ten == pytest.approx(10 * single, rel=1e-9)
+
+
+class TestTable58:
+    # The paper's rows: (#ins to compile, pages, reuse, % time change).
+    PAPER = [
+        (4000, 200, 39000, -47),
+        (4000, 1000, 7800, 14),
+        (4000, 10000, 780, 707),
+        (1000, 200, 39000, -59),
+        (1000, 1000, 7800, -43),
+        (1000, 10000, 780, 130),
+    ]
+
+    def test_rows_match_paper(self):
+        rows = table_5_8_rows()
+        assert len(rows) == 6
+        for (cost, pages, reuse, change), expected in zip(rows, self.PAPER):
+            exp_cost, exp_pages, exp_reuse, exp_change = expected
+            assert cost == exp_cost
+            assert pages == exp_pages
+            assert reuse == pytest.approx(exp_reuse, rel=0.02)
+            assert change == pytest.approx(exp_change, abs=2.0)
+
+    def test_reuse_factor_definition(self):
+        model = OverheadModel()
+        assert model.dynamic_instructions() == pytest.approx(8e9)
+        assert model.reuse_factor(200) == pytest.approx(39062.5)
+
+
+class TestSpec95Constants:
+    def test_reuse_equals_dynamic_over_static(self):
+        for name, (dynamic, static, reuse) in PAPER_SPEC95_REUSE.items():
+            assert dynamic // static == pytest.approx(reuse, rel=0.01), name
+
+    def test_reuse_far_above_break_even(self):
+        """The paper's argument: measured reuse (>100k except cc1)
+        dwarfs the ~2340 break-even requirement."""
+        needed = break_even_reuse(3900 * 1024 / 4)
+        above = [name for name, (_, _, reuse) in PAPER_SPEC95_REUSE.items()
+                 if reuse > needed]
+        assert len(above) >= 16   # all but cc1 (truncated input)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.5], ["long-name", 123456]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "123,456" in text
+        assert "1.50" in text
+
+    def test_means(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert geometric_mean([]) == 0.0

@@ -1,0 +1,173 @@
+"""Appendix D: the PowerPC-specific mechanisms, tested explicitly.
+
+* ctr kept renameable so ctr-decrement branches do not serialize loops;
+* the bcrl/blrl link update staged through the second link register;
+* the CA extender bits: renamed-and-folded ``ai`` chains must still
+  produce the architecturally exact carry (including on wraparound);
+* mtcrf2-style single-field condition register moves.
+"""
+
+import pytest
+
+from repro.core.options import TranslationOptions
+from repro.isa import registers as regs
+from repro.isa.assembler import Assembler
+from repro.primitives.ops import PrimOp
+from repro.vmm.system import DaisySystem
+from repro.vliw.machine import MachineConfig
+
+from tests.helpers import (
+    assert_state_equivalent,
+    build_group,
+    run_daisy,
+    run_native,
+)
+
+
+class TestCtrRenaming:
+    def test_ctr_decrements_renamed_in_loop(self):
+        source = """
+.org 0x1000
+entry:
+    li    r5, 50
+    mtctr r5
+loop:
+    addi  r3, r3, 1
+    bdnz  loop
+    b     0x9000
+"""
+        group, _ = build_group(source)
+        ctr_updates = [op for v in group.vliws for op in v.all_ops()
+                       if op.arch_dest == regs.CTR
+                       and op.op == PrimOp.ADDI]
+        renamed = [op for op in ctr_updates if op.speculative]
+        assert renamed, "Appendix D: ctr decrements must be renamed"
+
+    def test_loop_iterations_overlap(self):
+        """With ctr renamed and combining, several decrements fold onto
+        one base — iterations do not serialize on the counter."""
+        source = """
+.org 0x1000
+entry:
+    li    r5, 50
+    mtctr r5
+loop:
+    bdnz  loop
+    b     0x9000
+"""
+        group, _ = build_group(
+            source, options=TranslationOptions(max_join_visits=8))
+        addis = [op for v in group.vliws for op in v.all_ops()
+                 if op.op == PrimOp.ADDI and op.arch_dest == regs.CTR]
+        folded = [op for op in addis if op.imm not in (None, -1)]
+        assert folded, "expected folded ctr decrements (e.g. base - 2)"
+
+
+class TestLinkStaging:
+    def test_blrl_semantics(self):
+        """blrl: branch to the OLD lr while setting lr = pc + 4."""
+        program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r2, target
+    mtlr  r2
+    blrl                     # to target; lr becomes _start+12
+after:
+    li    r0, 1
+    sc
+target:
+    mflr  r3                 # observe the NEW lr
+    li    r4, after
+    mtlr  r4
+    blr
+""")
+        interp, native = run_native(program)
+        system, daisy = run_daisy(program)
+        assert_state_equivalent(interp, system)
+        assert system.state.gpr[3] == program.symbol("_start") + 12
+
+
+class TestCarryExtenders:
+    def test_folded_ai_chain_exact_carry_on_wraparound(self):
+        """The classic trap: ai chains folded by combining must compute
+        the carry of the LAST step, not of the folded addition.  Start
+        near the 2^32 boundary so the two differ."""
+        program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r2, 0
+    subi  r2, r2, 2          # r2 = 0xFFFFFFFE
+    li    r5, 6
+    mtctr r5
+loop:
+    ai    r2, r2, 1          # carries exactly once (FFFFFFFF -> 0)
+    mfxer r6                 # capture CA after each step
+    add   r7, r7, r6         # accumulate observations
+    bdnz  loop
+    li    r3, 0
+    li    r0, 1
+    sc
+""")
+        interp, native = run_native(program)
+        system, daisy = run_daisy(program)
+        assert_state_equivalent(interp, system)
+        # CA was 1 for exactly one of the six steps.
+        assert interp.state.gpr[7] == 1 << 29
+
+    def test_srawi_carry(self):
+        program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r2, 0
+    subi  r2, r2, 3          # 0xFFFFFFFD (negative, low bits set)
+    srawi r3, r2, 1          # CA = 1 (lost a 1 bit)
+    mfxer r4
+    li    r0, 1
+    sc
+""")
+        interp, native = run_native(program)
+        system, daisy = run_daisy(program)
+        assert_state_equivalent(interp, system)
+        assert system.state.ca == 1
+
+
+class TestConditionFieldMoves:
+    def test_mtcrf_single_field_and_full(self):
+        program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r2, 0x3FFF         # pattern for the CR (14 bits is plenty)
+    slwi  r2, r2, 16
+    mtcrf 0xFF, r2           # full move
+    mfcr  r3
+    li    r4, 0
+    mtcrf 0x20, r4           # clear only cr2 (mtcrf2 style)
+    mfcr  r5
+    li    r0, 1
+    sc
+""")
+        interp, native = run_native(program)
+        system, daisy = run_daisy(program)
+        assert_state_equivalent(interp, system)
+        # cr2's nibble cleared, everything else as before.
+        assert (system.state.gpr[3] ^ system.state.gpr[5]) == \
+            ((system.state.gpr[3] >> 20) & 0xF) << 20
+
+
+class TestCrosspageModels:
+    def test_section_3_4_alternatives_cost_cycles(self):
+        """ITLB-parallel (0), LRA+GO_ACROSS_PAGE2 (1), pointer vector
+        (2): same VLIWs, increasing cycles."""
+        from repro.workloads import build_workload
+        program = build_workload("sort", "tiny").program
+        results = []
+        for extra in (0, 1, 2):
+            system = DaisySystem(MachineConfig.default(),
+                                 crosspage_extra_cycles=extra)
+            system.load_program(program)
+            results.append(system.run())
+        assert results[0].vliws == results[1].vliws == results[2].vliws
+        assert results[0].cycles < results[1].cycles < results[2].cycles
+        crossings = results[0].events.total_crosspage
+        assert results[1].cycles - results[0].cycles == crossings
+        assert results[2].cycles - results[0].cycles == 2 * crossings

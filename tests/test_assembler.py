@@ -1,0 +1,223 @@
+"""Assembler: syntax, directives, aliases, expressions, errors."""
+
+import pytest
+
+from repro.isa.assembler import Assembler, AssemblyError
+from repro.isa.encoding import decode
+from repro.isa.instructions import BranchCond, Opcode
+
+
+def asm(source, **kwargs):
+    return Assembler().assemble(source, **kwargs)
+
+
+def first_words(program, count):
+    addr, data = next(program.sections())
+    return [int.from_bytes(data[i * 4:i * 4 + 4], "big")
+            for i in range(count)]
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        program = asm("add r1, r2, r3")
+        word = first_words(program, 1)[0]
+        instr = decode(word)
+        assert instr.opcode == Opcode.ADD
+        assert (instr.rt, instr.ra, instr.rb) == (1, 2, 3)
+
+    def test_default_org(self):
+        program = asm("nop")
+        addr, _ = next(program.sections())
+        assert addr == 0x1000
+        assert program.entry == 0x1000
+
+    def test_entry_prefers_start_label(self):
+        program = asm("""
+        nop
+_start: nop
+""")
+        assert program.entry == 0x1004
+
+    def test_explicit_entry_symbol(self):
+        program = asm("""
+here:   nop
+there:  nop
+""", entry="there")
+        assert program.entry == 0x1004
+
+    def test_comments_stripped(self):
+        program = asm("""
+        nop        # hash comment
+        nop        ; semicolon comment
+""")
+        assert program.code_size == 8
+
+    def test_labels_on_same_line_and_alone(self):
+        program = asm("""
+alone:
+with_ins: nop
+""")
+        assert program.symbol("alone") == 0x1000
+        assert program.symbol("with_ins") == 0x1000
+
+    def test_multiple_labels_one_address(self):
+        program = asm("a: b: c: nop")
+        assert program.symbol("a") == program.symbol("c") == 0x1000
+
+
+class TestDirectives:
+    def test_org_creates_section(self):
+        program = asm("""
+        nop
+.org 0x5000
+        .word 0xDEADBEEF
+""")
+        sections = list(program.sections())
+        assert sections[0][0] == 0x1000
+        assert sections[1][0] == 0x5000
+        assert sections[1][1] == b"\xde\xad\xbe\xef"
+
+    def test_word_half_byte(self):
+        program = asm("""
+.org 0x2000
+        .word 1, 2
+        .half 3
+        .byte 4, 5
+""")
+        _, data = next(program.sections())
+        assert data == (b"\x00\x00\x00\x01\x00\x00\x00\x02"
+                        b"\x00\x03\x04\x05")
+
+    def test_space_and_align(self):
+        program = asm("""
+.org 0x2000
+        .byte 1
+        .align 4
+aligned:
+        .word 9
+""")
+        assert program.symbol("aligned") == 0x2004
+
+    def test_asciz(self):
+        program = asm('.org 0x2000\n.asciz "hi\\n"')
+        _, data = next(program.sections())
+        assert data == b"hi\n\x00"
+
+    def test_equ_and_expressions(self):
+        program = asm("""
+.equ BASE, 0x100
+.equ SIZE, BASE + 16
+        li r1, SIZE - 4
+""")
+        instr = decode(first_words(program, 1)[0])
+        assert instr.imm == 0x100 + 16 - 4
+
+    def test_space_with_symbol(self):
+        program = asm("""
+.equ N, 8
+.org 0x2000
+        .space N
+after:  .byte 1
+""")
+        assert program.symbol("after") == 0x2008
+
+
+class TestBranches:
+    def test_relative_offsets(self):
+        program = asm("""
+target: nop
+        b target
+""")
+        word = first_words(program, 2)[1]
+        assert decode(word).offset == -1
+
+    def test_bc_explicit(self):
+        program = asm("""
+l:      nop
+        bc t, cr2.so, l
+""")
+        instr = decode(first_words(program, 2)[1])
+        assert instr.cond == BranchCond.TRUE
+        assert instr.bi == 2 * 4 + 3
+
+    def test_aliases_with_default_cr0(self):
+        program = asm("""
+l:      nop
+        beq l
+        bne l
+        blt l
+        bge l
+""")
+        words = first_words(program, 5)[1:]
+        conds = [decode(w).cond for w in words]
+        bis = [decode(w).bi for w in words]
+        assert conds == [BranchCond.TRUE, BranchCond.FALSE,
+                         BranchCond.TRUE, BranchCond.FALSE]
+        assert bis == [2, 2, 0, 0]
+
+    def test_alias_with_explicit_crf(self):
+        program = asm("""
+l:      nop
+        bgt cr3, l
+""")
+        instr = decode(first_words(program, 2)[1])
+        assert instr.bi == 3 * 4 + 1
+
+    def test_bdnz(self):
+        program = asm("""
+l:      nop
+        bdnz l
+""")
+        assert decode(first_words(program, 2)[1]).cond == BranchCond.DNZ
+
+    def test_register_aliases(self):
+        program = asm("""
+        mr  r1, r2
+        not r3, r4
+        subi r5, r6, 7
+""")
+        words = first_words(program, 3)
+        assert decode(words[0]).opcode == Opcode.OR
+        assert decode(words[1]).opcode == Opcode.NOR
+        third = decode(words[2])
+        assert third.opcode == Opcode.ADDI
+        assert third.imm == -7
+
+
+class TestMemoryOperands:
+    def test_displacement_form(self):
+        instr = decode(first_words(asm("lwz r3, -8(r4)"), 1)[0])
+        assert (instr.rt, instr.ra, instr.imm) == (3, 4, -8)
+
+    def test_symbolic_displacement(self):
+        program = asm("""
+.equ OFF, 12
+        stw r1, OFF(r2)
+""")
+        assert decode(first_words(program, 1)[0]).imm == 12
+
+    def test_zero_displacement(self):
+        instr = decode(first_words(asm("lbz r1, 0(r9)"), 1)[0])
+        assert instr.imm == 0
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("frobnicate r1", "unknown mnemonic"),
+        ("add r1, r2", "operands"),
+        ("add r1, r2, r99", "bad register"),
+        ("b nowhere", "undefined symbol"),
+        ("lwz r1, 4[r2]", "bad memory operand"),
+        (".bogus 1", "unknown directive"),
+        ("l: nop\nl: nop", "duplicate label"),
+        ("bc q, cr0.eq, .", "unknown condition"),
+    ])
+    def test_error_cases(self, source, fragment):
+        with pytest.raises(AssemblyError) as err:
+            asm(source)
+        assert fragment in str(err.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as err:
+            asm("nop\nnop\nbogus r1")
+        assert err.value.lineno == 3

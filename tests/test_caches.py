@@ -1,0 +1,106 @@
+"""Cache model: hits/misses, LRU, hierarchies, latency accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.caches.cache import Cache
+from repro.caches.hierarchy import (
+    CacheHierarchy,
+    paper_default_hierarchy,
+    paper_small_hierarchy,
+)
+
+
+class TestCache:
+    def test_first_access_misses_then_hits(self):
+        cache = Cache("t", size=1024, assoc=2, line=64, latency=0)
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x13F)   # same 64-byte line
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        # 2 sets, 2 ways, 16-byte lines -> set = (addr//16) % 2.
+        cache = Cache("t", size=64, assoc=2, line=16, latency=0)
+        a, b, c = 0x00, 0x20, 0x40      # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)                 # a most recent
+        cache.access(c)                 # evicts b
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_load_store_split_counters(self):
+        cache = Cache("t", size=1024, assoc=1, line=64, latency=0)
+        cache.access(0, is_store=True)
+        cache.access(64, is_store=False)
+        assert cache.stats.store_misses == 1
+        assert cache.stats.load_misses == 1
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache("t", size=100, assoc=3, line=7, latency=0)
+
+    @given(addrs=st.lists(st.integers(0, 1 << 20), min_size=1,
+                          max_size=200))
+    def test_miss_count_bounded_by_unique_lines(self, addrs):
+        cache = Cache("t", size=1 << 16, assoc=4, line=64, latency=1)
+        for addr in addrs:
+            cache.access(addr)
+        unique_lines = len({a // 64 for a in addrs})
+        assert cache.stats.misses >= min(unique_lines, 1)
+        assert cache.stats.accesses == len(addrs)
+
+
+class TestHierarchy:
+    def test_latency_of_first_hitting_level(self):
+        hierarchy = paper_default_hierarchy()
+        # Cold: full memory latency.
+        assert hierarchy.access_data(0x1000, 4, False) == 88
+        # Now L1 hit: 0 cycles.
+        assert hierarchy.access_data(0x1000, 4, False) == 0
+
+    def test_l2_latency_after_l1_eviction(self):
+        hierarchy = paper_default_hierarchy()
+        l1 = hierarchy.data_levels[0]
+        # Fill one L1 set (4-way, 256B lines, 64 sets).
+        sets = l1.num_sets
+        base = 0x0
+        conflicting = [base + i * sets * 256 for i in range(5)]
+        for addr in conflicting:
+            hierarchy.access_data(addr, 4, False)
+        # The first line was evicted from L1 but lives in L2 (12 cycles).
+        assert hierarchy.access_data(conflicting[0], 4, False) == 12
+
+    def test_instruction_and_data_streams_separate(self):
+        hierarchy = paper_default_hierarchy()
+        hierarchy.access_instruction(0x4000)
+        snap = hierarchy.snapshot()
+        assert snap.levels["L0 ICache"].accesses == 1
+        assert snap.levels["L0 DCache"].accesses == 0
+
+    def test_snapshot_l1_miss_fields(self):
+        hierarchy = paper_default_hierarchy()
+        hierarchy.access_data(0x0, 4, False)
+        hierarchy.access_data(0x10000, 4, True)
+        snap = hierarchy.snapshot()
+        assert snap.l1_load_misses == 1
+        assert snap.l1_store_misses == 1
+        assert snap.l1_memory_misses == 2
+
+    def test_small_hierarchy_three_levels(self):
+        hierarchy = paper_small_hierarchy()
+        assert hierarchy.access_data(0x0, 4, False) == 92   # memory
+        assert hierarchy.access_data(0x0, 4, False) == 0    # L1
+        # Evict from the 4K L1 but hit 64K L2 (4 cycles).
+        for i in range(1, 80):
+            hierarchy.access_data(i * 64, 4, False)
+        latency = hierarchy.access_data(0x0, 4, False)
+        assert latency in (0, 4)
+
+    def test_flush(self):
+        hierarchy = paper_default_hierarchy()
+        hierarchy.access_data(0x0, 4, False)
+        hierarchy.flush()
+        assert hierarchy.access_data(0x0, 4, False) == 88

@@ -1,0 +1,93 @@
+"""Command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloadsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("compress", "gcc", "c_sieve"):
+            assert name in out
+
+
+class TestRunCommand:
+    def test_run_workload(self, capsys):
+        assert main(["run", "c_sieve", "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "exit code:            0" in out
+        assert "infinite-cache ILP" in out
+
+    def test_run_with_caches(self, capsys):
+        assert main(["run", "wc", "--size", "tiny",
+                     "--caches", "default"]) == 0
+        out = capsys.readouterr().out
+        assert "finite-cache ILP" in out
+
+    def test_run_interpretive(self, capsys):
+        assert main(["run", "cmp", "--size", "tiny",
+                     "--interpretive"]) == 0
+        assert "interpreted:" in capsys.readouterr().out
+
+    def test_run_hash_strategy(self, capsys):
+        assert main(["run", "c_sieve", "--size", "tiny",
+                     "--strategy", "hash"]) == 0
+
+    def test_run_assembly_file(self, tmp_path, capsys):
+        source = """
+.org 0x1000
+_start:
+    li r3, 0
+    li r0, 1
+    sc
+"""
+        path = tmp_path / "prog.s"
+        path.write_text(source)
+        assert main(["run", str(path)]) == 0
+
+    def test_nonzero_exit_propagates(self, tmp_path, capsys):
+        path = tmp_path / "fail.s"
+        path.write_text("""
+.org 0x1000
+_start:
+    li r3, 5
+    li r0, 1
+    sc
+""")
+        assert main(["run", str(path)]) == 1
+
+
+class TestReportCommand:
+    def test_report_prints_summary(self, capsys, monkeypatch):
+        import repro.analysis.summary as summary_mod
+
+        def fake_summary(size="tiny"):
+            assert size == "tiny"
+            return "DAISY reproduction: paper vs measured\nrow OK"
+
+        monkeypatch.setattr(summary_mod, "generate_summary", fake_summary)
+        assert main(["report", "--size", "tiny"]) == 0
+        assert "paper vs measured" in capsys.readouterr().out
+
+    def test_report_nonzero_on_divergence(self, capsys, monkeypatch):
+        import repro.analysis.summary as summary_mod
+        monkeypatch.setattr(summary_mod, "generate_summary",
+                            lambda size="tiny": "row DIVERGES")
+        assert main(["report", "--size", "tiny"]) == 1
+
+
+class TestTranslateCommand:
+    def test_dump_contains_vliws(self, capsys):
+        assert main(["translate", "c_sieve", "--size", "tiny",
+                     "--dump-limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "VLIW0" in out
+        assert "entry" in out
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "wc", "--strategy", "nonsense"])

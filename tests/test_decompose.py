@@ -1,0 +1,158 @@
+"""RISC cracking: primitive shapes, completion flags, CISC expansion."""
+
+import pytest
+
+from repro.isa import registers as regs
+from repro.isa.instructions import BranchCond, Instruction, Opcode
+from repro.primitives.decompose import BranchKind, decompose
+from repro.primitives.ops import PrimOp
+
+
+def crack(instr, pc=0x1000):
+    return decompose(instr, pc)
+
+
+class TestSimpleOps:
+    def test_add_is_one_primitive(self):
+        prims, branch = crack(Instruction(Opcode.ADD, rt=1, ra=2, rb=3))
+        assert branch is None
+        assert len(prims) == 1
+        assert prims[0].op == PrimOp.ADD
+        assert prims[0].dest == regs.gpr(1)
+        assert prims[0].srcs == (regs.gpr(2), regs.gpr(3))
+        assert prims[0].completes
+
+    def test_addi_ra0_has_no_sources(self):
+        prims, _ = crack(Instruction(Opcode.ADDI, rt=1, ra=0, imm=4))
+        assert prims[0].srcs == ()
+
+    def test_only_last_primitive_completes(self):
+        prims, _ = crack(Instruction(Opcode.ANDI_, rt=1, ra=2, imm=3))
+        assert [p.completes for p in prims] == [False, True]
+
+    def test_andi_cracks_to_and_plus_compare(self):
+        prims, _ = crack(Instruction(Opcode.ANDI_, rt=1, ra=2, imm=3))
+        assert [p.op for p in prims] == [PrimOp.ANDI, PrimOp.CMPI_S]
+        assert prims[1].dest == regs.crf(0)
+
+    def test_cmp_reads_so(self):
+        prims, _ = crack(Instruction(Opcode.CMP, crf=1, ra=2, rb=3))
+        assert regs.SO in prims[0].srcs
+
+
+class TestCisc:
+    def test_lmw_expansion(self):
+        prims, _ = crack(Instruction(Opcode.LMW, rt=29, ra=1, imm=8))
+        assert len(prims) == 3
+        assert all(p.op == PrimOp.LD4 for p in prims)
+        assert [p.imm for p in prims] == [8, 12, 16]
+        assert [p.dest for p in prims] == [regs.gpr(r) for r in (29, 30, 31)]
+        assert [p.completes for p in prims] == [False, False, True]
+
+    def test_stmw_expansion(self):
+        prims, _ = crack(Instruction(Opcode.STMW, rt=30, ra=1, imm=0))
+        assert [p.op for p in prims] == [PrimOp.ST4, PrimOp.ST4]
+        assert [p.value_src for p in prims] == [regs.gpr(30), regs.gpr(31)]
+
+    def test_lmw_base_in_range_rejected(self):
+        with pytest.raises(ValueError):
+            crack(Instruction(Opcode.LMW, rt=5, ra=10, imm=0))
+
+    def test_mtcrf_one_primitive_per_field(self):
+        prims, _ = crack(Instruction(Opcode.MTCRF, rt=1, imm=0b10100000))
+        assert len(prims) == 2
+        assert [p.imm for p in prims] == [0, 2]
+        assert [p.dest for p in prims] == [regs.crf(0), regs.crf(2)]
+
+    def test_mfcr_gathers_eight_fields(self):
+        prims, _ = crack(Instruction(Opcode.MFCR, rt=1))
+        assert prims[0].op == PrimOp.GATHER_CR
+        assert len(prims[0].srcs) == 8
+
+    def test_mtxer_three_primitives(self):
+        prims, _ = crack(Instruction(Opcode.MTXER, rt=1))
+        assert [p.op for p in prims] == [PrimOp.SET_CA, PrimOp.SET_OV,
+                                         PrimOp.SET_SO]
+
+
+class TestBranches:
+    def test_direct_branch(self):
+        prims, branch = crack(Instruction(Opcode.B, offset=4), pc=0x1000)
+        assert prims == []
+        assert branch.kind == BranchKind.DIRECT
+        assert branch.target == 0x1010
+
+    def test_bl_materialises_link(self):
+        prims, branch = crack(Instruction(Opcode.BL, offset=4), pc=0x1000)
+        assert prims[0].op == PrimOp.LIMM
+        assert prims[0].dest == regs.LR
+        assert prims[0].imm == 0x1004
+        # Branch instructions complete at the branch, not at helpers.
+        assert not prims[0].completes
+
+    def test_bc_ctr_decrement_explicit(self):
+        instr = Instruction(Opcode.BC, cond=BranchCond.DNZ, offset=-2)
+        prims, branch = crack(instr, pc=0x1000)
+        assert prims[0].op == PrimOp.ADDI
+        assert prims[0].dest == regs.CTR
+        assert prims[0].imm == -1
+        assert branch.kind == BranchKind.CONDITIONAL
+        assert branch.decrements_ctr
+        assert branch.target == 0x0FF8
+        assert branch.fallthrough == 0x1004
+
+    def test_plain_bc_has_no_primitives(self):
+        instr = Instruction(Opcode.BC, cond=BranchCond.TRUE, bi=6, offset=2)
+        prims, branch = crack(instr)
+        assert prims == []
+        assert branch.bi == 6
+
+    def test_blr_via_lr(self):
+        prims, branch = crack(Instruction(Opcode.BLR))
+        assert prims == []
+        assert branch.kind == BranchKind.INDIRECT_LR
+        assert branch.via == regs.LR
+
+    def test_blrl_stages_old_lr(self):
+        prims, branch = crack(Instruction(Opcode.BLRL), pc=0x1000)
+        # Old lr staged into lr2, new lr set, branch through lr2.
+        assert prims[0].op == PrimOp.MOVE
+        assert prims[0].dest == regs.LR2
+        assert prims[1].dest == regs.LR
+        assert prims[1].imm == 0x1004
+        assert branch.via == regs.LR2
+
+    def test_bctrl_links(self):
+        prims, branch = crack(Instruction(Opcode.BCTRL), pc=0x2000)
+        assert branch.kind == BranchKind.INDIRECT_CTR
+        assert branch.via == regs.CTR
+        assert prims[0].imm == 0x2004
+
+    def test_sc(self):
+        prims, branch = crack(Instruction(Opcode.SC), pc=0x1000)
+        assert prims[0].op == PrimOp.SERVICE
+        assert branch.kind == BranchKind.SC
+        assert branch.fallthrough == 0x1004
+
+    def test_rfi(self):
+        prims, branch = crack(Instruction(Opcode.RFI))
+        assert prims[0].op == PrimOp.TRAP_PRIV
+        assert prims[1].dest == regs.MSR
+        assert branch.kind == BranchKind.RFI
+        assert branch.via == regs.SRR0
+
+
+class TestFlags:
+    def test_ai_sets_ca_flag(self):
+        prims, _ = crack(Instruction(Opcode.AI, rt=1, ra=2, imm=1))
+        assert prims[0].sets_ca
+
+    def test_div_sets_ov_flag(self):
+        prims, _ = crack(Instruction(Opcode.DIVW, rt=1, ra=2, rb=3))
+        assert prims[0].sets_ov
+
+    def test_store_sources_include_value(self):
+        prims, _ = crack(Instruction(Opcode.STWX, rt=1, ra=2, rb=3))
+        assert prims[0].value_src == regs.gpr(1)
+        assert set(prims[0].all_sources()) == {
+            regs.gpr(1), regs.gpr(2), regs.gpr(3)}

@@ -1,0 +1,135 @@
+"""Binary encoding: encode/decode round trips and range checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import (
+    DecodeError,
+    FMT_B,
+    FMT_BC,
+    FMT_CMP,
+    FMT_CMPI,
+    FMT_CR,
+    FMT_NONE,
+    FMT_R,
+    FMT_RI19,
+    FMT_RRI,
+    FMT_RRR,
+    IMM14_MAX,
+    IMM14_MIN,
+    UIMM14_MAX,
+    decode,
+    encode,
+    instruction_format,
+)
+from repro.isa.instructions import BranchCond, Instruction, Opcode
+
+_SIGNED_IMM_OPS = [Opcode.ADDI, Opcode.AI, Opcode.MULLI, Opcode.LWZ,
+                   Opcode.STW, Opcode.LMW]
+_UNSIGNED_IMM_OPS = [Opcode.ORI, Opcode.XORI, Opcode.ANDI_, Opcode.SLWI]
+
+
+def _roundtrip(instr: Instruction) -> Instruction:
+    return decode(encode(instr))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("opcode", list(Opcode))
+    def test_every_opcode_roundtrips(self, opcode):
+        fmt = instruction_format(opcode)
+        kwargs = {}
+        if fmt in (FMT_RRR, FMT_CR):
+            kwargs = dict(rt=3, ra=7, rb=31)
+        elif fmt == FMT_RRI:
+            imm = -5 if opcode in _SIGNED_IMM_OPS else 9
+            kwargs = dict(rt=1, ra=2, imm=imm)
+        elif fmt == FMT_CMP:
+            kwargs = dict(crf=5, ra=9, rb=10)
+        elif fmt == FMT_CMPI:
+            kwargs = dict(crf=3, ra=4, imm=-7 if opcode == Opcode.CMPI else 7)
+        elif fmt == FMT_B:
+            kwargs = dict(offset=-100)
+        elif fmt == FMT_BC:
+            kwargs = dict(cond=BranchCond.TRUE, bi=13, offset=200)
+        elif fmt == FMT_R:
+            kwargs = dict(rt=19)
+        elif fmt == FMT_RI19:
+            kwargs = dict(rt=6, imm=-70000)
+        instr = Instruction(opcode, **kwargs)
+        assert _roundtrip(instr) == instr
+
+    @given(rt=st.integers(0, 31), ra=st.integers(0, 31),
+           rb=st.integers(0, 31))
+    def test_rrr_fields(self, rt, ra, rb):
+        instr = Instruction(Opcode.ADD, rt=rt, ra=ra, rb=rb)
+        assert _roundtrip(instr) == instr
+
+    @given(rt=st.integers(0, 31), ra=st.integers(0, 31),
+           imm=st.integers(IMM14_MIN, IMM14_MAX))
+    def test_signed_immediate(self, rt, ra, imm):
+        instr = Instruction(Opcode.ADDI, rt=rt, ra=ra, imm=imm)
+        assert _roundtrip(instr) == instr
+
+    @given(imm=st.integers(0, UIMM14_MAX))
+    def test_unsigned_immediate(self, imm):
+        instr = Instruction(Opcode.ORI, rt=1, ra=2, imm=imm)
+        assert _roundtrip(instr) == instr
+
+    @given(offset=st.integers(-(1 << 23), (1 << 23) - 1))
+    def test_branch_offsets(self, offset):
+        instr = Instruction(Opcode.B, offset=offset)
+        assert _roundtrip(instr) == instr
+
+    @given(cond=st.sampled_from(list(BranchCond)[1:]),
+           bi=st.integers(0, 31),
+           offset=st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_bc_fields(self, cond, bi, offset):
+        instr = Instruction(Opcode.BC, cond=cond, bi=bi, offset=offset)
+        assert _roundtrip(instr) == instr
+
+    @given(imm=st.integers(-(1 << 18), (1 << 18) - 1))
+    def test_li_wide_immediate(self, imm):
+        instr = Instruction(Opcode.LI, rt=5, imm=imm)
+        assert _roundtrip(instr) == instr
+
+
+class TestRangeChecks:
+    def test_signed_imm_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.ADDI, rt=1, ra=2, imm=IMM14_MAX + 1))
+
+    def test_signed_imm_underflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.ADDI, rt=1, ra=2, imm=IMM14_MIN - 1))
+
+    def test_unsigned_imm_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.ORI, rt=1, ra=2, imm=-1))
+
+    def test_branch_offset_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.B, offset=1 << 23))
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.ADD, rt=32, ra=0, rb=0))
+
+    def test_li_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.LI, rt=0, imm=1 << 18))
+
+
+class TestDecodeErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(0xFF << 24)
+
+    def test_zero_word_is_illegal(self):
+        # All-zero memory must not decode silently into a valid opcode.
+        with pytest.raises(DecodeError):
+            decode(0)
+
+    def test_bad_branch_condition(self):
+        word = (int(Opcode.BC) << 24) | (7 << 21)
+        with pytest.raises(DecodeError):
+            decode(word)

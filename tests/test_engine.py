@@ -1,0 +1,203 @@
+"""VLIW engine: exception tags, alias recovery, extenders, stats."""
+
+import pytest
+
+from repro.core.options import TranslationOptions
+from repro.isa import registers as regs
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.vliw.engine import PreciseFault
+
+from tests.helpers import run_daisy, run_native, assert_state_equivalent
+from repro.isa.assembler import Assembler
+
+
+def asm(source):
+    return Assembler().assemble(source)
+
+
+class TestExceptionTags:
+    def test_speculative_load_on_untaken_path_never_faults(self):
+        """Section 2.1's canonical example: the load is moved above the
+        branch that guards it; when the branch is taken, the tagged
+        register is never consumed and no exception occurs."""
+        program = asm("""
+.org 0x1000
+_start:
+    li    r4, 0
+    subi  r4, r4, 4          # r4 = 0xFFFFFFFC: invalid address
+    cmpi  cr0, r2, 0
+    beq   skip               # guard: r2 == 0, so the load is skipped
+    lwz   r3, 0(r4)          # would fault if executed
+skip:
+    li    r0, 1
+    sc
+""")
+        interp, native = run_native(program)
+        system, daisy = run_daisy(program)
+        assert native.exit_code == daisy.exit_code == 0
+        assert_state_equivalent(interp, system)
+
+    def test_tag_fires_on_commit_when_path_falls_through(self):
+        program = asm("""
+.org 0x1000
+_start:
+    li    r4, 0
+    subi  r4, r4, 4          # invalid address
+    cmpi  cr0, r2, 1
+    beq   skip               # NOT taken (r2 == 0)
+    lwz   r3, 0(r4)          # must fault precisely here
+skip:
+    li    r0, 1
+    sc
+""")
+        interp, native = None, None
+        from repro.faults import DataStorageFault
+        with pytest.raises(DataStorageFault):
+            interp, native = run_native(program)
+        system, _ = None, None
+        system = DaisySystem(MachineConfig.default())
+        system.engine.check_parallel_semantics = True
+        system.load_program(program)
+        with pytest.raises(PreciseFault) as err:
+            system.run()
+        assert isinstance(err.value.fault, DataStorageFault)
+        # Precise: the faulting base instruction is the lwz.
+        assert err.value.base_pc == program.symbol("skip") - 4
+
+    def test_architected_state_precise_at_fault(self):
+        """Registers written by instructions after the faulting one must
+        not be visible when the fault is raised."""
+        program = asm("""
+.org 0x1000
+_start:
+    li    r5, 1
+    li    r4, 0
+    subi  r4, r4, 4
+    lwz   r3, 0(r4)          # faults
+    li    r5, 99             # must NOT have executed architecturally
+    li    r0, 1
+    sc
+""")
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(program)
+        with pytest.raises(PreciseFault):
+            system.run()
+        assert system.state.gpr[5] == 1
+
+
+class TestAliasRecovery:
+    def _alias_program(self):
+        """A store through one pointer aliases a later load through
+        another: the translator speculates the load above the store."""
+        return asm("""
+.org 0x1000
+_start:
+    li    r4, 0x20000
+    li    r5, 0x20000        # same address, different register
+    li    r6, 7
+    li    r7, 0
+    li    r2, 50
+    mtctr r2
+loop:
+    stw   r6, 0(r4)          # store
+    lwz   r8, 0(r5)          # aliasing load (moved above on retranslate)
+    add   r7, r7, r8
+    addi  r6, r6, 1
+    bdnz  loop
+    cmpi  cr0, r7, 0
+    li    r0, 1
+    sc
+""")
+
+    def test_alias_recovery_preserves_semantics(self):
+        program = self._alias_program()
+        interp, native = run_native(program)
+        system, daisy = run_daisy(program)
+        assert_state_equivalent(interp, system)
+        assert daisy.base_instructions == native.instructions
+
+    def test_alias_events_counted(self):
+        program = self._alias_program()
+        system, daisy = run_daisy(program)
+        assert daisy.alias_events > 0
+
+    def test_no_alias_when_speculation_disabled(self):
+        program = self._alias_program()
+        options = TranslationOptions(speculate_loads=False,
+                                     forward_stores=False)
+        system, daisy = run_daisy(program, options=options)
+        assert daisy.alias_events == 0
+        assert daisy.exit_code == 0
+
+
+class TestExtenders:
+    def test_speculative_ai_carry_committed(self):
+        """The CA produced by a renamed ai must land in the XER exactly
+        when its value commits (Appendix D)."""
+        program = asm("""
+.org 0x1000
+_start:
+    li    r2, 0
+    subi  r2, r2, 1          # r2 = 0xFFFFFFFF
+    li    r3, 10
+    mtctr r3
+loop:
+    ai    r4, r2, 1          # carry out = 1 every time
+    bdnz  loop
+    mfxer r5
+    li    r0, 1
+    sc
+""")
+        interp, native = run_native(program)
+        system, daisy = run_daisy(program)
+        assert_state_equivalent(interp, system)
+        assert system.state.ca == 1
+
+    def test_div_overflow_bits(self):
+        program = asm("""
+.org 0x1000
+_start:
+    li    r2, 5
+    li    r3, 0
+    divw  r4, r2, r3         # division by zero: OV, SO
+    li    r0, 1
+    sc
+""")
+        interp, native = run_native(program)
+        system, daisy = run_daisy(program)
+        assert_state_equivalent(interp, system)
+        assert system.state.ov == 1 and system.state.so == 1
+
+
+class TestStats:
+    def test_load_store_counters(self):
+        program = asm("""
+.org 0x1000
+_start:
+    li    r4, 0x20000
+    li    r2, 5
+    mtctr r2
+loop:
+    stw   r2, 0(r4)
+    lwz   r3, 0(r4)
+    addi  r4, r4, 4
+    bdnz  loop
+    li    r0, 1
+    sc
+""")
+        system, daisy = run_daisy(program)
+        assert daisy.stores == 5
+        # Forwarding may remove some loads; never more than 5 remain.
+        assert daisy.loads <= 5
+
+    def test_vliws_at_least_as_many_as_groups_entered(self):
+        program = asm("""
+.org 0x1000
+_start:
+    li    r0, 1
+    sc
+""")
+        system, daisy = run_daisy(program)
+        assert daisy.vliws >= 1
+        assert daisy.base_instructions == 2

@@ -1,0 +1,102 @@
+"""The central correctness property: every workload produces identical
+architected state under the interpreter and under DAISY, for every
+machine configuration and every translation-option ablation."""
+
+import pytest
+
+from repro.core.options import TranslationOptions
+from repro.vliw.machine import MachineConfig, PAPER_CONFIGS
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+from tests.helpers import assert_state_equivalent, run_daisy, run_native
+
+
+@pytest.fixture(scope="module")
+def native_runs():
+    runs = {}
+    for name in WORKLOAD_NAMES:
+        workload = build_workload(name, "tiny")
+        interp, result = run_native(workload.program)
+        assert result.exit_code == 0, f"{name} failed natively"
+        runs[name] = (workload, interp, result)
+    return runs
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestWorkloadEquivalence:
+    def test_default_config(self, native_runs, name):
+        workload, interp, native = native_runs[name]
+        system, daisy = run_daisy(workload.program)
+        assert daisy.exit_code == 0
+        assert daisy.base_instructions == native.instructions
+        assert_state_equivalent(interp, system)
+
+    def test_narrow_machine(self, native_runs, name):
+        workload, interp, native = native_runs[name]
+        system, daisy = run_daisy(workload.program,
+                                  config=PAPER_CONFIGS[1])
+        assert daisy.exit_code == 0
+        assert daisy.base_instructions == native.instructions
+        assert_state_equivalent(interp, system)
+
+
+_ABLATIONS = {
+    "no_rename": TranslationOptions(rename=False),
+    "no_combining": TranslationOptions(combining=False),
+    "no_speculation": TranslationOptions(speculate_loads=False),
+    "no_forwarding": TranslationOptions(forward_stores=False),
+    "everything_off": TranslationOptions(rename=False, combining=False,
+                                         speculate_loads=False,
+                                         forward_stores=False),
+    "tiny_window": TranslationOptions(window_size=4, max_join_visits=1),
+    "small_pages": TranslationOptions(page_size=256),
+    "big_pages": TranslationOptions(page_size=16384),
+    "profile": None,  # filled per-test with a measured profile
+}
+
+
+@pytest.mark.parametrize("ablation", sorted(k for k in _ABLATIONS
+                                            if k != "profile"))
+@pytest.mark.parametrize("name", ["compress", "sort", "gcc", "c_sieve"])
+class TestAblationEquivalence:
+    def test_equivalent(self, native_runs, name, ablation):
+        workload, interp, native = native_runs[name]
+        system, daisy = run_daisy(workload.program,
+                                  options=_ABLATIONS[ablation])
+        assert daisy.exit_code == 0
+        assert daisy.base_instructions == native.instructions
+        assert_state_equivalent(interp, system)
+
+
+class TestProfileGuidedEquivalence:
+    def test_profile_options(self, native_runs):
+        workload, interp, native = native_runs["wc"]
+        profile = {pc: tuple(counts)
+                   for pc, counts in native.branch_profile.items()}
+        options = TranslationOptions(branch_profile=profile)
+        system, daisy = run_daisy(workload.program, options=options)
+        assert daisy.exit_code == 0
+        assert_state_equivalent(interp, system)
+
+
+class TestOutputs:
+    def test_service_output_identical(self):
+        from repro.isa.assembler import Assembler
+        program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r5, 5
+    mtctr r5
+    li    r3, 64
+loop:
+    addi  r3, r3, 1
+    li    r0, 2              # PUTCHAR
+    sc
+    bdnz  loop
+    li    r3, 0
+    li    r0, 1
+    sc
+""")
+        interp, native = run_native(program)
+        system, daisy = run_daisy(program)
+        assert native.output == daisy.output == [65, 66, 67, 68, 69]

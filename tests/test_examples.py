@@ -1,0 +1,30 @@
+"""Every example script must run to completion (their internal asserts
+check the behaviour they demonstrate)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "paper_figure_2_2.py",
+    "os_compatibility.py",
+    "self_modifying_code.py",
+    "machine_comparison.py",
+    "multi_isa.py",
+    "interpretive_compilation.py",
+    "fp_stencil.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=240)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()

@@ -1,0 +1,78 @@
+"""Feature-combination equivalence: the optional VMM features must
+compose (interpretive x strategy x crosspage model x pinning) without
+disturbing architected behaviour."""
+
+import itertools
+
+import pytest
+
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+from tests.helpers import assert_state_equivalent, run_native
+
+COMBOS = list(itertools.product(
+    [False, True],              # interpretive
+    ["expansion", "hash"],      # strategy
+    [0, 2],                     # crosspage_extra_cycles
+))
+
+
+@pytest.fixture(scope="module")
+def reference():
+    workload = build_workload("sort", "tiny")
+    interp, native = run_native(workload.program)
+    return workload, interp, native
+
+
+@pytest.mark.parametrize("interpretive,strategy,extra", COMBOS)
+def test_combination_equivalent(reference, interpretive, strategy, extra):
+    workload, interp, native = reference
+    system = DaisySystem(MachineConfig.default(),
+                         interpretive=interpretive,
+                         strategy=strategy,
+                         crosspage_extra_cycles=extra)
+    system.load_program(workload.program)
+    result = system.run()
+    assert result.exit_code == 0
+    assert result.base_instructions == native.instructions
+    assert_state_equivalent(interp, system)
+
+
+def test_combination_with_pinning_and_tiny_pool(reference):
+    workload, interp, native = reference
+    system = DaisySystem(MachineConfig.default(), strategy="hash",
+                         translation_capacity_bytes=4000)
+    system.load_program(workload.program)
+    system._lookup_group(0x1000, via_itlb=False)
+    system.pin_page(0x1000)
+    result = system.run()
+    assert result.exit_code == 0
+    assert_state_equivalent(interp, system)
+
+
+def test_castout_thrash_preserves_equivalence():
+    """gcc's handlers span five pages; a pool that holds barely two of
+    them forces constant cast-out/retranslation mid-run — architected
+    behaviour must be unaffected."""
+    workload = build_workload("gcc", "tiny")
+    interp, native = run_native(workload.program)
+    system = DaisySystem(MachineConfig.default(),
+                         translation_capacity_bytes=2500)
+    system.load_program(workload.program)
+    result = system.run()
+    assert result.exit_code == 0
+    assert result.events.castouts > 5
+    assert result.base_instructions == native.instructions
+    assert_state_equivalent(interp, system)
+
+
+def test_interpret_after_rfi_composes_with_interpretive(reference):
+    workload, interp, native = reference
+    system = DaisySystem(MachineConfig.default(), interpretive=True)
+    system.interpret_after_rfi = True
+    system.load_program(workload.program)
+    result = system.run()
+    assert result.exit_code == 0
+    assert_state_equivalent(interp, system)

@@ -1,0 +1,184 @@
+"""Floating point: semantics, cracking, renaming, and equivalence."""
+
+import math
+import struct
+
+import pytest
+
+from repro.isa import registers as regs
+from repro.isa.assembler import Assembler
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.semantics import ExecutionEnv, execute, fdiv_ieee
+from repro.isa.state import CpuState
+from repro.memory.memory import PhysicalMemory
+from repro.memory.mmu import Mmu
+from repro.primitives.decompose import decompose
+from repro.primitives.ops import PrimOp
+from repro.workloads import build_workload
+
+from tests.helpers import (
+    assert_state_equivalent,
+    build_group,
+    run_daisy,
+    run_native,
+)
+
+
+@pytest.fixture
+def machine():
+    memory = PhysicalMemory(size=1 << 16)
+    mmu = Mmu(physical_size=memory.size)
+    state = CpuState()
+    return state, ExecutionEnv(memory, mmu, None)
+
+
+def step(state, env, instr):
+    state.pc = execute(state, instr, env)
+
+
+class TestSemantics:
+    def test_arith(self, machine):
+        state, env = machine
+        state.fpr[1], state.fpr[2] = 1.5, 2.25
+        step(state, env, Instruction(Opcode.FADD, rt=3, ra=1, rb=2))
+        step(state, env, Instruction(Opcode.FSUB, rt=4, ra=1, rb=2))
+        step(state, env, Instruction(Opcode.FMUL, rt=5, ra=1, rb=2))
+        step(state, env, Instruction(Opcode.FDIV, rt=6, ra=1, rb=2))
+        assert state.fpr[3] == 3.75
+        assert state.fpr[4] == -0.75
+        assert state.fpr[5] == 3.375
+        assert state.fpr[6] == 1.5 / 2.25
+
+    def test_fdiv_by_zero_gives_infinity(self, machine):
+        state, env = machine
+        state.fpr[1], state.fpr[2] = 5.0, 0.0
+        step(state, env, Instruction(Opcode.FDIV, rt=3, ra=1, rb=2))
+        assert state.fpr[3] == float("inf")
+        assert fdiv_ieee(-5.0, 0.0) == float("-inf")
+        assert math.isnan(fdiv_ieee(0.0, 0.0))
+
+    def test_moves(self, machine):
+        state, env = machine
+        state.fpr[2] = -7.5
+        step(state, env, Instruction(Opcode.FMR, rt=1, rb=2))
+        step(state, env, Instruction(Opcode.FNEG, rt=3, rb=2))
+        step(state, env, Instruction(Opcode.FABS, rt=4, rb=2))
+        assert (state.fpr[1], state.fpr[3], state.fpr[4]) == (-7.5, 7.5, 7.5)
+
+    def test_memory_roundtrip(self, machine):
+        state, env = machine
+        state.gpr[2] = 0x100
+        state.fpr[1] = 3.141592653589793
+        step(state, env, Instruction(Opcode.STFD, rt=1, ra=2, imm=8))
+        assert env.memory.read_bytes(0x108, 8) == struct.pack(">d",
+                                                              state.fpr[1])
+        step(state, env, Instruction(Opcode.LFD, rt=5, ra=2, imm=8))
+        assert state.fpr[5] == state.fpr[1]
+
+    def test_fcmpu(self, machine):
+        state, env = machine
+        state.fpr[1], state.fpr[2] = 1.0, 2.0
+        step(state, env, Instruction(Opcode.FCMPU, crf=3, ra=1, rb=2))
+        assert state.cr[3] == 0b1000
+        state.fpr[1] = float("nan")
+        step(state, env, Instruction(Opcode.FCMPU, crf=3, ra=1, rb=2))
+        assert state.cr[3] == 0b0001   # unordered
+
+
+class TestEncodingAndCracking:
+    @pytest.mark.parametrize("source", [
+        "fadd f1, f2, f3", "fdiv f31, f0, f15", "fmr f4, f5",
+        "lfd f6, -16(r3)", "stfd f7, 24(r9)", "fcmpu cr2, f1, f2",
+    ])
+    def test_assemble_decode_roundtrip(self, source):
+        program = Assembler().assemble(f".org 0x1000\n    {source}")
+        _, data = next(program.sections())
+        word = int.from_bytes(data[:4], "big")
+        assert encode(decode(word)) == word
+
+    def test_fp_prims_use_fpr_space(self):
+        prims, _ = decompose(Instruction(Opcode.FADD, rt=1, ra=2, rb=3), 0)
+        assert prims[0].dest == regs.fpr(1)
+        assert prims[0].srcs == (regs.fpr(2), regs.fpr(3))
+
+    def test_lfd_is_load_with_width_8(self):
+        prims, _ = decompose(Instruction(Opcode.LFD, rt=1, ra=2, imm=8), 0)
+        assert prims[0].op == PrimOp.LD8F
+        assert prims[0].mem_width == 8
+
+
+class TestScheduling:
+    def test_fp_results_renamed_speculatively(self):
+        source = """
+.org 0x1000
+entry:
+    lfd   f1, 0(r4)
+    fadd  f2, f1, f1
+    stfd  f2, 8(r4)
+    lfd   f1, 16(r4)
+    fadd  f2, f1, f1
+    stfd  f2, 24(r4)
+    b     0x9000
+"""
+        group, _ = build_group(source)
+        renamed = [op for v in group.vliws for op in v.all_ops()
+                   if op.speculative and op.dest is not None
+                   and regs.is_fpr(op.dest)]
+        assert renamed, "expected speculative FP renaming"
+        for op in renamed:
+            assert not regs.is_architected(op.dest)
+
+    def test_fp_alias_detection_width_8(self):
+        """A 4-byte store into the middle of a speculated 8-byte load's
+        data must trigger an alias recovery."""
+        program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r4, 0x20000
+    li    r5, 0x20004        # overlaps the double at 0x20000
+    li    r6, 3
+    mtctr r6
+loop:
+    stw   r7, 0(r5)
+    lfd   f1, 0(r4)          # speculated above the stw on re-entry
+    fadd  f2, f2, f1
+    addi  r7, r7, 1
+    bdnz  loop
+    li    r3, 0
+    li    r0, 1
+    sc
+""")
+        interp, native = run_native(program)
+        system, daisy = run_daisy(program)
+        assert_state_equivalent(interp, system)
+
+
+class TestTomcatv:
+    def test_native_self_check(self):
+        workload = build_workload("tomcatv", "tiny")
+        interp, result = run_native(workload.program)
+        assert result.exit_code == 0
+
+    def test_daisy_equivalence(self):
+        workload = build_workload("tomcatv", "tiny")
+        interp, native = run_native(workload.program)
+        system, daisy = run_daisy(workload.program)
+        assert daisy.exit_code == 0
+        assert daisy.base_instructions == native.instructions
+        assert_state_equivalent(interp, system)
+
+    def test_fp_kernel_reaches_high_ilp(self):
+        workload = build_workload("tomcatv", "tiny")
+        _, daisy = run_daisy(workload.program)
+        # The stencil's independent loads/adds should beat the integer
+        # workloads' typical 2-4 range.
+        assert daisy.infinite_cache_ilp > 3.5
+
+    def test_interpretive_mode(self):
+        from repro.vmm.system import DaisySystem
+        from repro.vliw.machine import MachineConfig
+        workload = build_workload("tomcatv", "tiny")
+        system = DaisySystem(MachineConfig.default(), interpretive=True)
+        system.load_program(workload.program)
+        assert system.run().exit_code == 0

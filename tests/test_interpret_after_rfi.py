@@ -1,0 +1,123 @@
+"""Section 3.4: interpret after rfi until the next anchor, so frequent
+external interrupts do not mint an entry point at every interrupted
+instruction."""
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+
+PROGRAM = """
+.org 0x500                   # external interrupt handler
+    addi  r28, r28, 1
+    rfi
+
+.org 0x1000
+_start:
+    li    r2, 300
+    mtctr r2
+loop:
+    addi  r3, r3, 1
+    addi  r4, r4, 2
+    addi  r5, r5, 3
+    bdnz  loop
+    mr    r3, r3
+    li    r0, 1
+    sc
+"""
+
+
+def run_with_interrupt_storm(interpret_after_rfi, period=7):
+    from repro.isa.state import MSR_EE
+    program = Assembler().assemble(PROGRAM)
+    system = DaisySystem(MachineConfig.default())
+    system.interpret_after_rfi = interpret_after_rfi
+    system.load_program(program)
+    system.state.msr |= MSR_EE      # the "OS" enabled interrupts
+
+    # Fire an external interrupt every `period` VLIWs.
+    state = {"last": 0}
+
+    def pending():
+        vliws = system.engine.stats.vliws
+        if vliws - state["last"] >= period:
+            state["last"] = vliws
+            return True
+        return False
+
+    system.engine.interrupt_pending = pending
+    result = system.run(deliver_faults=True)
+    return system, result
+
+
+class TestInterruptStorm:
+    def test_correctness_under_interrupt_storm(self):
+        system, result = run_with_interrupt_storm(True)
+        assert result.exit_code == 300          # all iterations ran
+        assert system.state.gpr[4] == 600
+        assert system.state.gpr[5] == 900
+        assert result.events.external_interrupts > 10
+        # Completed work = program + 2 handler instructions per
+        # interrupt; nothing lost, nothing doubled.
+        assert result.base_instructions == \
+            2 + 4 * 300 + 3 + 2 * result.events.external_interrupts
+
+    def test_partial_instruction_boundaries_deferred(self):
+        """The regression this feature-set caught: an interrupt between
+        a renamed ctr-decrement's commit and its branch split would
+        re-execute the decrement.  The engine defers interrupts at such
+        boundaries, so counted loops never lose iterations."""
+        for period in (3, 5, 7, 11, 13):
+            system, result = run_with_interrupt_storm(True, period=period)
+            assert result.exit_code == 300, f"period {period}"
+
+
+class TestInterpretAfterRfiMechanism:
+    def _prepared_system(self):
+        from repro.vliw.engine import EngineExit, ExitReason
+        program = Assembler().assemble(PROGRAM)
+        system = DaisySystem(MachineConfig.default())
+        system.interpret_after_rfi = True
+        system.load_program(program)
+        # Translate the main page once.
+        group, translation = system._lookup_group(0x1000, via_itlb=False)
+        return system, translation
+
+    def test_rfi_to_uncompiled_pc_interprets_to_anchor(self):
+        from repro.vliw.engine import EngineExit, ExitReason
+        system, translation = self._prepared_system()
+        # Fabricate an rfi return into the middle of the loop body, at a
+        # pc that has no compiled entry.
+        target = 0x100C                      # addi r4 (mid-body)
+        assert not system._entry_compiled(target)
+        system.state.pc = target
+        system.state.ctr = 3
+        next_pc = system._dispatch(
+            EngineExit(ExitReason.INDIRECT, target, flavor="rfi"),
+            translation)
+        # Interpretation ran to the next anchor: the taken backward
+        # branch (bdnz) — resuming at the loop head.
+        assert next_pc == 0x1008
+        assert system._interpreted_episodes == 1
+        assert system._interpreted_instructions == 3   # r4, r5, bdnz
+        # No entry point was minted at the interrupted pc.
+        assert not system._entry_compiled(target)
+
+    def test_rfi_to_compiled_entry_skips_interpretation(self):
+        from repro.vliw.engine import EngineExit, ExitReason
+        system, translation = self._prepared_system()
+        next_pc = system._dispatch(
+            EngineExit(ExitReason.INDIRECT, 0x1000, flavor="rfi"),
+            translation)
+        assert next_pc == 0x1000
+        assert system._interpreted_episodes == 0
+
+    def test_lr_flavor_not_interpreted(self):
+        from repro.vliw.engine import EngineExit, ExitReason
+        system, translation = self._prepared_system()
+        next_pc = system._dispatch(
+            EngineExit(ExitReason.INDIRECT, 0x100C, flavor="lr"),
+            translation)
+        assert next_pc == 0x100C
+        assert system._interpreted_episodes == 0

@@ -1,0 +1,145 @@
+"""Interpreter harness: counters, traces, profiles, budgets, delivery."""
+
+import pytest
+
+from repro.faults import DataStorageFault, InstructionBudgetExceeded
+from repro.isa.assembler import Assembler
+from repro.isa.interpreter import Interpreter
+from repro.isa.services import EmulatorServices
+
+from tests.helpers import run_native
+
+
+def asm(source):
+    return Assembler().assemble(source)
+
+
+COUNT_LOOP = """
+.org 0x1000
+_start:
+    li    r2, 10
+    mtctr r2
+loop:
+    lwz   r3, 0(r5)
+    stw   r3, 4(r5)
+    bdnz  loop
+    li    r3, 0
+    li    r0, 1
+    sc
+"""
+
+
+class TestCounters:
+    def test_instruction_count(self):
+        _, result = run_native(asm(COUNT_LOOP))
+        # 2 setup + 10*(lwz, stw, bdnz) + 3 tail
+        assert result.instructions == 2 + 30 + 3
+
+    def test_load_store_branch_counts(self):
+        _, result = run_native(asm(COUNT_LOOP))
+        assert result.loads == 10
+        assert result.stores == 10
+        assert result.branches == 10       # bdnz x10 (the final sc exits)
+        assert result.taken_branches >= 9
+
+    def test_branch_profile(self):
+        _, result = run_native(asm(COUNT_LOOP))
+        [(pc, (taken, not_taken))] = [
+            (pc, tuple(v)) for pc, v in result.branch_profile.items()]
+        assert taken == 9 and not_taken == 1
+
+
+class TestTrace:
+    def test_trace_entries_have_addresses(self):
+        interp = Interpreter(collect_trace=True)
+        interp.load_program(asm(COUNT_LOOP))
+        result = interp.run()
+        assert len(result.trace) == result.instructions
+        loads = [entry for entry in result.trace if entry[1].is_load()]
+        assert all(entry[2] == 0 for entry in loads)   # r5 = 0, disp 0
+        stores = [entry for entry in result.trace if entry[1].is_store()]
+        assert all(entry[2] == 4 for entry in stores)
+
+    def test_trace_off_by_default(self):
+        _, result = run_native(asm(COUNT_LOOP))
+        assert result.trace is None
+
+
+class TestBudget:
+    def test_runaway_program_stopped(self):
+        program = asm("""
+.org 0x1000
+_start:
+    b _start
+""")
+        interp = Interpreter()
+        interp.load_program(program)
+        with pytest.raises(InstructionBudgetExceeded):
+            interp.run(max_instructions=100)
+
+
+class TestFaultDelivery:
+    def test_fault_raises_without_delivery(self):
+        program = asm("""
+.org 0x1000
+_start:
+    li    r2, 0
+    subi  r2, r2, 4
+    lwz   r3, 0(r2)
+""")
+        interp = Interpreter()
+        interp.load_program(program)
+        with pytest.raises(DataStorageFault):
+            interp.run()
+
+    def test_fault_delivered_to_vector(self):
+        program = asm("""
+.org 0x300
+    li    r31, 0x20000       # handler fixes the pointer
+    rfi
+.org 0x1000
+_start:
+    li    r31, 0
+    subi  r31, r31, 4
+    lwz   r3, 0(r31)
+    li    r3, 0
+    li    r0, 1
+    sc
+""")
+        interp = Interpreter()
+        interp.load_program(program)
+        result = interp.run(deliver_faults=True)
+        assert result.exit_code == 0
+        assert interp.state.dar == 0xFFFFFFFC
+
+
+class TestServices:
+    def test_putword(self):
+        program = asm("""
+.org 0x1000
+_start:
+    li    r3, 1234
+    li    r0, 3              # PUTWORD
+    sc
+    li    r3, 0
+    li    r0, 1
+    sc
+""")
+        services = EmulatorServices()
+        interp = Interpreter(services=services)
+        interp.load_program(program)
+        result = interp.run()
+        assert result.output == [1234]
+
+    def test_unknown_service_faults(self):
+        from repro.faults import ProgramFault
+        program = asm("""
+.org 0x1000
+_start:
+    li    r0, 99
+    sc
+""")
+        interp = Interpreter()
+        interp.load_program(program)
+        with pytest.raises(ProgramFault):
+            interp.run()

@@ -1,0 +1,91 @@
+"""Chapter 6 interpretive compilation: first executions are
+interpreted, entries compile with the observed profile, and behaviour
+stays bit-identical."""
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+from tests.helpers import assert_state_equivalent, run_native
+
+
+def run_interpretive(program, **kwargs):
+    system = DaisySystem(MachineConfig.default(), interpretive=True,
+                         **kwargs)
+    system.load_program(program)
+    result = system.run()
+    return system, result
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", ["wc", "sort", "gcc", "compress"])
+    def test_workloads_identical(self, name):
+        workload = build_workload(name, "tiny")
+        interp, native = run_native(workload.program)
+        system, result = run_interpretive(workload.program)
+        assert result.exit_code == 0
+        assert result.base_instructions == native.instructions
+        assert_state_equivalent(interp, system)
+
+    def test_output_identical(self):
+        program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r3, 42
+    li    r0, 3
+    sc
+    li    r3, 0
+    li    r0, 1
+    sc
+""")
+        interp, native = run_native(program)
+        system, result = run_interpretive(program)
+        assert result.output == native.output == [42]
+
+
+class TestAccounting:
+    def test_episodes_and_instructions_counted(self):
+        workload = build_workload("wc", "tiny")
+        system, result = run_interpretive(workload.program)
+        assert result.interpreted_episodes >= 1
+        assert result.interpreted_instructions > 0
+        # Interpretation happens once; the bulk executes translated.
+        assert result.interpreted_instructions < \
+            result.base_instructions / 2
+
+    def test_profile_accumulates(self):
+        workload = build_workload("wc", "tiny")
+        system, result = run_interpretive(workload.program)
+        assert system._accumulated_profile
+        assert all(t + n > 0
+                   for t, n in system._accumulated_profile.values())
+
+
+class TestProfileQuality:
+    def test_interpretive_not_worse_on_branchy_code(self):
+        """The observed-path profile should beat static heuristics on
+        skewed branches (fgrep's rarely-matching first-byte test)."""
+        workload = build_workload("fgrep", "tiny")
+        system_h, heuristic = DaisySystem(MachineConfig.default()), None
+        system_h.load_program(workload.program)
+        heuristic = system_h.run()
+        system_i, interpretive = run_interpretive(workload.program)
+        assert interpretive.infinite_cache_ilp >= \
+            heuristic.infinite_cache_ilp * 0.9
+
+    def test_exit_during_interpretation(self):
+        # A program that exits within the first interpreted episode.
+        program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r3, 7
+    li    r0, 1
+    sc
+""")
+        system, result = run_interpretive(program)
+        assert result.exit_code == 7
+        assert result.interpreted_instructions == 3
+        assert result.vliws == 0

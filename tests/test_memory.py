@@ -1,0 +1,101 @@
+"""Physical memory: bounds, endianness, and the translated read-only
+bits of Section 3.2."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.faults import DataStorageFault
+from repro.memory.memory import PhysicalMemory
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(size=1 << 16, protect_unit=4096)
+
+
+class TestAccess:
+    def test_big_endian_word(self, memory):
+        memory.write_word(0x100, 0x01020304)
+        assert memory.read_bytes(0x100, 4) == b"\x01\x02\x03\x04"
+        assert memory.read_word(0x100) == 0x01020304
+
+    def test_half_and_byte(self, memory):
+        memory.write_half(0x10, 0xBEEF)
+        assert memory.read_byte(0x10) == 0xBE
+        assert memory.read_byte(0x11) == 0xEF
+        assert memory.read_half(0x10) == 0xBEEF
+
+    def test_value_masking(self, memory):
+        memory.write_byte(0, 0x1FF)
+        assert memory.read_byte(0) == 0xFF
+        memory.write_word(4, 0x1_FFFF_FFFF)
+        assert memory.read_word(4) == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("addr", [-1, 1 << 16, (1 << 16) - 2])
+    def test_out_of_bounds_word(self, memory, addr):
+        with pytest.raises(DataStorageFault):
+            memory.read_word(addr)
+        with pytest.raises(DataStorageFault):
+            memory.write_word(addr, 0)
+
+    def test_fault_records_store_flag(self, memory):
+        with pytest.raises(DataStorageFault) as err:
+            memory.write_word(1 << 20, 1)
+        assert err.value.is_store
+
+    @given(addr=st.integers(0, (1 << 16) - 4),
+           value=st.integers(0, 0xFFFFFFFF))
+    def test_word_roundtrip_property(self, addr, value):
+        memory = PhysicalMemory(size=1 << 16)
+        memory.write_word(addr, value)
+        assert memory.read_word(addr) == value
+
+
+class TestProtection:
+    def test_hook_fires_on_protected_store(self, memory):
+        hits = []
+        memory.code_modification_hook = hits.append
+        memory.protect_range(0x1000, 4096)
+        memory.write_word(0x1800, 1)
+        assert hits == [0x1800]
+        # The store itself still completes (paper: the exception is
+        # precise and the program resumes after the modification).
+        assert memory.read_word(0x1800) == 1
+
+    def test_unprotected_store_is_silent(self, memory):
+        hits = []
+        memory.code_modification_hook = hits.append
+        memory.protect_range(0x1000, 4096)
+        memory.write_word(0x2000, 1)
+        assert hits == []
+
+    def test_unprotect_range(self, memory):
+        hits = []
+        memory.code_modification_hook = hits.append
+        memory.protect_range(0x1000, 4096)
+        memory.unprotect_range(0x1000, 4096)
+        memory.write_word(0x1000, 1)
+        assert hits == []
+
+    def test_protect_spans_units(self, memory):
+        memory.protect_range(0x0FFF, 2)   # crosses the 4K boundary
+        assert memory.is_protected(0x0FFF)
+        assert memory.is_protected(0x1000)
+        assert not memory.is_protected(0x2000)
+
+    def test_load_raw_bypasses_hook(self, memory):
+        hits = []
+        memory.code_modification_hook = hits.append
+        memory.protect_range(0, 4096)
+        memory.load_raw(0x10, b"\x01\x02")
+        assert hits == []
+
+    def test_small_protect_unit(self):
+        # S/390-style 2-byte granularity (Section 3.2's unit discussion).
+        memory = PhysicalMemory(size=4096, protect_unit=2)
+        hits = []
+        memory.code_modification_hook = hits.append
+        memory.protect_range(0x10, 2)
+        memory.write_byte(0x11, 1)
+        memory.write_byte(0x12, 1)
+        assert hits == [0x11]

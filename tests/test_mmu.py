@@ -1,0 +1,107 @@
+"""Base-architecture address translation: page table, DTLB, real mode."""
+
+import pytest
+
+from repro.faults import DataStorageFault, InstructionStorageFault
+from repro.memory.mmu import Dtlb, Mmu, PageTable
+
+
+class TestPageTable:
+    def test_map_and_lookup(self):
+        table = PageTable()
+        table.map(0x30000, 0x2000)
+        assert table.lookup(0x30104) == 0x2104
+
+    def test_unmapped_returns_none(self):
+        assert PageTable().lookup(0x1234) is None
+
+    def test_unmap(self):
+        table = PageTable()
+        table.map(0x30000, 0x2000)
+        table.unmap(0x30000)
+        assert table.lookup(0x30000) is None
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            PageTable().map(0x30001, 0x2000)
+
+
+class TestRealMode:
+    def test_identity_translation(self):
+        mmu = Mmu(physical_size=1 << 20)
+        assert mmu.translate_data(0x1234) == 0x1234
+        assert mmu.translate_fetch(0x1000) == 0x1000
+
+    def test_out_of_bounds_real_mode(self):
+        mmu = Mmu(physical_size=1 << 16)
+        with pytest.raises(DataStorageFault):
+            mmu.translate_data(1 << 17)
+        with pytest.raises(InstructionStorageFault):
+            mmu.translate_fetch(1 << 17)
+
+
+class TestRelocatedMode:
+    def _mmu(self):
+        mmu = Mmu(physical_size=1 << 20)
+        mmu.relocation_on = True
+        mmu.page_table.map(0x30000, 0x2000)
+        return mmu
+
+    def test_mapped_page(self):
+        # The paper's Figure 3.1 example: 0x30100 -> 0x2100.
+        mmu = self._mmu()
+        assert mmu.translate_data(0x30100) == 0x2100
+
+    def test_unmapped_page_faults(self):
+        mmu = self._mmu()
+        with pytest.raises(DataStorageFault) as err:
+            mmu.translate_data(0x50000, is_store=True)
+        assert err.value.address == 0x50000
+        assert err.value.is_store
+
+    def test_fetch_uses_page_table(self):
+        mmu = self._mmu()
+        assert mmu.translate_fetch(0x30400) == 0x2400
+        with pytest.raises(InstructionStorageFault):
+            mmu.translate_fetch(0x99000)
+
+
+class TestDtlb:
+    def test_hit_miss_counting(self):
+        mmu = Mmu(physical_size=1 << 20)
+        mmu.translate_data(0x1000)
+        mmu.translate_data(0x1004)
+        assert mmu.dtlb.misses == 1
+        assert mmu.dtlb.hits == 1
+
+    def test_mode_prefix_separates_entries(self):
+        # Real-mode and relocated entries for the same vpage coexist
+        # (the address-prefix register of Chapter 4).
+        dtlb = Dtlb(entries=4)
+        dtlb.insert(0, 10, 10)
+        dtlb.insert(1, 10, 99)
+        assert dtlb.lookup(0, 10) == 10
+        assert dtlb.lookup(1, 10) == 99
+
+    def test_capacity_eviction(self):
+        dtlb = Dtlb(entries=2)
+        dtlb.insert(0, 1, 1)
+        dtlb.insert(0, 2, 2)
+        dtlb.insert(0, 3, 3)
+        assert dtlb.lookup(0, 1) is None  # FIFO victim
+
+    def test_invalidate_page(self):
+        dtlb = Dtlb(entries=4)
+        dtlb.insert(0, 1, 1)
+        dtlb.insert(1, 1, 2)
+        dtlb.invalidate_page(1)
+        assert dtlb.lookup(0, 1) is None
+        assert dtlb.lookup(1, 1) is None
+
+    def test_relocation_change_needs_invalidate(self):
+        mmu = Mmu(physical_size=1 << 20)
+        mmu.page_table.map(0x30000, 0x2000)
+        assert mmu.translate_data(0x30000) == 0x30000  # real mode
+        mmu.relocation_on = True
+        # Different mode prefix: no stale hit from the real-mode entry.
+        assert mmu.translate_data(0x30000) == 0x2000

@@ -1,0 +1,125 @@
+"""The paper's Figure 2.2 / Appendix C conversion example.
+
+Eleven PowerPC instructions translate into exactly two tree VLIWs; the
+xor executes speculatively into a renamed register in VLIW1 while its
+commit lands in VLIW2, and both the `and` and the `cntlz` consume the
+renamed register before/at commit time.
+"""
+
+import pytest
+
+from repro.core.group import GroupBuilder
+from repro.core.options import TranslationOptions
+from repro.isa import registers as regs
+from repro.isa.assembler import Assembler
+from repro.isa.encoding import decode
+from repro.primitives.ops import PrimOp
+from repro.vliw.machine import MachineConfig
+from repro.vliw.tree import ExitKind
+
+SOURCE = """
+.org 0x1000
+entry:
+    add   r1, r2, r3
+    beq   L1
+    slwi  r12, r1, 3
+    xor   r4, r5, r6
+    and   r8, r4, r7
+    beq   cr1, L2
+    b     0x5000          # OFFPAGE
+L1: sub   r9, r10, r11
+    b     0x5000          # OFFPAGE
+L2: cntlzw r11, r4
+    b     0x5000          # OFFPAGE
+"""
+
+
+@pytest.fixture
+def group():
+    program = Assembler().assemble(SOURCE)
+    _, data = next(program.sections())
+
+    def fetch(pc):
+        offset = pc - 0x1000
+        return decode(int.from_bytes(data[offset:offset + 4], "big"))
+
+    builder = GroupBuilder(0x1000, fetch, MachineConfig.default(),
+                           TranslationOptions())
+    return builder.build()
+
+
+def all_ops(group):
+    return [(vliw.index, op) for vliw in group.vliws
+            for op in vliw.all_ops()]
+
+
+def find_ops(group, prim_op):
+    return [(index, op) for index, op in all_ops(group)
+            if op.op == prim_op]
+
+
+class TestFigure22:
+    def test_two_vliws_suffice(self, group):
+        assert len(group.vliws) == 2
+
+    def test_all_eleven_instructions_translated(self, group):
+        assert group.base_instructions == 11
+
+    def test_add_in_order_in_vliw1(self, group):
+        [(index, add)] = find_ops(group, PrimOp.ADD)
+        assert index == 0
+        assert not add.speculative
+        assert add.dest == regs.gpr(1)
+
+    def test_xor_renamed_and_speculative_in_vliw1(self, group):
+        [(index, xor)] = find_ops(group, PrimOp.XOR)
+        assert index == 0
+        assert xor.speculative
+        assert not regs.is_architected(xor.dest)
+        assert xor.arch_dest == regs.gpr(4)
+
+    def test_xor_commit_in_vliw2(self, group):
+        commits = [(i, op) for i, op in find_ops(group, PrimOp.COMMIT)
+                   if op.dest == regs.gpr(4)]
+        [(index, commit)] = commits
+        assert index == 1
+        [(_, xor)] = find_ops(group, PrimOp.XOR)
+        assert commit.srcs == (xor.dest,)
+
+    def test_and_uses_renamed_register(self, group):
+        # "later instructions can be moved up ... the and can use r63"
+        [(_, xor)] = find_ops(group, PrimOp.XOR)
+        [(index, and_op)] = find_ops(group, PrimOp.AND)
+        assert index == 1
+        assert xor.dest in and_op.srcs
+
+    def test_cntlz_uses_renamed_register(self, group):
+        # "the cntlz in step 11 can use the result in r63 before it has
+        # been copied to r4"
+        [(_, xor)] = find_ops(group, PrimOp.XOR)
+        [(index, cntlz)] = find_ops(group, PrimOp.CNTLZ)
+        assert index == 1
+        assert cntlz.srcs == (xor.dest,)
+
+    def test_sub_moved_into_vliw1_taken_side(self, group):
+        # The L1-side sub is scheduled into VLIW1 (step 8 of App. C).
+        [(index, sub)] = find_ops(group, PrimOp.SUB)
+        assert index == 0
+
+    def test_sli_in_vliw2(self, group):
+        [(index, sli)] = find_ops(group, PrimOp.SLLI)
+        assert index == 1
+        assert not sli.speculative
+        assert sli.dest == regs.gpr(12)
+
+    def test_three_offpage_exits(self, group):
+        exits = [tip.exit for vliw in group.vliws
+                 for tip in vliw.all_tips() if tip.exit is not None]
+        offpage = [e for e in exits if e.kind == ExitKind.OFFPAGE]
+        assert len(offpage) == 3
+        assert all(e.target == 0x5000 for e in offpage)
+
+    def test_vliw1_has_one_branch_vliw2_has_one(self, group):
+        splits = [sum(1 for tip in vliw.all_tips() if tip.test is not None)
+                  for vliw in group.vliws]
+        assert splits == [1, 1]

@@ -1,0 +1,81 @@
+"""Appendix B: saving/restoring the translation cache across "reboots"."""
+
+import pytest
+
+from repro.vliw.machine import MachineConfig
+from repro.vmm.persistence import load_translations, save_translations
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+from tests.helpers import run_native
+
+
+@pytest.fixture
+def workload():
+    return build_workload("c_sieve", "tiny")
+
+
+def fresh_system(workload):
+    system = DaisySystem(MachineConfig.default())
+    system.load_program(workload.program)
+    return system
+
+
+class TestSaveRestore:
+    def test_roundtrip_skips_retranslation(self, workload, tmp_path):
+        first = fresh_system(workload)
+        result = first.run()
+        assert result.events.translation_missing > 0
+        path = str(tmp_path / "cache.bin")
+        count = save_translations(first, path)
+        assert count == result.pages_translated
+
+        second = fresh_system(workload)
+        restored, skipped = load_translations(second, path)
+        assert restored == count and skipped == 0
+        result2 = second.run()
+        assert result2.exit_code == 0
+        assert result2.events.translation_missing == 0
+
+    def test_restored_run_identical(self, workload, tmp_path):
+        first = fresh_system(workload)
+        first.run()
+        path = str(tmp_path / "cache.bin")
+        save_translations(first, path)
+
+        interp, native = run_native(workload.program)
+        second = fresh_system(workload)
+        load_translations(second, path)
+        result = second.run()
+        assert result.base_instructions == native.instructions
+        native_snap = interp.state.snapshot()
+        daisy_snap = second.state.snapshot()
+        native_snap.pop("pc")
+        daisy_snap.pop("pc")
+        assert native_snap == daisy_snap
+
+    def test_modified_page_skipped(self, workload, tmp_path):
+        first = fresh_system(workload)
+        first.run()
+        path = str(tmp_path / "cache.bin")
+        save_translations(first, path)
+
+        second = fresh_system(workload)
+        # "New software installed": flip a code byte before restore.
+        word = second.memory.read_word(0x1000)
+        second.memory.load_raw(0x1000, (word ^ 1).to_bytes(4, "big"))
+        restored, skipped = load_translations(second, path)
+        assert skipped >= 1
+
+    def test_page_size_mismatch_rejected(self, workload, tmp_path):
+        from repro.core.options import TranslationOptions
+        first = fresh_system(workload)
+        first.run()
+        path = str(tmp_path / "cache.bin")
+        save_translations(first, path)
+
+        second = DaisySystem(MachineConfig.default(),
+                             TranslationOptions(page_size=1024))
+        second.load_program(workload.program)
+        restored, skipped = load_translations(second, path)
+        assert restored == 0 and skipped > 0

@@ -1,0 +1,123 @@
+"""Systematic precise-exception checks.
+
+For a program with a fault injected at each successive memory
+instruction, DAISY must (a) attribute the fault to exactly the right
+base pc, and (b) present architected state identical to what the
+interpreter shows at the same fault — for every machine configuration.
+"""
+
+import pytest
+
+from repro.faults import BaseArchFault
+from repro.isa.assembler import Assembler
+from repro.vliw.engine import PreciseFault
+from repro.vliw.machine import PAPER_CONFIGS, MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.isa.interpreter import Interpreter
+
+#: A program with several loads/stores; {slot} selects which pointer is
+#: poisoned (set to an invalid address) before the run.
+TEMPLATE = """
+.org 0x1000
+_start:
+    li    r10, 0x20000
+    li    r11, 0x20100
+    li    r12, 0x20200
+    li    r13, 0x20300
+    li    r20, {p0}
+    li    r21, {p1}
+    li    r22, {p2}
+    li    r23, {p3}
+    li    r2, 5
+    mtctr r2
+loop:
+    lwz   r3, 0(r20)         # site 0
+    addi  r3, r3, 1
+    stw   r3, 0(r21)         # site 1
+    lwz   r4, 4(r22)         # site 2
+    add   r5, r3, r4
+    stw   r5, 8(r23)         # site 3
+    bdnz  loop
+    li    r3, 0
+    li    r0, 1
+    sc
+"""
+
+SITE_LABEL_OFFSETS = {0: 0, 1: 2, 2: 3, 3: 5}  # instr index within loop
+GOOD = [0x20000, 0x20100, 0x20200, 0x20300]
+BAD = 0x3FFF0   # within li's 19-bit range, beyond the 192K memory
+
+
+def make_program(poison_site):
+    pointers = list(GOOD)
+    pointers[poison_site] = BAD
+    source = TEMPLATE.format(p0=pointers[0], p1=pointers[1],
+                             p2=pointers[2], p3=pointers[3])
+    return Assembler().assemble(source)
+
+
+def loop_site_pc(program, site):
+    base = program.symbol("loop")
+    return base + 4 * SITE_LABEL_OFFSETS[site]
+
+
+@pytest.mark.parametrize("site", [0, 1, 2, 3])
+class TestFaultInjection:
+    def _run_both(self, site, config):
+        program = make_program(site)
+
+        # Interpreter with small memory so 0x3FFF0 faults.
+        from repro.memory.memory import PhysicalMemory
+        from repro.memory.mmu import Mmu
+        memory = PhysicalMemory(size=0x30000)
+        mmu = Mmu(physical_size=0x30000)
+        interp = Interpreter(memory=memory, mmu=mmu)
+        interp.load_program(program)
+        interp_fault = None
+        try:
+            interp.run()
+        except BaseArchFault as fault:
+            interp_fault = fault
+        assert interp_fault is not None
+
+        system = DaisySystem(config, memory_size=0x30000)
+        system.engine.check_parallel_semantics = True
+        system.load_program(program)
+        daisy_fault = None
+        try:
+            system.run()
+        except PreciseFault as fault:
+            daisy_fault = fault
+        assert daisy_fault is not None
+        return program, interp, system, daisy_fault
+
+    def test_fault_pc_exact(self, site):
+        program, interp, system, fault = self._run_both(
+            site, MachineConfig.default())
+        assert fault.base_pc == loop_site_pc(program, site)
+
+    def test_state_matches_interpreter_at_fault(self, site):
+        program, interp, system, fault = self._run_both(
+            site, MachineConfig.default())
+        native = interp.state.snapshot()
+        daisy = system.state.snapshot()
+        native.pop("pc")
+        daisy.pop("pc")
+        assert native == daisy, {
+            key: (native[key], daisy[key])
+            for key in native if native[key] != daisy[key]}
+
+    def test_fault_pc_exact_narrow_machine(self, site):
+        program, interp, system, fault = self._run_both(
+            site, PAPER_CONFIGS[1])
+        assert fault.base_pc == loop_site_pc(program, site)
+
+
+class TestFaultType:
+    def test_dar_and_dsisr(self):
+        program = make_program(2)
+        system = DaisySystem(MachineConfig.default(), memory_size=0x30000)
+        system.load_program(program)
+        with pytest.raises(PreciseFault) as err:
+            system.run()
+        assert err.value.fault.address == 0x3FFF0 + 4

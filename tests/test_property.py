@@ -1,0 +1,181 @@
+"""Property-based equivalence: randomly generated programs must behave
+identically under the interpreter and under DAISY translation.
+
+The generator builds terminating programs from a mix of ALU operations,
+memory accesses through a valid data window, compare/branch diamonds,
+and bounded ctr loops — enough structure to exercise renaming,
+speculation, combining and multipath scheduling on inputs nobody
+hand-picked.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.isa.assembler import Assembler
+from repro.vliw.machine import PAPER_CONFIGS, MachineConfig
+
+from tests.helpers import assert_state_equivalent, run_daisy, run_native
+
+_ALU3 = ["add", "sub", "and", "or", "xor", "nand", "nor", "andc",
+         "slw", "srw", "sraw", "mullw"]
+_ALUI = ["addi", "ai", "ori", "xori", "mulli"]
+_SHIFTI = ["slwi", "srwi", "srawi"]
+
+
+@st.composite
+def straightline_program(draw):
+    """Straight-line ALU/memory code ending in a clean exit."""
+    lines = [".org 0x1000", "_start:", "    li r20, 0x20000"]
+    count = draw(st.integers(5, 40))
+    for _ in range(count):
+        kind = draw(st.integers(0, 4))
+        rt = draw(st.integers(1, 12))
+        ra = draw(st.integers(1, 12))
+        rb = draw(st.integers(1, 12))
+        if kind == 0:
+            op = draw(st.sampled_from(_ALU3))
+            lines.append(f"    {op} r{rt}, r{ra}, r{rb}")
+        elif kind == 1:
+            op = draw(st.sampled_from(_ALUI))
+            imm = draw(st.integers(-500, 500))
+            if op in ("ori", "xori"):
+                imm = abs(imm)
+            lines.append(f"    {op} r{rt}, r{ra}, {imm}")
+        elif kind == 2:
+            op = draw(st.sampled_from(_SHIFTI))
+            lines.append(f"    {op} r{rt}, r{ra}, {draw(st.integers(0, 31))}")
+        elif kind == 3:
+            off = draw(st.integers(0, 16)) * 4
+            lines.append(f"    stw r{rt}, {off}(r20)")
+        else:
+            off = draw(st.integers(0, 16)) * 4
+            lines.append(f"    lwz r{rt}, {off}(r20)")
+    lines += ["    li r3, 0", "    li r0, 1", "    sc"]
+    return "\n".join(lines)
+
+
+@st.composite
+def branchy_program(draw):
+    """Compare/branch diamonds plus a bounded ctr loop."""
+    lines = [".org 0x1000", "_start:", "    li r20, 0x20000"]
+    for reg in range(1, 8):
+        lines.append(f"    li r{reg}, {draw(st.integers(-100, 100))}")
+    diamonds = draw(st.integers(1, 6))
+    for index in range(diamonds):
+        ra = draw(st.integers(1, 7))
+        rb = draw(st.integers(1, 7))
+        crf = draw(st.integers(0, 3))
+        alias = draw(st.sampled_from(["beq", "bne", "blt", "bgt"]))
+        rt = draw(st.integers(1, 7))
+        lines += [
+            f"    cmp cr{crf}, r{ra}, r{rb}",
+            f"    {alias} cr{crf}, d{index}_else",
+            f"    addi r{rt}, r{rt}, {draw(st.integers(1, 9))}",
+            f"    b d{index}_end",
+            f"d{index}_else:",
+            f"    subi r{rt}, r{rt}, {draw(st.integers(1, 9))}",
+            f"d{index}_end:",
+        ]
+    iters = draw(st.integers(1, 12))
+    step = draw(st.integers(1, 5))
+    lines += [
+        f"    li r10, {iters}",
+        "    mtctr r10",
+        "ploop:",
+        f"    ai r11, r11, {step}",
+        "    stw r11, 0(r20)",
+        "    addi r20, r20, 4",
+        "    bdnz ploop",
+        "    li r3, 0",
+        "    li r0, 1",
+        "    sc",
+    ]
+    return "\n".join(lines)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(source=straightline_program())
+def test_straightline_equivalence(source):
+    program = Assembler().assemble(source)
+    interp, native = run_native(program)
+    system, daisy = run_daisy(program)
+    assert daisy.exit_code == native.exit_code == 0
+    assert daisy.base_instructions == native.instructions
+    assert_state_equivalent(interp, system)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(source=branchy_program())
+def test_branchy_equivalence(source):
+    program = Assembler().assemble(source)
+    interp, native = run_native(program)
+    system, daisy = run_daisy(program)
+    assert daisy.exit_code == native.exit_code == 0
+    assert daisy.base_instructions == native.instructions
+    assert_state_equivalent(interp, system)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(source=branchy_program(),
+       config=st.sampled_from([1, 3, 5, 10]))
+def test_equivalence_across_configs(source, config):
+    program = Assembler().assemble(source)
+    interp, native = run_native(program)
+    system, daisy = run_daisy(program, config=PAPER_CONFIGS[config])
+    assert daisy.exit_code == 0
+    assert_state_equivalent(interp, system)
+
+
+@st.composite
+def fp_program(draw):
+    """Floating point straight-line code over a window of doubles.
+
+    Only exactly-reproducible operations (no division, bounded values)
+    so interpreter/DAISY equality is exact float equality."""
+    import struct
+    count = draw(st.integers(4, 24))
+    values = [draw(st.integers(-64, 64)) / 16.0 for _ in range(8)]
+    lines = [".org 0x1000", "_start:", "    li r20, 0x20000"]
+    for index in range(4):
+        lines.append(f"    lfd f{index}, {8 * index}(r20)")
+    for _ in range(count):
+        kind = draw(st.integers(0, 5))
+        ft = draw(st.integers(0, 7))
+        fa = draw(st.integers(0, 7))
+        fb = draw(st.integers(0, 7))
+        if kind == 0:
+            lines.append(f"    fadd f{ft}, f{fa}, f{fb}")
+        elif kind == 1:
+            lines.append(f"    fsub f{ft}, f{fa}, f{fb}")
+        elif kind == 2:
+            lines.append(f"    fneg f{ft}, f{fb}")
+        elif kind == 3:
+            lines.append(f"    fabs f{ft}, f{fb}")
+        elif kind == 4:
+            off = draw(st.integers(0, 7)) * 8
+            lines.append(f"    stfd f{ft}, {off}(r20)")
+        else:
+            off = draw(st.integers(0, 7)) * 8
+            lines.append(f"    lfd f{ft}, {off}(r20)")
+    lines += [f"    fcmpu cr{draw(st.integers(0, 3))}, f0, f1",
+              "    li r3, 0", "    li r0, 1", "    sc"]
+    data = [".org 0x20000", "fpdata:"]
+    for value in values:
+        packed = struct.pack(">d", value)
+        data.append("    .byte " + ", ".join(str(b) for b in packed))
+    return "\n".join(lines + data)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(source=fp_program())
+def test_fp_equivalence(source):
+    program = Assembler().assemble(source)
+    interp, native = run_native(program)
+    system, daisy = run_daisy(program)
+    assert daisy.exit_code == 0
+    assert daisy.base_instructions == native.instructions
+    assert_state_equivalent(interp, system)

@@ -1,0 +1,44 @@
+"""The README's quickstart snippet must work exactly as documented
+(public-API contract test)."""
+
+import pytest
+
+
+def test_readme_quickstart():
+    from repro import Assembler, DaisySystem, Interpreter, MachineConfig
+
+    program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r2, 100
+    mtctr r2
+    li    r3, 0
+loop:
+    addi  r3, r3, 7
+    bdnz  loop
+    li    r0, 1          # EXIT service, code in r3
+    sc
+""")
+
+    system = DaisySystem(MachineConfig.default())
+    system.load_program(program)
+    result = system.run()
+
+    interp = Interpreter()
+    interp.load_program(program)
+    native = interp.run()
+
+    assert result.infinite_cache_ilp > 1.0
+    assert result.base_instructions == native.instructions
+    assert result.exit_code == native.exit_code == (700 & 0xFFFFFFFF)
+
+
+def test_top_level_exports():
+    import repro
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_paper_configs_exported():
+    from repro import PAPER_CONFIGS
+    assert set(PAPER_CONFIGS) == set(range(1, 11))

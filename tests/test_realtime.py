@@ -1,0 +1,136 @@
+"""Section 3.7 real-time support: pinned translations, vector pinning,
+and utilization statistics."""
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+
+
+def asm(source):
+    return Assembler().assemble(source)
+
+
+THRASHER = """
+.org 0x1000
+_start:
+    li    r5, 8
+    mtctr r5
+loop:
+    bl    page_a
+    bl    page_b
+    bl    page_c
+    bdnz  loop
+    li    r3, 0
+    li    r0, 1
+    sc
+.org 0x2000
+page_a: blr
+.org 0x3000
+page_b: blr
+.org 0x4000
+page_c: blr
+"""
+
+
+class TestPinning:
+    def test_pinned_page_survives_castout_pressure(self):
+        program = asm(THRASHER)
+        system = DaisySystem(MachineConfig.default(),
+                             translation_capacity_bytes=120)
+        system.load_program(program)
+        # Warm up page_a's translation, then pin it.
+        system._lookup_group(0x2000, via_itlb=False)
+        system.pin_page(0x2000)
+        result = system.run()
+        assert result.exit_code == 0
+        # page_a was never cast out: its translation is still live.
+        assert 0x2000 in system.translation_cache.live_pages
+
+    def test_unpinned_pages_still_cast_out(self):
+        program = asm(THRASHER)
+        system = DaisySystem(MachineConfig.default(),
+                             translation_capacity_bytes=120)
+        system.load_program(program)
+        system._lookup_group(0x2000, via_itlb=False)
+        system.pin_page(0x2000)
+        result = system.run()
+        assert result.events.castouts > 0   # b and c still thrash
+
+    def test_unpin(self):
+        program = asm(THRASHER)
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(program)
+        system._lookup_group(0x2000, via_itlb=False)
+        system.pin_page(0x2000)
+        assert 0x2000 in system.translation_cache.pinned
+        system.unpin_page(0x2000)
+        assert 0x2000 not in system.translation_cache.pinned
+
+    def test_code_modification_overrides_pinning(self):
+        """Correctness trumps real-time: a store into a pinned page
+        still invalidates its translation."""
+        from repro.isa.encoding import encode
+        from repro.isa.instructions import Instruction, Opcode
+        word = encode(Instruction(Opcode.LI, rt=3, imm=9))
+        program = asm(f"""
+.org 0x1000
+_start:
+    bl    victim
+    li    r6, victim
+    li    r5, patch
+    lwz   r5, 0(r5)
+    stw   r5, 0(r6)          # modify the pinned page
+    bl    victim
+    li    r0, 1
+    sc
+.align 4
+patch: .word {word}
+.org 0x2000
+victim:
+    li    r3, 4
+    blr
+""")
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(program)
+        system._lookup_group(0x2000, via_itlb=False)
+        system.pin_page(0x2000)
+        result = system.run()
+        assert result.exit_code == 9
+        assert result.events.code_modification == 1
+
+    def test_fault_vector_pinned_after_delivery(self):
+        program = asm("""
+.org 0x300
+    li    r31, 0x20000
+    rfi
+.org 0x1000
+_start:
+    li    r31, 0
+    subi  r31, r31, 8
+    lwz   r3, 0(r31)
+    li    r3, 0
+    li    r0, 1
+    sc
+""")
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(program)
+        result = system.run(deliver_faults=True)
+        assert result.exit_code == 0
+        assert 0x0 in system.translation_cache.pinned  # vector page
+
+
+class TestUtilizationHistogram:
+    def test_histogram_accumulates(self):
+        from repro.workloads import build_workload
+        workload = build_workload("wc", "tiny")
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(workload.program)
+        result = system.run()
+        histogram = system.engine.stats.parcel_histogram
+        assert sum(histogram.values()) == result.vliws
+        assert system.engine.stats.mean_parcels_per_vliw > 1.0
+        # Bounded by the machine's issue + branch resources.
+        config = MachineConfig.default()
+        assert max(histogram) <= config.issue + config.branches

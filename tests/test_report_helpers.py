@@ -1,0 +1,93 @@
+"""Reporting helpers: charts, histograms, path-list ordering."""
+
+import pytest
+
+from repro.analysis.report import (
+    arithmetic_mean,
+    ascii_chart,
+    format_table,
+    geometric_mean,
+    histogram_rows,
+)
+from repro.core.paths import Path, PathList
+
+
+class TestAsciiChart:
+    def test_bars_scale_to_peak(self):
+        chart = ascii_chart([1.0, 2.0, 4.0], width=8,
+                            labels=["a", "b", "c"])
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 2
+        assert lines[1].count("#") == 4
+        assert lines[2].count("#") == 8
+
+    def test_zero_values(self):
+        chart = ascii_chart([0.0, 3.0], width=10)
+        assert "|" in chart.splitlines()[0]
+
+    def test_title_and_labels(self):
+        chart = ascii_chart([1.0], labels=["only"], title="T")
+        assert chart.splitlines()[0] == "T"
+        assert "only" in chart
+
+
+class TestHistogramRows:
+    def test_bucketing(self):
+        rows = histogram_rows({1: 5, 2: 3, 7: 1}, bucket=2)
+        assert rows == [(0, 5), (2, 3), (6, 1)]
+
+    def test_identity_bucket(self):
+        rows = histogram_rows({3: 1, 1: 2})
+        assert rows == [(1, 2), (3, 1)]
+
+
+class TestPathList:
+    def test_ordered_by_probability(self):
+        paths = PathList()
+        low = Path(continuation=0, prob=0.1)
+        high = Path(continuation=0, prob=0.9)
+        mid = Path(continuation=0, prob=0.5)
+        for path in (low, high, mid):
+            paths.add(path)
+        assert paths.pop_most_probable() is high
+        assert paths.pop_least_probable() is low
+        assert paths.pop_most_probable() is mid
+
+    def test_fifo_on_ties(self):
+        paths = PathList()
+        first = Path(continuation=0, prob=0.5)
+        second = Path(continuation=0, prob=0.5)
+        paths.add(first)
+        paths.add(second)
+        assert paths.pop_most_probable() is first
+
+    def test_remove(self):
+        paths = PathList()
+        path = Path(continuation=0, prob=0.5)
+        paths.add(path)
+        paths.remove(path)
+        assert not paths
+
+
+class TestClone:
+    def test_clone_isolates_bookkeeping(self):
+        path = Path(continuation=0x1000, prob=1.0)
+        path.avail[5] = 3
+        path.defs[5] = ("const", 7)
+        clone = path.clone(continuation=0x2000, prob=0.5)
+        clone.avail[5] = 9
+        clone.defs[5] = ("const", 8)
+        assert path.avail[5] == 3
+        assert path.defs[5] == ("const", 7)
+        assert clone.continuation == 0x2000
+
+
+class TestMeans:
+    def test_geometric_vs_arithmetic(self):
+        values = [1.0, 4.0]
+        assert geometric_mean(values) == pytest.approx(2.0)
+        assert arithmetic_mean(values) == pytest.approx(2.5)
+
+    def test_table_title_optional(self):
+        text = format_table(["x"], [[1]])
+        assert text.splitlines()[0].startswith("x")

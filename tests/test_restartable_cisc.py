@@ -1,0 +1,111 @@
+"""Section 3.6: restartable CISC instructions.
+
+S/390 MVC must appear not to have executed when it faults: the crack
+pre-touches the upper ends of both operands, so a storage fault fires
+before any byte moves.  PowerPC load/store-multiple, by contrast, may
+fault mid-way and restart (the architecture allows partial effects)."""
+
+import pytest
+
+from repro.frontends import s390
+from repro.frontends.common import schedule_fragment
+from repro.isa.state import CpuState, MSR_PR
+from repro.memory.memory import PhysicalMemory
+from repro.memory.mmu import Mmu
+from repro.vliw.engine import PreciseFault, VliwEngine
+from repro.vliw.registers import ExtendedRegisters
+
+
+def fresh_engine(size=0x2000):
+    memory = PhysicalMemory(size=size)
+    mmu = Mmu(physical_size=size)
+    state = CpuState()
+    state.msr &= ~MSR_PR
+    xregs = ExtendedRegisters(state)
+    engine = VliwEngine(xregs, memory, mmu)
+    engine.check_parallel_semantics = True
+    return state, memory, engine
+
+
+class TestMvc:
+    def test_copies_bytes(self):
+        state, memory, engine = fresh_engine()
+        memory.load_raw(0x100, b"HELLOWORLD")
+        state.gpr[4] = 0x100     # source base
+        state.gpr[5] = 0x200     # destination base
+        result = schedule_fragment(
+            [s390.mvc(0, 5, 0, 4, length=10)])
+        engine.run_group(result.group)
+        assert memory.read_bytes(0x200, 10) == b"HELLOWORLD"
+
+    def test_fault_before_any_side_effect(self):
+        """Destination runs off the end of memory: the pre-touch faults
+        and not a single byte of the destination (in-bounds part) is
+        written."""
+        state, memory, engine = fresh_engine(size=0x2000)
+        memory.load_raw(0x100, b"ABCDEFGH")
+        state.gpr[4] = 0x100
+        state.gpr[5] = 0x2000 - 4     # last 4 bytes only: 8-byte copy
+                                      # overruns by 4
+        result = schedule_fragment([s390.mvc(0, 5, 0, 4, length=8)])
+        snapshot = memory.read_bytes(0x2000 - 4, 4)
+        with pytest.raises(PreciseFault):
+            engine.run_group(result.group)
+        # The in-bounds prefix was NOT written: the touch faulted first.
+        assert memory.read_bytes(0x2000 - 4, 4) == snapshot
+
+    def test_source_fault_also_pretested(self):
+        state, memory, engine = fresh_engine(size=0x2000)
+        state.gpr[4] = 0x2000 - 2     # source overruns
+        state.gpr[5] = 0x200
+        result = schedule_fragment([s390.mvc(0, 5, 0, 4, length=8)])
+        before = memory.read_bytes(0x200, 8)
+        with pytest.raises(PreciseFault):
+            engine.run_group(result.group)
+        assert memory.read_bytes(0x200, 8) == before
+
+    def test_overlapping_copy_is_byte_sequential(self):
+        """MVC is defined byte-by-byte ascending: the classic overlap
+        idiom propagates the first byte."""
+        state, memory, engine = fresh_engine()
+        memory.load_raw(0x300, b"A.......")
+        state.gpr[4] = 0x300          # source
+        state.gpr[5] = 0x301          # destination overlaps source + 1
+        result = schedule_fragment([s390.mvc(0, 5, 0, 4, length=7)])
+        engine.run_group(result.group)
+        assert memory.read_bytes(0x300, 8) == b"AAAAAAAA"
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            s390.mvc(0, 5, 0, 4, length=0)
+        with pytest.raises(ValueError):
+            s390.mvc(0, 5, 0, 4, length=17)
+
+
+class TestPowerPcContrast:
+    def test_stmw_may_partially_complete(self):
+        """PowerPC's store-multiple is restartable-with-partial-effects:
+        a mid-way fault leaves earlier stores done (the architecture
+        permits this; re-execution is idempotent)."""
+        from repro.isa.assembler import Assembler
+        from repro.vliw.machine import MachineConfig
+        from repro.vmm.system import DaisySystem
+        program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r1, 0x3FFF8        # 8 bytes below the 256K boundary
+    li    r29, 7
+    li    r30, 8
+    li    r31, 9
+    stmw  r29, 0(r1)         # third store crosses the boundary
+    li    r0, 1
+    sc
+""")
+        system = DaisySystem(MachineConfig.default(), memory_size=0x40000)
+        system.load_program(program)
+        with pytest.raises(PreciseFault) as err:
+            system.run()
+        assert err.value.base_pc == 0x1010
+        # The first two words landed (partial completion is allowed).
+        assert system.memory.read_word(0x3FFF8) == 7
+        assert system.memory.read_word(0x3FFFC) == 8

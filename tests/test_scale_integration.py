@@ -1,0 +1,32 @@
+"""Scale integration: 'small'-size workloads under DAISY, exact
+equivalence.  Catches bugs that only appear with deep unrolling, many
+entry points, and long runs (the tiny-size suite misses those)."""
+
+import pytest
+
+from repro.workloads import build_workload
+
+from tests.helpers import assert_state_equivalent, run_daisy, run_native
+
+
+@pytest.mark.parametrize("name", ["sort", "gcc", "tomcatv"])
+def test_small_size_equivalence(name):
+    workload = build_workload(name, "small")
+    interp, native = run_native(workload.program)
+    system, daisy = run_daisy(workload.program, check=False)
+    assert daisy.exit_code == 0
+    assert daisy.base_instructions == native.instructions
+    assert_state_equivalent(interp, system)
+
+
+def test_small_size_interpretive_equivalence():
+    from repro.vliw.machine import MachineConfig
+    from repro.vmm.system import DaisySystem
+    workload = build_workload("compress", "small")
+    interp, native = run_native(workload.program)
+    system = DaisySystem(MachineConfig.default(), interpretive=True)
+    system.load_program(workload.program)
+    result = system.run()
+    assert result.exit_code == 0
+    assert result.base_instructions == native.instructions
+    assert_state_equivalent(interp, system)

@@ -1,0 +1,251 @@
+"""Scheduler invariants: renaming, commits, resources, combining,
+store handling, and tree-VLIW parallel-read semantics."""
+
+import pytest
+
+from repro.core.options import TranslationOptions
+from repro.isa import registers as regs
+from repro.primitives.ops import PrimOp
+from repro.vliw.machine import MachineConfig
+
+from tests.helpers import build_group
+
+LOOP = """
+.org 0x1000
+entry:
+    li    r5, 100
+    mtctr r5
+loop:
+    ai    r2, r2, 1
+    stw   r2, 0(r6)
+    addi  r6, r6, 4
+    bdnz  loop
+    b     0x9000
+"""
+
+
+def static_route_check(group):
+    """No operation may read a register written earlier in the same VLIW
+    along any root-to-leaf route (parallel-read semantics)."""
+    def walk(tip, written):
+        for op in tip.ops:
+            reads = set(op.srcs)
+            if op.value_src is not None:
+                reads.add(op.value_src)
+            assert not (reads & written), (
+                f"{op.render()} reads registers written in the same VLIW")
+            if op.dest is not None:
+                written = written | {op.dest}
+        if tip.test is not None:
+            walk(tip.taken, set(written))
+            walk(tip.fall, set(written))
+
+    for vliw in group.vliws:
+        walk(vliw.root, set())
+
+
+class TestParallelSemantics:
+    @pytest.mark.parametrize("config_num", [1, 3, 5, 10])
+    def test_no_same_vliw_raw(self, config_num):
+        from repro.vliw.machine import PAPER_CONFIGS
+        group, _ = build_group(LOOP, config=PAPER_CONFIGS[config_num])
+        static_route_check(group)
+
+    def test_branch_tests_read_entry_values(self):
+        group, builder = build_group(LOOP)
+        # A split's source registers must be available at VLIW entry:
+        # nothing in the same VLIW (on the route to the split) may write
+        # them.
+        def walk(tip, written):
+            for op in tip.ops:
+                if op.dest is not None:
+                    written = written | {op.dest}
+            if tip.test is not None:
+                for reg in (tip.test.reg, tip.test.crf_reg):
+                    assert reg is None or reg not in written
+                walk(tip.taken, set(written))
+                walk(tip.fall, set(written))
+        for vliw in group.vliws:
+            walk(vliw.root, set())
+
+
+class TestRenaming:
+    def test_speculative_results_use_nonarch_registers(self):
+        group, _ = build_group(LOOP)
+        for vliw in group.vliws:
+            for op in vliw.all_ops():
+                if op.speculative and op.dest is not None:
+                    assert not regs.is_architected(op.dest)
+
+    def test_every_speculative_value_op_has_commit(self):
+        group, _ = build_group(LOOP)
+        spec = {(op.seq, op.arch_dest)
+                for vliw in group.vliws for op in vliw.all_ops()
+                if op.speculative and op.arch_dest is not None}
+        commits = {(op.seq, op.dest)
+                   for vliw in group.vliws for op in vliw.all_ops()
+                   if op.op == PrimOp.COMMIT}
+        assert spec <= commits
+
+    def test_rename_disabled_schedules_everything_in_order(self):
+        options = TranslationOptions(rename=False)
+        group, _ = build_group(LOOP, options=options)
+        for vliw in group.vliws:
+            for op in vliw.all_ops():
+                assert not op.speculative
+                assert op.op != PrimOp.COMMIT
+
+
+class TestResources:
+    @pytest.mark.parametrize("config_num", [1, 2, 3, 5, 10])
+    def test_per_vliw_limits_respected(self, config_num):
+        from repro.vliw.machine import PAPER_CONFIGS
+        config = PAPER_CONFIGS[config_num]
+        group, builder = build_group(LOOP, config=config)
+        infos = builder.scheduler.infos
+        for info in infos:
+            assert info.alu <= config.alus
+            assert info.mem <= config.mem
+            assert info.stores <= config.stores
+            assert info.branches <= config.branches
+            assert info.alu + info.mem <= config.issue
+
+    def test_narrow_machine_uses_more_vliws(self):
+        from repro.vliw.machine import PAPER_CONFIGS
+        wide, _ = build_group(LOOP, config=PAPER_CONFIGS[10])
+        narrow, _ = build_group(LOOP, config=PAPER_CONFIGS[1])
+        assert len(narrow.vliws) >= len(wide.vliws)
+
+
+class TestStores:
+    def test_stores_never_speculative(self):
+        group, _ = build_group(LOOP)
+        for vliw in group.vliws:
+            for op in vliw.all_ops():
+                if op.is_store:
+                    assert not op.speculative
+
+    def test_store_forwarding_replaces_reload(self):
+        source = """
+.org 0x1000
+entry:
+    stw   r2, 8(r6)
+    lwz   r3, 8(r6)      # must-alias: forwarded from the store
+    b     0x9000
+"""
+        group, _ = build_group(source)
+        loads = [op for v in group.vliws for op in v.all_ops() if op.is_load]
+        moves = [op for v in group.vliws for op in v.all_ops()
+                 if op.op == PrimOp.MOVE]
+        assert loads == []
+        assert any(op.arch_dest == regs.gpr(3) for op in moves)
+
+    def test_forwarding_killed_by_intervening_store(self):
+        source = """
+.org 0x1000
+entry:
+    stw   r2, 8(r6)
+    stw   r4, 0(r7)      # may alias through a different register
+    lwz   r3, 8(r6)
+    b     0x9000
+"""
+        group, _ = build_group(source)
+        loads = [op for v in group.vliws for op in v.all_ops() if op.is_load]
+        assert len(loads) == 1
+
+    def test_forwarding_killed_by_base_register_change(self):
+        source = """
+.org 0x1000
+entry:
+    stw   r2, 8(r6)
+    addi  r6, r6, 4
+    lwz   r3, 8(r6)      # different address now
+    b     0x9000
+"""
+        group, _ = build_group(source)
+        loads = [op for v in group.vliws for op in v.all_ops() if op.is_load]
+        assert len(loads) == 1
+
+    def test_forwarding_disabled_by_option(self):
+        source = """
+.org 0x1000
+entry:
+    stw   r2, 8(r6)
+    lwz   r3, 8(r6)
+    b     0x9000
+"""
+        options = TranslationOptions(forward_stores=False)
+        group, _ = build_group(source, options=options)
+        loads = [op for v in group.vliws for op in v.all_ops() if op.is_load]
+        assert len(loads) == 1
+
+
+class TestCombining:
+    def test_addi_chain_rebased_onto_constant(self):
+        source = """
+.org 0x1000
+entry:
+    li    r2, 100
+    addi  r2, r2, 1
+    addi  r2, r2, 1
+    stw   r2, 0(r9)
+    b     0x9000
+"""
+        group, _ = build_group(source)
+        # Constant folding turns the whole chain into load-immediates.
+        limm_values = sorted(op.imm for v in group.vliws
+                             for op in v.all_ops()
+                             if op.op == PrimOp.LIMM
+                             and op.arch_dest == regs.gpr(2))
+        assert limm_values == [100, 101, 102]
+
+    def test_ai_chain_rebases_across_renamed_iterations(self):
+        """In a ctr loop the induction chain folds onto the first
+        renamed copy: some combined ai carries a folded immediate (and a
+        ca_step recording the original step for exact carry semantics)."""
+        from repro.core.options import TranslationOptions
+        options = TranslationOptions(max_join_visits=6)
+        group, _ = build_group(LOOP, options=options)
+        ais = [op for v in group.vliws for op in v.all_ops()
+               if op.op == PrimOp.AI]
+        folded = [op for op in ais if op.imm not in (None, 1)]
+        assert folded, "expected at least one folded ai in the unrolled loop"
+        assert all(op.ca_step == 1 for op in folded)
+
+    def test_li_addi_folds_to_constant(self):
+        source = """
+.org 0x1000
+entry:
+    li    r2, 100
+    addi  r3, r2, 5
+    stw   r3, 0(r9)
+    b     0x9000
+"""
+        group, _ = build_group(source)
+        ops = [op for v in group.vliws for op in v.all_ops()]
+        limms = [op for op in ops if op.op == PrimOp.LIMM
+                 and op.arch_dest == regs.gpr(3)]
+        assert limms and limms[0].imm == 105
+
+    def test_combining_disabled(self):
+        source = """
+.org 0x1000
+entry:
+    addi  r2, r2, 1
+    addi  r2, r2, 1
+    stw   r2, 0(r9)
+    b     0x9000
+"""
+        options = TranslationOptions(combining=False)
+        group, _ = build_group(source, options=options)
+        addis = [op for v in group.vliws for op in v.all_ops()
+                 if op.op == PrimOp.ADDI]
+        assert sorted(op.imm for op in addis) == [1, 1]
+
+    def test_loop_iterations_overlap_with_combining(self):
+        """Combining must let the ctr chain pipeline: fewer VLIWs than
+        without it."""
+        with_combining, _ = build_group(LOOP)
+        without, _ = build_group(
+            LOOP, options=TranslationOptions(combining=False))
+        assert len(with_combining.vliws) <= len(without.vliws)

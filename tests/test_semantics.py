@@ -1,0 +1,339 @@
+"""Instruction semantics: unit tests against the interpreter."""
+
+import pytest
+
+from repro.faults import DataStorageFault, ProgramFault
+from repro.isa.instructions import BranchCond, Instruction, Opcode
+from repro.isa.interpreter import Interpreter
+from repro.isa.semantics import ExecutionEnv, execute
+from repro.isa.state import CpuState, MSR_PR, u32
+from repro.memory.memory import PhysicalMemory
+from repro.memory.mmu import Mmu
+
+
+@pytest.fixture
+def machine():
+    memory = PhysicalMemory(size=1 << 16)
+    mmu = Mmu(physical_size=memory.size)
+    state = CpuState()
+    env = ExecutionEnv(memory, mmu, services=None)
+    return state, env
+
+
+def run1(state, env, instr):
+    state.pc = execute(state, instr, env)
+    return state
+
+
+class TestArithmetic:
+    def test_add_wraps(self, machine):
+        state, env = machine
+        state.gpr[2] = 0xFFFFFFFF
+        state.gpr[3] = 2
+        run1(state, env, Instruction(Opcode.ADD, rt=1, ra=2, rb=3))
+        assert state.gpr[1] == 1
+
+    def test_sub(self, machine):
+        state, env = machine
+        state.gpr[2] = 5
+        state.gpr[3] = 9
+        run1(state, env, Instruction(Opcode.SUB, rt=1, ra=2, rb=3))
+        assert state.gpr[1] == u32(-4)
+
+    def test_mullw_signed(self, machine):
+        state, env = machine
+        state.gpr[2] = u32(-3)
+        state.gpr[3] = 7
+        run1(state, env, Instruction(Opcode.MULLW, rt=1, ra=2, rb=3))
+        assert state.gpr[1] == u32(-21)
+
+    def test_divw_truncates_toward_zero(self, machine):
+        state, env = machine
+        state.gpr[2] = u32(-7)
+        state.gpr[3] = 2
+        run1(state, env, Instruction(Opcode.DIVW, rt=1, ra=2, rb=3))
+        assert state.gpr[1] == u32(-3)
+
+    def test_divw_by_zero_sets_ov_so(self, machine):
+        state, env = machine
+        state.gpr[2] = 5
+        run1(state, env, Instruction(Opcode.DIVW, rt=1, ra=2, rb=3))
+        assert state.gpr[1] == 0
+        assert state.ov == 1 and state.so == 1
+
+    def test_divwu_unsigned(self, machine):
+        state, env = machine
+        state.gpr[2] = 0xFFFFFFFE
+        state.gpr[3] = 2
+        run1(state, env, Instruction(Opcode.DIVWU, rt=1, ra=2, rb=3))
+        assert state.gpr[1] == 0x7FFFFFFF
+
+    def test_neg(self, machine):
+        state, env = machine
+        state.gpr[2] = 5
+        run1(state, env, Instruction(Opcode.NEG, rt=1, ra=2))
+        assert state.gpr[1] == u32(-5)
+
+    def test_cntlzw(self, machine):
+        state, env = machine
+        state.gpr[2] = 0x00010000
+        run1(state, env, Instruction(Opcode.CNTLZW, rt=1, ra=2))
+        assert state.gpr[1] == 15
+
+    def test_cntlzw_zero(self, machine):
+        state, env = machine
+        run1(state, env, Instruction(Opcode.CNTLZW, rt=1, ra=2))
+        assert state.gpr[1] == 32
+
+    def test_addi_ra0_reads_zero(self, machine):
+        state, env = machine
+        state.gpr[0] = 999
+        run1(state, env, Instruction(Opcode.ADDI, rt=1, ra=0, imm=5))
+        assert state.gpr[1] == 5
+
+    def test_ai_sets_carry(self, machine):
+        state, env = machine
+        state.gpr[2] = 0xFFFFFFFF
+        run1(state, env, Instruction(Opcode.AI, rt=1, ra=2, imm=1))
+        assert state.gpr[1] == 0
+        assert state.ca == 1
+
+    def test_ai_clears_carry(self, machine):
+        state, env = machine
+        state.ca = 1
+        state.gpr[2] = 1
+        run1(state, env, Instruction(Opcode.AI, rt=1, ra=2, imm=1))
+        assert state.ca == 0
+
+    def test_ai_reads_r0_as_register(self, machine):
+        # Unlike addi, ai uses the real r0 value (PowerPC addic).
+        state, env = machine
+        state.gpr[0] = 10
+        run1(state, env, Instruction(Opcode.AI, rt=1, ra=0, imm=1))
+        assert state.gpr[1] == 11
+
+
+class TestShifts:
+    def test_slw_and_overshift(self, machine):
+        state, env = machine
+        state.gpr[2] = 1
+        state.gpr[3] = 33
+        run1(state, env, Instruction(Opcode.SLW, rt=1, ra=2, rb=3))
+        assert state.gpr[1] == 0
+
+    def test_sraw_sets_carry_on_lost_bits(self, machine):
+        state, env = machine
+        state.gpr[2] = u32(-3)
+        state.gpr[3] = 1
+        run1(state, env, Instruction(Opcode.SRAW, rt=1, ra=2, rb=3))
+        assert state.gpr[1] == u32(-2)
+        assert state.ca == 1
+
+    def test_srawi_positive_no_carry(self, machine):
+        state, env = machine
+        state.gpr[2] = 7
+        run1(state, env, Instruction(Opcode.SRAWI, rt=1, ra=2, imm=1))
+        assert state.gpr[1] == 3
+        assert state.ca == 0
+
+    def test_slwi_srwi(self, machine):
+        state, env = machine
+        state.gpr[2] = 0x80000001
+        run1(state, env, Instruction(Opcode.SRWI, rt=1, ra=2, imm=1))
+        assert state.gpr[1] == 0x40000000
+        run1(state, env, Instruction(Opcode.SLWI, rt=3, ra=2, imm=4))
+        assert state.gpr[3] == 0x00000010
+
+
+class TestCompareAndCr:
+    def test_cmp_signed(self, machine):
+        state, env = machine
+        state.gpr[2] = u32(-1)
+        state.gpr[3] = 1
+        run1(state, env, Instruction(Opcode.CMP, crf=2, ra=2, rb=3))
+        assert state.cr[2] == 0b1000  # LT
+
+    def test_cmpl_unsigned(self, machine):
+        state, env = machine
+        state.gpr[2] = u32(-1)     # big unsigned
+        state.gpr[3] = 1
+        run1(state, env, Instruction(Opcode.CMPL, crf=2, ra=2, rb=3))
+        assert state.cr[2] == 0b0100  # GT
+
+    def test_cmp_copies_so_bit(self, machine):
+        state, env = machine
+        state.so = 1
+        run1(state, env, Instruction(Opcode.CMPI, crf=0, ra=2, imm=0))
+        assert state.cr[0] == 0b0011  # EQ | SO
+
+    def test_andi_sets_cr0(self, machine):
+        state, env = machine
+        state.gpr[2] = 0b1100
+        run1(state, env, Instruction(Opcode.ANDI_, rt=1, ra=2, imm=0b0011))
+        assert state.gpr[1] == 0
+        assert state.cr[0] & 0b0010  # EQ
+
+    def test_crand(self, machine):
+        state, env = machine
+        state.cr[0] = 0b1000  # LT set
+        state.cr[1] = 0b1000
+        # crand cr2.eq = cr0.lt & cr1.lt
+        run1(state, env, Instruction(Opcode.CRAND, rt=2 * 4 + 2,
+                                     ra=0, rb=4))
+        assert state.cr[2] == 0b0010
+
+    def test_mtcrf_mask(self, machine):
+        state, env = machine
+        state.gpr[1] = 0x12345678
+        run1(state, env, Instruction(Opcode.MTCRF, rt=1, imm=0x80))
+        assert state.cr[0] == 0x1
+        assert state.cr[1] == 0
+
+    def test_mfcr(self, machine):
+        state, env = machine
+        state.cr = [1, 2, 3, 4, 5, 6, 7, 8]
+        run1(state, env, Instruction(Opcode.MFCR, rt=1))
+        assert state.gpr[1] == 0x12345678
+
+
+class TestMemory:
+    def test_word_roundtrip_big_endian(self, machine):
+        state, env = machine
+        state.gpr[2] = 0x100
+        state.gpr[1] = 0xA1B2C3D4
+        run1(state, env, Instruction(Opcode.STW, rt=1, ra=2, imm=4))
+        assert env.memory.read_bytes(0x104, 4) == b"\xa1\xb2\xc3\xd4"
+        run1(state, env, Instruction(Opcode.LWZ, rt=3, ra=2, imm=4))
+        assert state.gpr[3] == 0xA1B2C3D4
+
+    def test_byte_and_half(self, machine):
+        state, env = machine
+        state.gpr[1] = 0x1FF
+        state.gpr[2] = 0x200
+        run1(state, env, Instruction(Opcode.STB, rt=1, ra=2, imm=0))
+        run1(state, env, Instruction(Opcode.LBZ, rt=3, ra=2, imm=0))
+        assert state.gpr[3] == 0xFF
+        run1(state, env, Instruction(Opcode.STH, rt=1, ra=2, imm=2))
+        run1(state, env, Instruction(Opcode.LHZ, rt=4, ra=2, imm=2))
+        assert state.gpr[4] == 0x1FF
+
+    def test_indexed_forms(self, machine):
+        state, env = machine
+        state.gpr[2] = 0x100
+        state.gpr[3] = 8
+        state.gpr[1] = 42
+        run1(state, env, Instruction(Opcode.STWX, rt=1, ra=2, rb=3))
+        run1(state, env, Instruction(Opcode.LWZX, rt=4, ra=2, rb=3))
+        assert state.gpr[4] == 42
+
+    def test_lmw_stmw(self, machine):
+        state, env = machine
+        for reg in range(29, 32):
+            state.gpr[reg] = reg * 11
+        state.gpr[1] = 0x300
+        run1(state, env, Instruction(Opcode.STMW, rt=29, ra=1, imm=0))
+        for reg in range(29, 32):
+            state.gpr[reg] = 0
+        run1(state, env, Instruction(Opcode.LMW, rt=29, ra=1, imm=0))
+        assert [state.gpr[r] for r in (29, 30, 31)] == [319, 330, 341]
+
+    def test_out_of_bounds_faults(self, machine):
+        state, env = machine
+        state.gpr[2] = 0xFFFFF0
+        with pytest.raises(DataStorageFault):
+            execute(state, Instruction(Opcode.LWZ, rt=1, ra=2, imm=0), env)
+
+
+class TestBranches:
+    def test_b_relative(self, machine):
+        state, env = machine
+        state.pc = 0x1000
+        run1(state, env, Instruction(Opcode.B, offset=4))
+        assert state.pc == 0x1010
+
+    def test_bl_sets_lr(self, machine):
+        state, env = machine
+        state.pc = 0x1000
+        run1(state, env, Instruction(Opcode.BL, offset=2))
+        assert state.pc == 0x1008
+        assert state.lr == 0x1004
+
+    def test_bc_true_taken_and_not(self, machine):
+        state, env = machine
+        state.pc = 0x1000
+        state.set_cr_bit(2, 1)  # cr0.eq
+        run1(state, env, Instruction(Opcode.BC, cond=BranchCond.TRUE,
+                                     bi=2, offset=4))
+        assert state.pc == 0x1010
+        state.set_cr_bit(2, 0)
+        run1(state, env, Instruction(Opcode.BC, cond=BranchCond.TRUE,
+                                     bi=2, offset=4))
+        assert state.pc == 0x1014
+
+    def test_bdnz_decrements(self, machine):
+        state, env = machine
+        state.pc = 0x1000
+        state.ctr = 2
+        run1(state, env, Instruction(Opcode.BC, cond=BranchCond.DNZ,
+                                     offset=-4))
+        assert state.ctr == 1
+        assert state.pc == 0x0FF0
+        state.pc = 0x1000
+        run1(state, env, Instruction(Opcode.BC, cond=BranchCond.DNZ,
+                                     offset=-4))
+        assert state.ctr == 0
+        assert state.pc == 0x1004  # not taken when ctr hits zero
+
+    def test_blr_blrl(self, machine):
+        state, env = machine
+        state.pc = 0x1000
+        state.lr = 0x2000
+        run1(state, env, Instruction(Opcode.BLR))
+        assert state.pc == 0x2000
+        state.pc = 0x3000
+        state.lr = 0x4000
+        run1(state, env, Instruction(Opcode.BLRL))
+        assert state.pc == 0x4000
+        assert state.lr == 0x3004  # old lr used as target, then updated
+
+    def test_bctr(self, machine):
+        state, env = machine
+        state.ctr = 0x5000
+        run1(state, env, Instruction(Opcode.BCTR))
+        assert state.pc == 0x5000
+
+
+class TestSystem:
+    def test_mtmsr_requires_supervisor(self, machine):
+        state, env = machine
+        assert state.msr & MSR_PR
+        with pytest.raises(ProgramFault):
+            execute(state, Instruction(Opcode.MTMSR, rt=1), env)
+
+    def test_rfi_restores(self, machine):
+        state, env = machine
+        state.msr = 0      # supervisor
+        state.srr0 = 0x1234
+        state.srr1 = MSR_PR
+        run1(state, env, Instruction(Opcode.RFI))
+        assert state.pc == 0x1234
+        assert state.msr == MSR_PR
+
+    def test_xer_roundtrip(self, machine):
+        state, env = machine
+        state.so, state.ov, state.ca = 1, 0, 1
+        run1(state, env, Instruction(Opcode.MFXER, rt=1))
+        assert state.gpr[1] == (1 << 31) | (1 << 29)
+        state.gpr[2] = 1 << 30
+        run1(state, env, Instruction(Opcode.MTXER, rt=2))
+        assert (state.so, state.ov, state.ca) == (0, 1, 0)
+
+    def test_lr_ctr_moves(self, machine):
+        state, env = machine
+        state.gpr[1] = 77
+        run1(state, env, Instruction(Opcode.MTLR, rt=1))
+        run1(state, env, Instruction(Opcode.MFLR, rt=2))
+        run1(state, env, Instruction(Opcode.MTCTR, rt=1))
+        run1(state, env, Instruction(Opcode.MFCTR, rt=3))
+        assert state.gpr[2] == 77
+        assert state.gpr[3] == 77

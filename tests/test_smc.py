@@ -1,0 +1,138 @@
+"""Self-modifying code (Section 3.2): stores into translated pages
+invalidate the stale translation; execution resumes after the modifying
+instruction and runs the new code."""
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instruction, Opcode
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+
+from tests.helpers import run_daisy, run_native, assert_state_equivalent
+
+
+def asm(source):
+    return Assembler().assemble(source)
+
+
+def _smc_program():
+    """Overwrites `patch_me` (li r3, 111) with `li r3, 222`, then
+    executes it — the classic store-into-own-page case."""
+    new_word = encode(Instruction(Opcode.LI, rt=3, imm=222))
+    return asm(f"""
+.org 0x1000
+_start:
+    li    r4, patch_word
+    lwz   r5, 0(r4)          # the replacement instruction word
+    li    r6, patch_me
+    stw   r5, 0(r6)          # self-modify (same page as _start)
+    b     patch_me
+patch_me:
+    li    r3, 111            # replaced by li r3, 222 at runtime
+    li    r0, 1
+    sc
+.align 4
+patch_word:
+    .word {new_word}
+""")
+
+
+class TestSelfModifyingCode:
+    def test_interpreter_sees_new_code(self):
+        interp, native = run_native(_smc_program())
+        assert native.exit_code == 222
+
+    def test_daisy_invalidates_and_reexecutes(self):
+        system, result = run_daisy(_smc_program())
+        assert result.exit_code == 222
+        assert result.events.code_modification == 1
+
+    def test_state_equivalent(self):
+        interp, _ = run_native(_smc_program())
+        system, _ = run_daisy(_smc_program())
+        assert_state_equivalent(interp, system)
+
+    def test_modifying_another_page(self):
+        """Store into a *different* translated page: that page is
+        retranslated on its next execution; the current page keeps
+        running without retranslation."""
+        new_word = encode(Instruction(Opcode.LI, rt=3, imm=77))
+        program = asm(f"""
+.org 0x1000
+_start:
+    bl    other              # translate the other page (returns 55)
+    li    r4, patch_word
+    lwz   r5, 0(r4)
+    li    r6, other
+    stw   r5, 0(r6)          # modify the other page
+    bl    other              # now returns 77
+    li    r0, 1
+    sc
+.align 4
+patch_word:
+    .word {new_word}
+
+.org 0x2000
+other:
+    li    r3, 55
+    blr
+""")
+        system, result = run_daisy(program)
+        assert result.exit_code == 77
+        assert result.events.code_modification == 1
+
+    def test_store_without_modification_effect_still_invalidates(self):
+        """Any store into a protected unit destroys the translation,
+        even if it rewrites identical bytes (the hardware cannot know)."""
+        program = asm("""
+.org 0x1000
+_start:
+    li    r6, target
+    lwz   r5, 0(r6)
+    stw   r5, 0(r6)          # same bytes back
+target:
+    li    r3, 5
+    li    r0, 1
+    sc
+""")
+        system, result = run_daisy(program)
+        assert result.exit_code == 5
+        assert result.events.code_modification == 1
+
+    def test_overlay_style_reload(self):
+        """A loop that patches the same instruction twice (overlay
+        programming): each modification invalidates and retranslates."""
+        word_a = encode(Instruction(Opcode.LI, rt=3, imm=10))
+        word_b = encode(Instruction(Opcode.LI, rt=3, imm=20))
+        program = asm(f"""
+.org 0x1000
+_start:
+    li    r7, 0              # accumulated result
+    li    r4, words
+    li    r6, slot
+    lwz   r5, 0(r4)          # word_a
+    stw   r5, 0(r6)
+    bl    run_slot
+    add   r7, r7, r3
+    lwz   r5, 4(r4)          # word_b
+    stw   r5, 0(r6)
+    bl    run_slot
+    add   r7, r7, r3
+    mr    r3, r7
+    li    r0, 1
+    sc
+run_slot:
+slot:
+    nop                      # patched to li r3, N
+    blr
+.align 4
+words:
+    .word {word_a}, {word_b}
+""")
+        interp, native = run_native(program)
+        system, result = run_daisy(program)
+        assert native.exit_code == 30
+        assert result.exit_code == 30
+        assert result.events.code_modification == 2

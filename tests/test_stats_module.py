@@ -1,0 +1,59 @@
+"""analysis.stats: derived metrics from run results."""
+
+import pytest
+
+from repro.analysis.stats import code_expansion, metrics_from_result
+from repro.caches.hierarchy import paper_default_hierarchy
+from repro.workloads import build_workload
+
+from tests.helpers import run_daisy
+
+
+@pytest.fixture(scope="module")
+def cached_run():
+    from repro.vliw.machine import MachineConfig
+    from repro.vmm.system import DaisySystem
+    workload = build_workload("wc", "tiny")
+    system = DaisySystem(MachineConfig.default(),
+                         cache_hierarchy=paper_default_hierarchy())
+    system.load_program(workload.program)
+    result = system.run()
+    assert result.exit_code == 0
+    return result
+
+
+class TestMetrics:
+    def test_basic_fields(self, cached_run):
+        metrics = metrics_from_result("wc", cached_run)
+        assert metrics.name == "wc"
+        assert metrics.vliws == cached_run.vliws
+        assert metrics.infinite_cache_ilp == pytest.approx(
+            cached_run.infinite_cache_ilp)
+        assert metrics.loads_per_vliw == pytest.approx(
+            cached_run.loads / cached_run.vliws)
+
+    def test_miss_intervals_present_with_caches(self, cached_run):
+        metrics = metrics_from_result("wc", cached_run)
+        assert metrics.miss_rates is not None
+        assert "L0 DCache" in metrics.miss_rates
+        # wc misses at least once cold -> intervals computable.
+        assert metrics.vliws_between_memory_miss is not None
+
+    def test_alias_interval_none_when_no_aliases(self, cached_run):
+        metrics = metrics_from_result("wc", cached_run)
+        if cached_run.alias_events == 0:
+            assert metrics.vliws_per_alias is None
+        else:
+            assert metrics.vliws_per_alias == pytest.approx(
+                cached_run.vliws / cached_run.alias_events)
+
+    def test_code_expansion(self, cached_run):
+        expansion = code_expansion(cached_run, page_size=4096)
+        assert expansion > 0
+        assert expansion == pytest.approx(
+            cached_run.code_bytes_generated
+            / (cached_run.pages_translated * 4096))
+
+    def test_code_expansion_zero_pages(self):
+        from repro.vmm.system import DaisyRunResult
+        assert code_expansion(DaisyRunResult(), 4096) == 0.0

@@ -1,0 +1,86 @@
+"""Chapter 3's two translated-code mappings: the n*N + VLIW_BASE
+expansion area vs the software hash table."""
+
+import pytest
+
+from repro.vliw.machine import MachineConfig
+from repro.vmm.address_map import AddressMap, VLIW_BASE
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+from tests.helpers import assert_state_equivalent, run_native
+
+
+def run_with(program, **kwargs):
+    system = DaisySystem(MachineConfig.default(), **kwargs)
+    system.load_program(program)
+    return system, system.run()
+
+
+class TestAddressMap:
+    def test_paper_example_mapping(self):
+        """Section 3.1: physical 0x2100 -> VLIW 0x80008400 with N=4."""
+        amap = AddressMap(expansion=4)
+        assert amap.code_address(0x2100) == 0x80008400
+        assert amap.base_address(0x80008400) == 0x2100
+
+    def test_area_size(self):
+        assert AddressMap(expansion=4).code_area_size(4096) == 16384
+
+
+class TestStrategies:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_workload("sort", "tiny")
+
+    def test_both_strategies_equivalent(self, workload):
+        interp, native = run_native(workload.program)
+        for strategy in ("expansion", "hash"):
+            system, result = run_with(workload.program, strategy=strategy)
+            assert result.exit_code == 0, strategy
+            assert result.base_instructions == native.instructions
+            assert_state_equivalent(interp, system)
+
+    def test_expansion_code_lives_above_vliw_base(self, workload):
+        system, _ = run_with(workload.program, strategy="expansion")
+        for paddr in system.translation_cache.live_pages:
+            translation = system.translation_cache.lookup(paddr)
+            assert translation.code_base == \
+                system.address_map.code_address(paddr)
+            assert translation.code_base >= VLIW_BASE
+
+    def test_expansion_reserves_whole_areas(self, workload):
+        system, _ = run_with(workload.program, strategy="expansion")
+        area = system.address_map.code_area_size(4096)
+        for paddr in system.translation_cache.live_pages:
+            translation = system.translation_cache.lookup(paddr)
+            assert translation.reserved_bytes % area == 0
+            assert translation.reserved_bytes >= translation.code_size
+
+    def test_hash_reserves_only_actual_code(self, workload):
+        system, _ = run_with(workload.program, strategy="hash")
+        for paddr in system.translation_cache.live_pages:
+            translation = system.translation_cache.lookup(paddr)
+            assert translation.reserved_bytes == translation.code_size
+
+    def test_hash_lookup_penalty_on_crosspage(self):
+        program = build_workload("gcc", "tiny").program
+        _, expansion = run_with(program, strategy="expansion")
+        _, hashed = run_with(program, strategy="hash")
+        # Same translated code, but the hash strategy pays for ITLB
+        # misses in cycles.
+        assert hashed.vliws == expansion.vliws
+        assert hashed.cycles >= expansion.cycles
+
+    def test_hash_fits_tighter_pool(self, workload):
+        """The hash mapping's denser pool survives a budget that forces
+        the expansion mapping to cast out."""
+        _, expansion = run_with(workload.program, strategy="expansion",
+                                translation_capacity_bytes=40_000)
+        _, hashed = run_with(workload.program, strategy="hash",
+                             translation_capacity_bytes=40_000)
+        assert hashed.events.castouts <= expansion.events.castouts
+
+    def test_unknown_strategy_rejected(self, workload):
+        with pytest.raises(ValueError):
+            DaisySystem(MachineConfig.default(), strategy="bogus")

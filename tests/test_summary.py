@@ -1,0 +1,49 @@
+"""The paper-vs-measured summary generator and reference constants."""
+
+import pytest
+
+from repro.analysis import paper_data
+from repro.analysis.summary import generate_summary, summary_rows_hold
+
+
+class TestPaperData:
+    def test_table_5_1_mean_consistent(self):
+        ilps = [v[0] for v in paper_data.TABLE_5_1.values()]
+        assert sum(ilps) / len(ilps) == pytest.approx(
+            paper_data.TABLE_5_1_MEAN[0], abs=0.15)
+
+    def test_table_5_3_consistency(self):
+        # Finite <= infinite for every paper benchmark.
+        for name, (inf, fin, p604) in paper_data.TABLE_5_3.items():
+            assert fin <= inf, name
+            assert p604 < fin or name == "gcc", name
+
+    def test_table_5_2_daisy_within_25_percent(self):
+        daisy, trad = paper_data.TABLE_5_2_MEAN
+        assert daisy >= 0.75 * trad
+
+    def test_appendix_e_factors(self):
+        ins, vliws = paper_data.APPENDIX_E_S390
+        assert ins / vliws == pytest.approx(6.25)
+        ins, vliws = paper_data.APPENDIX_E_X86
+        assert ins / vliws == pytest.approx(24 / 7)
+
+
+class TestGenerateSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        # Two fast workloads keep this a unit-scale test.
+        return generate_summary(size="tiny", names=["c_sieve", "wc"])
+
+    def test_all_shapes_hold(self, summary):
+        assert summary_rows_hold(summary)
+
+    def test_contains_every_headline(self, summary):
+        for fragment in ("Table 5.1 mean ILP", "translated KB",
+                         "finite-cache", "superscalar",
+                         "Table 5.8"):
+            assert fragment in summary
+
+    def test_paper_columns_present(self, summary):
+        assert "4.2" in summary         # paper mean ILP
+        assert "OK" in summary

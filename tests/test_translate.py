@@ -1,0 +1,180 @@
+"""Page translation: entry discovery, secondary entries, layout,
+stopping rules, and the group-builder throttles."""
+
+import pytest
+
+from repro.core.options import TranslationOptions
+from repro.core.translate import PageTranslator
+from repro.isa.assembler import Assembler
+from repro.isa.encoding import decode
+from repro.vliw.machine import MachineConfig
+from repro.vliw.tree import ExitKind
+
+from tests.helpers import build_group
+
+
+def make_translator(source, options=None):
+    program = Assembler().assemble(source)
+    images = dict(program.sections())
+
+    def fetch_word(pc):
+        for addr, data in images.items():
+            if addr <= pc < addr + len(data):
+                off = pc - addr
+                return int.from_bytes(data[off:off + 4], "big")
+        raise AssertionError(f"fetch outside image {pc:#x}")
+
+    translator = PageTranslator(fetch_word, MachineConfig.default(),
+                                options or TranslationOptions())
+    return translator, program
+
+
+LOOPY = """
+.org 0x1000
+_start:
+    li    r2, 100
+    mtctr r2
+loop:
+    addi  r3, r3, 1
+    bdnz  loop
+    b     0x9000
+"""
+
+
+class TestEntryDiscovery:
+    def test_secondary_entries_created(self):
+        translator, _ = make_translator(LOOPY)
+        translation = translator.new_translation(0x1000, 0x1000,
+                                                 code_base=0x80004000)
+        translator.ensure_entry(translation, 0x1000)
+        # The loop head becomes a secondary entry when unrolling stops.
+        assert 0x1000 % 4096 in translation.entries
+        assert len(translation.entries) >= 2
+
+    def test_ensure_entry_idempotent(self):
+        translator, _ = make_translator(LOOPY)
+        translation = translator.new_translation(0x1000, 0x1000, 0)
+        group1 = translator.ensure_entry(translation, 0x1000)
+        count = translation.translations_performed
+        group2 = translator.ensure_entry(translation, 0x1000)
+        assert group1 is group2
+        assert translation.translations_performed == count
+
+    def test_runtime_entry_added_later(self):
+        translator, _ = make_translator(LOOPY)
+        translation = translator.new_translation(0x1000, 0x1000, 0)
+        translator.ensure_entry(translation, 0x1000)
+        before = set(translation.entries)
+        translator.ensure_entry(translation, 0x1004)   # mtctr offset
+        assert 0x4 in translation.entries
+        assert before <= set(translation.entries)
+
+
+class TestLayout:
+    def test_vliw_addresses_sequential_and_disjoint(self):
+        translator, _ = make_translator(LOOPY)
+        translation = translator.new_translation(0x1000, 0x1000,
+                                                 code_base=0x80004000)
+        translator.ensure_entry(translation, 0x1000)
+        spans = []
+        for group in translation.entries.values():
+            for vliw in group.vliws:
+                spans.append((vliw.address, vliw.address + vliw.size_bytes()))
+        spans.sort()
+        assert spans[0][0] == 0x80004000
+        for (a_start, a_end), (b_start, _) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_code_size_accumulates(self):
+        translator, _ = make_translator(LOOPY)
+        translation = translator.new_translation(0x1000, 0x1000, 0)
+        translator.ensure_entry(translation, 0x1000)
+        assert translation.code_size == sum(
+            g.code_size() for g in translation.entries.values())
+
+
+class TestStoppingRules:
+    def test_window_limit_closes_path(self):
+        source = "\n".join([".org 0x1000", "_start:"]
+                           + ["    addi r2, r2, 1"] * 50
+                           + ["    b 0x9000"])
+        options = TranslationOptions(window_size=10)
+        group, builder = build_group(source, options=options)
+        exits = [tip.exit for vliw in group.vliws
+                 for tip in vliw.all_tips() if tip.exit is not None]
+        assert any(e.kind == ExitKind.ENTRY for e in exits)
+        assert group.base_instructions <= 11
+
+    def test_join_visit_limit_bounds_unrolling(self):
+        options = TranslationOptions(max_join_visits=2)
+        group, builder = build_group(LOOPY, options=options)
+        # The loop body pc appears at most k times in the group.
+        loop_pc = 0x1008
+        assert builder.visit_counts.get(loop_pc, 0) <= 2
+
+    def test_offpage_branch_stops(self):
+        source = """
+.org 0x1000
+_start:
+    addi r2, r2, 1
+    b    0x9000
+"""
+        group, _ = build_group(source)
+        exits = [tip.exit for vliw in group.vliws
+                 for tip in vliw.all_tips() if tip.exit is not None]
+        assert len(exits) == 1
+        assert exits[0].kind == ExitKind.OFFPAGE
+        assert exits[0].target == 0x9000
+        assert exits[0].completes
+
+    def test_fallthrough_off_page_edge(self):
+        # Code that runs off the end of its page.
+        source = """
+.org 0xFFC
+_start:
+    nop
+"""
+        options = TranslationOptions()
+        group, _ = build_group(source, entry=0xFFC, options=options)
+        exits = [tip.exit for vliw in group.vliws
+                 for tip in vliw.all_tips() if tip.exit is not None]
+        assert exits[0].kind == ExitKind.OFFPAGE
+        assert exits[0].target == 0x1000
+        assert not exits[0].completes
+
+    def test_indirect_branch_stops(self):
+        source = """
+.org 0x1000
+_start:
+    blr
+"""
+        group, _ = build_group(source)
+        exits = [tip.exit for vliw in group.vliws
+                 for tip in vliw.all_tips() if tip.exit is not None]
+        assert exits[0].kind == ExitKind.INDIRECT
+        assert exits[0].flavor == "lr"
+
+    def test_max_paths_cap(self):
+        # A cascade of branches would explode paths without the cap.
+        lines = [".org 0x1000", "_start:"]
+        for index in range(20):
+            lines += [f"    cmpi cr{index % 8}, r{index % 8}, {index}",
+                      f"    beq cr{index % 8}, t{index}"]
+        lines += ["    b 0x9000"]
+        for index in range(20):
+            lines += [f"t{index}:", f"    addi r2, r2, {index}",
+                      "    b 0x9000"]
+        options = TranslationOptions(max_paths=4)
+        group, builder = build_group("\n".join(lines), options=options)
+        assert group.vliws  # translated without blowing up
+
+
+class TestAggregateStats:
+    def test_translator_totals(self):
+        translator, _ = make_translator(LOOPY)
+        translation = translator.new_translation(0x1000, 0x1000, 0)
+        translator.ensure_entry(translation, 0x1000)
+        assert translator.total_entries_translated == \
+            len(translation.entries)
+        assert translator.total_base_instructions > 0
+        assert translator.total_cost > 0

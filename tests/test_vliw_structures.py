@@ -1,0 +1,186 @@
+"""VLIW data structures: extended registers, tags, tree rendering,
+size model, machine configurations, disassembler round trips."""
+
+import pytest
+
+from repro.faults import DataStorageFault
+from repro.isa import registers as regs
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.assembler import Assembler
+from repro.isa.state import CpuState
+from repro.primitives.ops import PrimOp
+from repro.vliw.machine import MachineConfig, PAPER_CONFIGS
+from repro.vliw.registers import ExtendedRegisters, TaggedRegisterFault
+from repro.vliw.tree import (
+    BranchTest,
+    Exit,
+    ExitKind,
+    Operation,
+    Tip,
+    TreeVliw,
+    VliwGroup,
+)
+from repro.vliw.tree import TestKind as TreeTestKind
+
+
+class TestRegisterSpace:
+    def test_architected_partition(self):
+        assert regs.is_architected(regs.gpr(31))
+        assert not regs.is_architected(regs.gpr(32))
+        assert regs.is_architected(regs.crf(7))
+        assert not regs.is_architected(regs.crf(8))
+        assert regs.is_architected(regs.LR)
+        assert not regs.is_architected(regs.LR2)
+
+    def test_names(self):
+        assert regs.register_name(regs.gpr(5)) == "r5"
+        assert regs.register_name(regs.crf(9)) == "cr9"
+        assert regs.register_name(regs.CTR) == "ctr"
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            regs.gpr(64)
+        with pytest.raises(ValueError):
+            regs.crf(16)
+
+
+class TestExtendedRegisters:
+    def setup_method(self):
+        self.state = CpuState()
+        self.xregs = ExtendedRegisters(self.state)
+
+    def test_architected_views_shared(self):
+        self.xregs.write_raw(regs.gpr(3), 42)
+        assert self.state.gpr[3] == 42
+        self.state.lr = 0x1234
+        assert self.xregs.read_raw(regs.LR) == 0x1234
+
+    def test_scratch_independent(self):
+        self.xregs.write_raw(regs.gpr(40), 7)
+        assert self.state.gpr == [0] * 32
+        assert self.xregs.read_raw(regs.gpr(40)) == 7
+
+    def test_tag_fires_only_non_speculative(self):
+        fault = DataStorageFault(0xBAD)
+        self.xregs.set_tag(regs.gpr(40), fault)
+        assert self.xregs.read(regs.gpr(40), speculative=True) == 0
+        with pytest.raises(TaggedRegisterFault):
+            self.xregs.read(regs.gpr(40), speculative=False)
+
+    def test_tagging_architected_register_is_a_bug(self):
+        from repro.faults import SimulationError
+        with pytest.raises(SimulationError):
+            self.xregs.set_tag(regs.gpr(3), DataStorageFault(0))
+
+    def test_write_clears_tag(self):
+        self.xregs.set_tag(regs.gpr(40), DataStorageFault(0))
+        self.xregs.write_result(regs.gpr(40), 5)
+        assert self.xregs.read(regs.gpr(40), speculative=False) == 5
+
+    def test_tag_propagation(self):
+        self.xregs.set_tag(regs.gpr(40), DataStorageFault(0))
+        assert self.xregs.propagate_tag(regs.gpr(41),
+                                        (regs.gpr(40), regs.gpr(2)))
+        assert self.xregs.is_tagged(regs.gpr(41))
+
+    def test_extenders_roundtrip(self):
+        self.xregs.write_result(regs.gpr(40), 9, ca=1, ov=None)
+        assert self.xregs.extenders[regs.gpr(40)] == (1, None)
+
+    def test_clear_speculative_state(self):
+        self.xregs.write_raw(regs.gpr(40), 7)
+        self.xregs.set_tag(regs.gpr(41), DataStorageFault(0))
+        self.state.gpr[3] = 42
+        self.xregs.clear_speculative_state()
+        assert self.xregs.read_raw(regs.gpr(40)) == 0
+        assert not self.xregs.is_tagged(regs.gpr(41))
+        assert self.state.gpr[3] == 42   # architected state untouched
+
+
+class TestTreeStructures:
+    def _vliw(self):
+        vliw = TreeVliw(index=0)
+        vliw.root.ops.append(Operation(op=PrimOp.ADD, dest=regs.gpr(1),
+                                       srcs=(regs.gpr(2), regs.gpr(3))))
+        vliw.root.test = BranchTest(kind=TreeTestKind.CR_TRUE,
+                                    crf_reg=regs.crf(0), bit=2)
+        vliw.root.taken = Tip(exit=Exit(ExitKind.OFFPAGE, target=0x2000))
+        vliw.root.fall = Tip(exit=Exit(ExitKind.ENTRY, target=0x1004))
+        return vliw
+
+    def test_walk_and_parcels(self):
+        vliw = self._vliw()
+        assert len(list(vliw.all_tips())) == 3
+        assert vliw.num_parcels() == 2   # add + test
+
+    def test_marker_costs_nothing(self):
+        vliw = self._vliw()
+        before = vliw.size_bytes()
+        vliw.root.ops.append(Operation(op=PrimOp.MARKER, completes=True))
+        assert vliw.size_bytes() == before
+
+    def test_size_model(self):
+        vliw = self._vliw()
+        # 8 header + 4 * (2 parcels + 2 exits).
+        assert vliw.size_bytes() == 8 + 4 * 4
+
+    def test_render_contains_structure(self):
+        text = self._vliw().render()
+        assert "add" in text
+        assert "if" in text and "else" in text
+        assert "go_across_page" in text
+
+    def test_group_new_vliw_indexing(self):
+        group = VliwGroup(entry_pc=0x1000)
+        first = group.new_vliw()
+        second = group.new_vliw()
+        assert (first.index, second.index) == (0, 1)
+        assert group.entry_vliw is first
+
+
+class TestMachineConfigs:
+    def test_paper_configs_present(self):
+        assert len(PAPER_CONFIGS) == 10
+        big = PAPER_CONFIGS[10]
+        assert (big.issue, big.alus, big.mem, big.branches) == (24, 16, 8, 7)
+        assert big.stores == 8
+
+    def test_default_and_eight_issue(self):
+        assert MachineConfig.default() is PAPER_CONFIGS[10]
+        eight = MachineConfig.eight_issue()
+        assert (eight.issue, eight.mem, eight.branches) == (8, 4, 3)
+
+    def test_stores_defaults_to_mem(self):
+        config = MachineConfig("t", issue=4, alus=4, mem=2, branches=1)
+        assert config.stores == 2
+
+
+class TestDisassembler:
+    @pytest.mark.parametrize("source", [
+        "add r1, r2, r3",
+        "addi r1, r2, -5",
+        "li r4, 1000",
+        "lwz r3, -8(r4)",
+        "stw r3, 12(r4)",
+        "cmpi cr2, r3, 7",
+        "crand cr0.lt, cr1.gt, cr2.eq",
+        "neg r1, r2",
+        "mtcrf 0x80, r3",
+        "blr",
+        "mflr r9",
+    ])
+    def test_disassemble_reassembles(self, source):
+        word = None
+        program = Assembler().assemble(f".org 0x1000\n    {source}")
+        _, data = next(program.sections())
+        word = int.from_bytes(data[:4], "big")
+        text = disassemble(decode(word), pc=0x1000)
+        program2 = Assembler().assemble(f".org 0x1000\n    {text}")
+        _, data2 = next(program2.sections())
+        assert data2[:4] == data[:4]
+
+    def test_branch_targets_absolute(self):
+        instr = Instruction(Opcode.B, offset=-4)
+        assert "0xff0" in disassemble(instr, pc=0x1000)

@@ -1,0 +1,310 @@
+"""VMM: translation events, ITLB, cast-out, cross-page branches,
+interrupt delivery to the base OS."""
+
+import pytest
+
+from repro.core.options import TranslationOptions
+from repro.faults import DataStorageFault
+from repro.isa.assembler import Assembler
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+
+from tests.helpers import run_daisy, run_native, assert_state_equivalent
+
+
+def asm(source):
+    return Assembler().assemble(source)
+
+
+MULTI_PAGE = """
+.org 0x1000
+_start:
+    li    r2, 0
+    bl    func_a            # cross-page call
+    bl    func_b
+    cmpi  cr0, r2, 30
+    beq   good
+    li    r3, 1
+    li    r0, 1
+    sc
+good:
+    li    r3, 0
+    li    r0, 1
+    sc
+
+.org 0x2000
+func_a:
+    addi  r2, r2, 10
+    blr
+
+.org 0x3000
+func_b:
+    addi  r2, r2, 20
+    blr
+"""
+
+
+class TestTranslationEvents:
+    def test_translation_missing_once_per_page(self):
+        system, result = run_daisy(asm(MULTI_PAGE))
+        assert result.exit_code == 0
+        assert result.events.translation_missing == 3  # pages 1,2,3
+        assert result.pages_translated == 3
+
+    def test_retranslation_not_needed_on_reexecution(self):
+        program = asm("""
+.org 0x1000
+_start:
+    li    r2, 20
+    mtctr r2
+loop:
+    bl    helper
+    bdnz  loop
+    li    r0, 1
+    sc
+.org 0x2000
+helper:
+    addi  r3, r3, 1
+    blr
+""")
+        system, result = run_daisy(program)
+        assert result.exit_code == 20      # exit code = r3 = call count
+        assert result.events.translation_missing == 2
+
+    def test_invalid_entry_creates_group(self):
+        """A computed branch to an offset nobody translated yet triggers
+        the invalid-entry exception (Section 3.4)."""
+        program = asm("""
+.org 0x1000
+_start:
+    li    r2, target
+    mtctr r2
+    bctr                     # runtime-discovered entry point
+    li    r3, 9              # skipped
+target:
+    li    r3, 0
+    li    r0, 1
+    sc
+""")
+        system, result = run_daisy(program)
+        assert result.exit_code == 0
+        assert result.events.invalid_entry >= 1
+
+
+class TestCrossPageCounting:
+    def test_direct_and_lr_flavors(self):
+        system, result = run_daisy(asm(MULTI_PAGE))
+        crosspage = result.events.crosspage
+        assert crosspage["direct"] >= 2    # the two bl calls
+        assert crosspage["lr"] == 2        # the two returns
+
+    def test_ctr_flavor(self):
+        program = asm("""
+.org 0x1000
+_start:
+    li    r2, far
+    mtctr r2
+    bctrl
+    li    r0, 1
+    sc
+.org 0x4000
+far:
+    blr
+""")
+        system, result = run_daisy(program)
+        assert result.events.crosspage["ctr"] == 1
+
+    def test_on_page_branches_not_counted(self):
+        program = asm("""
+.org 0x1000
+_start:
+    li    r2, 5
+    mtctr r2
+loop:
+    bdnz  loop
+    li    r0, 1
+    sc
+""")
+        system, result = run_daisy(program)
+        assert result.events.total_crosspage == 0
+
+
+class TestItlb:
+    def test_hits_grow_with_reuse(self):
+        system, result = run_daisy(asm(MULTI_PAGE))
+        assert result.itlb_misses >= 3
+        program2 = asm("""
+.org 0x1000
+_start:
+    li    r2, 50
+    mtctr r2
+loop:
+    bl    helper
+    bdnz  loop
+    li    r0, 1
+    sc
+.org 0x2000
+helper:
+    blr
+""")
+        system2, result2 = run_daisy(program2)
+        assert result2.itlb_hits > result2.itlb_misses
+
+
+class TestCastOut:
+    def test_castout_and_retranslation(self):
+        """With a tiny translated-code budget, revisiting pages forces
+        cast-outs and later retranslation (Section 3.1's LRU pool)."""
+        source = """
+.org 0x1000
+_start:
+    li    r5, 6
+    mtctr r5
+loop:
+    bl    page_a
+    bl    page_b
+    bl    page_c
+    bdnz  loop
+    li    r0, 1
+    sc
+.org 0x2000
+page_a: blr
+.org 0x3000
+page_b: blr
+.org 0x4000
+page_c: blr
+"""
+        program = asm(source)
+        system = DaisySystem(MachineConfig.default(),
+                             translation_capacity_bytes=120)
+        system.load_program(program)
+        result = system.run()
+        assert result.exit_code == 0
+        assert result.events.castouts > 0
+        # More translation work than the 4 distinct pages.
+        assert result.events.translation_missing > 4
+
+    def test_pinned_semantics_not_required_for_correctness(self):
+        program = asm(MULTI_PAGE)
+        system = DaisySystem(MachineConfig.default(),
+                             translation_capacity_bytes=1500)
+        system.load_program(program)
+        assert system.run().exit_code == 0
+
+
+class TestFaultDelivery:
+    HANDLER_PROGRAM = """
+# A base OS data-storage handler at the architected vector 0x300:
+# it increments a counter, fixes the bad pointer, and rfi's back.
+.org 0x300
+    addi  r30, r30, 1        # fault counter
+    li    r31, 0x20000       # a valid address
+    mtsrr0_skip:             # (label only)
+    rfi
+
+.org 0x1000
+_start:
+    li    r31, 0
+    subi  r31, r31, 8        # invalid pointer
+    lwz   r3, 0(r31)         # faults; handler fixes r31 and returns
+    lwz   r3, 0(r31)         # retried instruction? (handler rfi's to
+                             # srr0 = the faulting lwz, so this runs once)
+    li    r0, 1
+    sc
+"""
+
+    def test_fault_delivered_to_base_os_and_resumed(self):
+        program = asm(self.HANDLER_PROGRAM)
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(program)
+        # Supervisor mode so rfi is legal; the VMM clears PR on delivery.
+        result = system.run(deliver_faults=True)
+        assert result.exit_code == 0
+        assert system.state.gpr[30] == 1          # exactly one fault
+        assert result.events.faults_delivered == 1
+
+    def test_srr0_points_at_faulting_instruction(self):
+        program = asm("""
+.org 0x300
+    li    r29, 1             # record delivery
+    li    r31, 0x20000
+    rfi
+.org 0x1000
+_start:
+    li    r31, 0
+    subi  r31, r31, 8
+bad_load:
+    lwz   r3, 0(r31)
+    li    r0, 1
+    sc
+""")
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(program)
+        system.run(deliver_faults=True)
+        # srr1 holds the pre-fault MSR; srr0 held the faulting pc when
+        # the handler ran (it rfi'd back there, so check the counter).
+        assert system.state.gpr[29] == 1
+
+    def test_dar_holds_faulting_address(self):
+        program = asm("""
+.org 0x300
+    mfmsr r28                # touch supervisor state
+    li    r31, 0x20000
+    rfi
+.org 0x1000
+_start:
+    li    r31, 0
+    subi  r31, r31, 8
+    lwz   r3, 0(r31)
+    li    r0, 1
+    sc
+""")
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(program)
+        system.run(deliver_faults=True)
+        assert system.state.dar == 0xFFFFFFF8
+
+
+class TestExternalInterrupts:
+    def test_interrupt_delivered_at_vliw_boundary(self):
+        program = asm("""
+.org 0x500
+    addi  r29, r29, 1        # external interrupt handler
+    rfi
+.org 0x1000
+_start:
+    li    r2, 200
+    mtctr r2
+loop:
+    addi  r3, r3, 1
+    bdnz  loop
+    li    r0, 1
+    sc
+""")
+        from repro.isa.state import MSR_EE
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(program)
+        system.state.msr |= MSR_EE       # external interrupts enabled
+        fired = {"done": False}
+
+        real_pending = system._interrupt_pending
+
+        def pending_once():
+            if not fired["done"] and system.engine.stats.vliws > 20:
+                return True
+            return False
+
+        system.engine.interrupt_pending = pending_once
+        original_deliver = system._deliver_external
+
+        def deliver(resume_pc):
+            fired["done"] = True
+            system.engine.interrupt_pending = real_pending
+            return original_deliver(resume_pc)
+
+        system._deliver_external = deliver
+        result = system.run(deliver_faults=True)
+        assert result.exit_code == 200      # exit code = r3 = iterations
+        assert system.state.gpr[29] == 1
+        assert system.state.gpr[3] == 200   # no iterations lost
+        assert result.events.external_interrupts == 1

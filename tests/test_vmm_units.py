@@ -1,0 +1,182 @@
+"""Direct unit tests for the VMM's pieces: translation cache, ITLB,
+event counters, and the interpretive executor."""
+
+import pytest
+
+from repro.core.translate import PageTranslation
+from repro.isa.assembler import Assembler
+from repro.isa.semantics import ExecutionEnv
+from repro.isa.state import CpuState
+from repro.memory.memory import PhysicalMemory
+from repro.memory.mmu import Mmu
+from repro.vmm.exceptions import VmmEventCounts
+from repro.vmm.interpretive import InterpretiveExecutor, merge_profile
+from repro.vmm.itlb import Itlb
+from repro.vmm.page_cache import TranslationCache
+
+
+def make_translation(paddr, code_size=100):
+    translation = PageTranslation(page_vaddr=paddr, page_paddr=paddr,
+                                  page_size=4096)
+    translation.code_size = code_size
+    return translation
+
+
+class TestTranslationCache:
+    def test_lru_order(self):
+        cache = TranslationCache(capacity_bytes=250)
+        a, b, c = (make_translation(p) for p in (0x1000, 0x2000, 0x3000))
+        cache.insert(a)
+        cache.insert(b)
+        cache.lookup(0x1000)          # touch a
+        cache.insert(c)               # evicts b (LRU)
+        assert cache.lookup(0x2000) is None
+        assert cache.lookup(0x1000) is not None
+        assert cache.castouts == 1
+
+    def test_evict_callback(self):
+        cache = TranslationCache(capacity_bytes=150)
+        evicted = []
+        cache.on_evict = lambda t: evicted.append(t.page_paddr)
+        cache.insert(make_translation(0x1000))
+        cache.insert(make_translation(0x2000))
+        assert evicted == [0x1000]
+
+    def test_invalidate_counts_separately(self):
+        cache = TranslationCache()
+        cache.insert(make_translation(0x1000))
+        assert cache.invalidate(0x1000) is not None
+        assert cache.invalidations == 1
+        assert cache.castouts == 0
+        assert cache.invalidate(0x1000) is None   # idempotent
+
+    def test_invalidate_all(self):
+        cache = TranslationCache()
+        for paddr in (0x1000, 0x2000):
+            cache.insert(make_translation(paddr))
+        cache.invalidate_all()
+        assert cache.live_pages == []
+
+    def test_pinned_never_evicted(self):
+        cache = TranslationCache(capacity_bytes=150)
+        cache.pinned.add(0x1000)
+        cache.insert(make_translation(0x1000))
+        cache.insert(make_translation(0x2000))
+        cache.insert(make_translation(0x3000))
+        assert cache.lookup(0x1000) is not None
+
+
+class TestItlb:
+    def test_hit_miss_counters(self):
+        itlb = Itlb(entries=4)
+        translation = make_translation(0x1000)
+        assert itlb.lookup(0, 1) is None
+        itlb.insert(0, 1, translation)
+        assert itlb.lookup(0, 1) is translation
+        assert (itlb.hits, itlb.misses) == (1, 1)
+
+    def test_capacity_lru(self):
+        itlb = Itlb(entries=2)
+        for vpage in (1, 2):
+            itlb.insert(0, vpage, make_translation(vpage << 12))
+        itlb.lookup(0, 1)
+        itlb.insert(0, 3, make_translation(0x3000))
+        assert itlb.lookup(0, 2) is None
+        assert itlb.lookup(0, 1) is not None
+
+    def test_invalidate_by_translation(self):
+        itlb = Itlb()
+        shared = make_translation(0x1000)
+        itlb.insert(0, 1, shared)           # real-mode alias
+        itlb.insert(1, 9, shared)           # virtual-mode alias
+        itlb.insert(0, 2, make_translation(0x2000))
+        itlb.invalidate_translation(0x1000)
+        assert itlb.lookup(0, 1) is None
+        assert itlb.lookup(1, 9) is None
+        assert itlb.lookup(0, 2) is not None
+
+
+class TestEventCounts:
+    def test_total_crosspage(self):
+        events = VmmEventCounts()
+        events.crosspage["direct"] = 3
+        events.crosspage["lr"] = 2
+        assert events.total_crosspage == 5
+
+
+class TestInterpretiveExecutor:
+    def _executor(self, source):
+        program = Assembler().assemble(source)
+        memory = PhysicalMemory(size=1 << 20)
+        for addr, data in program.sections():
+            memory.load_raw(addr, data)
+        state = CpuState()
+        mmu = Mmu(physical_size=memory.size)
+        env = ExecutionEnv(memory, mmu, None)
+
+        def fetch_word(pc):
+            return memory.read_word(mmu.translate_fetch(pc))
+
+        return InterpretiveExecutor(fetch_word, state, env, 4096), program
+
+    def test_stops_at_indirect_branch(self):
+        executor, program = self._executor("""
+.org 0x1000
+_start:
+    li   r2, 5
+    li   r3, 0x2000
+    mtlr r3
+    blr
+""")
+        episode = executor.interpret_from(0x1000)
+        assert episode.instructions == 4
+        assert episode.resume_pc == 0x2000
+        assert not episode.exited
+
+    def test_stops_at_page_crossing(self):
+        executor, _ = self._executor("""
+.org 0x1000
+_start:
+    addi r2, r2, 1
+    b    0x2000
+.org 0x2000
+    nop
+""")
+        episode = executor.interpret_from(0x1000)
+        assert episode.instructions == 2
+        assert episode.resume_pc == 0x2000
+
+    def test_budget_bound(self):
+        executor, _ = self._executor("""
+.org 0x1000
+_start:
+    li    r2, 1000
+    mtctr r2
+loop:
+    bdnz  loop
+""")
+        episode = executor.interpret_from(0x1000, budget=50)
+        assert episode.instructions == 50
+
+    def test_profile_records_directions(self):
+        executor, program = self._executor("""
+.org 0x1000
+_start:
+    li    r2, 4
+    mtctr r2
+loop:
+    bdnz  loop
+    li    r3, 0x2000
+    mtctr r3
+    bctr
+""")
+        episode = executor.interpret_from(0x1000)
+        [(pc, (taken, not_taken))] = [
+            (pc, tuple(v)) for pc, v in episode.profile.items()]
+        assert (taken, not_taken) == (3, 1)
+
+    def test_merge_profile(self):
+        acc = {}
+        merge_profile(acc, {0x10: [2, 1]})
+        merge_profile(acc, {0x10: [1, 0], 0x20: [0, 3]})
+        assert acc == {0x10: (3, 1), 0x20: (0, 3)}

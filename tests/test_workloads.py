@@ -1,0 +1,81 @@
+"""Workloads: every benchmark is self-checking, deterministic, and has
+the instruction-mix character its real counterpart motivates."""
+
+import pytest
+
+from repro.workloads import WORKLOAD_NAMES, all_workloads, build_workload
+
+from tests.helpers import run_native
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    results = {}
+    for name in WORKLOAD_NAMES:
+        workload = build_workload(name, "tiny")
+        interp, result = run_native(workload.program)
+        results[name] = (workload, result)
+    return results
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestSelfChecks:
+    def test_exits_zero(self, tiny_results, name):
+        _, result = tiny_results[name]
+        assert result.exit_code == 0
+
+    def test_deterministic_rebuild(self, name):
+        first = build_workload(name, "tiny")
+        second = build_workload(name, "tiny")
+        assert list(first.program.sections()) == \
+            list(second.program.sections())
+
+    def test_sizes_scale(self, name):
+        tiny = build_workload(name, "tiny")
+        small = build_workload(name, "small")
+        _, tiny_run = run_native(tiny.program)
+        _, small_run = run_native(small.program)
+        assert small_run.exit_code == 0
+        assert small_run.instructions > tiny_run.instructions
+
+
+class TestCharacter:
+    def test_sort_uses_lr_calls(self, tiny_results):
+        _, result = tiny_results["sort"]
+        assert result.branches > 0
+        # Quicksort recursion: plenty of stores from swaps.
+        assert result.stores > 50
+
+    def test_gcc_spans_pages(self):
+        workload = build_workload("gcc", "tiny")
+        code_addrs = [addr for addr, _ in workload.program.sections()
+                      if addr < 0x10000]
+        pages = {addr // 4096 for addr in code_addrs}
+        assert len(pages) >= 4   # handlers spread over several pages
+
+    def test_wc_is_load_heavy(self, tiny_results):
+        _, result = tiny_results["wc"]
+        assert result.loads > result.stores
+
+    def test_compress_stores_into_table(self, tiny_results):
+        _, result = tiny_results["compress"]
+        assert result.stores > 100   # table clears + inserts
+
+    def test_cmp_mostly_branches_and_loads(self, tiny_results):
+        _, result = tiny_results["cmp"]
+        assert result.loads >= 2 * result.stores
+        assert result.branches / result.instructions > 0.2
+
+
+class TestAllBuilder:
+    def test_all_workloads_order(self):
+        workloads = all_workloads("tiny")
+        assert list(workloads) == WORKLOAD_NAMES
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_workload("nonesuch", "tiny")
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(KeyError):
+            build_workload("wc", "giant")
