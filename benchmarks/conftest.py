@@ -1,27 +1,32 @@
 """Shared benchmark laboratory.
 
-Every table/figure benchmark draws on the same memoized pool of
-simulation runs, so e.g. the default-configuration run of `compress`
-feeds Table 5.1, Figure 5.1 and Table 5.6 without being re-simulated.
-Rendered tables are printed and archived under ``benchmarks/results/``.
+Every table/figure benchmark draws on the same keyed pool of simulation
+runs, built on the :mod:`repro.runtime` execution layer: one
+:class:`ExecutionContext` per workload (native run and trace computed at
+most once), and one memoized run per (backend, workload, configuration)
+key — so e.g. the default-configuration DAISY run of `compress` feeds
+Table 5.1, Figure 5.1, Table 5.6, the utilization histograms, and the
+ablations' "full" variant without being re-simulated.  Rendered tables
+are printed and archived under ``benchmarks/results/``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import pytest
 
-from repro.baselines.superscalar import SuperscalarModel
-from repro.caches.hierarchy import (
-    paper_default_hierarchy,
-    paper_small_hierarchy,
-)
 from repro.core.options import TranslationOptions
-from repro.isa.interpreter import Interpreter
+from repro.runtime.backend import (
+    DaisyBackend,
+    ExecutionContext,
+    OracleBackend,
+    SuperscalarBackend,
+    TraditionalBackend,
+    options_key,
+)
 from repro.vliw.machine import PAPER_CONFIGS
-from repro.vmm.system import DaisySystem
 from repro.workloads import WORKLOAD_NAMES, build_workload
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -33,13 +38,19 @@ BENCH_SIZE = "small"
 
 
 class Lab:
-    """Memoized simulation runs + result archiving."""
+    """Keyed pool of simulation runs + result archiving.
+
+    All runs go through the runtime execution layer; the pool key
+    captures the backend and every knob that affects the run, so any
+    two benchmarks asking the same question share one simulation.
+    """
 
     def __init__(self):
         self._workloads: Dict[str, object] = {}
-        self._daisy: Dict[tuple, object] = {}
-        self._native: Dict[str, object] = {}
-        self._traces: Dict[str, list] = {}
+        self._contexts: Dict[str, ExecutionContext] = {}
+        self._runs: Dict[tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
         os.makedirs(RESULTS_DIR, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -49,55 +60,82 @@ class Lab:
             self._workloads[name] = build_workload(name, BENCH_SIZE)
         return self._workloads[name]
 
+    def context(self, name: str) -> ExecutionContext:
+        """The workload's shared execution context (memoized native run
+        and trace)."""
+        if name not in self._contexts:
+            self._contexts[name] = ExecutionContext(
+                self.workload(name).program, name)
+        return self._contexts[name]
+
+    def _memoized(self, key: tuple, compute):
+        if key in self._runs:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self._runs[key] = compute()
+        return self._runs[key]
+
+    # ------------------------------------------------------------------
+
     def native(self, name: str):
         """Reference interpreter run (dynamic instruction counts)."""
-        if name not in self._native:
-            interp = Interpreter()
-            interp.load_program(self.workload(name).program)
-            result = interp.run()
-            assert result.exit_code == 0, f"{name} failed natively"
-            self._native[name] = result
-        return self._native[name]
+        result = self.context(name).native
+        assert result.exit_code == 0, f"{name} failed natively"
+        return result
 
     def trace(self, name: str):
         """Full dynamic trace (for the superscalar/oracle models)."""
-        if name not in self._traces:
-            interp = Interpreter(collect_trace=True)
-            interp.load_program(self.workload(name).program)
-            result = interp.run()
-            assert result.exit_code == 0
-            self._traces[name] = result.trace
-        return self._traces[name]
+        return self.context(name).trace
 
     def daisy(self, name: str, config_num: int = 10,
               page_size: int = 4096, caches: Optional[str] = None,
-              options: Optional[TranslationOptions] = None):
-        """Memoized DAISY run.  ``caches`` is None, "default" or
-        "small"."""
-        key = (name, config_num, page_size, caches,
-               id(options) if options is not None else None)
-        if key not in self._daisy:
-            opts = options or TranslationOptions(page_size=page_size)
-            hierarchy = None
-            if caches == "default":
-                hierarchy = paper_default_hierarchy()
-            elif caches == "small":
-                hierarchy = paper_small_hierarchy()
-            system = DaisySystem(PAPER_CONFIGS[config_num], opts,
-                                 cache_hierarchy=hierarchy)
-            system.load_program(self.workload(name).program)
-            result = system.run()
-            assert result.exit_code == 0, f"{name} failed under DAISY"
-            self._daisy[key] = result
-        return self._daisy[key]
+              options: Optional[TranslationOptions] = None,
+              tier: Optional[str] = None,
+              hot_threshold: Optional[int] = None):
+        """Keyed DAISY run; returns the full ``DaisyRunResult``.
+        ``caches`` is None, "default" or "small"."""
+        opts = options if options is not None \
+            else TranslationOptions(page_size=page_size)
+        key = ("daisy", name, config_num, caches, tier, hot_threshold,
+               options_key(opts))
+
+        def compute():
+            run = DaisyBackend(PAPER_CONFIGS[config_num], opts,
+                               caches=caches, tier=tier,
+                               hot_threshold=hot_threshold) \
+                .run(self.context(name))
+            assert run.exit_code == 0, f"{name} failed under DAISY"
+            return run.raw
+
+        return self._memoized(key, compute)
 
     def superscalar(self, name: str):
-        key = f"superscalar:{name}"
-        if key not in self._daisy:
-            model = SuperscalarModel(
-                width=2, cache_hierarchy=paper_default_hierarchy())
-            self._daisy[key] = model.run(self.trace(name))
-        return self._daisy[key]
+        return self._memoized(
+            ("superscalar", name),
+            lambda: SuperscalarBackend(width=2, caches="default")
+            .run(self.context(name)).raw)
+
+    def oracle(self, name: str, issue_width: Optional[int] = None,
+               mem_ports: Optional[int] = None,
+               respect_control_deps: bool = False,
+               branch_resolution_latency: int = 1):
+        return self._memoized(
+            ("oracle", name, issue_width, mem_ports,
+             respect_control_deps, branch_resolution_latency),
+            lambda: OracleBackend(
+                issue_width=issue_width, mem_ports=mem_ports,
+                respect_control_deps=respect_control_deps,
+                branch_resolution_latency=branch_resolution_latency)
+            .run(self.context(name)).raw)
+
+    def traditional(self, name: str, config_num: int = 10) -> float:
+        """Off-line profile-directed compiler ILP (Table 5.2); the DAISY
+        side of the comparison is the keyed :meth:`daisy` run."""
+        return self._memoized(
+            ("traditional", name, config_num),
+            lambda: TraditionalBackend(PAPER_CONFIGS[config_num])
+            .run(self.context(name)).ilp)
 
     # ------------------------------------------------------------------
 
@@ -111,7 +149,10 @@ class Lab:
 
 @pytest.fixture(scope="session")
 def lab():
-    return Lab()
+    laboratory = Lab()
+    yield laboratory
+    print(f"\n[lab] run pool: {laboratory.misses} simulated, "
+          f"{laboratory.hits} reused")
 
 
 @pytest.fixture(scope="session")

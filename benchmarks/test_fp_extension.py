@@ -7,28 +7,18 @@ configurations and shows FP renaming is load-bearing."""
 from repro.analysis.report import format_table
 from repro.core.options import TranslationOptions
 from repro.vliw.machine import PAPER_CONFIGS
-from repro.vmm.system import DaisySystem
-from repro.workloads import build_workload
 
-from benchmarks.conftest import BENCH_SIZE, run_once
+from benchmarks.conftest import run_once
 
 
 def test_fp_stencil(lab, benchmark):
     def compute():
-        workload = build_workload("tomcatv", BENCH_SIZE)
-        rows = []
-        for num in (1, 5, 10):
-            system = DaisySystem(PAPER_CONFIGS[num])
-            system.load_program(workload.program)
-            result = system.run()
-            assert result.exit_code == 0
-            rows.append((PAPER_CONFIGS[num].name, result.infinite_cache_ilp))
-        norename = DaisySystem(PAPER_CONFIGS[10],
-                               TranslationOptions(rename=False))
-        norename.load_program(workload.program)
-        result = norename.run()
-        assert result.exit_code == 0
-        rows.append(("cfg10, renaming off", result.infinite_cache_ilp))
+        rows = [(PAPER_CONFIGS[num].name,
+                 lab.daisy("tomcatv", config_num=num).infinite_cache_ilp)
+                for num in (1, 5, 10)]
+        norename = lab.daisy("tomcatv",
+                             options=TranslationOptions(rename=False))
+        rows.append(("cfg10, renaming off", norename.infinite_cache_ilp))
         return rows
 
     rows = run_once(benchmark, compute)

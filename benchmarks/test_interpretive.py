@@ -3,9 +3,6 @@ oracle bound — "practical intermediate points on the way to oracle level
 parallelism"."""
 
 from repro.analysis.report import arithmetic_mean, format_table
-from repro.baselines.oracle import OracleScheduler
-from repro.vliw.machine import MachineConfig
-from repro.vmm.system import DaisySystem
 
 from benchmarks.conftest import run_once
 
@@ -17,13 +14,8 @@ def test_interpretive_compilation(lab, benchmark):
         rows = []
         for name in NAMES:
             heuristic = lab.daisy(name).infinite_cache_ilp
-            system = DaisySystem(MachineConfig.default(),
-                                 interpretive=True)
-            system.load_program(lab.workload(name).program)
-            result = system.run()
-            assert result.exit_code == 0, name
-            oracle = OracleScheduler(issue_width=24, mem_ports=8) \
-                .run(lab.trace(name)).ilp
+            result = lab.daisy(name, tier="interpretive")
+            oracle = lab.oracle(name, issue_width=24, mem_ports=8).ilp
             rows.append((name, heuristic, result.infinite_cache_ilp,
                          oracle, result.interpreted_instructions))
         return rows

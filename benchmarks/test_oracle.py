@@ -5,7 +5,6 @@ resource-constrained variants give the "practical intermediate points on
 the way to oracle level parallelism" the chapter discusses."""
 
 from repro.analysis.report import format_table
-from repro.baselines.oracle import OracleScheduler
 
 from benchmarks.conftest import run_once
 
@@ -16,12 +15,9 @@ def test_oracle_parallelism(lab, benchmark):
     def compute():
         rows = []
         for name in ORACLE_NAMES:
-            trace = lab.trace(name)
-            unbounded = OracleScheduler().run(trace).ilp
-            like_daisy = OracleScheduler(issue_width=24, mem_ports=8) \
-                .run(trace).ilp
-            no_spec = OracleScheduler(respect_control_deps=True) \
-                .run(trace).ilp
+            unbounded = lab.oracle(name).ilp
+            like_daisy = lab.oracle(name, issue_width=24, mem_ports=8).ilp
+            no_spec = lab.oracle(name, respect_control_deps=True).ilp
             daisy = lab.daisy(name).infinite_cache_ilp
             rows.append((name, unbounded, like_daisy, no_spec, daisy))
         return rows
@@ -53,12 +49,11 @@ def test_oracle_resource_sweep(lab, benchmark):
     def compute():
         series = {}
         for name in ("wc", "sort", "c_sieve"):
-            trace = lab.trace(name)
             values = []
             for width in widths:
                 mem = None if width is None else max(width // 3, 1)
-                values.append(OracleScheduler(
-                    issue_width=width, mem_ports=mem).run(trace).ilp)
+                values.append(lab.oracle(name, issue_width=width,
+                                         mem_ports=mem).ilp)
             series[name] = values
         return series
 

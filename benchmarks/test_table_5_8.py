@@ -7,11 +7,7 @@ cost for context."""
 
 import pytest
 
-from repro.analysis.overhead import (
-    OverheadModel,
-    break_even_reuse,
-    table_5_8_rows,
-)
+from repro.analysis.overhead import break_even_reuse, table_5_8_rows
 from repro.analysis.report import format_table
 
 from benchmarks.conftest import run_once

@@ -3,7 +3,6 @@ other statistical data can be obtained at the end of the run")."""
 
 from repro.analysis.report import ascii_chart, histogram_rows
 from repro.vliw.machine import MachineConfig
-from repro.vmm.system import DaisySystem
 
 from benchmarks.conftest import run_once
 
@@ -12,16 +11,12 @@ NAMES = ["compress", "wc", "cmp", "gcc"]
 
 def test_utilization_histograms(lab, benchmark):
     def compute():
-        data = {}
-        for name in NAMES:
-            system = DaisySystem(MachineConfig.default())
-            system.load_program(lab.workload(name).program)
-            result = system.run()
-            assert result.exit_code == 0
-            stats = system.engine.stats
-            data[name] = (dict(stats.parcel_histogram),
-                          stats.mean_parcels_per_vliw)
-        return data
+        # The histogram now travels on DaisyRunResult, so these runs
+        # are the same pooled simulations the ILP tables use.
+        return {name: (dict(result.parcel_histogram),
+                       result.mean_parcels_per_vliw)
+                for name in NAMES
+                for result in (lab.daisy(name),)}
 
     data = run_once(benchmark, compute)
     sections = []

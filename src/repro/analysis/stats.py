@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.runtime.result import CacheSnapshot, RunResult
 from repro.vmm.system import DaisyRunResult
 
 
@@ -38,6 +39,10 @@ class BenchmarkMetrics:
 
 def metrics_from_result(name: str, result: DaisyRunResult
                         ) -> BenchmarkMetrics:
+    if isinstance(result, RunResult):
+        # Accept the runtime layer's common result; the DAISY-specific
+        # record carries the table quantities.
+        result = result.raw
     vliws = max(result.vliws, 1)
     aliases = result.alias_events
     metrics = BenchmarkMetrics(
@@ -54,8 +59,9 @@ def metrics_from_result(name: str, result: DaisyRunResult
         vliws_per_alias=(result.vliws / aliases) if aliases else None,
         crosspage=dict(result.events.crosspage),
     )
-    snap = result.cache_stats
+    snap: Optional[CacheSnapshot] = result.cache_stats
     if snap is not None:
+        assert isinstance(snap, CacheSnapshot)
         metrics.vliws_between_load_miss = (
             result.vliws / snap.l1_load_misses if snap.l1_load_misses
             else None)

@@ -15,11 +15,12 @@ from typing import List, Optional
 from repro.analysis import paper_data
 from repro.analysis.overhead import table_5_8_rows
 from repro.analysis.report import arithmetic_mean, format_table
-from repro.baselines.superscalar import SuperscalarModel
-from repro.caches.hierarchy import paper_default_hierarchy
-from repro.isa.interpreter import Interpreter
+from repro.runtime.backend import (
+    DaisyBackend,
+    ExecutionContext,
+    SuperscalarBackend,
+)
 from repro.vliw.machine import PAPER_CONFIGS
-from repro.vmm.system import DaisySystem
 from repro.workloads import WORKLOAD_NAMES, build_workload
 
 
@@ -34,13 +35,11 @@ class SummaryRow:
         return "OK" if self.shape_holds else "DIVERGES"
 
 
-def _run_daisy(workload, config_num=10, caches=None):
-    system = DaisySystem(PAPER_CONFIGS[config_num],
-                         cache_hierarchy=caches)
-    system.load_program(workload.program)
-    result = system.run()
-    assert result.exit_code == 0
-    return result
+def _run_daisy(context, config_num=10, caches=None):
+    run = DaisyBackend(PAPER_CONFIGS[config_num],
+                       caches=caches).run(context)
+    assert run.exit_code == 0
+    return run.raw
 
 
 def generate_summary(size: str = "tiny",
@@ -49,8 +48,10 @@ def generate_summary(size: str = "tiny",
     names = names or list(WORKLOAD_NAMES)
     rows: List[SummaryRow] = []
 
-    workloads = {name: build_workload(name, size) for name in names}
-    infinite = {name: _run_daisy(workloads[name]) for name in names}
+    contexts = {name: ExecutionContext(build_workload(name, size).program,
+                                       name)
+                for name in names}
+    infinite = {name: _run_daisy(contexts[name]) for name in names}
 
     # --- Table 5.1: mean ILP -------------------------------------------
     mean_ilp = arithmetic_mean(
@@ -78,16 +79,12 @@ def generate_summary(size: str = "tiny",
     finite = {}
     superscalar = {}
     for name in names:
-        finite[name] = _run_daisy(workloads[name],
-                                  caches=paper_default_hierarchy())
-        interp = Interpreter(collect_trace=True)
-        interp.load_program(workloads[name].program)
-        trace = interp.run().trace
-        superscalar[name] = SuperscalarModel(
-            width=2, cache_hierarchy=paper_default_hierarchy()).run(trace)
+        finite[name] = _run_daisy(contexts[name], caches="default")
+        superscalar[name] = SuperscalarBackend(
+            width=2, caches="default").run(contexts[name])
     mean_finite = arithmetic_mean(
         [finite[name].finite_cache_ilp for name in names])
-    mean_604 = arithmetic_mean([superscalar[name].ipc for name in names])
+    mean_604 = arithmetic_mean([superscalar[name].ilp for name in names])
     # Cold-start caches dominate at "tiny" (the paper sees the same
     # artifact on its smallest benchmarks), so the shape bounds must
     # hold from cold-cache tiny runs up to warmed small/default runs.

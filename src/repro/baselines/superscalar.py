@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.deps import defs_uses
-from repro.caches.hierarchy import CacheHierarchy, paper_default_hierarchy
+from repro.caches.hierarchy import CacheHierarchy
 from repro.isa.instructions import Instruction
 from repro.isa.interpreter import TraceEntry
 

@@ -19,14 +19,11 @@ by construction of the same mechanism, not assumed.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional, Tuple
 
 from repro.core.options import TranslationOptions
 from repro.isa.assembler import Program
-from repro.isa.interpreter import Interpreter
 from repro.vliw.machine import MachineConfig
-from repro.vmm.system import DaisySystem
 
 
 def traditional_options(profile, page_size: int = 1 << 16
@@ -48,24 +45,20 @@ def traditional_compiler_ilp(program: Program,
                              ) -> Tuple[float, float]:
     """Returns (traditional ILP, DAISY ILP) for ``program`` on ``config``.
 
-    Runs the interpreter once to collect the branch profile (the
-    traditional compiler's profile-directed feedback), then measures both
-    regimes on the same machine configuration.
+    Both regimes run through the :mod:`repro.runtime` execution layer
+    on a shared context: the context's native run supplies the branch
+    profile (the traditional compiler's profile-directed feedback), and
+    both backends measure on the same machine configuration.
     """
+    # Runtime imports stay local: repro.runtime.backend resolves
+    # this module lazily for TraditionalBackend.
+    from repro.runtime.backend import (
+        DaisyBackend,
+        ExecutionContext,
+        TraditionalBackend,
+    )
     config = config or MachineConfig.default()
-
-    profiler = Interpreter()
-    profiler.load_program(program)
-    profile_run = profiler.run(max_instructions=max_instructions)
-    profile = {pc: (taken, not_taken) for pc, (taken, not_taken)
-               in profile_run.branch_profile.items()}
-
-    trad_system = DaisySystem(config, traditional_options(profile))
-    trad_system.load_program(program)
-    trad = trad_system.run()
-
-    daisy_system = DaisySystem(config, TranslationOptions())
-    daisy_system.load_program(program)
-    daisy = daisy_system.run()
-
-    return trad.infinite_cache_ilp, daisy.infinite_cache_ilp
+    context = ExecutionContext(program, max_instructions=max_instructions)
+    trad = TraditionalBackend(config).run(context)
+    daisy = DaisyBackend(config).run(context)
+    return trad.ilp, daisy.ilp

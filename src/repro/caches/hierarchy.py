@@ -22,9 +22,10 @@ without a detailed pipeline timer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.caches.cache import Cache, CacheStats
+from repro.runtime.events import MEMORY_ACCESS, CacheLevelMiss
 
 
 @dataclass
@@ -51,17 +52,36 @@ class CacheHierarchy:
         self.shared_levels = shared_levels
         self.memory_latency = memory_latency
         self.memory_accesses = 0
+        #: Instrumentation: receives a :class:`CacheLevelMiss` per level
+        #: missed and :data:`MEMORY_ACCESS` when an access falls through
+        #: to main memory.
+        self.event_sink: Optional[Callable[[object], None]] = None
+        #: Pre-built per-level miss events (hot path — no allocation).
+        self._miss_events: Dict[str, CacheLevelMiss] = {}
 
     # ------------------------------------------------------------------
 
+    def _level_miss(self, name: str) -> CacheLevelMiss:
+        event = self._miss_events.get(name)
+        if event is None:
+            event = self._miss_events[name] = CacheLevelMiss(level=name)
+        return event
+
     def _walk(self, levels: List[Cache], addr: int, is_store: bool) -> int:
+        sink = self.event_sink
         for cache in levels:
             if cache.access(addr, is_store):
                 return cache.latency
+            if sink is not None:
+                sink(self._level_miss(cache.name))
         for cache in self.shared_levels:
             if cache.access(addr, is_store):
                 return cache.latency
+            if sink is not None:
+                sink(self._level_miss(cache.name))
         self.memory_accesses += 1
+        if sink is not None:
+            sink(MEMORY_ACCESS)
         return self.memory_latency
 
     def access_instruction(self, addr: int, size: int = 4) -> int:

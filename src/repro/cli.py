@@ -5,28 +5,36 @@
     python -m repro workloads
     python -m repro run c_sieve --size small --config 10
     python -m repro run path/to/program.s --interpretive --caches default
+    python -m repro run wc --tier tiered --hot-threshold 4
     python -m repro translate wc --size tiny
     python -m repro translate path/to/program.s --dump-limit 40
+    python -m repro bench wc cmp --backends daisy,superscalar --json
 
 ``run`` executes a built-in workload (by name) or an assembly file under
 DAISY and prints the run summary; ``translate`` additionally dumps the
-tree-VLIW code the translator produced.
+tree-VLIW code the translator produced; ``bench`` runs workloads
+through any of the :mod:`repro.runtime` backends and reports their
+headline numbers as a table or JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
-from repro.caches.hierarchy import (
-    paper_default_hierarchy,
-    paper_small_hierarchy,
-)
 from repro.core.options import TranslationOptions
 from repro.isa.assembler import Assembler
+from repro.runtime.backend import (
+    BACKEND_NAMES,
+    DaisyBackend,
+    ExecutionContext,
+    TraditionalBackend,
+    create_backend,
+)
+from repro.runtime.tiers import TIER_MODES
 from repro.vliw.machine import PAPER_CONFIGS
-from repro.vmm.system import DaisySystem
 from repro.workloads import WORKLOAD_NAMES, build_workload
 
 
@@ -41,17 +49,25 @@ def _load_program(target: str, size: str):
     return Assembler().assemble(source), f"assembly file {target}"
 
 
-def _build_system(args) -> DaisySystem:
-    hierarchy = None
-    if args.caches == "default":
-        hierarchy = paper_default_hierarchy()
-    elif args.caches == "small":
-        hierarchy = paper_small_hierarchy()
-    options = TranslationOptions(page_size=args.page_size)
-    return DaisySystem(PAPER_CONFIGS[args.config], options,
-                       cache_hierarchy=hierarchy,
-                       interpretive=args.interpretive,
-                       strategy=args.strategy)
+def _tier_mode(args) -> Optional[str]:
+    """``--tier`` wins; the legacy ``--interpretive`` flag maps to the
+    interpretive tier."""
+    if args.tier is not None:
+        return args.tier
+    if getattr(args, "interpretive", False):
+        return "interpretive"
+    return None
+
+
+def _build_backend(args) -> DaisyBackend:
+    return DaisyBackend(
+        config=PAPER_CONFIGS[args.config],
+        options=TranslationOptions(page_size=args.page_size),
+        caches=args.caches,
+        tier=_tier_mode(args),
+        hot_threshold=args.hot_threshold,
+        strategy=args.strategy,
+        deliver_faults=args.deliver_faults)
 
 
 def _print_summary(result) -> None:
@@ -85,18 +101,15 @@ def cmd_run(args) -> int:
     program, description = _load_program(args.target, args.size)
     print(f"running: {description}")
     print(f"machine: {PAPER_CONFIGS[args.config].name}\n")
-    system = _build_system(args)
-    system.load_program(program)
-    result = system.run(deliver_faults=args.deliver_faults)
-    _print_summary(result)
-    return 0 if result.exit_code == 0 else 1
+    _, run = _build_backend(args).execute(program)
+    _print_summary(run.raw)
+    return 0 if run.exit_code == 0 else 1
 
 
 def cmd_translate(args) -> int:
     program, description = _load_program(args.target, args.size)
-    system = _build_system(args)
-    system.load_program(program)
-    result = system.run(deliver_faults=args.deliver_faults)
+    system, run = _build_backend(args).execute(program)
+    result = run.raw
     print(f"translated: {description}\n")
     shown = 0
     for paddr in sorted(system.translation_cache.live_pages):
@@ -126,6 +139,49 @@ def cmd_report(args) -> int:
     return 0 if summary_rows_hold(text) else 1
 
 
+def _bench_backend(name: str, args):
+    """One backend for ``repro bench``, honouring the DAISY knobs where
+    they apply."""
+    if name == "daisy":
+        return _build_backend(args)
+    if name == "traditional":
+        return TraditionalBackend(config=PAPER_CONFIGS[args.config],
+                                  page_size=args.page_size)
+    return create_backend(name)
+
+
+def cmd_bench(args) -> int:
+    names = args.workloads or list(WORKLOAD_NAMES)
+    backend_names = [b.strip() for b in args.backends.split(",") if b.strip()]
+    for name in backend_names:
+        if name not in BACKEND_NAMES:
+            print(f"unknown backend {name!r} "
+                  f"(choose from {', '.join(BACKEND_NAMES)})",
+                  file=sys.stderr)
+            return 2
+
+    rows = []
+    failures = 0
+    for workload_name in names:
+        program, _ = _load_program(workload_name, args.size)
+        context = ExecutionContext(program, workload_name)
+        for backend_name in backend_names:
+            result = _bench_backend(backend_name, args).run(context)
+            rows.append(result)
+            failures += result.exit_code != 0
+
+    if args.json:
+        print(json.dumps([row.to_dict() for row in rows], indent=2))
+    else:
+        print(f"{'workload':12s} {'backend':12s} {'instructions':>12s} "
+              f"{'cycles':>12s} {'ilp':>7s} {'exit':>5s}")
+        for row in rows:
+            print(f"{row.workload:12s} {row.backend:12s} "
+                  f"{row.instructions:12d} {row.cycles:12d} "
+                  f"{row.ilp:7.2f} {row.exit_code:5d}")
+    return 0 if failures == 0 else 1
+
+
 def _common_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("target",
                         help="workload name or assembly (.s) file")
@@ -140,7 +196,13 @@ def _common_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--caches", choices=["none", "default", "small"],
                         default="none", help="cache hierarchy model")
     parser.add_argument("--interpretive", action="store_true",
-                        help="Chapter 6 interpretive compilation")
+                        help="Chapter 6 interpretive compilation "
+                             "(same as --tier interpretive)")
+    parser.add_argument("--tier", choices=list(TIER_MODES), default=None,
+                        help="execution-tier policy (repro.runtime.tiers)")
+    parser.add_argument("--hot-threshold", type=int, default=None,
+                        help="interpreted episodes before a tiered entry "
+                             "is compiled")
     parser.add_argument("--strategy", choices=["expansion", "hash"],
                         default="expansion",
                         help="translated-code mapping (Chapter 3)")
@@ -169,6 +231,37 @@ def main(argv: Optional[list] = None) -> int:
     translate_parser.add_argument("--dump-limit", type=int, default=24,
                                   help="max VLIWs to print")
     translate_parser.set_defaults(func=cmd_translate)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run workloads through the runtime backends")
+    bench_parser.add_argument("workloads", nargs="*",
+                              help="workload names (default: all eight)")
+    bench_parser.add_argument("--backends", default="daisy",
+                              help="comma-separated backend list "
+                                   f"({', '.join(BACKEND_NAMES)})")
+    bench_parser.add_argument("--size", default="small",
+                              choices=["tiny", "small", "default"],
+                              help="workload size preset")
+    bench_parser.add_argument("--config", type=int, default=10,
+                              choices=sorted(PAPER_CONFIGS),
+                              help="machine configuration for DAISY runs")
+    bench_parser.add_argument("--page-size", type=int, default=4096,
+                              help="translation page size in bytes")
+    bench_parser.add_argument("--caches",
+                              choices=["none", "default", "small"],
+                              default="none", help="cache hierarchy model")
+    bench_parser.add_argument("--tier", choices=list(TIER_MODES),
+                              default=None,
+                              help="execution-tier policy for DAISY runs")
+    bench_parser.add_argument("--hot-threshold", type=int, default=None,
+                              help="interpreted episodes before a tiered "
+                                   "entry is compiled")
+    bench_parser.add_argument("--strategy", choices=["expansion", "hash"],
+                              default="expansion",
+                              help="translated-code mapping (Chapter 3)")
+    bench_parser.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON")
+    bench_parser.set_defaults(func=cmd_bench, deliver_faults=False)
 
     report_parser = sub.add_parser(
         "report", help="paper-vs-measured summary of the headline results")

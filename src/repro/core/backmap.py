@@ -22,7 +22,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.faults import SimulationError
 from repro.isa import registers as regs
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.instructions import Instruction
 from repro.primitives.decompose import BranchKind, decompose
 from repro.primitives.ops import PrimOp
 from repro.vliw.tree import Operation, Tip, TreeVliw

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.isa import registers as regs
 from repro.isa.encoding import DecodeError
 from repro.isa.instructions import Instruction
 from repro.primitives.decompose import (

@@ -8,8 +8,8 @@ and join-visit throttles).  The ablation benchmarks flip these switches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 #: Branch profile type: static branch pc -> (taken_count, not_taken_count).
 BranchProfile = Dict[int, Tuple[int, int]]
@@ -86,6 +86,16 @@ class TranslationOptions:
     #: the compile-overhead accounting of Table 5.8 (the paper measured
     #: ~4315 RS/6000 instructions per PowerPC instruction).
     cost_per_primitive: int = 1000
+
+    #: Execution tier policy (:mod:`repro.runtime.tiers`): ``"daisy"``
+    #: translates on first touch, ``"interpretive"`` interprets each
+    #: entry's first execution (Chapter 6), ``"tiered"`` interprets until
+    #: an entry accumulates :attr:`hot_threshold` episodes.
+    tier: str = "daisy"
+
+    #: Interpreted episodes before a ``"tiered"`` entry is promoted to
+    #: full tree-VLIW translation.
+    hot_threshold: int = 1
 
     def branch_taken_probability(self, pc: int, target: int) -> float:
         """Probability that the conditional branch at ``pc`` is taken."""

@@ -22,6 +22,7 @@ from repro.isa.encoding import decode
 from repro.isa.instructions import Instruction
 from repro.core.group import GroupBuilder
 from repro.core.options import TranslationOptions
+from repro.runtime.events import EntryTranslated
 from repro.vliw.machine import MachineConfig
 from repro.vliw.tree import VliwGroup
 
@@ -69,6 +70,9 @@ class PageTranslator:
         self.total_entries_translated = 0
         self.total_base_instructions = 0
         self.total_cost = 0
+        #: Instrumentation: receives an :class:`EntryTranslated` event
+        #: per compiled entry point.
+        self.event_sink: Optional[Callable[[object], None]] = None
 
     # ------------------------------------------------------------------
 
@@ -123,6 +127,11 @@ class PageTranslator:
             self.total_entries_translated += 1
             self.total_base_instructions += group.base_instructions
             self.total_cost += group.translation_cost
+            if self.event_sink is not None:
+                self.event_sink(EntryTranslated(
+                    pc=pc, base_instructions=group.base_instructions,
+                    cost=group.translation_cost,
+                    code_bytes=group.code_size()))
             if first_group is None and pc == entry_pc:
                 first_group = group
 

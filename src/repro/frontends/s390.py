@@ -17,7 +17,7 @@ parallelizing S/390 code (their fragment: 25 instructions in 4 VLIWs).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.isa import registers as regs
 from repro.isa.instructions import BranchCond

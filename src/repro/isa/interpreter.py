@@ -17,8 +17,8 @@ from repro.faults import (
     InstructionBudgetExceeded,
     ProgramExit,
 )
-from repro.isa.encoding import DecodeError, decode
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction
 from repro.isa.semantics import ExecutionEnv, execute, effective_address
 from repro.isa.services import EmulatorServices
 from repro.isa.state import CpuState

@@ -1,0 +1,81 @@
+"""repro.runtime — the unified execution layer.
+
+Three pillars:
+
+* :mod:`repro.runtime.events` — the instrumentation event bus every
+  execution component publishes to;
+* :mod:`repro.runtime.tiers` — the explicit interpret→translate tier
+  policy (``daisy`` / ``interpretive`` / ``tiered``);
+* :mod:`repro.runtime.backend` — the :class:`Backend` protocol and the
+  five execution paths (DAISY plus the four baselines), all returning a
+  common :class:`RunResult`.
+
+``events``/``result``/``tiers`` import eagerly; the backend symbols
+resolve lazily (PEP 562) because :mod:`repro.runtime.backend` imports
+:mod:`repro.vmm.system`, which itself uses this package's event types —
+eager import here would be a cycle.
+"""
+
+from repro.runtime.events import (
+    ALIAS_RECOVERY,
+    EVENT_TYPES,
+    ITLB_HIT,
+    ITLB_MISS,
+    MEMORY_ACCESS,
+    AliasRecovery,
+    CacheLevelMiss,
+    Castout,
+    CodeModification,
+    CrossPage,
+    EntryTranslated,
+    EventBus,
+    EventCounters,
+    ExternalInterrupt,
+    FaultDelivered,
+    InterpretedEpisode,
+    InvalidEntry,
+    ItlbHit,
+    ItlbMiss,
+    MemoryAccess,
+    PageTranslated,
+    TierDemotion,
+    TierPromotion,
+    TranslationInvalidated,
+    TranslationMissing,
+)
+from repro.runtime.result import CacheSnapshot, RunResult
+from repro.runtime.tiers import TIER_MODES, TieredController
+
+_BACKEND_SYMBOLS = (
+    "Backend",
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "DaisyBackend",
+    "ExecutionContext",
+    "InterpretedBackend",
+    "OracleBackend",
+    "SuperscalarBackend",
+    "TraditionalBackend",
+    "create_backend",
+    "options_key",
+    "resolve_caches",
+)
+
+__all__ = [
+    "ALIAS_RECOVERY", "EVENT_TYPES", "ITLB_HIT", "ITLB_MISS",
+    "MEMORY_ACCESS", "AliasRecovery", "CacheLevelMiss", "CacheSnapshot",
+    "Castout", "CodeModification", "CrossPage", "EntryTranslated",
+    "EventBus", "EventCounters", "ExternalInterrupt", "FaultDelivered",
+    "InterpretedEpisode", "InvalidEntry", "ItlbHit", "ItlbMiss",
+    "MemoryAccess", "PageTranslated", "RunResult", "TIER_MODES",
+    "TierDemotion", "TierPromotion", "TieredController",
+    "TranslationInvalidated", "TranslationMissing",
+    *_BACKEND_SYMBOLS,
+]
+
+
+def __getattr__(name):
+    if name in _BACKEND_SYMBOLS:
+        from repro.runtime import backend
+        return getattr(backend, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

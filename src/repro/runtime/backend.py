@@ -1,0 +1,294 @@
+"""Backends: the one execution interface over DAISY and the baselines.
+
+A :class:`Backend` turns an :class:`ExecutionContext` (a program plus
+lazily shared derivatives such as the native interpreter run and the
+dynamic trace) into a :class:`~repro.runtime.result.RunResult`.  The
+five execution paths of the evaluation all live here:
+
+* :class:`DaisyBackend` — the full VMM + translator + VLIW engine
+  (``DaisySystem``), in any tier mode;
+* :class:`SuperscalarBackend` — the in-order 604E stand-in (Table 5.3);
+* :class:`OracleBackend` — trace-based oracle scheduling (Chapter 6);
+* :class:`TraditionalBackend` — the off-line profile-directed VLIW
+  compiler regime (Table 5.2);
+* :class:`InterpretedBackend` — the caching-interpreter cost model
+  (Section 5.1 overhead analysis).
+
+``analysis``, ``cli`` and ``benchmarks/conftest`` construct backends
+from here instead of hand-plumbing each model's constructor and result
+shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+from dataclasses import replace
+from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.baselines.interpreted import CachingInterpreterModel
+from repro.baselines.oracle import OracleScheduler
+from repro.baselines.superscalar import SuperscalarModel
+from repro.caches.hierarchy import (
+    CacheHierarchy,
+    paper_default_hierarchy,
+    paper_small_hierarchy,
+)
+from repro.core.options import TranslationOptions
+from repro.isa.interpreter import Interpreter
+from repro.runtime.result import RunResult
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+
+
+class ExecutionContext:
+    """A program plus memoized derivatives every backend can share.
+
+    The native interpreter run (dynamic instruction counts, branch
+    profile) and the full dynamic trace are computed at most once per
+    context, however many backends consume them.
+    """
+
+    def __init__(self, program, name: str = "",
+                 max_instructions: int = 50_000_000):
+        self.program = program
+        self.name = name
+        self.max_instructions = max_instructions
+        self._native = None
+        self._trace = None
+
+    @property
+    def native(self):
+        """Reference interpreter run (no trace collection)."""
+        if self._native is None:
+            interp = Interpreter()
+            interp.load_program(self.program)
+            self._native = interp.run(
+                max_instructions=self.max_instructions)
+        return self._native
+
+    @property
+    def trace(self):
+        """Full dynamic trace; also satisfies later ``native`` asks."""
+        if self._trace is None:
+            interp = Interpreter(collect_trace=True)
+            interp.load_program(self.program)
+            result = interp.run(max_instructions=self.max_instructions)
+            self._trace = result.trace
+            if self._native is None:
+                self._native = result
+        return self._trace
+
+    @property
+    def branch_profile(self) -> Dict[int, Tuple[int, int]]:
+        """Measured profile: branch pc -> (taken, not_taken)."""
+        return {pc: (taken, not_taken) for pc, (taken, not_taken)
+                in self.native.branch_profile.items()}
+
+    @property
+    def static_instructions(self) -> int:
+        return sum(len(data) // 4 for _, data in self.program.sections())
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What every execution path implements."""
+
+    name: str
+
+    def run(self, context: ExecutionContext) -> RunResult:
+        ...
+
+
+# ----------------------------------------------------------------------
+
+
+def resolve_caches(caches) -> Optional[CacheHierarchy]:
+    """Accepts None/"none", "default", "small", or a built hierarchy."""
+    if caches is None or caches == "none":
+        return None
+    if isinstance(caches, CacheHierarchy):
+        return caches
+    if caches == "default":
+        return paper_default_hierarchy()
+    if caches == "small":
+        return paper_small_hierarchy()
+    raise ValueError(f"unknown cache hierarchy {caches!r}")
+
+
+def options_key(options: Optional[TranslationOptions]) -> Optional[tuple]:
+    """A hashable canonical key for memoizing runs by their options.
+
+    Two options objects with equal fields produce equal keys; an
+    attached branch profile is keyed by identity (profiles are
+    open-ended dicts, and sharing one means sharing the measured data).
+    """
+    if options is None:
+        return None
+    items = []
+    for field in dataclass_fields(options):
+        value = getattr(options, field.name)
+        if field.name == "branch_profile":
+            value = None if value is None else ("profile", id(value))
+        items.append((field.name, value))
+    return tuple(items)
+
+
+# ----------------------------------------------------------------------
+# The five execution paths.
+# ----------------------------------------------------------------------
+
+
+class DaisyBackend:
+    """DAISY proper: VMM + incremental translator + tree-VLIW engine."""
+
+    name = "daisy"
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 options: Optional[TranslationOptions] = None,
+                 caches=None, tier: Optional[str] = None,
+                 hot_threshold: Optional[int] = None,
+                 strategy: str = "expansion",
+                 deliver_faults: bool = False,
+                 max_vliws: int = 50_000_000):
+        self.config = config if config is not None else \
+            MachineConfig.default()
+        self.options = options
+        self.caches = caches
+        self.tier = tier
+        self.hot_threshold = hot_threshold
+        self.strategy = strategy
+        self.deliver_faults = deliver_faults
+        self.max_vliws = max_vliws
+
+    def build_system(self) -> DaisySystem:
+        """A fresh :class:`DaisySystem` for one run.  Options are
+        copied so tier modes never mutate a caller-shared object."""
+        options = replace(self.options) if self.options is not None \
+            else TranslationOptions()
+        return DaisySystem(self.config, options,
+                           cache_hierarchy=resolve_caches(self.caches),
+                           tier=self.tier,
+                           hot_threshold=self.hot_threshold,
+                           strategy=self.strategy)
+
+    def execute(self, program, name: str = ""):
+        """Run ``program``; returns ``(system, RunResult)`` for callers
+        (the CLI's translate dump) that need the live system too."""
+        system = self.build_system()
+        system.load_program(program)
+        raw = system.run(max_vliws=self.max_vliws,
+                         deliver_faults=self.deliver_faults)
+        has_caches = system.cache_hierarchy is not None
+        ilp = raw.finite_cache_ilp if has_caches else raw.infinite_cache_ilp
+        result = RunResult(backend=self.name, workload=name,
+                           instructions=raw.base_instructions,
+                           cycles=raw.cycles, ilp=ilp,
+                           exit_code=raw.exit_code, raw=raw)
+        return system, result
+
+    def run(self, context: ExecutionContext) -> RunResult:
+        return self.execute(context.program, context.name)[1]
+
+
+class SuperscalarBackend:
+    """Trace-driven in-order superscalar (the PowerPC 604E stand-in)."""
+
+    name = "superscalar"
+
+    def __init__(self, width: int = 2, caches="default", **model_kwargs):
+        self.width = width
+        self.caches = caches
+        self.model_kwargs = model_kwargs
+
+    def run(self, context: ExecutionContext) -> RunResult:
+        model = SuperscalarModel(width=self.width,
+                                 cache_hierarchy=resolve_caches(self.caches),
+                                 **self.model_kwargs)
+        raw = model.run(context.trace)
+        return RunResult(backend=self.name, workload=context.name,
+                         instructions=raw.instructions, cycles=raw.cycles,
+                         ilp=raw.ipc, exit_code=context.native.exit_code,
+                         raw=raw)
+
+
+class OracleBackend:
+    """Trace-based oracle scheduling (Chapter 6 limit study)."""
+
+    name = "oracle"
+
+    def __init__(self, issue_width: Optional[int] = None,
+                 mem_ports: Optional[int] = None,
+                 respect_control_deps: bool = False,
+                 branch_resolution_latency: int = 1):
+        self.scheduler = OracleScheduler(
+            issue_width=issue_width, mem_ports=mem_ports,
+            respect_control_deps=respect_control_deps,
+            branch_resolution_latency=branch_resolution_latency)
+
+    def run(self, context: ExecutionContext) -> RunResult:
+        raw = self.scheduler.run(context.trace)
+        return RunResult(backend=self.name, workload=context.name,
+                         instructions=raw.instructions, cycles=raw.cycles,
+                         ilp=raw.ilp, exit_code=context.native.exit_code,
+                         raw=raw)
+
+
+class TraditionalBackend:
+    """The off-line profile-directed VLIW compiler regime (Table 5.2)."""
+
+    name = "traditional"
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 page_size: int = 1 << 16):
+        self.config = config
+        self.page_size = page_size
+
+    def run(self, context: ExecutionContext) -> RunResult:
+        from repro.baselines.traditional import traditional_options
+        options = traditional_options(context.branch_profile,
+                                      self.page_size)
+        inner = DaisyBackend(self.config, options)
+        result = inner.run(context)
+        return replace(result, backend=self.name)
+
+
+class InterpretedBackend:
+    """The caching-interpreter cost model (Section 5.1)."""
+
+    name = "interpreted"
+
+    def __init__(self, model: Optional[CachingInterpreterModel] = None):
+        self.model = model if model is not None else \
+            CachingInterpreterModel()
+
+    def run(self, context: ExecutionContext) -> RunResult:
+        dynamic = context.native.instructions
+        static = context.static_instructions
+        cycles = self.model.emulation_cycles(dynamic, static)
+        return RunResult(backend=self.name, workload=context.name,
+                         instructions=dynamic, cycles=int(round(cycles)),
+                         ilp=self.model.effective_ilp(dynamic, static),
+                         exit_code=context.native.exit_code,
+                         raw=self.model)
+
+
+BACKENDS = {
+    DaisyBackend.name: DaisyBackend,
+    SuperscalarBackend.name: SuperscalarBackend,
+    OracleBackend.name: OracleBackend,
+    TraditionalBackend.name: TraditionalBackend,
+    InterpretedBackend.name: InterpretedBackend,
+}
+
+BACKEND_NAMES = tuple(BACKENDS)
+
+
+def create_backend(name: str, **kwargs) -> Backend:
+    """Build a backend by registry name."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r} (choose from {BACKEND_NAMES})") \
+            from None
+    return factory(**kwargs)

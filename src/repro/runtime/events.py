@@ -1,0 +1,263 @@
+"""The instrumentation event bus.
+
+Every execution-layer component — the page translator, the VLIW engine,
+the VMM's exception dispatch, the ITLB, the translated-page pool, the
+cache hierarchy, and the tier controller — publishes typed events to a
+:class:`EventBus` instead of bumping ad-hoc counter fields.  Counters
+(the paper's Tables 5.1–5.9 inputs) are then *views* built on top of the
+bus: :class:`EventCounters` aggregates counts, attribute sums, and keyed
+breakdowns generically, and :class:`~repro.vmm.exceptions.VmmEventCounts`
+keeps its historical field names by subscribing the same way.
+
+Design constraints:
+
+* publishing must be cheap — one dict lookup plus a handler loop — since
+  the VMM main loop publishes on every group transition;
+* events are frozen dataclasses, so hot publishers may pre-allocate and
+  reuse instances (see :data:`ITLB_HIT`);
+* subscribers never raise back into the publisher's control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Type
+
+Handler = Callable[[object], None]
+
+_NO_HANDLERS: tuple = ()
+
+
+class EventBus:
+    """A minimal synchronous publish/subscribe hub."""
+
+    __slots__ = ("_handlers", "_catchall")
+
+    def __init__(self) -> None:
+        self._handlers: Dict[type, List[Handler]] = {}
+        self._catchall: List[Handler] = []
+
+    def subscribe(self, event_type: type,
+                  handler: Handler) -> Callable[[], None]:
+        """Invoke ``handler`` for every published ``event_type`` event.
+        Returns a zero-argument unsubscribe callable."""
+        handlers = self._handlers.setdefault(event_type, [])
+        handlers.append(handler)
+
+        def unsubscribe() -> None:
+            if handler in handlers:
+                handlers.remove(handler)
+
+        return unsubscribe
+
+    def subscribe_all(self, handler: Handler) -> Callable[[], None]:
+        """Invoke ``handler`` for every event of any type."""
+        self._catchall.append(handler)
+
+        def unsubscribe() -> None:
+            if handler in self._catchall:
+                self._catchall.remove(handler)
+
+        return unsubscribe
+
+    def publish(self, event: object) -> None:
+        for handler in self._handlers.get(type(event), _NO_HANDLERS):
+            handler(event)
+        for handler in self._catchall:
+            handler(event)
+
+
+# ----------------------------------------------------------------------
+# Event taxonomy.
+#
+# ``_sum_fields`` names integer attributes EventCounters accumulates in
+# addition to the count; ``_key_field`` names an attribute by which
+# EventCounters keeps a per-value breakdown (e.g. cross-page flavours).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TranslationMissing:
+    """First branch into an untranslated page (Section 3.1)."""
+    pc: int = 0
+
+
+@dataclass(frozen=True)
+class InvalidEntry:
+    """Branch to a translated page offset with no entry yet (§3.4)."""
+    pc: int = 0
+
+
+@dataclass(frozen=True)
+class CodeModification:
+    """Store into a protected (translated) unit destroyed a live
+    translation (Section 3.2)."""
+    page_paddr: int = 0
+
+
+@dataclass(frozen=True)
+class TranslationInvalidated:
+    """A page translation was destroyed (code modification or explicit
+    invalidation) — published by the translated-page pool."""
+    page_paddr: int = 0
+
+
+@dataclass(frozen=True)
+class Castout:
+    """The LRU pool discarded a translation to reclaim space (§3.1)."""
+    page_paddr: int = 0
+
+
+@dataclass(frozen=True)
+class PageTranslated:
+    """A page gained its first translation record."""
+    page_vaddr: int = 0
+    page_paddr: int = 0
+    first_time: bool = True
+
+
+@dataclass(frozen=True)
+class EntryTranslated:
+    """The translator compiled one entry point into a VLIW group."""
+    pc: int = 0
+    base_instructions: int = 0
+    cost: int = 0
+    code_bytes: int = 0
+    _sum_fields = ("base_instructions", "cost", "code_bytes")
+
+
+@dataclass(frozen=True)
+class CrossPage:
+    """A cross-page transfer of control, by flavour (Table 5.6)."""
+    flavor: str = "direct"
+    _key_field = "flavor"
+
+
+@dataclass(frozen=True)
+class ItlbHit:
+    pass
+
+
+@dataclass(frozen=True)
+class ItlbMiss:
+    pass
+
+
+@dataclass(frozen=True)
+class ExternalInterrupt:
+    """An external interrupt was delivered to the base OS vector."""
+    vector: int = 0x500
+
+
+@dataclass(frozen=True)
+class FaultDelivered:
+    """A precise base-architecture fault was delivered to the base OS."""
+    vector: int = 0
+
+
+@dataclass(frozen=True)
+class AliasRecovery:
+    """A store overlapped a younger outstanding speculative load; the
+    engine discarded speculative work and replayed (Table 5.7)."""
+    pass
+
+
+@dataclass(frozen=True)
+class CacheLevelMiss:
+    """An access missed one level of the cache hierarchy."""
+    level: str = ""
+    _key_field = "level"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """An access fell through every cache level to main memory."""
+    pass
+
+
+@dataclass(frozen=True)
+class InterpretedEpisode:
+    """The interpretive tier executed one episode (Chapter 6)."""
+    entry_pc: int = 0
+    instructions: int = 0
+    _sum_fields = ("instructions",)
+
+
+@dataclass(frozen=True)
+class TierPromotion:
+    """An entry crossed the hot-threshold and was compiled to VLIWs."""
+    pc: int = 0
+    episodes: int = 0
+
+
+@dataclass(frozen=True)
+class TierDemotion:
+    """A page's entries fell back to the interpretive tier (SMC
+    invalidation or LRU cast-out)."""
+    page_paddr: int = 0
+    entries: int = 0
+    _key_field = None
+
+
+# Pre-allocated instances for allocation-free hot-path publishes.
+ITLB_HIT = ItlbHit()
+ITLB_MISS = ItlbMiss()
+ALIAS_RECOVERY = AliasRecovery()
+MEMORY_ACCESS = MemoryAccess()
+
+
+class EventCounters:
+    """Generic counter view over a bus: counts per event type, sums of
+    declared integer attributes, and keyed breakdowns."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[type, int] = {}
+        self._sums: Dict[Tuple[type, str], int] = {}
+        self._keyed: Dict[type, Dict[object, int]] = {}
+
+    def attach(self, bus: EventBus) -> "EventCounters":
+        bus.subscribe_all(self._on_event)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event: object) -> None:
+        kind = type(event)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        for attr in getattr(kind, "_sum_fields", _NO_HANDLERS):
+            key = (kind, attr)
+            self._sums[key] = self._sums.get(key, 0) + getattr(event, attr)
+        key_field = getattr(kind, "_key_field", None)
+        if key_field:
+            breakdown = self._keyed.setdefault(kind, {})
+            value = getattr(event, key_field)
+            breakdown[value] = breakdown.get(value, 0) + 1
+
+    # ------------------------------------------------------------------
+
+    def count(self, event_type: type) -> int:
+        return self._counts.get(event_type, 0)
+
+    def total(self, event_type: type, attr: str) -> int:
+        return self._sums.get((event_type, attr), 0)
+
+    def by_key(self, event_type: type) -> Dict[object, int]:
+        return dict(self._keyed.get(event_type, {}))
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-friendly {event name: count} view."""
+        return {kind.__name__: count
+                for kind, count in sorted(self._counts.items(),
+                                          key=lambda kv: kv[0].__name__)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventCounters({self.snapshot()})"
+
+
+EVENT_TYPES: Tuple[Type, ...] = (
+    TranslationMissing, InvalidEntry, CodeModification,
+    TranslationInvalidated, Castout, PageTranslated, EntryTranslated,
+    CrossPage, ItlbHit, ItlbMiss, ExternalInterrupt, FaultDelivered,
+    AliasRecovery, CacheLevelMiss, MemoryAccess, InterpretedEpisode,
+    TierPromotion, TierDemotion,
+)

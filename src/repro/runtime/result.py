@@ -1,0 +1,62 @@
+"""The common run-result currency of the execution layer.
+
+Every backend — DAISY itself and the four baseline models — reduces a
+run to one :class:`RunResult`, so ``analysis``, the CLI, and the
+benchmark harness consume a single shape instead of five bespoke ones.
+The backend-specific record (``DaisyRunResult``, ``SuperscalarResult``,
+``OracleResult``, ...) stays reachable through :attr:`RunResult.raw`
+for the tables that need more than the headline numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class CacheSnapshot(Protocol):
+    """What a cache-hierarchy statistics snapshot must expose.
+
+    :class:`repro.caches.hierarchy.HierarchyStats` is the canonical
+    implementation; ``DaisyRunResult.cache_stats`` is typed against this
+    protocol so consumers stop duck-typing an ``object``.
+    """
+
+    levels: Dict[str, object]
+    memory_accesses: int
+    l1_load_misses: int
+    l1_store_misses: int
+    l1_memory_misses: int
+
+
+@dataclass
+class RunResult:
+    """One execution, reduced to the quantities every consumer needs."""
+
+    #: Which backend produced this (``daisy``, ``superscalar``, ...).
+    backend: str
+    #: Workload name, when run through a named context.
+    workload: str = ""
+    #: Dynamic base-architecture instructions completed.
+    instructions: int = 0
+    #: Cycles on the modelled machine (stalls included where modelled).
+    cycles: int = 0
+    #: The backend's headline instructions-per-cycle figure — DAISY's
+    #: infinite- or finite-cache ILP, the superscalar's IPC, the
+    #: oracle's trace ILP, the caching interpreter's effective ILP.
+    ilp: float = 0.0
+    exit_code: int = 0
+    #: The backend-specific result record (e.g. ``DaisyRunResult``).
+    raw: Optional[object] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary (``repro bench --json``)."""
+        return {
+            "backend": self.backend,
+            "workload": self.workload,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ilp": round(self.ilp, 4),
+            "exit_code": self.exit_code,
+        }

@@ -1,0 +1,106 @@
+"""Tiered interpret→translate execution policy (Chapter 6).
+
+The paper's interpretive-compilation scheme — interpret an entry's
+first execution, then compile it with the observed branch profile — is
+one point of a policy space this controller makes explicit:
+
+* ``daisy``: translate on first touch (Chapters 3–5, the default);
+* ``interpretive``: interpret each entry once, then compile
+  (Chapter 6's scheme, hot-threshold fixed at one episode);
+* ``tiered``: interpret an entry until it has run ``hot_threshold``
+  episodes, then promote it to full tree-VLIW translation.
+
+Demotion rides the existing page-pool mechanics: when a translation is
+destroyed — a self-modifying store (Section 3.2) or an LRU cast-out
+(Section 3.1) — the controller hears about it on the event bus and
+sends that page's entries back to the interpretive tier, so they must
+re-earn their heat before being compiled again.  This mirrors staged
+rollout of translated code at fleet scale: nothing is committed to the
+expensive tier until it proves hot, and invalidated code falls back to
+the always-correct tier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.runtime.events import (
+    Castout,
+    EventBus,
+    TierDemotion,
+    TierPromotion,
+    TranslationInvalidated,
+)
+
+TIER_MODES = ("daisy", "interpretive", "tiered")
+
+
+class TieredController:
+    """Decides, per entry point, which tier executes it next."""
+
+    def __init__(self, mode: str = "daisy", hot_threshold: int = 1,
+                 bus: Optional[EventBus] = None):
+        if mode not in TIER_MODES:
+            raise ValueError(
+                f"unknown tier mode {mode!r} (choose from {TIER_MODES})")
+        self.mode = mode
+        self.hot_threshold = hot_threshold
+        self.bus = bus if bus is not None else EventBus()
+        #: Interpreted episodes seen per entry pc.
+        self._episodes: Dict[int, int] = {}
+        #: Entry pcs promoted per physical page (for demotion).
+        self._promoted_by_page: Dict[int, Set[int]] = {}
+        self.promotions = 0
+        self.demotions = 0
+        if self.active:
+            self.bus.subscribe(TranslationInvalidated, self._on_page_dropped)
+            self.bus.subscribe(Castout, self._on_page_dropped)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """False for the classic translate-on-first-touch policy."""
+        return self.mode != "daisy"
+
+    @property
+    def threshold(self) -> int:
+        """Episodes an entry must accumulate before promotion."""
+        if self.mode == "interpretive":
+            return 1
+        return self.hot_threshold
+
+    def should_interpret(self, pc: int) -> bool:
+        """True while ``pc`` is still below the hot-threshold (the VMM
+        checks separately that no translation exists yet)."""
+        return self.active and self._episodes.get(pc, 0) < self.threshold
+
+    def episodes(self, pc: int) -> int:
+        return self._episodes.get(pc, 0)
+
+    # ------------------------------------------------------------------
+
+    def note_episode(self, pc: int) -> None:
+        """Record one interpreted episode starting at ``pc``."""
+        self._episodes[pc] = self._episodes.get(pc, 0) + 1
+
+    def note_promoted(self, pc: int, page_paddr: int) -> None:
+        """Record that ``pc`` was compiled (it lives on ``page_paddr``)."""
+        self.promotions += 1
+        self._promoted_by_page.setdefault(page_paddr, set()).add(pc)
+        self.bus.publish(TierPromotion(pc=pc,
+                                       episodes=self._episodes.get(pc, 0)))
+
+    # ------------------------------------------------------------------
+
+    def _on_page_dropped(self, event) -> None:
+        """SMC invalidation / LRU cast-out: demote the page's entries
+        back to the interpretive tier."""
+        entries = self._promoted_by_page.pop(event.page_paddr, None)
+        if not entries:
+            return
+        for pc in entries:
+            self._episodes.pop(pc, None)
+        self.demotions += 1
+        self.bus.publish(TierDemotion(page_paddr=event.page_paddr,
+                                      entries=len(entries)))

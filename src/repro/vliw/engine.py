@@ -33,6 +33,7 @@ from repro.isa.state import MSR_EE, s32, u32
 from repro.memory.memory import PhysicalMemory
 from repro.memory.mmu import Mmu
 from repro.primitives.ops import PrimOp
+from repro.runtime.events import ALIAS_RECOVERY
 from repro.vliw.registers import ExtendedRegisters, TaggedRegisterFault
 from repro.vliw.tree import (
     BranchTest,
@@ -104,13 +105,16 @@ class VliwEngine:
 
     def __init__(self, xregs: ExtendedRegisters, memory: PhysicalMemory,
                  mmu: Mmu, services=None, cache_hierarchy=None,
-                 interrupt_pending: Optional[Callable[[], bool]] = None):
+                 interrupt_pending: Optional[Callable[[], bool]] = None,
+                 event_sink: Optional[Callable[[object], None]] = None):
         self.xregs = xregs
         self.memory = memory
         self.mmu = mmu
         self.services = services
         self.caches = cache_hierarchy
         self.interrupt_pending = interrupt_pending
+        #: Instrumentation: receives :data:`ALIAS_RECOVERY` events.
+        self.event_sink = event_sink
         self.stats = EngineStats()
         #: Debug mode: assert that no parcel reads a register written
         #: earlier in the same VLIW (tree-VLIW parallel-read semantics;
@@ -182,9 +186,7 @@ class VliwEngine:
                 continue
             break
         self.last_route.append((vliw, route))
-        parcels = sum(1 for tip in route for op in tip.ops
-                      if op.op is not PrimOp.MARKER)
-        parcels += sum(1 for tip in route if tip.test is not None)
+        parcels = sum(tip.route_parcels() for tip in route)
         self.stats.parcel_histogram[parcels] = \
             self.stats.parcel_histogram.get(parcels, 0) + 1
 
@@ -397,6 +399,8 @@ class VliwEngine:
         for seq, (laddr, lwidth) in self._outstanding.items():
             if seq > op.seq and _overlap(addr, width, laddr, lwidth):
                 self.stats.alias_events += 1
+                if self.event_sink is not None:
+                    self.event_sink(ALIAS_RECOVERY)
                 # The older store wins: write it, discard all speculative
                 # work, re-commence after the store.
                 self._commit_store(op, addr, width, value)

@@ -181,10 +181,23 @@ class Tip:
     taken: Optional["Tip"] = None
     fall: Optional["Tip"] = None
     exit: Optional[Exit] = None
+    #: Memoized route_parcels(); tips are structurally final once their
+    #: group leaves the builder, so first use fixes the value.
+    _route_parcels: Optional[int] = field(default=None, repr=False,
+                                          compare=False)
 
     @property
     def is_open(self) -> bool:
         return self.test is None and self.exit is None
+
+    def route_parcels(self) -> int:
+        """Executed parcels this tip contributes when it is on the taken
+        route: non-marker ops, plus its branch test if it has one."""
+        if self._route_parcels is None:
+            parcels = sum(1 for op in self.ops
+                          if op.op is not PrimOp.MARKER)
+            self._route_parcels = parcels + (self.test is not None)
+        return self._route_parcels
 
     def walk(self) -> Iterator["Tip"]:
         yield self
@@ -205,6 +218,8 @@ class TreeVliw:
     #: Simulated VLIW-memory address (assigned at layout; drives the
     #: instruction-cache model).
     address: int = 0
+    _size_bytes: Optional[int] = field(default=None, repr=False,
+                                       compare=False)
 
     def all_tips(self) -> Iterator[Tip]:
         return self.root.walk()
@@ -214,15 +229,18 @@ class TreeVliw:
             yield from tip.ops
 
     def num_parcels(self) -> int:
-        ops = sum(1 for op in self.all_ops() if op.op is not PrimOp.MARKER)
-        tests = sum(1 for tip in self.all_tips() if tip.test is not None)
-        return ops + tests
+        return sum(tip.route_parcels() for tip in self.all_tips())
 
     def size_bytes(self) -> int:
         """Instruction-memory footprint model: an 8-byte header plus 4
-        bytes per parcel (ALU/memory op, branch test, or exit)."""
-        exits = sum(1 for tip in self.all_tips() if tip.exit is not None)
-        return 8 + 4 * (self.num_parcels() + exits)
+        bytes per parcel (ALU/memory op, branch test, or exit).
+        Memoized — the instruction-cache model asks on every executed
+        VLIW, and the tree is final once the group is built."""
+        if self._size_bytes is None:
+            exits = sum(1 for tip in self.all_tips()
+                        if tip.exit is not None)
+            self._size_bytes = 8 + 4 * (self.num_parcels() + exits)
+        return self._size_bytes
 
     def render(self, indent: str = "  ") -> str:
         lines = [f"VLIW{self.index}:  (base {self.entry_base_pc:#x})"]

@@ -4,6 +4,12 @@ These never reach the base operating system; the VMM handles them by
 translating, creating entry points, or invalidating translations.  They
 are modelled as counted events rather than Python exceptions, since the
 VMM handles them synchronously.
+
+:class:`VmmEventCounts` remains a plain writable dataclass so it can be
+built standalone, but inside :class:`~repro.vmm.system.DaisySystem` it
+is a *view* over the instrumentation bus: :meth:`VmmEventCounts.attach`
+subscribes one handler per event type and the historical fields fill
+themselves as components publish.
 """
 
 from __future__ import annotations
@@ -36,3 +42,35 @@ class VmmEventCounts:
     @property
     def total_crosspage(self) -> int:
         return sum(self.crosspage.values())
+
+    def attach(self, bus) -> "VmmEventCounts":
+        """Rebuild these counters on top of an event bus: each field
+        increments as the corresponding event is published."""
+        from repro.runtime.events import (
+            Castout,
+            CodeModification,
+            CrossPage,
+            ExternalInterrupt,
+            FaultDelivered,
+            InvalidEntry,
+            TranslationMissing,
+        )
+
+        def bump(attr):
+            def handler(event, _self=self, _attr=attr):
+                setattr(_self, _attr, getattr(_self, _attr) + 1)
+            return handler
+
+        bus.subscribe(TranslationMissing, bump("translation_missing"))
+        bus.subscribe(InvalidEntry, bump("invalid_entry"))
+        bus.subscribe(CodeModification, bump("code_modification"))
+        bus.subscribe(Castout, bump("castouts"))
+        bus.subscribe(ExternalInterrupt, bump("external_interrupts"))
+        bus.subscribe(FaultDelivered, bump("faults_delivered"))
+
+        def on_crosspage(event, _self=self):
+            _self.crosspage[event.flavor] = \
+                _self.crosspage.get(event.flavor, 0) + 1
+
+        bus.subscribe(CrossPage, on_crosspage)
+        return self

@@ -18,7 +18,7 @@ accumulated profile and resumes in VLIW code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.faults import ProgramExit
 from repro.isa.encoding import decode

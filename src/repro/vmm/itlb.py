@@ -11,9 +11,10 @@ to be created change": TLB invalidates, code modification, and cast-outs.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.core.translate import PageTranslation
+from repro.runtime.events import ITLB_HIT, ITLB_MISS
 
 
 class Itlb:
@@ -23,14 +24,21 @@ class Itlb:
             OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Instrumentation: receives the pre-allocated ``ITLB_HIT`` /
+        #: ``ITLB_MISS`` events (hot path — no allocation per lookup).
+        self.event_sink: Optional[Callable[[object], None]] = None
 
     def lookup(self, mode: int, vpage: int) -> Optional[PageTranslation]:
         key = (mode, vpage)
         translation = self._map.get(key)
         if translation is None:
             self.misses += 1
+            if self.event_sink is not None:
+                self.event_sink(ITLB_MISS)
             return None
         self.hits += 1
+        if self.event_sink is not None:
+            self.event_sink(ITLB_HIT)
         self._map.move_to_end(key)
         return translation
 

@@ -12,6 +12,7 @@ from collections import OrderedDict
 from typing import Callable, List, Optional
 
 from repro.core.translate import PageTranslation
+from repro.runtime.events import Castout, TranslationInvalidated
 
 
 class TranslationCache:
@@ -31,6 +32,10 @@ class TranslationCache:
         #: Called with each cast-out/invalidated translation (the VMM
         #: unwires ITLB entries and read-only bits there).
         self.on_evict: Optional[Callable[[PageTranslation], None]] = None
+        #: Instrumentation: an ``EventBus.publish`` (or compatible
+        #: callable) receiving :class:`Castout` /
+        #: :class:`TranslationInvalidated` events.
+        self.event_sink: Optional[Callable[[object], None]] = None
 
     def lookup(self, page_paddr: int) -> Optional[PageTranslation]:
         translation = self._pages.get(page_paddr)
@@ -55,6 +60,8 @@ class TranslationCache:
             self.invalidations += 1
             if self.on_evict is not None:
                 self.on_evict(translation)
+            if self.event_sink is not None:
+                self.event_sink(TranslationInvalidated(page_paddr=page_paddr))
         return translation
 
     def invalidate_all(self) -> None:
@@ -86,3 +93,5 @@ class TranslationCache:
             self.castouts += 1
             if self.on_evict is not None:
                 self.on_evict(victim)
+            if self.event_sink is not None:
+                self.event_sink(Castout(page_paddr=victim_paddr))

@@ -33,6 +33,24 @@ from repro.isa.services import EmulatorServices
 from repro.isa.state import CpuState, MSR_PR
 from repro.memory.memory import PhysicalMemory
 from repro.memory.mmu import Mmu
+from repro.runtime.events import (
+    AliasRecovery,
+    CodeModification,
+    CrossPage,
+    EntryTranslated,
+    EventBus,
+    EventCounters,
+    ExternalInterrupt,
+    FaultDelivered,
+    InterpretedEpisode,
+    InvalidEntry,
+    ItlbHit,
+    ItlbMiss,
+    PageTranslated,
+    TranslationMissing,
+)
+from repro.runtime.result import CacheSnapshot
+from repro.runtime.tiers import TieredController
 from repro.vliw.engine import (
     EngineExit,
     ExitReason,
@@ -77,11 +95,26 @@ class DaisyRunResult:
     itlb_hits: int = 0
     itlb_misses: int = 0
     output: List[int] = field(default_factory=list)
-    cache_stats: Optional[object] = None
+    cache_stats: Optional[CacheSnapshot] = None
     #: Chapter 6 interpretive-compilation accounting: instructions
     #: executed by the VMM interpreter before each entry was compiled.
     interpreted_instructions: int = 0
     interpreted_episodes: int = 0
+    #: Tier-policy traffic (``tiered`` / ``interpretive`` modes).
+    tier_promotions: int = 0
+    tier_demotions: int = 0
+    #: Per-VLIW executed-route parcel counts (Figure 5.2's utilization
+    #: histograms): parcels -> VLIWs.
+    parcel_histogram: Dict[int, int] = field(default_factory=dict)
+    #: The run's full instrumentation view (every event type published
+    #: on the system bus), when the run went through a DaisySystem.
+    event_counts: Optional[EventCounters] = None
+
+    @property
+    def mean_parcels_per_vliw(self) -> float:
+        total = sum(k * v for k, v in self.parcel_histogram.items())
+        count = sum(self.parcel_histogram.values())
+        return total / count if count else 0.0
 
     @property
     def infinite_cache_ilp(self) -> float:
@@ -110,7 +143,10 @@ class DaisySystem:
                  interpretive: bool = False,
                  strategy: str = "expansion",
                  hash_lookup_cycles: int = 8,
-                 crosspage_extra_cycles: int = 0):
+                 crosspage_extra_cycles: int = 0,
+                 tier: Optional[str] = None,
+                 hot_threshold: Optional[int] = None,
+                 bus: Optional[EventBus] = None):
         """``strategy`` selects Chapter 3's translated-code mapping:
 
         * ``"expansion"`` — the n*N + VLIW_BASE layout: fast cross-page
@@ -125,6 +161,20 @@ class DaisySystem:
         GO_ACROSS_PAGE alternatives: 0 for the ITLB-parallel lookup, 1
         for the LRA + GO_ACROSS_PAGE2 split, 2 for the pointer-vector
         indirection — charged on every cross-page transfer.
+
+        ``tier`` selects the execution-tier policy (``"daisy"`` /
+        ``"interpretive"`` / ``"tiered"``, see
+        :mod:`repro.runtime.tiers`); when omitted it comes from
+        ``options.tier``, with the legacy ``interpretive=True`` flag
+        mapping to ``"interpretive"``.  ``hot_threshold`` overrides
+        ``options.hot_threshold`` for the ``"tiered"`` policy.
+
+        ``bus`` is the instrumentation event bus; every component
+        (translator, engine, ITLB, page pool, caches, tier controller)
+        publishes to it, and both :attr:`events`
+        (:class:`VmmEventCounts`) and :attr:`bus_counters`
+        (:class:`~repro.runtime.events.EventCounters`) are subscriber
+        views over it.
         """
         if strategy not in ("expansion", "hash"):
             raise ValueError(f"unknown translation strategy {strategy!r}")
@@ -137,18 +187,28 @@ class DaisySystem:
         self.xregs = ExtendedRegisters(self.state)
         self.services = services if services is not None else EmulatorServices()
         self.address_map = AddressMap()
+        #: The instrumentation bus all execution components publish to.
+        self.bus = bus if bus is not None else EventBus()
+        #: Generic per-event-type counter view over :attr:`bus`.
+        self.bus_counters = EventCounters().attach(self.bus)
+        self.events = VmmEventCounts().attach(self.bus)
         self.translator = PageTranslator(self._fetch_word, self.config,
                                          self.options)
+        self.translator.event_sink = self.bus.publish
         self.translation_cache = TranslationCache(translation_capacity_bytes)
         self.translation_cache.on_evict = self._on_evict
+        self.translation_cache.event_sink = self.bus.publish
         self.itlb = Itlb()
-        self.events = VmmEventCounts()
+        self.itlb.event_sink = self.bus.publish
         self.pinned_pages = self.translation_cache.pinned
         self.engine = VliwEngine(self.xregs, self.memory, self.mmu,
                                  services=self.services,
                                  cache_hierarchy=cache_hierarchy,
-                                 interrupt_pending=self._interrupt_pending)
+                                 interrupt_pending=self._interrupt_pending,
+                                 event_sink=self.bus.publish)
         self.cache_hierarchy = cache_hierarchy
+        if cache_hierarchy is not None:
+            cache_hierarchy.event_sink = self.bus.publish
         self.memory.code_modification_hook = self._on_code_modification
         # Fault/interrupt handler translations are pinned once created,
         # "to help achieve fast interrupt response later on" (Section
@@ -161,17 +221,26 @@ class DaisySystem:
         self._current_page_paddr: Optional[int] = None
         self._pages_ever_translated: set = set()
         self._pending_external_interrupt = False
-        #: Chapter 6 interpretive compilation: interpret each entry's
-        #: first execution and compile with the observed profile.
-        self.interpretive = interpretive
+        #: Execution-tier policy (Chapter 6 generalized): the explicit
+        #: ``tier`` argument wins, then ``options.tier``, with the
+        #: legacy ``interpretive`` flag selecting Chapter 6's
+        #: interpret-once-then-compile scheme.
+        mode = tier
+        if mode is None:
+            mode = self.options.tier
+            if interpretive and mode == "daisy":
+                mode = "interpretive"
+        threshold = hot_threshold if hot_threshold is not None \
+            else self.options.hot_threshold
+        self.tier_controller = TieredController(mode, threshold, self.bus)
+        #: Back-compat view: true whenever an interpretive tier is on.
+        self.interpretive = self.tier_controller.active
         #: Section 3.4: after an rfi into a translated page, interpret
         #: until the next anchor (call / backward branch / cross-page)
         #: rather than minting an entry point at every interrupted pc.
         self.interpret_after_rfi = False
         self._accumulated_profile: dict = {}
-        self._interpreted_instructions = 0
-        self._interpreted_episodes = 0
-        if interpretive:
+        if self.interpretive:
             self.options.branch_profile = self._accumulated_profile
         from repro.isa.semantics import ExecutionEnv
         self._interp_executor = InterpretiveExecutor(
@@ -223,7 +292,7 @@ class DaisySystem:
         page_paddr = store_paddr - store_paddr % self.options.page_size
         translation = self.translation_cache.invalidate(page_paddr)
         if translation is not None:
-            self.events.code_modification += 1
+            self.bus.publish(CodeModification(page_paddr=page_paddr))
             if page_paddr == self._current_page_paddr:
                 self.engine.translation_invalidated = True
 
@@ -257,7 +326,7 @@ class DaisySystem:
             created = False
             if translation is None:
                 # "VLIW translation missing" exception (Section 3.1).
-                self.events.translation_missing += 1
+                self.bus.publish(TranslationMissing(pc=pc))
                 translation = self.translator.new_translation(
                     page_vaddr=pc - pc % page_size,
                     page_paddr=page_paddr,
@@ -266,7 +335,11 @@ class DaisySystem:
                 self._account_reservation(translation)
                 self.translation_cache.insert(translation)
                 self.memory.protect_range(page_paddr, page_size)
+                first_time = page_paddr not in self._pages_ever_translated
                 self._pages_ever_translated.add(page_paddr)
+                self.bus.publish(PageTranslated(
+                    page_vaddr=translation.page_vaddr,
+                    page_paddr=page_paddr, first_time=first_time))
                 created = True
             self.itlb.insert(mode, vpage, translation)
             if created:
@@ -277,7 +350,7 @@ class DaisySystem:
         group = translation.group_at(pc % page_size)
         if group is None:
             # "Invalid entry point" exception (Section 3.4).
-            self.events.invalid_entry += 1
+            self.bus.publish(InvalidEntry(pc=pc))
             group = self.translator.ensure_entry(translation, pc)
             self._account_reservation(translation)
             self.translation_cache.touch_size(translation)
@@ -320,7 +393,7 @@ class DaisySystem:
             state.dar = fault.address
         state.dsisr = (0x02000000 if getattr(fault, "is_store", False)
                        else 0x40000000)
-        self.events.faults_delivered += 1
+        self.bus.publish(FaultDelivered(vector=fault.vector))
         if self._pin_vectors:
             # Keep interrupt handlers resident for fast response
             # (Section 3.3: "subsequently will not be cast out").
@@ -336,7 +409,7 @@ class DaisySystem:
         state.srr0 = resume_pc
         state.srr1 = state.msr
         state.msr &= ~(MSR_PR | MSR_EE)   # supervisor, interrupts off
-        self.events.external_interrupts += 1
+        self.bus.publish(ExternalInterrupt())
         self._pending_external_interrupt = False
         return EXTERNAL_INTERRUPT_VECTOR
 
@@ -359,7 +432,8 @@ class DaisySystem:
                 raise InstructionBudgetExceeded(
                     f"exceeded {max_vliws} VLIWs")
 
-            if self.interpretive and not self._entry_compiled(pc):
+            if (self.tier_controller.should_interpret(pc)
+                    and not self._entry_compiled(pc)):
                 outcome = self._interpret_and_compile(pc, deliver_faults)
                 if outcome is None:
                     # Fault delivered; continue at the handler vector.
@@ -407,8 +481,18 @@ class DaisySystem:
         return result
 
     # ------------------------------------------------------------------
-    # Interpretive compilation (Chapter 6)
+    # Interpretive / tiered compilation (Chapter 6 generalized)
     # ------------------------------------------------------------------
+
+    @property
+    def _interpreted_instructions(self) -> int:
+        """Derived from the bus: instructions run by the interpretive
+        tier (sum over :class:`InterpretedEpisode` events)."""
+        return self.bus_counters.total(InterpretedEpisode, "instructions")
+
+    @property
+    def _interpreted_episodes(self) -> int:
+        return self.bus_counters.count(InterpretedEpisode)
 
     def _entry_compiled(self, pc: int) -> bool:
         page_size = self.options.page_size
@@ -422,9 +506,12 @@ class DaisySystem:
             pc % page_size)
 
     def _interpret_and_compile(self, pc: int, deliver_faults: bool):
-        """Interpret the first execution of an entry, then compile it
-        with the observed profile.  Returns (done, next_pc, exit_code),
-        or None when a fault was delivered to the base OS."""
+        """Interpret one episode of an entry still in the interpretive
+        tier; once the entry has accumulated the tier policy's
+        hot-threshold of episodes, compile it with the observed profile.
+        Returns (done, next_pc, exit_code), or None when a fault was
+        delivered to the base OS."""
+        tier = self.tier_controller
         try:
             episode = self._interp_executor.interpret_from(pc)
         except BaseArchFault as fault:
@@ -433,11 +520,15 @@ class DaisySystem:
             vector = self._deliver_fault(fault, self.state.pc)
             self.state.pc = vector
             return None
-        self._interpreted_instructions += episode.instructions
-        self._interpreted_episodes += 1
+        tier.note_episode(pc)
+        self.bus.publish(InterpretedEpisode(
+            entry_pc=pc, instructions=episode.instructions))
         merge_profile(self._accumulated_profile, episode.profile)
-        # Compile the entry for all subsequent executions.
-        self._lookup_group(pc, via_itlb=False)
+        if not tier.should_interpret(pc):
+            # Hot: compile the entry for all subsequent executions.
+            self._lookup_group(pc, via_itlb=False)
+            paddr = self.mmu.translate_fetch(pc)
+            tier.note_promoted(pc, paddr - paddr % self.options.page_size)
         if episode.exited:
             self.engine.stats.completed += episode.instructions
             return (True, episode.resume_pc, episode.exit_code)
@@ -450,23 +541,22 @@ class DaisySystem:
         target = engine_exit.target
         reason = engine_exit.reason
         if reason == ExitReason.OFFPAGE:
-            self.events.crosspage["direct"] += 1
+            self.bus.publish(CrossPage(flavor="direct"))
             self.engine.stats.stall_cycles += self.crosspage_extra_cycles
             return target
         if reason == ExitReason.INDIRECT:
             if target // self.options.page_size != \
                     translation.page_vaddr // self.options.page_size:
-                flavor = engine_exit.flavor or "lr"
-                self.events.crosspage[flavor] = \
-                    self.events.crosspage.get(flavor, 0) + 1
+                self.bus.publish(CrossPage(
+                    flavor=engine_exit.flavor or "lr"))
                 self.engine.stats.stall_cycles += \
                     self.crosspage_extra_cycles
             if engine_exit.flavor == "rfi" and self.interpret_after_rfi \
                     and not self._entry_compiled(target):
                 episode = self._interp_executor.interpret_from(
                     target, stop_on_anchor=True)
-                self._interpreted_instructions += episode.instructions
-                self._interpreted_episodes += 1
+                self.bus.publish(InterpretedEpisode(
+                    entry_pc=target, instructions=episode.instructions))
                 self.engine.stats.completed += episode.instructions
                 if episode.exited:
                     raise ProgramExit(episode.exit_code)
@@ -483,30 +573,35 @@ class DaisySystem:
 
     def _fill(self, result: DaisyRunResult, exit_code: int) -> None:
         stats = self.engine.stats
+        counters = self.bus_counters
         result.exit_code = exit_code
         result.base_instructions = stats.completed
         result.vliws = stats.vliws
         result.cycles = stats.cycles
         result.loads = stats.loads
         result.stores = stats.stores
-        result.alias_events = stats.alias_events
+        result.alias_events = counters.count(AliasRecovery)
         result.events = self.events
         result.events.castouts = self.translation_cache.castouts
+        result.event_counts = counters
         result.pages_translated = len(self._pages_ever_translated)
-        result.entries_translated = self.translator.total_entries_translated
+        result.entries_translated = counters.count(EntryTranslated)
         result.instructions_translated = \
-            self.translator.total_base_instructions
-        result.translation_cost = self.translator.total_cost
+            counters.total(EntryTranslated, "base_instructions")
+        result.translation_cost = counters.total(EntryTranslated, "cost")
         result.code_bytes_generated = sum(
             t.code_size for t in
             (self.translation_cache.lookup(p)
              for p in self.translation_cache.live_pages)
             if t is not None)
-        result.itlb_hits = self.itlb.hits
-        result.itlb_misses = self.itlb.misses
+        result.itlb_hits = counters.count(ItlbHit)
+        result.itlb_misses = counters.count(ItlbMiss)
+        result.parcel_histogram = dict(stats.parcel_histogram)
         if hasattr(self.services, "output"):
             result.output = list(self.services.output)
         if self.cache_hierarchy is not None:
             result.cache_stats = self.cache_hierarchy.snapshot()
         result.interpreted_instructions = self._interpreted_instructions
         result.interpreted_episodes = self._interpreted_episodes
+        result.tier_promotions = self.tier_controller.promotions
+        result.tier_demotions = self.tier_controller.demotions

@@ -14,7 +14,7 @@ so the self-check is exact equality.
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import List
 
 from repro.workloads.base import (
     DATA_BASE,

@@ -1,7 +1,6 @@
 """Appendix A's loop-header stopping rules: adaptive unrolling and the
 loop-boundary window shrink."""
 
-import pytest
 
 from repro.core.options import TranslationOptions
 from repro.workloads import build_workload

@@ -7,7 +7,6 @@
 * mtcrf2-style single-field condition register moves.
 """
 
-import pytest
 
 from repro.core.options import TranslationOptions
 from repro.isa import registers as regs

@@ -4,8 +4,6 @@ recover the faulting base instruction without using any annotations."""
 import pytest
 
 from repro.core.backmap import find_base_pc
-from repro.core.group import GroupBuilder
-from repro.core.options import TranslationOptions
 from repro.isa.assembler import Assembler
 from repro.isa.encoding import decode
 from repro.vliw.machine import MachineConfig

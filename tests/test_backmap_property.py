@@ -8,7 +8,7 @@ from repro.core.backmap import find_base_pc
 from repro.isa.assembler import Assembler
 from repro.isa.encoding import decode
 from repro.vliw.engine import PreciseFault
-from repro.vliw.machine import PAPER_CONFIGS, MachineConfig
+from repro.vliw.machine import PAPER_CONFIGS
 from repro.vmm.system import DaisySystem
 
 

@@ -5,7 +5,6 @@ from hypothesis import given, strategies as st
 
 from repro.caches.cache import Cache
 from repro.caches.hierarchy import (
-    CacheHierarchy,
     paper_default_hierarchy,
     paper_small_hierarchy,
 )

@@ -1,6 +1,5 @@
 """Command-line interface."""
 
-import os
 
 import pytest
 

@@ -10,7 +10,6 @@ from repro.isa.encoding import (
     FMT_CMP,
     FMT_CMPI,
     FMT_CR,
-    FMT_NONE,
     FMT_R,
     FMT_RI19,
     FMT_RRI,

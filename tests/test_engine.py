@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.options import TranslationOptions
-from repro.isa import registers as regs
 from repro.vliw.machine import MachineConfig
 from repro.vmm.system import DaisySystem
 from repro.vliw.engine import PreciseFault

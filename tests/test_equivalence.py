@@ -5,7 +5,7 @@ machine configuration and every translation-option ablation."""
 import pytest
 
 from repro.core.options import TranslationOptions
-from repro.vliw.machine import MachineConfig, PAPER_CONFIGS
+from repro.vliw.machine import PAPER_CONFIGS
 from repro.workloads import WORKLOAD_NAMES, build_workload
 
 from tests.helpers import assert_state_equivalent, run_daisy, run_native

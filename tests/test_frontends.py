@@ -6,7 +6,6 @@ from repro.frontends import s390, x86
 from repro.frontends.common import schedule_fragment
 from repro.isa import registers as regs
 from repro.primitives.ops import PrimOp
-from repro.vliw.machine import MachineConfig
 
 
 class TestS390:

@@ -2,7 +2,6 @@
 external interrupts do not mint an entry point at every interrupted
 instruction."""
 
-import pytest
 
 from repro.isa.assembler import Assembler
 from repro.vliw.machine import MachineConfig

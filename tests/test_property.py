@@ -8,11 +8,10 @@ speculation, combining and multipath scheduling on inputs nobody
 hand-picked.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.isa.assembler import Assembler
-from repro.vliw.machine import PAPER_CONFIGS, MachineConfig
+from repro.vliw.machine import PAPER_CONFIGS
 
 from tests.helpers import assert_state_equivalent, run_daisy, run_native
 

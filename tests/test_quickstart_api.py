@@ -1,7 +1,6 @@
 """The README's quickstart snippet must work exactly as documented
 (public-API contract test)."""
 
-import pytest
 
 
 def test_readme_quickstart():

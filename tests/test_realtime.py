@@ -1,7 +1,6 @@
 """Section 3.7 real-time support: pinned translations, vector pinning,
 and utilization statistics."""
 
-import pytest
 
 from repro.isa.assembler import Assembler
 from repro.vliw.machine import MachineConfig

@@ -1,0 +1,224 @@
+"""The repro.runtime execution layer: Backend protocol, shared
+ExecutionContext, run keying, and the instrumentation event bus."""
+
+import pytest
+
+from repro.core.options import TranslationOptions
+from repro.caches.hierarchy import paper_default_hierarchy
+from repro.runtime import (
+    BACKEND_NAMES,
+    Backend,
+    DaisyBackend,
+    EventBus,
+    EventCounters,
+    ExecutionContext,
+    InterpretedBackend,
+    OracleBackend,
+    RunResult,
+    SuperscalarBackend,
+    TraditionalBackend,
+    create_backend,
+    options_key,
+    resolve_caches,
+)
+from repro.runtime.events import (
+    AliasRecovery,
+    CrossPage,
+    EntryTranslated,
+    ItlbHit,
+    ItlbMiss,
+)
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def wc_context():
+    return ExecutionContext(build_workload("wc", "tiny").program, "wc")
+
+
+class TestExecutionContext:
+    def test_native_memoized(self, wc_context):
+        assert wc_context.native is wc_context.native
+        assert wc_context.native.exit_code == 0
+
+    def test_trace_populates_native(self):
+        context = ExecutionContext(
+            build_workload("cmp", "tiny").program, "cmp")
+        trace = context.trace
+        assert len(trace) == context.native.instructions
+        assert context.trace is trace
+
+    def test_branch_profile_shape(self, wc_context):
+        profile = wc_context.branch_profile
+        assert profile
+        assert all(taken >= 0 and not_taken >= 0
+                   for taken, not_taken in profile.values())
+
+    def test_static_instructions(self, wc_context):
+        assert wc_context.static_instructions > 0
+
+
+class TestBackendProtocol:
+    def test_all_backends_satisfy_protocol(self):
+        for name in BACKEND_NAMES:
+            backend = create_backend(name)
+            assert isinstance(backend, Backend)
+            assert backend.name == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend("jit")
+
+    @pytest.mark.parametrize("factory", [
+        DaisyBackend, SuperscalarBackend, OracleBackend,
+        TraditionalBackend, InterpretedBackend])
+    def test_run_produces_common_result(self, factory, wc_context):
+        result = factory().run(wc_context)
+        assert isinstance(result, RunResult)
+        assert result.workload == "wc"
+        assert result.exit_code == 0
+        assert result.instructions > 0
+        assert result.ilp > 0
+
+    def test_to_dict_is_json_shaped(self, wc_context):
+        row = DaisyBackend().run(wc_context).to_dict()
+        assert row["backend"] == "daisy"
+        assert set(row) >= {"backend", "workload", "instructions",
+                            "cycles", "ilp", "exit_code"}
+
+    def test_daisy_matches_direct_system(self, wc_context):
+        """The backend is plumbing, not a different model."""
+        from repro.vliw.machine import MachineConfig
+        from repro.vmm.system import DaisySystem
+
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(wc_context.program)
+        direct = system.run()
+        via_backend = DaisyBackend().run(wc_context)
+        assert via_backend.raw.vliws == direct.vliws
+        assert via_backend.ilp == direct.infinite_cache_ilp
+
+    def test_traditional_beats_or_matches_most_of_daisy(self, wc_context):
+        trad = TraditionalBackend().run(wc_context)
+        daisy = DaisyBackend().run(wc_context)
+        assert trad.backend == "traditional"
+        assert trad.ilp > 0.6 * daisy.ilp
+
+
+class TestResolveCaches:
+    def test_none_forms(self):
+        assert resolve_caches(None) is None
+        assert resolve_caches("none") is None
+
+    def test_named_hierarchies(self):
+        assert resolve_caches("default") is not None
+        assert resolve_caches("small") is not None
+
+    def test_passthrough(self):
+        hierarchy = paper_default_hierarchy()
+        assert resolve_caches(hierarchy) is hierarchy
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_caches("huge")
+
+
+class TestOptionsKey:
+    def test_equal_fields_equal_key(self):
+        assert options_key(TranslationOptions()) == \
+            options_key(TranslationOptions(page_size=4096))
+
+    def test_differing_fields_differ(self):
+        assert options_key(TranslationOptions(rename=False)) != \
+            options_key(TranslationOptions())
+
+    def test_none_is_none(self):
+        assert options_key(None) is None
+
+    def test_profile_keyed_by_identity(self):
+        profile = {0x1000: (3, 1)}
+        a = TranslationOptions(branch_profile=profile)
+        b = TranslationOptions(branch_profile=profile)
+        c = TranslationOptions(branch_profile={0x1000: (3, 1)})
+        assert options_key(a) == options_key(b)
+        assert options_key(a) != options_key(c)
+
+
+class TestEventBus:
+    def test_subscribe_publish_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(ItlbHit, seen.append)
+        bus.publish(ItlbHit())
+        bus.publish(ItlbMiss())    # different type: not delivered
+        assert len(seen) == 1
+        unsubscribe()
+        bus.publish(ItlbHit())
+        assert len(seen) == 1
+
+    def test_counters_sum_and_key(self):
+        bus = EventBus()
+        counters = EventCounters().attach(bus)
+        bus.publish(EntryTranslated(pc=0x1000, base_instructions=7,
+                                    cost=100, code_bytes=256))
+        bus.publish(EntryTranslated(pc=0x1004, base_instructions=3,
+                                    cost=50, code_bytes=128))
+        bus.publish(CrossPage(flavor="lr"))
+        bus.publish(CrossPage(flavor="direct"))
+        bus.publish(CrossPage(flavor="lr"))
+        assert counters.count(EntryTranslated) == 2
+        assert counters.total(EntryTranslated, "base_instructions") == 10
+        assert counters.total(EntryTranslated, "code_bytes") == 384
+        assert counters.by_key(CrossPage) == {"lr": 2, "direct": 1}
+        assert counters.snapshot() == {"CrossPage": 3, "EntryTranslated": 2}
+
+
+class TestSystemInstrumentation:
+    """The bus-backed counters must agree with the result fields the
+    tables consume (they are views over the same events)."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.vliw.machine import MachineConfig
+        from repro.vmm.system import DaisySystem
+
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(build_workload("compress", "tiny").program)
+        result = system.run()
+        assert result.exit_code == 0
+        return system, result
+
+    def test_itlb_counts_match(self, run):
+        system, result = run
+        assert result.itlb_hits == system.itlb.hits
+        assert result.itlb_misses == system.itlb.misses
+        assert system.bus_counters.count(ItlbHit) == system.itlb.hits
+        assert system.bus_counters.count(ItlbMiss) == system.itlb.misses
+
+    def test_translation_counts_match(self, run):
+        system, result = run
+        counters = system.bus_counters
+        assert counters.count(EntryTranslated) == result.entries_translated
+        assert counters.total(EntryTranslated, "base_instructions") == \
+            result.instructions_translated
+        assert counters.total(EntryTranslated, "code_bytes") == \
+            result.code_bytes_generated
+
+    def test_crosspage_breakdown_matches(self, run):
+        """The legacy dict pre-seeds every flavour with zero; the bus
+        breakdown carries only observed flavours."""
+        system, result = run
+        observed = {flavor: count for flavor, count
+                    in result.events.crosspage.items() if count}
+        assert system.bus_counters.by_key(CrossPage) == observed
+
+    def test_alias_counts_match(self, run):
+        system, result = run
+        assert system.bus_counters.count(AliasRecovery) == \
+            result.alias_events
+
+    def test_event_counts_travel_on_result(self, run):
+        _, result = run
+        assert result.event_counts is not None
+        snapshot = result.event_counts.snapshot()
+        assert snapshot.get("EntryTranslated") == result.entries_translated

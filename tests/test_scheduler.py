@@ -6,7 +6,6 @@ import pytest
 from repro.core.options import TranslationOptions
 from repro.isa import registers as regs
 from repro.primitives.ops import PrimOp
-from repro.vliw.machine import MachineConfig
 
 from tests.helpers import build_group
 

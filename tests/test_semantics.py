@@ -4,7 +4,6 @@ import pytest
 
 from repro.faults import DataStorageFault, ProgramFault
 from repro.isa.instructions import BranchCond, Instruction, Opcode
-from repro.isa.interpreter import Interpreter
 from repro.isa.semantics import ExecutionEnv, execute
 from repro.isa.state import CpuState, MSR_PR, u32
 from repro.memory.memory import PhysicalMemory

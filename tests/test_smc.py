@@ -2,13 +2,10 @@
 invalidate the stale translation; execution resumes after the modifying
 instruction and runs the new code."""
 
-import pytest
 
 from repro.isa.assembler import Assembler
 from repro.isa.encoding import encode
 from repro.isa.instructions import Instruction, Opcode
-from repro.vliw.machine import MachineConfig
-from repro.vmm.system import DaisySystem
 
 from tests.helpers import run_daisy, run_native, assert_state_equivalent
 

@@ -6,7 +6,6 @@ from repro.analysis.stats import code_expansion, metrics_from_result
 from repro.caches.hierarchy import paper_default_hierarchy
 from repro.workloads import build_workload
 
-from tests.helpers import run_daisy
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,206 @@
+"""The tiered interpret→translate controller: promotion at the
+hot-threshold, demotion on SMC invalidation / cast-out, and equivalence
+of tier modes with the behaviour they generalize."""
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instruction, Opcode
+from repro.runtime.events import (
+    Castout,
+    EventBus,
+    TierDemotion,
+    TierPromotion,
+    TranslationInvalidated,
+)
+from repro.runtime.tiers import TIER_MODES, TieredController
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+from tests.helpers import assert_state_equivalent, run_native
+
+
+def run_tiered(program, tier="tiered", hot_threshold=1, **kwargs):
+    system = DaisySystem(MachineConfig.default(), tier=tier,
+                         hot_threshold=hot_threshold, **kwargs)
+    system.load_program(program)
+    result = system.run()
+    return system, result
+
+
+class TestControllerPolicy:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="unknown tier mode"):
+            TieredController("jit")
+        for mode in TIER_MODES:
+            assert TieredController(mode).mode == mode
+
+    def test_daisy_mode_is_inert(self):
+        controller = TieredController("daisy")
+        assert not controller.active
+        assert not controller.should_interpret(0x1000)
+
+    def test_interpretive_threshold_is_one_episode(self):
+        controller = TieredController("interpretive", hot_threshold=9)
+        assert controller.threshold == 1
+        assert controller.should_interpret(0x1000)
+        controller.note_episode(0x1000)
+        assert not controller.should_interpret(0x1000)
+
+    def test_tiered_promotes_at_hot_threshold(self):
+        controller = TieredController("tiered", hot_threshold=3)
+        for expected in (1, 2, 3):
+            assert controller.should_interpret(0x1000) == (expected <= 3)
+            controller.note_episode(0x1000)
+            assert controller.episodes(0x1000) == expected
+        assert not controller.should_interpret(0x1000)
+        # Heat is per entry point.
+        assert controller.should_interpret(0x2000)
+
+    def test_promotion_publishes_event(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(TierPromotion, seen.append)
+        controller = TieredController("tiered", hot_threshold=2, bus=bus)
+        controller.note_episode(0x1000)
+        controller.note_episode(0x1000)
+        controller.note_promoted(0x1000, page_paddr=0x0)
+        assert controller.promotions == 1
+        assert seen == [TierPromotion(pc=0x1000, episodes=2)]
+
+    @pytest.mark.parametrize("drop_event", [
+        TranslationInvalidated(page_paddr=0x0),
+        Castout(page_paddr=0x0)])
+    def test_page_drop_demotes_and_resets_heat(self, drop_event):
+        bus = EventBus()
+        demotions = []
+        bus.subscribe(TierDemotion, demotions.append)
+        controller = TieredController("tiered", hot_threshold=1, bus=bus)
+        controller.note_episode(0x1000)
+        controller.note_promoted(0x1000, page_paddr=0x0)
+        assert not controller.should_interpret(0x1000)
+
+        bus.publish(drop_event)
+        assert controller.demotions == 1
+        assert demotions == [TierDemotion(page_paddr=0x0, entries=1)]
+        # The entry must re-earn its heat from zero.
+        assert controller.episodes(0x1000) == 0
+        assert controller.should_interpret(0x1000)
+
+    def test_unrelated_page_drop_is_ignored(self):
+        controller = TieredController("tiered", hot_threshold=1)
+        controller.note_episode(0x1000)
+        controller.note_promoted(0x1000, page_paddr=0x0)
+        controller.bus.publish(Castout(page_paddr=0x5000))
+        assert controller.demotions == 0
+        assert not controller.should_interpret(0x1000)
+
+
+class TestTieredExecution:
+    def test_threshold_one_matches_interpretive_mode(self):
+        program = build_workload("wc", "tiny").program
+        _, via_flag = run_tiered(program, tier="interpretive")
+        _, via_tier = run_tiered(program, tier="tiered", hot_threshold=1)
+        assert via_tier.exit_code == via_flag.exit_code == 0
+        assert via_tier.vliws == via_flag.vliws
+        assert via_tier.interpreted_instructions == \
+            via_flag.interpreted_instructions
+        assert via_tier.infinite_cache_ilp == via_flag.infinite_cache_ilp
+
+    def test_higher_threshold_interprets_more_translates_less(self):
+        program = build_workload("wc", "tiny").program
+        _, cold = run_tiered(program, hot_threshold=1)
+        _, warm = run_tiered(program, hot_threshold=2)
+        assert warm.interpreted_episodes > cold.interpreted_episodes
+        assert warm.interpreted_instructions > cold.interpreted_instructions
+        assert warm.vliws < cold.vliws
+        assert warm.tier_promotions >= 1
+
+    def test_state_equivalent_to_native(self):
+        workload = build_workload("sort", "tiny")
+        interp, native = run_native(workload.program)
+        system, result = run_tiered(workload.program, hot_threshold=2)
+        assert result.exit_code == 0
+        assert result.base_instructions == native.instructions
+        assert_state_equivalent(interp, system)
+
+    def test_exit_during_interpretation(self):
+        program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r3, 7
+    li    r0, 1
+    sc
+""")
+        _, result = run_tiered(program, hot_threshold=4)
+        assert result.exit_code == 7
+        assert result.interpreted_instructions == 3
+        assert result.vliws == 0
+        assert result.tier_promotions == 0
+
+    def test_smc_demotes_translated_entry(self):
+        """Promote a subroutine by running it hot, then self-modify its
+        page: the controller must demote it (re-interpreting it) and the
+        re-promoted code must execute the new bytes."""
+        new_word = encode(Instruction(Opcode.LI, rt=3, imm=77))
+        program = Assembler().assemble(f"""
+.org 0x1000
+_start:
+    li    r7, 0
+    li    r8, 4
+warm:
+    bl    other              # call repeatedly so 'other' compiles
+    add   r7, r7, r3
+    subi  r8, r8, 1
+    cmpi  cr0, r8, 0
+    bne   warm
+    li    r4, patch_word
+    lwz   r5, 0(r4)
+    li    r6, other
+    stw   r5, 0(r6)          # modify the (by now translated) page
+    bl    other              # now returns 77
+    add   r7, r7, r3
+    mr    r3, r7
+    li    r0, 1
+    sc
+.align 4
+patch_word:
+    .word {new_word}
+
+.org 0x2000
+other:
+    li    r3, 55
+    blr
+""")
+        interp, native = run_native(program)
+        assert native.exit_code == 4 * 55 + 77
+
+        system, result = run_tiered(program, hot_threshold=1)
+        assert result.exit_code == native.exit_code
+        assert result.tier_demotions == 1
+        # Demotion forced a re-interpretation and a re-promotion.
+        assert result.tier_promotions > system.tier_controller.threshold
+        assert result.event_counts.count(TierDemotion) == 1
+        assert_state_equivalent(interp, system)
+
+    def test_zero_threshold_translates_on_first_touch(self):
+        """hot_threshold=0 means nothing is ever hot enough to stay in
+        the interpretive tier: tiered collapses to classic DAISY."""
+        program = build_workload("wc", "tiny").program
+        _, tiered = run_tiered(program, hot_threshold=0)
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(program)
+        classic = system.run()
+        assert tiered.interpreted_episodes == 0
+        assert tiered.tier_promotions == 0
+        assert tiered.vliws == classic.vliws
+
+    def test_daisy_mode_never_promotes(self):
+        program = build_workload("cmp", "tiny").program
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(program)
+        result = system.run()
+        assert result.tier_promotions == 0
+        assert result.interpreted_episodes == 0

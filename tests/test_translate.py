@@ -1,12 +1,10 @@
 """Page translation: entry discovery, secondary entries, layout,
 stopping rules, and the group-builder throttles."""
 
-import pytest
 
 from repro.core.options import TranslationOptions
 from repro.core.translate import PageTranslator
 from repro.isa.assembler import Assembler
-from repro.isa.encoding import decode
 from repro.vliw.machine import MachineConfig
 from repro.vliw.tree import ExitKind
 

@@ -6,7 +6,7 @@ import pytest
 from repro.faults import DataStorageFault
 from repro.isa import registers as regs
 from repro.isa.disassembler import disassemble
-from repro.isa.encoding import decode, encode
+from repro.isa.encoding import decode
 from repro.isa.instructions import Instruction, Opcode
 from repro.isa.assembler import Assembler
 from repro.isa.state import CpuState

@@ -1,15 +1,12 @@
 """VMM: translation events, ITLB, cast-out, cross-page branches,
 interrupt delivery to the base OS."""
 
-import pytest
 
-from repro.core.options import TranslationOptions
-from repro.faults import DataStorageFault
 from repro.isa.assembler import Assembler
 from repro.vliw.machine import MachineConfig
 from repro.vmm.system import DaisySystem
 
-from tests.helpers import run_daisy, run_native, assert_state_equivalent
+from tests.helpers import run_daisy
 
 
 def asm(source):

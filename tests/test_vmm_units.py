@@ -1,7 +1,6 @@
 """Direct unit tests for the VMM's pieces: translation cache, ITLB,
 event counters, and the interpretive executor."""
 
-import pytest
 
 from repro.core.translate import PageTranslation
 from repro.isa.assembler import Assembler
