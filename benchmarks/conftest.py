@@ -92,23 +92,40 @@ class Lab:
               page_size: int = 4096, caches: Optional[str] = None,
               options: Optional[TranslationOptions] = None,
               tier: Optional[str] = None,
-              hot_threshold: Optional[int] = None):
+              hot_threshold: Optional[int] = None,
+              strategy: str = "expansion"):
         """Keyed DAISY run; returns the full ``DaisyRunResult``.
-        ``caches`` is None, "default" or "small"."""
+        ``caches`` is None, "default" or "small".  The key carries the
+        complete tier policy (mode, threshold) and the code-mapping
+        strategy — two runs differing in any execution-path knob must
+        never share a pooled result."""
         opts = options if options is not None \
             else TranslationOptions(page_size=page_size)
         key = ("daisy", name, config_num, caches, tier, hot_threshold,
-               options_key(opts))
+               strategy, options_key(opts))
 
         def compute():
             run = DaisyBackend(PAPER_CONFIGS[config_num], opts,
                                caches=caches, tier=tier,
-                               hot_threshold=hot_threshold) \
+                               hot_threshold=hot_threshold,
+                               strategy=strategy) \
                 .run(self.context(name))
             assert run.exit_code == 0, f"{name} failed under DAISY"
             return run.raw
 
         return self._memoized(key, compute)
+
+    def conform(self, backend: str = "daisy", seed: int = 0,
+                cases: int = 25, workloads: Optional[list] = None):
+        """Keyed conformance sweep (``repro.conform``); the seed is part
+        of the key because it selects the entire fuzz corpus."""
+        from repro.conform import run_conformance
+        key = ("conform", backend, seed, cases,
+               tuple(workloads) if workloads is not None else None)
+        return self._memoized(
+            key, lambda: run_conformance(
+                seed=seed, cases=cases, backend=backend,
+                workloads=workloads, shrink=False))
 
     def superscalar(self, name: str):
         return self._memoized(

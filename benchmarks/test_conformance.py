@@ -1,0 +1,35 @@
+"""Conformance throughput: how fast the lockstep differential harness
+chews through the fuzz corpus, and that the corpus stays clean.
+
+This is the benchmark-suite face of ``repro conform`` — the CI smoke
+job runs the CLI; here the same sweep is timed and its headline numbers
+archived next to the tables.
+"""
+
+from benchmarks.conftest import run_once
+
+CASES = 50
+SEED = 0
+
+
+def test_conform_smoke(lab, benchmark):
+    report = run_once(benchmark, lambda: lab.conform(
+        backend="daisy", seed=SEED, cases=CASES, workloads=["wc"]))
+    assert report.ok, report.summary()
+    assert report.checked == CASES + 1
+    assert report.total_instructions > 0
+
+    lab.save("conformance", report.summary())
+
+
+def test_conform_tiered_matches_daisy_verdict(lab, benchmark):
+    def compute():
+        return (lab.conform(backend="daisy", seed=SEED, cases=CASES,
+                            workloads=["wc"]),
+                lab.conform(backend="tiered", seed=SEED, cases=CASES,
+                            workloads=["wc"]))
+
+    daisy, tiered = run_once(benchmark, compute)
+    assert daisy.ok and tiered.ok
+    # The pooled daisy sweep is shared with test_conform_smoke.
+    assert lab.hits >= 1

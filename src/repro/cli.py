@@ -182,6 +182,36 @@ def cmd_bench(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def cmd_conform(args) -> int:
+    from repro.conform import run_conformance
+    from repro.conform.harness import CONFORM_BACKENDS
+    from repro.runtime.events import DivergenceFound, EventBus
+
+    if args.backend not in CONFORM_BACKENDS:
+        print(f"unknown backend {args.backend!r} "
+              f"(choose from {', '.join(CONFORM_BACKENDS)})",
+              file=sys.stderr)
+        return 2
+
+    bus = EventBus()
+    if not args.json:
+        bus.subscribe(DivergenceFound, lambda event: print(
+            f"DIVERGENCE {event.name}/{event.backend}: {event.kind} "
+            f"at base pc {event.base_pc:#x}", file=sys.stderr))
+
+    workloads = None if args.workloads is None else \
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+    report = run_conformance(
+        seed=args.seed, cases=args.cases, backend=args.backend,
+        size=args.size, workloads=workloads,
+        shrink=not args.no_shrink, bus=bus)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _common_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("target",
                         help="workload name or assembly (.s) file")
@@ -262,6 +292,35 @@ def main(argv: Optional[list] = None) -> int:
     bench_parser.add_argument("--json", action="store_true",
                               help="emit machine-readable JSON")
     bench_parser.set_defaults(func=cmd_bench, deliver_faults=False)
+
+    conform_parser = sub.add_parser(
+        "conform",
+        help="differential conformance check: golden interpreter vs a "
+             "backend, over the bundled workloads plus a seeded fuzz "
+             "corpus (repro.conform)")
+    conform_parser.add_argument("--seed", type=int, default=0,
+                                help="fuzz corpus seed (a case is "
+                                     "reproducible from seed + index)")
+    conform_parser.add_argument("--cases", type=int, default=200,
+                                help="number of fuzz cases to run")
+    conform_parser.add_argument("--backend", default="daisy",
+                                help="subject backend: daisy, tiered, "
+                                     "interpretive, hash, traditional, "
+                                     "superscalar, oracle, interpreted")
+    conform_parser.add_argument("--size", default="tiny",
+                                choices=["tiny", "small", "default"],
+                                help="bundled-workload size preset")
+    conform_parser.add_argument("--workloads", default=None,
+                                help="comma-separated bundled workloads "
+                                     "to lockstep (default: all; empty "
+                                     "string: none)")
+    conform_parser.add_argument("--no-shrink", action="store_true",
+                                help="skip minimizing diverging cases")
+    conform_parser.add_argument("--json", action="store_true",
+                                help="emit the full report (sources and "
+                                     "shrunk reproducers included) as "
+                                     "JSON")
+    conform_parser.set_defaults(func=cmd_conform)
 
     report_parser = sub.add_parser(
         "report", help="paper-vs-measured summary of the headline results")

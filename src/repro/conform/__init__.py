@@ -1,0 +1,50 @@
+"""Differential conformance checking (the paper's "100% architectural
+compatibility" claim, tested).
+
+* :mod:`repro.conform.lockstep` — golden-interpreter lockstep execution
+  with full architected-state comparison at every commit point;
+* :mod:`repro.conform.fuzz` — seeded, coverage-weighted generation of
+  random-but-valid base-architecture programs;
+* :mod:`repro.conform.shrink` — delta-debugging minimization of
+  diverging cases;
+* :mod:`repro.conform.harness` — corpus + backend wiring behind the
+  ``repro conform`` CLI;
+* :mod:`repro.conform.report` — structured, JSON-serializable results.
+"""
+
+from repro.conform.fuzz import FuzzCase, FuzzConfig, build_source, generate_case
+from repro.conform.harness import (
+    CONFORM_BACKENDS,
+    LOCKSTEP_BACKENDS,
+    RESULT_BACKENDS,
+    run_case,
+    run_conformance,
+    run_fuzz_case,
+)
+from repro.conform.lockstep import (
+    GoldenReference,
+    LockstepChecker,
+    run_lockstep,
+)
+from repro.conform.report import CaseResult, ConformReport, Divergence
+from repro.conform.shrink import shrink_blocks
+
+__all__ = [
+    "CONFORM_BACKENDS",
+    "LOCKSTEP_BACKENDS",
+    "RESULT_BACKENDS",
+    "CaseResult",
+    "ConformReport",
+    "Divergence",
+    "FuzzCase",
+    "FuzzConfig",
+    "GoldenReference",
+    "LockstepChecker",
+    "build_source",
+    "generate_case",
+    "run_case",
+    "run_conformance",
+    "run_fuzz_case",
+    "run_lockstep",
+    "shrink_blocks",
+]

@@ -1,0 +1,582 @@
+"""Seeded generation of random-but-valid base-architecture programs.
+
+Each fuzz case is a list of self-contained *blocks* assembled between a
+fixed prologue (register and data-pointer initialization) and epilogue
+(the exit service call).  Blocks execute strictly in order; all
+intra-block control flow is forward branches, bounded ``bdnz`` loops,
+or call/return pairs — so every generated program terminates.  Shapes
+cover the opcode space of :mod:`repro.isa.instructions` plus the
+mechanisms the paper's correctness story leans on:
+
+* speculative-load/alias shapes (store then dependent load the
+  scheduler may hoist, exercising alias recovery);
+* self-modifying code (a store that patches a later instruction,
+  exercising the Section 3.2 invalidation protocol);
+* cross-page calls (``bl`` to a subroutine on its own page, exercising
+  GO_ACROSS_PAGE and entry creation);
+* exception-raising shapes (loads/stores through invalid pointers,
+  exercising precise delivery and the back-map).
+
+Generation is coverage-weighted: shapes whose opcodes have appeared
+least in the case so far are preferred, and each case index rotates
+emphasis across the shape list, so a corpus sweeps the opcode space
+rather than sampling it uniformly.  A case is fully reproducible from
+``(seed, index)`` alone — the per-case RNG is seeded with exactly that
+pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instruction, Opcode
+
+#: Where the generated program places things.
+CODE_ORG = 0x1000
+FAR_ORG = 0x8000          # each cross-page subroutine gets its own page
+FAR_PAGE = 0x1000
+DATA_ORG = 0x20000        # random words the load shapes read
+STORE_ORG = 0x20400       # scratch area the store shapes write
+FDATA_ORG = 0x20800       # well-formed doubles for the FP shapes
+
+#: Registers reserved as data pointers, initialized in the prologue and
+#: never used as ALU destinations: r26 -> DATA, r27 -> STORE, r28 -> FDATA.
+PTR_DATA, PTR_STORE, PTR_FDATA = 26, 27, 28
+#: ALU destination registers (r0 is kept clean for the exit service).
+DEST_REGS = tuple(range(3, 26))
+#: Source registers (include the pointers: their values are addresses).
+SRC_REGS = tuple(range(1, 29))
+
+LI_MAX = (1 << 18) - 1    # 19-bit signed immediate of ``li``
+
+
+@dataclass
+class Block:
+    """A self-contained unit of generated code.
+
+    ``lines`` go in the main body (in block order); ``far_lines`` are
+    emitted as a stand-alone subroutine on a far page; ``data_lines``
+    are appended to the data section.  ``atomic`` blocks must shrink as
+    a whole (they contain labels or control flow); non-atomic blocks
+    also allow removal of individual lines.
+    """
+
+    lines: List[str]
+    far_lines: List[str] = field(default_factory=list)
+    data_lines: List[str] = field(default_factory=list)
+    atomic: bool = False
+    shape: str = ""
+
+    @property
+    def instructions(self) -> int:
+        return (count_instructions(self.lines)
+                + count_instructions(self.far_lines))
+
+
+def count_instructions(lines: List[str]) -> int:
+    total = 0
+    for line in lines:
+        text = line.split("#", 1)[0].strip()
+        if text.endswith(":"):
+            continue
+        if text.startswith(".") or not text:
+            continue
+        total += 1
+    return total
+
+
+@dataclass
+class FuzzCase:
+    """One generated program, reproducible from (seed, index)."""
+
+    seed: int
+    index: int
+    prologue: List[str]
+    blocks: List[Block]
+
+    @property
+    def name(self) -> str:
+        return f"fuzz[{self.seed}:{self.index}]"
+
+    @property
+    def source(self) -> str:
+        return build_source(self.prologue, self.blocks)
+
+    @property
+    def body_instructions(self) -> int:
+        return sum(block.instructions for block in self.blocks)
+
+
+def build_source(prologue: List[str], blocks: List[Block]) -> str:
+    """Assemble-ready source from a prologue and a block list."""
+    lines: List[str] = [f".org {CODE_ORG:#x}", "_start:"]
+    lines.extend(prologue)
+    for block in blocks:
+        lines.extend(block.lines)
+    lines.append("    li r0, 1")
+    lines.append("    sc")
+
+    far_index = 0
+    for block in blocks:
+        if block.far_lines:
+            lines.append("")
+            lines.append(f".org {FAR_ORG + far_index * FAR_PAGE:#x}")
+            lines.extend(block.far_lines)
+            far_index += 1
+
+    data_lines = [line for block in blocks for line in block.data_lines]
+    lines.append("")
+    lines.append(f".org {DATA_ORG:#x}")
+    lines.append("fuzz_data:")
+    lines.extend(data_lines if data_lines else ["    .word 0"])
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Shape grammar
+# ----------------------------------------------------------------------
+
+_ALU3 = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mullw": Opcode.MULLW,
+    "divw": Opcode.DIVW, "divwu": Opcode.DIVWU, "and": Opcode.AND,
+    "or": Opcode.OR, "xor": Opcode.XOR, "nand": Opcode.NAND,
+    "nor": Opcode.NOR, "andc": Opcode.ANDC, "slw": Opcode.SLW,
+    "srw": Opcode.SRW, "sraw": Opcode.SRAW,
+}
+_ALU2 = {"neg": Opcode.NEG, "cntlzw": Opcode.CNTLZW, "mr": Opcode.OR}
+_ALUI_ARITH = {"addi": Opcode.ADDI, "ai": Opcode.AI, "mulli": Opcode.MULLI}
+_ALUI_LOGIC = {"andi.": Opcode.ANDI_, "ori": Opcode.ORI,
+               "xori": Opcode.XORI}
+_ALUI_SHIFT = {"slwi": Opcode.SLWI, "srwi": Opcode.SRWI,
+               "srawi": Opcode.SRAWI}
+_CMP = {"cmp": Opcode.CMP, "cmpl": Opcode.CMPL,
+        "cmpi": Opcode.CMPI, "cmpli": Opcode.CMPLI}
+_CRB = {"crand": Opcode.CRAND, "cror": Opcode.CROR,
+        "crxor": Opcode.CRXOR, "crnand": Opcode.CRNAND}
+_LOADS = {"lbz": Opcode.LBZ, "lhz": Opcode.LHZ, "lwz": Opcode.LWZ}
+_LOADS_X = {"lbzx": Opcode.LBZX, "lhzx": Opcode.LHZX,
+            "lwzx": Opcode.LWZX}
+_STORES = {"stb": Opcode.STB, "sth": Opcode.STH, "stw": Opcode.STW}
+_STORES_X = {"stbx": Opcode.STBX, "sthx": Opcode.STHX,
+             "stwx": Opcode.STWX}
+_WIDTH = {"lbz": 1, "lhz": 2, "lwz": 4, "lbzx": 1, "lhzx": 2, "lwzx": 4,
+          "stb": 1, "sth": 2, "stw": 4, "stbx": 1, "sthx": 2, "stwx": 4}
+_FP3 = {"fadd": Opcode.FADD, "fsub": Opcode.FSUB, "fmul": Opcode.FMUL}
+_FP2 = {"fmr": Opcode.FMR, "fneg": Opcode.FNEG, "fabs": Opcode.FABS}
+_BR_ALIASES = ("beq", "bne", "blt", "bgt", "ble", "bge")
+
+_CR_BITS = ("lt", "gt", "eq", "so")
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs selecting which shape families a corpus exercises."""
+
+    min_blocks: int = 6
+    max_blocks: int = 16
+    memory: bool = True
+    branches: bool = True
+    loops: bool = True
+    calls: bool = True
+    smc: bool = True
+    alias: bool = True
+    floats: bool = True
+    cr_logic: bool = True
+    spr: bool = True
+    multi: bool = True
+    #: Include loads/stores through invalid pointers (the case then ends
+    #: in a precise fault both sides must agree on).
+    exceptions: bool = False
+
+    @classmethod
+    def straight_line(cls) -> "FuzzConfig":
+        """Short straight-line sequences only (the property-test diet):
+        ALU, compares, CR logic, loads and stores — no control flow, no
+        SMC, no faults."""
+        return cls(min_blocks=4, max_blocks=10, branches=False,
+                   loops=False, calls=False, smc=False, alias=True,
+                   floats=True, multi=True, exceptions=False)
+
+
+class CaseGenerator:
+    """Generates one case; tracks per-case opcode coverage for the
+    weighting."""
+
+    def __init__(self, seed: int, index: int, config: FuzzConfig):
+        self.seed = seed
+        self.index = index
+        self.config = config
+        self.rng = random.Random(f"daisy-conform:{seed}:{index}")
+        self.counts: Dict[Opcode, int] = {}
+        self._label = 0
+
+    # -- small helpers --------------------------------------------------
+
+    def _note(self, *opcodes: Opcode) -> None:
+        for op in opcodes:
+            self.counts[op] = self.counts.get(op, 0) + 1
+
+    def _label_id(self) -> str:
+        self._label += 1
+        return f"{self.index}_{self._label}"
+
+    def _dest(self) -> str:
+        return f"r{self.rng.choice(DEST_REGS)}"
+
+    def _src(self) -> str:
+        return f"r{self.rng.choice(SRC_REGS)}"
+
+    def _crf(self) -> str:
+        return f"cr{self.rng.randrange(8)}"
+
+    def _pick(self, table: Dict[str, Opcode]) -> str:
+        """Coverage-weighted mnemonic choice within one table."""
+        items = list(table.items())
+        weights = [1.0 / (1 + self.counts.get(op, 0)) for _, op in items]
+        name, op = self.rng.choices(items, weights=weights, k=1)[0]
+        self._note(op)
+        return name
+
+    # -- shapes ---------------------------------------------------------
+
+    def shape_alu3(self) -> Block:
+        lines = []
+        for _ in range(self.rng.randint(1, 3)):
+            op = self._pick(_ALU3)
+            lines.append(f"    {op} {self._dest()}, {self._src()}, "
+                         f"{self._src()}")
+        return Block(lines, shape="alu3")
+
+    def shape_alu2(self) -> Block:
+        op = self._pick(_ALU2)
+        return Block([f"    {op} {self._dest()}, {self._src()}"],
+                     shape="alu2")
+
+    def shape_alui(self) -> Block:
+        table = self.rng.choice((_ALUI_ARITH, _ALUI_LOGIC, _ALUI_SHIFT))
+        op = self._pick(table)
+        if table is _ALUI_SHIFT:
+            imm = self.rng.randrange(32)
+        elif table is _ALUI_LOGIC:
+            imm = self.rng.randrange(1 << 14)   # uimm14
+        else:
+            imm = self.rng.randint(-(1 << 13), (1 << 13) - 1)  # imm14
+        return Block([f"    {op} {self._dest()}, {self._src()}, {imm}"],
+                     shape="alui")
+
+    def shape_li(self) -> Block:
+        self._note(Opcode.LI)
+        imm = self.rng.randint(-LI_MAX - 1, LI_MAX)
+        return Block([f"    li {self._dest()}, {imm}"], shape="li")
+
+    def shape_cmp_cr(self) -> Block:
+        lines = []
+        op = self._pick(_CMP)
+        crf = self._crf()
+        if op.endswith("i"):
+            imm = self.rng.randint(-(1 << 14), (1 << 14) - 1)  # imm15
+            if op == "cmpli":
+                imm = self.rng.randrange(1 << 15)   # uimm15
+            lines.append(f"    {op} {crf}, {self._src()}, {imm}")
+        else:
+            lines.append(f"    {op} {crf}, {self._src()}, {self._src()}")
+        if self.config.cr_logic and self.rng.random() < 0.7:
+            crb = self._pick(_CRB)
+            bits = [f"cr{self.rng.randrange(8)}.{self.rng.choice(_CR_BITS)}"
+                    for _ in range(3)]
+            lines.append(f"    {crb} {bits[0]}, {bits[1]}, {bits[2]}")
+        if self.rng.random() < 0.4:
+            self._note(Opcode.MFCR)
+            lines.append(f"    mfcr {self._dest()}")
+        elif self.rng.random() < 0.3:
+            self._note(Opcode.MTCRF)
+            mask = self.rng.randrange(1, 256)
+            lines.append(f"    mtcrf {mask}, {self._src()}")
+        return Block(lines, shape="cmp_cr")
+
+    def shape_spr(self) -> Block:
+        pairs = ((Opcode.MTLR, "mtlr", Opcode.MFLR, "mflr"),
+                 (Opcode.MTCTR, "mtctr", Opcode.MFCTR, "mfctr"),
+                 (Opcode.MTXER, "mtxer", Opcode.MFXER, "mfxer"))
+        mt_op, mt, mf_op, mf = self.rng.choice(pairs)
+        self._note(mt_op, mf_op)
+        return Block([f"    {mt} {self._src()}",
+                      f"    {mf} {self._dest()}"], shape="spr")
+
+    def _data_offset(self, width: int, span: int = 256) -> int:
+        return self.rng.randrange(0, span - width + 1, width)
+
+    def shape_load(self) -> Block:
+        if self.rng.random() < 0.3:
+            op = self._pick(_LOADS_X)
+            width = _WIDTH[op]
+            idx = self._dest()
+            lines = [f"    li {idx}, {self._data_offset(width)}",
+                     f"    {op} {self._dest()}, r{PTR_DATA}, {idx}"]
+            self._note(Opcode.LI)
+            return Block(lines, shape="load")
+        op = self._pick(_LOADS)
+        width = _WIDTH[op]
+        return Block([f"    {op} {self._dest()}, "
+                      f"{self._data_offset(width)}(r{PTR_DATA})"],
+                     shape="load")
+
+    def shape_store(self) -> Block:
+        if self.rng.random() < 0.3:
+            op = self._pick(_STORES_X)
+            width = _WIDTH[op]
+            idx = self._dest()
+            lines = [f"    li {idx}, {self._data_offset(width)}",
+                     f"    {op} {self._src()}, r{PTR_STORE}, {idx}"]
+            self._note(Opcode.LI)
+            return Block(lines, shape="store")
+        op = self._pick(_STORES)
+        width = _WIDTH[op]
+        return Block([f"    {op} {self._src()}, "
+                      f"{self._data_offset(width)}(r{PTR_STORE})"],
+                     shape="store")
+
+    def shape_multi(self) -> Block:
+        """lmw/stmw — the CISC pair the translator cracks."""
+        self._note(Opcode.STMW, Opcode.LMW)
+        store_rt = self.rng.randint(24, 30)
+        load_rt = self.rng.randint(29, 31)   # clobbers no pointer regs
+        off = self._data_offset(4, span=128)
+        return Block([
+            f"    stmw r{store_rt}, {off}(r{PTR_STORE})",
+            f"    lmw r{load_rt}, {self._data_offset(4, 64)}(r{PTR_DATA})",
+        ], shape="multi")
+
+    def shape_alias(self) -> Block:
+        """Store then a load the scheduler may hoist above it."""
+        off = self._data_offset(4)
+        lines = [f"    stw {self._src()}, {off}(r{PTR_STORE})"]
+        if self.rng.random() < 0.5:
+            lines.append(f"    add {self._dest()}, {self._src()}, "
+                         f"{self._src()}")
+            self._note(Opcode.ADD)
+        overlap = off if self.rng.random() < 0.7 else \
+            max(0, off - 2)                   # partial overlap
+        lines.append(f"    lwz {self._dest()}, "
+                     f"{min(overlap, 252)}(r{PTR_STORE})")
+        self._note(Opcode.STW, Opcode.LWZ)
+        return Block(lines, atomic=False, shape="alias")
+
+    def shape_branch(self) -> Block:
+        label = f"Lb{self._label_id()}"
+        lines = []
+        crf = self._crf()
+        if self.rng.random() < 0.5:
+            imm = self.rng.randint(-64, 64)
+            lines.append(f"    cmpi {crf}, {self._src()}, {imm}")
+            self._note(Opcode.CMPI)
+        else:
+            lines.append(f"    cmp {crf}, {self._src()}, {self._src()}")
+            self._note(Opcode.CMP)
+        alias = self.rng.choice(_BR_ALIASES)
+        self._note(Opcode.BC)
+        lines.append(f"    {alias} {crf}, {label}")
+        for _ in range(self.rng.randint(1, 3)):
+            op = self._pick(_ALU3)
+            lines.append(f"    {op} {self._dest()}, {self._src()}, "
+                         f"{self._src()}")
+        lines.append(f"{label}:")
+        return Block(lines, atomic=True, shape="branch")
+
+    def shape_loop(self) -> Block:
+        label = f"Lc{self._label_id()}"
+        trip = self.rng.randint(1, 6)
+        counter = self._dest()
+        self._note(Opcode.LI, Opcode.MTCTR, Opcode.BC)
+        lines = [f"    li {counter}, {trip}",
+                 f"    mtctr {counter}",
+                 f"{label}:"]
+        for _ in range(self.rng.randint(1, 2)):
+            op = self._pick(_ALU3)
+            lines.append(f"    {op} {self._dest()}, {self._src()}, "
+                         f"{self._src()}")
+        lines.append(f"    bdnz {label}")
+        return Block(lines, atomic=True, shape="loop")
+
+    def shape_call(self) -> Block:
+        """Cross-page call: the subroutine sits on its own page."""
+        label = f"far{self._label_id()}"
+        self._note(Opcode.BL, Opcode.BLR)
+        far = [f"{label}:"]
+        for _ in range(self.rng.randint(1, 3)):
+            op = self._pick(_ALU3)
+            far.append(f"    {op} {self._dest()}, {self._src()}, "
+                       f"{self._src()}")
+        far.append("    blr")
+        return Block([f"    bl {label}"], far_lines=far, atomic=True,
+                     shape="call")
+
+    def shape_smc(self) -> Tuple[Block, Block]:
+        """A store that patches a later instruction (Section 3.2);
+        returns (patching block, patch-target block)."""
+        ident = self._label_id()
+        target = f"Lp{ident}"
+        word_label = f"Wp{ident}"
+        victim = self.rng.choice(DEST_REGS)
+        new_word = encode(Instruction(Opcode.ADDI, rt=victim, ra=victim,
+                                      imm=self.rng.randint(1, 99)))
+        scratch_a, scratch_b = self.rng.sample(DEST_REGS, 2)
+        self._note(Opcode.LI, Opcode.LWZ, Opcode.STW, Opcode.ADDI)
+        patcher = Block([
+            f"    li r{scratch_a}, {word_label}",
+            f"    lwz r{scratch_b}, 0(r{scratch_a})",
+            f"    li r{scratch_a}, {target}",
+            f"    stw r{scratch_b}, 0(r{scratch_a})",
+        ], data_lines=[f"{word_label}:", f"    .word {new_word:#x}"],
+            atomic=True, shape="smc")
+        patchee = Block([
+            f"{target}:",
+            f"    addi r{victim}, r{victim}, 1",
+        ], atomic=True, shape="smc_target")
+        return patcher, patchee
+
+    def shape_fp(self) -> Block:
+        lines = []
+        fregs = [f"f{self.rng.randrange(32)}" for _ in range(4)]
+        off = self.rng.randrange(0, 256 - 7, 8)
+        self._note(Opcode.LFD)
+        lines.append(f"    lfd {fregs[0]}, {off}(r{PTR_FDATA})")
+        if self.rng.random() < 0.7:
+            op = self._pick(_FP3)
+            lines.append(f"    {op} {fregs[1]}, {fregs[0]}, {fregs[2]}")
+        else:
+            op = self._pick(_FP2)
+            lines.append(f"    {op} {fregs[1]}, {fregs[0]}")
+        if self.rng.random() < 0.5:
+            self._note(Opcode.FCMPU)
+            lines.append(f"    fcmpu {self._crf()}, {fregs[1]}, "
+                         f"{fregs[2]}")
+        if self.rng.random() < 0.5:
+            self._note(Opcode.STFD)
+            lines.append(f"    stfd {fregs[1]}, "
+                         f"{self.rng.randrange(0, 249, 8)}(r{PTR_FDATA})")
+        return Block(lines, shape="fp")
+
+    def shape_exception(self) -> Block:
+        """A memory access through an invalid pointer: both sides must
+        deliver the same precise fault."""
+        bad = self.rng.choice(DEST_REGS)
+        offset = -self.rng.randrange(4, 64, 4)
+        self._note(Opcode.LI)
+        if self.rng.random() < 0.5:
+            self._note(Opcode.LWZ)
+            access = f"    lwz {self._dest()}, 0(r{bad})"
+        else:
+            self._note(Opcode.STW)
+            access = f"    stw {self._src()}, 0(r{bad})"
+        return Block([f"    li r{bad}, {offset}", access],
+                     atomic=True, shape="exception")
+
+    # -- case assembly --------------------------------------------------
+
+    def _shape_menu(self) -> List[Tuple[str, float]]:
+        config = self.config
+        menu: List[Tuple[str, float]] = [
+            ("alu3", 3.0), ("alu2", 1.0), ("alui", 2.0), ("li", 1.0),
+            ("cmp_cr", 1.5),
+        ]
+        if config.spr:
+            menu.append(("spr", 0.7))
+        if config.memory:
+            menu.extend([("load", 2.0), ("store", 2.0)])
+        if config.multi:
+            menu.append(("multi", 0.6))
+        if config.alias:
+            menu.append(("alias", 1.0))
+        if config.branches:
+            menu.append(("branch", 1.6))
+        if config.loops:
+            menu.append(("loop", 1.2))
+        if config.calls:
+            menu.append(("call", 0.9))
+        if config.smc:
+            menu.append(("smc", 0.5))
+        if config.floats:
+            menu.append(("fp", 1.0))
+        return menu
+
+    def generate(self) -> FuzzCase:
+        rng = self.rng
+        prologue = []
+        for reg in range(1, 10):
+            prologue.append(
+                f"    li r{reg}, {rng.randint(-LI_MAX - 1, LI_MAX)}")
+        # Widen a few registers beyond li's 19-bit range.
+        for reg in rng.sample(range(10, 26), 4):
+            prologue.append(
+                f"    li r{reg}, {rng.randint(-LI_MAX - 1, LI_MAX)}")
+            if rng.random() < 0.5:
+                prologue.append(f"    slwi r{reg}, r{reg}, "
+                                f"{rng.randrange(1, 16)}")
+        prologue.append(f"    li r{PTR_DATA}, {DATA_ORG:#x}")
+        prologue.append(f"    li r{PTR_STORE}, {STORE_ORG:#x}")
+        prologue.append(f"    li r{PTR_FDATA}, {FDATA_ORG:#x}")
+
+        menu = self._shape_menu()
+        # Rotate emphasis deterministically across case indices so the
+        # corpus as a whole covers every family.
+        focus = menu[self.index % len(menu)][0]
+
+        blocks: List[Block] = []
+        pending_targets: List[Block] = []
+        count = rng.randint(self.config.min_blocks,
+                            self.config.max_blocks)
+        for _ in range(count):
+            names = [name for name, _ in menu]
+            weights = [weight * (3.0 if name == focus else 1.0)
+                       for name, weight in menu]
+            shape = rng.choices(names, weights=weights, k=1)[0]
+            if shape == "smc":
+                patcher, patchee = self.shape_smc()
+                blocks.append(patcher)
+                pending_targets.append(patchee)
+            else:
+                blocks.append(getattr(self, f"shape_{shape}")())
+            # Flush any patch target a little after its patcher.
+            if pending_targets and rng.random() < 0.5:
+                blocks.append(pending_targets.pop(0))
+        blocks.extend(pending_targets)
+
+        if self.config.exceptions and rng.random() < 0.25:
+            # At most one faulting block; everything after it is dead.
+            blocks.insert(rng.randrange(len(blocks) + 1),
+                          self.shape_exception())
+
+        # Data section: deterministic random words + well-formed doubles.
+        data = Block([], data_lines=_data_section(rng), shape="data")
+        blocks.append(data)
+        return FuzzCase(self.seed, self.index, prologue, blocks)
+
+
+def _data_section(rng: random.Random) -> List[str]:
+    lines = ["fuzz_words:"]
+    words = [rng.randrange(1 << 32) for _ in range(64)]
+    for i in range(0, 64, 8):
+        lines.append("    .word " + ", ".join(
+            str(w) for w in words[i:i + 8]))
+    # FDATA_ORG holds doubles built from small integers — valid,
+    # non-NaN, exactly representable.
+    lines.append(f".org {FDATA_ORG:#x}")
+    lines.append("fuzz_doubles:")
+    import struct
+    for _ in range(32):
+        value = rng.randint(-1000, 1000) / max(1, rng.randint(1, 8))
+        packed = struct.pack(">d", value)
+        hi = int.from_bytes(packed[:4], "big")
+        lo = int.from_bytes(packed[4:], "big")
+        lines.append(f"    .word {hi}, {lo}")
+    return lines
+
+
+def generate_case(seed: int, index: int,
+                  config: Optional[FuzzConfig] = None) -> FuzzCase:
+    """The corpus entry point: case ``index`` of the corpus ``seed``."""
+    return CaseGenerator(seed, index, config or FuzzConfig()).generate()

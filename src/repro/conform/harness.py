@@ -1,0 +1,257 @@
+"""The conformance harness: corpus construction, backend wiring,
+shrinking, and reporting.
+
+``run_conformance`` is the engine behind ``repro conform``:
+
+1. every bundled workload runs once under full lockstep checking;
+2. ``cases`` fuzzer-generated programs (reproducible from the seed)
+   run the same way;
+3. any diverging fuzz case is shrunk to a minimal reproducer, which is
+   embedded in the report.
+
+Backends that execute base code through the VMM (``daisy`` and its
+tier/strategy variants, plus ``traditional``) get true lockstep
+comparison at every commit point.  The trace- and model-driven
+baselines (``superscalar``, ``oracle``, ``interpreted``) never touch
+architected state themselves, so they are checked at *result* level:
+exit code and committed instruction count against the golden run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.conform.fuzz import (
+    Block,
+    FuzzCase,
+    FuzzConfig,
+    build_source,
+    generate_case,
+)
+from repro.conform.lockstep import run_lockstep
+from repro.conform.report import CaseResult, ConformReport, Divergence
+from repro.conform.shrink import shrink_blocks
+from repro.isa.assembler import Assembler, AssemblyError
+from repro.runtime.backend import (
+    DaisyBackend,
+    ExecutionContext,
+    create_backend,
+)
+from repro.runtime.events import (
+    ConformCaseChecked,
+    DivergenceFound,
+    EventBus,
+)
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+#: Subject variants that execute through the VMM and therefore support
+#: commit-point lockstep.  Values are DaisyBackend constructor knobs.
+LOCKSTEP_BACKENDS: Dict[str, dict] = {
+    "daisy": {},
+    "tiered": {"tier": "tiered", "hot_threshold": 2},
+    "interpretive": {"tier": "interpretive"},
+    "hash": {"strategy": "hash"},
+}
+
+#: Baselines with no architected state of their own: result-level check.
+RESULT_BACKENDS = ("superscalar", "oracle", "interpreted")
+
+CONFORM_BACKENDS = (tuple(LOCKSTEP_BACKENDS) + ("traditional",)
+                    + RESULT_BACKENDS)
+
+#: Budget for one fuzz case (generated programs run a few hundred base
+#: instructions; anything near this bound is a runaway divergence).
+FUZZ_MAX_INSTRUCTIONS = 1_000_000
+
+
+def _lockstep_factory(backend: str, program) -> Callable[[], object]:
+    """A fresh-system factory for one program on a lockstep backend."""
+    if backend in LOCKSTEP_BACKENDS:
+        knobs = LOCKSTEP_BACKENDS[backend]
+        return DaisyBackend(**knobs).build_system
+    if backend == "traditional":
+        from repro.baselines.traditional import traditional_options
+        profile = ExecutionContext(program).branch_profile
+        options = traditional_options(profile, page_size=1 << 16)
+        return DaisyBackend(options=options).build_system
+    raise ValueError(f"backend {backend!r} does not support lockstep")
+
+
+def _run_result_case(program, name: str, backend: str,
+                     max_instructions: int) -> CaseResult:
+    """Result-level conformance for the non-executing baselines."""
+    context = ExecutionContext(program, name,
+                               max_instructions=max_instructions)
+    result = CaseResult(name=name, backend=backend)
+    try:
+        native = context.native
+        run = create_backend(backend).run(context)
+    except Exception as error:            # noqa: BLE001 - report, not crash
+        result.divergences.append(Divergence(
+            kind="error", case=name, backend=backend,
+            detail={"error": (type(error).__name__, str(error))}))
+        return result
+    result.instructions = native.instructions
+    detail: dict = {}
+    if run.exit_code != native.exit_code:
+        detail["exit_code"] = (native.exit_code, run.exit_code)
+    if run.instructions != native.instructions:
+        detail["instructions"] = (native.instructions, run.instructions)
+    if detail:
+        result.divergences.append(Divergence(
+            kind="exit", case=name, backend=backend,
+            completed=native.instructions, detail=detail))
+    return result
+
+
+def run_case(program, name: str, backend: str,
+             max_instructions: int = 50_000_000) -> CaseResult:
+    """Differentially check one program on one backend (the right
+    comparison depth for that backend)."""
+    if backend in RESULT_BACKENDS:
+        return _run_result_case(program, name, backend, max_instructions)
+    factory = _lockstep_factory(backend, program)
+    return run_lockstep(program, factory, case=name, backend=backend,
+                        max_instructions=max_instructions)
+
+
+# ----------------------------------------------------------------------
+
+
+def _assemble(source: str):
+    return Assembler().assemble(source)
+
+
+def _fuzz_diverges(backend: str) \
+        -> Callable[[List[str], List[Block]], bool]:
+    """The shrinking oracle: does this (prologue, blocks) candidate
+    still diverge?  Candidates that fail to assemble (a removed block
+    owned a label) are invalid, not interesting."""
+    def oracle(prologue: List[str], blocks: List[Block]) -> bool:
+        try:
+            program = _assemble(build_source(prologue, blocks))
+        except AssemblyError:
+            return False
+        try:
+            factory = _lockstep_factory(backend, program)
+            result = run_lockstep(
+                program, factory, case="shrink", backend=backend,
+                max_instructions=FUZZ_MAX_INSTRUCTIONS)
+        except Exception:                  # noqa: BLE001
+            # A candidate that crashes the harness itself is still a
+            # reproducer-worthy disagreement.
+            return True
+        return result.diverged
+    return oracle
+
+
+def _shrink_case(case: FuzzCase, backend: str):
+    """Minimize a diverging case: blocks first (ddmin + line strip),
+    then the prologue's register-initialization lines."""
+    oracle = _fuzz_diverges(backend)
+    minimal = shrink_blocks(
+        case.blocks, lambda blocks: oracle(case.prologue, blocks))
+    prologue = list(case.prologue)
+    cursor = 0
+    while cursor < len(prologue):
+        candidate = prologue[:cursor] + prologue[cursor + 1:]
+        if oracle(candidate, minimal):
+            prologue = candidate
+        else:
+            cursor += 1
+    return prologue, minimal
+
+
+def run_fuzz_case(case: FuzzCase, backend: str,
+                  shrink: bool = True) -> CaseResult:
+    """Check one generated case; shrink on divergence."""
+    source = case.source
+    try:
+        program = _assemble(source)
+    except AssemblyError as error:
+        result = CaseResult(name=case.name, backend=backend,
+                            seed=case.seed, case_index=case.index,
+                            source=source)
+        result.divergences.append(Divergence(
+            kind="error", case=case.name, backend=backend,
+            detail={"assembly": (str(error), None)}))
+        return result
+
+    if backend in RESULT_BACKENDS:
+        result = _run_result_case(program, case.name, backend,
+                                  FUZZ_MAX_INSTRUCTIONS)
+    else:
+        factory = _lockstep_factory(backend, program)
+        result = run_lockstep(program, factory, case=case.name,
+                              backend=backend,
+                              max_instructions=FUZZ_MAX_INSTRUCTIONS)
+    result.seed = case.seed
+    result.case_index = case.index
+
+    if result.diverged:
+        result.source = source
+        if shrink and backend not in RESULT_BACKENDS:
+            prologue, minimal = _shrink_case(case, backend)
+            result.shrunk_source = build_source(prologue, minimal)
+            result.shrunk_instructions = (
+                len(prologue)
+                + sum(block.instructions for block in minimal))
+    return result
+
+
+# ----------------------------------------------------------------------
+
+
+def run_conformance(seed: int = 0, cases: int = 200,
+                    backend: str = "daisy",
+                    size: str = "tiny",
+                    workloads: Optional[List[str]] = None,
+                    fuzz_config: Optional[FuzzConfig] = None,
+                    shrink: bool = True,
+                    bus: Optional[EventBus] = None,
+                    stop_on_divergence: bool = False) -> ConformReport:
+    """The full conformance sweep: bundled workloads + fuzz corpus.
+
+    ``workloads=[]`` skips the workload phase (fuzz only);
+    ``workloads=None`` runs all bundled workloads.  Progress and
+    divergences are published on ``bus`` as
+    :class:`~repro.runtime.events.ConformCaseChecked` /
+    :class:`~repro.runtime.events.DivergenceFound` events.
+    """
+    if backend not in CONFORM_BACKENDS:
+        raise ValueError(f"unknown conformance backend {backend!r} "
+                         f"(choose from {CONFORM_BACKENDS})")
+    report = ConformReport(backend=backend, seed=seed)
+    config = fuzz_config if fuzz_config is not None else \
+        FuzzConfig(exceptions=True)
+
+    names = list(WORKLOAD_NAMES) if workloads is None else workloads
+    for name in names:
+        workload = build_workload(name, size)
+        result = run_case(workload.program, name, backend)
+        _publish(bus, result)
+        report.cases.append(result)
+        if stop_on_divergence and result.diverged:
+            return report
+
+    for index in range(cases):
+        case = generate_case(seed, index, config)
+        result = run_fuzz_case(case, backend, shrink=shrink)
+        _publish(bus, result)
+        report.cases.append(result)
+        if stop_on_divergence and result.diverged:
+            return report
+    return report
+
+
+def _publish(bus: Optional[EventBus], result: CaseResult) -> None:
+    if bus is None:
+        return
+    bus.publish(ConformCaseChecked(
+        name=result.name, backend=result.backend,
+        diverged=result.diverged, instructions=result.instructions))
+    for divergence in result.divergences:
+        bus.publish(DivergenceFound(
+            name=result.name, backend=result.backend,
+            kind=divergence.kind,
+            base_pc=divergence.base_pc or 0))

@@ -1,0 +1,411 @@
+"""Lockstep differential execution: golden interpreter vs a subject.
+
+The paper's headline claim is that translated tree-VLIW execution is
+*architecturally indistinguishable* from native base-architecture
+execution (Chapter 2, Section 3.3).  This module checks that claim
+directly: the subject (a :class:`~repro.vmm.system.DaisySystem` in any
+tier mode) runs normally while a :class:`LockstepChecker` subscribed to
+its event bus synchronizes a golden reference interpreter — an
+independent implementation of the base architecture — at every
+:class:`~repro.runtime.events.CommitPoint` and compares:
+
+* the full architected register file (r0–r31, f0–f31, cr0–cr7, lr, ctr,
+  ca/ov/so, msr, srr0/srr1, dar/dsisr) via ``CpuState.snapshot()``;
+* the next base pc;
+* every architected memory byte either side stored to since the last
+  commit point (tracked through ``PhysicalMemory.store_sink`` at chunk
+  granularity — any divergent store is caught in the window it commits);
+* the emulator-service output stream;
+* fault behaviour — type, faulting address, and the attributed base pc
+  of a :class:`~repro.vliw.engine.PreciseFault`.
+
+The first mismatch produces a :class:`~repro.conform.report.Divergence`
+pinpointing the commit window, the exact base instruction where the
+store-log or register-writer evidence allows it, and the VLIW
+back-mapping (``route_base_pcs`` / ``describe_route``) of the subject's
+last executed group.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.conform.report import CaseResult, Divergence
+from repro.core.backmap import (
+    describe_route,
+    route_base_pcs,
+    route_writers_of,
+)
+from repro.faults import (
+    BaseArchFault,
+    InstructionBudgetExceeded,
+    ProgramExit,
+    SimulationError,
+)
+from repro.isa import registers as regs
+from repro.isa.interpreter import Interpreter
+from repro.memory.memory import PhysicalMemory
+from repro.memory.mmu import Mmu
+from repro.runtime.events import CommitPoint
+from repro.vliw.engine import PreciseFault
+from repro.vmm.system import DaisySystem
+
+#: Dirty-memory tracking granularity (bytes per chunk).
+CHUNK = 8
+
+
+class _LockstepAbort(Exception):
+    """Raised out of the commit-point handler to stop the subject once
+    the first divergence is recorded."""
+
+
+def _chunks(addr: int, length: int) -> range:
+    return range(addr // CHUNK, (addr + max(length, 1) - 1) // CHUNK + 1)
+
+
+class GoldenReference:
+    """The golden side: a stepped reference interpreter with store
+    tracking and pc-attributed store logging."""
+
+    def __init__(self, program, memory_size: int = 1 << 20,
+                 max_instructions: int = 50_000_000):
+        memory = PhysicalMemory(size=memory_size)
+        self.interp = Interpreter(
+            memory=memory, mmu=Mmu(physical_size=memory_size))
+        self.interp.load_program(program)
+        memory.store_sink = self._on_store
+        self.max_instructions = max_instructions
+        self.count = 0
+        self.exited = False
+        self.exit_code: Optional[int] = None
+        self.fault: Optional[BaseArchFault] = None
+        self.fault_pc: Optional[int] = None
+        #: Chunks stored to since the last :meth:`drain_dirty`.
+        self.dirty: Set[int] = set()
+        #: chunk -> base pc of the last golden store touching it (this
+        #: window) — the exact-attribution evidence for memory diffs.
+        self.store_pcs: dict = {}
+        self._current_pc = 0
+
+    # ------------------------------------------------------------------
+
+    def _on_store(self, addr: int, length: int) -> None:
+        for chunk in _chunks(addr, length):
+            self.dirty.add(chunk)
+            self.store_pcs[chunk] = self._current_pc
+
+    def drain_dirty(self) -> Tuple[Set[int], dict]:
+        dirty, pcs = self.dirty, self.store_pcs
+        self.dirty, self.store_pcs = set(), {}
+        return dirty, pcs
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self):
+        return self.interp.state
+
+    @property
+    def memory(self) -> PhysicalMemory:
+        return self.interp.memory
+
+    @property
+    def output(self) -> List[int]:
+        return getattr(self.interp.services, "output", [])
+
+    def step(self) -> bool:
+        """Execute one base instruction; returns False once the program
+        has ended (exit or fault) — the terminal event is latched."""
+        if self.exited or self.fault is not None:
+            return False
+        if self.count >= self.max_instructions:
+            raise InstructionBudgetExceeded(
+                f"golden side exceeded {self.max_instructions} instructions")
+        self._current_pc = self.interp.state.pc
+        try:
+            self.interp.step()
+        except ProgramExit as exit_exc:
+            self.count += 1
+            self.exited = True
+            self.exit_code = exit_exc.code
+            return False
+        except BaseArchFault as fault:
+            self.fault = fault
+            self.fault_pc = self._current_pc
+            return False
+        self.count += 1
+        return True
+
+    def advance(self, target_count: int) -> bool:
+        """Step until ``count`` reaches ``target_count``; False when the
+        program ended first."""
+        while self.count < target_count:
+            if not self.step():
+                return False
+        return True
+
+    def run_to_end(self) -> None:
+        while self.step():
+            pass
+
+
+class SubjectTracker:
+    """Dirty-chunk tracking on the subject's physical memory."""
+
+    def __init__(self, memory: PhysicalMemory):
+        self.dirty: Set[int] = set()
+        memory.store_sink = self._on_store
+
+    def _on_store(self, addr: int, length: int) -> None:
+        self.dirty.update(_chunks(addr, length))
+
+    def drain_dirty(self) -> Set[int]:
+        dirty, self.dirty = self.dirty, set()
+        return dirty
+
+
+class LockstepChecker:
+    """Compares golden and subject at every commit point."""
+
+    def __init__(self, golden: GoldenReference, system: DaisySystem,
+                 case: str, backend: str):
+        self.golden = golden
+        self.system = system
+        self.case = case
+        self.backend = backend
+        self.tracker = SubjectTracker(system.memory)
+        self.divergences: List[Divergence] = []
+        self.window_start = 0
+        self._output_seen = 0
+        system.bus.subscribe(CommitPoint, self._on_commit)
+
+    # ------------------------------------------------------------------
+
+    def _route_evidence(self) -> Tuple[List[int], str]:
+        route = self.system.engine.last_route
+        try:
+            return route_base_pcs(route), describe_route(route)
+        except Exception:                      # evidence, never a crash
+            return [], ""
+
+    def _record(self, kind: str, completed: int, detail: dict,
+                base_pc: Optional[int] = None) -> Divergence:
+        pcs, rendered = self._route_evidence()
+        divergence = Divergence(
+            kind=kind, case=self.case, backend=self.backend,
+            completed=completed, window_start=self.window_start,
+            detail=detail, base_pc=base_pc,
+            route_base_pcs=pcs, vliw_route=rendered)
+        self.divergences.append(divergence)
+        return divergence
+
+    # ------------------------------------------------------------------
+
+    def _on_commit(self, event: CommitPoint) -> None:
+        self.check_boundary(event.completed, expect_pc=event.pc)
+
+    def check_boundary(self, completed: int,
+                       expect_pc: Optional[int] = None,
+                       final: bool = False) -> None:
+        """Advance the golden side to ``completed`` instructions and
+        compare everything; raises :class:`_LockstepAbort` on the first
+        mismatch (callers unwind the subject run)."""
+        golden = self.golden
+        if not golden.advance(completed):
+            if golden.fault is not None:
+                self._record("fault", golden.count, {
+                    "golden": _fault_key(golden.fault, golden.fault_pc),
+                    "subject": ("ran past the golden fault",
+                                f"committed {completed}")},
+                    base_pc=golden.fault_pc)
+            else:
+                self._record("exit", golden.count, {
+                    "golden": ("exited", golden.exit_code,
+                               f"after {golden.count}"),
+                    "subject": ("still running", completed)})
+            raise _LockstepAbort()
+
+        detail: dict = {}
+        base_pc: Optional[int] = None
+
+        if expect_pc is not None and golden.state.pc != expect_pc:
+            self._record("pc", completed, {
+                "pc": (golden.state.pc, expect_pc)})
+            raise _LockstepAbort()
+
+        native = golden.state.snapshot()
+        subject = self.system.state.snapshot()
+        native.pop("pc")
+        subject.pop("pc")
+        for key in native:
+            if native[key] != subject[key]:
+                detail[key] = (native[key], subject[key])
+        if detail:
+            base_pc = self._attribute_registers(detail)
+            self._record("state", completed, detail, base_pc=base_pc)
+            raise _LockstepAbort()
+
+        self._check_memory(completed)
+        self._check_output(completed)
+        self.window_start = completed
+
+    # ------------------------------------------------------------------
+
+    def _attribute_registers(self, detail: dict) -> Optional[int]:
+        """Best-effort exact attribution: the base pc of the last
+        non-speculative route parcel writing a mismatched register."""
+        route = self.system.engine.last_route
+        candidates: List[int] = []
+        for key, (native_val, subject_val) in detail.items():
+            flat: List[int] = []
+            if key == "gpr":
+                flat = [regs.gpr(i) for i in range(32)
+                        if native_val[i] != subject_val[i]]
+            elif key == "cr":
+                flat = [regs.crf(i) for i in range(8)
+                        if native_val[i] != subject_val[i]]
+            elif key == "fpr":
+                flat = [regs.fpr(i) for i in range(32)
+                        if native_val[i] != subject_val[i]]
+            elif key == "lr":
+                flat = [regs.LR]
+            elif key == "ctr":
+                flat = [regs.CTR]
+            for reg in flat:
+                candidates.extend(route_writers_of(route, reg))
+        return candidates[-1] if candidates else None
+
+    def _check_memory(self, completed: int) -> None:
+        golden_dirty, golden_pcs = self.golden.drain_dirty()
+        dirty = golden_dirty | self.tracker.drain_dirty()
+        golden_mem = self.golden.memory
+        subject_mem = self.system.memory
+        size = min(golden_mem.size, subject_mem.size)
+        for chunk in sorted(dirty):
+            addr = chunk * CHUNK
+            length = min(CHUNK, size - addr)
+            if length <= 0:
+                continue
+            golden_bytes = golden_mem.read_bytes(addr, length)
+            subject_bytes = subject_mem.read_bytes(addr, length)
+            if golden_bytes != subject_bytes:
+                self._record("memory", completed, {
+                    f"mem[{addr:#x}]": (golden_bytes.hex(),
+                                        subject_bytes.hex())},
+                    base_pc=golden_pcs.get(chunk))
+                raise _LockstepAbort()
+
+    def _check_output(self, completed: int) -> None:
+        golden_out = self.golden.output
+        subject_out = getattr(self.system.services, "output", [])
+        seen = self._output_seen
+        checked = min(len(golden_out), len(subject_out))
+        if golden_out[seen:checked] != subject_out[seen:checked]:
+            self._record("output", completed, {
+                "output": (golden_out[seen:checked],
+                           subject_out[seen:checked])})
+            raise _LockstepAbort()
+        self._output_seen = checked
+
+
+def _fault_key(fault: BaseArchFault, base_pc: Optional[int]) -> tuple:
+    return (type(fault).__name__, getattr(fault, "address", None),
+            fault.vector, base_pc)
+
+
+SystemFactory = Callable[[], DaisySystem]
+
+
+def run_lockstep(program, system_factory: SystemFactory,
+                 case: str = "", backend: str = "daisy",
+                 max_vliws: int = 50_000_000,
+                 max_instructions: int = 50_000_000) -> CaseResult:
+    """Run ``program`` on a fresh subject system under full lockstep
+    checking; returns the :class:`CaseResult` (at most one divergence —
+    checking stops at the first architectural disagreement)."""
+    golden = GoldenReference(program, max_instructions=max_instructions)
+    system = system_factory()
+    system.load_program(program)
+    checker = LockstepChecker(golden, system, case, backend)
+    result = CaseResult(name=case, backend=backend)
+
+    subject_fault: Optional[Tuple[BaseArchFault, Optional[int]]] = None
+    subject_exit: Optional[int] = None
+    try:
+        run = system.run(max_vliws=max_vliws)
+        subject_exit = run.exit_code
+        completed = run.base_instructions
+    except _LockstepAbort:
+        result.divergences = checker.divergences
+        result.instructions = golden.count
+        return result
+    except PreciseFault as precise:
+        subject_fault = (precise.fault, precise.base_pc)
+        completed = system.engine.stats.completed
+    except BaseArchFault as fault:
+        # A VMM-path fault (e.g. instruction fetch outside the image)
+        # with no engine route: attributed to the pc being looked up.
+        subject_fault = (fault, None)
+        completed = system.engine.stats.completed
+    except (SimulationError, InstructionBudgetExceeded) as error:
+        checker._record("error", system.engine.stats.completed, {
+            "error": (type(error).__name__, str(error))})
+        result.divergences = checker.divergences
+        result.instructions = golden.count
+        return result
+
+    try:
+        _check_terminal(checker, golden, subject_fault, subject_exit,
+                        completed)
+    except _LockstepAbort:
+        pass
+    result.divergences = checker.divergences
+    result.instructions = golden.count
+    return result
+
+
+def _check_terminal(checker: LockstepChecker, golden: GoldenReference,
+                    subject_fault, subject_exit: Optional[int],
+                    completed: int) -> None:
+    """Compare how the two runs ended."""
+    if subject_fault is not None:
+        fault, base_pc = subject_fault
+        golden.advance(completed)
+        # The golden side must fault the same way at the same place.
+        while golden.fault is None and not golden.exited:
+            if not golden.step():
+                break
+        if golden.fault is None:
+            checker._record("fault", completed, {
+                "golden": ("no fault", "exited", golden.exit_code),
+                "subject": _fault_key(fault, base_pc)})
+            raise _LockstepAbort()
+        golden_key = _fault_key(golden.fault, golden.fault_pc)
+        subject_key = _fault_key(fault, base_pc if base_pc is not None
+                                 else golden.fault_pc)
+        if golden_key != subject_key:
+            checker._record("fault", completed, {
+                "golden": golden_key, "subject": subject_key},
+                base_pc=golden.fault_pc)
+            raise _LockstepAbort()
+        # Architected state at the fault must match (pc-exclusive,
+        # mirroring the equivalence tests).
+        checker.check_boundary(golden.count, final=True)
+        return
+
+    # Normal exit: the golden side must exit too, with the same code,
+    # after the same number of instructions, with equal final state.
+    golden.run_to_end()
+    if not golden.exited:
+        checker._record("exit", completed, {
+            "golden": ("faulted", _fault_key(golden.fault,
+                                             golden.fault_pc)),
+            "subject": ("exited", subject_exit)},
+            base_pc=golden.fault_pc)
+        raise _LockstepAbort()
+    if golden.exit_code != subject_exit or golden.count != completed:
+        checker._record("exit", completed, {
+            "exit_code": (golden.exit_code, subject_exit),
+            "instructions": (golden.count, completed)})
+        raise _LockstepAbort()
+    checker.check_boundary(golden.count, final=True)

@@ -1,0 +1,175 @@
+"""Structured results of differential conformance checking.
+
+A conformance run reduces to a :class:`ConformReport`: one
+:class:`CaseResult` per differential case (a bundled workload or a
+fuzzer-generated program), each carrying zero or more
+:class:`Divergence` records.  Everything is JSON-serializable so a
+``repro conform --json`` report is a complete, self-contained
+reproduction recipe: it embeds the seed, the generated assembly source,
+and the shrunk minimal reproducer (see docs/conformance.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Divergence:
+    """One architectural disagreement between the golden interpreter and
+    a subject backend, pinpointed as precisely as the evidence allows.
+
+    ``kind`` is one of:
+
+    * ``state``  — an architected register differed at a commit point;
+    * ``pc``     — the next base pc differed at a commit point;
+    * ``memory`` — architected memory bytes differed at a commit point;
+    * ``fault``  — the two sides faulted differently (type, address, or
+      attributed base pc), or only one side faulted;
+    * ``exit``   — exit codes or final instruction counts differed;
+    * ``output`` — the emulator-service output streams differed;
+    * ``error``  — the subject raised an internal error
+      (:class:`~repro.faults.SimulationError` or similar).
+    """
+
+    kind: str
+    #: Workload name or ``fuzz[<seed>:<index>]``.
+    case: str = ""
+    backend: str = ""
+    #: Base instructions completed when the mismatch was detected.
+    completed: int = 0
+    #: Completed count at the previous (still-equal) commit point: the
+    #: offending instruction lies in ``(window_start, completed]``.
+    window_start: int = 0
+    #: Mismatching fields: name -> (golden value, subject value).
+    detail: Dict[str, object] = field(default_factory=dict)
+    #: First mismatching base instruction, when attributable exactly
+    #: (store-log or register-writer attribution); else None.
+    base_pc: Optional[int] = None
+    #: Base pcs covered by the subject's last executed VLIW route — the
+    #: back-mapped candidate window for the offending instruction.
+    route_base_pcs: List[int] = field(default_factory=list)
+    #: Rendered dump of that route (``describe_route``).
+    vliw_route: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "case": self.case,
+            "backend": self.backend,
+            "completed": self.completed,
+            "window_start": self.window_start,
+            "detail": {key: list(value) if isinstance(value, tuple)
+                       else value
+                       for key, value in self.detail.items()},
+            "base_pc": self.base_pc,
+            "route_base_pcs": list(self.route_base_pcs),
+            "vliw_route": self.vliw_route,
+        }
+
+    def describe(self) -> str:
+        where = (f"base pc {self.base_pc:#x}" if self.base_pc is not None
+                 else f"instructions ({self.window_start}, "
+                      f"{self.completed}]")
+        return f"{self.case}/{self.backend}: {self.kind} divergence at {where}"
+
+
+@dataclass
+class CaseResult:
+    """One differential case, fully described for reproduction."""
+
+    name: str
+    backend: str
+    instructions: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    #: Generated assembly source (fuzz cases only; bundled workloads are
+    #: reproducible by name).
+    source: Optional[str] = None
+    #: Shrunk minimal reproducer source, when a divergence was found and
+    #: shrinking ran.
+    shrunk_source: Optional[str] = None
+    #: Body instructions in the shrunk reproducer.
+    shrunk_instructions: Optional[int] = None
+    seed: Optional[int] = None
+    case_index: Optional[int] = None
+
+    @property
+    def diverged(self) -> bool:
+        return bool(self.divergences)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "name": self.name,
+            "backend": self.backend,
+            "instructions": self.instructions,
+            "diverged": self.diverged,
+            "divergences": [d.to_dict() for d in self.divergences],
+        }
+        if self.source is not None:
+            record["source"] = self.source
+        if self.shrunk_source is not None:
+            record["shrunk_source"] = self.shrunk_source
+            record["shrunk_instructions"] = self.shrunk_instructions
+        if self.seed is not None:
+            record["seed"] = self.seed
+            record["case_index"] = self.case_index
+        return record
+
+
+@dataclass
+class ConformReport:
+    """The complete outcome of one ``repro conform`` invocation."""
+
+    backend: str = ""
+    seed: int = 0
+    cases: List[CaseResult] = field(default_factory=list)
+
+    @property
+    def divergences(self) -> List[Divergence]:
+        return [d for case in self.cases for d in case.divergences]
+
+    @property
+    def checked(self) -> int:
+        return len(self.cases)
+
+    @property
+    def ok(self) -> bool:
+        return not any(case.diverged for case in self.cases)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(case.instructions for case in self.cases)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "seed": self.seed,
+            "checked": self.checked,
+            "diverged": sum(case.diverged for case in self.cases),
+            "total_instructions": self.total_instructions,
+            "ok": self.ok,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        lines = [f"conform: {self.checked} cases on backend "
+                 f"{self.backend!r}, seed {self.seed}, "
+                 f"{self.total_instructions} base instructions"]
+        bad = [case for case in self.cases if case.diverged]
+        if not bad:
+            lines.append("conform: no divergences")
+        for case in bad:
+            for divergence in case.divergences:
+                lines.append("DIVERGENCE " + divergence.describe())
+            if case.shrunk_source is not None:
+                lines.append(
+                    f"  shrunk to {case.shrunk_instructions} body "
+                    f"instructions:")
+                lines.extend("  | " + line for line
+                             in case.shrunk_source.strip().splitlines())
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Delta-debugging shrinker for diverging fuzz cases.
+
+Given a diverging block list and an oracle (``diverges(blocks) ->
+bool``), the shrinker first minimizes at *block* granularity with a
+ddmin-style chunk removal pass, then strips individual instruction
+lines from the surviving non-atomic blocks.  Candidates that no longer
+assemble (a removed block owned a label another block branches to) are
+simply invalid — the oracle reports them as non-diverging and the
+shrinker moves on.  The result is the smallest reproducer the passes
+can reach that still triggers *a* divergence (not necessarily the same
+kind: any disagreement is a bug worth keeping).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.conform.fuzz import Block
+
+Oracle = Callable[[List[Block]], bool]
+
+
+def shrink_blocks(blocks: List[Block], diverges: Oracle,
+                  max_checks: int = 400) -> List[Block]:
+    """Minimize ``blocks`` while ``diverges`` stays true.
+
+    ``max_checks`` bounds the number of oracle invocations (each is a
+    full differential run); shrinking stops early when the budget is
+    exhausted and returns the best reproducer found so far.
+    """
+    budget = [max_checks]
+
+    def check(candidate: List[Block]) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        return diverges(candidate)
+
+    current = _ddmin(blocks, check)
+    current = _strip_lines(current, check)
+    # A second block pass often pays off once lines are gone.
+    current = _ddmin(current, check)
+    return current
+
+
+def _ddmin(blocks: List[Block], check: Oracle) -> List[Block]:
+    """Classic ddmin on the block list: try removing chunks of
+    decreasing size, restarting whenever a removal sticks."""
+    current = list(blocks)
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1:
+        removed_any = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and check(candidate):
+                current = candidate
+                removed_any = True
+                # Retry at the same position: the next chunk slid in.
+            else:
+                start += chunk
+        if chunk == 1 and not removed_any:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if removed_any else 0)
+    return current
+
+
+def _strip_lines(blocks: List[Block], check: Oracle) -> List[Block]:
+    """Remove individual instruction lines from non-atomic blocks."""
+    current = list(blocks)
+    for index in range(len(current)):
+        block = current[index]
+        if block.atomic:
+            continue
+        lines = list(block.lines)
+        cursor = 0
+        while cursor < len(lines):
+            text = lines[cursor].split("#", 1)[0].strip()
+            if text.endswith(":") or text.startswith("."):
+                cursor += 1
+                continue
+            candidate_lines = lines[:cursor] + lines[cursor + 1:]
+            candidate_block = Block(candidate_lines,
+                                    far_lines=block.far_lines,
+                                    data_lines=block.data_lines,
+                                    atomic=block.atomic,
+                                    shape=block.shape)
+            candidate = (current[:index] + [candidate_block]
+                         + current[index + 1:])
+            if check(candidate):
+                lines = candidate_lines
+                current = candidate
+            else:
+                cursor += 1
+    return current

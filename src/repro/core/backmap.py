@@ -124,6 +124,42 @@ def find_base_pc(entry_pc: int, route: Route, fault_op: Operation,
     raise SimulationError("faulting operation not found on route")
 
 
+def route_base_pcs(route: Route) -> List[int]:
+    """The ordered base instruction addresses a route's parcels belong
+    to (duplicates collapsed).
+
+    The conformance checker uses this as the *VLIW back-mapping* of a
+    divergence window: when lockstep comparison first fails at a commit
+    point, the base instructions of the subject's last executed route
+    are the candidates for the offending instruction, in the order the
+    translated code committed them.  Unlike :func:`find_base_pc` this
+    reads the parcels' ``base_pc`` annotations — it names a window, not
+    a proven culprit.
+    """
+    pcs: List[int] = []
+    for _vliw, tips in route:
+        for tip in tips:
+            for op in tip.ops:
+                if op.base_pc is not None and (
+                        not pcs or pcs[-1] != op.base_pc):
+                    pcs.append(op.base_pc)
+    return pcs
+
+
+def route_writers_of(route: Route, dest: int) -> List[int]:
+    """Base pcs of non-speculative route parcels writing register
+    ``dest`` (flat index) — used to attribute a register-state
+    divergence to the base instructions that last produced it."""
+    pcs: List[int] = []
+    for _vliw, tips in route:
+        for tip in tips:
+            for op in tip.ops:
+                if (op.dest == dest and not op.speculative
+                        and op.base_pc is not None):
+                    pcs.append(op.base_pc)
+    return pcs
+
+
 def describe_route(route: Route) -> str:
     """Human-readable dump of an executed route (debugging aid)."""
     lines = []

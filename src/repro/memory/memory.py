@@ -39,6 +39,11 @@ class PhysicalMemory:
         #: Called with the store's physical address whenever a store hits a
         #: protected unit; wired to the VMM's code-modification handler.
         self.code_modification_hook: Optional[Callable[[int], None]] = None
+        #: Called with ``(addr, length)`` before every architected store
+        #: (:meth:`load_raw` image loading bypasses it).  The conformance
+        #: subsystem uses this to track dirty memory for differential
+        #: comparison; leave ``None`` for zero overhead.
+        self.store_sink: Optional[Callable[[int, int], None]] = None
 
     # -- protection bits ----------------------------------------------------
 
@@ -65,6 +70,8 @@ class PhysicalMemory:
 
     def _store_check(self, addr: int, length: int) -> None:
         self._check(addr, length, is_store=True)
+        if self.store_sink is not None:
+            self.store_sink(addr, length)
         if self.code_modification_hook is not None and self.is_protected(addr):
             self.code_modification_hook(addr)
 

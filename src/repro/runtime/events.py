@@ -66,6 +66,16 @@ class EventBus:
         for handler in self._catchall:
             handler(event)
 
+    def wants(self, event_type: type) -> bool:
+        """True when a *typed* subscriber for ``event_type`` exists.
+
+        Publishers of high-frequency synchronization events (e.g.
+        :class:`CommitPoint`) check this to skip constructing events
+        nobody asked for; catchall subscribers deliberately do not count
+        — they are counters, not consumers of the hot channel.
+        """
+        return bool(self._handlers.get(event_type))
+
 
 # ----------------------------------------------------------------------
 # Event taxonomy.
@@ -184,6 +194,36 @@ class InterpretedEpisode:
 
 
 @dataclass(frozen=True)
+class CommitPoint:
+    """The VMM reached a base-instruction boundary with architecturally
+    consistent state: ``pc`` is the next base instruction and
+    ``completed`` base instructions have fully committed.  Published by
+    :class:`~repro.vmm.system.DaisySystem` only when a typed subscriber
+    exists (see :meth:`EventBus.wants`) — the lockstep conformance
+    checker synchronizes the golden interpreter on this channel."""
+    pc: int = 0
+    completed: int = 0
+
+
+@dataclass(frozen=True)
+class ConformCaseChecked:
+    """The conformance harness finished one differential case."""
+    name: str = ""
+    backend: str = ""
+    diverged: bool = False
+    instructions: int = 0
+
+
+@dataclass(frozen=True)
+class DivergenceFound:
+    """A differential case exposed an architectural divergence."""
+    name: str = ""
+    backend: str = ""
+    kind: str = ""
+    base_pc: int = 0
+
+
+@dataclass(frozen=True)
 class TierPromotion:
     """An entry crossed the hot-threshold and was compiled to VLIWs."""
     pc: int = 0
@@ -259,5 +299,6 @@ EVENT_TYPES: Tuple[Type, ...] = (
     TranslationInvalidated, Castout, PageTranslated, EntryTranslated,
     CrossPage, ItlbHit, ItlbMiss, ExternalInterrupt, FaultDelivered,
     AliasRecovery, CacheLevelMiss, MemoryAccess, InterpretedEpisode,
+    CommitPoint, ConformCaseChecked, DivergenceFound,
     TierPromotion, TierDemotion,
 )

@@ -36,6 +36,7 @@ from repro.memory.mmu import Mmu
 from repro.runtime.events import (
     AliasRecovery,
     CodeModification,
+    CommitPoint,
     CrossPage,
     EntryTranslated,
     EventBus,
@@ -426,6 +427,10 @@ class DaisySystem:
         result = DaisyRunResult()
         stats = self.engine.stats
         exit_code = 0
+        # Commit points are a high-frequency synchronization channel for
+        # the lockstep conformance checker; skip them entirely unless a
+        # typed subscriber registered before the run.
+        publish_commits = self.bus.wants(CommitPoint)
 
         while True:
             if stats.vliws > max_vliws:
@@ -443,6 +448,9 @@ class DaisySystem:
                 if done:
                     exit_code = code
                     break
+                if publish_commits:
+                    self.bus.publish(CommitPoint(
+                        pc=pc, completed=stats.completed))
                 continue
 
             try:
@@ -476,6 +484,9 @@ class DaisySystem:
                 # Interpret-after-rfi ran straight into the exit service.
                 exit_code = program_exit.code
                 break
+            if publish_commits:
+                self.bus.publish(CommitPoint(
+                    pc=pc, completed=stats.completed))
 
         self._fill(result, exit_code)
         return result

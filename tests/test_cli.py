@@ -60,6 +60,62 @@ _start:
         assert main(["run", str(path)]) == 1
 
 
+class TestRunTierFlags:
+    def test_zero_hot_threshold_translates_on_first_touch(self, capsys):
+        """``--tier tiered --hot-threshold 0`` through the CLI behaves
+        as classic DAISY: no interpreted episodes at all."""
+        assert main(["run", "wc", "--size", "tiny", "--tier", "tiered",
+                     "--hot-threshold", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "interpreted:" not in out
+
+    def test_positive_hot_threshold_interprets(self, capsys):
+        assert main(["run", "wc", "--size", "tiny", "--tier", "tiered",
+                     "--hot-threshold", "2"]) == 0
+        assert "interpreted:" in capsys.readouterr().out
+
+
+class TestConformCommand:
+    def test_conform_smoke(self, capsys):
+        assert main(["conform", "--seed", "0", "--cases", "5",
+                     "--workloads", "wc"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergences" in out
+        assert "6 cases" in out
+
+    def test_conform_json(self, capsys):
+        import json as json_mod
+        assert main(["conform", "--cases", "2", "--workloads", "",
+                     "--json"]) == 0
+        parsed = json_mod.loads(capsys.readouterr().out)
+        assert parsed["ok"] is True
+        assert parsed["checked"] == 2
+
+    def test_conform_other_backend(self, capsys):
+        assert main(["conform", "--cases", "2", "--workloads", "wc",
+                     "--backend", "interpreted"]) == 0
+
+    def test_conform_unknown_backend(self, capsys):
+        assert main(["conform", "--backend", "nonsense"]) == 2
+
+    def test_conform_reports_divergence_nonzero(self, capsys,
+                                                monkeypatch):
+        import repro.vliw.engine as engine_mod
+        from repro.primitives.ops import PrimOp
+
+        real = engine_mod._ALU_HANDLERS[PrimOp.SUB]
+
+        def off_by_one(srcs, imm, ca_step):
+            value, ca, ov = real(srcs, imm, ca_step)
+            return ((value - 1) & 0xFFFFFFFF, ca, ov)
+
+        monkeypatch.setitem(engine_mod._ALU_HANDLERS, PrimOp.SUB,
+                            off_by_one)
+        assert main(["conform", "--cases", "10", "--workloads", "",
+                     "--no-shrink"]) == 1
+        assert "DIVERGENCE" in capsys.readouterr().out
+
+
 class TestReportCommand:
     def test_report_prints_summary(self, capsys, monkeypatch):
         import repro.analysis.summary as summary_mod

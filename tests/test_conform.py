@@ -1,0 +1,264 @@
+"""The conformance subsystem: lockstep checking, the fuzzer, the
+shrinker, and the harness — including the headline property that an
+intentionally injected translation bug is caught and shrunk to a
+minimal reproducer."""
+
+import json
+
+import pytest
+
+import repro.vliw.engine as engine_mod
+from repro.conform import (
+    CaseResult,
+    ConformReport,
+    Divergence,
+    FuzzConfig,
+    generate_case,
+    run_case,
+    run_conformance,
+    run_fuzz_case,
+    run_lockstep,
+    shrink_blocks,
+)
+from repro.conform.fuzz import Block, count_instructions
+from repro.isa.assembler import Assembler
+from repro.primitives.ops import PrimOp
+from repro.runtime.events import (
+    CommitPoint,
+    ConformCaseChecked,
+    DivergenceFound,
+    EventBus,
+)
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+
+def daisy_factory():
+    return DaisySystem(MachineConfig.default())
+
+
+def assemble(source):
+    return Assembler().assemble(source)
+
+
+class TestLockstep:
+    @pytest.mark.parametrize("name", ["wc", "cmp", "c_sieve"])
+    def test_workloads_conform(self, name):
+        program = build_workload(name, "tiny").program
+        result = run_lockstep(program, daisy_factory, case=name)
+        assert not result.diverged, result.divergences[0].describe()
+        assert result.instructions > 0
+
+    def test_tiered_conforms(self):
+        program = build_workload("wc", "tiny").program
+        result = run_case(program, "wc", "tiered")
+        assert not result.diverged
+
+    def test_commit_points_only_published_when_wanted(self):
+        """The gate: without a lockstep subscriber no CommitPoint event
+        is ever constructed — normal runs pay nothing."""
+        program = build_workload("wc", "tiny").program
+        system = daisy_factory()
+        seen = []
+        system.bus.subscribe_all(seen.append)   # catchall doesn't count
+        system.load_program(program)
+        system.run()
+        assert not any(isinstance(e, CommitPoint) for e in seen)
+        assert not system.bus.wants(CommitPoint)
+
+    def test_exit_code_divergence_detected(self):
+        """Two backends disagreeing on the exit code is the coarsest
+        possible divergence; the checker must still pinpoint it."""
+        program = assemble("""
+.org 0x1000
+_start:
+    li    r4, 3
+    sub   r3, r4, r4
+    li    r0, 1
+    sc
+""")
+        bad = engine_mod._ALU_HANDLERS[PrimOp.SUB]
+
+        def off_by_one(srcs, imm, ca_step):
+            value, ca, ov = bad(srcs, imm, ca_step)
+            return ((value - 1) & 0xFFFFFFFF, ca, ov)
+
+        engine_mod._ALU_HANDLERS[PrimOp.SUB] = off_by_one
+        try:
+            result = run_lockstep(program, daisy_factory, case="sub")
+        finally:
+            engine_mod._ALU_HANDLERS[PrimOp.SUB] = bad
+        assert result.diverged
+        divergence = result.divergences[0]
+        assert divergence.kind in ("state", "exit")
+        golden_first = list(divergence.detail.values())[0]
+        assert golden_first[0] != golden_first[1]
+
+
+class TestFuzzer:
+    def test_cases_reproducible_from_seed_and_index(self):
+        for index in (0, 7, 23):
+            first = generate_case(42, index)
+            second = generate_case(42, index)
+            assert first.source == second.source
+
+    def test_different_indices_differ(self):
+        assert generate_case(0, 0).source != generate_case(0, 1).source
+
+    def test_different_seeds_differ(self):
+        assert generate_case(0, 5).source != generate_case(1, 5).source
+
+    @pytest.mark.parametrize("index", range(10))
+    def test_generated_cases_assemble(self, index):
+        case = generate_case(3, index, FuzzConfig(exceptions=True))
+        program = assemble(case.source)
+        assert program.entry == 0x1000
+
+    def test_corpus_covers_shape_families(self):
+        """Across a modest corpus every major shape family appears."""
+        shapes = set()
+        for index in range(40):
+            case = generate_case(0, index)
+            shapes.update(block.shape for block in case.blocks)
+        for family in ("alu3", "alui", "load", "store", "branch",
+                       "loop", "call", "smc", "alias", "fp"):
+            assert family in shapes, f"family {family!r} never generated"
+
+    def test_straight_line_config_has_no_control_flow(self):
+        for index in range(10):
+            case = generate_case(0, index, FuzzConfig.straight_line())
+            for block in case.blocks:
+                assert block.shape not in ("branch", "loop", "call",
+                                           "smc", "exception")
+
+    def test_count_instructions_skips_labels_and_directives(self):
+        assert count_instructions([
+            "label:", "    .word 5", "    add r3, r4, r5",
+            "    # comment", "    li r3, 1"]) == 2
+
+
+class TestShrinker:
+    def _bad_oracle(self, marker):
+        return lambda blocks: any(b.shape == marker for b in blocks)
+
+    def test_shrinks_to_single_essential_block(self):
+        blocks = [Block([f"    li r3, {i}"], shape="noise")
+                  for i in range(20)]
+        blocks.insert(13, Block(["    sub r3, r4, r5"], shape="bad"))
+        minimal = shrink_blocks(blocks, self._bad_oracle("bad"))
+        assert len(minimal) == 1
+        assert minimal[0].shape == "bad"
+
+    def test_strips_lines_from_non_atomic_blocks(self):
+        block = Block(["    li r3, 1", "    sub r3, r4, r5",
+                       "    li r5, 2"], shape="bad")
+        oracle = lambda blocks: any(
+            "sub" in line for b in blocks for line in b.lines)
+        minimal = shrink_blocks([block], oracle)
+        assert len(minimal) == 1
+        assert minimal[0].lines == ["    sub r3, r4, r5"]
+
+    def test_atomic_blocks_shrink_whole(self):
+        block = Block(["lab:", "    beq cr0, lab"], atomic=True,
+                      shape="bad")
+        minimal = shrink_blocks(
+            [block, Block(["    li r3, 1"], shape="noise")],
+            self._bad_oracle("bad"))
+        assert minimal == [block]
+
+    def test_respects_check_budget(self):
+        calls = []
+
+        def oracle(blocks):
+            calls.append(1)
+            return True
+
+        blocks = [Block([f"    li r3, {i}"]) for i in range(64)]
+        shrink_blocks(blocks, oracle, max_checks=10)
+        assert len(calls) <= 10
+
+
+class TestInjectedBugAcceptance:
+    """The ISSUE acceptance criterion: an injected translation bug must
+    be caught by the fuzz corpus and shrunk to a tiny reproducer."""
+
+    def test_injected_bug_caught_and_shrunk(self, monkeypatch):
+        real = engine_mod._ALU_HANDLERS[PrimOp.SUB]
+
+        def off_by_one(srcs, imm, ca_step):
+            value, ca, ov = real(srcs, imm, ca_step)
+            return ((value - 1) & 0xFFFFFFFF, ca, ov)
+
+        monkeypatch.setitem(engine_mod._ALU_HANDLERS, PrimOp.SUB,
+                            off_by_one)
+        caught = None
+        for index in range(50):
+            case = generate_case(0, index, FuzzConfig(exceptions=True))
+            result = run_fuzz_case(case, "daisy", shrink=True)
+            if result.diverged:
+                caught = result
+                break
+        assert caught is not None, "injected bug never caught"
+        assert caught.shrunk_source is not None
+        assert caught.shrunk_instructions <= 8
+        assert "sub" in caught.shrunk_source
+        # The minimal reproducer must still reproduce.
+        program = assemble(caught.shrunk_source)
+        replay = run_lockstep(program, daisy_factory, case="replay")
+        assert replay.diverged
+
+    def test_clean_engine_replays_clean(self):
+        """Sanity: the same corpus prefix is clean without the bug."""
+        for index in range(5):
+            case = generate_case(0, index, FuzzConfig(exceptions=True))
+            result = run_fuzz_case(case, "daisy", shrink=False)
+            assert not result.diverged, \
+                result.divergences[0].describe()
+
+
+class TestHarness:
+    def test_report_shape_and_events(self):
+        bus = EventBus()
+        checked = []
+        found = []
+        bus.subscribe(ConformCaseChecked, checked.append)
+        bus.subscribe(DivergenceFound, found.append)
+        report = run_conformance(seed=0, cases=4, workloads=["wc"],
+                                 bus=bus)
+        assert report.checked == 5
+        assert report.ok
+        assert len(checked) == 5
+        assert not found
+        assert {event.backend for event in checked} == {"daisy"}
+
+    def test_result_level_backend(self):
+        report = run_conformance(seed=0, cases=2, workloads=["wc"],
+                                 backend="superscalar")
+        assert report.ok
+        assert report.checked == 3
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown conformance"):
+            run_conformance(cases=0, workloads=[], backend="vliw9000")
+
+    def test_json_round_trip(self):
+        report = run_conformance(seed=0, cases=2, workloads=[])
+        parsed = json.loads(report.to_json())
+        assert parsed["ok"] is True
+        assert parsed["checked"] == 2
+        assert parsed["cases"][0]["name"] == "fuzz[0:0]"
+
+    def test_divergence_serialization(self):
+        divergence = Divergence(kind="state", case="x", backend="daisy",
+                                completed=9, window_start=3,
+                                detail={"gpr": ((1,), (2,))},
+                                base_pc=0x1004,
+                                route_base_pcs=[0x1000, 0x1004])
+        record = divergence.to_dict()
+        assert record["detail"]["gpr"] == [(1,), (2,)]
+        assert "0x1004" in divergence.describe()
+        report = ConformReport(backend="daisy", cases=[CaseResult(
+            name="x", backend="daisy", divergences=[divergence])])
+        assert not report.ok
+        assert "DIVERGENCE" in report.summary()

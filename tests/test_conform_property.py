@@ -1,0 +1,135 @@
+"""Property-based interpreter-vs-DAISY equality, reusing the conform
+runner.
+
+Two generator regimes feed :func:`repro.conform.run_lockstep`:
+
+* hypothesis builds small straight-line programs directly from an
+  instruction-shape strategy (derandomized — CI is deterministic);
+* the conform fuzzer's own corpus is replayed at fixed seeds, across
+  the tier backends.
+
+Everything here asserts the same property: zero divergences.  The
+``slow`` marker splits the deep corpus sweep out of the default run
+(``pytest -m "not slow"``); CI runs it on the nightly schedule.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.conform import FuzzConfig, generate_case, run_fuzz_case, run_lockstep
+from repro.isa.assembler import Assembler
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+
+SETTINGS = settings(max_examples=30, derandomize=True, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def daisy_factory():
+    return DaisySystem(MachineConfig.default())
+
+
+# ----------------------------------------------------------------------
+# Strategy: small straight-line programs over the ALU/compare/memory
+# subset, always terminated by the exit service call.
+# ----------------------------------------------------------------------
+
+_REG = st.integers(3, 25).map("r{}".format)
+_SRC = st.integers(1, 28).map("r{}".format)
+
+_ALU3 = st.tuples(
+    st.sampled_from(["add", "sub", "mullw", "divw", "divwu", "and",
+                     "or", "xor", "nand", "nor", "andc", "slw", "srw",
+                     "sraw"]),
+    _REG, _SRC, _SRC,
+).map(lambda t: f"    {t[0]} {t[1]}, {t[2]}, {t[3]}")
+
+_ALUI = st.tuples(
+    st.sampled_from(["addi", "ai", "mulli"]),
+    _REG, _SRC, st.integers(-(1 << 13), (1 << 13) - 1),
+).map(lambda t: f"    {t[0]} {t[1]}, {t[2]}, {t[3]}")
+
+_SHIFT = st.tuples(
+    st.sampled_from(["slwi", "srwi", "srawi"]),
+    _REG, _SRC, st.integers(0, 31),
+).map(lambda t: f"    {t[0]} {t[1]}, {t[2]}, {t[3]}")
+
+_CMP = st.tuples(
+    st.integers(0, 7), _SRC, st.integers(-(1 << 14), (1 << 14) - 1),
+).map(lambda t: f"    cmpi cr{t[0]}, {t[1]}, {t[2]}")
+
+_LOAD = st.tuples(
+    st.sampled_from(["lbz", "lhz", "lwz"]), _REG,
+    st.integers(0, 63).map(lambda n: n * 4),
+).map(lambda t: f"    {t[0]} {t[1]}, {t[2]}(r29)")
+
+_STORE = st.tuples(
+    st.sampled_from(["stb", "sth", "stw"]), _SRC,
+    st.integers(0, 63).map(lambda n: n * 4),
+).map(lambda t: f"    {t[0]} {t[1]}, {t[2]}(r30)")
+
+_LINE = st.one_of(_ALU3, _ALUI, _SHIFT, _CMP, _LOAD, _STORE)
+
+_INIT = st.lists(
+    st.tuples(st.integers(1, 25),
+              st.integers(-(1 << 18), (1 << 18) - 1)),
+    min_size=3, max_size=8,
+).map(lambda pairs: [f"    li r{reg}, {value}"
+                     for reg, value in pairs])
+
+_PROGRAM = st.tuples(_INIT, st.lists(_LINE, min_size=1, max_size=20)) \
+    .map(lambda t: "\n".join(
+        [".org 0x1000", "_start:"] + t[0]
+        + ["    li r29, 0x20000", "    li r30, 0x20400"] + t[1]
+        + ["    li r0, 1", "    sc", "",
+           ".org 0x20000", "data:", "    .word "
+           + ", ".join(str((i * 2654435761) % (1 << 32))
+                       for i in range(16))]))
+
+
+class TestHypothesisPrograms:
+    @SETTINGS
+    @given(source=_PROGRAM)
+    def test_straight_line_programs_conform(self, source):
+        program = Assembler().assemble(source)
+        result = run_lockstep(program, daisy_factory, case="hyp",
+                              max_instructions=100_000)
+        assert not result.diverged, \
+            result.divergences[0].describe() + "\n" + source
+
+    @SETTINGS
+    @given(index=st.integers(0, 500))
+    def test_fuzzer_straight_line_corpus_conforms(self, index):
+        case = generate_case(11, index, FuzzConfig.straight_line())
+        result = run_fuzz_case(case, "daisy", shrink=False)
+        assert not result.diverged, \
+            result.divergences[0].describe()
+
+
+class TestFixedSeedCorpus:
+    """The conform fuzzer replayed at fixed seeds — the cheap prefix on
+    every run, the deep sweep nightly."""
+
+    @pytest.mark.parametrize("backend", ["daisy", "tiered",
+                                         "interpretive", "hash"])
+    def test_corpus_prefix_conforms(self, backend):
+        config = FuzzConfig(exceptions=True)
+        for index in range(15):
+            case = generate_case(0, index, config)
+            result = run_fuzz_case(case, backend, shrink=False)
+            assert not result.diverged, \
+                f"{backend}: " + result.divergences[0].describe()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("backend", ["daisy", "tiered",
+                                         "interpretive", "hash"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_deep_corpus_conforms(self, backend, seed):
+        config = FuzzConfig(exceptions=True)
+        for index in range(150):
+            case = generate_case(seed, index, config)
+            result = run_fuzz_case(case, backend, shrink=False)
+            assert not result.diverged, \
+                f"{backend} seed {seed}: " \
+                + result.divergences[0].describe()

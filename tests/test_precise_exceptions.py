@@ -113,6 +113,92 @@ class TestFaultInjection:
         assert fault.base_pc == loop_site_pc(program, site)
 
 
+#: A load of a poisoned pointer sits behind a conditional branch; the
+#: translator speculatively hoists it, so its fault must be *deferred*
+#: (exception-tag mechanism, Section 3.5) and delivered only when the
+#: guarded path actually commits.
+GUARDED_TEMPLATE = """
+.org 0x1000
+_start:
+    li    r10, 0x20000
+    li    r11, 0x3FFF0
+    li    r4, {take}
+    li    r2, 5
+    mtctr r2
+loop:
+    lwz   r3, 0(r10)
+    cmpi  cr0, r4, 0
+    beq   skip
+    lwz   r5, 0(r11)         # faulting, control-dependent
+skip:
+    add   r6, r6, r3
+    bdnz  loop
+    li    r3, 0
+    li    r0, 1
+    sc
+"""
+
+
+class TestSpeculativeFaults:
+    def _run(self, take):
+        program = Assembler().assemble(GUARDED_TEMPLATE.format(take=take))
+        system = DaisySystem(MachineConfig.default(), memory_size=0x30000)
+        system.engine.check_parallel_semantics = True
+        system.load_program(program)
+        fault = None
+        result = None
+        try:
+            result = system.run()
+        except PreciseFault as precise:
+            fault = precise
+        return program, system, result, fault
+
+    def _speculative_copies(self, system, base_pc):
+        return [op for paddr in system.translation_cache.live_pages
+                for group in system.translation_cache
+                .lookup(paddr).entries.values()
+                for vliw in group.vliws for op in vliw.all_ops()
+                if op.is_load and op.speculative and op.base_pc == base_pc]
+
+    def test_uncommitted_speculative_load_raises_nothing(self):
+        """The guard is never taken: the load was hoisted (it exists as
+        a speculative parcel) and its address is invalid, yet the run
+        must complete without any exception."""
+        program, system, result, fault = self._run(take=0)
+        assert fault is None
+        assert result.exit_code == 0
+        guarded_pc = program.symbol("loop") + 12
+        assert self._speculative_copies(system, guarded_pc), \
+            "premise broken: the guarded load was not speculated"
+
+    def test_committed_speculative_load_faults_at_original_pc(self):
+        """The guard is taken: the deferred exception must surface, and
+        the back-map must name the original base instruction — not the
+        VLIW position the speculative load was hoisted to."""
+        program, system, result, fault = self._run(take=1)
+        assert fault is not None
+        guarded_pc = program.symbol("loop") + 12
+        assert fault.base_pc == guarded_pc
+        assert fault.fault.address == 0x3FFF0
+        assert self._speculative_copies(system, guarded_pc)
+
+    def test_uncommitted_fault_state_matches_interpreter(self):
+        """With the guard never taken both sides must agree on every
+        architected register at exit."""
+        program, system, result, fault = self._run(take=0)
+        from repro.memory.memory import PhysicalMemory
+        from repro.memory.mmu import Mmu
+        interp = Interpreter(memory=PhysicalMemory(size=0x30000),
+                             mmu=Mmu(physical_size=0x30000))
+        interp.load_program(program)
+        interp.run()
+        native = interp.state.snapshot()
+        daisy = system.state.snapshot()
+        native.pop("pc")
+        daisy.pop("pc")
+        assert native == daisy
+
+
 class TestFaultType:
     def test_dar_and_dsisr(self):
         program = make_program(2)

@@ -30,6 +30,36 @@ def run_tiered(program, tier="tiered", hot_threshold=1, **kwargs):
     return system, result
 
 
+def _multi_page_program():
+    """A loop calling four subroutines that each live on their own page
+    — a translated working set of five pages, so a small pool thrashes."""
+    parts = ["""
+.org 0x1000
+_start:
+    li    r7, 0
+    li    r9, 3
+outer:
+"""]
+    for k in range(4):
+        parts.append(f"    bl    sub{k}\n    add   r7, r7, r3\n")
+    parts.append("""
+    subi  r9, r9, 1
+    cmpi  cr0, r9, 0
+    bne   outer
+    mr    r3, r7
+    li    r0, 1
+    sc
+""")
+    for k in range(4):
+        parts.append(f"""
+.org {hex(0x3000 + k * 0x1000)}
+sub{k}:
+    li    r3, {k + 1}
+    blr
+""")
+    return Assembler().assemble("".join(parts))
+
+
 class TestControllerPolicy:
     def test_mode_validation(self):
         with pytest.raises(ValueError, match="unknown tier mode"):
@@ -196,6 +226,41 @@ other:
         assert tiered.interpreted_episodes == 0
         assert tiered.tier_promotions == 0
         assert tiered.vliws == classic.vliws
+
+    def test_castout_demotes_translated_entries(self):
+        """A translation pool too small for the working set must thrash
+        — every LRU cast-out demotes the page's entries back to the
+        interpretive tier, and the program still runs correctly."""
+        program = _multi_page_program()
+        interp, native = run_native(program)
+        assert native.exit_code == 3 * (1 + 2 + 3 + 4)
+
+        # The hash strategy reserves only actual code bytes, so a tiny
+        # pool forces LRU cast-outs as the four subroutine pages cycle.
+        system, result = run_tiered(program, hot_threshold=1,
+                                    strategy="hash",
+                                    translation_capacity_bytes=64)
+        assert result.exit_code == native.exit_code
+        castouts = result.event_counts.count(Castout)
+        assert castouts > 0
+        assert result.tier_demotions == castouts
+        assert result.event_counts.count(TierDemotion) == castouts
+        # Each demoted entry re-earned its heat and was re-promoted.
+        assert result.tier_promotions > castouts
+        assert_state_equivalent(interp, system)
+
+    def test_castout_demotion_resets_heat_before_reentry(self):
+        """After a cast-out demotion the entry must pass through the
+        interpretive tier again (episodes reset), not jump straight back
+        to translated execution."""
+        program = _multi_page_program()
+        _, roomy = run_tiered(program, hot_threshold=1, strategy="hash")
+        _, tight = run_tiered(program, hot_threshold=1, strategy="hash",
+                              translation_capacity_bytes=64)
+        assert tight.exit_code == roomy.exit_code
+        assert tight.tier_demotions > roomy.tier_demotions == 0
+        # Re-interpretation shows up as extra interpreted episodes.
+        assert tight.interpreted_episodes > roomy.interpreted_episodes
 
     def test_daisy_mode_never_promotes(self):
         program = build_workload("cmp", "tiny").program
