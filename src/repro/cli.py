@@ -132,6 +132,27 @@ def cmd_translate(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.conform.harness import LOCKSTEP_BACKENDS
+    from repro.resilience import run_chaos
+
+    if args.backend not in LOCKSTEP_BACKENDS:
+        print(f"chaos requires a lockstep backend "
+              f"(choose from {', '.join(LOCKSTEP_BACKENDS)})",
+              file=sys.stderr)
+        return 2
+    workloads = None if args.workloads is None else \
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+    report = run_chaos(seed=args.seed, faults=args.faults,
+                       workloads=workloads, backend=args.backend,
+                       size=args.size, sandbox=not args.no_sandbox)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_report(args) -> int:
     from repro.analysis.summary import generate_summary, summary_rows_hold
     text = generate_summary(size=args.size)
@@ -321,6 +342,34 @@ def main(argv: Optional[list] = None) -> int:
                                      "shrunk reproducers included) as "
                                      "JSON")
     conform_parser.set_defaults(func=cmd_conform)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="chaos conformance: run workloads under a seeded fault "
+             "schedule with lockstep checking attached "
+             "(repro.resilience)")
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="fault-plan seed (per-workload plans "
+                                   "are derived deterministically)")
+    chaos_parser.add_argument("--faults", type=int, default=200,
+                              help="fault events scheduled per workload")
+    chaos_parser.add_argument("--workloads", default=None,
+                              help="comma-separated workloads "
+                                   "(default: wc,cmp,c_sieve)")
+    chaos_parser.add_argument("--backend", default="daisy",
+                              help="lockstep subject variant: daisy, "
+                                   "tiered, interpretive, hash")
+    chaos_parser.add_argument("--size", default="tiny",
+                              choices=["tiny", "small", "default"],
+                              help="workload size preset")
+    chaos_parser.add_argument("--no-sandbox", action="store_true",
+                              help="disable the recovery sandbox (the "
+                                   "same schedules then crash the VMM "
+                                   "— demonstrates what the resilience "
+                                   "layer buys)")
+    chaos_parser.add_argument("--json", action="store_true",
+                              help="emit the full report as JSON")
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     report_parser = sub.add_parser(
         "report", help="paper-vs-measured summary of the headline results")

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.faults import TranslatorInvariantError
 from repro.isa.encoding import decode
 from repro.isa.instructions import Instruction
 from repro.core.group import GroupBuilder
@@ -73,6 +74,12 @@ class PageTranslator:
         #: Instrumentation: receives an :class:`EntryTranslated` event
         #: per compiled entry point.
         self.event_sink: Optional[Callable[[object], None]] = None
+        #: Resilience seam: called with ``(translation, entry_pc)``
+        #: before any translation work for an entry begins, so a fault
+        #: injector can raise a :class:`~repro.faults.VmmError` while
+        #: the translation state is still clean (no partial entries).
+        self.fault_hook: \
+            Optional[Callable[[PageTranslation, int], None]] = None
 
     # ------------------------------------------------------------------
 
@@ -95,6 +102,8 @@ class PageTranslator:
         existing = translation.entries.get(offset)
         if existing is not None:
             return existing
+        if self.fault_hook is not None:
+            self.fault_hook(translation, entry_pc)
 
         page_base = entry_pc - offset
         worklist: List[int] = [entry_pc]
@@ -136,7 +145,14 @@ class PageTranslator:
                 first_group = group
 
         result = translation.entries.get(offset)
-        assert result is not None
+        if result is None:
+            # A typed VmmError (not a bare assert): the sandbox in
+            # DaisySystem catches it and demotes the page instead of
+            # crashing — and it still fires under ``python -O``.
+            raise TranslatorInvariantError(
+                f"translation worklist drained without producing an "
+                f"entry for pc {entry_pc:#x} "
+                f"(page {translation.page_paddr:#x})")
         return result
 
     # ------------------------------------------------------------------

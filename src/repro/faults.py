@@ -17,6 +17,41 @@ class SimulationError(Exception):
     modelled architectural event)."""
 
 
+class VmmError(Exception):
+    """A failure of the VMM's own machinery (translator crash, budget
+    blow-out, invariant violation) — as opposed to an architected base
+    event.  The paper's compatibility promise means these must never
+    surface to the base OS or kill the machine: the resilience layer
+    (:mod:`repro.runtime.tiers` recovery policy + the sandbox in
+    :class:`~repro.vmm.system.DaisySystem`) catches them, aborts the
+    offending page translation, and falls back to the always-correct
+    interpretive tier.
+
+    ``transient`` marks errors worth retrying (resource exhaustion that
+    may clear) versus deterministic ones (an invariant violation will
+    recur on every attempt).
+    """
+
+    transient = False
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.__class__.__name__)
+
+
+class TranslatorInvariantError(VmmError):
+    """The translator violated one of its own invariants (e.g. the
+    entry worklist drained without producing the requested entry).
+    Deterministic: retrying the same translation would fail again."""
+
+
+class TranslationBudgetError(VmmError):
+    """The translator/scheduler exhausted a time or group budget while
+    compiling a page.  Transient: a retry (after interpretive backoff)
+    may complete under less pressure."""
+
+    transient = True
+
+
 class BaseArchFault(Exception):
     """An exception architected in the base architecture.
 

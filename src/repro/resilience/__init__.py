@@ -1,0 +1,45 @@
+"""VMM resilience: deterministic fault injection and chaos conformance.
+
+The paper's compatibility promise (Chapter 2) is usually read as a
+statement about *programs*: translated execution is architecturally
+indistinguishable from native execution.  This package reads it as a
+statement about the *VMM* too — the machinery may fail (a translator
+bug, a budget blow-out, a pathological cast-out storm), but none of
+that may ever be visible to the base architecture.  Three layers test
+the claim:
+
+* :mod:`repro.resilience.plan` — a :class:`FaultPlan` of seeded,
+  reproducible fault events, one per named VMM seam;
+* :mod:`repro.resilience.injector` — a :class:`FaultInjector` that
+  attaches a plan to a live :class:`~repro.vmm.system.DaisySystem`
+  through the same event-bus and hook plumbing ordinary
+  instrumentation uses;
+* :mod:`repro.resilience.chaos` — :func:`run_chaos`, which runs
+  workloads under randomized fault schedules with the lockstep
+  conformance checker attached and asserts that architected state,
+  output, and fault identity never diverge.
+
+The recovery half (the sandbox, retry/backoff, quarantine, and the
+re-translation watchdog) lives with the mechanisms it protects, in
+:mod:`repro.vmm.system` and :mod:`repro.runtime.tiers`; see
+``docs/resilience.md`` for the whole state machine.
+"""
+
+from repro.resilience.chaos import ChaosReport, run_chaos
+from repro.resilience.injector import (
+    FaultInjector,
+    InjectedBudgetExhaustion,
+    InjectedTranslatorCrash,
+)
+from repro.resilience.plan import SEAMS, FaultEvent, FaultPlan
+
+__all__ = [
+    "SEAMS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedBudgetExhaustion",
+    "InjectedTranslatorCrash",
+    "ChaosReport",
+    "run_chaos",
+]

@@ -1,0 +1,229 @@
+"""The chaos-conformance harness: faults + lockstep, together.
+
+:func:`run_chaos` runs bundled workloads on a VMM with a randomized
+(but seeded, hence reproducible) fault schedule attached, while the
+lockstep conformance checker compares every commit window against the
+golden reference interpreter.  The claim under test is the conjunction
+of the paper's compatibility promise and the resilience layer's:
+
+* no injected fault may produce an architectural divergence —
+  registers, memory, output, fault identity all stay bit-exact;
+* no injected fault may crash the VMM — the sandbox absorbs translator
+  failures and degrades the affected pages to interpretive execution.
+
+Running with ``sandbox=False`` demonstrates the counterfactual: the
+same schedules kill an unprotected VMM (the report's ``crashes`` list
+fills up and ``ok`` goes false).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.conform.harness import LOCKSTEP_BACKENDS
+from repro.conform.lockstep import run_lockstep
+from repro.resilience.injector import FaultInjector
+from repro.resilience.plan import SEAMS, FaultPlan
+from repro.runtime.backend import DaisyBackend
+from repro.runtime.events import PageQuarantined, TranslationAbort
+from repro.runtime.tiers import RecoveryPolicy
+from repro.workloads import build_workload
+
+#: Default chaos corpus: quick, branchy, and store-heavy respectively.
+DEFAULT_WORKLOADS = ("wc", "cmp", "c_sieve")
+
+#: Per-workload plan seeds are decorrelated with this prime stride.
+_SEED_STRIDE = 7919
+
+
+@dataclass
+class ChaosCase:
+    """One workload under one fault schedule."""
+
+    workload: str
+    plan_seed: int
+    instructions: int = 0
+    divergences: int = 0
+    divergence_kinds: List[str] = field(default_factory=list)
+    #: ``"ErrorType: message"`` when the VMM itself died (sandbox off).
+    crashed: Optional[str] = None
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: Plan events whose preconditions never came true.
+    pending_faults: int = 0
+    translation_aborts: int = 0
+    pages_quarantined: int = 0
+    watchdog_trips: int = 0
+    castouts: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "plan_seed": self.plan_seed,
+            "instructions": self.instructions,
+            "divergences": self.divergences,
+            "divergence_kinds": list(self.divergence_kinds),
+            "crashed": self.crashed,
+            "injected": dict(self.injected),
+            "pending_faults": self.pending_faults,
+            "translation_aborts": self.translation_aborts,
+            "pages_quarantined": self.pages_quarantined,
+            "watchdog_trips": self.watchdog_trips,
+            "castouts": self.castouts,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate outcome of one chaos sweep."""
+
+    seed: int
+    backend: str
+    faults: int
+    sandbox: bool
+    size: str
+    cases: List[ChaosCase] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def injected(self) -> Dict[str, int]:
+        totals = {seam: 0 for seam in SEAMS}
+        for case in self.cases:
+            for seam, count in case.injected.items():
+                totals[seam] = totals.get(seam, 0) + count
+        return totals
+
+    @property
+    def divergences(self) -> int:
+        return sum(case.divergences for case in self.cases)
+
+    @property
+    def crashes(self) -> List[str]:
+        return [f"{case.workload}: {case.crashed}"
+                for case in self.cases if case.crashed]
+
+    @property
+    def all_seams_exercised(self) -> bool:
+        injected = self.injected
+        return all(injected.get(seam, 0) > 0 for seam in SEAMS)
+
+    @property
+    def ok(self) -> bool:
+        return (self.divergences == 0 and not self.crashes
+                and self.all_seams_exercised)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "backend": self.backend,
+            "faults": self.faults,
+            "sandbox": self.sandbox,
+            "size": self.size,
+            "ok": self.ok,
+            "divergences": self.divergences,
+            "crashes": self.crashes,
+            "all_seams_exercised": self.all_seams_exercised,
+            "injected": self.injected,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos: backend={self.backend} seed={self.seed} "
+            f"faults={self.faults}/workload "
+            f"sandbox={'on' if self.sandbox else 'off'}",
+        ]
+        for case in self.cases:
+            fired = sum(case.injected.values())
+            status = "CRASHED" if case.crashed else (
+                "DIVERGED" if case.divergences else "ok")
+            lines.append(
+                f"  {case.workload:10s} {status:8s} "
+                f"{case.instructions:>8d} instr  {fired:>4d} faults  "
+                f"{case.translation_aborts} aborts  "
+                f"{case.pages_quarantined} quarantined  "
+                f"{case.watchdog_trips} watchdog  "
+                f"{case.castouts} castouts")
+            if case.crashed:
+                lines.append(f"             {case.crashed}")
+        injected = self.injected
+        lines.append("  injected by seam: " + ", ".join(
+            f"{seam}={injected[seam]}" for seam in SEAMS))
+        lines.append(f"  result: "
+                     f"{'OK' if self.ok else 'FAIL'} "
+                     f"({self.divergences} divergences, "
+                     f"{len(self.crashes)} crashes, "
+                     f"all seams exercised: "
+                     f"{self.all_seams_exercised})")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+
+
+def run_chaos(seed: int = 0, faults: int = 200,
+              workloads: Optional[List[str]] = None,
+              backend: str = "daisy", size: str = "tiny",
+              sandbox: bool = True,
+              max_vliws: int = 50_000_000) -> ChaosReport:
+    """Run each workload under lockstep checking with a per-workload
+    fault schedule of ``faults`` events attached.
+
+    ``backend`` names any lockstep-capable subject variant
+    (:data:`~repro.conform.harness.LOCKSTEP_BACKENDS`); ``sandbox``
+    toggles the recovery layer — off, injected translator failures
+    propagate and the report records them as crashes.
+    """
+    if backend not in LOCKSTEP_BACKENDS:
+        raise ValueError(
+            f"chaos requires a lockstep backend "
+            f"(choose from {tuple(LOCKSTEP_BACKENDS)})")
+    names = list(DEFAULT_WORKLOADS) if workloads is None else workloads
+    report = ChaosReport(seed=seed, backend=backend, faults=faults,
+                         sandbox=sandbox, size=size)
+
+    for windex, name in enumerate(names):
+        plan_seed = seed + _SEED_STRIDE * windex
+        plan = FaultPlan.generate(plan_seed, faults)
+        case = ChaosCase(workload=name, plan_seed=plan_seed)
+        attached: dict = {}
+
+        def factory():
+            system = DaisyBackend(
+                recovery=RecoveryPolicy(sandbox=sandbox),
+                **LOCKSTEP_BACKENDS[backend]).build_system()
+            attached["system"] = system
+            attached["injector"] = FaultInjector(plan).attach(system)
+            return system
+
+        program = build_workload(name, size).program
+        try:
+            result = run_lockstep(program, factory, case=name,
+                                  backend=backend, max_vliws=max_vliws)
+            case.instructions = result.instructions
+            case.divergences = len(result.divergences)
+            case.divergence_kinds = [d.kind for d in result.divergences]
+        except Exception as error:        # noqa: BLE001 - the VMM died
+            case.crashed = f"{type(error).__name__}: {error}"
+
+        system = attached.get("system")
+        injector = attached.get("injector")
+        if injector is not None:
+            case.injected = dict(injector.fired)
+            case.pending_faults = injector.pending
+        if system is not None:
+            counters = system.bus_counters
+            case.translation_aborts = counters.count(TranslationAbort)
+            case.pages_quarantined = counters.count(PageQuarantined)
+            case.watchdog_trips = system.watchdog.trips
+            case.castouts = system.translation_cache.castouts
+        report.cases.append(case)
+
+    return report

@@ -1,0 +1,225 @@
+"""The fault injector: perturbs a live VMM at its named seams.
+
+A :class:`FaultInjector` attaches a :class:`~repro.resilience.plan.FaultPlan`
+to a :class:`~repro.vmm.system.DaisySystem` through the plumbing ordinary
+instrumentation already uses — a :class:`~repro.runtime.events.CommitPoint`
+subscription for the scheduling clock and the translator's ``fault_hook``
+for in-translator failures.  Faults therefore fire only at
+architecturally consistent boundaries (between committed base
+instructions), and none of them touches architected state:
+
+* ``translator-crash`` / ``translation-budget`` raise a
+  :class:`~repro.faults.VmmError` from inside the translator, before it
+  has mutated any translation state;
+* ``cache-pressure`` / ``itlb-flush`` destroy only *derived* state
+  (translations, ITLB entries) the VMM can always rebuild;
+* ``smc-write`` stores bytes **identical** to what the page already
+  holds, so the code-modification protection machinery fires while
+  architected memory provably does not change.
+
+Every fault that actually fires is published as a
+:class:`~repro.runtime.events.FaultInjected` event and counted in
+:attr:`FaultInjector.fired`.  Events whose preconditions are not yet met
+(no live translated page to crash, for instance) are deferred to the
+next commit point, preserving plan order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.faults import TranslationBudgetError, VmmError
+from repro.resilience.plan import _PRESSURE_EIGHTHS, SEAMS, FaultEvent, FaultPlan
+from repro.runtime.events import CommitPoint, FaultInjected
+
+
+class InjectedTranslatorCrash(VmmError):
+    """A deterministic, injected translator failure: retrying the same
+    page fails again, so the sandbox must quarantine it."""
+
+
+class InjectedBudgetExhaustion(TranslationBudgetError):
+    """An injected transient budget blow-out: the retry path (one
+    interpreted episode of backoff, then re-translate) must absorb it."""
+
+
+class FaultInjector:
+    """Drives one :class:`FaultPlan` against one attached system."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.system = None
+        #: Actual injections per seam (a fault counts when it fires —
+        #: for the in-translator seams, when the error is raised).
+        self.fired: Dict[str, int] = {seam: 0 for seam in SEAMS}
+        #: Plan events never fired because their preconditions stayed
+        #: unmet to the end of the run.
+        self.pending = len(plan.events)
+        self._cursor = 0
+        #: Due events awaiting their preconditions (a deferred event
+        #: does not block later ones — a quarantined-out crash must not
+        #: starve the benign seams behind it).
+        self._due: list = []
+        #: Pages armed to crash their next translation (permanently —
+        #: the failure is deterministic), event kept for attribution.
+        self._crash_pages: Dict[int, FaultEvent] = {}
+        #: One-shot wildcard: the next translation anywhere blows its
+        #: budget.
+        self._budget_armed: Optional[FaultEvent] = None
+
+    # ------------------------------------------------------------------
+
+    def attach(self, system) -> "FaultInjector":
+        """Wire the injector into ``system``.  Must happen before
+        ``system.run()`` so the commit-point channel is switched on."""
+        self.system = system
+        system.bus.subscribe(CommitPoint, self._on_commit)
+        system.translator.fault_hook = self._translator_hook
+        return self
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _on_commit(self, event: CommitPoint) -> None:
+        events = self.plan.events
+        while self._cursor < len(events) and \
+                events[self._cursor].trigger <= event.completed:
+            self._due.append(events[self._cursor])
+            self._cursor += 1
+        deferred = []
+        for scheduled in self._due:
+            if not self._fire(scheduled, event):
+                deferred.append(scheduled)
+        self._due = deferred
+        self.pending = (len(events) - self._cursor) + len(self._due)
+
+    def _fire(self, scheduled: FaultEvent, commit: CommitPoint) -> bool:
+        """Attempt one event; False defers it to the next commit."""
+        seam = scheduled.seam
+        if seam == "translator-crash":
+            return self._arm_crash(scheduled, commit)
+        if seam == "translation-budget":
+            return self._arm_budget(scheduled, commit)
+        if seam == "cache-pressure":
+            return self._cache_pressure(scheduled)
+        if seam == "itlb-flush":
+            return self._itlb_flush(scheduled)
+        if seam == "smc-write":
+            return self._smc_write(scheduled)
+        raise ValueError(f"unknown seam {seam!r}")
+
+    def _note_fired(self, scheduled: FaultEvent, page_paddr: int,
+                    detail: str) -> None:
+        self.fired[scheduled.seam] += 1
+        self.system.bus.publish(FaultInjected(
+            seam=scheduled.seam, index=scheduled.index,
+            page_paddr=page_paddr, detail=detail))
+
+    # ------------------------------------------------------------------
+    # Seam implementations
+    # ------------------------------------------------------------------
+
+    def _page_of_next_pc(self, commit: CommitPoint) -> Optional[int]:
+        """The physical page about to execute — the one place a forced
+        retranslation is guaranteed to happen promptly."""
+        system = self.system
+        page_paddr = system._page_paddr_or_none(commit.pc)
+        if page_paddr is None or \
+                system.tier_controller.is_quarantined(page_paddr):
+            return None
+        return page_paddr
+
+    def _arm_crash(self, scheduled: FaultEvent,
+                   commit: CommitPoint) -> bool:
+        page_paddr = self._page_of_next_pc(commit)
+        if page_paddr is None or page_paddr in self._crash_pages:
+            return False
+        if self.system.translation_cache.lookup(page_paddr) is None:
+            # Not translated yet (interpretive tiers): wait until the
+            # page is live, so the benign seams that need a live
+            # translation get their chance at it first.
+            return False
+        self._crash_pages[page_paddr] = scheduled
+        # Force the retranslation that will hit the armed hook.
+        self.system.translation_cache.invalidate(page_paddr)
+        return True
+
+    def _arm_budget(self, scheduled: FaultEvent,
+                    commit: CommitPoint) -> bool:
+        if self._budget_armed is not None:
+            return False
+        page_paddr = self._page_of_next_pc(commit)
+        if page_paddr is None or page_paddr in self._crash_pages:
+            # An armed crash owns this page's next translation; budget
+            # re-arms here would preempt it forever (the hook checks
+            # the transient fault first).
+            return False
+        if self.system.translation_cache.lookup(page_paddr) is None:
+            # Wait for a live translation: arming while the page is
+            # down (e.g. during another abort's interpretive backoff)
+            # would preempt that retry and chain the backoffs into a
+            # spurious retry-exhaustion quarantine.
+            return False
+        self._budget_armed = scheduled
+        self.system.translation_cache.invalidate(page_paddr)
+        return True
+
+    def _translator_hook(self, translation, entry_pc: int) -> None:
+        # The transient budget fault goes first: were an armed crash on
+        # the same page checked before it, the quarantine would starve
+        # the one-shot wildcard of any further translation to blow.
+        if self._budget_armed is not None:
+            armed, self._budget_armed = self._budget_armed, None
+            self._note_fired(armed, translation.page_paddr,
+                             detail=f"entry {entry_pc:#x}")
+            raise InjectedBudgetExhaustion(
+                f"injected budget exhaustion translating page "
+                f"{translation.page_paddr:#x} (fault #{armed.index})")
+        crash = self._crash_pages.get(translation.page_paddr)
+        if crash is not None:
+            self._note_fired(crash, translation.page_paddr,
+                             detail=f"entry {entry_pc:#x}")
+            raise InjectedTranslatorCrash(
+                f"injected translator crash on page "
+                f"{translation.page_paddr:#x} (fault #{crash.index})")
+
+    def _cache_pressure(self, scheduled: FaultEvent) -> bool:
+        cache = self.system.translation_cache
+        if not cache.live_pages:
+            return False
+        lo, hi = _PRESSURE_EIGHTHS
+        eighths = lo + scheduled.param % (hi - lo + 1)
+        target = cache.total_code_bytes * eighths // 8
+        original = cache.capacity_bytes
+        castouts = cache.shrink(target)
+        cache.capacity_bytes = original
+        self._note_fired(scheduled, 0,
+                         detail=f"shrunk to {target} bytes, "
+                                f"{castouts} cast-outs")
+        return True
+
+    def _itlb_flush(self, scheduled: FaultEvent) -> bool:
+        self.system.itlb.invalidate_all()
+        self._note_fired(scheduled, 0, detail="itlb flushed")
+        return True
+
+    def _smc_write(self, scheduled: FaultEvent) -> bool:
+        """Store identical bytes into a live translated page: the
+        protection trap and invalidation fire; architected memory is
+        bit-for-bit unchanged (the lockstep checker verifies that)."""
+        system = self.system
+        live = system.translation_cache.live_pages
+        if not live:
+            return False
+        page_paddr = live[scheduled.param % len(live)]
+        page_size = system.options.page_size
+        addr = page_paddr + (scheduled.param * 4) % page_size
+        word = system.memory.read_word(addr)
+        system.memory.write_word(addr, word)
+        # The stale-group flag only matters for a store in flight; at a
+        # commit boundary the next lookup rebuilds the translation.
+        system.engine.translation_invalidated = False
+        self._note_fired(scheduled, page_paddr,
+                         detail=f"same-bytes store at {addr:#x}")
+        return True

@@ -1,0 +1,115 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a schedule of fault events against the VMM's
+named seams, fully reproducible from ``(seed, count)``: the same pair
+always generates the same events, so any chaos failure can be replayed
+exactly (``FaultPlan.generate(seed, count)``), and a plan can round-trip
+through JSON for bug reports.
+
+Triggers are expressed in *committed base instructions* — the one clock
+both the VMM and the lockstep golden interpreter agree on — and the
+injector fires events only at commit points, i.e. at architecturally
+consistent boundaries.  That keeps injection orthogonal to correctness:
+a fault may reshape *how* the VMM executes, never *what* the program
+observes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: The named seams of the VMM that the injector can perturb (ordered
+#: least- to most-destructive — the round-robin prefix of every plan
+#: follows this order, so the benign seams get to fire before a
+#: quarantine can shrink the set of live translations):
+#:
+#: * ``itlb-flush`` — every ITLB entry is invalidated (Section 3.4);
+#: * ``cache-pressure`` — the translated-page pool budget collapses
+#:   mid-run, forcing an LRU cast-out storm (Section 3.1);
+#: * ``smc-write`` — a store hits a translated page, destroying its
+#:   translation (Section 3.2).  The injector stores the *same* bytes
+#:   back, so architected memory is untouched while the protection
+#:   machinery still fires;
+#: * ``translation-budget`` — the next translation exhausts a
+#:   time/group budget (transient
+#:   :class:`~repro.faults.TranslationBudgetError`);
+#: * ``translator-crash`` — the page translator raises a deterministic
+#:   :class:`~repro.faults.VmmError` for a chosen page (Section 3.1's
+#:   translation path gone wrong), quarantining it for good.
+SEAMS = ("itlb-flush", "cache-pressure", "smc-write",
+         "translation-budget", "translator-crash")
+
+#: ``cache-pressure`` shrink targets as a fraction of the occupancy at
+#: fire time, in eighths (picked per event from this range).
+_PRESSURE_EIGHTHS = (0, 4)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: fire ``seam`` at the first commit point at
+    or after ``trigger`` committed base instructions.  ``param`` is the
+    seam-specific knob (victim-page selector, shrink fraction)."""
+
+    index: int
+    seam: str
+    trigger: int
+    param: int = 0
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "seam": self.seam,
+                "trigger": self.trigger, "param": self.param}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(index=int(data["index"]), seam=str(data["seam"]),
+                   trigger=int(data["trigger"]),
+                   param=int(data.get("param", 0)))
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible schedule of :class:`FaultEvent`."""
+
+    seed: int
+    events: List[FaultEvent]
+
+    @classmethod
+    def generate(cls, seed: int, count: int,
+                 max_gap: int = 40) -> "FaultPlan":
+        """``count`` events with triggers spaced 1..``max_gap``
+        committed instructions apart.  The first ``len(SEAMS)`` events
+        round-robin through every seam class, so even short runs
+        exercise each one; the rest are drawn uniformly."""
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        trigger = 0
+        for index in range(count):
+            if index < len(SEAMS):
+                seam = SEAMS[index % len(SEAMS)]
+            else:
+                seam = rng.choice(SEAMS)
+            trigger += rng.randint(1, max_gap)
+            events.append(FaultEvent(index=index, seam=seam,
+                                     trigger=trigger,
+                                     param=rng.randrange(1 << 16)))
+        return cls(seed=seed, events=events)
+
+    # ------------------------------------------------------------------
+
+    def counts_by_seam(self) -> Dict[str, int]:
+        counts = {seam: 0 for seam in SEAMS}
+        for event in self.events:
+            counts[event.seam] = counts.get(event.seam, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(seed=int(data["seed"]),
+                   events=[FaultEvent.from_dict(item)
+                           for item in data["events"]])

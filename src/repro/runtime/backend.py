@@ -36,6 +36,7 @@ from repro.caches.hierarchy import (
 from repro.core.options import TranslationOptions
 from repro.isa.interpreter import Interpreter
 from repro.runtime.result import RunResult
+from repro.runtime.tiers import RecoveryPolicy
 from repro.vliw.machine import MachineConfig
 from repro.vmm.system import DaisySystem
 
@@ -149,7 +150,8 @@ class DaisyBackend:
                  hot_threshold: Optional[int] = None,
                  strategy: str = "expansion",
                  deliver_faults: bool = False,
-                 max_vliws: int = 50_000_000):
+                 max_vliws: int = 50_000_000,
+                 recovery: Optional[RecoveryPolicy] = None):
         self.config = config if config is not None else \
             MachineConfig.default()
         self.options = options
@@ -159,6 +161,7 @@ class DaisyBackend:
         self.strategy = strategy
         self.deliver_faults = deliver_faults
         self.max_vliws = max_vliws
+        self.recovery = recovery
 
     def build_system(self) -> DaisySystem:
         """A fresh :class:`DaisySystem` for one run.  Options are
@@ -169,7 +172,8 @@ class DaisyBackend:
                            cache_hierarchy=resolve_caches(self.caches),
                            tier=self.tier,
                            hot_threshold=self.hot_threshold,
-                           strategy=self.strategy)
+                           strategy=self.strategy,
+                           recovery=self.recovery)
 
     def execute(self, program, name: str = ""):
         """Run ``program``; returns ``(system, RunResult)`` for callers

@@ -224,6 +224,61 @@ class DivergenceFound:
 
 
 @dataclass(frozen=True)
+class TranslationAbort:
+    """The translation sandbox caught a :class:`~repro.faults.VmmError`
+    (or an outright translator crash) while compiling a page.  The
+    partial translation is discarded; the page is retried after
+    interpretive backoff (``transient``) or quarantined."""
+    page_paddr: int = 0
+    error: str = ""
+    transient: bool = False
+    #: Aborts seen for this page so far (the retry counter).
+    attempts: int = 0
+    _key_field = "error"
+
+
+@dataclass(frozen=True)
+class PageQuarantined:
+    """A page was permanently demoted to the interpretive tier — its
+    translations kept failing (``reason="abort"``) or churned past the
+    re-translation watchdog (``reason="watchdog"``)."""
+    page_paddr: int = 0
+    reason: str = ""
+    _key_field = "reason"
+
+
+@dataclass(frozen=True)
+class DegradationLatch:
+    """The re-translation watchdog tripped: a page was retranslated
+    more than the policy allows within one window of committed base
+    instructions.  The latch stays set — the page never returns to the
+    translated tier."""
+    page_paddr: int = 0
+    retranslations: int = 0
+    window: int = 0
+
+
+@dataclass(frozen=True)
+class OverBudget:
+    """The translated-page pool could not shed enough bytes to meet its
+    budget because every remaining eviction candidate is pinned (or is
+    the page being protected from self-eviction)."""
+    occupancy_bytes: int = 0
+    capacity_bytes: int = 0
+    pinned_pages: int = 0
+
+
+@dataclass(frozen=True)
+class FaultInjected:
+    """A :mod:`repro.resilience` seam fired one scheduled fault."""
+    seam: str = ""
+    index: int = 0
+    page_paddr: int = 0
+    detail: str = ""
+    _key_field = "seam"
+
+
+@dataclass(frozen=True)
 class TierPromotion:
     """An entry crossed the hot-threshold and was compiled to VLIWs."""
     pc: int = 0
@@ -301,4 +356,6 @@ EVENT_TYPES: Tuple[Type, ...] = (
     AliasRecovery, CacheLevelMiss, MemoryAccess, InterpretedEpisode,
     CommitPoint, ConformCaseChecked, DivergenceFound,
     TierPromotion, TierDemotion,
+    TranslationAbort, PageQuarantined, DegradationLatch, OverBudget,
+    FaultInjected,
 )

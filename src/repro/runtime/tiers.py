@@ -22,10 +22,12 @@ the always-correct tier.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 from repro.runtime.events import (
     Castout,
+    DegradationLatch,
     EventBus,
     TierDemotion,
     TierPromotion,
@@ -33,6 +35,74 @@ from repro.runtime.events import (
 )
 
 TIER_MODES = ("daisy", "interpretive", "tiered")
+
+
+@dataclass
+class RecoveryPolicy:
+    """Knobs of the VMM resilience layer (docs/resilience.md).
+
+    The policy governs what happens when translation *machinery* fails
+    — never what the base architecture observes, which stays bit-exact
+    in every configuration (the chaos harness asserts this).
+    """
+
+    #: Catch translator failures and degrade instead of crashing.  Off
+    #: exists only so the chaos harness can demonstrate that the same
+    #: fault schedule kills an unprotected VMM.
+    sandbox: bool = True
+
+    #: Transient :class:`~repro.faults.VmmError` aborts tolerated per
+    #: page before it is quarantined.  Each abort backs off through one
+    #: interpreted episode (guaranteed forward progress) before the
+    #: next translation attempt.
+    max_retries: int = 3
+
+    #: Re-translation watchdog: more than ``watchdog_limit``
+    #: retranslations of one page within ``watchdog_window`` committed
+    #: base instructions trips the degradation latch for that page.
+    watchdog_limit: int = 24
+    watchdog_window: int = 2048
+
+
+class PageWatchdog:
+    """Counts per-page retranslations inside a sliding window of
+    committed base instructions and trips a :class:`DegradationLatch`
+    when a page churns — the bound on SMC/cast-out retranslation storms
+    (Sections 3.1/3.2 gone adversarial).  Once latched, a page stays
+    latched: the VMM runs it interpretively forever after."""
+
+    def __init__(self, limit: int = 24, window: int = 2048,
+                 bus: Optional[EventBus] = None):
+        self.limit = limit
+        self.window = window
+        self.bus = bus if bus is not None else EventBus()
+        #: page -> commit timestamps of retranslations, oldest first.
+        self._history: Dict[int, List[int]] = {}
+        self._latched: Set[int] = set()
+        self.trips = 0
+
+    def note_retranslation(self, page_paddr: int, now: int) -> bool:
+        """Record one retranslation of ``page_paddr`` at committed
+        instruction count ``now``; returns True when this trips (or
+        already tripped) the latch."""
+        if page_paddr in self._latched:
+            return True
+        history = self._history.setdefault(page_paddr, [])
+        history.append(now)
+        floor = now - self.window
+        while history and history[0] < floor:
+            history.pop(0)
+        if len(history) <= self.limit:
+            return False
+        self._latched.add(page_paddr)
+        self.trips += 1
+        self.bus.publish(DegradationLatch(
+            page_paddr=page_paddr, retranslations=len(history),
+            window=self.window))
+        return True
+
+    def latched(self, page_paddr: int) -> bool:
+        return page_paddr in self._latched
 
 
 class TieredController:
@@ -50,6 +120,11 @@ class TieredController:
         self._episodes: Dict[int, int] = {}
         #: Entry pcs promoted per physical page (for demotion).
         self._promoted_by_page: Dict[int, Set[int]] = {}
+        #: Pages permanently demoted to interpretive execution by the
+        #: resilience layer (translation aborts / watchdog latch).
+        #: Quarantine is orthogonal to the tier policy: it applies even
+        #: in ``daisy`` mode, where the controller is otherwise inert.
+        self._quarantined: Set[int] = set()
         self.promotions = 0
         self.demotions = 0
         if self.active:
@@ -90,6 +165,24 @@ class TieredController:
         self._promoted_by_page.setdefault(page_paddr, set()).add(pc)
         self.bus.publish(TierPromotion(pc=pc,
                                        episodes=self._episodes.get(pc, 0)))
+
+    # ------------------------------------------------------------------
+
+    def quarantine(self, page_paddr: int) -> None:
+        """Permanently demote ``page_paddr`` to the interpretive tier:
+        its entries lose their heat and can never re-earn it."""
+        self._quarantined.add(page_paddr)
+        entries = self._promoted_by_page.pop(page_paddr, None)
+        if entries:
+            for pc in entries:
+                self._episodes.pop(pc, None)
+
+    def is_quarantined(self, page_paddr: int) -> bool:
+        return page_paddr in self._quarantined
+
+    @property
+    def quarantined_pages(self) -> Set[int]:
+        return set(self._quarantined)
 
     # ------------------------------------------------------------------
 

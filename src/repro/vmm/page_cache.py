@@ -12,7 +12,7 @@ from collections import OrderedDict
 from typing import Callable, List, Optional
 
 from repro.core.translate import PageTranslation
-from repro.runtime.events import Castout, TranslationInvalidated
+from repro.runtime.events import Castout, OverBudget, TranslationInvalidated
 
 
 class TranslationCache:
@@ -24,6 +24,10 @@ class TranslationCache:
         self._pages: "OrderedDict[int, PageTranslation]" = OrderedDict()
         self.castouts = 0
         self.invalidations = 0
+        #: Times enforcement gave up over budget because every eviction
+        #: candidate was pinned (each occurrence also publishes an
+        #: :class:`~repro.runtime.events.OverBudget` event).
+        self.pinned_overflow = 0
         #: Pages whose translations must never be cast out — the paper's
         #: real-time pinning (Section 3.7): interrupt handlers and other
         #: fragments needing predictable latency.  Pinned pages are still
@@ -79,6 +83,42 @@ class TranslationCache:
     def live_pages(self) -> List[int]:
         return list(self._pages)
 
+    def shrink(self, capacity_bytes: int) -> int:
+        """Change the pool budget mid-run and enforce it immediately
+        (the resilience layer's cast-out-storm seam).  Unlike
+        insert-time enforcement there is no page to protect: every
+        unpinned translation — including the most recently used one —
+        is an eviction candidate.  Returns the cast-outs performed."""
+        self.capacity_bytes = capacity_bytes
+        before = self.castouts
+        while self.total_code_bytes > self.capacity_bytes:
+            victim_paddr = next(
+                (candidate for candidate in self._pages
+                 if candidate not in self.pinned), None)
+            if victim_paddr is None:
+                self._note_over_budget()
+                break
+            self._evict(victim_paddr)
+        return self.castouts - before
+
+    def _evict(self, victim_paddr: int) -> None:
+        victim = self._pages.pop(victim_paddr)
+        self.castouts += 1
+        if self.on_evict is not None:
+            self.on_evict(victim)
+        if self.event_sink is not None:
+            self.event_sink(Castout(page_paddr=victim_paddr))
+
+    def _note_over_budget(self) -> None:
+        """The pool is stuck over budget: nothing left to evict that is
+        not pinned (or being kept).  Make the condition observable."""
+        self.pinned_overflow += 1
+        if self.event_sink is not None:
+            self.event_sink(OverBudget(
+                occupancy_bytes=self.total_code_bytes,
+                capacity_bytes=self.capacity_bytes,
+                pinned_pages=len(self.pinned)))
+
     def _enforce_capacity(self, keep: int) -> None:
         while (self.total_code_bytes > self.capacity_bytes
                and len(self._pages) > 1):
@@ -88,10 +128,8 @@ class TranslationCache:
                     victim_paddr = candidate
                     break
             if victim_paddr is None:
-                break    # everything else is pinned or running
-            victim = self._pages.pop(victim_paddr)
-            self.castouts += 1
-            if self.on_evict is not None:
-                self.on_evict(victim)
-            if self.event_sink is not None:
-                self.event_sink(Castout(page_paddr=victim_paddr))
+                # Everything else is pinned or running: the pool stays
+                # over budget.  Publish rather than fail silently.
+                self._note_over_budget()
+                break
+            self._evict(victim_paddr)

@@ -28,6 +28,7 @@ from repro.faults import (
     InstructionBudgetExceeded,
     InstructionStorageFault,
     ProgramExit,
+    VmmError,
 )
 from repro.isa.services import EmulatorServices
 from repro.isa.state import CpuState, MSR_PR
@@ -47,11 +48,13 @@ from repro.runtime.events import (
     InvalidEntry,
     ItlbHit,
     ItlbMiss,
+    PageQuarantined,
     PageTranslated,
+    TranslationAbort,
     TranslationMissing,
 )
 from repro.runtime.result import CacheSnapshot
-from repro.runtime.tiers import TieredController
+from repro.runtime.tiers import PageWatchdog, RecoveryPolicy, TieredController
 from repro.vliw.engine import (
     EngineExit,
     ExitReason,
@@ -110,6 +113,12 @@ class DaisyRunResult:
     #: The run's full instrumentation view (every event type published
     #: on the system bus), when the run went through a DaisySystem.
     event_counts: Optional[EventCounters] = None
+    #: Resilience accounting: translation failures the sandbox caught,
+    #: pages permanently demoted to interpretive execution, and
+    #: re-translation watchdog trips (docs/resilience.md).
+    translation_aborts: int = 0
+    pages_quarantined: int = 0
+    watchdog_trips: int = 0
 
     @property
     def mean_parcels_per_vliw(self) -> float:
@@ -147,7 +156,8 @@ class DaisySystem:
                  crosspage_extra_cycles: int = 0,
                  tier: Optional[str] = None,
                  hot_threshold: Optional[int] = None,
-                 bus: Optional[EventBus] = None):
+                 bus: Optional[EventBus] = None,
+                 recovery: Optional[RecoveryPolicy] = None):
         """``strategy`` selects Chapter 3's translated-code mapping:
 
         * ``"expansion"`` — the n*N + VLIW_BASE layout: fast cross-page
@@ -176,6 +186,13 @@ class DaisySystem:
         (:class:`VmmEventCounts`) and :attr:`bus_counters`
         (:class:`~repro.runtime.events.EventCounters`) are subscriber
         views over it.
+
+        ``recovery`` is the resilience policy
+        (:class:`~repro.runtime.tiers.RecoveryPolicy`): with its
+        sandbox on (the default), translator failures abort the page
+        translation and degrade that page to interpretive execution
+        instead of crashing the VMM, and a watchdog quarantines pages
+        whose translations churn (docs/resilience.md).
         """
         if strategy not in ("expansion", "hash"):
             raise ValueError(f"unknown translation strategy {strategy!r}")
@@ -234,6 +251,15 @@ class DaisySystem:
         threshold = hot_threshold if hot_threshold is not None \
             else self.options.hot_threshold
         self.tier_controller = TieredController(mode, threshold, self.bus)
+        #: Resilience policy: translation sandbox, retry budget, and
+        #: the re-translation watchdog (docs/resilience.md).
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        self.watchdog = PageWatchdog(self.recovery.watchdog_limit,
+                                     self.recovery.watchdog_window,
+                                     self.bus)
+        #: Per-page sandbox abort counts (the retry state).
+        self._abort_attempts: Dict[int, int] = {}
+        self.bus.subscribe(PageTranslated, self._on_page_translated)
         #: Back-compat view: true whenever an interpretive tier is on.
         self.interpretive = self.tier_controller.active
         #: Section 3.4: after an rfi into a translated page, interpret
@@ -437,20 +463,24 @@ class DaisySystem:
                 raise InstructionBudgetExceeded(
                     f"exceeded {max_vliws} VLIWs")
 
-            if (self.tier_controller.should_interpret(pc)
-                    and not self._entry_compiled(pc)):
-                outcome = self._interpret_and_compile(pc, deliver_faults)
-                if outcome is None:
-                    # Fault delivered; continue at the handler vector.
-                    pc = self.state.pc
-                    continue
-                done, pc, code = outcome
+            if self._quarantined_page_of(pc) is not None:
+                # Permanently demoted page: always-correct tier.
+                outcome = self._interpret_degraded(pc, deliver_faults)
+                done, pc, code = self._resume_after_episode(
+                    outcome, publish_commits)
                 if done:
                     exit_code = code
                     break
-                if publish_commits:
-                    self.bus.publish(CommitPoint(
-                        pc=pc, completed=stats.completed))
+                continue
+
+            if (self.tier_controller.should_interpret(pc)
+                    and not self._entry_compiled(pc)):
+                outcome = self._interpret_and_compile(pc, deliver_faults)
+                done, pc, code = self._resume_after_episode(
+                    outcome, publish_commits)
+                if done:
+                    exit_code = code
+                    break
                 continue
 
             try:
@@ -461,6 +491,22 @@ class DaisySystem:
                     self._fill(result, exit_code)
                     raise
                 pc = self._deliver_fault(fault, pc)
+                continue
+            except (BaseArchFault, ProgramExit):
+                raise
+            except Exception as error:
+                # The translation sandbox (docs/resilience.md): a
+                # translator crash or budget blow-out must degrade the
+                # page, never kill the VMM.
+                if not self.recovery.sandbox:
+                    raise
+                outcome = self._recover_translation_failure(
+                    pc, error, deliver_faults)
+                done, pc, code = self._resume_after_episode(
+                    outcome, publish_commits)
+                if done:
+                    exit_code = code
+                    break
                 continue
 
             self.state.pc = pc
@@ -516,6 +562,31 @@ class DaisySystem:
         return translation is not None and translation.has_entry(
             pc % page_size)
 
+    def _run_episode(self, pc: int, deliver_faults: bool):
+        """One interpretive episode at ``pc``; returns the episode, or
+        None when a base fault was delivered instead."""
+        try:
+            return self._interp_executor.interpret_from(pc)
+        except BaseArchFault as fault:
+            if not deliver_faults:
+                raise
+            vector = self._deliver_fault(fault, self.state.pc)
+            self.state.pc = vector
+            return None
+
+    def _resume_after_episode(self, outcome, publish_commits: bool):
+        """Map an interpreted-episode outcome onto the main loop's
+        continuation: returns ``(done, next_pc, exit_code)``.  A None
+        outcome means a fault was delivered — resume at the handler
+        vector without a commit point (the episode committed none)."""
+        if outcome is None:
+            return False, self.state.pc, 0
+        done, next_pc, code = outcome
+        if not done and publish_commits:
+            self.bus.publish(CommitPoint(
+                pc=next_pc, completed=self.engine.stats.completed))
+        return done, next_pc, code
+
     def _interpret_and_compile(self, pc: int, deliver_faults: bool):
         """Interpret one episode of an entry still in the interpretive
         tier; once the entry has accumulated the tier policy's
@@ -523,28 +594,121 @@ class DaisySystem:
         Returns (done, next_pc, exit_code), or None when a fault was
         delivered to the base OS."""
         tier = self.tier_controller
-        try:
-            episode = self._interp_executor.interpret_from(pc)
-        except BaseArchFault as fault:
-            if not deliver_faults:
-                raise
-            vector = self._deliver_fault(fault, self.state.pc)
-            self.state.pc = vector
+        episode = self._run_episode(pc, deliver_faults)
+        if episode is None:
             return None
         tier.note_episode(pc)
         self.bus.publish(InterpretedEpisode(
             entry_pc=pc, instructions=episode.instructions))
         merge_profile(self._accumulated_profile, episode.profile)
         if not tier.should_interpret(pc):
-            # Hot: compile the entry for all subsequent executions.
+            # Hot: compile the entry for all subsequent executions —
+            # inside the sandbox, since the translator may fail.
+            self._promote_entry(pc)
+        self.engine.stats.completed += episode.instructions
+        if episode.exited:
+            return (True, episode.resume_pc, episode.exit_code)
+        return (False, episode.resume_pc, 0)
+
+    def _interpret_degraded(self, pc: int, deliver_faults: bool):
+        """An episode in the always-correct tier with no tier
+        bookkeeping: quarantined pages and translation-abort backoff.
+        Nothing is compiled and no heat accumulates."""
+        episode = self._run_episode(pc, deliver_faults)
+        if episode is None:
+            return None
+        self.bus.publish(InterpretedEpisode(
+            entry_pc=pc, instructions=episode.instructions))
+        self.engine.stats.completed += episode.instructions
+        if episode.exited:
+            return (True, episode.resume_pc, episode.exit_code)
+        return (False, episode.resume_pc, 0)
+
+    def _promote_entry(self, pc: int) -> None:
+        """Compile a hot entry, sandboxing the translator: a failure
+        notes the abort (possibly quarantining the page) and leaves the
+        entry in the interpretive tier."""
+        tier = self.tier_controller
+        try:
             self._lookup_group(pc, via_itlb=False)
             paddr = self.mmu.translate_fetch(pc)
-            tier.note_promoted(pc, paddr - paddr % self.options.page_size)
-        if episode.exited:
-            self.engine.stats.completed += episode.instructions
-            return (True, episode.resume_pc, episode.exit_code)
-        self.engine.stats.completed += episode.instructions
-        return (False, episode.resume_pc, 0)
+        except (BaseArchFault, ProgramExit):
+            raise
+        except Exception as error:
+            if not self.recovery.sandbox:
+                raise
+            self._note_translation_abort(self._page_paddr_or_none(pc),
+                                         error)
+            return
+        tier.note_promoted(pc, paddr - paddr % self.options.page_size)
+
+    # ------------------------------------------------------------------
+    # Resilience: sandboxed translation, retries, quarantine, watchdog
+    # ------------------------------------------------------------------
+
+    def _page_paddr_or_none(self, pc: int) -> Optional[int]:
+        try:
+            paddr = self.mmu.translate_fetch(pc)
+        except InstructionStorageFault:
+            return None
+        return paddr - paddr % self.options.page_size
+
+    def _quarantined_page_of(self, pc: int) -> Optional[int]:
+        """The physical page of ``pc`` when it is quarantined (an
+        unmapped pc takes the normal lookup path, which delivers the
+        architected fault).  Any stale translation left from before the
+        quarantine is dropped here, lazily."""
+        page_paddr = self._page_paddr_or_none(pc)
+        if page_paddr is None or \
+                not self.tier_controller.is_quarantined(page_paddr):
+            return None
+        if self.translation_cache.lookup(page_paddr) is not None:
+            self.translation_cache.invalidate(page_paddr)
+        return page_paddr
+
+    def _recover_translation_failure(self, pc: int, error: Exception,
+                                     deliver_faults: bool):
+        """Sandbox recovery: record a structured
+        :class:`TranslationAbort`, then back off through one
+        interpreted episode — guaranteed forward progress — before the
+        main loop retries (or, once quarantined, interprets forever)."""
+        self._note_translation_abort(self._page_paddr_or_none(pc), error)
+        return self._interpret_degraded(pc, deliver_faults)
+
+    def _note_translation_abort(self, page_paddr: Optional[int],
+                                error: Exception) -> None:
+        if page_paddr is None:
+            return
+        attempts = self._abort_attempts.get(page_paddr, 0) + 1
+        self._abort_attempts[page_paddr] = attempts
+        transient = bool(getattr(error, "transient", False)) \
+            and isinstance(error, VmmError)
+        self.bus.publish(TranslationAbort(
+            page_paddr=page_paddr, error=type(error).__name__,
+            transient=transient, attempts=attempts))
+        # Discard any partial translation state the failure left.
+        if self.translation_cache.lookup(page_paddr) is not None:
+            self.translation_cache.invalidate(page_paddr)
+        if not transient or attempts > self.recovery.max_retries:
+            self._quarantine(page_paddr, reason="abort")
+
+    def _quarantine(self, page_paddr: int, reason: str) -> None:
+        if self.tier_controller.is_quarantined(page_paddr):
+            return
+        self.tier_controller.quarantine(page_paddr)
+        self.bus.publish(PageQuarantined(page_paddr=page_paddr,
+                                         reason=reason))
+
+    def _on_page_translated(self, event: PageTranslated) -> None:
+        """Watchdog bookkeeping on every page translation: a successful
+        translation clears the page's retry counter; a *re*-translation
+        feeds the churn watchdog, whose latch quarantines the page."""
+        self._abort_attempts.pop(event.page_paddr, None)
+        if event.first_time:
+            return
+        if self.watchdog.note_retranslation(event.page_paddr,
+                                            self.engine.stats.completed):
+            self._quarantine(event.page_paddr, reason="watchdog")
 
     def _dispatch(self, engine_exit: EngineExit,
                   translation: PageTranslation) -> int:
@@ -616,3 +780,6 @@ class DaisySystem:
         result.interpreted_episodes = self._interpreted_episodes
         result.tier_promotions = self.tier_controller.promotions
         result.tier_demotions = self.tier_controller.demotions
+        result.translation_aborts = counters.count(TranslationAbort)
+        result.pages_quarantined = counters.count(PageQuarantined)
+        result.watchdog_trips = self.watchdog.trips

@@ -146,3 +146,31 @@ class TestTranslateCommand:
     def test_bad_strategy_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "wc", "--strategy", "nonsense"])
+
+
+class TestChaosCommand:
+    def test_chaos_smoke(self, capsys):
+        assert main(["chaos", "--seed", "0", "--faults", "40",
+                     "--workloads", "wc"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos: backend=daisy" in out
+        assert " ok" in out
+        assert "all seams exercised: True" in out
+
+    def test_chaos_json(self, capsys):
+        import json as json_mod
+        assert main(["chaos", "--seed", "0", "--faults", "40",
+                     "--workloads", "wc", "--json"]) == 0
+        parsed = json_mod.loads(capsys.readouterr().out)
+        assert parsed["ok"] is True
+        assert parsed["divergences"] == 0
+        assert all(parsed["injected"][seam] >= 1
+                   for seam in parsed["injected"])
+
+    def test_chaos_no_sandbox_fails(self, capsys):
+        assert main(["chaos", "--seed", "0", "--faults", "40",
+                     "--workloads", "wc", "--no-sandbox"]) == 1
+        assert "CRASHED" in capsys.readouterr().out
+
+    def test_chaos_unknown_backend(self, capsys):
+        assert main(["chaos", "--backend", "nonsense"]) == 2

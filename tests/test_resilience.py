@@ -1,0 +1,414 @@
+"""The resilience layer: fault plans, the injector's seams, sandboxed
+translation with graceful degradation, and the chaos-conformance
+harness (docs/resilience.md)."""
+
+import json
+
+import pytest
+
+from repro.core.backmap import route_base_pcs
+from repro.faults import (
+    TranslationBudgetError,
+    TranslatorInvariantError,
+    VmmError,
+)
+from repro.isa.assembler import Assembler
+from repro.resilience import (
+    SEAMS,
+    FaultInjector,
+    FaultPlan,
+    run_chaos,
+)
+from repro.runtime.events import (
+    Castout,
+    CommitPoint,
+    FaultInjected,
+    OverBudget,
+    PageQuarantined,
+    TranslationAbort,
+)
+from repro.runtime.tiers import RecoveryPolicy
+from repro.vliw.engine import PreciseFault
+from repro.vliw.machine import MachineConfig
+from repro.vmm.page_cache import TranslationCache
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+from tests.helpers import assert_state_equivalent, run_native
+
+
+def make_system(recovery=None, **kwargs):
+    system = DaisySystem(MachineConfig.default(), recovery=recovery,
+                         **kwargs)
+    return system
+
+
+class TestFaultPlan:
+    def test_deterministic_from_seed(self):
+        one = FaultPlan.generate(42, 50)
+        two = FaultPlan.generate(42, 50)
+        assert one.events == two.events
+        other = FaultPlan.generate(43, 50)
+        assert one.events != other.events
+
+    def test_round_robin_prefix_covers_every_seam(self):
+        plan = FaultPlan.generate(0, len(SEAMS))
+        assert [event.seam for event in plan.events] == list(SEAMS)
+        counts = plan.counts_by_seam()
+        assert all(counts[seam] >= 1 for seam in SEAMS)
+
+    def test_triggers_strictly_increase(self):
+        plan = FaultPlan.generate(7, 100)
+        triggers = [event.trigger for event in plan.events]
+        assert triggers == sorted(triggers)
+        assert all(b > a for a, b in zip(triggers, triggers[1:]))
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.generate(3, 20)
+        clone = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert clone.seed == plan.seed
+        assert clone.events == plan.events
+
+
+class TestVmmErrorTaxonomy:
+    def test_transience_classification(self):
+        assert not VmmError().transient
+        assert not TranslatorInvariantError().transient
+        assert TranslationBudgetError().transient
+        assert issubclass(TranslatorInvariantError, VmmError)
+        assert issubclass(TranslationBudgetError, VmmError)
+
+    def test_vmm_errors_are_not_base_faults(self):
+        from repro.faults import BaseArchFault
+        assert not issubclass(VmmError, BaseArchFault)
+
+    def test_default_message_is_class_name(self):
+        assert "TranslatorInvariantError" in str(TranslatorInvariantError())
+
+
+class TestSandboxRecovery:
+    """Translator failures degrade pages; they never kill the VMM or
+    change what the program computes."""
+
+    def _native(self, name="wc"):
+        program = build_workload(name, "tiny").program
+        interp, native = run_native(program)
+        return program, interp, native
+
+    def test_transient_abort_retries_then_succeeds(self):
+        program, interp, native = self._native()
+        system = make_system()
+        system.load_program(program)
+        state = {"armed": True}
+
+        def hook(translation, entry_pc):
+            if state["armed"]:
+                state["armed"] = False
+                raise TranslationBudgetError("injected once")
+        system.translator.fault_hook = hook
+
+        result = system.run()
+        assert result.exit_code == native.exit_code
+        assert result.base_instructions == native.instructions
+        assert result.translation_aborts == 1
+        assert result.pages_quarantined == 0
+        # The retry compiled the page after one interpretive backoff.
+        assert result.interpreted_episodes >= 1
+        assert result.vliws > 0
+        assert_state_equivalent(interp, system)
+
+    def test_deterministic_failure_quarantines_page(self):
+        program, interp, native = self._native()
+
+        def hook(translation, entry_pc):
+            raise TranslatorInvariantError("always fails")
+
+        system = make_system()
+        system.load_program(program)
+        system.translator.fault_hook = hook
+        result = system.run()
+
+        assert result.exit_code == native.exit_code
+        assert result.base_instructions == native.instructions
+        # Non-transient: one abort, immediate quarantine, no retry loop.
+        assert result.translation_aborts == result.pages_quarantined
+        assert result.pages_quarantined >= 1
+        assert result.event_counts.by_key(TranslationAbort) == \
+            {"TranslatorInvariantError": result.translation_aborts}
+        # The whole program ran in the always-correct tier.
+        assert result.vliws == 0
+        assert result.interpreted_instructions == native.instructions
+        assert_state_equivalent(interp, system)
+
+    def test_retry_exhaustion_quarantines(self):
+        program, interp, native = self._native("cmp")
+
+        def hook(translation, entry_pc):
+            raise TranslationBudgetError("persistent pressure")
+
+        system = make_system(recovery=RecoveryPolicy(max_retries=2))
+        system.load_program(program)
+        system.translator.fault_hook = hook
+        result = system.run()
+
+        assert result.exit_code == native.exit_code
+        # max_retries transient aborts are tolerated per page; the next
+        # one quarantines it.
+        assert result.translation_aborts >= 3
+        assert result.pages_quarantined >= 1
+        assert_state_equivalent(interp, system)
+
+    def test_sandbox_off_propagates(self):
+        program, _, _ = self._native()
+
+        def hook(translation, entry_pc):
+            raise TranslatorInvariantError("unprotected")
+
+        system = make_system(recovery=RecoveryPolicy(sandbox=False))
+        system.load_program(program)
+        system.translator.fault_hook = hook
+        with pytest.raises(TranslatorInvariantError):
+            system.run()
+
+    def test_base_faults_pass_through_the_sandbox(self):
+        """The sandbox must not swallow architected faults: a bad load
+        still surfaces as a precise base fault."""
+        program = Assembler().assemble("""
+.org 0x1000
+_start:
+    li    r3, 0
+    subi  r3, r3, 8
+    lwz   r5, 0(r3)
+    li    r0, 1
+    sc
+""")
+        system = make_system()
+        system.load_program(program)
+        with pytest.raises(PreciseFault):
+            system.run()
+
+
+class TestOverBudgetAccounting:
+    """The pool must report, not hide, a stuck-over-budget state."""
+
+    def _translation(self, paddr, code_size):
+        from repro.core.translate import PageTranslation
+        return PageTranslation(page_vaddr=paddr, page_paddr=paddr,
+                               page_size=4096, code_size=code_size)
+
+    def test_all_pinned_overflow_is_published(self):
+        events = []
+        cache = TranslationCache(capacity_bytes=100)
+        cache.event_sink = events.append
+        for paddr in (0x1000, 0x2000):
+            cache.pinned.add(paddr)
+            cache.insert(self._translation(paddr, 80))
+        overflows = [e for e in events if isinstance(e, OverBudget)]
+        assert cache.pinned_overflow == len(overflows) == 1
+        assert overflows[0].occupancy_bytes == 160
+        assert overflows[0].capacity_bytes == 100
+        assert overflows[0].pinned_pages == 2
+        # Nothing was evicted: pinned translations survive.
+        assert set(cache.live_pages) == {0x1000, 0x2000}
+
+    def test_shrink_casts_out_lru_first(self):
+        events = []
+        cache = TranslationCache(capacity_bytes=300)
+        cache.event_sink = events.append
+        for paddr in (0x1000, 0x2000, 0x3000):
+            cache.insert(self._translation(paddr, 100))
+        cache.lookup(0x1000)              # 0x2000 is now LRU
+        assert cache.shrink(100) == 2
+        assert cache.live_pages == [0x1000]
+        castouts = [e.page_paddr for e in events
+                    if isinstance(e, Castout)]
+        assert castouts == [0x2000, 0x3000]
+
+    def test_shrink_respects_pins_and_reports(self):
+        cache = TranslationCache(capacity_bytes=300)
+        events = []
+        cache.event_sink = events.append
+        for paddr in (0x1000, 0x2000):
+            cache.pinned.add(paddr)
+            cache.insert(self._translation(paddr, 100))
+        assert cache.shrink(50) == 0
+        assert cache.pinned_overflow == 1
+        assert any(isinstance(e, OverBudget) for e in events)
+
+
+class TestCastoutDuringExecution:
+    """Satellite (d): casting out the running page at a commit boundary
+    must not corrupt the route walk exception delivery relies on."""
+
+    # The loop crosses pages every iteration (bl into 0x2000), so the
+    # engine yields an episode — and the bus a commit point — per trip.
+    _FAULT_SOURCE = """
+.org 0x1000
+_start:
+    li    r7, 0
+    li    r8, 6
+loop:
+    bl    other
+    subi  r8, r8, 1
+    cmpi  cr0, r8, 0
+    bne   loop
+    li    r3, 0
+    subi  r3, r3, 8          # invalid pointer
+bad:
+    lwz   r5, 0(r3)          # faults after the cast-out
+    li    r0, 1
+    sc
+
+.org 0x2000
+other:
+    add   r7, r7, r8
+    blr
+"""
+
+    def _run_with_midrun_castout(self, purge_at):
+        program = Assembler().assemble(self._FAULT_SOURCE)
+        system = make_system()
+        system.load_program(program)
+        purged = {"castouts": 0}
+
+        def on_commit(event):
+            if event.completed >= purge_at and not purged["castouts"]:
+                original = system.translation_cache.capacity_bytes
+                purged["castouts"] = system.translation_cache.shrink(0)
+                system.translation_cache.capacity_bytes = original
+        system.bus.subscribe(CommitPoint, on_commit)
+        return system, program, purged
+
+    def test_precise_fault_after_castout_names_the_load(self):
+        system, program, purged = self._run_with_midrun_castout(
+            purge_at=5)
+        with pytest.raises(PreciseFault) as err:
+            system.run()
+        assert purged["castouts"] >= 1
+        bad_pc = program.symbols["bad"]
+        assert err.value.base_pc == bad_pc
+        assert err.value.fault.address == (0 - 8) % (1 << 32)
+        # The route walk over the *retranslated* group still resolves
+        # to base pcs inside the program image.
+        pcs = route_base_pcs(system.engine.last_route)
+        assert pcs
+        assert all(0x1000 <= pc < 0x2000 for pc in pcs)
+        assert bad_pc in pcs
+
+    def test_castout_then_clean_exit_matches_native(self):
+        source = self._FAULT_SOURCE.replace(
+            "    lwz   r5, 0(r3)          # faults after the cast-out\n",
+            "")
+        program = Assembler().assemble(source)
+        interp, native = run_native(program)
+        system = make_system()
+        system.load_program(program)
+        state = {"done": False}
+
+        def on_commit(event):
+            if event.completed >= 5 and not state["done"]:
+                state["done"] = True
+                original = system.translation_cache.capacity_bytes
+                system.translation_cache.shrink(0)
+                system.translation_cache.capacity_bytes = original
+        system.bus.subscribe(CommitPoint, on_commit)
+        result = system.run()
+        assert result.exit_code == native.exit_code
+        assert result.base_instructions == native.instructions
+        assert result.event_counts.count(Castout) >= 1
+        assert_state_equivalent(interp, system)
+
+
+class TestInjectorSeams:
+    def _run_with_plan(self, plan, workload="wc", recovery=None):
+        program = build_workload(workload, "tiny").program
+        interp, native = run_native(program)
+        system = make_system(recovery=recovery)
+        injector = FaultInjector(plan).attach(system)
+        system.load_program(program)
+        result = system.run()
+        return system, injector, result, interp, native
+
+    def test_every_seam_fires_and_architecture_is_preserved(self):
+        plan = FaultPlan.generate(0, 40)
+        system, injector, result, interp, native = \
+            self._run_with_plan(plan)
+        assert result.exit_code == native.exit_code
+        assert result.base_instructions == native.instructions
+        assert all(injector.fired[seam] >= 1 for seam in SEAMS), \
+            injector.fired
+        assert result.event_counts.count(FaultInjected) == \
+            sum(injector.fired.values())
+        assert_state_equivalent(interp, system)
+
+    def test_smc_write_leaves_memory_bit_exact(self):
+        plan = FaultPlan.generate(5, 30)
+        system, injector, result, interp, native = \
+            self._run_with_plan(plan)
+        assert result.exit_code == native.exit_code
+        # Every byte the golden side can see is identical.
+        size = min(interp.memory.size, system.memory.size)
+        assert interp.memory.read_bytes(0, size) == \
+            system.memory.read_bytes(0, size)
+
+    def test_injection_is_reproducible(self):
+        plan = FaultPlan.generate(9, 40)
+        _, one, first, _, _ = self._run_with_plan(plan)
+        _, two, second, _, _ = self._run_with_plan(
+            FaultPlan.generate(9, 40))
+        assert one.fired == two.fired
+        assert first.base_instructions == second.base_instructions
+        assert first.vliws == second.vliws
+        assert first.translation_aborts == second.translation_aborts
+
+    def test_crash_seam_quarantines_exactly_once_per_page(self):
+        plan = FaultPlan.generate(0, 40)
+        system, injector, result, _, native = self._run_with_plan(plan)
+        assert result.exit_code == native.exit_code
+        assert result.pages_quarantined == \
+            result.event_counts.count(PageQuarantined)
+        assert result.pages_quarantined >= injector.fired[
+            "translator-crash"]
+
+
+class TestChaosHarness:
+    def test_chaos_smoke_is_clean(self):
+        report = run_chaos(seed=0, faults=60, workloads=["wc"],
+                           backend="daisy")
+        assert report.divergences == 0
+        assert report.crashes == []
+        assert report.all_seams_exercised, report.injected
+        assert report.ok
+
+    def test_chaos_without_sandbox_fails(self):
+        report = run_chaos(seed=0, faults=60, workloads=["wc"],
+                           backend="daisy", sandbox=False)
+        assert not report.ok
+        assert report.crashes
+        # It dies, it does not diverge: compatibility holds right up to
+        # the crash.
+        assert report.divergences == 0
+
+    def test_report_json_shape(self):
+        report = run_chaos(seed=3, faults=30, workloads=["wc"],
+                           backend="daisy")
+        data = json.loads(report.to_json())
+        assert data["seed"] == 3
+        assert data["ok"] == report.ok
+        assert set(data["injected"]) == set(SEAMS)
+        assert data["cases"][0]["workload"] == "wc"
+        assert "summary" not in data
+
+    def test_rejects_non_lockstep_backend(self):
+        with pytest.raises(ValueError, match="lockstep"):
+            run_chaos(backend="superscalar")
+
+    @pytest.mark.slow
+    def test_chaos_full_sweep_all_backends(self):
+        report = run_chaos(seed=0, faults=200, backend="daisy")
+        assert report.ok, report.summary()
+        for backend in ("tiered", "interpretive", "hash"):
+            other = run_chaos(seed=1, faults=60, workloads=["wc"],
+                              backend=backend)
+            assert other.divergences == 0, other.summary()
+            assert other.crashes == [], other.summary()

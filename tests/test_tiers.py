@@ -1,6 +1,7 @@
 """The tiered interpret→translate controller: promotion at the
-hot-threshold, demotion on SMC invalidation / cast-out, and equivalence
-of tier modes with the behaviour they generalize."""
+hot-threshold, demotion on SMC invalidation / cast-out, equivalence
+of tier modes with the behaviour they generalize, and the resilience
+layer's re-translation watchdog (demotion storms)."""
 
 import pytest
 
@@ -9,12 +10,20 @@ from repro.isa.encoding import encode
 from repro.isa.instructions import Instruction, Opcode
 from repro.runtime.events import (
     Castout,
+    DegradationLatch,
     EventBus,
+    PageQuarantined,
+    PageTranslated,
     TierDemotion,
     TierPromotion,
     TranslationInvalidated,
 )
-from repro.runtime.tiers import TIER_MODES, TieredController
+from repro.runtime.tiers import (
+    TIER_MODES,
+    PageWatchdog,
+    RecoveryPolicy,
+    TieredController,
+)
 from repro.vliw.machine import MachineConfig
 from repro.vmm.system import DaisySystem
 from repro.workloads import build_workload
@@ -269,3 +278,145 @@ other:
         result = system.run()
         assert result.tier_promotions == 0
         assert result.interpreted_episodes == 0
+
+
+def _storm_program(iterations=8):
+    """A loop that stores *identical* bytes into its hot subroutine's
+    page on every iteration: each store destroys the translation
+    (Section 3.2's protection machinery fires on the address, not the
+    value), forcing a retranslation per call — a demotion storm with
+    architecturally unchanged behaviour."""
+    same_word = encode(Instruction(Opcode.LI, rt=3, imm=55))
+    return Assembler().assemble(f"""
+.org 0x1000
+_start:
+    li    r7, 0
+    li    r8, {iterations}
+    li    r4, patch_word
+    lwz   r5, 0(r4)
+    li    r6, other
+storm:
+    stw   r5, 0(r6)          # same bytes: invalidation without change
+    bl    other
+    add   r7, r7, r3
+    subi  r8, r8, 1
+    cmpi  cr0, r8, 0
+    bne   storm
+    mr    r3, r7
+    li    r0, 1
+    sc
+.align 4
+patch_word:
+    .word {same_word}
+
+.org 0x2000
+other:
+    li    r3, 55
+    blr
+""")
+
+
+class TestWatchdogUnit:
+    def test_under_limit_never_trips(self):
+        watchdog = PageWatchdog(limit=3, window=1000)
+        for now in (10, 20, 30):
+            assert not watchdog.note_retranslation(0x2000, now)
+        assert watchdog.trips == 0
+        assert not watchdog.latched(0x2000)
+
+    def test_exceeding_limit_trips_and_publishes(self):
+        bus = EventBus()
+        latches = []
+        bus.subscribe(DegradationLatch, latches.append)
+        watchdog = PageWatchdog(limit=3, window=1000, bus=bus)
+        for now in (10, 20, 30):
+            watchdog.note_retranslation(0x2000, now)
+        assert watchdog.note_retranslation(0x2000, 40)
+        assert watchdog.trips == 1
+        assert latches == [DegradationLatch(
+            page_paddr=0x2000, retranslations=4, window=1000)]
+
+    def test_window_slides(self):
+        """Old retranslations age out: slow churn never trips."""
+        watchdog = PageWatchdog(limit=3, window=100)
+        for now in (0, 200, 400, 600, 800, 1000):
+            assert not watchdog.note_retranslation(0x2000, now)
+        assert watchdog.trips == 0
+
+    def test_latch_is_sticky_and_per_page(self):
+        watchdog = PageWatchdog(limit=0, window=1000)
+        assert watchdog.note_retranslation(0x2000, 10)
+        assert watchdog.trips == 1
+        # Subsequent notes report the latch without re-tripping.
+        assert watchdog.note_retranslation(0x2000, 5000)
+        assert watchdog.trips == 1
+        assert not watchdog.latched(0x3000)
+
+
+class TestDemotionStorm:
+    """Satellite of docs/resilience.md: a page invalidated and
+    re-promoted over and over must trip the watchdog latch and stay in
+    the interpretive tier — bounded churn, unchanged results."""
+
+    def test_storm_trips_watchdog_and_quarantines(self):
+        program = _storm_program(iterations=8)
+        interp, native = run_native(program)
+        assert native.exit_code == 8 * 55
+
+        system = DaisySystem(
+            MachineConfig.default(),
+            recovery=RecoveryPolicy(watchdog_limit=3))
+        system.load_program(program)
+        result = system.run()
+
+        assert result.exit_code == native.exit_code
+        assert result.watchdog_trips == 1
+        assert result.pages_quarantined == 1
+        assert result.event_counts.by_key(PageQuarantined) == \
+            {"watchdog": 1}
+        assert system.tier_controller.is_quarantined(0x2000)
+        # Once latched, the page runs interpretively — even in classic
+        # daisy mode — so retranslations stop at the limit.
+        retranslations = result.event_counts.count(PageTranslated)
+        assert retranslations <= 2 + system.recovery.watchdog_limit + 1
+        assert result.interpreted_instructions > 0
+        assert_state_equivalent(interp, system)
+
+    def test_storm_in_tiered_mode_stays_interpretive(self):
+        """The SMC-invalidated page is demoted, re-earns its heat, is
+        re-promoted, invalidated again — until the latch ends the
+        cycle and the entry never returns to the translated tier."""
+        program = _storm_program(iterations=8)
+        _, native = run_native(program)
+
+        system = DaisySystem(
+            MachineConfig.default(), tier="tiered", hot_threshold=1,
+            recovery=RecoveryPolicy(watchdog_limit=2))
+        system.load_program(program)
+        result = system.run()
+
+        assert result.exit_code == native.exit_code
+        assert result.watchdog_trips == 1
+        assert result.tier_demotions >= 2
+        latched_at = result.event_counts.count(TierPromotion)
+        # No promotions of the stormed page after the latch: run again
+        # with a generous watchdog and the storm churns all the way.
+        relaxed = DaisySystem(
+            MachineConfig.default(), tier="tiered", hot_threshold=1,
+            recovery=RecoveryPolicy(watchdog_limit=100))
+        relaxed.load_program(_storm_program(iterations=8))
+        unbounded = relaxed.run()
+        assert unbounded.exit_code == native.exit_code
+        assert unbounded.watchdog_trips == 0
+        assert unbounded.tier_promotions > latched_at
+
+    def test_generous_default_policy_tolerates_short_storms(self):
+        """The default watchdog budget must not latch the ordinary
+        SMC/cast-out churn the tier tests exercise."""
+        program = _storm_program(iterations=8)
+        system = DaisySystem(MachineConfig.default())
+        system.load_program(program)
+        result = system.run()
+        assert result.exit_code == 8 * 55
+        assert result.watchdog_trips == 0
+        assert result.pages_quarantined == 0
