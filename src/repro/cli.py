@@ -67,7 +67,8 @@ def _build_backend(args) -> DaisyBackend:
         tier=_tier_mode(args),
         hot_threshold=args.hot_threshold,
         strategy=args.strategy,
-        deliver_faults=args.deliver_faults)
+        deliver_faults=args.deliver_faults,
+        chaining=not getattr(args, "no_chain", False))
 
 
 def _print_summary(result) -> None:
@@ -91,7 +92,7 @@ def _print_summary(result) -> None:
 
 
 def cmd_workloads(args) -> int:
-    for name in WORKLOAD_NAMES + ["tomcatv"]:
+    for name in WORKLOAD_NAMES + ["tomcatv", "hotloop"]:
         workload = build_workload(name, "tiny")
         print(f"{name:10s} {workload.description}")
     return 0
@@ -203,6 +204,109 @@ def cmd_bench(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _profile_run(args, program, chaining: bool):
+    """Best-of-``--repeat`` timed run; returns (perf, system, result)."""
+    from repro.runtime.profiling import PerfTrace
+
+    backend = _build_backend(args)
+    backend.chaining = chaining
+    best = None
+    for _ in range(max(1, args.repeat)):
+        system = backend.build_system()
+        system.perf = PerfTrace()
+        system.load_program(program)
+        result = system.run(max_vliws=backend.max_vliws,
+                            deliver_faults=backend.deliver_faults)
+        if best is None or system.perf.total < best[0].total:
+            best = (system.perf, system, result)
+    return best
+
+
+def _profile_report(args, program, chaining: bool) -> dict:
+    from repro.isa.encoding import decode
+
+    perf, system, result = _profile_run(args, program, chaining)
+    decode_info = decode.cache_info()
+    return {
+        "chaining": chaining,
+        "exit_code": result.exit_code,
+        "base_instructions": result.base_instructions,
+        "vliws": result.vliws,
+        "perf": perf.to_dict(),
+        "chain": system.chain.stats_dict(),
+        "crack_cache": system.translator.crack_cache.stats_dict(),
+        # Process-global (decode is memoized across systems).
+        "decode_cache": {"hits": decode_info.hits,
+                         "misses": decode_info.misses,
+                         "entries": decode_info.currsize},
+    }
+
+
+def _print_profile(report: dict) -> None:
+    seconds = report["perf"]["seconds"]
+    shares = report["perf"]["shares"]
+    chain = report["chain"]
+    print(f"chaining:             "
+          f"{'on' if report['chaining'] else 'off'}")
+    print(f"exit code:            {report['exit_code']}")
+    print(f"wall time:            {seconds['total']:.4f} s")
+    for bucket in ("execute", "translate", "interpret", "vmm_dispatch"):
+        print(f"  {bucket:19s} {seconds[bucket]:.4f} s "
+              f"({shares[bucket] * 100:5.1f}%)")
+    print(f"chain links:          {chain['links_installed']} installed, "
+          f"{chain['follows']} follows, {chain['misses']} misses "
+          f"(hit rate {chain['hit_rate'] * 100:.1f}%)")
+    print(f"chain invalidations:  {chain['invalidations']} "
+          f"({chain['breaks']} mid-follow breaks)")
+    crack = report["crack_cache"]
+    print(f"crack cache:          {crack['hits']} hits, "
+          f"{crack['misses']} misses")
+    dec = report["decode_cache"]
+    print(f"decode cache:         {dec['hits']} hits, "
+          f"{dec['misses']} misses (process-wide)")
+
+
+def cmd_profile(args) -> int:
+    program, description = _load_program(args.target, args.size)
+    if args.compare:
+        off = _profile_report(args, program, chaining=False)
+        on = _profile_report(args, program, chaining=True)
+        base, fast = off["perf"]["seconds"]["total"], \
+            on["perf"]["seconds"]["total"]
+        speedup = base / fast if fast else 0.0
+        report = {"target": args.target, "size": args.size,
+                  "description": description,
+                  "chain_off": off, "chain_on": on,
+                  "speedup": round(speedup, 3)}
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(f"profiling: {description}\n")
+            _print_profile(off)
+            print()
+            _print_profile(on)
+            print(f"\nchained speedup:      {speedup:.2f}x")
+        failed = (off["exit_code"] != 0 or on["exit_code"] != 0
+                  or (args.min_speedup is not None
+                      and speedup < args.min_speedup))
+        if args.min_speedup is not None and not args.json:
+            verdict = "ok" if speedup >= args.min_speedup else "FAIL"
+            print(f"minimum required:     {args.min_speedup:.2f}x "
+                  f"[{verdict}]")
+        return 1 if failed else 0
+
+    report = _profile_report(args, program,
+                             chaining=not args.no_chain)
+    report.update({"target": args.target, "size": args.size,
+                   "description": description})
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"profiling: {description}\n")
+        _print_profile(report)
+    return 0 if report["exit_code"] == 0 else 1
+
+
 def cmd_conform(args) -> int:
     from repro.conform import run_conformance
     from repro.conform.harness import CONFORM_BACKENDS
@@ -260,6 +364,9 @@ def _common_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--deliver-faults", action="store_true",
                         help="deliver base faults to OS vectors instead "
                              "of aborting")
+    parser.add_argument("--no-chain", action="store_true",
+                        help="disable the direct-dispatch fast path "
+                             "(group chaining, docs/performance.md)")
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -310,9 +417,32 @@ def main(argv: Optional[list] = None) -> int:
     bench_parser.add_argument("--strategy", choices=["expansion", "hash"],
                               default="expansion",
                               help="translated-code mapping (Chapter 3)")
+    bench_parser.add_argument("--no-chain", action="store_true",
+                              help="disable the direct-dispatch fast "
+                                   "path for DAISY runs")
     bench_parser.add_argument("--json", action="store_true",
                               help="emit machine-readable JSON")
     bench_parser.set_defaults(func=cmd_bench, deliver_faults=False)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="wall-clock profile of one run: time split across "
+             "execute / translate / interpret / VMM dispatch, chain "
+             "and cache statistics (docs/performance.md)")
+    _common_flags(profile_parser)
+    profile_parser.add_argument("--repeat", type=int, default=1,
+                                help="timed repetitions; the best "
+                                     "(lowest wall time) is reported")
+    profile_parser.add_argument("--compare", action="store_true",
+                                help="run chaining off then on and "
+                                     "report the speedup")
+    profile_parser.add_argument("--min-speedup", type=float, default=None,
+                                help="with --compare: exit nonzero when "
+                                     "the chained speedup is below this "
+                                     "(the CI perf-smoke gate)")
+    profile_parser.add_argument("--json", action="store_true",
+                                help="emit machine-readable JSON")
+    profile_parser.set_defaults(func=cmd_profile)
 
     conform_parser = sub.add_parser(
         "conform",
@@ -381,7 +511,14 @@ def main(argv: Optional[list] = None) -> int:
     report_parser.set_defaults(func=cmd_report)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. ``translate | head``);
+        # exit quietly with the conventional SIGPIPE status.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

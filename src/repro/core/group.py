@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.isa.encoding import DecodeError
+from repro.isa.encoding import DecodeError, decode
 from repro.isa.instructions import Instruction
 from repro.primitives.decompose import (
     BranchKind,
@@ -50,6 +50,54 @@ def cracker_from_fetch(fetch: FetchFn) -> CrackFn:
     def crack(pc: int):
         return decompose(fetch(pc), pc)
     return crack
+
+
+class CrackCache:
+    """Memoized crack results, keyed by ``(pc, word)``.
+
+    Cracking is pure on the instruction word and its pc (the pc feeds
+    branch-target arithmetic), so results are shared across
+    retranslations of the same code — the dominant translator cost for
+    pages that churn (SMC invalidation, LRU cast-out, re-entry after
+    quarantine backoff).  Keying on the word *content* makes the cache
+    correct under self-modifying code with no invalidation protocol: a
+    patched word is simply a different key.  ``flush`` exists for
+    hygiene (the VMM drops entries on code-modification events so dead
+    keys don't accumulate).
+
+    The cached ``(primitives, branch)`` records are shared by every
+    group build that hits; builder and scheduler treat them as
+    read-only by construction.
+    """
+
+    def __init__(self, maxsize: int = 16384):
+        self.maxsize = maxsize
+        self._map: Dict[Tuple[int, int],
+                        Tuple[List[Primitive],
+                              Optional[DecomposedBranch]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def crack(self, pc: int, word: int):
+        key = (pc, word)
+        result = self._map.get(key)
+        if result is not None:
+            self.hits += 1
+            return result
+        self.misses += 1
+        instr = decode(word)
+        result = decompose(instr, pc)
+        if len(self._map) >= self.maxsize:
+            self._map.clear()
+        self._map[key] = result
+        return result
+
+    def flush(self) -> None:
+        self._map.clear()
+
+    def stats_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._map)}
 
 
 class GroupBuilder:

@@ -21,9 +21,10 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.faults import TranslatorInvariantError
 from repro.isa.encoding import decode
 from repro.isa.instructions import Instruction
-from repro.core.group import GroupBuilder
+from repro.core.group import CrackCache, GroupBuilder
 from repro.core.options import TranslationOptions
 from repro.runtime.events import EntryTranslated
+from repro.vliw.engine import finalize_group_executors
 from repro.vliw.machine import MachineConfig
 from repro.vliw.tree import VliwGroup
 
@@ -80,11 +81,19 @@ class PageTranslator:
         #: the translation state is still clean (no partial entries).
         self.fault_hook: \
             Optional[Callable[[PageTranslation, int], None]] = None
+        #: Memoized crack results keyed by (pc, word) — shared across
+        #: every group build and retranslation this translator performs.
+        self.crack_cache = CrackCache()
 
     # ------------------------------------------------------------------
 
     def _fetch_instruction(self, pc: int) -> Instruction:
         return decode(self.fetch_word(pc))
+
+    def _crack(self, pc: int):
+        """Cracker fed to group builds: fetch the raw word, then crack
+        through the content-keyed memo (SMC-safe by construction)."""
+        return self.crack_cache.crack(pc, self.fetch_word(pc))
 
     def new_translation(self, page_vaddr: int, page_paddr: int,
                         code_base: int) -> PageTranslation:
@@ -125,7 +134,8 @@ class PageTranslator:
                 worklist.append(target_pc)
 
             builder = GroupBuilder(pc, self._fetch_instruction, self.config,
-                                   self.options, add_to_worklist)
+                                   self.options, add_to_worklist,
+                                   crack=self._crack)
             group = builder.build()
             self._layout(translation, group)
             translation.entries[off] = group
@@ -160,8 +170,12 @@ class PageTranslator:
     def _layout(self, translation: PageTranslation,
                 group: VliwGroup) -> None:
         """Assign simulated VLIW-memory addresses (sequential layout in
-        the page's translated-code area, Section 3.4)."""
+        the page's translated-code area, Section 3.4), and finalize the
+        group for execution: every parcel gets its executor bound here,
+        at translation time, so the engine never resolves opcodes on
+        the hot path."""
         cursor = translation.code_base + translation.code_size
         for vliw in group.vliws:
             vliw.address = cursor
             cursor += vliw.size_bytes()
+        finalize_group_executors(group)

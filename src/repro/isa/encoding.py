@@ -26,6 +26,8 @@ zero-extended for logical/shift/mask forms, mirroring PowerPC conventions.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.isa.instructions import BranchCond, Instruction, Opcode
 
 
@@ -177,11 +179,20 @@ def encode(instr: Instruction) -> int:
     raise AssertionError(f"unhandled format {fmt}")
 
 
+@lru_cache(maxsize=65536)
 def decode(word: int) -> Instruction:
     """Decode a 32-bit word into an :class:`Instruction`.
 
     Raises :class:`DecodeError` for unknown opcodes (the interpreter turns
     this into an illegal-instruction program exception).
+
+    ``decode`` is pure on the 32-bit word, so results are memoized
+    (``lru_cache``): every consumer — the interpreter tiers, the page
+    translator's cracker, the trace collectors — shares one decode per
+    distinct word.  Keying on the word *content* makes the cache
+    self-modifying-code-safe by construction, and ``lru_cache`` never
+    caches a raised :class:`DecodeError`.  The returned
+    :class:`Instruction` records are treated as immutable everywhere.
     """
     opnum = (word >> 24) & 0xFF
     try:

@@ -72,7 +72,6 @@ class Interpreter:
         self.services = services if services is not None else EmulatorServices()
         self.env = ExecutionEnv(self.memory, self.mmu, self.services)
         self.collect_trace = collect_trace
-        self._decode_cache: dict = {}
 
     def load_program(self, program) -> None:
         """Place an assembled :class:`~repro.isa.assembler.Program` into
@@ -82,14 +81,10 @@ class Interpreter:
         self.state.pc = program.entry
 
     def fetch(self, pc: int) -> Instruction:
-        """Fetch and decode the instruction at virtual address ``pc``."""
+        """Fetch and decode the instruction at virtual address ``pc``
+        (``decode`` itself memoizes on the word, shared cross-instance)."""
         paddr = self.mmu.translate_fetch(pc)
-        word = self.memory.read_word(paddr)
-        cached = self._decode_cache.get(word)
-        if cached is None:
-            cached = decode(word)
-            self._decode_cache[word] = cached
-        return cached
+        return decode(self.memory.read_word(paddr))
 
     def step(self) -> Instruction:
         """Execute a single instruction; returns it."""

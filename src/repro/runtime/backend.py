@@ -21,6 +21,7 @@ shape.
 
 from __future__ import annotations
 
+import time
 from dataclasses import fields as dataclass_fields
 from dataclasses import replace
 from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
@@ -151,7 +152,8 @@ class DaisyBackend:
                  strategy: str = "expansion",
                  deliver_faults: bool = False,
                  max_vliws: int = 50_000_000,
-                 recovery: Optional[RecoveryPolicy] = None):
+                 recovery: Optional[RecoveryPolicy] = None,
+                 chaining: bool = True):
         self.config = config if config is not None else \
             MachineConfig.default()
         self.options = options
@@ -162,6 +164,7 @@ class DaisyBackend:
         self.deliver_faults = deliver_faults
         self.max_vliws = max_vliws
         self.recovery = recovery
+        self.chaining = chaining
 
     def build_system(self) -> DaisySystem:
         """A fresh :class:`DaisySystem` for one run.  Options are
@@ -173,21 +176,25 @@ class DaisyBackend:
                            tier=self.tier,
                            hot_threshold=self.hot_threshold,
                            strategy=self.strategy,
-                           recovery=self.recovery)
+                           recovery=self.recovery,
+                           chaining=self.chaining)
 
     def execute(self, program, name: str = ""):
         """Run ``program``; returns ``(system, RunResult)`` for callers
         (the CLI's translate dump) that need the live system too."""
         system = self.build_system()
         system.load_program(program)
+        started = time.perf_counter()
         raw = system.run(max_vliws=self.max_vliws,
                          deliver_faults=self.deliver_faults)
+        wall = time.perf_counter() - started
         has_caches = system.cache_hierarchy is not None
         ilp = raw.finite_cache_ilp if has_caches else raw.infinite_cache_ilp
         result = RunResult(backend=self.name, workload=name,
                            instructions=raw.base_instructions,
                            cycles=raw.cycles, ilp=ilp,
-                           exit_code=raw.exit_code, raw=raw)
+                           exit_code=raw.exit_code, wall_seconds=wall,
+                           raw=raw)
         return system, result
 
     def run(self, context: ExecutionContext) -> RunResult:

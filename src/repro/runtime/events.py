@@ -31,11 +31,15 @@ _NO_HANDLERS: tuple = ()
 class EventBus:
     """A minimal synchronous publish/subscribe hub."""
 
-    __slots__ = ("_handlers", "_catchall")
+    __slots__ = ("_handlers", "_catchall", "_wants")
 
     def __init__(self) -> None:
         self._handlers: Dict[type, List[Handler]] = {}
         self._catchall: List[Handler] = []
+        #: Cached ``wants`` answers, maintained on (un)subscribe so the
+        #: VMM main loop can re-check per iteration at dict-get cost
+        #: (a mid-run subscriber must not be silently ignored).
+        self._wants: Dict[type, bool] = {}
 
     def subscribe(self, event_type: type,
                   handler: Handler) -> Callable[[], None]:
@@ -43,10 +47,12 @@ class EventBus:
         Returns a zero-argument unsubscribe callable."""
         handlers = self._handlers.setdefault(event_type, [])
         handlers.append(handler)
+        self._wants[event_type] = True
 
         def unsubscribe() -> None:
             if handler in handlers:
                 handlers.remove(handler)
+                self._wants[event_type] = bool(handlers)
 
         return unsubscribe
 
@@ -74,7 +80,7 @@ class EventBus:
         nobody asked for; catchall subscribers deliberately do not count
         — they are counters, not consumers of the hot channel.
         """
-        return bool(self._handlers.get(event_type))
+        return self._wants.get(event_type, False)
 
 
 # ----------------------------------------------------------------------
@@ -150,6 +156,15 @@ class ItlbHit:
 
 @dataclass(frozen=True)
 class ItlbMiss:
+    pass
+
+
+@dataclass(frozen=True)
+class ItlbFlush:
+    """Every ITLB entry was dropped at once (a TLB-invalidate-all; the
+    chaos harness's itlb-flush seam).  "The assumptions that caused an
+    ITLB entry to be created" changed wholesale — chained successor
+    links ride the same assumptions and are invalidated on this seam."""
     pass
 
 
@@ -297,8 +312,12 @@ class TierDemotion:
 # Pre-allocated instances for allocation-free hot-path publishes.
 ITLB_HIT = ItlbHit()
 ITLB_MISS = ItlbMiss()
+ITLB_FLUSH = ItlbFlush()
 ALIAS_RECOVERY = AliasRecovery()
 MEMORY_ACCESS = MemoryAccess()
+#: The chained fast path publishes this on every engine-side cross-page
+#: follow, so Table 5.6's cross-page counts are chaining-invariant.
+CROSS_PAGE_DIRECT = CrossPage(flavor="direct")
 
 
 class EventCounters:
@@ -309,6 +328,10 @@ class EventCounters:
         self._counts: Dict[type, int] = {}
         self._sums: Dict[Tuple[type, str], int] = {}
         self._keyed: Dict[type, Dict[object, int]] = {}
+        #: Per-type accumulation plan (sum fields, key field), resolved
+        #: once per event type instead of via class getattr per event —
+        #: this handler runs for every event on the bus.
+        self._plans: Dict[type, tuple] = {}
 
     def attach(self, bus: EventBus) -> "EventCounters":
         bus.subscribe_all(self._on_event)
@@ -319,10 +342,15 @@ class EventCounters:
     def _on_event(self, event: object) -> None:
         kind = type(event)
         self._counts[kind] = self._counts.get(kind, 0) + 1
-        for attr in getattr(kind, "_sum_fields", _NO_HANDLERS):
+        plan = self._plans.get(kind)
+        if plan is None:
+            plan = (tuple(getattr(kind, "_sum_fields", ())),
+                    getattr(kind, "_key_field", None))
+            self._plans[kind] = plan
+        sum_fields, key_field = plan
+        for attr in sum_fields:
             key = (kind, attr)
             self._sums[key] = self._sums.get(key, 0) + getattr(event, attr)
-        key_field = getattr(kind, "_key_field", None)
         if key_field:
             breakdown = self._keyed.setdefault(kind, {})
             value = getattr(event, key_field)
@@ -352,7 +380,8 @@ class EventCounters:
 EVENT_TYPES: Tuple[Type, ...] = (
     TranslationMissing, InvalidEntry, CodeModification,
     TranslationInvalidated, Castout, PageTranslated, EntryTranslated,
-    CrossPage, ItlbHit, ItlbMiss, ExternalInterrupt, FaultDelivered,
+    CrossPage, ItlbHit, ItlbMiss, ItlbFlush, ExternalInterrupt,
+    FaultDelivered,
     AliasRecovery, CacheLevelMiss, MemoryAccess, InterpretedEpisode,
     CommitPoint, ConformCaseChecked, DivergenceFound,
     TierPromotion, TierDemotion,

@@ -47,6 +47,10 @@ class RunResult:
     #: oracle's trace ILP, the caching interpreter's effective ILP.
     ilp: float = 0.0
     exit_code: int = 0
+    #: Host wall-clock seconds spent producing the run (0.0 when the
+    #: backend does not time itself); ``repro bench --json`` reports it
+    #: so perf trajectories (BENCH_*.json) carry real time.
+    wall_seconds: float = 0.0
     #: The backend-specific result record (e.g. ``DaisyRunResult``).
     raw: Optional[object] = None
 
@@ -59,4 +63,5 @@ class RunResult:
             "cycles": self.cycles,
             "ilp": round(self.ilp, 4),
             "exit_code": self.exit_code,
+            "wall_seconds": round(self.wall_seconds, 6),
         }

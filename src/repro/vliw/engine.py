@@ -32,8 +32,13 @@ from repro.isa.semantics import fdiv_ieee as _fdiv_ieee
 from repro.isa.state import MSR_EE, s32, u32
 from repro.memory.memory import PhysicalMemory
 from repro.memory.mmu import Mmu
-from repro.primitives.ops import PrimOp
-from repro.runtime.events import ALIAS_RECOVERY
+from repro.primitives.ops import LOAD_PRIMS, PrimOp, STORE_PRIMS
+from repro.runtime.events import (
+    ALIAS_RECOVERY,
+    CROSS_PAGE_DIRECT,
+    CommitPoint,
+    EventBus,
+)
 from repro.vliw.registers import ExtendedRegisters, TaggedRegisterFault
 from repro.vliw.tree import (
     BranchTest,
@@ -55,6 +60,8 @@ class ExitReason(enum.Enum):
     ALIAS = "alias"            # load-store alias recovery
     RETRANSLATE = "retranslate"  # the running translation was invalidated
     INTERRUPT = "interrupt"    # external interrupt at a VLIW boundary
+    CHAIN_BREAK = "chain_break"  # a commit subscriber invalidated the
+    #                              link mid-follow; re-dispatch via VMM
 
 
 @dataclass
@@ -62,6 +69,76 @@ class EngineExit:
     reason: ExitReason
     target: int
     flavor: str = ""
+
+
+#: Exit reasons with a fixed target and no VMM-side dispatch effects
+#: beyond continuing at that target — the only edges the fast path may
+#: cache.  INDIRECT targets are runtime values; ALIAS / RETRANSLATE /
+#: INTERRUPT need the VMM's handlers.
+CHAINABLE_EXITS = frozenset((ExitReason.ENTRY, ExitReason.OFFPAGE,
+                             ExitReason.SC))
+
+
+@dataclass
+class ChainLink:
+    """One cached successor edge: ``group.links[target] -> ChainLink``.
+
+    A link snapshots the assumptions that made the edge valid — the
+    translation epoch and the MMU relocation mode — exactly the way an
+    ITLB entry does (Section 3.4); any event that could invalidate a
+    translation bumps the epoch, so staleness is one integer compare.
+    """
+
+    group: "VliwGroup"
+    page_paddr: int
+    mode: int
+    epoch: int
+    crosspage: bool
+
+
+class ChainRuntime:
+    """Shared state of the chained-execution fast path.
+
+    Owned by the VMM (:class:`~repro.vmm.system.DaisySystem`), consulted
+    by :meth:`VliwEngine.run_chained`.  ``epoch`` is the global link
+    generation: the VMM bumps it on every invalidation seam (cast-out,
+    SMC, ITLB flush, quarantine, tier demotion), killing every
+    outstanding link at once without walking groups.
+    """
+
+    __slots__ = ("enabled", "epoch", "hits", "misses", "installed",
+                 "invalidations", "breaks", "crosspage_extra_cycles",
+                 "on_enter_page")
+
+    def __init__(self, enabled: bool = True,
+                 crosspage_extra_cycles: int = 0,
+                 on_enter_page: Optional[Callable[[int], None]] = None):
+        self.enabled = enabled
+        self.epoch = 0
+        self.hits = 0            # links followed engine-side
+        self.misses = 0          # exits returned to the VMM for lookup
+        self.installed = 0       # links created
+        self.invalidations = 0   # epoch bumps (seam events)
+        self.breaks = 0          # follows aborted by a commit subscriber
+        self.crosspage_extra_cycles = crosspage_extra_cycles
+        self.on_enter_page = on_enter_page
+
+    def invalidate(self) -> None:
+        """Kill every outstanding link (O(1): links self-check)."""
+        self.epoch += 1
+        self.invalidations += 1
+
+    @property
+    def hit_rate(self) -> float:
+        followed = self.hits + self.misses
+        return self.hits / followed if followed else 0.0
+
+    def stats_dict(self) -> Dict[str, object]:
+        return {"enabled": self.enabled, "links_installed": self.installed,
+                "follows": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations,
+                "breaks": self.breaks,
+                "hit_rate": round(self.hit_rate, 4)}
 
 
 @dataclass
@@ -142,20 +219,23 @@ class VliwEngine:
         self._outstanding.clear()
         self.last_route = []
         vliw = group.entry_vliw
+        interrupt_pending = self.interrupt_pending
+        state = self.xregs.state
+        execute_vliw = self._execute_vliw
         try:
             while True:
                 # External interrupts are architecturally gated on
                 # MSR.EE: a handler runs with EE clear and cannot be
                 # re-entered until its rfi restores the saved MSR.
-                if (self.interrupt_pending is not None
-                        and (self.xregs.state.msr & MSR_EE)
+                if (interrupt_pending is not None
+                        and (state.msr & MSR_EE)
                         and not self._partial_instruction
-                        and self.interrupt_pending()):
+                        and interrupt_pending()):
                     self.xregs.clear_speculative_state()
                     self._outstanding.clear()
                     return EngineExit(ExitReason.INTERRUPT,
                                       vliw.entry_base_pc)
-                result = self._execute_vliw(vliw)
+                result = execute_vliw(vliw)
                 if isinstance(result, TreeVliw):
                     vliw = result
                     continue
@@ -169,6 +249,61 @@ class VliwEngine:
 
     # ------------------------------------------------------------------
 
+    def run_chained(self, group: VliwGroup, chain: ChainRuntime,
+                    max_vliws: int, bus: EventBus) -> EngineExit:
+        """Execute ``group`` and keep following cached successor links
+        engine-side — the paper's direct VLIW-to-VLIW branch at
+        ``base_physical * N + VLIW_BASE`` (Section 3.1), where the VMM
+        is only entered on a translation miss.
+
+        Per follow the loop: validates the link against the global
+        chain epoch and the MMU relocation mode, amortizes the VLIW
+        budget check, applies the edge's dispatch effects (cross-page
+        event + GO_ACROSS_PAGE cycle charge), publishes a
+        :class:`CommitPoint` when a lockstep subscriber wants one, and
+        re-validates the epoch *after* the publish — a commit
+        subscriber (the chaos fault injector) may have just invalidated
+        the translation it was about to enter, in which case the follow
+        aborts with a ``CHAIN_BREAK`` exit and the VMM re-dispatches.
+        """
+        if not chain.enabled:
+            return self.run_group(group)
+        state = self.xregs.state
+        while True:
+            engine_exit = self.run_group(group)
+            if engine_exit.reason not in CHAINABLE_EXITS:
+                return engine_exit
+            links = group.links
+            link = None if links is None else links.get(engine_exit.target)
+            if link is None:
+                chain.misses += 1
+                return engine_exit
+            if link.epoch != chain.epoch or \
+                    link.mode != (1 if self.mmu.relocation_on else 0):
+                del links[engine_exit.target]
+                chain.misses += 1
+                return engine_exit
+            if self.stats.vliws > max_vliws:
+                # Over budget: let the VMM's loop head raise.
+                return engine_exit
+            if engine_exit.reason is ExitReason.OFFPAGE:
+                bus.publish(CROSS_PAGE_DIRECT)
+                self.stats.stall_cycles += chain.crosspage_extra_cycles
+            chain.hits += 1
+            if chain.on_enter_page is not None:
+                chain.on_enter_page(link.page_paddr)
+            state.pc = engine_exit.target
+            if bus.wants(CommitPoint):
+                bus.publish(CommitPoint(pc=engine_exit.target,
+                                        completed=self.stats.completed))
+                if link.epoch != chain.epoch:
+                    chain.breaks += 1
+                    return EngineExit(ExitReason.CHAIN_BREAK,
+                                      engine_exit.target)
+            group = link.group
+
+    # ------------------------------------------------------------------
+
     def _execute_vliw(self, vliw: TreeVliw):
         """Execute one VLIW; returns the next TreeVliw or an EngineExit."""
         self.stats.vliws += 1
@@ -177,18 +312,24 @@ class VliwEngine:
                 vliw.address, vliw.size_bytes())
 
         # Phase 1: select the route by evaluating tests on entry values.
-        route: List[Tip] = []
         tip = vliw.root
-        while True:
-            route.append(tip)
-            if tip.test is not None:
-                tip = tip.taken if self._evaluate(tip.test) else tip.fall
-                continue
-            break
+        if tip.test is None:
+            # Straight-line VLIW (the common case): one-tip route.
+            route: List[Tip] = [tip]
+        else:
+            route = []
+            while True:
+                route.append(tip)
+                if tip.test is not None:
+                    tip = tip.taken if self._evaluate(tip.test) else tip.fall
+                    continue
+                break
         self.last_route.append((vliw, route))
-        parcels = sum(tip.route_parcels() for tip in route)
-        self.stats.parcel_histogram[parcels] = \
-            self.stats.parcel_histogram.get(parcels, 0) + 1
+        parcels = 0
+        for tip in route:
+            parcels += tip.route_parcels()
+        histogram = self.stats.parcel_histogram
+        histogram[parcels] = histogram.get(parcels, 0) + 1
 
         # Phase 2: execute the route's operations in order.
         written: Optional[set] = set() if self.check_parallel_semantics \
@@ -270,46 +411,62 @@ class VliwEngine:
     def _execute_op(self, op: Operation) -> Optional[EngineExit]:
         """Execute one parcel; returns an EngineExit for early group
         aborts (alias recovery, invalidation), else None."""
+        xregs = self.xregs
+        spec = op.speculative
+        osrcs = op.srcs
         try:
-            srcs = tuple(self.xregs.read(s, op.speculative) for s in op.srcs)
+            if osrcs:
+                read = xregs.read
+                if len(osrcs) == 1:
+                    srcs = (read(osrcs[0], spec),)
+                elif len(osrcs) == 2:
+                    srcs = (read(osrcs[0], spec), read(osrcs[1], spec))
+                else:
+                    srcs = tuple([read(s, spec) for s in osrcs])
+            else:
+                srcs = ()
         except TaggedRegisterFault as tagged:
             raise PreciseFault(tagged.fault, op.base_pc)
 
-        if op.speculative and self.xregs.propagate_tag(op.dest, op.srcs):
+        if spec and xregs.propagate_tag(op.dest, osrcs):
             self.stats.speculative_ops += 1
             return None
 
+        executor = op.executor
+        if executor is None:
+            # Hand-built groups (tests, front ends) bind lazily; the
+            # page translator finalizes executors at translation time.
+            executor = op.executor = bind_executor(op)
         try:
-            result = self._compute(op, srcs)
+            result = executor(self, op, srcs)
         except BaseArchFault as fault:
-            if op.speculative:
+            if spec:
                 self.stats.speculative_ops += 1
-                if op.is_load:
+                if op.exec_load:
                     self.stats.loads += 1
-                self.xregs.set_tag(op.dest, fault)
+                xregs.set_tag(op.dest, fault)
                 return None
             raise PreciseFault(fault, op.base_pc)
 
-        if op.speculative:
+        if spec:
             self.stats.speculative_ops += 1
         if result is not None:
             value, ca, ov = result
             if op.dest is not None:
-                if op.speculative:
-                    self.xregs.write_result(op.dest, value, ca, ov)
+                if spec:
+                    xregs.write_result(op.dest, value, ca, ov)
                 else:
-                    self.xregs.write_result(op.dest, value)
-                    self._apply_xer(ca, ov)
+                    xregs.write_result(op.dest, value)
+                    if ca is not None or ov is not None:
+                        self._apply_xer(ca, ov)
 
         if op.completes:
             self.stats.completed += 1
             self._partial_instruction = False
-        elif not op.speculative and (
-                op.is_store or (op.dest is not None
-                                and regs.is_architected(op.dest))):
+        elif op.exec_partial:
             self._partial_instruction = True
 
-        if op.is_store and self.translation_invalidated:
+        if op.exec_store and self.translation_invalidated:
             self.translation_invalidated = False
             resume = op.base_pc + 4 if op.completes else op.base_pc
             return EngineExit(ExitReason.RETRANSLATE, resume)
@@ -325,75 +482,77 @@ class VliwEngine:
                 state.so = 1
 
     # ------------------------------------------------------------------
+    # Operation executors: each returns (value, ca, ov) or None for ops
+    # with no register result, and may raise BaseArchFault (memory,
+    # privilege, illegal).  ``bind_executor`` resolves one per parcel —
+    # at translation time for translator output, lazily otherwise — so
+    # execution never walks an opcode ladder.
+    # ------------------------------------------------------------------
 
-    def _compute(self, op: Operation, srcs: Tuple[int, ...]):
-        """Returns (value, ca, ov) or None for ops with no register
-        result.  May raise BaseArchFault (memory, privilege, illegal)."""
-        kind = op.op
-        handler = _ALU_HANDLERS.get(kind)
-        if handler is not None:
-            return handler(srcs, op.imm, op.ca_step)
+    def _do_commit(self, op: Operation, srcs: Tuple[int, ...]):
+        src_reg = op.srcs[0]
+        ext = self.xregs.extenders.get(src_reg)
+        self.stats.commits += 1
+        if op.discharges is not None:
+            self._outstanding.pop(op.discharges, None)
+        if ext is not None:
+            self._apply_xer(ext[0], ext[1])
+        return (srcs[0], None, None)
 
-        if kind == PrimOp.COMMIT:
-            src_reg = op.srcs[0]
-            ext = self.xregs.extenders.get(src_reg)
-            self.stats.commits += 1
-            if op.discharges is not None:
-                self._outstanding.pop(op.discharges, None)
-            if ext is not None:
-                self._apply_xer(ext[0], ext[1])
-            return (srcs[0], None, None)
-
-        if op.is_load:
+    def _do_load(self, op: Operation, srcs: Tuple[int, ...]):
+        if len(srcs) == 1:
+            addr = u32(int(srcs[0]) + (op.imm or 0))
+        else:
             addr = u32(sum(int(s) for s in srcs) + (op.imm or 0))
-            paddr = self.mmu.translate_data(addr, is_store=False)
-            width = _MEM_WIDTH[kind]
-            if self.caches is not None:
-                self.stats.stall_cycles += self.caches.access_data(
-                    paddr, width, is_store=False)
-            if width == 1:
-                value = self.memory.read_byte(paddr)
-            elif width == 2:
-                value = self.memory.read_half(paddr)
-            elif width == 8:
-                value = self.memory.read_double(paddr)
-            else:
-                value = self.memory.read_word(paddr)
-            self.stats.loads += 1
-            if op.speculative:
-                self._outstanding[op.seq] = (addr, width)
-            return (value, None, None)
+        paddr = self.mmu.translate_data(addr, is_store=False)
+        width = op.exec_width
+        if self.caches is not None:
+            self.stats.stall_cycles += self.caches.access_data(
+                paddr, width, is_store=False)
+        if width == 1:
+            value = self.memory.read_byte(paddr)
+        elif width == 2:
+            value = self.memory.read_half(paddr)
+        elif width == 8:
+            value = self.memory.read_double(paddr)
+        else:
+            value = self.memory.read_word(paddr)
+        self.stats.loads += 1
+        if op.speculative:
+            self._outstanding[op.seq] = (addr, width)
+        return (value, None, None)
 
-        if op.is_store:
-            return self._do_store(op, srcs)
+    def _do_service(self, op: Operation, srcs: Tuple[int, ...]):
+        if self.services is None:
+            from repro.faults import SystemCallFault
+            raise SystemCallFault()
+        self.services(self.xregs.state)
+        return None
 
-        if kind == PrimOp.SERVICE:
-            if self.services is None:
-                from repro.faults import SystemCallFault
-                raise SystemCallFault()
-            self.services(self.xregs.state)
-            return None
+    def _do_trap_priv(self, op: Operation, srcs: Tuple[int, ...]):
+        if not self.xregs.state.is_supervisor():
+            raise ProgramFault(op.base_pc, "privileged operation")
+        return None
 
-        if kind == PrimOp.TRAP_PRIV:
-            if not self.xregs.state.is_supervisor():
-                raise ProgramFault(op.base_pc, "privileged operation")
-            return None
+    def _do_trap_illegal(self, op: Operation, srcs: Tuple[int, ...]):
+        raise ProgramFault(op.base_pc, "illegal instruction")
 
-        if kind == PrimOp.TRAP_ILLEGAL:
-            raise ProgramFault(op.base_pc, "illegal instruction")
+    def _do_nothing(self, op: Operation, srcs: Tuple[int, ...]):
+        return None
 
-        if kind == PrimOp.NOP or kind == PrimOp.MARKER:
-            return None
-
-        raise SimulationError(f"engine cannot execute {kind}")
+    def _do_unexecutable(self, op: Operation, srcs: Tuple[int, ...]):
+        raise SimulationError(f"engine cannot execute {op.op}")
 
     def _do_store(self, op: Operation, srcs: Tuple[int, ...]):
-        addr = u32(sum(int(s) for s in srcs) + (op.imm or 0))
+        if len(srcs) == 1:
+            addr = u32(int(srcs[0]) + (op.imm or 0))
+        else:
+            addr = u32(sum(int(s) for s in srcs) + (op.imm or 0))
         try:
             value = self.xregs.read(op.value_src, speculative=False)
         except TaggedRegisterFault as tagged:
             raise PreciseFault(tagged.fault, op.base_pc)
-        width = _MEM_WIDTH[op.op]
+        width = op.exec_width
 
         # Alias check against younger outstanding speculative loads.
         for seq, (laddr, lwidth) in self._outstanding.items():
@@ -431,6 +590,62 @@ class VliwEngine:
             self.memory.write_double(paddr, value)
         else:
             self.memory.write_word(paddr, value)
+
+
+def bind_executor(op: Operation) -> Callable:
+    """Resolve ``op``'s execution path once: returns a callable
+    ``(engine, op, srcs) -> (value, ca, ov) | None``.
+
+    ALU parcels close over their handler and immediates; everything
+    else binds the matching :class:`VliwEngine` method directly.  The
+    ALU handler is looked up at *bind* time, so a table override (the
+    conformance suite's deliberately-buggy-backend tests patch
+    ``_ALU_HANDLERS``) applies to any translation performed after it.
+
+    Binding also derives the parcel's static execution flags
+    (``exec_load`` / ``exec_store`` / ``exec_partial``), so the
+    per-execution path does no set membership or register-class
+    checks.
+    """
+    kind = op.op
+    op.exec_load = kind in LOAD_PRIMS
+    op.exec_store = kind in STORE_PRIMS
+    if op.exec_load or op.exec_store:
+        op.exec_width = _MEM_WIDTH[kind]
+    op.exec_partial = not op.speculative and (
+        op.exec_store or (op.dest is not None
+                          and regs.is_architected(op.dest)))
+    handler = _ALU_HANDLERS.get(kind)
+    if handler is not None:
+        def alu_executor(engine, op, srcs, _handler=handler,
+                         _imm=op.imm, _ca_step=op.ca_step):
+            return _handler(srcs, _imm, _ca_step)
+        return alu_executor
+    if kind is PrimOp.COMMIT:
+        return VliwEngine._do_commit
+    if kind in LOAD_PRIMS:
+        return VliwEngine._do_load
+    if kind in STORE_PRIMS:
+        return VliwEngine._do_store
+    if kind is PrimOp.SERVICE:
+        return VliwEngine._do_service
+    if kind is PrimOp.TRAP_PRIV:
+        return VliwEngine._do_trap_priv
+    if kind is PrimOp.TRAP_ILLEGAL:
+        return VliwEngine._do_trap_illegal
+    if kind is PrimOp.NOP or kind is PrimOp.MARKER:
+        return VliwEngine._do_nothing
+    return VliwEngine._do_unexecutable
+
+
+def finalize_group_executors(group: VliwGroup) -> None:
+    """Translation-time finalization: pre-bind every parcel's executor
+    so first execution pays no resolution cost."""
+    for vliw in group.vliws:
+        for tip in vliw.all_tips():
+            for op in tip.ops:
+                if op.executor is None:
+                    op.executor = bind_executor(op)
 
 
 class _AliasRecovery(Exception):

@@ -23,6 +23,13 @@ from repro.faults import BaseArchFault, SimulationError
 from repro.isa import registers as regs
 from repro.isa.state import CpuState, u32
 
+# Hot-path constants: read_raw/write_raw run once per operand of every
+# executed parcel, so the GPR fast path compares against plain ints
+# instead of calling the register-class predicates.
+_GPR0 = regs.GPR0
+_GPR_END = regs.GPR0 + regs.NUM_VLIW_GPRS
+_GPR_BASE_END = regs.GPR0 + regs.NUM_BASE_GPRS
+
 
 class TaggedRegisterFault(Exception):
     """A non-speculative operation consumed a register whose exception
@@ -51,10 +58,9 @@ class ExtendedRegisters:
 
     def read_raw(self, index: int):
         state = self.state
-        if regs.is_gpr(index):
-            n = index - regs.GPR0
-            if n < regs.NUM_BASE_GPRS:
-                return state.gpr[n]
+        if _GPR0 <= index < _GPR_END:
+            if index < _GPR_BASE_END:
+                return state.gpr[index - _GPR0]
             return self._scratch.get(index, 0)
         if regs.is_fpr(index):
             n = index - regs.FPR0
@@ -101,10 +107,9 @@ class ExtendedRegisters:
                 self._scratch[index] = value
             return
         value = u32(value)
-        if regs.is_gpr(index):
-            n = index - regs.GPR0
-            if n < regs.NUM_BASE_GPRS:
-                state.gpr[n] = value
+        if _GPR0 <= index < _GPR_END:
+            if index < _GPR_BASE_END:
+                state.gpr[index - _GPR0] = value
             else:
                 self._scratch[index] = value
             return
@@ -145,7 +150,7 @@ class ExtendedRegisters:
     def read(self, index: int, speculative: bool) -> int:
         """Read for an operation's source.  Non-speculative consumption of
         a tagged register raises the deferred fault (Section 2.1)."""
-        if index in self.tags and not speculative:
+        if self.tags and not speculative and index in self.tags:
             raise TaggedRegisterFault(index, self.tags[index])
         return self.read_raw(index)
 
@@ -164,11 +169,12 @@ class ExtendedRegisters:
         """Write an operation result, clearing any stale tag and recording
         extender bits when supplied (``None`` = this op does not produce
         that bit; the commit then leaves the architected bit alone)."""
-        self.tags.pop(index, None)
+        if self.tags:
+            self.tags.pop(index, None)
         self.write_raw(index, value)
         if ca is not None or ov is not None:
             self.extenders[index] = (ca, ov)
-        else:
+        elif self.extenders:
             self.extenders.pop(index, None)
 
     def propagate_tag(self, dest: int, srcs) -> bool:

@@ -63,6 +63,32 @@ class Operation:
     #: engine computes the architecturally correct carry of the *last*
     #: step, not of the combined addition (see core.scheduler).
     ca_step: Optional[int] = None
+    #: Pre-bound execution callable ``(engine, op, srcs) -> result``
+    #: (see :func:`repro.vliw.engine.bind_executor`): resolved once at
+    #: translation-time finalization instead of walking an opcode
+    #: ladder per execution.  Lazily bound for hand-built groups.
+    executor: Optional[object] = field(default=None, repr=False,
+                                       compare=False)
+    #: Static execution flags, derived alongside the executor at bind
+    #: time (:func:`repro.vliw.engine.bind_executor`) so the engine's
+    #: per-parcel path does no set membership or register-class checks:
+    #: is this parcel a load / a store / does its non-speculative
+    #: result open a partial base instruction (precise-exception
+    #: tracking)?
+    exec_load: bool = field(default=False, repr=False, compare=False)
+    exec_store: bool = field(default=False, repr=False, compare=False)
+    exec_partial: bool = field(default=False, repr=False, compare=False)
+    #: Memory access width in bytes (loads/stores only), bound with the
+    #: executor so execution skips the width-table lookup.
+    exec_width: int = field(default=4, repr=False, compare=False)
+
+    def __getstate__(self):
+        """Executors are derived, unpicklable closures; persistence
+        (``repro.vmm.persistence``) drops them and the engine rebinds
+        lazily after restore."""
+        state = self.__dict__.copy()
+        state["executor"] = None
+        return state
 
     @property
     def is_load(self) -> bool:
@@ -274,6 +300,19 @@ class VliwGroup:
     #: Host-side work expended translating this group, in abstract
     #: "translator operations" (feeds the Table 5.8 overhead model).
     translation_cost: int = 0
+    #: Chained-execution successor links: exit target pc ->
+    #: :class:`repro.vliw.engine.ChainLink`.  Installed lazily by the
+    #: VMM after it resolves an exit once; validated against the chain
+    #: epoch on every engine-side follow.  ``None`` until the first
+    #: link, so groups that never chain pay nothing.
+    links: Optional[dict] = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self):
+        """Links are run-local (they snapshot a chain epoch); persisted
+        translations start unlinked and re-chain on first dispatch."""
+        state = self.__dict__.copy()
+        state["links"] = None
+        return state
 
     def new_vliw(self, entry_base_pc: int = 0) -> TreeVliw:
         vliw = TreeVliw(index=len(self.vliws), entry_base_pc=entry_base_pc)

@@ -14,7 +14,7 @@ from collections import OrderedDict
 from typing import Callable, Optional, Tuple
 
 from repro.core.translate import PageTranslation
-from repro.runtime.events import ITLB_HIT, ITLB_MISS
+from repro.runtime.events import ITLB_FLUSH, ITLB_HIT, ITLB_MISS
 
 
 class Itlb:
@@ -60,3 +60,5 @@ class Itlb:
 
     def invalidate_all(self) -> None:
         self._map.clear()
+        if self.event_sink is not None:
+            self.event_sink(ITLB_FLUSH)

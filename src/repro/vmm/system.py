@@ -36,6 +36,7 @@ from repro.memory.memory import PhysicalMemory
 from repro.memory.mmu import Mmu
 from repro.runtime.events import (
     AliasRecovery,
+    Castout,
     CodeModification,
     CommitPoint,
     CrossPage,
@@ -46,16 +47,23 @@ from repro.runtime.events import (
     FaultDelivered,
     InterpretedEpisode,
     InvalidEntry,
+    ItlbFlush,
     ItlbHit,
     ItlbMiss,
     PageQuarantined,
     PageTranslated,
+    TierDemotion,
     TranslationAbort,
+    TranslationInvalidated,
     TranslationMissing,
 )
+from repro.runtime.profiling import PerfTrace
 from repro.runtime.result import CacheSnapshot
 from repro.runtime.tiers import PageWatchdog, RecoveryPolicy, TieredController
 from repro.vliw.engine import (
+    CHAINABLE_EXITS,
+    ChainLink,
+    ChainRuntime,
     EngineExit,
     ExitReason,
     PreciseFault,
@@ -119,6 +127,15 @@ class DaisyRunResult:
     translation_aborts: int = 0
     pages_quarantined: int = 0
     watchdog_trips: int = 0
+    #: Direct-dispatch fast path accounting (docs/performance.md):
+    #: links created, engine-side follows, exits that returned to the
+    #: VMM for lookup, epoch bumps on invalidation seams, and follows
+    #: aborted mid-chain by a commit subscriber.
+    chain_links: int = 0
+    chain_follows: int = 0
+    chain_misses: int = 0
+    chain_invalidations: int = 0
+    chain_breaks: int = 0
 
     @property
     def mean_parcels_per_vliw(self) -> float:
@@ -157,7 +174,8 @@ class DaisySystem:
                  tier: Optional[str] = None,
                  hot_threshold: Optional[int] = None,
                  bus: Optional[EventBus] = None,
-                 recovery: Optional[RecoveryPolicy] = None):
+                 recovery: Optional[RecoveryPolicy] = None,
+                 chaining: bool = True):
         """``strategy`` selects Chapter 3's translated-code mapping:
 
         * ``"expansion"`` — the n*N + VLIW_BASE layout: fast cross-page
@@ -193,6 +211,14 @@ class DaisySystem:
         translation and degrade that page to interpretive execution
         instead of crashing the VMM, and a watchdog quarantines pages
         whose translations churn (docs/resilience.md).
+
+        ``chaining`` enables the direct-dispatch fast path: group exits
+        with fixed targets are linked to their successor groups after
+        the first VMM dispatch, and subsequent executions follow the
+        link engine-side — the paper's direct VLIW-to-VLIW branch,
+        where the VMM is entered only on a translation miss (Section
+        3.1).  Links are invalidated wholesale on every event that can
+        change what a base pc maps to (docs/performance.md).
         """
         if strategy not in ("expansion", "hash"):
             raise ValueError(f"unknown translation strategy {strategy!r}")
@@ -260,6 +286,21 @@ class DaisySystem:
         #: Per-page sandbox abort counts (the retry state).
         self._abort_attempts: Dict[int, int] = {}
         self.bus.subscribe(PageTranslated, self._on_page_translated)
+        #: Direct-dispatch fast path (docs/performance.md): link state
+        #: shared with the engine's chained run loop.  Every event that
+        #: can change what a base pc resolves to bumps the link epoch,
+        #: killing all outstanding links in O(1).
+        self.chain = ChainRuntime(
+            enabled=chaining,
+            crosspage_extra_cycles=crosspage_extra_cycles,
+            on_enter_page=self._note_chained_page)
+        for seam in (TranslationInvalidated, Castout, CodeModification,
+                     PageQuarantined, TierDemotion, ItlbFlush):
+            self.bus.subscribe(seam, self._on_chain_seam)
+        #: Wall-clock trace for ``repro profile``; attach a
+        #: :class:`~repro.runtime.profiling.PerfTrace` to decompose run
+        #: time into execute / translate / interpret / dispatch.
+        self.perf: Optional[PerfTrace] = None
         #: Back-compat view: true whenever an interpretive tier is on.
         self.interpretive = self.tier_controller.active
         #: Section 3.4: after an rfi into a translated page, interpret
@@ -319,9 +360,23 @@ class DaisySystem:
         page_paddr = store_paddr - store_paddr % self.options.page_size
         translation = self.translation_cache.invalidate(page_paddr)
         if translation is not None:
+            # Hygiene: drop memoized crack results for the old bytes
+            # (content keying already makes stale hits impossible).
+            self.translator.crack_cache.flush()
             self.bus.publish(CodeModification(page_paddr=page_paddr))
             if page_paddr == self._current_page_paddr:
                 self.engine.translation_invalidated = True
+
+    def _on_chain_seam(self, event: object) -> None:
+        """Any event that can change what a base pc maps to kills every
+        chained link (epoch bump; links self-check on follow)."""
+        self.chain.invalidate()
+
+    def _note_chained_page(self, page_paddr: int) -> None:
+        """Engine callback on every chained follow: keep the VMM's idea
+        of the running page current, so a same-page SMC store still
+        flags the engine (``_on_code_modification``) mid-chain."""
+        self._current_page_paddr = page_paddr
 
     def _on_evict(self, translation: PageTranslation) -> None:
         self.itlb.invalidate_translation(translation.page_paddr)
@@ -358,7 +413,14 @@ class DaisySystem:
                     page_vaddr=pc - pc % page_size,
                     page_paddr=page_paddr,
                     code_base=self._allocate_code_base(page_paddr))
-                self.translator.ensure_entry(translation, pc)
+                perf = self.perf
+                if perf is not None:
+                    started = perf.clock()
+                try:
+                    self.translator.ensure_entry(translation, pc)
+                finally:
+                    if perf is not None:
+                        perf.translate += perf.clock() - started
                 self._account_reservation(translation)
                 self.translation_cache.insert(translation)
                 self.memory.protect_range(page_paddr, page_size)
@@ -378,7 +440,14 @@ class DaisySystem:
         if group is None:
             # "Invalid entry point" exception (Section 3.4).
             self.bus.publish(InvalidEntry(pc=pc))
-            group = self.translator.ensure_entry(translation, pc)
+            perf = self.perf
+            if perf is not None:
+                started = perf.clock()
+            try:
+                group = self.translator.ensure_entry(translation, pc)
+            finally:
+                if perf is not None:
+                    perf.translate += perf.clock() - started
             self._account_reservation(translation)
             self.translation_cache.touch_size(translation)
         self._current_page_paddr = translation.page_paddr
@@ -453,10 +522,14 @@ class DaisySystem:
         result = DaisyRunResult()
         stats = self.engine.stats
         exit_code = 0
-        # Commit points are a high-frequency synchronization channel for
-        # the lockstep conformance checker; skip them entirely unless a
-        # typed subscriber registered before the run.
-        publish_commits = self.bus.wants(CommitPoint)
+        bus = self.bus
+        chain = self.chain
+        perf = self.perf
+        run_started = perf.clock() if perf is not None else 0.0
+        # A chainable exit dispatched straight through becomes a link
+        # candidate: (source group, its exit), consumed at the next
+        # successful lookup and dropped on every diverting path.
+        link_source = None
 
         while True:
             if stats.vliws > max_vliws:
@@ -465,9 +538,9 @@ class DaisySystem:
 
             if self._quarantined_page_of(pc) is not None:
                 # Permanently demoted page: always-correct tier.
+                link_source = None
                 outcome = self._interpret_degraded(pc, deliver_faults)
-                done, pc, code = self._resume_after_episode(
-                    outcome, publish_commits)
+                done, pc, code = self._resume_after_episode(outcome)
                 if done:
                     exit_code = code
                     break
@@ -475,9 +548,9 @@ class DaisySystem:
 
             if (self.tier_controller.should_interpret(pc)
                     and not self._entry_compiled(pc)):
+                link_source = None
                 outcome = self._interpret_and_compile(pc, deliver_faults)
-                done, pc, code = self._resume_after_episode(
-                    outcome, publish_commits)
+                done, pc, code = self._resume_after_episode(outcome)
                 if done:
                     exit_code = code
                     break
@@ -487,7 +560,9 @@ class DaisySystem:
                 group, translation = self._lookup_group(
                     pc, via_itlb=True)
             except InstructionStorageFault as fault:
+                link_source = None
                 if not deliver_faults:
+                    self._finish_perf(run_started)
                     self._fill(result, exit_code)
                     raise
                 pc = self._deliver_fault(fault, pc)
@@ -498,30 +573,62 @@ class DaisySystem:
                 # The translation sandbox (docs/resilience.md): a
                 # translator crash or budget blow-out must degrade the
                 # page, never kill the VMM.
+                link_source = None
                 if not self.recovery.sandbox:
                     raise
                 outcome = self._recover_translation_failure(
                     pc, error, deliver_faults)
-                done, pc, code = self._resume_after_episode(
-                    outcome, publish_commits)
+                done, pc, code = self._resume_after_episode(outcome)
                 if done:
                     exit_code = code
                     break
                 continue
 
+            if link_source is not None:
+                src_group, src_exit = link_source
+                link_source = None
+                links = src_group.links
+                if links is None:
+                    links = src_group.links = {}
+                links[src_exit.target] = ChainLink(
+                    group=group,
+                    page_paddr=translation.page_paddr,
+                    mode=1 if self.mmu.relocation_on else 0,
+                    epoch=chain.epoch,
+                    crosspage=src_exit.reason is ExitReason.OFFPAGE)
+                chain.installed += 1
+
             self.state.pc = pc
+            if perf is not None:
+                engine_started = perf.clock()
             try:
-                engine_exit = self.engine.run_group(group)
+                engine_exit = self.engine.run_chained(
+                    group, chain, max_vliws, bus)
             except ProgramExit as program_exit:
                 # The exit service completed one final base instruction.
+                if perf is not None:
+                    perf.execute += perf.clock() - engine_started
                 stats.completed += 1
                 exit_code = program_exit.code
                 break
             except PreciseFault as precise:
+                if perf is not None:
+                    perf.execute += perf.clock() - engine_started
                 if not deliver_faults:
+                    self._finish_perf(run_started)
                     self._fill(result, exit_code)
                     raise
                 pc = self._deliver_fault(precise.fault, precise.base_pc)
+                continue
+            if perf is not None:
+                perf.execute += perf.clock() - engine_started
+
+            if engine_exit.reason is ExitReason.CHAIN_BREAK:
+                # A commit subscriber invalidated the link mid-follow;
+                # the engine already published that boundary's commit
+                # point, so resume at the target with no dispatch and
+                # no second publish.
+                pc = engine_exit.target
                 continue
 
             try:
@@ -530,12 +637,20 @@ class DaisySystem:
                 # Interpret-after-rfi ran straight into the exit service.
                 exit_code = program_exit.code
                 break
-            if publish_commits:
-                self.bus.publish(CommitPoint(
+            if bus.wants(CommitPoint):
+                bus.publish(CommitPoint(
                     pc=pc, completed=stats.completed))
+            if chain.enabled and engine_exit.reason in CHAINABLE_EXITS \
+                    and pc == engine_exit.target:
+                link_source = (group, engine_exit)
 
+        self._finish_perf(run_started)
         self._fill(result, exit_code)
         return result
+
+    def _finish_perf(self, run_started: float) -> None:
+        if self.perf is not None:
+            self.perf.total += self.perf.clock() - run_started
 
     # ------------------------------------------------------------------
     # Interpretive / tiered compilation (Chapter 6 generalized)
@@ -565,6 +680,9 @@ class DaisySystem:
     def _run_episode(self, pc: int, deliver_faults: bool):
         """One interpretive episode at ``pc``; returns the episode, or
         None when a base fault was delivered instead."""
+        perf = self.perf
+        if perf is not None:
+            started = perf.clock()
         try:
             return self._interp_executor.interpret_from(pc)
         except BaseArchFault as fault:
@@ -573,16 +691,23 @@ class DaisySystem:
             vector = self._deliver_fault(fault, self.state.pc)
             self.state.pc = vector
             return None
+        finally:
+            if perf is not None:
+                perf.interpret += perf.clock() - started
 
-    def _resume_after_episode(self, outcome, publish_commits: bool):
+    def _resume_after_episode(self, outcome):
         """Map an interpreted-episode outcome onto the main loop's
         continuation: returns ``(done, next_pc, exit_code)``.  A None
         outcome means a fault was delivered — resume at the handler
-        vector without a commit point (the episode committed none)."""
+        vector without a commit point (the episode committed none).
+
+        ``wants`` is re-checked here (a cached dict probe) rather than
+        snapshotted at run start, so a subscriber registered mid-run —
+        e.g. a checker attached between episodes — is heard."""
         if outcome is None:
             return False, self.state.pc, 0
         done, next_pc, code = outcome
-        if not done and publish_commits:
+        if not done and self.bus.wants(CommitPoint):
             self.bus.publish(CommitPoint(
                 pc=next_pc, completed=self.engine.stats.completed))
         return done, next_pc, code
@@ -783,3 +908,8 @@ class DaisySystem:
         result.translation_aborts = counters.count(TranslationAbort)
         result.pages_quarantined = counters.count(PageQuarantined)
         result.watchdog_trips = self.watchdog.trips
+        result.chain_links = self.chain.installed
+        result.chain_follows = self.chain.hits
+        result.chain_misses = self.chain.misses
+        result.chain_invalidations = self.chain.invalidations
+        result.chain_breaks = self.chain.breaks

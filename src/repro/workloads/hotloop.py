@@ -1,0 +1,92 @@
+"""hotloop — chained-dispatch microbenchmark (docs/performance.md).
+
+Not one of Table 5.1's benchmarks: this program exists to measure the
+direct-dispatch fast path.  A tight loop is deliberately split across
+four code pages joined by direct branches, so every iteration takes
+four group exits with fixed targets — exactly the edges group chaining
+turns into engine-side VLIW-to-VLIW branches.  Without chaining each
+edge is a full VMM round trip (lookup + dispatch); with it the VMM is
+entered only to install the four links.
+
+The loop self-checks its accumulators against closed forms, so the
+fast path is exercised *and* verified in the same run.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import (
+    DATA_BASE,
+    EXIT_STUBS,
+    Workload,
+    assemble,
+    words_directive,
+)
+
+#: Iterations per size.  Each iteration crosses four page boundaries.
+_SIZES = {"tiny": 200, "small": 2_000, "default": 20_000}
+
+
+def build(size: str = "default") -> Workload:
+    n = _SIZES[size]
+    # Stage work per iteration: r6 += r4 (counter), then r6 += 3,
+    # and r7 += 1 — closed forms below.
+    exp_sum = n * (n + 1) // 2 + 3 * n
+    exp_iters = n
+    source = f"""
+.equ N, {n}
+.equ EXPECTED, {DATA_BASE:#x}
+
+# Four loop stages on four distinct pages (page size 4096): every
+# stage ends in a cross-page direct branch, the chainable edge.
+
+.org 0x1000
+_start:
+    li    r4, N                # loop counter, counts down
+    li    r6, 0                # sum accumulator
+    li    r7, 0                # iteration accumulator
+stage1:
+    add   r6, r6, r4           # sum += counter
+    b     stage2
+
+.org 0x2000
+stage2:
+    addi  r7, r7, 1            # iters += 1
+    b     stage3
+
+.org 0x3000
+stage3:
+    addi  r6, r6, 3            # sum += 3
+    b     stage4
+
+.org 0x4000
+stage4:
+    addi  r4, r4, -1
+    cmpi  cr0, r4, 0
+    bne   stage1               # cross-page conditional back edge
+    b     check                # exit edge is cross-page too: the
+                               # check's loads stay out of loop groups
+
+.org 0x5000
+check:
+    li    r9, EXPECTED
+    lwz   r10, 0(r9)           # expected sum
+    lwz   r11, 4(r9)           # expected iterations
+    cmp   cr0, r6, r10
+    bne   bad_sum
+    cmp   cr0, r7, r11
+    bne   bad_iters
+    b     pass_exit
+bad_sum:
+    li    r3, 1
+    b     fail_exit
+bad_iters:
+    li    r3, 2
+    b     fail_exit
+{EXIT_STUBS}
+
+.org EXPECTED
+{words_directive("expected_data", [exp_sum, exp_iters])}
+"""
+    return assemble("hotloop", source,
+                    f"chained-dispatch hot loop: {n} iterations x 4 "
+                    f"cross-page direct branches")
