@@ -154,6 +154,52 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_verify(args) -> int:
+    from repro.verify.runner import (
+        verify_corruption,
+        verify_fuzz,
+        verify_workload,
+    )
+
+    reports = []
+    if args.corrupt:
+        workload = args.workload if args.workload != "all" else "c_sieve"
+        report = verify_corruption(args.corrupt, workload=workload,
+                                   size=args.size)
+        if report.corrupted is None:
+            print(f"no {args.corrupt!r} corruption site in "
+                  f"{workload}[{args.size}] — pick a workload with "
+                  f"speculation (e.g. c_sieve, compress)",
+                  file=sys.stderr)
+            return 2
+        reports.append(report)
+    elif args.cases:
+        reports.extend(verify_fuzz(args.seed, args.cases))
+    else:
+        names = [args.workload] if args.workload != "all" else \
+            WORKLOAD_NAMES + ["tomcatv", "hotloop"]
+        for name in names:
+            reports.append(verify_workload(name, size=args.size))
+
+    ok = all(report.ok for report in reports)
+    if args.json:
+        print(json.dumps({
+            "ok": ok,
+            "groups": sum(r.groups for r in reports),
+            "routes": sum(r.routes for r in reports),
+            "reports": [r.to_dict() for r in reports],
+        }, indent=2))
+    else:
+        for report in reports:
+            status = "ok" if report.ok else \
+                f"{len(report.violations)} violation(s)"
+            print(f"{report.target}: {report.groups} groups, "
+                  f"{report.routes} routes — {status}")
+            for violation in report.violations:
+                print(f"  {violation.describe()}")
+    return 0 if ok else 1
+
+
 def cmd_report(args) -> int:
     from repro.analysis.summary import generate_summary, summary_rows_hold
     text = generate_summary(size=args.size)
@@ -500,6 +546,32 @@ def main(argv: Optional[list] = None) -> int:
     chaos_parser.add_argument("--json", action="store_true",
                               help="emit the full report as JSON")
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="statically verify emitted tree-VLIW groups against the "
+             "paper's invariants (repro.verify; docs/verification.md)")
+    verify_parser.add_argument("--workload", default="all",
+                               help="workload name, or 'all' for the "
+                                    "full registry (default)")
+    verify_parser.add_argument("--size", default="tiny",
+                               choices=["tiny", "small", "default"],
+                               help="workload size preset")
+    verify_parser.add_argument("--seed", type=int, default=0,
+                               help="fuzz corpus seed (with --cases)")
+    verify_parser.add_argument("--cases", type=int, default=0,
+                               help="statically verify this many "
+                                    "fuzzer-generated pages instead of "
+                                    "workloads")
+    verify_parser.add_argument("--corrupt", default=None,
+                               choices=["commit-order", "arch-write",
+                                        "drop-guard", "drop-backmap"],
+                               help="seed a known-bad mutation into the "
+                                    "translation first (self-test: the "
+                                    "verifier must catch it, exit 1)")
+    verify_parser.add_argument("--json", action="store_true",
+                               help="emit the violation report as JSON")
+    verify_parser.set_defaults(func=cmd_verify)
 
     report_parser = sub.add_parser(
         "report", help="paper-vs-measured summary of the headline results")

@@ -65,15 +65,23 @@ FUZZ_MAX_INSTRUCTIONS = 1_000_000
 
 
 def _lockstep_factory(backend: str, program) -> Callable[[], object]:
-    """A fresh-system factory for one program on a lockstep backend."""
+    """A fresh-system factory for one program on a lockstep backend.
+
+    Every lockstep subject runs with the static verifier in ``report``
+    mode: each translated group is invariant-checked before lockstep
+    ever executes it, and any violation surfaces as a ``verify``
+    divergence (see :class:`~repro.conform.lockstep.LockstepChecker`).
+    """
     if backend in LOCKSTEP_BACKENDS:
-        knobs = LOCKSTEP_BACKENDS[backend]
+        knobs = dict(LOCKSTEP_BACKENDS[backend])
+        knobs.setdefault("verify", "report")
         return DaisyBackend(**knobs).build_system
     if backend == "traditional":
         from repro.baselines.traditional import traditional_options
         profile = ExecutionContext(program).branch_profile
         options = traditional_options(profile, page_size=1 << 16)
-        return DaisyBackend(options=options).build_system
+        return DaisyBackend(options=options,
+                            verify="report").build_system
     raise ValueError(f"backend {backend!r} does not support lockstep")
 
 

@@ -46,7 +46,7 @@ from repro.isa import registers as regs
 from repro.isa.interpreter import Interpreter
 from repro.memory.memory import PhysicalMemory
 from repro.memory.mmu import Mmu
-from repro.runtime.events import CommitPoint
+from repro.runtime.events import CommitPoint, VerifyViolation
 from repro.vliw.engine import PreciseFault
 from repro.vmm.system import DaisySystem
 
@@ -178,6 +178,12 @@ class LockstepChecker:
         self.window_start = 0
         self._output_seen = 0
         system.bus.subscribe(CommitPoint, self._on_commit)
+        # Static verifier stage: when the system runs with
+        # verify_translations="report", every invariant violation the
+        # checker finds becomes a divergence — recorded, not raised,
+        # because the verify seam fires inside ensure_entry where an
+        # exception would be swallowed by the resilience sandbox.
+        system.bus.subscribe(VerifyViolation, self._on_verify_violation)
 
     # ------------------------------------------------------------------
 
@@ -203,6 +209,14 @@ class LockstepChecker:
 
     def _on_commit(self, event: CommitPoint) -> None:
         self.check_boundary(event.completed, expect_pc=event.pc)
+
+    def _on_verify_violation(self, event: VerifyViolation) -> None:
+        self._record("verify", self.golden.count, {
+            "kind": event.kind,
+            "entry_pc": event.entry_pc,
+            "vliw_index": event.vliw_index,
+            "detail": event.detail,
+        }, base_pc=event.base_pc or None)
 
     def check_boundary(self, completed: int,
                        expect_pc: Optional[int] = None,

@@ -84,6 +84,13 @@ class PageTranslator:
         #: Memoized crack results keyed by (pc, word) — shared across
         #: every group build and retranslation this translator performs.
         self.crack_cache = CrackCache()
+        #: Static verification seam: called with ``(translation, group)``
+        #: after each group is built and laid out, before control ever
+        #: enters it (:class:`~repro.verify.checker.GroupVerifier` via
+        #: ``DaisySystem(verify_translations=...)``).  May raise
+        #: :class:`~repro.faults.VerifyError` in strict mode.
+        self.verify_hook: \
+            Optional[Callable[[PageTranslation, VliwGroup], None]] = None
 
     # ------------------------------------------------------------------
 
@@ -151,6 +158,8 @@ class PageTranslator:
                     pc=pc, base_instructions=group.base_instructions,
                     cost=group.translation_cost,
                     code_bytes=group.code_size()))
+            if self.verify_hook is not None:
+                self.verify_hook(translation, group)
             if first_group is None and pc == entry_pc:
                 first_group = group
 

@@ -52,6 +52,30 @@ class TranslationBudgetError(VmmError):
     transient = True
 
 
+class VerifyError(VmmError):
+    """The static translation verifier (:mod:`repro.verify`) rejected an
+    emitted VLIW group: one of the paper's structural invariants —
+    in-order commit discipline, speculation legality, back-map
+    completeness, or resource/shape legality — does not hold on some
+    tree path.  Deterministic: the same translation fails again.
+
+    In ``strict`` mode this error is re-raised *past* the resilience
+    sandbox: a translation that violates its own correctness argument
+    must fail the run loudly, not be silently quarantined.
+
+    ``violations`` carries the typed
+    :class:`~repro.verify.checker.Violation` records.
+    """
+
+    def __init__(self, violations=()):
+        self.violations = list(violations)
+        first = self.violations[0].describe() if self.violations else ""
+        extra = len(self.violations) - 1
+        suffix = f" (+{extra} more)" if extra > 0 else ""
+        super().__init__(f"translation verification failed: "
+                         f"{first}{suffix}")
+
+
 class BaseArchFault(Exception):
     """An exception architected in the base architecture.
 

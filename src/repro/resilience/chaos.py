@@ -27,7 +27,12 @@ from repro.conform.lockstep import run_lockstep
 from repro.resilience.injector import FaultInjector
 from repro.resilience.plan import SEAMS, FaultPlan
 from repro.runtime.backend import DaisyBackend
-from repro.runtime.events import PageQuarantined, TranslationAbort
+from repro.runtime.events import (
+    PageQuarantined,
+    TranslationAbort,
+    TranslationVerified,
+    VerifyViolation,
+)
 from repro.runtime.tiers import RecoveryPolicy
 from repro.workloads import build_workload
 
@@ -56,6 +61,10 @@ class ChaosCase:
     pages_quarantined: int = 0
     watchdog_trips: int = 0
     castouts: int = 0
+    #: Groups statically verified / invariant violations found
+    #: (:mod:`repro.verify`, always on in report mode under chaos).
+    groups_verified: int = 0
+    verify_violations: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -71,6 +80,8 @@ class ChaosCase:
             "pages_quarantined": self.pages_quarantined,
             "watchdog_trips": self.watchdog_trips,
             "castouts": self.castouts,
+            "groups_verified": self.groups_verified,
+            "verify_violations": self.verify_violations,
         }
 
 
@@ -196,8 +207,12 @@ def run_chaos(seed: int = 0, faults: int = 200,
         attached: dict = {}
 
         def factory():
+            # verify="report": every group translated under fault
+            # pressure is statically invariant-checked before it runs;
+            # violations surface as "verify" divergences.
             system = DaisyBackend(
                 recovery=RecoveryPolicy(sandbox=sandbox),
+                verify="report",
                 **LOCKSTEP_BACKENDS[backend]).build_system()
             attached["system"] = system
             attached["injector"] = FaultInjector(plan).attach(system)
@@ -220,6 +235,8 @@ def run_chaos(seed: int = 0, faults: int = 200,
             case.pending_faults = injector.pending
         if system is not None:
             counters = system.bus_counters
+            case.groups_verified = counters.count(TranslationVerified)
+            case.verify_violations = counters.count(VerifyViolation)
             case.translation_aborts = counters.count(TranslationAbort)
             case.pages_quarantined = counters.count(PageQuarantined)
             case.watchdog_trips = system.watchdog.trips

@@ -153,7 +153,8 @@ class DaisyBackend:
                  deliver_faults: bool = False,
                  max_vliws: int = 50_000_000,
                  recovery: Optional[RecoveryPolicy] = None,
-                 chaining: bool = True):
+                 chaining: bool = True,
+                 verify=None):
         self.config = config if config is not None else \
             MachineConfig.default()
         self.options = options
@@ -165,6 +166,10 @@ class DaisyBackend:
         self.max_vliws = max_vliws
         self.recovery = recovery
         self.chaining = chaining
+        #: Static-verification mode passed to DaisySystem
+        #: (``verify_translations``); None defers to the process
+        #: default (see :mod:`repro.verify`).
+        self.verify = verify
 
     def build_system(self) -> DaisySystem:
         """A fresh :class:`DaisySystem` for one run.  Options are
@@ -177,7 +182,8 @@ class DaisyBackend:
                            hot_threshold=self.hot_threshold,
                            strategy=self.strategy,
                            recovery=self.recovery,
-                           chaining=self.chaining)
+                           chaining=self.chaining,
+                           verify_translations=self.verify)
 
     def execute(self, program, name: str = ""):
         """Run ``program``; returns ``(system, RunResult)`` for callers

@@ -294,6 +294,29 @@ class FaultInjected:
 
 
 @dataclass(frozen=True)
+class TranslationVerified:
+    """The static verifier (:mod:`repro.verify`) checked one emitted
+    VLIW group against the paper's structural invariants."""
+    pc: int = 0
+    vliws: int = 0
+    routes: int = 0
+    violations: int = 0
+    _sum_fields = ("vliws", "routes", "violations")
+
+
+@dataclass(frozen=True)
+class VerifyViolation:
+    """One invariant violation found by the static verifier (typed by
+    ``kind``; see docs/verification.md for the catalog)."""
+    kind: str = ""
+    entry_pc: int = 0
+    vliw_index: int = 0
+    base_pc: int = 0
+    detail: str = ""
+    _key_field = "kind"
+
+
+@dataclass(frozen=True)
 class TierPromotion:
     """An entry crossed the hot-threshold and was compiled to VLIWs."""
     pc: int = 0
@@ -384,6 +407,7 @@ EVENT_TYPES: Tuple[Type, ...] = (
     FaultDelivered,
     AliasRecovery, CacheLevelMiss, MemoryAccess, InterpretedEpisode,
     CommitPoint, ConformCaseChecked, DivergenceFound,
+    TranslationVerified, VerifyViolation,
     TierPromotion, TierDemotion,
     TranslationAbort, PageQuarantined, DegradationLatch, OverBudget,
     FaultInjected,

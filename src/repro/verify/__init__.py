@@ -1,0 +1,92 @@
+"""Static translation verification (invariant checking per emitted group).
+
+``repro.verify`` complements the dynamic conformance stack: the PR-2
+lockstep runner proves executed paths equivalent, this package proves
+*structural* invariants on **all** tree paths of every emitted
+:class:`~repro.vliw.tree.VliwGroup` — commit discipline, speculation
+legality, back-map completeness, and resource/shape legality.  See
+``docs/verification.md`` for the invariant catalog.
+
+Three modes, resolved by :func:`resolve_mode`:
+
+- ``"off"``     — no checking (production default);
+- ``"report"``  — check and publish :class:`~repro.runtime.events.
+  VerifyViolation` events, but keep running (fuzzer/chaos stages);
+- ``"strict"``  — additionally raise :class:`~repro.faults.VerifyError`
+  past the resilience sandbox (test-suite default via
+  ``tests/conftest.py``).
+
+The import graph is layered: this package never imports
+``repro.vmm.system`` (which imports it); :mod:`repro.verify.runner`
+does, and is pulled in lazily by the CLI and tests only.
+"""
+
+from repro.faults import VerifyError
+from repro.verify.checker import (
+    ARCH_SPEC_WRITE,
+    BACKMAP_MISMATCH,
+    BACKMAP_MISSING,
+    BAD_CHAIN_LINK,
+    BAD_COMMIT,
+    BAD_EXIT,
+    COMMIT_ORDER,
+    GroupCheck,
+    GroupVerifier,
+    MALFORMED_TREE,
+    MEMO,
+    RESOURCE_OVERFLOW,
+    SPEC_INORDER_PRIM,
+    UNGUARDED_SPEC_LOAD,
+    VIOLATION_KINDS,
+    Violation,
+)
+from repro.verify.corrupt import CORRUPTIONS, apply_corruption
+
+MODES = ("off", "report", "strict")
+
+_default_mode = "off"
+
+
+def default_mode() -> str:
+    """The mode used when a system is built with
+    ``verify_translations=None``."""
+    return _default_mode
+
+
+def set_default_mode(mode: str) -> str:
+    """Set the process-wide default verification mode; returns the
+    previous default.  ``tests/conftest.py`` flips this to ``strict`` so
+    every system the suite builds is verified without each test opting
+    in."""
+    global _default_mode
+    if mode not in MODES:
+        raise ValueError(f"unknown verify mode {mode!r}")
+    previous = _default_mode
+    _default_mode = mode
+    return previous
+
+
+def resolve_mode(value) -> str:
+    """Normalize a ``verify_translations`` knob: ``None`` defers to the
+    process default, booleans map to strict/off, strings are
+    validated."""
+    if value is None:
+        return _default_mode
+    if value is True:
+        return "strict"
+    if value is False:
+        return "off"
+    if value not in MODES:
+        raise ValueError(f"unknown verify mode {value!r}")
+    return value
+
+
+__all__ = [
+    "ARCH_SPEC_WRITE", "BACKMAP_MISMATCH", "BACKMAP_MISSING",
+    "BAD_CHAIN_LINK", "BAD_COMMIT", "BAD_EXIT", "COMMIT_ORDER",
+    "CORRUPTIONS", "GroupCheck", "GroupVerifier", "MALFORMED_TREE",
+    "MEMO", "MODES", "RESOURCE_OVERFLOW", "SPEC_INORDER_PRIM",
+    "UNGUARDED_SPEC_LOAD", "VIOLATION_KINDS", "VerifyError", "Violation",
+    "apply_corruption", "default_mode", "resolve_mode",
+    "set_default_mode",
+]

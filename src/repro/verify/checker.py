@@ -1,0 +1,892 @@
+"""Static invariant checking for emitted tree-VLIW groups.
+
+DAISY's correctness argument is structural: whatever the scheduler did,
+the emitted group must (Sections 2.2, 3.5, 4.2 of the paper)
+
+1. **commit discipline** — write architected registers only through
+   in-order parcels (commits, in-order ALU ops, stores), in original
+   base-instruction order along every root-to-exit route, keeping
+   speculative results in the non-architected scratch space (r32–r63,
+   cr8–cr15, f32–f63) until their commit;
+2. **speculation legality** — never speculate the never-speculate set
+   (stores, service calls, traps), and pair every speculative result
+   with a reachable COMMIT parcel (speculative loads additionally carry
+   the alias-check discharge that arms runtime recovery);
+3. **back-map completeness** — allow the Section 3.5 forward-matching
+   walk to attribute every parcel on every route to a base instruction
+   (so any exception, on any path, yields a precise base pc);
+4. **resource/shape legality** — stay within the machine's per-VLIW
+   issue/ALU/memory/store/branch limits, keep the VLIW digraph a tree,
+   and use only well-formed exits (cross-page transfers go through the
+   GO_ACROSS_PAGE/ITLB path, never a same-page entry exit).
+
+The PR-2 lockstep runner checks these *dynamically*, but only on paths
+a test happens to execute; :class:`GroupVerifier` checks them on **all**
+tree paths of every emitted group, statically.  ``docs/verification.md``
+catalogs the violation kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.backmap import Route, find_base_pc
+from repro.core.options import TranslationOptions
+from repro.faults import InstructionStorageFault, SimulationError
+from repro.isa import registers as regs
+from repro.isa.encoding import DecodeError, decode
+from repro.primitives.decompose import BranchKind, decompose
+from repro.primitives.ops import INORDER_ONLY_PRIMS, PrimOp
+from repro.vliw.machine import MachineConfig
+from repro.vliw.tree import ExitKind, Operation, Tip, TreeVliw, VliwGroup
+
+# ----------------------------------------------------------------------
+# Violation taxonomy (docs/verification.md keeps the prose catalog).
+# ----------------------------------------------------------------------
+
+#: Commit discipline: architected effects out of base-instruction order
+#: on some route.
+COMMIT_ORDER = "commit-order"
+#: A speculative parcel writes an architected register directly.
+ARCH_SPEC_WRITE = "arch-spec-write"
+#: A never-speculate primitive (store, service, trap) marked speculative.
+SPEC_INORDER_PRIM = "spec-inorder-prim"
+#: A speculative load with no reachable alias-discharging COMMIT.
+UNGUARDED_SPEC_LOAD = "unguarded-spec-load"
+#: A speculative result with no/malformed COMMIT pairing.
+BAD_COMMIT = "bad-commit"
+#: The Section 3.5 walk reached a parcel at the wrong base instruction.
+BACKMAP_MISMATCH = "backmap-mismatch"
+#: The Section 3.5 walk could not produce a base pc at all.
+BACKMAP_MISSING = "backmap-missing"
+#: A structurally invalid exit (wrong-page target, bad indirect flavor).
+BAD_EXIT = "bad-exit"
+#: The VLIW digraph is not a tree / a tip is malformed.
+MALFORMED_TREE = "malformed-tree"
+#: A VLIW exceeds the machine's per-cycle resource limits.
+RESOURCE_OVERFLOW = "resource-overflow"
+#: A chained successor link is structurally invalid.
+BAD_CHAIN_LINK = "bad-chain-link"
+
+VIOLATION_KINDS = (
+    COMMIT_ORDER, ARCH_SPEC_WRITE, SPEC_INORDER_PRIM, UNGUARDED_SPEC_LOAD,
+    BAD_COMMIT, BACKMAP_MISMATCH, BACKMAP_MISSING, BAD_EXIT,
+    MALFORMED_TREE, RESOURCE_OVERFLOW, BAD_CHAIN_LINK,
+)
+
+#: Indirect-exit flavors the VMM dispatch understands (Table 5.6).
+_INDIRECT_FLAVORS = ("lr", "ctr", "rfi")
+
+#: Per-group bound on expensive ``find_base_pc`` round-trip samples.
+_MAX_FIND_SAMPLES = 16
+#: Per-group bound on reported violations (one bad group can trip many
+#: checks; the first few are the diagnosis).
+_MAX_VIOLATIONS = 24
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, attributed to a base instruction."""
+
+    kind: str
+    message: str
+    entry_pc: int = 0
+    vliw_index: int = 0
+    base_pc: Optional[int] = None
+
+    def describe(self) -> str:
+        where = f"group {self.entry_pc:#x} VLIW{self.vliw_index}"
+        if self.base_pc is not None:
+            where += f" base_pc {self.base_pc:#x}"
+        return f"[{self.kind}] {where}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "entry_pc": self.entry_pc,
+            "vliw_index": self.vliw_index,
+            "base_pc": self.base_pc,
+        }
+
+
+@dataclass
+class GroupCheck:
+    """Outcome of verifying one group."""
+
+    entry_pc: int
+    vliws: int = 0
+    routes: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# ----------------------------------------------------------------------
+# The lazy Section 3.5 walker.
+#
+# ``core.backmap._BaseWalker`` decodes eagerly, which is right for
+# attributing a fault on an executed route but wrong for static checking:
+# a group ending in a TRAP_ILLEGAL parcel sits just before an
+# *undecodable* word, and the walk must stop cleanly there instead of
+# crashing.  This walker defers decoding until an answer is needed.
+# ----------------------------------------------------------------------
+
+
+#: Register classification is pure in the index and sits on the
+#: verifier's hottest path (every pending-filter and effect check);
+#: the register file is small, so memoizing it is a flat table.
+_is_arch = lru_cache(maxsize=None)(regs.is_architected)
+
+
+class _WalkFailure(Exception):
+    """Signals one route's walk failed; carries the violation fields."""
+
+    def __init__(self, kind: str, message: str,
+                 base_pc: Optional[int] = None):
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+        self.base_pc = base_pc
+
+
+class _LazyWalker:
+    """Steps through base instructions, consuming architected effects,
+    decoding lazily through the translator's memoized cracker."""
+
+    def __init__(self, entry_pc: int, crack: Callable[[int], tuple],
+                 pending_cache: Optional[dict] = None):
+        self.pc = entry_pc
+        self.crack = crack
+        #: pc -> (prims, filtered pending) shared across the verifier's
+        #: walkers.  Entries are validated by the *identity* of the
+        #: cracked primitive tuple, which the translator's content-keyed
+        #: CrackCache keeps stable per instruction word — so the cache
+        #: survives revisits but self-modified code recomputes.
+        self.pending_cache = pending_cache if pending_cache is not None \
+            else {}
+        self._loaded = False
+        self.pending: list = []
+        self.branch = None
+
+    def clone(self) -> "_LazyWalker":
+        """Cheap state fork for checking both arms of a conditional
+        split (the tree DFS visits each tip exactly once)."""
+        other = _LazyWalker.__new__(_LazyWalker)
+        other.pc = self.pc
+        other.crack = self.crack
+        other.pending_cache = self.pending_cache
+        other._loaded = self._loaded
+        other.pending = list(self.pending)
+        other.branch = self.branch
+        return other
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        try:
+            prims, self.branch = self.crack(self.pc)
+        except DecodeError:
+            raise _WalkFailure(
+                BACKMAP_MISSING,
+                f"walk reached undecodable word at {self.pc:#x} with "
+                f"parcels still unmatched", base_pc=self.pc)
+        except InstructionStorageFault:
+            raise _WalkFailure(
+                BACKMAP_MISSING,
+                f"walk left the mapped image at {self.pc:#x}",
+                base_pc=self.pc)
+        cached = self.pending_cache.get(self.pc)
+        if cached is not None and cached[0] is prims:
+            self.pending = list(cached[1])
+        else:
+            filtered = [p for p in prims
+                        if p.is_store
+                        or (p.dest is not None and _is_arch(p.dest))]
+            self.pending_cache[self.pc] = (prims, filtered)
+            self.pending = list(filtered)
+        self._loaded = True
+
+    def _advance(self) -> None:
+        self.pc += 4
+        self._loaded = False
+
+    def skip_effectless(self) -> None:
+        self._load()
+        while not self.pending and self.branch is None:
+            self._advance()
+            self._load()
+
+    def current_pc(self) -> int:
+        self.skip_effectless()
+        return self.pc
+
+    def consume_effect(self) -> None:
+        self.skip_effectless()
+        self.pending.pop(0)
+        if not self.pending and self.branch is None:
+            self._advance()
+
+    def consume_branch(self, taken: Optional[bool]) -> None:
+        self.skip_effectless()
+        branch = self.branch
+        if branch is None:
+            raise _WalkFailure(
+                BACKMAP_MISMATCH,
+                f"walk expected a branch at {self.pc:#x} but the base "
+                f"instruction has none", base_pc=self.pc)
+        if branch.kind == BranchKind.DIRECT:
+            self.pc = branch.target
+        elif branch.kind == BranchKind.CONDITIONAL:
+            self.pc = branch.target if taken else branch.fallthrough
+        else:
+            raise _WalkFailure(
+                BACKMAP_MISMATCH,
+                f"walk hit an indirect branch at {self.pc:#x} "
+                f"mid-route", base_pc=self.pc)
+        self._loaded = False
+
+    def expect_undecodable(self, base_pc: int) -> bool:
+        """Advance over effect-free instructions until the undecodable
+        word that produced a TRAP_ILLEGAL parcel; True when it sits at
+        ``base_pc``."""
+        while True:
+            try:
+                self._load()
+            except _WalkFailure as failure:
+                return failure.kind == BACKMAP_MISSING \
+                    and self.pc == base_pc
+            if self.pending or self.branch is not None:
+                return False
+            self._advance()
+
+
+# ----------------------------------------------------------------------
+
+
+def _commit_key(op: Operation) -> tuple:
+    """Identity of a COMMIT parcel for speculation pairing: which
+    sequence number it retires, from which scratch register, into which
+    architected register, discharging which alias-tracked load."""
+    src = op.srcs[0] if op.srcs else None
+    return (op.seq, src, op.arch_dest, op.discharges)
+
+
+def _is_architected_effect(op: Operation) -> bool:
+    """Parcels the Section 3.5 walk matches against base instructions:
+    stores and non-speculative architected-register writes."""
+    return op.is_store or (op.dest is not None
+                           and _is_arch(op.dest)
+                           and not op.speculative)
+
+
+#: Destination-less parcels that are still architecturally ordered
+#: (never-speculate set minus stores, which _is_architected_effect
+#: already covers).
+_ORDERED_MISC = frozenset((PrimOp.SERVICE, PrimOp.TRAP_PRIV,
+                           PrimOp.TRAP_ILLEGAL))
+
+
+def _materialize_route(chain) -> Route:
+    """Turn the DFS's parent-linked ``(prev, vliw, tip)`` path into the
+    engine-shaped route ``[(vliw, [tips root first])]``."""
+    items: List[Tuple[TreeVliw, Tip]] = []
+    while chain is not None:
+        chain, vliw, tip = chain
+        items.append((vliw, tip))
+    items.reverse()
+    route: Route = []
+    for vliw, tip in items:
+        if route and route[-1][0] is vliw:
+            route[-1][1].append(tip)
+        else:
+            route.append((vliw, [tip]))
+    return route
+
+
+def _tip_successors(tip: Tip) -> Tuple[Tip, ...]:
+    if tip.test is not None:
+        children = tuple(t for t in (tip.taken, tip.fall) if t is not None)
+        return children
+    if tip.exit is not None and tip.exit.kind is ExitKind.GOTO \
+            and tip.exit.vliw is not None:
+        return (tip.exit.vliw.root,)
+    return ()
+
+
+class VerifyMemo:
+    """Process-wide cache of *clean* verification results.
+
+    Translation is deterministic: the groups emitted for an entry are a
+    pure function of the page's bytes and the machine/translation
+    configuration.  So once a group has verified clean, re-verifying
+    the byte-identical page under the same configuration (which a test
+    suite does hundreds of times — every ``DaisySystem`` retranslates
+    the same workload pages) proves nothing new.  The key embeds the
+    raw page image, not a hash of it, so a hit can never be a
+    collision; self-modifying code changes the bytes and therefore
+    misses.  Only clean results are cached — violations are always
+    re-derived so strict mode re-raises with full detail.
+    """
+
+    def __init__(self, capacity: int = 8192):
+        self.capacity = capacity
+        self._clean: Dict[tuple, Tuple[int, int]] = {}
+        self.hits = 0
+
+    def get(self, key: Optional[tuple]) -> Optional[Tuple[int, int]]:
+        """``(vliws, routes)`` of a known-clean verification, or None."""
+        cached = self._clean.get(key) if key is not None else None
+        if cached is not None:
+            self.hits += 1
+        return cached
+
+    def put(self, key: Optional[tuple], check: GroupCheck) -> None:
+        if key is None or not check.ok:
+            return
+        if len(self._clean) >= self.capacity:
+            self._clean.pop(next(iter(self._clean)))
+        self._clean[key] = (check.vliws, check.routes)
+
+
+#: The default shared memo (``DaisySystem`` verify hooks go through
+#: this; the static CLI/runner paths verify unconditionally).
+MEMO = VerifyMemo()
+
+
+class GroupVerifier:
+    """Checks every emitted :class:`VliwGroup` against the invariant
+    catalog.  One instance per translator; ``crack`` should be the
+    translator's memoized cracker so walks share its decode work, and
+    ``fetch`` feeds the sampled :func:`~repro.core.backmap.find_base_pc`
+    round-trips."""
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 options: Optional[TranslationOptions] = None,
+                 crack: Optional[Callable[[int], tuple]] = None,
+                 fetch: Optional[Callable[[int], object]] = None,
+                 fetch_word: Optional[Callable[[int], int]] = None,
+                 find_samples: int = _MAX_FIND_SAMPLES):
+        if crack is None:
+            if fetch_word is None:
+                raise ValueError("GroupVerifier needs crack or fetch_word")
+            crack = lambda pc: decompose(decode(fetch_word(pc)), pc)  # noqa: E731
+        if fetch is None and fetch_word is not None:
+            fetch = lambda pc: decode(fetch_word(pc))  # noqa: E731
+        self.config = config if config is not None else \
+            MachineConfig.default()
+        self.options = options if options is not None else \
+            TranslationOptions()
+        self.crack = crack
+        self.fetch = fetch
+        self.find_samples = find_samples
+        #: Shared walker pending-filter cache (see :class:`_LazyWalker`).
+        self._pending_cache: dict = {}
+
+    # ------------------------------------------------------------------
+
+    def verify_group(self, group: VliwGroup) -> GroupCheck:
+        check = GroupCheck(entry_pc=group.entry_pc,
+                           vliws=len(group.vliws))
+        add = self._adder(check)
+
+        tree_ok = self._check_shape(group, add)
+        self._check_resources(group, add)
+        self._check_exits(group, add)
+        self._check_links(group, add)
+        self._check_parcels(group, add)
+        if not tree_ok:
+            # Route enumeration needs a well-formed tree (a GOTO cycle
+            # would never terminate); the shape violations are the
+            # diagnosis.
+            return check
+
+        self._check_speculation(group, add)
+        self._check_tree_paths(group, check, add)
+        return check
+
+    def _adder(self, check: GroupCheck):
+        seen: Set[tuple] = set()
+
+        def add(kind: str, message: str, vliw_index: int = 0,
+                base_pc: Optional[int] = None) -> None:
+            key = (kind, vliw_index, base_pc, message)
+            if key in seen or len(check.violations) >= _MAX_VIOLATIONS:
+                return
+            seen.add(key)
+            check.violations.append(Violation(
+                kind=kind, message=message, entry_pc=check.entry_pc,
+                vliw_index=vliw_index, base_pc=base_pc))
+        return add
+
+    # ------------------------------------------------------------------
+    # Shape: the VLIW digraph is a tree; tips are closed and two-armed.
+    # ------------------------------------------------------------------
+
+    def _check_shape(self, group: VliwGroup, add) -> bool:
+        if not group.vliws:
+            add(MALFORMED_TREE, "group has no VLIWs")
+            return False
+        ok = True
+        members = {id(v) for v in group.vliws}
+        for vliw in group.vliws:
+            for tip in vliw.all_tips():
+                if tip.is_open:
+                    add(MALFORMED_TREE, "open tip (no test, no exit)",
+                        vliw.index)
+                    ok = False
+                if tip.test is not None and (tip.taken is None
+                                             or tip.fall is None):
+                    add(MALFORMED_TREE,
+                        "branch test without both child tips",
+                        vliw.index, base_pc=tip.test.base_pc)
+                    ok = False
+                if tip.test is not None and tip.exit is not None:
+                    add(MALFORMED_TREE, "tip has both a test and an exit",
+                        vliw.index)
+                    ok = False
+
+        # Every VLIW except the entry must be the target of exactly one
+        # GOTO, and GOTO edges must form a tree rooted at the entry.
+        visited: Set[int] = set()
+        stack = [group.vliws[0]]
+        cyclic = False
+        while stack:
+            vliw = stack.pop()
+            if id(vliw) in visited:
+                add(MALFORMED_TREE,
+                    f"VLIW{vliw.index} reached by more than one GOTO "
+                    f"(sharing or a cycle)", vliw.index)
+                cyclic = True
+                continue
+            visited.add(id(vliw))
+            for tip in vliw.all_tips():
+                exit = tip.exit
+                if exit is not None and exit.kind is ExitKind.GOTO:
+                    if exit.vliw is None or id(exit.vliw) not in members:
+                        add(BAD_EXIT,
+                            "GOTO exit targets a VLIW outside the group",
+                            vliw.index, base_pc=exit.base_pc)
+                        ok = False
+                    else:
+                        stack.append(exit.vliw)
+        unreachable = [v for v in group.vliws if id(v) not in visited]
+        for vliw in unreachable:
+            add(MALFORMED_TREE, f"VLIW{vliw.index} unreachable from the "
+                f"group entry", vliw.index)
+        return ok and not cyclic and not unreachable
+
+    # ------------------------------------------------------------------
+    # Resources: recount every VLIW against the machine configuration.
+    # ------------------------------------------------------------------
+
+    def _check_resources(self, group: VliwGroup, add) -> None:
+        cfg = self.config
+        for vliw in group.vliws:
+            alu = mem = stores = branches = 0
+            for tip in vliw.all_tips():
+                for op in tip.ops:
+                    if op.op is PrimOp.MARKER:
+                        continue       # zero-resource completion marker
+                    if op.is_load or op.is_store:
+                        mem += 1
+                        if op.is_store:
+                            stores += 1
+                    else:
+                        alu += 1
+                if tip.test is not None:
+                    branches += 1
+            for count, limit, what in (
+                    (alu, cfg.alus, "ALU parcels"),
+                    (mem, cfg.mem, "memory parcels"),
+                    (stores, cfg.stores, "stores"),
+                    (alu + mem, cfg.issue, "issued parcels"),
+                    (branches, cfg.branches, "conditional branches")):
+                if count > limit:
+                    add(RESOURCE_OVERFLOW,
+                        f"{count} {what} exceed the machine limit "
+                        f"of {limit}", vliw.index)
+
+    # ------------------------------------------------------------------
+    # Exits: cross-page transfers use the GO_ACROSS_PAGE path, indirect
+    # exits carry a via register and a known flavor.
+    # ------------------------------------------------------------------
+
+    def _check_exits(self, group: VliwGroup, add) -> None:
+        page_size = self.options.page_size
+        page_base = group.entry_pc - group.entry_pc % page_size
+
+        def on_page(pc: int) -> bool:
+            return page_base <= pc < page_base + page_size
+
+        for vliw in group.vliws:
+            for tip in vliw.all_tips():
+                exit = tip.exit
+                if exit is None:
+                    continue
+                if exit.kind is ExitKind.OFFPAGE:
+                    if exit.target is None:
+                        add(BAD_EXIT, "cross-page exit without a target",
+                            vliw.index, base_pc=exit.base_pc)
+                    elif on_page(exit.target):
+                        add(BAD_EXIT,
+                            f"GO_ACROSS_PAGE to same-page target "
+                            f"{exit.target:#x} (must be an entry exit)",
+                            vliw.index, base_pc=exit.base_pc)
+                elif exit.kind is ExitKind.ENTRY:
+                    if exit.target is None:
+                        add(BAD_EXIT, "entry exit without a target",
+                            vliw.index, base_pc=exit.base_pc)
+                    elif exit.completes and not on_page(exit.target):
+                        # Artificial stops may leave an off-page
+                        # continuation (window/VLIW caps); a *completing*
+                        # branch off-page must use GO_ACROSS_PAGE.
+                        add(BAD_EXIT,
+                            f"completing branch to off-page "
+                            f"{exit.target:#x} bypasses GO_ACROSS_PAGE",
+                            vliw.index, base_pc=exit.base_pc)
+                elif exit.kind is ExitKind.INDIRECT:
+                    if exit.via is None:
+                        add(BAD_EXIT, "indirect exit without a via "
+                            "register", vliw.index, base_pc=exit.base_pc)
+                    if exit.flavor not in _INDIRECT_FLAVORS:
+                        add(BAD_EXIT,
+                            f"indirect exit with unknown flavor "
+                            f"{exit.flavor!r}", vliw.index,
+                            base_pc=exit.base_pc)
+                elif exit.kind is ExitKind.SC:
+                    if exit.target is None:
+                        add(BAD_EXIT, "service-call exit without a "
+                            "continuation", vliw.index,
+                            base_pc=exit.base_pc)
+
+    def _check_links(self, group: VliwGroup, add) -> None:
+        links = group.links
+        if not links:
+            return
+        for target, link in links.items():
+            if not isinstance(target, int):
+                add(BAD_CHAIN_LINK,
+                    f"chain link keyed by non-address {target!r}")
+            if not isinstance(getattr(link, "group", None), VliwGroup):
+                add(BAD_CHAIN_LINK,
+                    f"chain link for {target!r} has no successor group")
+
+    # ------------------------------------------------------------------
+    # Per-parcel legality (path-independent).
+    # ------------------------------------------------------------------
+
+    def _check_parcels(self, group: VliwGroup, add) -> None:
+        for vliw in group.vliws:
+            for tip in vliw.all_tips():
+                for op in tip.ops:
+                    if op.speculative and op.dest is not None \
+                            and _is_arch(op.dest):
+                        add(ARCH_SPEC_WRITE,
+                            f"speculative {op.op.value} writes "
+                            f"architected {regs.register_name(op.dest)}",
+                            vliw.index, base_pc=op.base_pc)
+                    if op.speculative and op.op in INORDER_ONLY_PRIMS:
+                        add(SPEC_INORDER_PRIM,
+                            f"never-speculate primitive {op.op.value} "
+                            f"marked speculative", vliw.index,
+                            base_pc=op.base_pc)
+                    if op.op is PrimOp.COMMIT:
+                        src = op.srcs[0] if op.srcs else None
+                        if src is None or _is_arch(src):
+                            add(BAD_COMMIT,
+                                "COMMIT source is not a non-architected "
+                                "scratch register", vliw.index,
+                                base_pc=op.base_pc)
+                        if op.dest is None \
+                                or not _is_arch(op.dest) \
+                                or op.arch_dest != op.dest:
+                            add(BAD_COMMIT,
+                                "COMMIT destination is not the "
+                                "architected target", vliw.index,
+                                base_pc=op.base_pc)
+
+    # ------------------------------------------------------------------
+    # Speculation pairing: every speculative result must have a COMMIT
+    # reachable downstream of where it executes (on at least one path —
+    # sibling routes that never contained the base instruction legally
+    # drop the scratch value).
+    # ------------------------------------------------------------------
+
+    def _check_speculation(self, group: VliwGroup, add) -> None:
+        downsets = self._commit_downsets(group)
+        for vliw in group.vliws:
+            for tip in vliw.all_tips():
+                succ_keys: Optional[Set[tuple]] = None
+                for index, op in enumerate(tip.ops):
+                    if not op.speculative or op.dest is None:
+                        continue
+                    wanted = (op.seq, op.dest, op.arch_dest,
+                              op.seq if op.is_load else None)
+                    found = any(
+                        later.op is PrimOp.COMMIT
+                        and _commit_key(later) == wanted
+                        for later in tip.ops[index + 1:])
+                    if not found:
+                        if succ_keys is None:
+                            succ_keys = set()
+                            for succ in _tip_successors(tip):
+                                succ_keys |= downsets[id(succ)]
+                        found = wanted in succ_keys
+                    if not found:
+                        if op.is_load:
+                            add(UNGUARDED_SPEC_LOAD,
+                                f"speculative load into "
+                                f"{regs.register_name(op.dest)} has no "
+                                f"reachable alias-discharging COMMIT",
+                                vliw.index, base_pc=op.base_pc)
+                        else:
+                            add(BAD_COMMIT,
+                                f"speculative {op.op.value} into "
+                                f"{regs.register_name(op.dest)} has no "
+                                f"reachable COMMIT", vliw.index,
+                                base_pc=op.base_pc)
+
+    def _commit_downsets(self, group: VliwGroup) -> Dict[int, Set[tuple]]:
+        """For every tip: the commit keys reachable from its first
+        parcel onward (through splits and GOTO chains)."""
+        memo: Dict[int, Set[tuple]] = {}
+        stack: List[Tuple[Tip, bool]] = [(group.vliws[0].root, False)]
+        while stack:
+            tip, processed = stack.pop()
+            if id(tip) in memo:
+                continue
+            succs = _tip_successors(tip)
+            if not processed:
+                stack.append((tip, True))
+                stack.extend((succ, False) for succ in succs
+                             if id(succ) not in memo)
+                continue
+            keys: Set[tuple] = set()
+            for op in tip.ops:
+                if op.op is PrimOp.COMMIT:
+                    keys.add(_commit_key(op))
+            for succ in succs:
+                keys |= memo.get(id(succ), set())
+            memo[id(tip)] = keys
+        return memo
+
+    # ------------------------------------------------------------------
+    # Route enumeration.
+    # ------------------------------------------------------------------
+
+    def _tip_paths(self, vliw: TreeVliw):
+        """All root-to-leaf tip sequences of one VLIW's operation tree,
+        paired with the leaf exit."""
+        out = []
+        stack: List[Tuple[Tip, Tuple[Tip, ...]]] = [(vliw.root, ())]
+        while stack:
+            tip, prefix = stack.pop()
+            tips = prefix + (tip,)
+            if tip.test is not None and tip.taken is not None \
+                    and tip.fall is not None:
+                stack.append((tip.fall, tips))
+                stack.append((tip.taken, tips))
+            else:
+                out.append((list(tips), tip.exit))
+        return out
+
+    def _iter_routes(self, group: VliwGroup) \
+            -> Iterator[Tuple[Route, object]]:
+        """Every root-to-terminal-exit route of the group, shaped like
+        the engine's recorded route: ``[(vliw, [tips root first])]``."""
+        segments = {id(v): self._tip_paths(v) for v in group.vliws}
+        stack: List[Tuple[TreeVliw, Route]] = [(group.vliws[0], [])]
+        while stack:
+            vliw, prefix = stack.pop()
+            for tips, exit in segments[id(vliw)]:
+                route = prefix + [(vliw, tips)]
+                if exit is not None and exit.kind is ExitKind.GOTO \
+                        and exit.vliw is not None:
+                    stack.append((exit.vliw, route))
+                else:
+                    yield route, exit
+
+    # ------------------------------------------------------------------
+    # All-paths checks: commit order and the Section 3.5 walk, in one
+    # DFS over the combined tip tree.  Walker and ordering state fork at
+    # conditional splits, so every tip's parcels are checked exactly
+    # once even though a tip lies on combinatorially many routes — the
+    # cost is O(tree size), not O(sum of route lengths).
+    # ------------------------------------------------------------------
+
+    def _check_tree_paths(self, group: VliwGroup, check: GroupCheck,
+                          add) -> None:
+        root_vliw = group.vliws[0]
+        # Budgets for the find_base_pc round-trips: how many terminal
+        # paths to materialize, and how many find calls in total.
+        sample_paths = (self.find_samples + 1) // 2 \
+            if self.fetch is not None else 0
+        find_budget = [self.find_samples]
+        # Frames: (vliw, tip, walker, last_seq, chain) where chain is
+        # the parent-linked (prev, vliw, tip) path, kept for route
+        # materialization while the sampling budget lasts.
+        stack = [(root_vliw, root_vliw.root,
+                  _LazyWalker(group.entry_pc, self.crack,
+                              self._pending_cache), -1,
+                  None if sample_paths else False)]
+        while stack:
+            if len(check.violations) >= _MAX_VIOLATIONS:
+                break
+            vliw, tip, walker, last_seq, chain = stack.pop()
+            if chain is not False:
+                chain = (chain, vliw, tip)
+            trapped = False
+            for op in tip.ops:
+                ordered = (op.op is PrimOp.MARKER
+                           or op.op in _ORDERED_MISC
+                           or _is_architected_effect(op))
+                if ordered:
+                    # Section 2.2: architected effects in original
+                    # program order on every path.  A violation does not
+                    # end the path — the walk below degrades
+                    # independently.
+                    if op.seq < last_seq:
+                        add(COMMIT_ORDER,
+                            f"architected effect of base instruction "
+                            f"seq {op.seq} ({op.op.value}) follows seq "
+                            f"{last_seq} on this path", vliw.index,
+                            base_pc=op.base_pc)
+                    else:
+                        last_seq = op.seq
+                if op.op is PrimOp.TRAP_ILLEGAL:
+                    # The path ends at the trap, walk or no walk.
+                    if walker is not None \
+                            and not walker.expect_undecodable(op.base_pc):
+                        add(BACKMAP_MISMATCH,
+                            f"illegal-instruction trap annotated "
+                            f"{op.base_pc:#x} does not match an "
+                            f"undecodable word there", vliw.index,
+                            base_pc=op.base_pc)
+                    trapped = True
+                    break
+                if walker is None:
+                    continue       # walk already failed on this path
+                try:
+                    if op.op is PrimOp.MARKER:
+                        pc = walker.current_pc()
+                        if pc != op.base_pc:
+                            raise _WalkFailure(
+                                BACKMAP_MISMATCH,
+                                f"branch marker annotated "
+                                f"{op.base_pc:#x} but the walk is at "
+                                f"{pc:#x}", base_pc=op.base_pc)
+                        walker.consume_branch(taken=None)
+                    elif _is_architected_effect(op):
+                        pc = walker.current_pc()
+                        if pc != op.base_pc:
+                            raise _WalkFailure(
+                                BACKMAP_MISMATCH,
+                                f"parcel {op.op.value} annotated "
+                                f"{op.base_pc:#x} but the walk "
+                                f"attributes it to {pc:#x}",
+                                base_pc=op.base_pc)
+                        walker.consume_effect()
+                    # Speculative/scratch parcels are invisible to the
+                    # walk; their attribution is checked through their
+                    # COMMIT pairing.
+                except _WalkFailure as failure:
+                    add(failure.kind, failure.message, vliw.index,
+                        base_pc=failure.base_pc)
+                    walker = None
+                except SimulationError as error:
+                    add(BACKMAP_MISSING, f"walk failed: {error}",
+                        vliw.index)
+                    walker = None
+            if trapped:
+                check.routes += 1
+                continue
+
+            if tip.test is not None and tip.taken is not None \
+                    and tip.fall is not None:
+                if walker is not None:
+                    try:
+                        pc = walker.current_pc()
+                        if pc != tip.test.base_pc:
+                            raise _WalkFailure(
+                                BACKMAP_MISMATCH,
+                                f"branch test annotated "
+                                f"{tip.test.base_pc:#x} but the walk "
+                                f"is at {pc:#x}",
+                                base_pc=tip.test.base_pc)
+                    except _WalkFailure as failure:
+                        add(failure.kind, failure.message, vliw.index,
+                            base_pc=failure.base_pc)
+                        walker = None
+                    except SimulationError as error:
+                        add(BACKMAP_MISSING, f"walk failed: {error}",
+                            vliw.index)
+                        walker = None
+                for child, taken in ((tip.taken, True),
+                                     (tip.fall, False)):
+                    forked = None
+                    if walker is not None:
+                        forked = walker.clone()
+                        try:
+                            forked.consume_branch(taken=taken)
+                        except (_WalkFailure, SimulationError) as error:
+                            kind = error.kind \
+                                if isinstance(error, _WalkFailure) \
+                                else BACKMAP_MISSING
+                            add(kind, str(error), vliw.index,
+                                base_pc=getattr(error, "base_pc", None))
+                            forked = None
+                    stack.append((vliw, child, forked, last_seq, chain))
+                continue
+
+            exit = tip.exit
+            if exit is not None and exit.kind is ExitKind.GOTO \
+                    and exit.vliw is not None:
+                stack.append((exit.vliw, exit.vliw.root, walker,
+                              last_seq, chain))
+                continue
+
+            # Terminal exit: one complete route.
+            check.routes += 1
+            if chain is not False and walker is not None \
+                    and sample_paths > 0 and find_budget[0] > 0:
+                sample_paths -= 1
+                route = _materialize_route(chain)
+                self._sample_route(group, route, add, find_budget)
+
+    def _sample_route(self, group: VliwGroup, route: Route, add,
+                      budget: List[int]) -> None:
+        """Round-trip a few fault-capable parcels of one terminal route
+        through the real :func:`find_base_pc` — the exact code the VMM
+        runs when an exception needs attributing."""
+        samples: List[Tuple[TreeVliw, Operation]] = []
+        for vliw, tips in route:
+            for tip in tips:
+                for op in tip.ops:
+                    if not op.speculative and (op.is_load or op.is_store
+                                               or op.op is PrimOp.TRAP_PRIV):
+                        samples.append((vliw, op))
+        samples = samples[:max(0, min(len(samples), budget[0], 2))]
+        budget[0] -= len(samples)
+        self._run_find_samples(group, route, samples, add)
+
+    def _run_find_samples(self, group: VliwGroup, route: Route,
+                          samples, add) -> None:
+        for vliw, op in samples:
+            try:
+                found = find_base_pc(group.entry_pc, route, op, self.fetch)
+            except (SimulationError, DecodeError,
+                    InstructionStorageFault) as error:
+                add(BACKMAP_MISSING,
+                    f"find_base_pc failed for {op.op.value}: {error}",
+                    vliw.index, base_pc=op.base_pc)
+                continue
+            if found != op.base_pc:
+                add(BACKMAP_MISMATCH,
+                    f"find_base_pc attributes {op.op.value} to "
+                    f"{found:#x}, annotation says {op.base_pc:#x}",
+                    vliw.index, base_pc=op.base_pc)

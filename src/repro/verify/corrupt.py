@@ -1,0 +1,123 @@
+"""Seeded corruptions for verifier self-tests.
+
+A verifier that is merely quiet on good input proves nothing; these
+mutations break real scheduler output in the four ways the paper's
+invariants forbid, so the test suite (and ``repro verify --corrupt``)
+can assert the checker *catches* each:
+
+- ``commit-order``  — swap two in-order architected effects on a tip,
+  breaking the Section 2.2 original-program-order commit discipline;
+- ``arch-write``    — retarget a speculative parcel's destination from
+  its scratch register to the architected register itself;
+- ``drop-guard``    — strip the alias-discharge marker off a speculative
+  load's COMMIT (the Section 4.2 load-above-store runtime check);
+- ``drop-backmap``  — delete a branch completion marker (or skew a
+  parcel's base-pc annotation), breaking the Section 3.5 walk.
+
+Each function mutates a :class:`~repro.vliw.tree.VliwGroup` in place and
+returns ``True`` when it found something to corrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.isa import registers as regs
+from repro.primitives.ops import PrimOp
+from repro.vliw.tree import Operation, Tip, VliwGroup
+
+
+def _tips(group: VliwGroup):
+    for vliw in group.vliws:
+        for tip in vliw.all_tips():
+            yield tip
+
+
+def _ordered_effect(op: Operation) -> bool:
+    return (op.op is PrimOp.MARKER
+            or op.is_store
+            or (op.dest is not None and regs.is_architected(op.dest)
+                and not op.speculative))
+
+
+def corrupt_commit_order(group: VliwGroup) -> bool:
+    """Swap two same-tip architected effects with different sequence
+    numbers, so some route commits out of original program order."""
+    for tip in _tips(group):
+        ordered = [(i, op) for i, op in enumerate(tip.ops)
+                   if _ordered_effect(op)]
+        for (i, a), (j, b) in zip(ordered, ordered[1:]):
+            if a.seq != b.seq:
+                tip.ops[i], tip.ops[j] = tip.ops[j], tip.ops[i]
+                return True
+    return False
+
+
+def corrupt_arch_write(group: VliwGroup) -> bool:
+    """Point a speculative parcel's destination at its architected
+    target directly, bypassing the scratch-until-commit discipline."""
+    for tip in _tips(group):
+        for op in tip.ops:
+            if op.speculative and op.dest is not None \
+                    and op.arch_dest is not None \
+                    and not regs.is_architected(op.dest):
+                op.dest = op.arch_dest
+                return True
+    return False
+
+
+def corrupt_drop_guard(group: VliwGroup) -> bool:
+    """Remove the alias-discharge pairing from a speculative load's
+    COMMIT, leaving the load unguarded against an intervening store."""
+    for tip in _tips(group):
+        for op in tip.ops:
+            if op.op is PrimOp.COMMIT and op.discharges is not None:
+                op.discharges = None
+                return True
+    return False
+
+
+def corrupt_drop_backmap(group: VliwGroup) -> bool:
+    """Delete a branch completion marker so the forward-matching walk
+    desynchronizes; when the group followed no branch, skew an effect
+    parcel's base-pc annotation instead."""
+    for tip in _tips(group):
+        for i, op in enumerate(tip.ops):
+            if op.op is PrimOp.MARKER:
+                del tip.ops[i]
+                return True
+    for tip in _tips(group):
+        for op in tip.ops:
+            if _ordered_effect(op) and op.op is not PrimOp.MARKER:
+                op.base_pc ^= 4
+                return True
+    return False
+
+
+CORRUPTIONS: Dict[str, Callable[[VliwGroup], bool]] = {
+    "commit-order": corrupt_commit_order,
+    "arch-write": corrupt_arch_write,
+    "drop-guard": corrupt_drop_guard,
+    "drop-backmap": corrupt_drop_backmap,
+}
+
+#: Violation kinds each corruption is expected to trigger (the first
+#: listed is the primary signal; collateral kinds may fire too).
+EXPECTED_KINDS: Dict[str, Tuple[str, ...]] = {
+    "commit-order": ("commit-order",),
+    "arch-write": ("arch-spec-write",),
+    "drop-guard": ("unguarded-spec-load",),
+    "drop-backmap": ("backmap-mismatch", "backmap-missing"),
+}
+
+
+def apply_corruption(name: str, group: VliwGroup) -> bool:
+    """Apply corruption ``name`` to ``group`` in place; ``True`` when a
+    corruptible site was found."""
+    try:
+        fn = CORRUPTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown corruption {name!r}; choose from "
+            f"{', '.join(sorted(CORRUPTIONS))}") from None
+    return fn(group)

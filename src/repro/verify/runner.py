@@ -1,0 +1,194 @@
+"""Drivers for the static verifier: workloads, fuzz corpora, seeded
+corruptions.
+
+Two ways to get groups in front of :class:`~repro.verify.checker.
+GroupVerifier`:
+
+- **dynamic** (:func:`verify_workload`) — run the program on a real
+  :class:`~repro.vmm.system.DaisySystem` in ``report`` mode and collect
+  the :class:`~repro.runtime.events.VerifyViolation` events the verify
+  seam publishes for every group the run translates (including entries
+  discovered at runtime);
+- **static** (:func:`verify_program`, :func:`verify_fuzz`,
+  :func:`verify_corruption`) — translate the program's entry page with
+  a bare :class:`~repro.core.translate.PageTranslator` (no execution)
+  and check every emitted group, optionally after applying one of the
+  :mod:`repro.verify.corrupt` mutations.
+
+This module imports ``repro.vmm.system`` and therefore must only be
+imported lazily (CLI, tests) — never from ``repro.verify`` itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.options import TranslationOptions
+from repro.core.translate import PageTranslation, PageTranslator
+from repro.faults import InstructionStorageFault
+from repro.runtime.events import (
+    EventBus,
+    TranslationVerified,
+    VerifyViolation,
+)
+from repro.verify.checker import GroupVerifier, Violation
+from repro.verify.corrupt import apply_corruption
+from repro.vliw.machine import MachineConfig
+from repro.workloads import build_workload
+
+
+@dataclass
+class VerifyReport:
+    """Verification outcome for one target (workload, fuzz case, or
+    corruption demo)."""
+
+    target: str
+    groups: int = 0
+    routes: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    #: For corruption demos: whether the mutation found a site.
+    corrupted: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "ok": self.ok,
+            "groups": self.groups,
+            "routes": self.routes,
+            "corrupted": self.corrupted,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def image_fetch_word(program) -> Callable[[int], int]:
+    """A ``fetch_word`` over an assembled image (big-endian, like
+    physical memory), raising the architected fetch fault off-image."""
+    words: Dict[int, int] = {}
+    for addr, data in program.sections():
+        for off in range(0, len(data) - 3, 4):
+            words[addr + off] = int.from_bytes(data[off:off + 4], "big")
+
+    def fetch(pc: int) -> int:
+        try:
+            return words[pc]
+        except KeyError:
+            raise InstructionStorageFault(pc)
+    return fetch
+
+
+def translate_entry_page(program,
+                         config: Optional[MachineConfig] = None,
+                         options: Optional[TranslationOptions] = None
+                         ) -> Tuple[PageTranslator, PageTranslation]:
+    """Statically translate the page holding ``program.entry`` (every
+    entry the worklist discovers), with no system underneath."""
+    config = config if config is not None else MachineConfig.default()
+    options = options if options is not None else TranslationOptions()
+    translator = PageTranslator(image_fetch_word(program), config, options)
+    page = program.entry - program.entry % options.page_size
+    translation = translator.new_translation(page, page, 0)
+    translator.ensure_entry(translation, program.entry)
+    return translator, translation
+
+
+def _verifier_for(translator: PageTranslator) -> GroupVerifier:
+    return GroupVerifier(translator.config, translator.options,
+                         crack=translator._crack,
+                         fetch=translator._fetch_instruction)
+
+
+def verify_program(program, target: str = "program",
+                   config: Optional[MachineConfig] = None,
+                   options: Optional[TranslationOptions] = None
+                   ) -> VerifyReport:
+    """Statically translate and verify ``program``'s entry page."""
+    translator, translation = translate_entry_page(program, config, options)
+    verifier = _verifier_for(translator)
+    report = VerifyReport(target=target)
+    for group in translation.entries.values():
+        check = verifier.verify_group(group)
+        report.groups += 1
+        report.routes += check.routes
+        report.violations.extend(check.violations)
+    return report
+
+
+def verify_workload(name: str, size: str = "tiny",
+                    config: Optional[MachineConfig] = None,
+                    options: Optional[TranslationOptions] = None,
+                    max_vliws: int = 50_000_000) -> VerifyReport:
+    """Run workload ``name`` on a real system with the verify seam in
+    ``report`` mode; every group translated during the run (runtime
+    entry discovery included) is checked."""
+    from repro.vmm.system import DaisySystem
+
+    workload = build_workload(name, size)
+    bus = EventBus()
+    report = VerifyReport(target=f"{name}[{size}]")
+
+    def on_verified(event: TranslationVerified) -> None:
+        report.groups += 1
+        report.routes += event.routes
+
+    def on_violation(event: VerifyViolation) -> None:
+        report.violations.append(Violation(
+            kind=event.kind, message=event.detail,
+            entry_pc=event.entry_pc, vliw_index=event.vliw_index,
+            base_pc=event.base_pc))
+
+    bus.subscribe(TranslationVerified, on_verified)
+    bus.subscribe(VerifyViolation, on_violation)
+    system = DaisySystem(config, options, bus=bus,
+                         verify_translations="report")
+    system.load_program(workload.program)
+    system.run(max_vliws=max_vliws)
+    return report
+
+
+def verify_corruption(corruption: str, workload: str = "c_sieve",
+                      size: str = "tiny",
+                      config: Optional[MachineConfig] = None,
+                      options: Optional[TranslationOptions] = None
+                      ) -> VerifyReport:
+    """Statically translate ``workload``, apply one seeded corruption to
+    the first group with a corruptible site, and verify everything —
+    the self-test proving the checker *catches* bad translations."""
+    program = build_workload(workload, size).program
+    translator, translation = translate_entry_page(program, config, options)
+    verifier = _verifier_for(translator)
+    report = VerifyReport(target=f"{workload}[{size}]+{corruption}")
+    for group in translation.entries.values():
+        if report.corrupted is None and apply_corruption(corruption, group):
+            report.corrupted = corruption
+        check = verifier.verify_group(group)
+        report.groups += 1
+        report.routes += check.routes
+        report.violations.extend(check.violations)
+    return report
+
+
+def verify_fuzz(seed: int, cases: int,
+                config: Optional[MachineConfig] = None,
+                options: Optional[TranslationOptions] = None,
+                fuzz_config=None) -> List[VerifyReport]:
+    """Statically verify ``cases`` fuzzer-generated pages (the conform
+    corpus for ``seed``) — translation only, no lockstep run."""
+    from repro.conform.fuzz import FuzzConfig, generate_case
+    from repro.isa.assembler import Assembler, AssemblyError
+
+    reports: List[VerifyReport] = []
+    fuzz_config = fuzz_config if fuzz_config is not None else FuzzConfig()
+    for index in range(cases):
+        case = generate_case(seed, index, fuzz_config)
+        try:
+            program = Assembler().assemble(case.source)
+        except AssemblyError:
+            continue
+        reports.append(verify_program(
+            program, target=case.name, config=config, options=options))
+    return reports

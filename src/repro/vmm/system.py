@@ -28,6 +28,7 @@ from repro.faults import (
     InstructionBudgetExceeded,
     InstructionStorageFault,
     ProgramExit,
+    VerifyError,
     VmmError,
 )
 from repro.isa.services import EmulatorServices
@@ -56,10 +57,13 @@ from repro.runtime.events import (
     TranslationAbort,
     TranslationInvalidated,
     TranslationMissing,
+    TranslationVerified,
+    VerifyViolation,
 )
 from repro.runtime.profiling import PerfTrace
 from repro.runtime.result import CacheSnapshot
 from repro.runtime.tiers import PageWatchdog, RecoveryPolicy, TieredController
+from repro.verify import GroupVerifier, MEMO as VERIFY_MEMO, resolve_mode
 from repro.vliw.engine import (
     CHAINABLE_EXITS,
     ChainLink,
@@ -175,7 +179,8 @@ class DaisySystem:
                  hot_threshold: Optional[int] = None,
                  bus: Optional[EventBus] = None,
                  recovery: Optional[RecoveryPolicy] = None,
-                 chaining: bool = True):
+                 chaining: bool = True,
+                 verify_translations=None):
         """``strategy`` selects Chapter 3's translated-code mapping:
 
         * ``"expansion"`` — the n*N + VLIW_BASE layout: fast cross-page
@@ -219,6 +224,15 @@ class DaisySystem:
         where the VMM is entered only on a translation miss (Section
         3.1).  Links are invalidated wholesale on every event that can
         change what a base pc maps to (docs/performance.md).
+
+        ``verify_translations`` selects the static-verification mode
+        (:mod:`repro.verify`, docs/verification.md): every emitted
+        group is invariant-checked before control enters it.  ``None``
+        defers to the process default (off in production; the test
+        suite flips it to strict), ``"report"`` publishes
+        :class:`~repro.runtime.events.VerifyViolation` events but keeps
+        running, and ``"strict"``/``True`` additionally raises
+        :class:`~repro.faults.VerifyError` past the resilience sandbox.
         """
         if strategy not in ("expansion", "hash"):
             raise ValueError(f"unknown translation strategy {strategy!r}")
@@ -239,6 +253,15 @@ class DaisySystem:
         self.translator = PageTranslator(self._fetch_word, self.config,
                                          self.options)
         self.translator.event_sink = self.bus.publish
+        #: Static translation verification (repro.verify).
+        self.verify_mode = resolve_mode(verify_translations)
+        self._verifier: Optional[GroupVerifier] = None
+        if self.verify_mode != "off":
+            self._verifier = GroupVerifier(
+                self.config, self.options,
+                crack=self.translator._crack,
+                fetch=self.translator._fetch_instruction)
+            self.translator.verify_hook = self._verify_group
         self.translation_cache = TranslationCache(translation_capacity_bytes)
         self.translation_cache.on_evict = self._on_evict
         self.translation_cache.event_sink = self.bus.publish
@@ -355,6 +378,55 @@ class DaisySystem:
     def _fetch_word(self, pc: int) -> int:
         paddr = self.mmu.translate_fetch(pc)
         return self.memory.read_word(paddr)
+
+    def _verify_group(self, translation: PageTranslation,
+                      group) -> None:
+        """Translator verify seam: statically check a just-emitted group
+        (:mod:`repro.verify`), publish the outcome, and in strict mode
+        refuse to let a provably-wrong translation run."""
+        key = self._verify_memo_key(group)
+        cached = VERIFY_MEMO.get(key)
+        if cached is not None:
+            vliws, routes = cached
+            self.bus.publish(TranslationVerified(
+                pc=group.entry_pc, vliws=vliws, routes=routes,
+                violations=0))
+            return
+        check = self._verifier.verify_group(group)
+        VERIFY_MEMO.put(key, check)
+        self.bus.publish(TranslationVerified(
+            pc=group.entry_pc, vliws=check.vliws, routes=check.routes,
+            violations=len(check.violations)))
+        for violation in check.violations:
+            self.bus.publish(VerifyViolation(
+                kind=violation.kind, entry_pc=violation.entry_pc,
+                vliw_index=violation.vliw_index,
+                base_pc=violation.base_pc or 0,
+                detail=violation.message))
+        if check.violations and self.verify_mode == "strict":
+            raise VerifyError(check.violations)
+
+    def _verify_memo_key(self, group) -> Optional[tuple]:
+        """Memo key for :data:`repro.verify.MEMO`: the exact inputs
+        translation (and hence verification) is a pure function of —
+        the raw page image (plus the first words of the next page,
+        which a backmap walk ending at the boundary can touch), the
+        entry, and both configurations.  None disables memoization for
+        this group (e.g. the page is not cleanly readable)."""
+        page_size = self.options.page_size
+        page = group.entry_pc - group.entry_pc % page_size
+        try:
+            image = self.memory.read_bytes(
+                self.mmu.translate_fetch(page), page_size)
+        except Exception:                        # noqa: BLE001
+            return None
+        try:
+            boundary = self.memory.read_bytes(
+                self.mmu.translate_fetch(page + page_size), 8)
+        except Exception:                        # noqa: BLE001
+            boundary = b""
+        return (group.entry_pc, image, boundary,
+                repr(self.config), repr(self.options))
 
     def _on_code_modification(self, store_paddr: int) -> None:
         page_paddr = store_paddr - store_paddr % self.options.page_size
@@ -569,6 +641,11 @@ class DaisySystem:
                 continue
             except (BaseArchFault, ProgramExit):
                 raise
+            except VerifyError:
+                # Strict verification means *loud*: a translation that
+                # violates its own correctness argument must fail the
+                # run, not be quietly quarantined by the sandbox.
+                raise
             except Exception as error:
                 # The translation sandbox (docs/resilience.md): a
                 # translator crash or budget blow-out must degrade the
@@ -759,6 +836,8 @@ class DaisySystem:
             paddr = self.mmu.translate_fetch(pc)
         except (BaseArchFault, ProgramExit):
             raise
+        except VerifyError:
+            raise           # strict verification fails loudly (see run)
         except Exception as error:
             if not self.recovery.sandbox:
                 raise

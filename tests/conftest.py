@@ -1,0 +1,23 @@
+"""Suite-wide fixtures: static verification on by default.
+
+Every :class:`~repro.vmm.system.DaisySystem` the test suite builds —
+directly or through backends, the conform harness, chaos, benchmarks —
+runs with the static translation verifier in ``strict`` mode unless the
+test passes an explicit ``verify_translations`` value: any emitted group
+that violates the paper's invariants (docs/verification.md) fails the
+test with a typed :class:`~repro.faults.VerifyError` instead of silently
+executing.  Production keeps the default ``off``.
+"""
+
+import pytest
+
+from repro import verify
+
+
+@pytest.fixture(autouse=True)
+def _strict_verification():
+    previous = verify.set_default_mode("strict")
+    try:
+        yield
+    finally:
+        verify.set_default_mode(previous)

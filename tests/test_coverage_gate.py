@@ -1,0 +1,91 @@
+"""Unit tests for the CI coverage no-regression gate.
+
+The gate itself (:mod:`tools.coverage_gate`) is plain stdlib on
+purpose — coverage.py only needs to exist on the CI runner, not here —
+so it is tested against synthetic coverage JSON reports.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_gate():
+    spec = importlib.util.spec_from_file_location(
+        "coverage_gate", _ROOT / "tools" / "coverage_gate.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+gate = _load_gate()
+
+
+def _report(total, files=None):
+    report = {"totals": {"percent_covered": total}, "files": {}}
+    for path, percent in (files or {}).items():
+        report["files"][path] = {"summary": {"percent_covered": percent}}
+    return report
+
+
+def test_passes_above_floor():
+    ok, lines = gate.evaluate(_report(91.3), {"floor_percent": 75.0})
+    assert ok
+    assert "91.30%" in lines[0] and "ok" in lines[0]
+
+
+def test_fails_below_floor():
+    ok, lines = gate.evaluate(_report(71.0), {"floor_percent": 75.0})
+    assert not ok
+    assert "REGRESSION" in lines[0]
+
+
+def test_file_floor_enforced():
+    baseline = {"floor_percent": 50.0,
+                "file_floors": {"src/repro/verify/checker.py": 80.0}}
+    ok, _ = gate.evaluate(
+        _report(90.0, {"src/repro/verify/checker.py": 85.0}), baseline)
+    assert ok
+    ok, lines = gate.evaluate(
+        _report(90.0, {"src/repro/verify/checker.py": 60.0}), baseline)
+    assert not ok
+    assert any("REGRESSION" in line for line in lines)
+
+
+def test_missing_file_is_a_failure():
+    baseline = {"floor_percent": 0.0,
+                "file_floors": {"src/repro/verify/gone.py": 10.0}}
+    ok, lines = gate.evaluate(_report(90.0), baseline)
+    assert not ok
+    assert any("MISSING" in line for line in lines)
+
+
+def test_malformed_report_rejected():
+    with pytest.raises(ValueError):
+        gate.evaluate({"nope": True}, {"floor_percent": 10.0})
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    report = tmp_path / "coverage.json"
+    baseline = tmp_path / "baseline.json"
+    report.write_text(json.dumps(_report(82.0)))
+    baseline.write_text(json.dumps({"floor_percent": 75.0}))
+    assert gate.main([str(report), str(baseline)]) == 0
+    baseline.write_text(json.dumps({"floor_percent": 95.0}))
+    assert gate.main([str(report), str(baseline)]) == 1
+    assert gate.main([str(report)]) == 2
+    assert gate.main([str(tmp_path / "absent.json"), str(baseline)]) == 2
+    capsys.readouterr()
+
+
+def test_committed_baseline_is_wellformed():
+    baseline = json.loads(
+        (_ROOT / "tools" / "coverage_baseline.json").read_text())
+    assert 0.0 < baseline["floor_percent"] <= 100.0
+    for path, floor in baseline["file_floors"].items():
+        assert (_ROOT / path).exists(), f"floor for missing file {path}"
+        assert 0.0 < floor <= 100.0

@@ -1,0 +1,351 @@
+"""Static translation verifier: mutation self-tests and wiring.
+
+The core promise of :mod:`repro.verify` is soundness against bad
+translations, not just silence on good ones — so the heart of this
+suite corrupts *real* scheduler output in the four ways ISSUE 5 seeds
+(out-of-order commit, architected scratch write, unguarded speculative
+load, missing back-map entry) and asserts the expected violation kind
+fires with base-pc attribution.  The rest covers the wiring: mode
+machinery, the ``DaisySystem`` verify seam (events, strict ``VerifyError``
+past the resilience sandbox), hand-built malformed groups, and the
+``repro verify`` CLI exit codes.
+"""
+
+import pytest
+
+from repro import verify
+from repro.faults import VerifyError
+from repro.runtime.events import TranslationVerified, VerifyViolation
+from repro.runtime.tiers import RecoveryPolicy
+from repro.verify import (
+    CORRUPTIONS,
+    GroupVerifier,
+    Violation,
+    apply_corruption,
+    resolve_mode,
+)
+from repro.verify.checker import (
+    BAD_EXIT,
+    MALFORMED_TREE,
+    RESOURCE_OVERFLOW,
+)
+from repro.verify.corrupt import EXPECTED_KINDS
+from repro.verify.runner import (
+    translate_entry_page,
+    verify_corruption,
+    verify_program,
+    verify_workload,
+)
+from repro.vliw.machine import MachineConfig
+from repro.vliw.tree import (
+    Exit,
+    ExitKind,
+    Operation,
+    Tip,
+    TreeVliw,
+    VliwGroup,
+)
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+from repro.primitives.ops import PrimOp
+
+#: Workload whose tiny entry page contains every corruptible shape
+#: (speculative loads with COMMITs, followed branches, stores).
+CORRUPTIBLE = "c_sieve"
+
+
+# ----------------------------------------------------------------------
+# Mutation self-tests: the verifier must catch each seeded corruption.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("corruption", sorted(CORRUPTIONS))
+def test_corruption_is_caught_with_expected_kind(corruption):
+    report = verify_corruption(corruption, workload=CORRUPTIBLE)
+    assert report.corrupted == corruption, \
+        f"no {corruption} site found in {CORRUPTIBLE}"
+    assert not report.ok
+    kinds = {violation.kind for violation in report.violations}
+    expected = set(EXPECTED_KINDS[corruption])
+    assert kinds & expected, \
+        f"{corruption} produced {kinds}, expected one of {expected}"
+
+
+@pytest.mark.parametrize("corruption", sorted(CORRUPTIONS))
+def test_corruption_report_is_base_pc_attributed(corruption):
+    report = verify_corruption(corruption, workload=CORRUPTIBLE)
+    primary = [v for v in report.violations
+               if v.kind in EXPECTED_KINDS[corruption]]
+    assert primary
+    for violation in primary:
+        assert violation.entry_pc != 0
+        assert violation.base_pc is not None
+        assert violation.describe()   # renders without crashing
+        as_dict = violation.to_dict()
+        assert as_dict["kind"] == violation.kind
+
+
+def test_uncorrupted_translation_verifies_clean():
+    program = build_workload(CORRUPTIBLE, "tiny").program
+    report = verify_program(program, target=CORRUPTIBLE)
+    assert report.ok
+    assert report.groups > 0
+    assert report.routes > 0
+
+
+def test_apply_corruption_unknown_name():
+    group = VliwGroup(entry_pc=0x1000, vliws=[TreeVliw(index=0)])
+    with pytest.raises(ValueError, match="unknown corruption"):
+        apply_corruption("flip-bits", group)
+
+
+def test_corruptions_change_real_groups():
+    """Every corruption finds a site in the corruptible workload."""
+    for name in CORRUPTIONS:
+        _, translation = translate_entry_page(
+            build_workload(CORRUPTIBLE, "tiny").program)
+        applied = any(apply_corruption(name, group)
+                      for group in translation.entries.values())
+        assert applied, f"{name} found no site in {CORRUPTIBLE}"
+
+
+# ----------------------------------------------------------------------
+# Hand-built malformed groups: shape, resource and exit checks.
+# ----------------------------------------------------------------------
+
+def _bare_verifier():
+    # Decode never happens for these structural checks; feed a word
+    # that would decode as an unknown instruction if it ever did.
+    return GroupVerifier(fetch_word=lambda pc: 0)
+
+
+def test_open_tip_is_malformed():
+    group = VliwGroup(entry_pc=0x1000,
+                      vliws=[TreeVliw(index=0, root=Tip())])
+    check = _bare_verifier().verify_group(group)
+    assert MALFORMED_TREE in {v.kind for v in check.violations}
+
+
+def test_empty_group_is_malformed():
+    check = _bare_verifier().verify_group(VliwGroup(entry_pc=0x1000))
+    assert MALFORMED_TREE in {v.kind for v in check.violations}
+
+
+def test_goto_cycle_is_malformed():
+    a = TreeVliw(index=0, root=Tip())
+    b = TreeVliw(index=1, root=Tip())
+    a.root.exit = Exit(ExitKind.GOTO, vliw=b)
+    b.root.exit = Exit(ExitKind.GOTO, vliw=a)
+    check = _bare_verifier().verify_group(
+        VliwGroup(entry_pc=0x1000, vliws=[a, b]))
+    assert MALFORMED_TREE in {v.kind for v in check.violations}
+
+
+def test_resource_overflow_detected():
+    config = MachineConfig.default()
+    tip = Tip(ops=[Operation(op=PrimOp.ADD, dest=64 + i, srcs=(64,),
+                             speculative=True, arch_dest=3, seq=i)
+                   for i in range(config.alus + 1)])
+    tip.exit = Exit(ExitKind.OFFPAGE, target=0x9000, completes=True)
+    group = VliwGroup(entry_pc=0x1000,
+                      vliws=[TreeVliw(index=0, root=tip)])
+    check = _bare_verifier().verify_group(group)
+    assert RESOURCE_OVERFLOW in {v.kind for v in check.violations}
+
+
+def test_same_page_offpage_exit_is_bad():
+    tip = Tip(exit=Exit(ExitKind.OFFPAGE, target=0x1100, completes=True))
+    group = VliwGroup(entry_pc=0x1000,
+                      vliws=[TreeVliw(index=0, root=tip)])
+    check = _bare_verifier().verify_group(group)
+    assert BAD_EXIT in {v.kind for v in check.violations}
+
+
+def test_completing_entry_exit_off_page_is_bad():
+    tip = Tip(exit=Exit(ExitKind.ENTRY, target=0x9000, completes=True))
+    group = VliwGroup(entry_pc=0x1000,
+                      vliws=[TreeVliw(index=0, root=tip)])
+    check = _bare_verifier().verify_group(group)
+    assert BAD_EXIT in {v.kind for v in check.violations}
+
+
+def test_artificial_entry_exit_off_page_is_legal():
+    """Window/VLIW-cap stops may leave a non-completing off-page
+    continuation; only *completing* branches must use GO_ACROSS_PAGE."""
+    tip = Tip(exit=Exit(ExitKind.ENTRY, target=0x9000, completes=False))
+    group = VliwGroup(entry_pc=0x1000,
+                      vliws=[TreeVliw(index=0, root=tip)])
+    check = _bare_verifier().verify_group(group)
+    assert BAD_EXIT not in {v.kind for v in check.violations}
+
+
+# ----------------------------------------------------------------------
+# Mode machinery.
+# ----------------------------------------------------------------------
+
+def test_resolve_mode():
+    assert resolve_mode(True) == "strict"
+    assert resolve_mode(False) == "off"
+    assert resolve_mode("report") == "report"
+    with pytest.raises(ValueError):
+        resolve_mode("loud")
+    with pytest.raises(ValueError):
+        verify.set_default_mode("loud")
+
+
+def test_default_mode_is_strict_under_tests():
+    """tests/conftest.py flips the process default; every system the
+    suite builds without an explicit knob is strict-verified."""
+    assert verify.default_mode() == "strict"
+    assert resolve_mode(None) == "strict"
+    system = DaisySystem()
+    assert system.verify_mode == "strict"
+    assert system.translator.verify_hook is not None
+
+
+def test_verify_off_detaches_hook():
+    system = DaisySystem(verify_translations="off")
+    assert system.verify_mode == "off"
+    assert system.translator.verify_hook is None
+
+
+# ----------------------------------------------------------------------
+# The DaisySystem seam: events, strict error past the sandbox.
+# ----------------------------------------------------------------------
+
+def test_translation_verified_events_published():
+    workload = build_workload("hotloop", "tiny")
+    system = DaisySystem(verify_translations="report")
+    system.load_program(workload.program)
+    result = system.run()
+    assert result.exit_code == 0
+    assert system.bus_counters.count(TranslationVerified) > 0
+    assert system.bus_counters.count(VerifyViolation) == 0
+
+
+class _RejectingVerifier:
+    """Stands in for GroupVerifier: flags every group."""
+
+    def verify_group(self, group):
+        from repro.verify.checker import GroupCheck
+        check = GroupCheck(entry_pc=group.entry_pc, vliws=1, routes=1)
+        check.violations.append(Violation(
+            kind="commit-order", message="synthetic violation",
+            entry_pc=group.entry_pc, base_pc=group.entry_pc))
+        return check
+
+
+def _reject_everything(system):
+    """Swap in the rejecting verifier and defeat the clean-result memo
+    (other tests may have already verified these pages for real)."""
+    system._verifier = _RejectingVerifier()
+    system._verify_memo_key = lambda group: None
+
+
+def test_strict_verify_error_escapes_sandbox():
+    """A strict-mode VerifyError must not be swallowed by the
+    resilience sandbox (which quarantines ordinary translator
+    failures)."""
+    workload = build_workload("hotloop", "tiny")
+    system = DaisySystem(verify_translations="strict",
+                         recovery=RecoveryPolicy(sandbox=True))
+    _reject_everything(system)
+    system.load_program(workload.program)
+    with pytest.raises(VerifyError) as excinfo:
+        system.run()
+    assert excinfo.value.violations
+    assert "commit-order" in str(excinfo.value)
+
+
+def test_report_mode_keeps_running_and_counts():
+    workload = build_workload("hotloop", "tiny")
+    system = DaisySystem(verify_translations="report")
+    _reject_everything(system)
+    system.load_program(workload.program)
+    result = system.run()
+    assert result.exit_code == 0
+    assert system.bus_counters.count(VerifyViolation) > 0
+
+
+def test_clean_verification_is_memoized():
+    """Byte-identical pages under the same configuration verify once
+    per process; later systems hit repro.verify.MEMO."""
+    from repro.verify import MEMO
+
+    workload = build_workload("hotloop", "tiny")
+    system = DaisySystem(verify_translations="strict")
+    system.load_program(workload.program)
+    system.run()
+    before = MEMO.hits
+    repeat = DaisySystem(verify_translations="strict")
+    repeat.load_program(workload.program)
+    repeat.run()
+    assert MEMO.hits > before
+    assert repeat.bus_counters.count(TranslationVerified) > 0
+
+
+def test_verify_workload_runner_collects_events():
+    report = verify_workload("hotloop", size="tiny")
+    assert report.ok
+    assert report.groups > 0
+
+
+# ----------------------------------------------------------------------
+# The conform fuzzer's verify stage.
+# ----------------------------------------------------------------------
+
+def test_lockstep_records_verify_divergence():
+    from repro.conform.lockstep import GoldenReference, LockstepChecker
+
+    program = build_workload("hotloop", "tiny").program
+    system = DaisySystem(verify_translations="off")
+    system.load_program(program)
+    checker = LockstepChecker(GoldenReference(program), system,
+                              case="case", backend="daisy")
+
+    system.bus.publish(
+        VerifyViolation(kind="commit-order", entry_pc=0x1000,
+                        vliw_index=2, base_pc=0x1008,
+                        detail="synthetic"))
+    assert len(checker.divergences) == 1
+    divergence = checker.divergences[0]
+    assert divergence.kind == "verify"
+    assert divergence.base_pc == 0x1008
+    assert divergence.detail["kind"] == "commit-order"
+
+
+def test_conform_fuzz_case_green_with_verifier_stage():
+    from repro.conform import generate_case, run_fuzz_case
+
+    case = generate_case(seed=1234, index=0)
+    result = run_fuzz_case(case, backend="daisy")
+    assert not result.divergences
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes.
+# ----------------------------------------------------------------------
+
+def test_cli_verify_workload_exits_zero(capsys):
+    from repro.cli import main
+    assert main(["verify", "--workload", "hotloop", "--json"]) == 0
+    out = capsys.readouterr().out
+    assert '"ok": true' in out
+
+
+def test_cli_verify_corrupt_exits_one(capsys):
+    from repro.cli import main
+    assert main(["verify", "--corrupt", "drop-guard"]) == 1
+    out = capsys.readouterr().out
+    assert "unguarded-spec-load" in out
+
+
+def test_cli_verify_corrupt_no_site_exits_two(capsys):
+    from repro.cli import main
+    # hotloop's tiny entry page schedules no speculative loads.
+    assert main(["verify", "--workload", "hotloop",
+                 "--corrupt", "drop-guard"]) == 2
+
+
+def test_cli_verify_fuzz_cases(capsys):
+    from repro.cli import main
+    assert main(["verify", "--cases", "3", "--seed", "99"]) == 0

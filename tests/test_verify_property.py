@@ -1,0 +1,143 @@
+"""Property-based soundness of the static translation verifier.
+
+Hypothesis feeds :func:`repro.verify.runner.verify_program` with
+fuzzer-generated pages (the same corpus :mod:`repro.conform` replays in
+lockstep) and asserts the verifier is *quiet on honest translations* —
+no false positives across branchy, loopy, call-heavy, store-heavy and
+straight-line shapes.  A shape-coverage test pins that the sampled
+corpus really exercises multi-path trees (groups whose tip tree forks)
+and cross-page exits (OFFPAGE / GO_ACROSS_PAGE), so quietness is not
+vacuous.  The slow sweep adds the converse property on fuzz pages:
+whenever a corruption site exists, seeding that corruption makes the
+verifier loud with the expected kind.
+
+Everything is derandomized — CI is deterministic.
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.conform import FuzzConfig, generate_case
+from repro.isa.assembler import Assembler, AssemblyError
+from repro.verify.corrupt import CORRUPTIONS, EXPECTED_KINDS, apply_corruption
+from repro.verify.runner import translate_entry_page, verify_program
+from repro.vliw.tree import ExitKind
+
+SETTINGS = settings(max_examples=30, derandomize=True, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+#: Fixed corpus seeds; distinct from the conform suite's so the two
+#: suites don't silently test identical pages.
+CORPUS_SEED = 0xDA15
+LINE_SEED = 0x51AE
+
+
+def _assemble_case(seed, index, config=None):
+    case = generate_case(seed, index, config)
+    try:
+        return case, Assembler().assemble(case.source)
+    except AssemblyError:
+        assume(False)
+
+
+def _assert_clean(program, name):
+    report = verify_program(program, target=name)
+    assert report.ok, "verifier flagged an honest translation:\n" + \
+        "\n".join(violation.describe() for violation in report.violations)
+    assert report.groups > 0
+    return report
+
+
+# ----------------------------------------------------------------------
+# No false positives on honest translations.
+# ----------------------------------------------------------------------
+
+@given(index=st.integers(0, 199))
+@SETTINGS
+def test_fuzz_pages_verify_clean(index):
+    """Full shape mix: branches, loops, calls, SMC, aliasing stores."""
+    case, program = _assemble_case(CORPUS_SEED, index)
+    _assert_clean(program, case.name)
+
+
+@given(index=st.integers(0, 199))
+@SETTINGS
+def test_straight_line_pages_verify_clean(index):
+    case, program = _assemble_case(LINE_SEED, index,
+                                   FuzzConfig.straight_line())
+    _assert_clean(program, case.name)
+
+
+def test_corpus_covers_multipath_and_crosspage_shapes():
+    """The quietness properties above are only meaningful if the
+    sampled corpus contains the hard shapes: tree VLIWs with several
+    root-to-tip paths, and exits that leave the translated page."""
+    multipath = crosspage = 0
+    for index in range(12):
+        case = generate_case(CORPUS_SEED, index)
+        try:
+            program = Assembler().assemble(case.source)
+        except AssemblyError:
+            continue
+        _, translation = translate_entry_page(program)
+        for group in translation.entries.values():
+            for vliw in group.vliws:
+                for tip in vliw.all_tips():
+                    if tip.test is not None:
+                        multipath += 1
+                    if tip.exit is not None and tip.exit.kind in (
+                            ExitKind.OFFPAGE, ExitKind.ENTRY):
+                        crosspage += 1
+    assert multipath > 0, "no conditional tree splits in sampled corpus"
+    assert crosspage > 0, "no cross-page exits in sampled corpus"
+
+
+# ----------------------------------------------------------------------
+# Soundness: corrupting a fuzz page makes the verifier loud.
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+@pytest.mark.parametrize("corruption", sorted(CORRUPTIONS))
+def test_corrupted_fuzz_pages_are_flagged(corruption):
+    """Sweep the corpus until the corruption finds a site, then assert
+    the expected violation kind fires.  Each corruption's site shape
+    (speculative op, guarded load, commit pair, back-map marker)
+    appears within a handful of full-mix cases."""
+    from repro.verify.runner import _verifier_for
+
+    flagged = sites = 0
+    for index in range(40):
+        if sites >= 3:
+            break
+        try:
+            program = Assembler().assemble(
+                generate_case(CORPUS_SEED, index).source)
+        except AssemblyError:
+            continue
+        translator, translation = translate_entry_page(program)
+        group = next((g for g in translation.entries.values()
+                      if apply_corruption(corruption, g)), None)
+        if group is None:
+            continue
+        sites += 1
+        check = _verifier_for(translator).verify_group(group)
+        kinds = {violation.kind for violation in check.violations}
+        if kinds & set(EXPECTED_KINDS[corruption]):
+            flagged += 1
+    assert sites > 0, f"no {corruption} site in 40 corpus cases"
+    assert flagged == sites, \
+        f"{corruption}: flagged {flagged} of {sites} corrupted pages"
+
+
+@pytest.mark.slow
+def test_deep_corpus_sweep_verifies_clean():
+    """200 full-mix cases, statically verified (the CLI's
+    ``repro verify --cases`` path, at nightly depth)."""
+    from repro.verify.runner import verify_fuzz
+
+    reports = verify_fuzz(seed=CORPUS_SEED, cases=200)
+    bad = [report for report in reports if not report.ok]
+    assert not bad, "\n".join(
+        violation.describe()
+        for report in bad for violation in report.violations)

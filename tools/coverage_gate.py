@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Coverage no-regression gate for the CI coverage job.
+
+Reads a coverage.py JSON report (``coverage json`` /
+``pytest --cov=repro --cov-report=json``) and fails when line coverage
+drops below the recorded baseline floor:
+
+    python tools/coverage_gate.py coverage.json tools/coverage_baseline.json
+
+The baseline (``tools/coverage_baseline.json``) records:
+
+* ``floor_percent`` — the total line-coverage floor.  It sits a couple
+  of points below the last measured total so shared-runner flakiness
+  (skipped platform-specific branches, timing-gated paths) doesn't
+  fail the build, while a real regression — an untested new module, a
+  deleted test file — still does.
+* ``file_floors`` — optional per-file floors (repo-relative paths as
+  emitted by coverage.py) for modules whose coverage must not erode,
+  e.g. the static verifier itself.
+
+Raising the floor after coverage improves is a one-line baseline edit;
+CI prints the measured totals on every run so the headroom is visible.
+
+Exit codes: 0 pass, 1 coverage below a floor, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Tuple
+
+
+def evaluate(report: dict, baseline: dict) -> Tuple[bool, List[str]]:
+    """Compare a coverage JSON report against the baseline.
+
+    Returns ``(ok, lines)`` where ``lines`` is the human-readable
+    verdict, one entry per checked floor.
+    """
+    lines: List[str] = []
+    ok = True
+
+    try:
+        total = float(report["totals"]["percent_covered"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(f"not a coverage JSON report: {error}") from error
+
+    floor = float(baseline.get("floor_percent", 0.0))
+    verdict = "ok" if total >= floor else "REGRESSION"
+    if total < floor:
+        ok = False
+    lines.append(f"total: {total:.2f}% (floor {floor:.2f}%) {verdict}")
+
+    files = report.get("files", {})
+    for path, file_floor in sorted(baseline.get("file_floors", {}).items()):
+        entry = files.get(path)
+        if entry is None:
+            ok = False
+            lines.append(f"{path}: MISSING from report "
+                         f"(floor {float(file_floor):.2f}%)")
+            continue
+        measured = float(entry["summary"]["percent_covered"])
+        verdict = "ok" if measured >= float(file_floor) else "REGRESSION"
+        if measured < float(file_floor):
+            ok = False
+        lines.append(f"{path}: {measured:.2f}% "
+                     f"(floor {float(file_floor):.2f}%) {verdict}")
+    return ok, lines
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0]) as handle:
+            report = json.load(handle)
+        with open(argv[1]) as handle:
+            baseline = json.load(handle)
+        ok, lines = evaluate(report, baseline)
+    except (OSError, ValueError) as error:
+        print(f"coverage-gate: {error}", file=sys.stderr)
+        return 2
+    print("\n".join(lines))
+    if not ok:
+        print("coverage-gate: coverage regressed below the recorded "
+              "baseline (tools/coverage_baseline.json)", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
