@@ -68,7 +68,8 @@ def _build_backend(args) -> DaisyBackend:
         hot_threshold=args.hot_threshold,
         strategy=args.strategy,
         deliver_faults=args.deliver_faults,
-        chaining=not getattr(args, "no_chain", False))
+        chaining=not getattr(args, "no_chain", False),
+        exec_mode=getattr(args, "exec_mode", "compiled"))
 
 
 def _print_summary(result) -> None:
@@ -130,6 +131,64 @@ def cmd_translate(args) -> int:
                     return 0
     print()
     _print_summary(result)
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    """Dump the Python source translation-time codegen emitted for each
+    group — the inspectable artifact behind the compiled executor."""
+    program, description = _load_program(args.target, args.size)
+    backend = _build_backend(args)
+    backend.exec_mode = "compiled"
+    system, run = backend.execute(program)
+    page_filter = int(args.page, 0) if args.page else None
+    groups = []
+    for paddr in sorted(system.translation_cache.live_pages):
+        if page_filter is not None and paddr != page_filter:
+            continue
+        translation = system.translation_cache.lookup(paddr)
+        for offset in sorted(translation.entries):
+            group = translation.entries[offset]
+            compiled = group.compiled
+            groups.append({
+                "page_paddr": paddr,
+                "entry_pc": group.entry_pc,
+                "vliws": len(group.vliws),
+                "compiled": compiled is not None,
+                "codegen_failed": group.codegen_failed,
+                "verify_dirty": group.verify_dirty,
+                "key": compiled.key if compiled is not None else None,
+                "source": compiled.source if compiled is not None
+                else None,
+            })
+    if args.json:
+        print(json.dumps({
+            "target": args.target, "size": args.size,
+            "description": description,
+            "exit_code": run.exit_code,
+            "groups_compiled": run.raw.groups_compiled,
+            "codegen_aborts": run.raw.codegen_aborts,
+            "groups": groups,
+        }, indent=2))
+        return 0
+    print(f"codegen: {description}\n")
+    if page_filter is not None and not groups:
+        print(f"no translated groups on page {page_filter:#x}",
+              file=sys.stderr)
+        return 2
+    for entry in groups:
+        status = "compiled" if entry["compiled"] else (
+            "codegen failed" if entry["codegen_failed"] else (
+                "verify dirty" if entry["verify_dirty"]
+                else "not compiled"))
+        print(f"=== page {entry['page_paddr']:#x} "
+              f"entry {entry['entry_pc']:#x} "
+              f"({entry['vliws']} VLIWs, {status}) ===")
+        if entry["source"] is not None:
+            print(f"# content key {entry['key'][:16]}…")
+            print(entry["source"])
+    print(f"{run.raw.groups_compiled} groups compiled, "
+          f"{run.raw.codegen_aborts} aborts")
     return 0
 
 
@@ -250,12 +309,15 @@ def cmd_bench(args) -> int:
     return 0 if failures == 0 else 1
 
 
-def _profile_run(args, program, chaining: bool):
+def _profile_run(args, program, chaining: bool,
+                 exec_mode: Optional[str] = None):
     """Best-of-``--repeat`` timed run; returns (perf, system, result)."""
     from repro.runtime.profiling import PerfTrace
 
     backend = _build_backend(args)
     backend.chaining = chaining
+    if exec_mode is not None:
+        backend.exec_mode = exec_mode
     best = None
     for _ in range(max(1, args.repeat)):
         system = backend.build_system()
@@ -268,23 +330,28 @@ def _profile_run(args, program, chaining: bool):
     return best
 
 
-def _profile_report(args, program, chaining: bool) -> dict:
+def _profile_report(args, program, chaining: bool,
+                    exec_mode: Optional[str] = None) -> dict:
     from repro.isa.encoding import decode
 
-    perf, system, result = _profile_run(args, program, chaining)
-    decode_info = decode.cache_info()
+    perf, system, result = _profile_run(args, program, chaining,
+                                        exec_mode)
     return {
+        "exec_mode": result.exec_mode,
         "chaining": chaining,
         "exit_code": result.exit_code,
         "base_instructions": result.base_instructions,
         "vliws": result.vliws,
         "perf": perf.to_dict(),
         "chain": system.chain.stats_dict(),
+        "codegen": {"groups_compiled": result.groups_compiled,
+                    "aborts": result.codegen_aborts},
         "crack_cache": system.translator.crack_cache.stats_dict(),
-        # Process-global (decode is memoized across systems).
-        "decode_cache": {"hits": decode_info.hits,
-                         "misses": decode_info.misses,
-                         "entries": decode_info.currsize},
+        # Hits/misses are this run's traffic (bus-sampled deltas of
+        # the process-wide memo); entries is the cache's population.
+        "decode_cache": {"hits": result.decode_hits,
+                         "misses": result.decode_misses,
+                         "entries": decode.cache_info().currsize},
     }
 
 
@@ -292,13 +359,18 @@ def _print_profile(report: dict) -> None:
     seconds = report["perf"]["seconds"]
     shares = report["perf"]["shares"]
     chain = report["chain"]
+    codegen = report["codegen"]
+    print(f"executor:             {report['exec_mode']}")
     print(f"chaining:             "
           f"{'on' if report['chaining'] else 'off'}")
     print(f"exit code:            {report['exit_code']}")
     print(f"wall time:            {seconds['total']:.4f} s")
-    for bucket in ("execute", "translate", "interpret", "vmm_dispatch"):
+    for bucket in ("execute", "translate", "codegen", "interpret",
+                   "vmm_dispatch"):
         print(f"  {bucket:19s} {seconds[bucket]:.4f} s "
               f"({shares[bucket] * 100:5.1f}%)")
+    print(f"compiled groups:      {codegen['groups_compiled']} "
+          f"({codegen['aborts']} codegen aborts)")
     print(f"chain links:          {chain['links_installed']} installed, "
           f"{chain['follows']} follows, {chain['misses']} misses "
           f"(hit rate {chain['hit_rate'] * 100:.1f}%)")
@@ -309,30 +381,46 @@ def _print_profile(report: dict) -> None:
           f"{crack['misses']} misses")
     dec = report["decode_cache"]
     print(f"decode cache:         {dec['hits']} hits, "
-          f"{dec['misses']} misses (process-wide)")
+          f"{dec['misses']} misses this run "
+          f"({dec['entries']} entries cached)")
 
 
 def cmd_profile(args) -> int:
     program, description = _load_program(args.target, args.size)
     if args.compare:
-        off = _profile_report(args, program, chaining=False)
-        on = _profile_report(args, program, chaining=True)
-        base, fast = off["perf"]["seconds"]["total"], \
-            on["perf"]["seconds"]["total"]
-        speedup = base / fast if fast else 0.0
+        chaining = not args.no_chain
+        if args.compare == "chain":
+            # The PR-4 axis: dispatch fast path off vs on (both sides
+            # run whatever --exec-mode selected).
+            base = _profile_report(args, program, chaining=False)
+            fast = _profile_report(args, program, chaining=True)
+            base_key, fast_key = "chain_off", "chain_on"
+            label = "chained speedup"
+        else:
+            # The codegen axis: bound oracle vs compiled artifacts,
+            # identical chaining and translate costs on both sides.
+            base = _profile_report(args, program, chaining=chaining,
+                                   exec_mode="bound")
+            fast = _profile_report(args, program, chaining=chaining,
+                                   exec_mode="compiled")
+            base_key, fast_key = "bound", "compiled"
+            label = "compiled speedup"
+        base_s = base["perf"]["seconds"]["total"]
+        fast_s = fast["perf"]["seconds"]["total"]
+        speedup = base_s / fast_s if fast_s else 0.0
         report = {"target": args.target, "size": args.size,
-                  "description": description,
-                  "chain_off": off, "chain_on": on,
+                  "description": description, "axis": args.compare,
+                  base_key: base, fast_key: fast,
                   "speedup": round(speedup, 3)}
         if args.json:
             print(json.dumps(report, indent=2))
         else:
             print(f"profiling: {description}\n")
-            _print_profile(off)
+            _print_profile(base)
             print()
-            _print_profile(on)
-            print(f"\nchained speedup:      {speedup:.2f}x")
-        failed = (off["exit_code"] != 0 or on["exit_code"] != 0
+            _print_profile(fast)
+            print(f"\n{label}:     {speedup:.2f}x")
+        failed = (base["exit_code"] != 0 or fast["exit_code"] != 0
                   or (args.min_speedup is not None
                       and speedup < args.min_speedup))
         if args.min_speedup is not None and not args.json:
@@ -413,6 +501,11 @@ def _common_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-chain", action="store_true",
                         help="disable the direct-dispatch fast path "
                              "(group chaining, docs/performance.md)")
+    parser.add_argument("--exec-mode", choices=["compiled", "bound"],
+                        default="compiled",
+                        help="group executor: translation-time Python "
+                             "codegen (compiled, default) or the "
+                             "pre-bound per-parcel oracle path (bound)")
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -435,6 +528,19 @@ def main(argv: Optional[list] = None) -> int:
     translate_parser.add_argument("--dump-limit", type=int, default=24,
                                   help="max VLIWs to print")
     translate_parser.set_defaults(func=cmd_translate)
+
+    codegen_parser = sub.add_parser(
+        "codegen",
+        help="run and dump the Python source translation-time codegen "
+             "emitted per tree-VLIW group (docs/performance.md)")
+    _common_flags(codegen_parser)
+    codegen_parser.add_argument("--page", default=None,
+                                help="only dump groups on this physical "
+                                     "page (hex, e.g. 0x2000)")
+    codegen_parser.add_argument("--json", action="store_true",
+                                help="emit sources and per-group status "
+                                     "as JSON")
+    codegen_parser.set_defaults(func=cmd_codegen)
 
     bench_parser = sub.add_parser(
         "bench", help="run workloads through the runtime backends")
@@ -466,6 +572,10 @@ def main(argv: Optional[list] = None) -> int:
     bench_parser.add_argument("--no-chain", action="store_true",
                               help="disable the direct-dispatch fast "
                                    "path for DAISY runs")
+    bench_parser.add_argument("--exec-mode",
+                              choices=["compiled", "bound"],
+                              default="compiled",
+                              help="group executor for DAISY runs")
     bench_parser.add_argument("--json", action="store_true",
                               help="emit machine-readable JSON")
     bench_parser.set_defaults(func=cmd_bench, deliver_faults=False)
@@ -479,9 +589,14 @@ def main(argv: Optional[list] = None) -> int:
     profile_parser.add_argument("--repeat", type=int, default=1,
                                 help="timed repetitions; the best "
                                      "(lowest wall time) is reported")
-    profile_parser.add_argument("--compare", action="store_true",
-                                help="run chaining off then on and "
-                                     "report the speedup")
+    profile_parser.add_argument("--compare", nargs="?", const="exec",
+                                choices=["exec", "chain"], default=None,
+                                help="run both sides of an axis and "
+                                     "report the speedup: 'exec' "
+                                     "(default) compares the bound "
+                                     "executor against compiled "
+                                     "codegen; 'chain' compares "
+                                     "chaining off against on")
     profile_parser.add_argument("--min-speedup", type=float, default=None,
                                 help="with --compare: exit nonzero when "
                                      "the chained speedup is below this "
@@ -502,8 +617,9 @@ def main(argv: Optional[list] = None) -> int:
                                 help="number of fuzz cases to run")
     conform_parser.add_argument("--backend", default="daisy",
                                 help="subject backend: daisy, tiered, "
-                                     "interpretive, hash, traditional, "
-                                     "superscalar, oracle, interpreted")
+                                     "interpretive, hash, bound, "
+                                     "traditional, superscalar, oracle, "
+                                     "interpreted")
     conform_parser.add_argument("--size", default="tiny",
                                 choices=["tiny", "small", "default"],
                                 help="bundled-workload size preset")
@@ -534,7 +650,7 @@ def main(argv: Optional[list] = None) -> int:
                                    "(default: wc,cmp,c_sieve)")
     chaos_parser.add_argument("--backend", default="daisy",
                               help="lockstep subject variant: daisy, "
-                                   "tiered, interpretive, hash")
+                                   "tiered, interpretive, hash, bound")
     chaos_parser.add_argument("--size", default="tiny",
                               choices=["tiny", "small", "default"],
                               help="workload size preset")

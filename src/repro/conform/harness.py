@@ -51,6 +51,9 @@ LOCKSTEP_BACKENDS: Dict[str, dict] = {
     "tiered": {"tier": "tiered", "hot_threshold": 2},
     "interpretive": {"tier": "interpretive"},
     "hash": {"strategy": "hash"},
+    # The PR-4 pre-bound per-parcel executor, kept as the differential
+    # oracle for translation-time codegen ("daisy" runs compiled).
+    "bound": {"exec_mode": "bound"},
 }
 
 #: Baselines with no architected state of their own: result-level check.

@@ -50,6 +50,11 @@ class PageTranslation:
     base_instructions_translated: int = 0
     #: Number of times entries were (re)translated for this page.
     translations_performed: int = 0
+    #: Entry count already swept by translation-time codegen — the
+    #: VMM's :meth:`~repro.vmm.system.DaisySystem._compile_pending`
+    #: skips the whole translation in O(1) when this matches
+    #: ``len(entries)``.
+    codegen_seen: int = 0
 
     def has_entry(self, offset: int) -> bool:
         return offset in self.entries

@@ -179,7 +179,22 @@ def encode(instr: Instruction) -> int:
     raise AssertionError(f"unhandled format {fmt}")
 
 
-@lru_cache(maxsize=65536)
+#: Bound on the decode memo below: large enough that full workloads
+#: never thrash it (a few thousand distinct words), small enough that a
+#: fuzzer feeding adversarial words cannot grow it without limit.
+DECODE_CACHE_MAXSIZE = 65536
+
+
+def decode_cache_stats() -> dict:
+    """JSON-friendly view of the decode memo's traffic (process-wide;
+    per-run deltas are published on the event bus as
+    :class:`~repro.runtime.events.DecodeCacheSampled`)."""
+    info = decode.cache_info()
+    return {"hits": info.hits, "misses": info.misses,
+            "entries": info.currsize, "maxsize": info.maxsize}
+
+
+@lru_cache(maxsize=DECODE_CACHE_MAXSIZE)
 def decode(word: int) -> Instruction:
     """Decode a 32-bit word into an :class:`Instruction`.
 

@@ -154,6 +154,7 @@ class DaisyBackend:
                  max_vliws: int = 50_000_000,
                  recovery: Optional[RecoveryPolicy] = None,
                  chaining: bool = True,
+                 exec_mode: str = "compiled",
                  verify=None):
         self.config = config if config is not None else \
             MachineConfig.default()
@@ -166,6 +167,9 @@ class DaisyBackend:
         self.max_vliws = max_vliws
         self.recovery = recovery
         self.chaining = chaining
+        #: Group executor (``"compiled"`` / ``"bound"``,
+        #: docs/performance.md) passed to DaisySystem.
+        self.exec_mode = exec_mode
         #: Static-verification mode passed to DaisySystem
         #: (``verify_translations``); None defers to the process
         #: default (see :mod:`repro.verify`).
@@ -183,6 +187,7 @@ class DaisyBackend:
                            strategy=self.strategy,
                            recovery=self.recovery,
                            chaining=self.chaining,
+                           exec_mode=self.exec_mode,
                            verify_translations=self.verify)
 
     def execute(self, program, name: str = ""):
@@ -200,6 +205,8 @@ class DaisyBackend:
                            instructions=raw.base_instructions,
                            cycles=raw.cycles, ilp=ilp,
                            exit_code=raw.exit_code, wall_seconds=wall,
+                           exec_mode=raw.exec_mode,
+                           chaining=self.chaining,
                            raw=raw)
         return system, result
 

@@ -31,7 +31,7 @@ _NO_HANDLERS: tuple = ()
 class EventBus:
     """A minimal synchronous publish/subscribe hub."""
 
-    __slots__ = ("_handlers", "_catchall", "_wants")
+    __slots__ = ("_handlers", "_catchall", "_wants", "_chains")
 
     def __init__(self) -> None:
         self._handlers: Dict[type, List[Handler]] = {}
@@ -40,6 +40,11 @@ class EventBus:
         #: VMM main loop can re-check per iteration at dict-get cost
         #: (a mid-run subscriber must not be silently ignored).
         self._wants: Dict[type, bool] = {}
+        #: Per-type merged (typed + catchall) handler tuples, rebuilt
+        #: lazily after any (un)subscribe.  ``publish`` is on the
+        #: chained-dispatch follow path, so it must cost one dict get
+        #: and one tuple walk — not two list walks.
+        self._chains: Dict[type, Tuple[Handler, ...]] = {}
 
     def subscribe(self, event_type: type,
                   handler: Handler) -> Callable[[], None]:
@@ -48,29 +53,49 @@ class EventBus:
         handlers = self._handlers.setdefault(event_type, [])
         handlers.append(handler)
         self._wants[event_type] = True
+        self._chains.clear()
 
         def unsubscribe() -> None:
             if handler in handlers:
                 handlers.remove(handler)
                 self._wants[event_type] = bool(handlers)
+                self._chains.clear()
 
         return unsubscribe
 
     def subscribe_all(self, handler: Handler) -> Callable[[], None]:
         """Invoke ``handler`` for every event of any type."""
         self._catchall.append(handler)
+        self._chains.clear()
 
         def unsubscribe() -> None:
             if handler in self._catchall:
                 self._catchall.remove(handler)
+                self._chains.clear()
 
         return unsubscribe
 
     def publish(self, event: object) -> None:
-        for handler in self._handlers.get(type(event), _NO_HANDLERS):
+        kind = type(event)
+        chain = self._chains.get(kind)
+        if chain is None:
+            chain = self._chains[kind] = self._build_chain(kind)
+        for handler in chain:
             handler(event)
-        for handler in self._catchall:
-            handler(event)
+
+    def _build_chain(self, kind: type) -> Tuple[Handler, ...]:
+        """Merge typed and catchall handlers for one event type.
+
+        A handler exposing ``specialize_for(kind)`` is swapped for the
+        per-type closure it returns — the bus-level analogue of the
+        translation-time codegen idea: resolve the accumulation plan
+        once per type, not once per event (see
+        :class:`EventCounters`)."""
+        merged: List[Handler] = []
+        for handler in list(self._handlers.get(kind, ())) + self._catchall:
+            factory = getattr(handler, "specialize_for", None)
+            merged.append(handler if factory is None else factory(kind))
+        return tuple(merged)
 
     def wants(self, event_type: type) -> bool:
         """True when a *typed* subscriber for ``event_type`` exists.
@@ -317,6 +342,40 @@ class VerifyViolation:
 
 
 @dataclass(frozen=True)
+class GroupCompiled:
+    """Translation-time codegen emitted and ``compile()``d a Python
+    artifact for one verified tree-VLIW group; subsequent executions of
+    the group dispatch straight into it (docs/performance.md)."""
+    pc: int = 0
+    vliws: int = 0
+    source_bytes: int = 0
+    _sum_fields = ("vliws", "source_bytes")
+
+
+@dataclass(frozen=True)
+class CodegenAbort:
+    """The codegen emitter declined (or crashed on) one group; the
+    group permanently falls back to the bound executor — the
+    always-correct differential-oracle path.  Typed by the error class,
+    mirroring :class:`TranslationAbort`."""
+    pc: int = 0
+    error: str = ""
+    _key_field = "error"
+
+
+@dataclass(frozen=True)
+class DecodeCacheSampled:
+    """Per-run sample of :func:`repro.isa.encoding.decode`'s bounded
+    memo: hit/miss deltas over one run plus the cache's population at
+    sample time, so memoization regressions show up in
+    ``repro profile``."""
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    _sum_fields = ("hits", "misses")
+
+
+@dataclass(frozen=True)
 class TierPromotion:
     """An entry crossed the hot-threshold and was compiled to VLIWs."""
     pc: int = 0
@@ -343,6 +402,25 @@ MEMORY_ACCESS = MemoryAccess()
 CROSS_PAGE_DIRECT = CrossPage(flavor="direct")
 
 
+class _SpecializingCounter:
+    """The catchall handle :class:`EventCounters` registers on a bus.
+
+    Callable (the generic slow path, used until a dispatch chain is
+    built) and specializable: the bus swaps it for a per-type closure
+    via :meth:`specialize_for` when assembling each chain."""
+
+    __slots__ = ("counters",)
+
+    def __init__(self, counters: "EventCounters") -> None:
+        self.counters = counters
+
+    def __call__(self, event: object) -> None:
+        self.counters._on_event(event)
+
+    def specialize_for(self, kind: type) -> Handler:
+        return self.counters._specialized_handler(kind)
+
+
 class EventCounters:
     """Generic counter view over a bus: counts per event type, sums of
     declared integer attributes, and keyed breakdowns."""
@@ -357,25 +435,66 @@ class EventCounters:
         self._plans: Dict[type, tuple] = {}
 
     def attach(self, bus: EventBus) -> "EventCounters":
-        bus.subscribe_all(self._on_event)
+        bus.subscribe_all(_SpecializingCounter(self))
         return self
 
     # ------------------------------------------------------------------
 
+    def _specialized_handler(self, kind: type) -> Handler:
+        """A per-type counting closure with the accumulation plan baked
+        in (no plan lookup, no branch per event).  Built by the bus
+        when it assembles the dispatch chain for ``kind`` — which only
+        happens on the first publish of that type, so pre-seeding the
+        accumulators never surfaces a type that was not published."""
+        sum_fields = tuple(getattr(kind, "_sum_fields", ()))
+        key_field = getattr(kind, "_key_field", None)
+        counts = self._counts
+        counts.setdefault(kind, 0)
+        if not sum_fields and key_field is None:
+            def handler(event: object) -> None:
+                counts[kind] += 1
+            return handler
+        if not sum_fields:
+            breakdown = self._keyed.setdefault(kind, {})
+
+            def handler(event: object) -> None:
+                counts[kind] += 1
+                value = getattr(event, key_field)
+                breakdown[value] = breakdown.get(value, 0) + 1
+            return handler
+        sums = self._sums
+        for attr in sum_fields:
+            sums.setdefault((kind, attr), 0)
+        keyed = self._keyed.setdefault(kind, {}) if key_field else None
+
+        def handler(event: object) -> None:
+            counts[kind] += 1
+            for attr in sum_fields:
+                sums[(kind, attr)] += getattr(event, attr)
+            if key_field is not None:
+                value = getattr(event, key_field)
+                keyed[value] = keyed.get(value, 0) + 1
+        return handler
+
     def _on_event(self, event: object) -> None:
         kind = type(event)
-        self._counts[kind] = self._counts.get(kind, 0) + 1
+        counts = self._counts
+        counts[kind] = counts.get(kind, 0) + 1
         plan = self._plans.get(kind)
         if plan is None:
             plan = (tuple(getattr(kind, "_sum_fields", ())),
                     getattr(kind, "_key_field", None))
             self._plans[kind] = plan
         sum_fields, key_field = plan
-        for attr in sum_fields:
-            key = (kind, attr)
-            self._sums[key] = self._sums.get(key, 0) + getattr(event, attr)
+        if sum_fields:
+            sums = self._sums
+            for attr in sum_fields:
+                key = (kind, attr)
+                sums[key] = sums.get(key, 0) + getattr(event, attr)
         if key_field:
-            breakdown = self._keyed.setdefault(kind, {})
+            breakdown = self._keyed.get(kind)
+            if breakdown is None:
+                breakdown = self._keyed[kind] = {}
             value = getattr(event, key_field)
             breakdown[value] = breakdown.get(value, 0) + 1
 
@@ -408,6 +527,7 @@ EVENT_TYPES: Tuple[Type, ...] = (
     AliasRecovery, CacheLevelMiss, MemoryAccess, InterpretedEpisode,
     CommitPoint, ConformCaseChecked, DivergenceFound,
     TranslationVerified, VerifyViolation,
+    GroupCompiled, CodegenAbort, DecodeCacheSampled,
     TierPromotion, TierDemotion,
     TranslationAbort, PageQuarantined, DegradationLatch, OverBudget,
     FaultInjected,

@@ -8,11 +8,13 @@ time into the buckets that matter for a dynamic translator:
   link-follows: engine-side dispatch is the fast path's product);
 * ``translate`` — time inside the page translator (group builds,
   entry worklists);
+* ``codegen`` — time emitting + ``compile()``-ing Python artifacts for
+  translated groups (the compiled executor's one-time cost);
 * ``interpret`` — time in the interpretive tier's episodes;
 * ``dispatch`` — everything else inside the run loop: the VMM's
   per-exit lookup/dispatch overhead.  Derived as
-  ``total - execute - translate - interpret`` so it needs no extra
-  clock reads on the hot path.
+  ``total - execute - translate - codegen - interpret`` so it needs no
+  extra clock reads on the hot path.
 
 When no trace is attached the run loop pays one ``is None`` check per
 iteration and zero clock reads.
@@ -27,22 +29,24 @@ from typing import Callable, Dict
 class PerfTrace:
     """Accumulated wall-clock split of one (or more) runs."""
 
-    __slots__ = ("clock", "total", "execute", "translate", "interpret")
+    __slots__ = ("clock", "total", "execute", "translate", "codegen",
+                 "interpret")
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self.clock = clock
         self.total = 0.0
         self.execute = 0.0
         self.translate = 0.0
+        self.codegen = 0.0
         self.interpret = 0.0
 
     @property
     def dispatch(self) -> float:
         """VMM dispatch-loop overhead: run time not spent executing,
-        translating, or interpreting."""
+        translating, compiling group artifacts, or interpreting."""
         return max(0.0,
                    self.total - self.execute - self.translate
-                   - self.interpret)
+                   - self.codegen - self.interpret)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-friendly seconds + shares view."""
@@ -54,12 +58,14 @@ class PerfTrace:
                 "total": round(self.total, 6),
                 "execute": round(self.execute, 6),
                 "translate": round(self.translate, 6),
+                "codegen": round(self.codegen, 6),
                 "interpret": round(self.interpret, 6),
                 "vmm_dispatch": round(self.dispatch, 6),
             },
             "shares": {
                 "execute": share(self.execute),
                 "translate": share(self.translate),
+                "codegen": share(self.codegen),
                 "interpret": share(self.interpret),
                 "vmm_dispatch": share(self.dispatch),
             },

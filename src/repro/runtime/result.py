@@ -51,6 +51,12 @@ class RunResult:
     #: backend does not time itself); ``repro bench --json`` reports it
     #: so perf trajectories (BENCH_*.json) carry real time.
     wall_seconds: float = 0.0
+    #: Which fast path produced the numbers: the group executor
+    #: (``"compiled"`` / ``"bound"``, empty for non-VMM backends) and
+    #: whether chaining was on (None for backends without a chain).  A
+    #: trajectory point is meaningless without these.
+    exec_mode: str = ""
+    chaining: Optional[bool] = None
     #: The backend-specific result record (e.g. ``DaisyRunResult``).
     raw: Optional[object] = None
 
@@ -64,4 +70,6 @@ class RunResult:
             "ilp": round(self.ilp, 4),
             "exit_code": self.exit_code,
             "wall_seconds": round(self.wall_seconds, 6),
+            "exec_mode": self.exec_mode,
+            "chaining": self.chaining,
         }

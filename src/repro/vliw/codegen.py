@@ -1,0 +1,1166 @@
+"""Translation-time Python code generation for tree-VLIW groups.
+
+The PR-4 engine executes a group by walking generic per-parcel
+machinery: pre-bound executors, dict-backed scratch registers, a stats
+object touched per parcel.  This module removes that interpretation tax
+by emitting *real Python source* for each verified group once, at
+translation time:
+
+* every parcel on every root-to-leaf route becomes a straight-line
+  statement (pristine ALU handlers are inlined as expressions; patched
+  or complex handlers are called through the live handler table);
+* branch tests become nested ``if``s evaluated — exactly like the
+  engine's phase 1 — before any of the selected route's operations run,
+  so the tree-VLIW "tests see VLIW-entry values" semantics holds by
+  construction;
+* all speculative state (scratch registers r32-63 / cr8-15 / fpr32-63 /
+  lr2, exception tags, extender bits, the outstanding-load set) lives in
+  Python locals — it is group-local by the Section 2.1 recovery story
+  (``clear_speculative_state`` runs at every group exit), so the
+  compiled function never touches ``ExtendedRegisters._scratch``;
+* commits are plain assignments into the architected register file
+  (``state.gpr[n] = ...``);
+* exits return the existing :class:`~repro.vliw.engine.EngineExit`
+  protocol, so ``run_chained`` and the VMM dispatch loop are untouched.
+
+Statistics are accumulated in locals and flushed in a ``finally`` block,
+so a propagating :class:`~repro.vliw.engine.PreciseFault` (or
+``ProgramExit``) still leaves ``engine.stats``, ``last_route`` and the
+partial-instruction flag bit-for-bit identical to the bound path —
+the compiled and bound executors are differential oracles for each
+other (``tests/test_codegen.py``).
+
+Unsupported shapes raise :class:`CodegenError`; the VMM records the
+failure and the group simply keeps running on the bound path.  The
+emitted source is content-keyed (sha256) and picklable — only the
+source travels through the persistent translation store; the function
+object is rebuilt (and revalidated against a fresh emission) on first
+use after a restore.
+
+One deliberate, documented divergence from the bound path: after a
+propagating fault the bound engine leaves stale scratch values in
+``ExtendedRegisters`` until its next group exit clears them, while the
+compiled path's locals simply vanish.  No consumer observes scratch
+between groups (lockstep compares architected state only; the scheduler
+never reads a scratch register it has not written), so the difference
+is unobservable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults import (
+    BaseArchFault,
+    ProgramFault,
+    SimulationError,
+    SystemCallFault,
+)
+from repro.isa import registers as regs
+from repro.isa.state import MSR_EE, s32, u32
+from repro.primitives.ops import (
+    CA_SETTING_PRIMS,
+    LOAD_PRIMS,
+    OV_SETTING_PRIMS,
+    PrimOp,
+    STORE_PRIMS,
+)
+from repro.runtime.events import ALIAS_RECOVERY
+from repro.vliw import engine as _engine
+from repro.vliw.engine import (
+    EngineExit,
+    ExitReason,
+    PreciseFault,
+    _AliasRecovery,
+)
+from repro.vliw.tree import ExitKind, Operation, TestKind, Tip, VliwGroup
+
+
+class CodegenError(Exception):
+    """The group contains a shape the emitter does not support; the
+    caller falls back to the bound executor."""
+
+
+#: Name of the generated entry function inside the exec namespace.
+ENTRY_NAME = "__group_run__"
+
+#: Guard rails against pathological code blowup (per-leaf duplication
+#: of shared route prefixes is exponential in tree depth).
+MAX_LEAVES_PER_VLIW = 64
+MAX_LEAVES_PER_GROUP = 512
+
+#: Handler table as it stood at import time.  An op may be inlined as a
+#: plain expression only while its live handler *is* the pristine one —
+#: the conformance suite patches ``_ALU_HANDLERS`` to build deliberately
+#: buggy backends, and those semantics must flow into compiled code too
+#: (via a captured handler call) exactly as ``bind_executor`` honours
+#: them on the bound path.
+_PRISTINE = dict(_engine._ALU_HANDLERS)
+
+_SPECIAL_ATTR = {
+    regs.LR: "lr", regs.CTR: "ctr", regs.CA: "ca", regs.OV: "ov",
+    regs.SO: "so", regs.MSR: "msr", regs.SRR0: "srr0",
+    regs.SRR1: "srr1", regs.DAR: "dar", regs.DSISR: "dsisr",
+}
+
+_BIT_SPECIALS = frozenset((regs.CA, regs.OV, regs.SO))
+
+_MEM_READ = {1: "read_byte", 2: "read_half", 4: "read_word",
+             8: "read_double"}
+_MEM_WRITE = {1: "write_byte", 2: "write_half", 4: "write_word",
+              8: "write_double"}
+
+_EXT_PRIMS = CA_SETTING_PRIMS | OV_SETTING_PRIMS
+
+
+# ---------------------------------------------------------------------------
+# Inline expression emitters for pristine ALU handlers.  Each returns a
+# value expression; none of these produce carry/overflow (AI is handled
+# separately).  Source expressions are side-effect free, so duplicating
+# one inside an expression is safe.
+# ---------------------------------------------------------------------------
+
+def _need(srcs: List[str], n: int) -> None:
+    if len(srcs) < n:
+        raise CodegenError(f"expected {n} sources, got {len(srcs)}")
+
+
+def _in_add(s, op):
+    _need(s, 2)
+    return f"({s[0]} + {s[1]})"
+
+
+def _in_sub(s, op):
+    _need(s, 2)
+    return f"({s[0]} - {s[1]})"
+
+
+def _in_mull(s, op):
+    _need(s, 2)
+    return f"(_s32({s[0]}) * _s32({s[1]}))"
+
+
+def _in_and(s, op):
+    _need(s, 2)
+    return f"({s[0]} & {s[1]})"
+
+
+def _in_or(s, op):
+    _need(s, 2)
+    return f"({s[0]} | {s[1]})"
+
+
+def _in_xor(s, op):
+    _need(s, 2)
+    return f"({s[0]} ^ {s[1]})"
+
+
+def _in_nand(s, op):
+    _need(s, 2)
+    return f"(~({s[0]} & {s[1]}))"
+
+
+def _in_nor(s, op):
+    _need(s, 2)
+    return f"(~({s[0]} | {s[1]}))"
+
+
+def _in_andc(s, op):
+    _need(s, 2)
+    return f"({s[0]} & ~{s[1]})"
+
+
+def _in_sll(s, op):
+    _need(s, 2)
+    return (f"(0 if ({s[1]} & 0x3F) > 31 "
+            f"else ({s[0]} << ({s[1]} & 0x3F)))")
+
+
+def _in_srl(s, op):
+    _need(s, 2)
+    return (f"(0 if ({s[1]} & 0x3F) > 31 "
+            f"else ({s[0]} >> ({s[1]} & 0x3F)))")
+
+
+def _in_neg(s, op):
+    _need(s, 1)
+    return f"(-_s32({s[0]}))"
+
+
+def _in_addi(s, op):
+    imm = _imm(op)
+    if not s:
+        return f"({imm})"
+    return f"({s[0]} + {imm})"
+
+
+def _in_mulli(s, op):
+    _need(s, 1)
+    return f"(_s32({s[0]}) * {_imm(op)})"
+
+
+def _in_andi(s, op):
+    _need(s, 1)
+    return f"({s[0]} & {_imm(op)})"
+
+
+def _in_ori(s, op):
+    _need(s, 1)
+    return f"({s[0]} | {_imm(op)})"
+
+
+def _in_xori(s, op):
+    _need(s, 1)
+    return f"({s[0]} ^ {_imm(op)})"
+
+
+def _in_slli(s, op):
+    _need(s, 1)
+    return f"({s[0]} << {_imm(op) & 0x1F})"
+
+
+def _in_srli(s, op):
+    _need(s, 1)
+    return f"({s[0]} >> {_imm(op) & 0x1F})"
+
+
+def _in_limm(s, op):
+    return f"({_imm(op)})"
+
+
+def _in_move(s, op):
+    _need(s, 1)
+    return s[0]
+
+
+# Compares are emitted fully inline — a signed compare of 32-bit
+# patterns is an unsigned compare after XOR-ing the sign bit into each
+# side (mask first: scratch values may carry unreduced high bits, and
+# ``_cmp_field``'s s32() masks before comparing).  The unsigned forms
+# deliberately do NOT mask, matching ``_cmp_field`` exactly.
+
+def _cmp_expr(a: str, b: str, so: str) -> str:
+    return f"((8 if {a} < {b} else (4 if {a} > {b} else 2)) | ({so} & 1))"
+
+
+def _in_cmp_s(s, op):
+    _need(s, 3)
+    a = f"(({s[0]} & 4294967295) ^ 2147483648)"
+    b = f"(({s[1]} & 4294967295) ^ 2147483648)"
+    return _cmp_expr(a, b, s[2])
+
+
+def _in_cmp_u(s, op):
+    _need(s, 3)
+    return _cmp_expr(s[0], s[1], s[2])
+
+
+def _in_cmpi_s(s, op):
+    _need(s, 2)
+    a = f"(({s[0]} & 4294967295) ^ 2147483648)"
+    return _cmp_expr(a, str(u32(_imm(op)) ^ 0x80000000), s[1])
+
+
+def _in_cmpi_u(s, op):
+    _need(s, 2)
+    return _cmp_expr(s[0], str(_imm(op)), s[1])
+
+
+def _in_extract_crf(s, op):
+    _need(s, 1)
+    return f"(({s[0]} >> {4 * (7 - _imm(op))}) & 0xF)"
+
+
+def _in_set_ca(s, op):
+    _need(s, 1)
+    return f"(({s[0]} >> 29) & 1)"
+
+
+def _in_set_ov(s, op):
+    _need(s, 1)
+    return f"(({s[0]} >> 30) & 1)"
+
+
+def _in_set_so(s, op):
+    _need(s, 1)
+    return f"(({s[0]} >> 31) & 1)"
+
+
+def _in_gather_xer(s, op):
+    _need(s, 3)
+    return f"(({s[2]} << 31) | ({s[1]} << 30) | ({s[0]} << 29))"
+
+
+def _imm(op: Operation) -> int:
+    if op.imm is None:
+        raise CodegenError(f"{op.op} without immediate")
+    return op.imm
+
+
+_INLINE = {
+    PrimOp.ADD: _in_add, PrimOp.SUB: _in_sub, PrimOp.MULL: _in_mull,
+    PrimOp.AND: _in_and, PrimOp.OR: _in_or, PrimOp.XOR: _in_xor,
+    PrimOp.NAND: _in_nand, PrimOp.NOR: _in_nor, PrimOp.ANDC: _in_andc,
+    PrimOp.SLL: _in_sll, PrimOp.SRL: _in_srl, PrimOp.NEG: _in_neg,
+    PrimOp.ADDI: _in_addi, PrimOp.MULLI: _in_mulli,
+    PrimOp.ANDI: _in_andi, PrimOp.ORI: _in_ori, PrimOp.XORI: _in_xori,
+    PrimOp.SLLI: _in_slli, PrimOp.SRLI: _in_srli,
+    PrimOp.LIMM: _in_limm, PrimOp.MOVE: _in_move,
+    PrimOp.CMP_S: _in_cmp_s, PrimOp.CMP_U: _in_cmp_u,
+    PrimOp.CMPI_S: _in_cmpi_s, PrimOp.CMPI_U: _in_cmpi_u,
+    PrimOp.EXTRACT_CRF: _in_extract_crf,
+    PrimOp.SET_CA: _in_set_ca, PrimOp.SET_OV: _in_set_ov,
+    PrimOp.SET_SO: _in_set_so, PrimOp.GATHER_XER: _in_gather_xer,
+}
+
+
+# ---------------------------------------------------------------------------
+# The emitter
+# ---------------------------------------------------------------------------
+
+class _Emitter:
+    """Walks one group and produces (source, exec-namespace).
+
+    The walk order is fully deterministic (VLIWs in list order, trees
+    taken-branch first), so re-running the emitter on the same group —
+    which is how :meth:`CompiledGroup.bind` rebuilds the namespace after
+    unpickling — reproduces the source byte-for-byte."""
+
+    def __init__(self, group: VliwGroup):
+        if not group.vliws:
+            raise CodegenError("group has no VLIWs")
+        self.group = group
+        self.lines: List[str] = []
+        self.depth = 1
+        self.ns: Dict[str, object] = {}
+        self._handler_names: Dict[PrimOp, str] = {}
+        self._route_count = 0
+        self._leaf_total = 0
+        self.scratch_used: Dict[int, bool] = {}   # index -> is_fpr
+        self.hist_counts: set = set()
+        self.uses = set()
+        self._block_of = {id(v): i for i, v in enumerate(group.vliws)}
+        ops = [op for vliw in group.vliws for tip in vliw.all_tips()
+               for op in tip.ops]
+        self.has_tags = any(op.speculative for op in ops)
+        self.has_out = any(op.speculative and op.op in LOAD_PRIMS
+                           for op in ops)
+        self.has_ext = any(
+            op.speculative and (op.op in _EXT_PRIMS
+                                or self._style(op) == "handler")
+            for op in ops)
+        self.has_loads = any(op.op in LOAD_PRIMS for op in ops)
+        self.has_stores = any(op.op in STORE_PRIMS for op in ops)
+        self.has_commits = any(op.op is PrimOp.COMMIT for op in ops)
+        self.has_spec = self.has_tags
+
+    # -- infrastructure -----------------------------------------------------
+
+    def w(self, line: str = "") -> None:
+        self.lines.append("    " * self.depth + line if line else "")
+
+    class _Block:
+        def __init__(self, emitter):
+            self.emitter = emitter
+
+        def __enter__(self):
+            self.emitter.depth += 1
+
+        def __exit__(self, *exc):
+            self.emitter.depth -= 1
+
+    def block(self) -> "_Emitter._Block":
+        return self._Block(self)
+
+    def _style(self, op: Operation) -> str:
+        kind = op.op
+        if kind is PrimOp.AI:
+            live = _engine._ALU_HANDLERS.get(kind)
+            return "ai" if live is _PRISTINE.get(kind) else "handler"
+        if kind in _INLINE:
+            live = _engine._ALU_HANDLERS.get(kind)
+            if live is not None and live is _PRISTINE.get(kind):
+                return "inline"
+            return "handler"
+        if kind in _engine._ALU_HANDLERS:
+            return "handler"
+        if kind is PrimOp.COMMIT:
+            return "commit"
+        if kind in LOAD_PRIMS:
+            return "load"
+        if kind in STORE_PRIMS:
+            return "store"
+        if kind is PrimOp.SERVICE:
+            return "service"
+        if kind is PrimOp.TRAP_PRIV:
+            return "trap_priv"
+        if kind is PrimOp.TRAP_ILLEGAL:
+            return "trap_illegal"
+        if kind is PrimOp.NOP or kind is PrimOp.MARKER:
+            return "nop"
+        raise CodegenError(f"unsupported primitive {kind}")
+
+    def _handler(self, kind: PrimOp) -> str:
+        name = self._handler_names.get(kind)
+        if name is None:
+            name = f"_H_{kind.name}"
+            self._handler_names[kind] = name
+            self.ns[name] = _engine._ALU_HANDLERS[kind]
+        return name
+
+    # -- registers ----------------------------------------------------------
+
+    def _is_scratch(self, index: int) -> bool:
+        return not regs.is_architected(index)
+
+    def _scratch_name(self, index: int) -> str:
+        self.scratch_used.setdefault(index, regs.is_fpr(index))
+        return f"x{index}"
+
+    def _read(self, index: Optional[int]) -> str:
+        """Raw (tag-free) read expression for a flat register index."""
+        if index is None:
+            raise CodegenError("read of absent register")
+        if regs.is_gpr(index):
+            if regs.is_architected(index):
+                self.uses.add("gpr")
+                return f"_gpr[{index - regs.GPR0}]"
+            return self._scratch_name(index)
+        if regs.is_crf(index):
+            if regs.is_architected(index):
+                self.uses.add("cr")
+                return f"_cr[{index - regs.CRF0}]"
+            return self._scratch_name(index)
+        if regs.is_fpr(index):
+            if regs.is_architected(index):
+                self.uses.add("fpr")
+                return f"_fpr[{index - regs.FPR0}]"
+            return self._scratch_name(index)
+        if index == regs.LR2:
+            return self._scratch_name(index)
+        attr = _SPECIAL_ATTR.get(index)
+        if attr is None:
+            raise CodegenError(f"unknown register index {index}")
+        return f"state.{attr}"
+
+    def _write(self, index: int, value_expr: str) -> str:
+        """One masked assignment statement, mirroring ``write_raw``."""
+        if regs.is_fpr(index):
+            lhs = self._read(index)
+            return f"{lhs} = float({value_expr})"
+        if regs.is_gpr(index):
+            lhs = self._read(index)
+            return f"{lhs} = ({value_expr}) & 0xFFFFFFFF"
+        if regs.is_crf(index):
+            lhs = self._read(index)
+            return f"{lhs} = ({value_expr}) & 0xF"
+        if index == regs.LR2:
+            lhs = self._scratch_name(index)
+            return f"{lhs} = ({value_expr}) & 0xFFFFFFFF"
+        attr = _SPECIAL_ATTR.get(index)
+        if attr is None:
+            raise CodegenError(f"unknown register index {index}")
+        mask = "1" if index in _BIT_SPECIALS else "0xFFFFFFFF"
+        return f"state.{attr} = ({value_expr}) & {mask}"
+
+    # -- tag plumbing -------------------------------------------------------
+
+    def _tag_guard(self, indices, base_pc: int) -> None:
+        """Non-speculative source reads: a tagged register raises the
+        deferred fault as a PreciseFault (``ExtendedRegisters.read``)."""
+        if not self.has_tags:
+            return
+        scratch = [i for i in indices
+                   if i is not None and self._is_scratch(i)]
+        if not scratch:
+            return
+        probe = " or ".join(f"_tags.get({i})" for i in scratch)
+        self.w("if _tags:")
+        with self.block():
+            self.w(f"_f = {probe}")
+            self.w("if _f is not None:")
+            with self.block():
+                self.w(f"raise _PreciseFault(_f, {base_pc})")
+
+    def _write_result_spec(self, dest: int, value_expr: str,
+                           ext_expr: Optional[str]) -> None:
+        """write_result for a speculative op: clear stale tag, write,
+        set/clear extender bits."""
+        if self.has_tags:
+            self.w("if _tags:")
+            with self.block():
+                self.w(f"_tags.pop({dest}, None)")
+        self.w(self._write(dest, value_expr))
+        if ext_expr is not None:
+            self.w(f"_ext[{dest}] = {ext_expr}")
+        elif self.has_ext:
+            self.w("if _ext:")
+            with self.block():
+                self.w(f"_ext.pop({dest}, None)")
+
+    def _write_result_plain(self, dest: int, value_expr: str) -> None:
+        """write_result for a non-speculative op (never records
+        extenders; clears stale ones on scratch destinations)."""
+        if self.has_tags and self._is_scratch(dest):
+            self.w("if _tags:")
+            with self.block():
+                self.w(f"_tags.pop({dest}, None)")
+        self.w(self._write(dest, value_expr))
+        if self.has_ext and self._is_scratch(dest):
+            self.w("if _ext:")
+            with self.block():
+                self.w(f"_ext.pop({dest}, None)")
+
+    def _completes_tail(self, op: Operation) -> None:
+        if op.completes:
+            self.w("_n_completed += 1")
+            self.w("_partial = False")
+        elif not op.speculative and (
+                op.op in STORE_PRIMS
+                or (op.dest is not None
+                    and regs.is_architected(op.dest))):
+            self.w("_partial = True")
+
+    # -- operations ---------------------------------------------------------
+
+    def emit_op(self, op: Operation) -> None:
+        style = self._style(op)
+        if op.speculative:
+            if style in ("commit", "store", "service", "trap_priv",
+                         "trap_illegal"):
+                raise CodegenError(f"speculative {op.op} is unsupported")
+            if op.dest is None:
+                raise CodegenError("speculative op without destination")
+            if not self._is_scratch(op.dest):
+                raise CodegenError(
+                    "speculative op with architected destination")
+        if style == "nop":
+            self._completes_tail(op)
+            return
+        if style == "commit":
+            self._emit_commit(op)
+            return
+        if style == "store":
+            self._emit_store(op)
+            return
+        if style == "service":
+            self._emit_service(op)
+            return
+        if style in ("trap_priv", "trap_illegal"):
+            self._emit_trap(op, style)
+            return
+        if style == "load":
+            self._emit_load(op)
+            return
+        if op.speculative:
+            self._emit_spec_alu(op, style)
+        else:
+            self._emit_plain_alu(op, style)
+
+    # .. ALU ................................................................
+
+    def _propagate_open(self, op: Operation) -> bool:
+        """Open the tag-propagation branch for a speculative op; returns
+        True if a branch was opened (caller emits the body indented)."""
+        scratch = [i for i in op.srcs if self._is_scratch(i)]
+        if not (self.has_tags and scratch):
+            return False
+        probe = " or ".join(f"_tags.get({i})" for i in scratch)
+        self.w("_f = None")
+        self.w("if _tags:")
+        with self.block():
+            self.w(f"_f = {probe}")
+        self.w("if _f is not None:")
+        with self.block():
+            self.w(f"_tags[{op.dest}] = _f")
+            self.w("_n_spec += 1")
+        self.w("else:")
+        return True
+
+    def _emit_spec_alu(self, op: Operation, style: str) -> None:
+        opened = self._propagate_open(op)
+        if opened:
+            self.depth += 1
+        srcs = [self._read(i) for i in op.srcs]
+        if style == "inline":
+            self._write_result_spec(op.dest, _INLINE[op.op](srcs, op),
+                                    None)
+            self.w("_n_spec += 1")
+            self._completes_tail(op)
+        elif style == "ai":
+            step = op.imm if op.ca_step is None else op.ca_step
+            base = srcs[0] if srcs else "0"
+            self.w(f"_t = {base}")
+            self.w(f"_ca = 1 if ((_t + {_imm(op) - step}) & 0xFFFFFFFF)"
+                   f" + {u32(step)} > 0xFFFFFFFF else 0")
+            self._write_result_spec(op.dest, f"_t + {_imm(op)}",
+                                    "(_ca, None)")
+            self.w("_n_spec += 1")
+            self._completes_tail(op)
+        else:
+            handler = self._handler(op.op)
+            tup = ", ".join(srcs)
+            if srcs:
+                tup += ","
+            self.w("try:")
+            with self.block():
+                self.w(f"_v, _ca, _ov = {handler}(({tup}), "
+                       f"{op.imm!r}, {op.ca_step!r})")
+            self.w("except _BaseArchFault as _bf:")
+            with self.block():
+                self.w("_n_spec += 1")
+                self.w(f"_tags[{op.dest}] = _bf")
+            self.w("else:")
+            with self.block():
+                self.w("_n_spec += 1")
+                if self.has_tags:
+                    self.w("if _tags:")
+                    with self.block():
+                        self.w(f"_tags.pop({op.dest}, None)")
+                self.w(self._write(op.dest, "_v"))
+                self.w("if _ca is not None or _ov is not None:")
+                with self.block():
+                    self.w(f"_ext[{op.dest}] = (_ca, _ov)")
+                self.w("elif _ext:")
+                with self.block():
+                    self.w(f"_ext.pop({op.dest}, None)")
+                self._completes_tail(op)
+        if opened:
+            self.depth -= 1
+
+    def _emit_plain_alu(self, op: Operation, style: str) -> None:
+        self._tag_guard(op.srcs, op.base_pc)
+        srcs = [self._read(i) for i in op.srcs]
+        if style == "inline":
+            if op.dest is not None:
+                self._write_result_plain(op.dest,
+                                         _INLINE[op.op](srcs, op))
+            self._completes_tail(op)
+            return
+        if style == "ai":
+            step = op.imm if op.ca_step is None else op.ca_step
+            base = srcs[0] if srcs else "0"
+            self.w(f"_t = {base}")
+            if op.dest is not None:
+                self._write_result_plain(op.dest, f"_t + {_imm(op)}")
+                self.w(f"state.ca = 1 if ((_t + {_imm(op) - step}) & "
+                       f"0xFFFFFFFF) + {u32(step)} > 0xFFFFFFFF else 0")
+            self._completes_tail(op)
+            return
+        handler = self._handler(op.op)
+        tup = ", ".join(srcs)
+        if srcs:
+            tup += ","
+        self.w("try:")
+        with self.block():
+            self.w(f"_v, _ca, _ov = {handler}(({tup}), "
+                   f"{op.imm!r}, {op.ca_step!r})")
+        self.w("except _BaseArchFault as _bf:")
+        with self.block():
+            self.w(f"raise _PreciseFault(_bf, {op.base_pc})")
+        if op.dest is not None:
+            self._write_result_plain(op.dest, "_v")
+            self.w("if _ca is not None:")
+            with self.block():
+                self.w("state.ca = _ca")
+            self.w("if _ov is not None:")
+            with self.block():
+                self.w("state.ov = _ov")
+                self.w("if _ov:")
+                with self.block():
+                    self.w("state.so = 1")
+        self._completes_tail(op)
+
+    # .. commit .............................................................
+
+    def _emit_commit(self, op: Operation) -> None:
+        if not op.srcs:
+            raise CodegenError("commit without source")
+        src = op.srcs[0]
+        if op.dest is None:
+            raise CodegenError("commit without destination")
+        self._tag_guard([src], op.base_pc)
+        self.w("_n_commits += 1")
+        if op.discharges is not None and self.has_out:
+            self.w(f"_outstanding.pop({op.discharges}, None)")
+        if self.has_ext and self._is_scratch(src):
+            self.w(f"_e = _ext.get({src})")
+            self.w("if _e is not None:")
+            with self.block():
+                self.w("if _e[0] is not None:")
+                with self.block():
+                    self.w("state.ca = _e[0]")
+                self.w("if _e[1] is not None:")
+                with self.block():
+                    self.w("state.ov = _e[1]")
+                    self.w("if _e[1]:")
+                    with self.block():
+                        self.w("state.so = 1")
+        self._write_result_plain(op.dest, self._read(src))
+        self._completes_tail(op)
+
+    # .. memory .............................................................
+
+    def _addr_expr(self, op: Operation) -> str:
+        srcs = [self._read(i) for i in op.srcs]
+        imm = op.imm or 0
+        terms = " + ".join(srcs) if srcs else "0"
+        return f"({terms} + {imm}) & 0xFFFFFFFF"
+
+    def _emit_mem_access(self, op: Operation, is_store: bool) -> None:
+        """translate + cache charge + access, inside an open try block."""
+        width = _engine._MEM_WIDTH[op.op]
+        self.uses.update(("mmu", "mem"))
+        flag = "True" if is_store else "False"
+        self.w(f"_p = _mmu.translate_data(_a, {flag})")
+        self.w("if _caches is not None:")
+        with self.block():
+            self.w(f"_stall += _caches.access_data(_p, {width}, {flag})")
+        if is_store:
+            self.w(f"_mem.{_MEM_WRITE[width]}(_p, _v)")
+        else:
+            self.w(f"_v = _mem.{_MEM_READ[width]}(_p)")
+
+    def _emit_load(self, op: Operation) -> None:
+        width = _engine._MEM_WIDTH[op.op]
+        if op.speculative:
+            opened = self._propagate_open(op)
+            if opened:
+                self.depth += 1
+            self.w(f"_a = {self._addr_expr(op)}")
+            self.w("try:")
+            with self.block():
+                self._emit_mem_access(op, is_store=False)
+            self.w("except _BaseArchFault as _bf:")
+            with self.block():
+                self.w("_n_spec += 1")
+                self.w("_n_loads += 1")
+                self.w(f"_tags[{op.dest}] = _bf")
+            self.w("else:")
+            with self.block():
+                self.w("_n_loads += 1")
+                self.w(f"_outstanding[{op.seq}] = (_a, {width})")
+                self.w("_n_spec += 1")
+                self._write_result_spec(op.dest, "_v", None)
+                self._completes_tail(op)
+            if opened:
+                self.depth -= 1
+            return
+        self._tag_guard(op.srcs, op.base_pc)
+        self.w(f"_a = {self._addr_expr(op)}")
+        self.w("try:")
+        with self.block():
+            self._emit_mem_access(op, is_store=False)
+        self.w("except _BaseArchFault as _bf:")
+        with self.block():
+            self.w(f"raise _PreciseFault(_bf, {op.base_pc})")
+        self.w("_n_loads += 1")
+        if op.dest is not None:
+            self._write_result_plain(op.dest, "_v")
+        self._completes_tail(op)
+
+    def _emit_store(self, op: Operation) -> None:
+        if op.value_src is None:
+            raise CodegenError("store without value source")
+        width = _engine._MEM_WIDTH[op.op]
+        resume = op.base_pc + 4 if op.completes else op.base_pc
+        self._tag_guard(op.srcs, op.base_pc)
+        self.w(f"_a = {self._addr_expr(op)}")
+        self._tag_guard([op.value_src], op.base_pc)
+        self.w(f"_v = {self._read(op.value_src)}")
+        if self.has_out:
+            # Alias check against younger outstanding speculative loads:
+            # the older store wins, all speculative work is discarded,
+            # execution resumes after the store (Table 5.7).
+            self.uses.add("sink")
+            self.w("if _outstanding:")
+            with self.block():
+                self.w("for _seq, _ld in _outstanding.items():")
+                with self.block():
+                    self.w(f"if _seq > {op.seq} and _a < _ld[0] + _ld[1]"
+                           f" and _ld[0] < _a + {width}:")
+                    with self.block():
+                        self.w("_n_alias += 1")
+                        self.w("if _sink is not None:")
+                        with self.block():
+                            self.w("_sink(_ALIAS_RECOVERY)")
+                        self.w("try:")
+                        with self.block():
+                            self._emit_mem_access(op, is_store=True)
+                        self.w("except _BaseArchFault as _bf:")
+                        with self.block():
+                            self.w(f"raise _PreciseFault(_bf, "
+                                   f"{op.base_pc})")
+                        self.w("_n_stores += 1")
+                        if op.completes:
+                            self.w("_n_completed += 1")
+                        self.w("engine.translation_invalidated = False")
+                        self.w(f"raise _AliasRecovery({resume})")
+        self.w("try:")
+        with self.block():
+            self._emit_mem_access(op, is_store=True)
+        self.w("except _BaseArchFault as _bf:")
+        with self.block():
+            self.w(f"raise _PreciseFault(_bf, {op.base_pc})")
+        self.w("_n_stores += 1")
+        self._completes_tail(op)
+        # A store into a translated page fires the SMC hook mid-store;
+        # the flag must be re-read from the engine after every store.
+        self.w("if engine.translation_invalidated:")
+        with self.block():
+            self.w("engine.translation_invalidated = False")
+            self.w(f"_ret = _EngineExit(_R_RETRANSLATE, {resume})")
+            self.w("break")
+
+    # .. system .............................................................
+
+    def _emit_service(self, op: Operation) -> None:
+        self.uses.add("services")
+        self.w("try:")
+        with self.block():
+            self.w("if _services is None:")
+            with self.block():
+                self.w("raise _SystemCallFault()")
+            self.w("_services(state)")
+        self.w("except _BaseArchFault as _bf:")
+        with self.block():
+            self.w(f"raise _PreciseFault(_bf, {op.base_pc})")
+        self._completes_tail(op)
+
+    def _emit_trap(self, op: Operation, style: str) -> None:
+        if style == "trap_priv":
+            self.w("if not state.is_supervisor():")
+            with self.block():
+                self.w(f"raise _PreciseFault(_ProgramFault({op.base_pc},"
+                       f" 'privileged operation'), {op.base_pc})")
+            self._completes_tail(op)
+        else:
+            self.w(f"raise _PreciseFault(_ProgramFault({op.base_pc}, "
+                   f"'illegal instruction'), {op.base_pc})")
+
+    # -- tests, leaves, exits ----------------------------------------------
+
+    def _test_expr(self, test) -> str:
+        kind = test.kind
+        if kind is TestKind.CR_TRUE:
+            return (f"(({self._read(test.crf_reg)} >> {3 - test.bit})"
+                    f" & 1) == 1")
+        if kind is TestKind.CR_FALSE:
+            return (f"(({self._read(test.crf_reg)} >> {3 - test.bit})"
+                    f" & 1) == 0")
+        if kind is TestKind.REG_NZ:
+            return f"{self._read(test.reg)} != 0"
+        if kind is TestKind.REG_Z:
+            return f"{self._read(test.reg)} == 0"
+        if kind is TestKind.REG_NZ_CR_TRUE:
+            return (f"{self._read(test.reg)} != 0 and "
+                    f"(({self._read(test.crf_reg)} >> {3 - test.bit})"
+                    f" & 1) == 1")
+        if kind is TestKind.REG_NZ_CR_FALSE:
+            return (f"{self._read(test.reg)} != 0 and "
+                    f"(({self._read(test.crf_reg)} >> {3 - test.bit})"
+                    f" & 1) == 0")
+        raise CodegenError(f"unknown test kind {kind}")
+
+    def _emit_tree(self, vliw, tip: Tip, path: List[Tip]) -> None:
+        path = path + [tip]
+        if tip.test is None:
+            self._emit_leaf(vliw, path)
+            return
+        self.w(f"if {self._test_expr(tip.test)}:")
+        with self.block():
+            self._emit_tree(vliw, tip.taken, path)
+        self.w("else:")
+        with self.block():
+            self._emit_tree(vliw, tip.fall, path)
+
+    def _emit_leaf(self, vliw, path: List[Tip]) -> None:
+        self._leaf_total += 1
+        if self._leaf_total > MAX_LEAVES_PER_GROUP:
+            raise CodegenError("too many leaves in group")
+        name = f"_T{self._route_count}"
+        self._route_count += 1
+        self.ns[name] = (vliw, list(path))
+        self.w(f"_ra({name})")
+        parcels = sum(tip.route_parcels() for tip in path)
+        self.hist_counts.add(parcels)
+        self.w(f"_hc{parcels} += 1")
+        for tip in path:
+            for op in tip.ops:
+                self.emit_op(op)
+            if tip.test is not None:
+                # The split completes its conditional-branch instruction.
+                self.w("_n_completed += 1")
+                self.w("_partial = False")
+        exit_ = path[-1].exit
+        if exit_ is None:
+            raise CodegenError("route without exit")
+        self._emit_exit(exit_)
+
+    def _emit_exit(self, exit_) -> None:
+        if exit_.kind is ExitKind.GOTO:
+            block = self._block_of.get(id(exit_.vliw))
+            if block is None:
+                raise CodegenError("GOTO target outside group")
+            self.w(f"_b = {block}")
+            self.w("continue")
+            return
+        self.w("_partial = False")
+        if exit_.completes:
+            self.w("_n_completed += 1")
+        if exit_.kind is ExitKind.OFFPAGE:
+            self.w(f"_ret = _EngineExit(_R_OFFPAGE, {exit_.target})")
+        elif exit_.kind is ExitKind.ENTRY:
+            self.w(f"_ret = _EngineExit(_R_ENTRY, {exit_.target})")
+        elif exit_.kind is ExitKind.SC:
+            self.w(f"_ret = _EngineExit(_R_SC, {exit_.target})")
+        elif exit_.kind is ExitKind.INDIRECT:
+            self._tag_guard([exit_.via], exit_.base_pc)
+            self.w(f"_ret = _EngineExit(_R_INDIRECT, "
+                   f"{self._read(exit_.via)} & -4, {exit_.flavor!r})")
+        else:
+            raise CodegenError(f"unknown exit kind {exit_.kind}")
+        self.w("break")
+
+    # -- the function -------------------------------------------------------
+
+    def _emit_vliw_block(self, position: int, vliw) -> None:
+        kw = "if" if position == 0 else "elif"
+        self.w(f"{kw} _b == {position}:")
+        with self.block():
+            leaves = sum(1 for tip in vliw.all_tips()
+                         if tip.test is None)
+            if leaves > MAX_LEAVES_PER_VLIW:
+                raise CodegenError("too many leaves in VLIW")
+            # External interrupts are gated on MSR.EE and deferred past
+            # partially-committed instructions (engine.run_group).
+            self.w(f"if _ip is not None and (state.msr & {MSR_EE}) "
+                   f"and not _partial and _ip():")
+            with self.block():
+                self.w(f"_ret = _EngineExit(_R_INTERRUPT, "
+                       f"{vliw.entry_base_pc})")
+                self.w("break")
+            self.w("_n_vliws += 1")
+            self.w("if _caches is not None:")
+            with self.block():
+                self.w(f"_stall += _caches.access_instruction("
+                       f"{vliw.address}, {vliw.size_bytes()})")
+            self._emit_tree(vliw, vliw.root, [])
+
+    def emit(self) -> Tuple[str, Dict[str, object]]:
+        group = self.group
+        body: List[str] = []
+        self.lines = body
+        self.depth = 2
+        self.w("_b = 0")
+        self.w("while True:")
+        with self.block():
+            for position, vliw in enumerate(group.vliws):
+                self._emit_vliw_block(position, vliw)
+            self.w("else:")
+            with self.block():
+                self.w("raise _SimulationError("
+                       "'compiled group: unknown block')")
+
+        # Assemble prologue / epilogue now that usage is known.
+        head: List[str] = []
+        self.lines = head
+        self.depth = 1
+        self.w("xregs = engine.xregs")
+        self.w("state = xregs.state")
+        if "gpr" in self.uses:
+            self.w("_gpr = state.gpr")
+        if "cr" in self.uses:
+            self.w("_cr = state.cr")
+        if "fpr" in self.uses:
+            self.w("_fpr = state.fpr")
+        if "mmu" in self.uses:
+            self.w("_mmu = engine.mmu")
+        if "mem" in self.uses:
+            self.w("_mem = engine.memory")
+        self.w("_caches = engine.caches")
+        self.w("_ip = engine.interrupt_pending")
+        if "services" in self.uses:
+            self.w("_services = engine.services")
+        if "sink" in self.uses:
+            self.w("_sink = engine.event_sink")
+        self.w("_partial = engine._partial_instruction")
+        self.w("_route = []")
+        self.w("_ra = _route.append")
+        self.w("engine.last_route = _route")
+        if self.has_tags:
+            self.w("_tags = {}")
+        if self.has_ext:
+            self.w("_ext = {}")
+        if self.has_out:
+            self.w("_outstanding = {}")
+        for index in sorted(self.scratch_used):
+            init = "0.0" if self.scratch_used[index] else "0"
+            self.w(f"x{index} = {init}")
+        self.w("_n_vliws = 0")
+        self.w("_n_completed = 0")
+        self.w("_stall = 0")
+        if self.has_loads:
+            self.w("_n_loads = 0")
+        if self.has_stores:
+            self.w("_n_stores = 0")
+        if self.has_stores and self.has_out:
+            self.w("_n_alias = 0")
+        if self.has_spec:
+            self.w("_n_spec = 0")
+        if self.has_commits:
+            self.w("_n_commits = 0")
+        for parcels in sorted(self.hist_counts):
+            self.w(f"_hc{parcels} = 0")
+        self.w("_ret = None")
+        self.w("try:")
+
+        tail: List[str] = []
+        self.lines = tail
+        self.depth = 1
+        self.w("except _AliasRecovery as _ar:")
+        with self.block():
+            self.w("_ret = _EngineExit(_R_ALIAS, _ar.resume)")
+        self.w("finally:")
+        with self.block():
+            self.w("_st = engine.stats")
+            self.w("_st.vliws += _n_vliws")
+            self.w("_st.completed += _n_completed")
+            self.w("_st.stall_cycles += _stall")
+            if self.has_loads:
+                self.w("_st.loads += _n_loads")
+            if self.has_stores:
+                self.w("_st.stores += _n_stores")
+            if self.has_stores and self.has_out:
+                self.w("_st.alias_events += _n_alias")
+            if self.has_spec:
+                self.w("_st.speculative_ops += _n_spec")
+            if self.has_commits:
+                self.w("_st.commits += _n_commits")
+            if self.hist_counts:
+                self.w("_hg = _st.parcel_histogram")
+                for parcels in sorted(self.hist_counts):
+                    self.w(f"if _hc{parcels}:")
+                    with self.block():
+                        self.w(f"_hg[{parcels}] = _hg.get({parcels}, 0)"
+                               f" + _hc{parcels}")
+            self.w("engine._partial_instruction = _partial")
+        self.w("return _ret")
+
+        source_lines = [
+            f"# compiled tree-VLIW group, entry {group.entry_pc:#x}",
+            f"def {ENTRY_NAME}(engine, group):",
+            *head,
+            *body,
+            *tail,
+            "",
+        ]
+        ns = {
+            "_EngineExit": EngineExit,
+            "_R_OFFPAGE": ExitReason.OFFPAGE,
+            "_R_ENTRY": ExitReason.ENTRY,
+            "_R_SC": ExitReason.SC,
+            "_R_INDIRECT": ExitReason.INDIRECT,
+            "_R_ALIAS": ExitReason.ALIAS,
+            "_R_RETRANSLATE": ExitReason.RETRANSLATE,
+            "_R_INTERRUPT": ExitReason.INTERRUPT,
+            "_PreciseFault": PreciseFault,
+            "_BaseArchFault": BaseArchFault,
+            "_SystemCallFault": SystemCallFault,
+            "_ProgramFault": ProgramFault,
+            "_AliasRecovery": _AliasRecovery,
+            "_ALIAS_RECOVERY": ALIAS_RECOVERY,
+            "_SimulationError": SimulationError,
+            "_s32": s32,
+            "_cmp_field": _engine._cmp_field,
+        }
+        ns.update(self.ns)
+        return "\n".join(source_lines), ns
+
+
+def emit_group(group: VliwGroup) -> Tuple[str, Dict[str, object]]:
+    """Emit Python source and its exec namespace for ``group``.
+
+    Raises :class:`CodegenError` for unsupported shapes.  Deterministic:
+    the same group content always yields the same source text."""
+    return _Emitter(group).emit()
+
+
+# ---------------------------------------------------------------------------
+# Compiled artifact
+# ---------------------------------------------------------------------------
+
+#: Process-wide memo of compiled code objects, keyed by source text —
+#: identical groups on different pages (or across runs) share one
+#: ``compile()``.  Bounded: cleared wholesale past the cap.
+_CODE_MEMO: Dict[str, object] = {}
+_CODE_MEMO_CAP = 4096
+
+
+def _code_for(source: str):
+    code = _CODE_MEMO.get(source)
+    if code is None:
+        if len(_CODE_MEMO) >= _CODE_MEMO_CAP:
+            _CODE_MEMO.clear()
+        code = compile(source, "<vliw-codegen>", "exec")
+        _CODE_MEMO[source] = code
+    return code
+
+
+class CompiledGroup:
+    """The codegen artifact attached to a :class:`VliwGroup`.
+
+    Only ``source`` (content-keyed by sha256) survives pickling — code
+    and function objects do not pickle, and the namespace holds live
+    tree objects anyway.  After a restore, :meth:`bind` re-emits from
+    the group, *verifies the source matches byte-for-byte* (a stale
+    artifact on changed content is a correctness bug, not a cache miss),
+    and rebuilds the function."""
+
+    __slots__ = ("source", "key", "entry_pc", "fn")
+
+    def __init__(self, source: str, entry_pc: int):
+        self.source = source
+        self.key = hashlib.sha256(source.encode()).hexdigest()
+        self.entry_pc = entry_pc
+        self.fn = None
+
+    def bind(self, group: VliwGroup):
+        """(Re)build the callable for ``group``; returns it."""
+        source, ns = emit_group(group)
+        if source != self.source:
+            raise CodegenError(
+                f"group {self.entry_pc:#x}: content changed since "
+                f"source was emitted")
+        return self._bind_with(ns)
+
+    def _bind_with(self, ns: Dict[str, object]):
+        code = _code_for(self.source)
+        exec(code, ns)
+        self.fn = ns[ENTRY_NAME]
+        return self.fn
+
+    def __getstate__(self):
+        return (self.source, self.key, self.entry_pc)
+
+    def __setstate__(self, state):
+        self.source, self.key, self.entry_pc = state
+        self.fn = None
+
+    def __repr__(self):
+        return (f"CompiledGroup(entry={self.entry_pc:#x}, "
+                f"key={self.key[:12]}, "
+                f"{'bound' if self.fn is not None else 'unbound'})")
+
+
+def compile_group(group: VliwGroup) -> CompiledGroup:
+    """Emit, ``compile()`` and bind ``group``'s executable artifact.
+
+    Raises :class:`CodegenError` when the group cannot be compiled; the
+    caller (``DaisySystem._compile_pending``) records the failure and
+    leaves the group on the bound path."""
+    source, ns = emit_group(group)
+    compiled = CompiledGroup(source, group.entry_pc)
+    compiled._bind_with(ns)
+    return compiled

@@ -37,6 +37,7 @@ from repro.runtime.events import (
     ALIAS_RECOVERY,
     CROSS_PAGE_DIRECT,
     CommitPoint,
+    CrossPage,
     EventBus,
 )
 from repro.vliw.registers import ExtendedRegisters, TaggedRegisterFault
@@ -177,8 +178,49 @@ class PreciseFault(Exception):
         self.base_pc = base_pc
 
 
+class BoundExecutor:
+    """PR-4 execution path: walk the tree with pre-bound per-parcel
+    executors.  Kept as the universal fallback (hand-built groups,
+    codegen failures, parallel-semantics checking) and as the
+    differential oracle the compiled path is tested against."""
+
+    name = "bound"
+
+    def run_group(self, engine: "VliwEngine", group: VliwGroup) -> "EngineExit":
+        return engine._run_group_bound(group)
+
+
+class CompiledExecutor:
+    """Translation-time codegen path: run the Python function
+    :mod:`repro.vliw.codegen` emitted for the group.
+
+    Falls back to the bound path when the group has no compiled
+    artifact (hand-built groups, codegen failures recorded by the VMM)
+    or when parallel-semantics checking is enabled — the checker
+    instruments the generic walk, which compiled code bypasses."""
+
+    name = "compiled"
+
+    def run_group(self, engine: "VliwEngine", group: VliwGroup) -> "EngineExit":
+        compiled = group.compiled
+        if compiled is None or engine.check_parallel_semantics:
+            return engine._run_group_bound(group)
+        fn = compiled.fn
+        if fn is None:
+            # Restored from the persistence store: only source survives
+            # pickling; rebind (and revalidate) on first execution.
+            fn = compiled.bind(group)
+        return fn(engine, group)
+
+
 class VliwEngine:
-    """Executes VLIW groups against shared machine state."""
+    """Executes VLIW groups against shared machine state.
+
+    ``run_group`` / ``run_chained`` are thin dispatchers over an
+    executor strategy object (:class:`BoundExecutor` /
+    :class:`CompiledExecutor`) — the VMM selects one per its
+    ``exec_mode`` knob; both produce bit-identical architected state,
+    statistics and cycle counts."""
 
     def __init__(self, xregs: ExtendedRegisters, memory: PhysicalMemory,
                  mmu: Mmu, services=None, cache_hierarchy=None,
@@ -211,11 +253,19 @@ class VliwEngine:
         self._partial_instruction = False
         #: Route of the most recent VLIW executed (for the backmapper).
         self.last_route: List[Tuple[TreeVliw, List[Tip]]] = []
+        #: Execution strategy; the VMM swaps in a BoundExecutor when
+        #: built with ``exec_mode="bound"``.
+        self.executor = CompiledExecutor()
 
     # ------------------------------------------------------------------
 
     def run_group(self, group: VliwGroup) -> EngineExit:
-        """Execute ``group`` from its entry until it exits."""
+        """Execute ``group`` from its entry until it exits, via the
+        configured executor."""
+        return self.executor.run_group(self, group)
+
+    def _run_group_bound(self, group: VliwGroup) -> EngineExit:
+        """The bound (interpreting) execution path."""
         self._outstanding.clear()
         self.last_route = []
         vliw = group.entry_vliw
@@ -269,38 +319,73 @@ class VliwEngine:
         if not chain.enabled:
             return self.run_group(group)
         state = self.xregs.state
-        while True:
-            engine_exit = self.run_group(group)
-            if engine_exit.reason not in CHAINABLE_EXITS:
-                return engine_exit
-            links = group.links
-            link = None if links is None else links.get(engine_exit.target)
-            if link is None:
-                chain.misses += 1
-                return engine_exit
-            if link.epoch != chain.epoch or \
-                    link.mode != (1 if self.mmu.relocation_on else 0):
-                del links[engine_exit.target]
-                chain.misses += 1
-                return engine_exit
-            if self.stats.vliws > max_vliws:
-                # Over budget: let the VMM's loop head raise.
-                return engine_exit
-            if engine_exit.reason is ExitReason.OFFPAGE:
-                bus.publish(CROSS_PAGE_DIRECT)
-                self.stats.stall_cycles += chain.crosspage_extra_cycles
-            chain.hits += 1
-            if chain.on_enter_page is not None:
-                chain.on_enter_page(link.page_paddr)
-            state.pc = engine_exit.target
-            if bus.wants(CommitPoint):
-                bus.publish(CommitPoint(pc=engine_exit.target,
-                                        completed=self.stats.completed))
-                if link.epoch != chain.epoch:
-                    chain.breaks += 1
-                    return EngineExit(ExitReason.CHAIN_BREAK,
-                                      engine_exit.target)
-            group = link.group
+        # The follow loop is the hottest dispatch path in the system:
+        # resolve the executor, stats object, bus methods, and the
+        # chainable exit reasons once per episode, not per follow, and
+        # test reasons by identity (enum hashing is a Python-level
+        # call).  Epoch and relocation mode are deliberately re-read
+        # every follow — both can change mid-episode.
+        run_group = self.executor.run_group
+        stats = self.stats
+        publish = bus.publish
+        # The bus's wants- and chain-cache dicts are documented for
+        # exactly this per-iteration re-check; going through them
+        # directly skips a Python-level call per follow.  Both dicts
+        # are mutated (never replaced) on (un)subscribe, so a fresh
+        # ``get`` per follow always sees the live subscription state.
+        wants = bus._wants.get
+        chains = bus._chains.get
+        mmu = self.mmu
+        offpage = ExitReason.OFFPAGE
+        entry = ExitReason.ENTRY
+        sc = ExitReason.SC
+        crosspage_extra = chain.crosspage_extra_cycles
+        hits = 0
+        try:
+            while True:
+                engine_exit = run_group(self, group)
+                reason = engine_exit.reason
+                if reason is not offpage and reason is not entry \
+                        and reason is not sc:          # CHAINABLE_EXITS
+                    return engine_exit
+                links = group.links
+                link = None if links is None \
+                    else links.get(engine_exit.target)
+                if link is None:
+                    chain.misses += 1
+                    return engine_exit
+                if link.epoch != chain.epoch or \
+                        link.mode != (1 if mmu.relocation_on else 0):
+                    del links[engine_exit.target]
+                    chain.misses += 1
+                    return engine_exit
+                if stats.vliws > max_vliws:
+                    # Over budget: let the VMM's loop head raise.
+                    return engine_exit
+                if reason is offpage:
+                    handlers = chains(CrossPage)
+                    if handlers is None:
+                        publish(CROSS_PAGE_DIRECT)
+                    else:
+                        for handler in handlers:
+                            handler(CROSS_PAGE_DIRECT)
+                    stats.stall_cycles += crosspage_extra
+                hits += 1
+                if chain.on_enter_page is not None:
+                    chain.on_enter_page(link.page_paddr)
+                state.pc = engine_exit.target
+                if wants(CommitPoint):
+                    publish(CommitPoint(pc=engine_exit.target,
+                                        completed=stats.completed))
+                    if link.epoch != chain.epoch:
+                        chain.breaks += 1
+                        return EngineExit(ExitReason.CHAIN_BREAK,
+                                          engine_exit.target)
+                group = link.group
+        finally:
+            # Follow counts are only *read* after the episode returns
+            # (to_dict / hit ratio), so they accumulate in a local.
+            chain.hits += hits
 
     # ------------------------------------------------------------------
 

@@ -306,6 +306,18 @@ class VliwGroup:
     #: epoch on every engine-side follow.  ``None`` until the first
     #: link, so groups that never chain pay nothing.
     links: Optional[dict] = field(default=None, repr=False, compare=False)
+    #: Codegen artifact (:class:`repro.vliw.codegen.CompiledGroup`) or
+    #: ``None`` while the group runs on the bound path.  Attached by the
+    #: VMM after verification; the artifact pickles as source only and
+    #: rebinds lazily.
+    compiled: Optional[object] = field(default=None, repr=False,
+                                       compare=False)
+    #: Set when codegen failed for this group (the VMM falls back to the
+    #: bound executor and does not retry).
+    codegen_failed: bool = field(default=False, repr=False, compare=False)
+    #: Set when the static verifier reported violations: a dirty group
+    #: must never be compiled (verify-before-codegen discipline).
+    verify_dirty: bool = field(default=False, repr=False, compare=False)
 
     def __getstate__(self):
         """Links are run-local (they snapshot a chain epoch); persisted

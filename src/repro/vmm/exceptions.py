@@ -68,9 +68,11 @@ class VmmEventCounts:
         bus.subscribe(ExternalInterrupt, bump("external_interrupts"))
         bus.subscribe(FaultDelivered, bump("faults_delivered"))
 
-        def on_crosspage(event, _self=self):
-            _self.crosspage[event.flavor] = \
-                _self.crosspage.get(event.flavor, 0) + 1
+        crosspage = self.crosspage
+
+        def on_crosspage(event):
+            flavor = event.flavor
+            crosspage[flavor] = crosspage.get(flavor, 0) + 1
 
         bus.subscribe(CrossPage, on_crosspage)
         return self

@@ -31,6 +31,7 @@ from repro.faults import (
     VerifyError,
     VmmError,
 )
+from repro.isa.encoding import decode
 from repro.isa.services import EmulatorServices
 from repro.isa.state import CpuState, MSR_PR
 from repro.memory.memory import PhysicalMemory
@@ -38,14 +39,17 @@ from repro.memory.mmu import Mmu
 from repro.runtime.events import (
     AliasRecovery,
     Castout,
+    CodegenAbort,
     CodeModification,
     CommitPoint,
     CrossPage,
+    DecodeCacheSampled,
     EntryTranslated,
     EventBus,
     EventCounters,
     ExternalInterrupt,
     FaultDelivered,
+    GroupCompiled,
     InterpretedEpisode,
     InvalidEntry,
     ItlbFlush,
@@ -64,10 +68,13 @@ from repro.runtime.profiling import PerfTrace
 from repro.runtime.result import CacheSnapshot
 from repro.runtime.tiers import PageWatchdog, RecoveryPolicy, TieredController
 from repro.verify import GroupVerifier, MEMO as VERIFY_MEMO, resolve_mode
+from repro.vliw.codegen import compile_group
 from repro.vliw.engine import (
     CHAINABLE_EXITS,
+    BoundExecutor,
     ChainLink,
     ChainRuntime,
+    CompiledExecutor,
     EngineExit,
     ExitReason,
     PreciseFault,
@@ -82,6 +89,13 @@ from repro.vmm.itlb import Itlb
 from repro.vmm.page_cache import TranslationCache
 
 EXTERNAL_INTERRUPT_VECTOR = 0x500
+
+#: Execution modes over translated groups (docs/performance.md):
+#: ``"compiled"`` dispatches each group into its translation-time
+#: Python artifact (falling back per group when codegen declined);
+#: ``"bound"`` is the PR-4 pre-bound per-parcel path, kept as the
+#: always-correct differential oracle.
+EXEC_MODES = ("bound", "compiled")
 
 
 @dataclass
@@ -140,6 +154,16 @@ class DaisyRunResult:
     chain_misses: int = 0
     chain_invalidations: int = 0
     chain_breaks: int = 0
+    #: Translation-time codegen accounting (docs/performance.md): the
+    #: executor that ran the groups, groups given compiled artifacts,
+    #: and emits that declined (those groups run bound forever).
+    exec_mode: str = "compiled"
+    groups_compiled: int = 0
+    codegen_aborts: int = 0
+    #: ``isa.encoding.decode`` memo traffic attributable to this run
+    #: (deltas of the process-wide bounded cache).
+    decode_hits: int = 0
+    decode_misses: int = 0
 
     @property
     def mean_parcels_per_vliw(self) -> float:
@@ -180,6 +204,7 @@ class DaisySystem:
                  bus: Optional[EventBus] = None,
                  recovery: Optional[RecoveryPolicy] = None,
                  chaining: bool = True,
+                 exec_mode: str = "compiled",
                  verify_translations=None):
         """``strategy`` selects Chapter 3's translated-code mapping:
 
@@ -225,6 +250,18 @@ class DaisySystem:
         3.1).  Links are invalidated wholesale on every event that can
         change what a base pc maps to (docs/performance.md).
 
+        ``exec_mode`` selects how translated groups execute
+        (:data:`EXEC_MODES`): ``"compiled"`` (the default) emits and
+        ``compile()``s real Python source per verified group at
+        translation time and dispatches straight into it; ``"bound"``
+        keeps every group on the PR-4 pre-bound per-parcel path.  The
+        two are bit-for-bit equivalent — compiled groups whose emit
+        fails (or whose verification reported violations) fall back to
+        the bound path individually, and the failure is published as a
+        :class:`~repro.runtime.events.CodegenAbort` rather than raised
+        (the same degrade-don't-crash contract as the translation
+        sandbox).
+
         ``verify_translations`` selects the static-verification mode
         (:mod:`repro.verify`, docs/verification.md): every emitted
         group is invariant-checked before control enters it.  ``None``
@@ -236,6 +273,10 @@ class DaisySystem:
         """
         if strategy not in ("expansion", "hash"):
             raise ValueError(f"unknown translation strategy {strategy!r}")
+        if exec_mode not in EXEC_MODES:
+            raise ValueError(f"unknown exec mode {exec_mode!r} "
+                             f"(choose from {EXEC_MODES})")
+        self.exec_mode = exec_mode
         self.config = config or MachineConfig.default()
         self.options = options or TranslationOptions()
         self.memory = PhysicalMemory(size=memory_size,
@@ -273,6 +314,8 @@ class DaisySystem:
                                  cache_hierarchy=cache_hierarchy,
                                  interrupt_pending=self._interrupt_pending,
                                  event_sink=self.bus.publish)
+        self.engine.executor = CompiledExecutor() \
+            if exec_mode == "compiled" else BoundExecutor()
         self.cache_hierarchy = cache_hierarchy
         if cache_hierarchy is not None:
             cache_hierarchy.event_sink = self.bus.publish
@@ -403,8 +446,13 @@ class DaisySystem:
                 vliw_index=violation.vliw_index,
                 base_pc=violation.base_pc or 0,
                 detail=violation.message))
-        if check.violations and self.verify_mode == "strict":
-            raise VerifyError(check.violations)
+        if check.violations:
+            # A group that failed its invariant check is never fed to
+            # codegen: in report mode it keeps running — on the bound
+            # oracle path, where every parcel stays inspectable.
+            group.verify_dirty = True
+            if self.verify_mode == "strict":
+                raise VerifyError(check.violations)
 
     def _verify_memo_key(self, group) -> Optional[tuple]:
         """Memo key for :data:`repro.verify.MEMO`: the exact inputs
@@ -505,6 +553,7 @@ class DaisySystem:
             self.itlb.insert(mode, vpage, translation)
             if created:
                 group = translation.group_at(pc % page_size)
+                self._compile_pending(translation)
                 self._current_page_paddr = translation.page_paddr
                 return group, translation
 
@@ -522,8 +571,50 @@ class DaisySystem:
                     perf.translate += perf.clock() - started
             self._account_reservation(translation)
             self.translation_cache.touch_size(translation)
+        self._compile_pending(translation)
         self._current_page_paddr = translation.page_paddr
         return group, translation
+
+    def _compile_pending(self, translation: PageTranslation) -> None:
+        """Translation-time codegen (docs/performance.md): give every
+        new group of ``translation`` its compiled Python artifact
+        before control can enter it.  O(1) when nothing changed — the
+        swept entry count is memoized on the translation.
+
+        The emit runs under the same degrade-don't-crash contract as
+        the PR-3 translation sandbox: a group whose emit declines (or
+        crashes) is marked ``codegen_failed``, a
+        :class:`~repro.runtime.events.CodegenAbort` is published, and
+        that group simply keeps executing on the bound path.  Groups
+        the PR-5 verifier flagged (``verify_dirty``) are skipped the
+        same way — only clean groups are compiled."""
+        entries = translation.entries
+        if self.exec_mode != "compiled" \
+                or translation.codegen_seen == len(entries):
+            return
+        perf = self.perf
+        started = perf.clock() if perf is not None else 0.0
+        try:
+            for group in entries.values():
+                if group.compiled is not None or group.codegen_failed \
+                        or group.verify_dirty:
+                    continue
+                try:
+                    compiled = compile_group(group)
+                except Exception as error:   # noqa: BLE001 - sandboxed
+                    group.codegen_failed = True
+                    self.bus.publish(CodegenAbort(
+                        pc=group.entry_pc,
+                        error=type(error).__name__))
+                    continue
+                group.compiled = compiled
+                self.bus.publish(GroupCompiled(
+                    pc=group.entry_pc, vliws=len(group.vliws),
+                    source_bytes=len(compiled.source)))
+            translation.codegen_seen = len(entries)
+        finally:
+            if perf is not None:
+                perf.codegen += perf.clock() - started
 
     def _allocate_code_base(self, page_paddr: int) -> int:
         """Where this page's translation lives in VLIW memory."""
@@ -598,6 +689,10 @@ class DaisySystem:
         chain = self.chain
         perf = self.perf
         run_started = perf.clock() if perf is not None else 0.0
+        # Baseline for the per-run decode-memo delta reported by _fill
+        # (the lru_cache is process-wide; the delta is this run's).
+        info = decode.cache_info()
+        self._decode_baseline = (info.hits, info.misses)
         # A chainable exit dispatched straight through becomes a link
         # candidate: (source group, its exit), consumed at the next
         # successful lookup and dropped on every diverting path.
@@ -953,6 +1048,17 @@ class DaisySystem:
     def _fill(self, result: DaisyRunResult, exit_code: int) -> None:
         stats = self.engine.stats
         counters = self.bus_counters
+        info = decode.cache_info()
+        base_hits, base_misses = getattr(self, "_decode_baseline", (0, 0))
+        self.bus.publish(DecodeCacheSampled(
+            hits=info.hits - base_hits,
+            misses=info.misses - base_misses,
+            entries=info.currsize))
+        result.decode_hits = info.hits - base_hits
+        result.decode_misses = info.misses - base_misses
+        result.exec_mode = self.exec_mode
+        result.groups_compiled = counters.count(GroupCompiled)
+        result.codegen_aborts = counters.count(CodegenAbort)
         result.exit_code = exit_code
         result.base_instructions = stats.completed
         result.vliws = stats.vliws

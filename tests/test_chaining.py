@@ -251,16 +251,32 @@ class TestProfileCli:
         assert report["chain"]["follows"] > 0
         buckets = report["perf"]["seconds"]
         assert set(buckets) == {"total", "execute", "translate",
-                                "interpret", "vmm_dispatch"}
+                                "codegen", "interpret", "vmm_dispatch"}
 
-    def test_profile_compare_reports_speedup(self, capsys):
+    def test_profile_compare_chain_axis(self, capsys):
+        from repro.cli import main
+        code = main(["profile", "hotloop", "--size", "tiny",
+                     "--compare", "chain", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["axis"] == "chain"
+        assert report["chain_off"]["chain"]["follows"] == 0
+        assert report["chain_on"]["chain"]["follows"] > 0
+        assert report["speedup"] > 0
+
+    def test_profile_compare_exec_axis_is_default(self, capsys):
+        """Bare ``--compare`` pits the compiled executor against the
+        PR-4 bound baseline, chaining on for both."""
         from repro.cli import main
         code = main(["profile", "hotloop", "--size", "tiny",
                      "--compare", "--json"])
         report = json.loads(capsys.readouterr().out)
         assert code == 0
-        assert report["chain_off"]["chain"]["follows"] == 0
-        assert report["chain_on"]["chain"]["follows"] > 0
+        assert report["axis"] == "exec"
+        assert report["bound"]["exec_mode"] == "bound"
+        assert report["compiled"]["exec_mode"] == "compiled"
+        assert report["bound"]["chain"]["follows"] > 0
+        assert report["compiled"]["chain"]["follows"] > 0
         assert report["speedup"] > 0
 
     def test_no_chain_flag(self, capsys):

@@ -1,0 +1,385 @@
+"""Translation-time Python codegen for tree-VLIW groups.
+
+The contract under test: the compiled executor is *pure mechanism* —
+architected state, statistics, cycle counts and event streams are
+bit-identical to the PR-4 bound walk (which itself equals the unchained
+walk), across clean runs, invalidation seams fired mid-run, fallback
+paths, and a derandomized fuzz sweep.  Plus the artifact story: emitted
+source is content-keyed, picklable, and lazily rebindable.
+"""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.conform import generate_case, run_fuzz_case, run_lockstep
+from repro.conform.fuzz import FuzzConfig
+from repro.runtime.events import CodegenAbort, CommitPoint, GroupCompiled
+from repro.vliw.codegen import CodegenError, CompiledGroup, compile_group
+from repro.vliw.engine import BoundExecutor, CompiledExecutor
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+SETTINGS = settings(max_examples=25, derandomize=True, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+STAT_FIELDS = ("vliws", "completed", "loads", "stores", "alias_events",
+               "stall_cycles", "speculative_ops", "commits",
+               "parcel_histogram")
+
+
+def _run(workload="hotloop", size="tiny", chaining=True, **kwargs):
+    program = build_workload(workload, size).program
+    system = DaisySystem(MachineConfig.default(), chaining=chaining,
+                         **kwargs)
+    system.load_program(program)
+    return system, system.run()
+
+
+def _stats(system):
+    stats = system.engine.stats
+    return {name: getattr(stats, name) for name in STAT_FIELDS}
+
+
+class TestCompiledParity:
+    """compiled == bound == unchained, down to the last counter."""
+
+    @pytest.mark.parametrize("workload", ["hotloop", "wc", "c_sieve",
+                                          "cmp"])
+    def test_three_way_parity(self, workload):
+        c_sys, compiled = _run(workload, exec_mode="compiled")
+        b_sys, bound = _run(workload, exec_mode="bound")
+        u_sys, unchained = _run(workload, chaining=False,
+                                exec_mode="bound")
+        assert compiled.exit_code == bound.exit_code \
+            == unchained.exit_code == 0
+        assert compiled.base_instructions == bound.base_instructions \
+            == unchained.base_instructions
+        assert compiled.cycles == bound.cycles == unchained.cycles
+        assert compiled.output == bound.output == unchained.output
+        assert c_sys.state.gpr == b_sys.state.gpr == u_sys.state.gpr
+        assert c_sys.state.cr == b_sys.state.cr
+        assert _stats(c_sys) == _stats(b_sys) == _stats(u_sys)
+        assert compiled.events.crosspage == bound.events.crosspage
+
+    def test_compiled_is_the_default_and_reports_itself(self):
+        system, result = _run("hotloop")
+        assert system.exec_mode == "compiled"
+        assert result.exec_mode == "compiled"
+        assert result.groups_compiled > 0
+        assert result.codegen_aborts == 0
+        assert isinstance(system.engine.executor, CompiledExecutor)
+
+    def test_bound_mode_compiles_nothing(self):
+        system, result = _run("hotloop", exec_mode="bound")
+        assert result.exec_mode == "bound"
+        assert result.groups_compiled == 0
+        assert isinstance(system.engine.executor, BoundExecutor)
+        for page in system.translation_cache.live_pages:
+            translation = system.translation_cache.lookup(page)
+            assert all(group.compiled is None
+                       for group in translation.entries.values())
+
+    def test_every_clean_group_gets_an_artifact(self):
+        system, result = _run("hotloop")
+        groups = [group
+                  for page in system.translation_cache.live_pages
+                  for group in system.translation_cache.lookup(page)
+                  .entries.values()]
+        assert groups
+        assert all(group.compiled is not None for group in groups)
+        assert result.groups_compiled == len(groups)
+
+    def test_rejects_unknown_exec_mode(self):
+        with pytest.raises(ValueError):
+            DaisySystem(MachineConfig.default(), exec_mode="jit")
+
+
+def _seam_lockstep(trigger, at_commits=600):
+    """Lockstep-run the hot loop *with the compiled executor*;
+    ``trigger(system)`` fires once from a commit subscriber mid-run."""
+    program = build_workload("hotloop", "tiny").program
+    holder = {}
+
+    def factory():
+        system = DaisySystem(MachineConfig.default(),
+                             exec_mode="compiled")
+        fired = []
+
+        def on_commit(event):
+            if not fired and event.completed >= at_commits:
+                fired.append(True)
+                trigger(system)
+
+        system.bus.subscribe(CommitPoint, on_commit)
+        holder["system"] = system
+        return system
+
+    result = run_lockstep(program, factory, case="codegen-seam")
+    return result, holder["system"]
+
+
+class TestInvalidationSeams:
+    """The chain-seam suite from PR-4, re-run through compiled groups:
+    retranslation must re-enter codegen and reconverge bit-for-bit."""
+
+    def test_smc_store_mid_chain(self):
+        def patch(system):
+            word = system.memory.read_word(0x2000)
+            system.memory.write_word(0x2000, word)
+
+        result, system = _seam_lockstep(patch)
+        assert not result.diverged, result.divergences[0].describe()
+        assert system.chain.invalidations >= 1
+        # The retranslated page went through codegen again.
+        assert system.bus_counters.count(GroupCompiled) > 0
+
+    def test_castout_pressure_mid_chain(self):
+        def shrink(system):
+            system.translation_cache.shrink(0)
+
+        result, system = _seam_lockstep(shrink)
+        assert not result.diverged, result.divergences[0].describe()
+        assert system.translation_cache.castouts > 0
+
+    def test_quarantine_mid_chain(self):
+        def quarantine(system):
+            system._quarantine(0x2000, reason="test")
+
+        result, system = _seam_lockstep(quarantine)
+        assert not result.diverged, result.divergences[0].describe()
+        assert system.tier_controller.is_quarantined(0x2000)
+
+
+class TestFallback:
+    """Codegen failures degrade to the bound walk — never crash, never
+    diverge (the PR-3 sandbox contract extended to the emitter)."""
+
+    def test_codegen_failure_falls_back_to_bound(self, monkeypatch):
+        import repro.vmm.system as system_module
+
+        def boom(group):
+            raise CodegenError("forced failure")
+
+        monkeypatch.setattr(system_module, "compile_group", boom)
+        system, result = _run("hotloop", exec_mode="compiled")
+        _, oracle = _run("hotloop", exec_mode="bound")
+        assert result.exit_code == 0
+        assert result.groups_compiled == 0
+        assert result.codegen_aborts > 0
+        assert system.bus_counters.count(CodegenAbort) \
+            == result.codegen_aborts
+        assert result.base_instructions == oracle.base_instructions
+        assert result.cycles == oracle.cycles
+
+    def test_failed_group_is_not_retried(self, monkeypatch):
+        import repro.vmm.system as system_module
+
+        calls = []
+
+        def boom(group):
+            calls.append(group.entry_pc)
+            raise CodegenError("forced failure")
+
+        monkeypatch.setattr(system_module, "compile_group", boom)
+        _, result = _run("hotloop", exec_mode="compiled")
+        assert result.exit_code == 0
+        # One attempt per group, not one per dispatch.
+        assert len(calls) == len(set(calls))
+
+    def test_parallel_semantics_checking_uses_bound_walk(self):
+        """The lockstep checker instruments the generic walk; compiled
+        artifacts must step aside when it is enabled."""
+        program = build_workload("hotloop", "tiny").program
+        system = DaisySystem(MachineConfig.default(),
+                             exec_mode="compiled")
+        system.engine.check_parallel_semantics = True
+        system.load_program(program)
+        result = system.run()
+        assert result.exit_code == 0
+        assert result.groups_compiled > 0   # artifacts exist, unused
+
+    def test_artifactless_group_runs_bound(self):
+        """Stripping artifacts after translation must not change the
+        outcome — CompiledExecutor degrades per group."""
+        system, first = _run("hotloop", exec_mode="compiled")
+        stripped = DaisySystem(MachineConfig.default(),
+                               exec_mode="compiled")
+        stripped.bus.subscribe(
+            GroupCompiled,
+            lambda event: _strip_artifacts(stripped))
+        stripped.load_program(
+            build_workload("hotloop", "tiny").program)
+        result = stripped.run()
+        assert result.exit_code == first.exit_code == 0
+        assert result.cycles == first.cycles
+
+
+def _strip_artifacts(system):
+    for page in system.translation_cache.live_pages:
+        translation = system.translation_cache.lookup(page)
+        for group in translation.entries.values():
+            group.compiled = None
+            group.codegen_failed = True   # keep codegen from re-running
+
+
+class TestCompiledGroupArtifact:
+    def _compiled_group(self):
+        system, _ = _run("hotloop", exec_mode="compiled")
+        for page in system.translation_cache.live_pages:
+            for group in system.translation_cache.lookup(page) \
+                    .entries.values():
+                if group.compiled is not None:
+                    return group
+        pytest.fail("no compiled group found")
+
+    def test_source_is_content_keyed(self):
+        import hashlib
+        group = self._compiled_group()
+        compiled = group.compiled
+        assert compiled.key == hashlib.sha256(
+            compiled.source.encode()).hexdigest()
+
+    def test_pickle_round_trip_and_lazy_rebind(self):
+        group = self._compiled_group()
+        compiled = group.compiled
+        assert compiled.fn is not None
+        restored = pickle.loads(pickle.dumps(compiled))
+        assert restored.fn is None          # only source survives
+        assert restored.source == compiled.source
+        assert restored.key == compiled.key
+        fn = restored.bind(group)
+        assert restored.fn is fn and callable(fn)
+
+    def test_bind_rejects_changed_content(self):
+        group = self._compiled_group()
+        stale = pickle.loads(pickle.dumps(group.compiled))
+        stale.source += "\n# tampered"
+        with pytest.raises(CodegenError):
+            stale.bind(group)
+
+    def test_recompile_is_deterministic(self):
+        group = self._compiled_group()
+        assert compile_group(group).key == group.compiled.key
+
+
+class TestCodegenCli:
+    def test_dump_json(self, capsys):
+        from repro.cli import main
+        code = main(["codegen", "hotloop", "--size", "tiny", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["groups"]
+        for entry in report["groups"]:
+            assert entry["compiled"]
+            assert "def __group_run__" in entry["source"]
+            assert len(entry["key"]) == 64
+
+    def test_dump_text_and_page_filter(self, capsys):
+        from repro.cli import main
+        code = main(["codegen", "hotloop", "--size", "tiny",
+                     "--page", "0x1000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "page 0x1000" in out and "def __group_run__" in out
+
+    def test_page_filter_miss_is_an_error(self, capsys):
+        from repro.cli import main
+        code = main(["codegen", "hotloop", "--size", "tiny",
+                     "--page", "0xdead0000"])
+        capsys.readouterr()
+        assert code == 2
+
+
+class TestRunMetadata:
+    """Execution mode and chaining ride along in every report — a
+    benchmark point is meaningless without them."""
+
+    def test_profile_json_carries_mode(self, capsys):
+        from repro.cli import main
+        code = main(["profile", "hotloop", "--size", "tiny", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["exec_mode"] == "compiled"
+        assert report["chaining"] is True
+        assert report["codegen"]["groups_compiled"] > 0
+        assert report["codegen"]["aborts"] == 0
+        assert report["perf"]["seconds"]["codegen"] >= 0
+
+    def test_profile_exec_mode_flag(self, capsys):
+        from repro.cli import main
+        code = main(["profile", "hotloop", "--size", "tiny",
+                     "--exec-mode", "bound", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["exec_mode"] == "bound"
+        assert report["codegen"]["groups_compiled"] == 0
+
+    def test_bench_rows_carry_mode(self, capsys):
+        from repro.cli import main
+        code = main(["bench", "hotloop", "--size", "tiny", "--json"])
+        rows = json.loads(capsys.readouterr().out)
+        assert code == 0
+        daisy_rows = [row for row in rows
+                      if row.get("exec_mode")]
+        assert daisy_rows
+        for row in daisy_rows:
+            assert row["exec_mode"] in ("compiled", "bound")
+            assert row["chaining"] in (True, False)
+
+    def test_decode_cache_visibility(self, capsys):
+        from repro.cli import main
+        code = main(["profile", "hotloop", "--size", "tiny", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        cache = report["decode_cache"]
+        assert cache["misses"] >= 0 and cache["hits"] >= 0
+        assert cache["entries"] >= 0
+
+    def test_run_result_samples_decode_cache(self):
+        _, result = _run("hotloop")
+        assert result.decode_hits + result.decode_misses > 0
+
+
+class TestFuzzedGroupParity:
+    """Derandomized sweep: fuzz-generated programs must conform under
+    the compiled executor exactly as under the bound oracle."""
+
+    @SETTINGS
+    @given(index=st.integers(0, 400))
+    def test_compiled_conforms_on_fuzz_corpus(self, index):
+        case = generate_case(7, index, FuzzConfig(exceptions=True))
+        result = run_fuzz_case(case, "daisy", shrink=False)
+        assert not result.diverged, result.divergences[0].describe()
+
+    @SETTINGS
+    @given(index=st.integers(0, 400))
+    def test_bound_oracle_backend_conforms(self, index):
+        case = generate_case(7, index, FuzzConfig(exceptions=True))
+        result = run_fuzz_case(case, "bound", shrink=False)
+        assert not result.diverged, result.divergences[0].describe()
+
+    @SETTINGS
+    @given(index=st.integers(0, 200))
+    def test_compiled_equals_bound_bitwise(self, index):
+        from repro.isa.assembler import Assembler
+        case = generate_case(13, index, FuzzConfig.straight_line())
+        program = Assembler().assemble(case.source)
+        systems = {}
+        for mode in ("compiled", "bound"):
+            system = DaisySystem(MachineConfig.default(),
+                                 exec_mode=mode)
+            system.load_program(program)
+            systems[mode] = (system, system.run())
+        c_sys, compiled = systems["compiled"]
+        b_sys, bound = systems["bound"]
+        assert compiled.exit_code == bound.exit_code
+        assert compiled.base_instructions == bound.base_instructions
+        assert compiled.cycles == bound.cycles
+        assert c_sys.state.gpr == b_sys.state.gpr
+        assert c_sys.state.cr == b_sys.state.cr
+        assert _stats(c_sys) == _stats(b_sys)
