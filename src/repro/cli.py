@@ -69,7 +69,9 @@ def _build_backend(args) -> DaisyBackend:
         strategy=args.strategy,
         deliver_faults=args.deliver_faults,
         chaining=not getattr(args, "no_chain", False),
-        exec_mode=getattr(args, "exec_mode", "compiled"))
+        exec_mode=getattr(args, "exec_mode", "compiled"),
+        store=getattr(args, "store", None),
+        store_mode=getattr(args, "store_mode", None))
 
 
 def _print_summary(result) -> None:
@@ -84,6 +86,11 @@ def _print_summary(result) -> None:
     print(f"entries translated:   {result.entries_translated}")
     print(f"translated code:      {result.code_bytes_generated} bytes")
     print(f"alias recoveries:     {result.alias_events}")
+    if result.store_mode != "off":
+        print(f"store ({result.store_mode}):   "
+              f"{result.store_hits} hits, {result.store_misses} misses, "
+              f"{result.store_saves} saves, "
+              f"{result.store_rejects} rejects")
     print(f"cross-page branches:  {dict(result.events.crosspage)}")
     if result.interpreted_episodes:
         print(f"interpreted:          {result.interpreted_instructions} "
@@ -205,7 +212,8 @@ def cmd_chaos(args) -> int:
         [w.strip() for w in args.workloads.split(",") if w.strip()]
     report = run_chaos(seed=args.seed, faults=args.faults,
                        workloads=workloads, backend=args.backend,
-                       size=args.size, sandbox=not args.no_sandbox)
+                       size=args.size, sandbox=not args.no_sandbox,
+                       store=args.store)
     if args.json:
         print(report.to_json())
     else:
@@ -310,7 +318,9 @@ def cmd_bench(args) -> int:
 
 
 def _profile_run(args, program, chaining: bool,
-                 exec_mode: Optional[str] = None):
+                 exec_mode: Optional[str] = None,
+                 store=None, store_mode: Optional[str] = None,
+                 repeat: Optional[int] = None):
     """Best-of-``--repeat`` timed run; returns (perf, system, result)."""
     from repro.runtime.profiling import PerfTrace
 
@@ -318,8 +328,12 @@ def _profile_run(args, program, chaining: bool,
     backend.chaining = chaining
     if exec_mode is not None:
         backend.exec_mode = exec_mode
+    if store is not None:
+        backend.store = store
+    if store_mode is not None:
+        backend.store_mode = store_mode
     best = None
-    for _ in range(max(1, args.repeat)):
+    for _ in range(max(1, repeat if repeat is not None else args.repeat)):
         system = backend.build_system()
         system.perf = PerfTrace()
         system.load_program(program)
@@ -331,11 +345,15 @@ def _profile_run(args, program, chaining: bool,
 
 
 def _profile_report(args, program, chaining: bool,
-                    exec_mode: Optional[str] = None) -> dict:
+                    exec_mode: Optional[str] = None,
+                    store=None, store_mode: Optional[str] = None,
+                    repeat: Optional[int] = None) -> dict:
     from repro.isa.encoding import decode
 
     perf, system, result = _profile_run(args, program, chaining,
-                                        exec_mode)
+                                        exec_mode, store=store,
+                                        store_mode=store_mode,
+                                        repeat=repeat)
     return {
         "exec_mode": result.exec_mode,
         "chaining": chaining,
@@ -346,6 +364,13 @@ def _profile_report(args, program, chaining: bool,
         "chain": system.chain.stats_dict(),
         "codegen": {"groups_compiled": result.groups_compiled,
                     "aborts": result.codegen_aborts},
+        # This run's persistent-store traffic (bus counters, not the
+        # shared store object's process-wide totals).
+        "store": {"mode": result.store_mode,
+                  "hits": result.store_hits,
+                  "misses": result.store_misses,
+                  "saves": result.store_saves,
+                  "rejects": result.store_rejects},
         "crack_cache": system.translator.crack_cache.stats_dict(),
         # Hits/misses are this run's traffic (bus-sampled deltas of
         # the process-wide memo); entries is the cache's population.
@@ -366,9 +391,14 @@ def _print_profile(report: dict) -> None:
     print(f"exit code:            {report['exit_code']}")
     print(f"wall time:            {seconds['total']:.4f} s")
     for bucket in ("execute", "translate", "codegen", "interpret",
-                   "vmm_dispatch"):
+                   "store", "vmm_dispatch"):
         print(f"  {bucket:19s} {seconds[bucket]:.4f} s "
               f"({shares[bucket] * 100:5.1f}%)")
+    store = report["store"]
+    if store["mode"] != "off":
+        print(f"store ({store['mode']}):   {store['hits']} hits, "
+              f"{store['misses']} misses, {store['saves']} saves, "
+              f"{store['rejects']} rejects")
     print(f"compiled groups:      {codegen['groups_compiled']} "
           f"({codegen['aborts']} codegen aborts)")
     print(f"chain links:          {chain['links_installed']} installed, "
@@ -396,6 +426,26 @@ def cmd_profile(args) -> int:
             fast = _profile_report(args, program, chaining=True)
             base_key, fast_key = "chain_off", "chain_on"
             label = "chained speedup"
+        elif args.compare == "store":
+            # The warm-start axis (docs/store.md): cold side runs once
+            # against an empty store in read-write mode (it pays
+            # translate + codegen + save); warm side replays best-of
+            # --repeat against the now-hot store.  The speedup below is
+            # over translate wall-time (translate + codegen + store
+            # buckets), not total time — the store's job is to delete
+            # the translate bill, not the execute bill.
+            import tempfile
+
+            from repro.store import TranslationStore
+            root = args.store or tempfile.mkdtemp(prefix="repro-store-")
+            store = TranslationStore(root)
+            base = _profile_report(args, program, chaining=chaining,
+                                   store=store,
+                                   store_mode="read-write", repeat=1)
+            fast = _profile_report(args, program, chaining=chaining,
+                                   store=store, store_mode="read")
+            base_key, fast_key = "cold", "warm"
+            label = "warm-start speedup"
         else:
             # The codegen axis: bound oracle vs compiled artifacts,
             # identical chaining and translate costs on both sides.
@@ -405,8 +455,15 @@ def cmd_profile(args) -> int:
                                    exec_mode="compiled")
             base_key, fast_key = "bound", "compiled"
             label = "compiled speedup"
-        base_s = base["perf"]["seconds"]["total"]
-        fast_s = fast["perf"]["seconds"]["total"]
+        if args.compare == "store":
+            def _translate_bill(side: dict) -> float:
+                sec = side["perf"]["seconds"]
+                return sec["translate"] + sec["codegen"] + sec["store"]
+            base_s = _translate_bill(base)
+            fast_s = _translate_bill(fast)
+        else:
+            base_s = base["perf"]["seconds"]["total"]
+            fast_s = fast["perf"]["seconds"]["total"]
         speedup = base_s / fast_s if fast_s else 0.0
         report = {"target": args.target, "size": args.size,
                   "description": description, "axis": args.compare,
@@ -423,6 +480,12 @@ def cmd_profile(args) -> int:
         failed = (base["exit_code"] != 0 or fast["exit_code"] != 0
                   or (args.min_speedup is not None
                       and speedup < args.min_speedup))
+        if args.compare == "store":
+            # A warm-start claim is meaningless unless the warm side
+            # actually hit the store AND reproduced the cold run.
+            failed = (failed or fast["store"]["hits"] == 0
+                      or base["base_instructions"]
+                      != fast["base_instructions"])
         if args.min_speedup is not None and not args.json:
             verdict = "ok" if speedup >= args.min_speedup else "FAIL"
             print(f"minimum required:     {args.min_speedup:.2f}x "
@@ -439,6 +502,25 @@ def cmd_profile(args) -> int:
         print(f"profiling: {description}\n")
         _print_profile(report)
     return 0 if report["exit_code"] == 0 else 1
+
+
+def cmd_serve(args) -> int:
+    """Run a fleet of concurrent guest workloads against one shared
+    persistent store (docs/store.md) and report fleet metrics."""
+    from repro.store.daemon import serve_fleet
+
+    workloads = None if args.workloads is None else \
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+    report = serve_fleet(
+        args.store, workloads=workloads, runs=args.runs,
+        concurrency=args.concurrency, size=args.size,
+        store_mode=args.store_mode or "read-write",
+        exec_mode=args.exec_mode)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_conform(args) -> int:
@@ -463,7 +545,7 @@ def cmd_conform(args) -> int:
     report = run_conformance(
         seed=args.seed, cases=args.cases, backend=args.backend,
         size=args.size, workloads=workloads,
-        shrink=not args.no_shrink, bus=bus)
+        shrink=not args.no_shrink, bus=bus, store=args.store)
     if args.json:
         print(report.to_json())
     else:
@@ -506,6 +588,15 @@ def _common_flags(parser: argparse.ArgumentParser) -> None:
                         help="group executor: translation-time Python "
                              "codegen (compiled, default) or the "
                              "pre-bound per-parcel oracle path (bound)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persistent translation store directory "
+                             "(repro.store, docs/store.md): warm-start "
+                             "loads + write-back across runs")
+    parser.add_argument("--store-mode",
+                        choices=["off", "read", "read-write"],
+                        default=None,
+                        help="store traffic policy (default: read-write "
+                             "when --store is given)")
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -576,6 +667,15 @@ def main(argv: Optional[list] = None) -> int:
                               choices=["compiled", "bound"],
                               default="compiled",
                               help="group executor for DAISY runs")
+    bench_parser.add_argument("--store", default=None, metavar="DIR",
+                              help="persistent translation store "
+                                   "directory shared by the DAISY runs "
+                                   "(docs/store.md)")
+    bench_parser.add_argument("--store-mode",
+                              choices=["off", "read", "read-write"],
+                              default=None,
+                              help="store traffic policy (default: "
+                                   "read-write when --store is given)")
     bench_parser.add_argument("--json", action="store_true",
                               help="emit machine-readable JSON")
     bench_parser.set_defaults(func=cmd_bench, deliver_faults=False)
@@ -590,13 +690,19 @@ def main(argv: Optional[list] = None) -> int:
                                 help="timed repetitions; the best "
                                      "(lowest wall time) is reported")
     profile_parser.add_argument("--compare", nargs="?", const="exec",
-                                choices=["exec", "chain"], default=None,
+                                choices=["exec", "chain", "store"],
+                                default=None,
                                 help="run both sides of an axis and "
                                      "report the speedup: 'exec' "
                                      "(default) compares the bound "
                                      "executor against compiled "
                                      "codegen; 'chain' compares "
-                                     "chaining off against on")
+                                     "chaining off against on; "
+                                     "'store' compares a cold "
+                                     "translate against a warm start "
+                                     "from the persistent store "
+                                     "(speedup over translate "
+                                     "wall-time)")
     profile_parser.add_argument("--min-speedup", type=float, default=None,
                                 help="with --compare: exit nonzero when "
                                      "the chained speedup is below this "
@@ -604,6 +710,37 @@ def main(argv: Optional[list] = None) -> int:
     profile_parser.add_argument("--json", action="store_true",
                                 help="emit machine-readable JSON")
     profile_parser.set_defaults(func=cmd_profile)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run a fleet of concurrent guest workloads against one "
+             "shared persistent translation store and report hit/miss "
+             "and translate-amortization metrics (repro.store.daemon)")
+    serve_parser.add_argument("--store", required=True, metavar="DIR",
+                              help="store directory shared by the fleet")
+    serve_parser.add_argument("--workloads", default=None,
+                              help="comma-separated workloads "
+                                   "(default: wc,cmp,c_sieve,hotloop)")
+    serve_parser.add_argument("--runs", type=int, default=8,
+                              help="guest runs to schedule round-robin "
+                                   "over the workloads")
+    serve_parser.add_argument("--concurrency", type=int, default=4,
+                              help="guests in flight at once")
+    serve_parser.add_argument("--size", default="tiny",
+                              choices=["tiny", "small", "default"],
+                              help="workload size preset")
+    serve_parser.add_argument("--store-mode",
+                              choices=["off", "read", "read-write"],
+                              default=None,
+                              help="store traffic policy "
+                                   "(default: read-write)")
+    serve_parser.add_argument("--exec-mode",
+                              choices=["compiled", "bound"],
+                              default="compiled",
+                              help="group executor for the guests")
+    serve_parser.add_argument("--json", action="store_true",
+                              help="emit the fleet report as JSON")
+    serve_parser.set_defaults(func=cmd_serve)
 
     conform_parser = sub.add_parser(
         "conform",
@@ -629,6 +766,11 @@ def main(argv: Optional[list] = None) -> int:
                                      "string: none)")
     conform_parser.add_argument("--no-shrink", action="store_true",
                                 help="skip minimizing diverging cases")
+    conform_parser.add_argument("--store", default=None, metavar="DIR",
+                                help="shared persistent translation "
+                                     "store attached to every case: "
+                                     "warm-started groups face the same "
+                                     "lockstep check (docs/store.md)")
     conform_parser.add_argument("--json", action="store_true",
                                 help="emit the full report (sources and "
                                      "shrunk reproducers included) as "
@@ -654,6 +796,10 @@ def main(argv: Optional[list] = None) -> int:
     chaos_parser.add_argument("--size", default="tiny",
                               choices=["tiny", "small", "default"],
                               help="workload size preset")
+    chaos_parser.add_argument("--store", default=None, metavar="DIR",
+                              help="shared persistent translation store "
+                                   "attached to every case "
+                                   "(docs/store.md)")
     chaos_parser.add_argument("--no-sandbox", action="store_true",
                               help="disable the recovery sandbox (the "
                                    "same schedules then crash the VMM "

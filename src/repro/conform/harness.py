@@ -67,23 +67,29 @@ CONFORM_BACKENDS = (tuple(LOCKSTEP_BACKENDS) + ("traditional",)
 FUZZ_MAX_INSTRUCTIONS = 1_000_000
 
 
-def _lockstep_factory(backend: str, program) -> Callable[[], object]:
+def _lockstep_factory(backend: str, program,
+                      store=None) -> Callable[[], object]:
     """A fresh-system factory for one program on a lockstep backend.
 
     Every lockstep subject runs with the static verifier in ``report``
     mode: each translated group is invariant-checked before lockstep
     ever executes it, and any violation surfaces as a ``verify``
     divergence (see :class:`~repro.conform.lockstep.LockstepChecker`).
+
+    ``store`` (a :class:`~repro.store.store.TranslationStore` or path)
+    attaches the persistent translation store in read-write mode, so
+    the whole sweep exercises warm-start loads under lockstep: any
+    stale or mistranslated revived group diverges at its first commit.
     """
     if backend in LOCKSTEP_BACKENDS:
         knobs = dict(LOCKSTEP_BACKENDS[backend])
         knobs.setdefault("verify", "report")
-        return DaisyBackend(**knobs).build_system
+        return DaisyBackend(store=store, **knobs).build_system
     if backend == "traditional":
         from repro.baselines.traditional import traditional_options
         profile = ExecutionContext(program).branch_profile
         options = traditional_options(profile, page_size=1 << 16)
-        return DaisyBackend(options=options,
+        return DaisyBackend(options=options, store=store,
                             verify="report").build_system
     raise ValueError(f"backend {backend!r} does not support lockstep")
 
@@ -116,12 +122,13 @@ def _run_result_case(program, name: str, backend: str,
 
 
 def run_case(program, name: str, backend: str,
-             max_instructions: int = 50_000_000) -> CaseResult:
+             max_instructions: int = 50_000_000,
+             store=None) -> CaseResult:
     """Differentially check one program on one backend (the right
     comparison depth for that backend)."""
     if backend in RESULT_BACKENDS:
         return _run_result_case(program, name, backend, max_instructions)
-    factory = _lockstep_factory(backend, program)
+    factory = _lockstep_factory(backend, program, store=store)
     return run_lockstep(program, factory, case=name, backend=backend,
                         max_instructions=max_instructions)
 
@@ -174,7 +181,7 @@ def _shrink_case(case: FuzzCase, backend: str):
 
 
 def run_fuzz_case(case: FuzzCase, backend: str,
-                  shrink: bool = True) -> CaseResult:
+                  shrink: bool = True, store=None) -> CaseResult:
     """Check one generated case; shrink on divergence."""
     source = case.source
     try:
@@ -192,7 +199,7 @@ def run_fuzz_case(case: FuzzCase, backend: str,
         result = _run_result_case(program, case.name, backend,
                                   FUZZ_MAX_INSTRUCTIONS)
     else:
-        factory = _lockstep_factory(backend, program)
+        factory = _lockstep_factory(backend, program, store=store)
         result = run_lockstep(program, factory, case=case.name,
                               backend=backend,
                               max_instructions=FUZZ_MAX_INSTRUCTIONS)
@@ -220,7 +227,8 @@ def run_conformance(seed: int = 0, cases: int = 200,
                     fuzz_config: Optional[FuzzConfig] = None,
                     shrink: bool = True,
                     bus: Optional[EventBus] = None,
-                    stop_on_divergence: bool = False) -> ConformReport:
+                    stop_on_divergence: bool = False,
+                    store=None) -> ConformReport:
     """The full conformance sweep: bundled workloads + fuzz corpus.
 
     ``workloads=[]`` skips the workload phase (fuzz only);
@@ -228,10 +236,19 @@ def run_conformance(seed: int = 0, cases: int = 200,
     divergences are published on ``bus`` as
     :class:`~repro.runtime.events.ConformCaseChecked` /
     :class:`~repro.runtime.events.DivergenceFound` events.
+    ``store`` attaches one shared persistent translation store (a
+    :class:`~repro.store.store.TranslationStore` or a directory path)
+    to every VMM-executing subject, so later cases warm-start from
+    earlier ones and every revived group faces the same lockstep check
+    as a fresh translation.
     """
     if backend not in CONFORM_BACKENDS:
         raise ValueError(f"unknown conformance backend {backend!r} "
                          f"(choose from {CONFORM_BACKENDS})")
+    if store is not None:
+        from repro.store import TranslationStore
+        if not isinstance(store, TranslationStore):
+            store = TranslationStore(store)
     report = ConformReport(backend=backend, seed=seed)
     config = fuzz_config if fuzz_config is not None else \
         FuzzConfig(exceptions=True)
@@ -239,7 +256,7 @@ def run_conformance(seed: int = 0, cases: int = 200,
     names = list(WORKLOAD_NAMES) if workloads is None else workloads
     for name in names:
         workload = build_workload(name, size)
-        result = run_case(workload.program, name, backend)
+        result = run_case(workload.program, name, backend, store=store)
         _publish(bus, result)
         report.cases.append(result)
         if stop_on_divergence and result.diverged:
@@ -247,7 +264,7 @@ def run_conformance(seed: int = 0, cases: int = 200,
 
     for index in range(cases):
         case = generate_case(seed, index, config)
-        result = run_fuzz_case(case, backend, shrink=shrink)
+        result = run_fuzz_case(case, backend, shrink=shrink, store=store)
         _publish(bus, result)
         report.cases.append(result)
         if stop_on_divergence and result.diverged:

@@ -55,6 +55,12 @@ class PageTranslation:
     #: skips the whole translation in O(1) when this matches
     #: ``len(entries)``.
     codegen_seen: int = 0
+    #: Entry count already written back to (or loaded from) the
+    #: persistent translation store; the VMM's write-back
+    #: (:meth:`~repro.vmm.system.DaisySystem._maybe_store_save`) is a
+    #: no-op in O(1) when this matches ``len(entries)``.  Not part of
+    #: the serialized record — a loader resets it.
+    store_synced: int = 0
 
     def has_entry(self, offset: int) -> bool:
         return offset in self.entries

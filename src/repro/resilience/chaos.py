@@ -183,19 +183,28 @@ def run_chaos(seed: int = 0, faults: int = 200,
               workloads: Optional[List[str]] = None,
               backend: str = "daisy", size: str = "tiny",
               sandbox: bool = True,
-              max_vliws: int = 50_000_000) -> ChaosReport:
+              max_vliws: int = 50_000_000,
+              store=None) -> ChaosReport:
     """Run each workload under lockstep checking with a per-workload
     fault schedule of ``faults`` events attached.
 
     ``backend`` names any lockstep-capable subject variant
     (:data:`~repro.conform.harness.LOCKSTEP_BACKENDS`); ``sandbox``
     toggles the recovery layer — off, injected translator failures
-    propagate and the report records them as crashes.
+    propagate and the report records them as crashes.  ``store``
+    attaches one shared persistent translation store to every case, so
+    warm-started groups run under the same fault pressure and lockstep
+    check as fresh ones (fault-dirtied groups are never persisted; see
+    docs/store.md).
     """
     if backend not in LOCKSTEP_BACKENDS:
         raise ValueError(
             f"chaos requires a lockstep backend "
             f"(choose from {tuple(LOCKSTEP_BACKENDS)})")
+    if store is not None:
+        from repro.store import TranslationStore
+        if not isinstance(store, TranslationStore):
+            store = TranslationStore(store)
     names = list(DEFAULT_WORKLOADS) if workloads is None else workloads
     report = ChaosReport(seed=seed, backend=backend, faults=faults,
                          sandbox=sandbox, size=size)
@@ -212,7 +221,7 @@ def run_chaos(seed: int = 0, faults: int = 200,
             # violations surface as "verify" divergences.
             system = DaisyBackend(
                 recovery=RecoveryPolicy(sandbox=sandbox),
-                verify="report",
+                verify="report", store=store,
                 **LOCKSTEP_BACKENDS[backend]).build_system()
             attached["system"] = system
             attached["injector"] = FaultInjector(plan).attach(system)

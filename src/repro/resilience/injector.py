@@ -141,8 +141,11 @@ class FaultInjector:
             # translation get their chance at it first.
             return False
         self._crash_pages[page_paddr] = scheduled
-        # Force the retranslation that will hit the armed hook.
+        # Force the retranslation that will hit the armed hook; the
+        # store entry goes too, else a warm start would bypass the
+        # translator and the armed fault would never fire.
         self.system.translation_cache.invalidate(page_paddr)
+        self.system.store_discard_page(page_paddr)
         return True
 
     def _arm_budget(self, scheduled: FaultEvent,
@@ -163,6 +166,7 @@ class FaultInjector:
             return False
         self._budget_armed = scheduled
         self.system.translation_cache.invalidate(page_paddr)
+        self.system.store_discard_page(page_paddr)
         return True
 
     def _translator_hook(self, translation, entry_pc: int) -> None:

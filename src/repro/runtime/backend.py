@@ -155,7 +155,9 @@ class DaisyBackend:
                  recovery: Optional[RecoveryPolicy] = None,
                  chaining: bool = True,
                  exec_mode: str = "compiled",
-                 verify=None):
+                 verify=None,
+                 store=None,
+                 store_mode: Optional[str] = None):
         self.config = config if config is not None else \
             MachineConfig.default()
         self.options = options
@@ -174,6 +176,16 @@ class DaisyBackend:
         #: (``verify_translations``); None defers to the process
         #: default (see :mod:`repro.verify`).
         self.verify = verify
+        #: Persistent translation store (docs/store.md): a
+        #: TranslationStore or a directory path.  Opened once here and
+        #: shared by every system this backend builds, so a sequence of
+        #: runs (or a concurrent fleet) warm-starts from one hot store.
+        if store is not None:
+            from repro.store import TranslationStore
+            if not isinstance(store, TranslationStore):
+                store = TranslationStore(store)
+        self.store = store
+        self.store_mode = store_mode
 
     def build_system(self) -> DaisySystem:
         """A fresh :class:`DaisySystem` for one run.  Options are
@@ -188,7 +200,9 @@ class DaisyBackend:
                            recovery=self.recovery,
                            chaining=self.chaining,
                            exec_mode=self.exec_mode,
-                           verify_translations=self.verify)
+                           verify_translations=self.verify,
+                           store=self.store,
+                           store_mode=self.store_mode)
 
     def execute(self, program, name: str = ""):
         """Run ``program``; returns ``(system, RunResult)`` for callers

@@ -364,6 +364,52 @@ class CodegenAbort:
 
 
 @dataclass(frozen=True)
+class StoreHit:
+    """A translation-cache miss was served from the persistent
+    translation store (:mod:`repro.store`): the page's full translation
+    — tree-VLIW groups plus compiled artifacts — was loaded, validated
+    and (in report/strict modes) re-verified instead of being
+    retranslated.  ``key`` is the content address."""
+    page_paddr: int = 0
+    key: str = ""
+    entries: int = 0
+    _sum_fields = ("entries",)
+
+
+@dataclass(frozen=True)
+class StoreMiss:
+    """The persistent store had no entry for the page's content key;
+    the miss falls through to the translator."""
+    page_paddr: int = 0
+    key: str = ""
+
+
+@dataclass(frozen=True)
+class StoreSaved:
+    """A freshly (re)translated page was written back to the persistent
+    store under its content key (``store_mode="read-write"``)."""
+    page_paddr: int = 0
+    key: str = ""
+    bytes: int = 0
+    entries: int = 0
+    _sum_fields = ("bytes", "entries")
+
+
+@dataclass(frozen=True)
+class StoreRejected:
+    """A store entry (or store operation) was refused and degraded to a
+    clean miss — corruption, format skew, stale page bytes, an artifact
+    failing its content key, a loaded group failing re-verification, or
+    an I/O error during save.  Typed by ``reason`` (the
+    :class:`~repro.store.codec.StoreFormatError` slug catalog plus
+    ``verify`` and ``save:<Error>``/``load:<Error>``)."""
+    page_paddr: int = 0
+    key: str = ""
+    reason: str = ""
+    _key_field = "reason"
+
+
+@dataclass(frozen=True)
 class DecodeCacheSampled:
     """Per-run sample of :func:`repro.isa.encoding.decode`'s bounded
     memo: hit/miss deltas over one run plus the cache's population at
@@ -528,6 +574,7 @@ EVENT_TYPES: Tuple[Type, ...] = (
     CommitPoint, ConformCaseChecked, DivergenceFound,
     TranslationVerified, VerifyViolation,
     GroupCompiled, CodegenAbort, DecodeCacheSampled,
+    StoreHit, StoreMiss, StoreSaved, StoreRejected,
     TierPromotion, TierDemotion,
     TranslationAbort, PageQuarantined, DegradationLatch, OverBudget,
     FaultInjected,

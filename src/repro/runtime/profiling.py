@@ -11,10 +11,13 @@ time into the buckets that matter for a dynamic translator:
 * ``codegen`` — time emitting + ``compile()``-ing Python artifacts for
   translated groups (the compiled executor's one-time cost);
 * ``interpret`` — time in the interpretive tier's episodes;
+* ``store`` — time in the persistent translation store: warm-start
+  loads (key hashing, frame validation, verify-on-load) and
+  write-backs (:mod:`repro.store`);
 * ``dispatch`` — everything else inside the run loop: the VMM's
   per-exit lookup/dispatch overhead.  Derived as
-  ``total - execute - translate - codegen - interpret`` so it needs no
-  extra clock reads on the hot path.
+  ``total - execute - translate - codegen - interpret - store`` so it
+  needs no extra clock reads on the hot path.
 
 When no trace is attached the run loop pays one ``is None`` check per
 iteration and zero clock reads.
@@ -30,7 +33,7 @@ class PerfTrace:
     """Accumulated wall-clock split of one (or more) runs."""
 
     __slots__ = ("clock", "total", "execute", "translate", "codegen",
-                 "interpret")
+                 "interpret", "store")
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self.clock = clock
@@ -39,14 +42,16 @@ class PerfTrace:
         self.translate = 0.0
         self.codegen = 0.0
         self.interpret = 0.0
+        self.store = 0.0
 
     @property
     def dispatch(self) -> float:
         """VMM dispatch-loop overhead: run time not spent executing,
-        translating, compiling group artifacts, or interpreting."""
+        translating, compiling group artifacts, interpreting, or
+        talking to the persistent store."""
         return max(0.0,
                    self.total - self.execute - self.translate
-                   - self.codegen - self.interpret)
+                   - self.codegen - self.interpret - self.store)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-friendly seconds + shares view."""
@@ -60,6 +65,7 @@ class PerfTrace:
                 "translate": round(self.translate, 6),
                 "codegen": round(self.codegen, 6),
                 "interpret": round(self.interpret, 6),
+                "store": round(self.store, 6),
                 "vmm_dispatch": round(self.dispatch, 6),
             },
             "shares": {
@@ -67,6 +73,7 @@ class PerfTrace:
                 "translate": share(self.translate),
                 "codegen": share(self.codegen),
                 "interpret": share(self.interpret),
+                "store": share(self.store),
                 "vmm_dispatch": share(self.dispatch),
             },
         }

@@ -1,0 +1,39 @@
+"""Content-addressed persistent translation store (docs/store.md).
+
+The "translate once, run a million times" layer: page translations —
+tree-VLIW groups plus their compiled Python artifacts — are keyed by
+sha256 of the raw page image and both configurations, written to a
+shared on-disk store with atomic-rename discipline, and revived on any
+later run's translation-cache miss after checksum, staleness, artifact
+and (in report/strict modes) full invariant re-verification.
+
+* :mod:`repro.store.codec` — the paranoid wire format;
+* :mod:`repro.store.store` — :class:`TranslationStore`, the LRU
+  disk cache;
+* :mod:`repro.store.daemon` — the asyncio serving harness behind
+  ``repro serve``.
+"""
+
+from repro.store.codec import (
+    FORMAT_VERSION,
+    StoreFormatError,
+    page_digest,
+    store_key,
+)
+from repro.store.store import (
+    DEFAULT_MAX_BYTES,
+    STORE_MODES,
+    TranslationStore,
+    resolve_store_mode,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "StoreFormatError",
+    "page_digest",
+    "store_key",
+    "DEFAULT_MAX_BYTES",
+    "STORE_MODES",
+    "TranslationStore",
+    "resolve_store_mode",
+]

@@ -1,0 +1,262 @@
+"""Wire format of the persistent translation store.
+
+One store entry holds everything needed to revive a page translation in
+a different process: the serialized tree-VLIW groups (with their
+:class:`~repro.vliw.codegen.CompiledGroup` source artifacts, which
+pickle source-only) plus the identity of the page image they were
+compiled from.  The codec is deliberately paranoid — persisted
+translations are *input*, not trusted state:
+
+* every entry is framed ``MAGIC | version | sha256(payload) | payload``,
+  so truncation, bit flips and format skew are detected before a single
+  pickle byte is interpreted;
+* unpickling goes through a restricted unpickler that only resolves
+  ``repro.*`` classes and a small builtin set — a store entry cannot
+  name arbitrary callables;
+* the decoded record carries the sha256 of the page image it was built
+  from; the loader compares it against the bytes actually in memory
+  (``stale-page`` rejection), independent of the content-addressed key;
+* compiled artifacts are content-keyed; a source whose key does not
+  match is rejected here, and a source that *was* consistently re-keyed
+  by an adversary still never executes — ``CompiledGroup.bind``
+  re-emits from the group and byte-compares before building the
+  function (see :mod:`repro.vliw.codegen`).
+
+Both :class:`~repro.store.store.TranslationStore` and the Appendix-B
+compatibility shim (:mod:`repro.vmm.persistence`) speak this format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.translate import PageTranslation
+from repro.vliw.tree import VliwGroup
+
+#: Bumped whenever the frame layout or the record schema changes; old
+#: entries then load as clean misses, never as garbage.
+FORMAT_VERSION = 2
+
+MAGIC = b"DSY\x01"
+
+_DIGEST_BYTES = 32
+_HEADER_BYTES = len(MAGIC) + 2 + _DIGEST_BYTES
+
+#: Bytes of the *next* page included in the content key: a Section 3.5
+#: back-map walk that ends exactly at the page boundary may touch the
+#: first words beyond it, so two pages that differ only there must not
+#: share translations (mirrors ``DaisySystem._verify_memo_key``).
+BOUNDARY_BYTES = 8
+
+
+class StoreFormatError(Exception):
+    """The entry is not a well-formed store record.  ``reason`` is a
+    short machine-readable slug (``magic``, ``version``, ``checksum``,
+    ``decode``, ``stale-page``, ``page-size``, ``artifact``, ...)
+    published with the rejection event."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+
+
+def page_digest(image: bytes) -> str:
+    """Identity of one raw page image."""
+    return hashlib.sha256(image).hexdigest()
+
+
+def config_signature(config, options) -> str:
+    """The translation-relevant configuration identity.  ``repr`` of
+    both dataclasses covers every knob translation is a function of
+    (including an attached branch profile: profile-directed output must
+    never be served to a differently-profiled consumer)."""
+    return f"{config!r}\x00{options!r}"
+
+
+def store_key(image: bytes, boundary: bytes, config, options) -> str:
+    """The content address of one page translation: sha256 over the raw
+    page image, the boundary words, the ISA/resource configuration, and
+    the format version.  Staleness is impossible by construction — a
+    modified page hashes to a different key."""
+    hasher = hashlib.sha256()
+    hasher.update(MAGIC)
+    hasher.update(FORMAT_VERSION.to_bytes(2, "big"))
+    hasher.update(len(image).to_bytes(4, "big"))
+    hasher.update(image)
+    hasher.update(len(boundary).to_bytes(2, "big"))
+    hasher.update(boundary)
+    hasher.update(config_signature(config, options).encode())
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap a payload for disk: magic, version, checksum, body."""
+    return (MAGIC + FORMAT_VERSION.to_bytes(2, "big")
+            + hashlib.sha256(payload).digest() + payload)
+
+
+def unframe(data: bytes) -> bytes:
+    """Validate a framed entry and return the payload.  Raises
+    :class:`StoreFormatError` on any damage — truncation, bit flips,
+    wrong magic, or a version this code does not speak."""
+    if len(data) < _HEADER_BYTES:
+        raise StoreFormatError("truncated",
+                               f"{len(data)} bytes < header")
+    if data[:len(MAGIC)] != MAGIC:
+        raise StoreFormatError("magic", "not a translation-store entry")
+    version = int.from_bytes(data[len(MAGIC):len(MAGIC) + 2], "big")
+    if version != FORMAT_VERSION:
+        raise StoreFormatError(
+            "version", f"entry v{version}, store speaks v{FORMAT_VERSION}")
+    digest = data[len(MAGIC) + 2:_HEADER_BYTES]
+    payload = data[_HEADER_BYTES:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise StoreFormatError("checksum", "payload does not match digest")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Record encode / decode
+# ----------------------------------------------------------------------
+
+#: Builtin names a store payload may reference.  Everything else the
+#: pickle stream names must live under ``repro.``.
+_SAFE_BUILTINS = frozenset((
+    "dict", "list", "tuple", "set", "frozenset", "bytes", "bytearray",
+    "int", "float", "str", "bool", "complex", "NoneType", "slice",
+))
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Only resolves ``repro.*`` classes and plain builtins — a store
+    entry is data, not a code-injection channel."""
+
+    def find_class(self, module: str, name: str):
+        if module == "builtins" and name in _SAFE_BUILTINS:
+            return super().find_class(module, name)
+        if module == "repro" or module.startswith("repro."):
+            return super().find_class(module, name)
+        raise StoreFormatError(
+            "decode", f"payload names forbidden global {module}.{name}")
+
+
+def encode_translation(translation: PageTranslation,
+                       image_digest: str) -> bytes:
+    """Serialize one page translation into a store payload.
+
+    Entry order is preserved (it determines the VLIW-memory layout a
+    loader reproduces); chain links and bound executors are dropped by
+    the groups' own ``__getstate__`` hooks, and compiled artifacts
+    travel source-only."""
+    record = {
+        "format": FORMAT_VERSION,
+        "page_size": translation.page_size,
+        "page_digest": image_digest,
+        "entries": list(translation.entries.items()),
+    }
+    return pickle.dumps(record, protocol=4)
+
+
+def decode_record(payload: bytes) -> Dict[str, object]:
+    """Unpickle and shape-check a store payload."""
+    try:
+        record = _RestrictedUnpickler(io.BytesIO(payload)).load()
+    except StoreFormatError:
+        raise
+    except Exception as error:            # noqa: BLE001 - any pickle rot
+        raise StoreFormatError("decode", f"{type(error).__name__}: {error}")
+    if not isinstance(record, dict) or record.get("format") != FORMAT_VERSION:
+        raise StoreFormatError("version", "record schema mismatch")
+    entries = record.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise StoreFormatError("decode", "record has no entries")
+    for item in entries:
+        if (not isinstance(item, tuple) or len(item) != 2
+                or not isinstance(item[0], int)
+                or not isinstance(item[1], VliwGroup)):
+            raise StoreFormatError("decode", "malformed entry list")
+    return record
+
+
+def validate_record(record: Dict[str, object], image_digest: str,
+                    page_size: int) -> None:
+    """Check a decoded record against the consumer's world: the page
+    bytes actually in memory and the configured page size.  Also
+    re-derives every compiled artifact's content key — a tampered
+    source that kept its stale key is rejected here (one that re-keyed
+    itself consistently is caught at bind time, see module docs)."""
+    if record["page_size"] != page_size:
+        raise StoreFormatError(
+            "page-size", f"entry for {record['page_size']}-byte pages, "
+                         f"consumer uses {page_size}")
+    if record["page_digest"] != image_digest:
+        raise StoreFormatError(
+            "stale-page", "entry was built from different page bytes")
+    for _, group in record["entries"]:
+        compiled = group.compiled
+        if compiled is None:
+            continue
+        source = getattr(compiled, "source", None)
+        key = getattr(compiled, "key", None)
+        if (not isinstance(source, str)
+                or hashlib.sha256(source.encode()).hexdigest() != key):
+            raise StoreFormatError(
+                "artifact", f"compiled source for {group.entry_pc:#x} "
+                            f"does not match its content key")
+
+
+def materialize(record: Dict[str, object], *,
+                layout: Callable[[PageTranslation, VliwGroup], None],
+                new_translation: Callable[..., PageTranslation],
+                page_vaddr: int, page_paddr: int,
+                code_base: int) -> PageTranslation:
+    """Rebuild a live :class:`PageTranslation` from a validated record.
+
+    ``layout`` is the translator's layout pass — it reassigns simulated
+    VLIW-memory addresses for the *consumer's* code base and rebinds
+    every parcel's executor, exactly as a fresh translation would; the
+    loaded translation is bit-identical to one the translator emits
+    from the same bytes."""
+    translation = new_translation(page_vaddr=page_vaddr,
+                                  page_paddr=page_paddr,
+                                  code_base=code_base)
+    for offset, group in record["entries"]:
+        layout(translation, group)
+        translation.entries[offset] = group
+        translation.code_size += group.code_size()
+        translation.translation_cost += group.translation_cost
+        translation.base_instructions_translated += group.base_instructions
+        translation.translations_performed += 1
+    return translation
+
+
+# ----------------------------------------------------------------------
+
+
+def read_page(memory, page_paddr: int,
+              page_size: int) -> Optional[Tuple[bytes, bytes]]:
+    """The (image, boundary) pair content addressing hashes, read from
+    physical memory; None when the page is not cleanly readable."""
+    try:
+        image = memory.read_bytes(page_paddr, page_size)
+    except Exception:                     # noqa: BLE001
+        return None
+    try:
+        boundary = memory.read_bytes(page_paddr + page_size,
+                                     BOUNDARY_BYTES)
+    except Exception:                     # noqa: BLE001
+        boundary = b""
+    return image, boundary

@@ -1,0 +1,277 @@
+"""Content-addressed, disk-backed translation store.
+
+Layout on disk::
+
+    <root>/
+      objects/<key>.bin     one framed entry per content key (codec.py)
+      index.json            advisory metadata: sizes, LRU stamps, page hints
+
+The design rule that makes every concurrency and corruption question
+easy: **the index is never trusted and never needed for correctness.**
+``get`` opens the object file directly; ``open`` rebuilds the index by
+scanning ``objects/``; a lost index update costs at worst an eviction
+stamp or a warm-start page hint.  Writes are atomic (`tmp` +
+``os.replace``), so two processes racing on one store directory can
+interleave arbitrarily — an object file is always either absent or a
+complete frame, and the index is always either the old or the new
+JSON document, never a splice.
+
+Eviction is LRU by access stamp with a configurable byte budget,
+mirroring the in-memory translated-page pool's cast-out policy
+(Section 3.7) one level down the hierarchy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from typing import Dict, Iterator, Optional
+
+from repro.store.codec import FORMAT_VERSION, StoreFormatError, unframe
+
+_KEY_HEX = 64          # sha256 hexdigest
+
+#: Default disk budget; generous relative to translation sizes (a page
+#: translation is a few KB of pickle) but bounded so a fuzz campaign
+#: cannot grow a store without limit.
+DEFAULT_MAX_BYTES = 256 << 20
+
+#: Store attachment modes (``DaisySystem(store_mode=...)``): ``"off"``
+#: detaches the store entirely, ``"read"`` serves warm-start loads but
+#: never writes (shared read-only fleets), ``"read-write"`` also saves
+#: fresh translations back.
+STORE_MODES = ("off", "read", "read-write")
+
+
+def _is_key(name: str) -> bool:
+    return len(name) == _KEY_HEX and all(
+        c in "0123456789abcdef" for c in name)
+
+
+class TranslationStore:
+    """One store directory, shared by any number of systems (threads)
+    in this process and any number of cooperating processes."""
+
+    def __init__(self, root: str, max_bytes: int = DEFAULT_MAX_BYTES):
+        self.root = os.fspath(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        self.index_path = os.path.join(self.root, "index.json")
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
+        #: key -> {"b": bytes, "u": used-stamp, "p": paddr, "v": vaddr}
+        self._index: Dict[str, Dict[str, int]] = {}
+        self._clock = 0
+        # Process-local traffic counters (fleet metrics aggregate these).
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.rejects = 0
+        self.evictions = 0
+        os.makedirs(self.objects_dir, exist_ok=True)
+        self._reconcile()
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self.objects_dir, key + ".bin")
+
+    def _reconcile(self) -> None:
+        """Rebuild the in-memory index from the ground truth (the
+        objects directory), folding in whatever advisory metadata the
+        on-disk index still has.  Any damage to index.json — another
+        process mid-write, truncation, hand editing — degrades to
+        fresh LRU stamps, never to an error."""
+        disk: Dict[str, Dict[str, int]] = {}
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            if isinstance(doc, dict) and doc.get("format") == FORMAT_VERSION:
+                entries = doc.get("entries")
+                if isinstance(entries, dict):
+                    disk = entries
+        except (OSError, ValueError):
+            pass
+        index: Dict[str, Dict[str, int]] = {}
+        clock = 0
+        try:
+            names = os.listdir(self.objects_dir)
+        except OSError:
+            names = []
+        for name in names:
+            if not name.endswith(".bin") or not _is_key(name[:-4]):
+                continue
+            key = name[:-4]
+            try:
+                size = os.path.getsize(self._object_path(key))
+            except OSError:
+                continue       # raced with another process's eviction
+            meta = disk.get(key)
+            entry = {"b": size, "u": 0, "p": None, "v": None}
+            if isinstance(meta, dict):
+                used = meta.get("u")
+                if isinstance(used, int):
+                    entry["u"] = used
+                if isinstance(meta.get("p"), int):
+                    entry["p"] = meta["p"]
+                if isinstance(meta.get("v"), int):
+                    entry["v"] = meta["v"]
+            clock = max(clock, entry["u"])
+            index[key] = entry
+        self._index = index
+        self._clock = clock
+
+    def _write_index(self) -> None:
+        doc = {"format": FORMAT_VERSION, "entries": self._index}
+        data = json.dumps(doc, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".index-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(data)
+            os.replace(tmp, self.index_path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Object access
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The framed entry for ``key``, or None (a miss).  Reads the
+        object file directly — the index cannot serve stale data
+        because it is never consulted."""
+        with self._lock:
+            try:
+                with open(self._object_path(key), "rb") as fh:
+                    data = fh.read()
+            except OSError:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._clock += 1
+            entry = self._index.get(key)
+            if entry is None:
+                entry = self._index[key] = {
+                    "b": len(data), "u": 0, "p": None, "v": None}
+            entry["u"] = self._clock
+            return data
+
+    def load(self, key: str) -> Optional[bytes]:
+        """Unframed payload for ``key``; a damaged entry is dropped from
+        the store and surfaces as :class:`StoreFormatError` so the
+        caller can publish the rejection — but subsequent gets of the
+        same key are clean misses."""
+        data = self.get(key)
+        if data is None:
+            return None
+        try:
+            return unframe(data)
+        except StoreFormatError:
+            self.discard(key)
+            self.rejects += 1
+            raise
+
+    def put(self, key: str, framed: bytes,
+            page_paddr: Optional[int] = None,
+            page_vaddr: Optional[int] = None) -> None:
+        """Atomically publish one framed entry, then evict down to the
+        byte budget.  Page addresses are advisory hints for eager
+        restore (:mod:`repro.vmm.persistence`), not part of identity."""
+        with self._lock:
+            path = self._object_path(key)
+            fd, tmp = tempfile.mkstemp(dir=self.objects_dir,
+                                       prefix=".obj-")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(framed)
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._clock += 1
+            self._index[key] = {"b": len(framed), "u": self._clock,
+                                "p": page_paddr, "v": page_vaddr}
+            self.puts += 1
+            self._evict_to_fit(protect=key)
+            self._write_index()
+
+    def discard(self, key: str) -> None:
+        """Remove one entry (corrupt object, explicit invalidation)."""
+        with self._lock:
+            try:
+                os.unlink(self._object_path(key))
+            except OSError:
+                pass
+            self._index.pop(key, None)
+
+    def _evict_to_fit(self, protect: Optional[str] = None) -> None:
+        while self.total_bytes > self.max_bytes and len(self._index) > 1:
+            victim = min(
+                (k for k in self._index if k != protect),
+                key=lambda k: self._index[k]["u"], default=None)
+            if victim is None:
+                return
+            self.discard(victim)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e["b"] for e in self._index.values())
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._index))
+
+    def page_hint(self, key: str):
+        """(page_paddr, page_vaddr) advisory hint, or (None, None)."""
+        entry = self._index.get(key)
+        if entry is None:
+            return (None, None)
+        return (entry.get("p"), entry.get("v"))
+
+    def flush(self) -> None:
+        """Persist access stamps accumulated by gets."""
+        with self._lock:
+            self._write_index()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "bytes": self.total_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "rejects": self.rejects,
+                "evictions": self.evictions,
+            }
+
+
+def resolve_store_mode(mode: Optional[str], store) -> str:
+    """Normalize the ``store_mode`` knob: default to ``read-write``
+    when a store is attached, ``off`` otherwise."""
+    if mode is None:
+        return "read-write" if store is not None else "off"
+    if mode not in STORE_MODES:
+        raise ValueError(f"unknown store mode {mode!r} "
+                         f"(choose from {STORE_MODES})")
+    return mode

@@ -36,6 +36,7 @@ from repro.primitives.ops import LOAD_PRIMS, PrimOp, STORE_PRIMS
 from repro.runtime.events import (
     ALIAS_RECOVERY,
     CROSS_PAGE_DIRECT,
+    CodegenAbort,
     CommitPoint,
     CrossPage,
     EventBus,
@@ -208,8 +209,21 @@ class CompiledExecutor:
         fn = compiled.fn
         if fn is None:
             # Restored from the persistence store: only source survives
-            # pickling; rebind (and revalidate) on first execution.
-            fn = compiled.bind(group)
+            # pickling; rebind on first execution.  bind() re-emits
+            # from the group and byte-compares before exec'ing — a
+            # persisted source that does not match a fresh emission
+            # NEVER executes; the group degrades to the bound path
+            # (the same contract as a translation-time codegen abort).
+            try:
+                fn = compiled.bind(group)
+            except Exception as error:      # noqa: BLE001 - sandboxed
+                group.compiled = None
+                group.codegen_failed = True
+                sink = engine.event_sink
+                if sink is not None:
+                    sink(CodegenAbort(pc=group.entry_pc,
+                                      error=type(error).__name__))
+                return engine._run_group_bound(group)
         return fn(engine, group)
 
 

@@ -1,70 +1,127 @@
-"""Saving and restoring the translation cache (Appendix B).
+"""Appendix-B power-down save/restore — compatibility shim.
 
 "The VMM can save the translation cache at power down time on hard
-disk, and restore it at power up time."  Saved translations carry a
-digest of the base page bytes they were compiled from; on restore,
-translations whose pages changed are silently dropped (the
-code-modification story must hold across reboots too).
+disk, and restore it at power up time."  This module's original
+single-pickle format is retired; both entry points now route through
+the content-addressed persistent translation store (:mod:`repro.store`,
+docs/store.md), which subsumes them: ``path`` names a store directory,
+``save_translations`` writes every live translation under its content
+key, and ``load_translations`` eagerly revives the ones whose page
+bytes (and configuration) still match — the code-modification story
+across reboots now holds by construction, since a changed page hashes
+to a different key.
+
+New code should attach a store directly
+(``DaisySystem(store=..., store_mode=...)``) and let warm-start load
+pages lazily; these functions remain for Appendix-B-style eager
+restore and emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import hashlib
-import pickle
-from dataclasses import dataclass
-from typing import List, Tuple
+import os
+import warnings
+from typing import Tuple
 
-FORMAT_VERSION = 1
-
-
-@dataclass
-class _SavedTranslation:
-    digest: bytes
-    translation: object   # PageTranslation
+from repro.store import codec
+from repro.store.codec import FORMAT_VERSION, StoreFormatError  # noqa: F401
+from repro.store.store import TranslationStore
 
 
-def _page_digest(system, translation) -> bytes:
-    page_bytes = system.memory.read_bytes(translation.page_paddr,
-                                          translation.page_size)
-    return hashlib.sha256(page_bytes).digest()
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.vmm.persistence.{name} is deprecated: attach a "
+        f"persistent store with DaisySystem(store=..., store_mode=...) "
+        f"(repro.store, docs/store.md)",
+        DeprecationWarning, stacklevel=3)
 
 
 def save_translations(system, path: str) -> int:
-    """Write every live translation to ``path``; returns the count."""
-    saved: List[_SavedTranslation] = []
-    for paddr in system.translation_cache.live_pages:
+    """Write every live translation of ``system`` into the store at
+    ``path`` (created if needed); returns the count saved."""
+    _deprecated("save_translations")
+    store = TranslationStore(os.fspath(path))
+    count = 0
+    for paddr in list(system.translation_cache.live_pages):
         translation = system.translation_cache.lookup(paddr)
-        saved.append(_SavedTranslation(
-            digest=_page_digest(system, translation),
-            translation=translation))
-    with open(path, "wb") as handle:
-        pickle.dump((FORMAT_VERSION, system.options.page_size, saved),
-                    handle)
-    return len(saved)
+        if translation is None or not translation.entries:
+            continue
+        pair = codec.read_page(system.memory, paddr,
+                               translation.page_size)
+        if pair is None:
+            continue
+        image, boundary = pair
+        key = codec.store_key(image, boundary, system.config,
+                              system.options)
+        payload = codec.encode_translation(
+            translation, codec.page_digest(image))
+        store.put(key, codec.frame(payload), page_paddr=paddr,
+                  page_vaddr=translation.page_vaddr)
+        count += 1
+    store.flush()
+    return count
 
 
 def load_translations(system, path: str) -> Tuple[int, int]:
-    """Restore translations from ``path`` into ``system``.
+    """Eagerly restore translations from the store at ``path`` into
+    ``system``.
 
-    Returns (restored, skipped): entries whose page bytes changed since
-    the save — or that were written for a different page size — are
-    skipped.
+    Returns ``(restored, skipped)``: entries whose page bytes changed
+    since the save, that were written for a different page size or
+    configuration (the content key covers all of it), or that fail
+    validation/verification are skipped — never partially applied.
     """
-    with open(path, "rb") as handle:
-        version, page_size, saved = pickle.load(handle)
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported translation-save version {version}")
+    _deprecated("load_translations")
+    store = TranslationStore(os.fspath(path))
     restored = skipped = 0
-    if page_size != system.options.page_size:
-        return 0, len(saved)
-    for entry in saved:
-        translation = entry.translation
-        if _page_digest(system, translation) != entry.digest:
+    page_size = system.options.page_size
+    for key in store.keys():
+        paddr, vaddr = store.page_hint(key)
+        if paddr is None:
             skipped += 1
             continue
+        pair = codec.read_page(system.memory, paddr, page_size)
+        if pair is None:
+            skipped += 1
+            continue
+        image, boundary = pair
+        current = codec.store_key(image, boundary, system.config,
+                                  system.options)
+        if current != key:
+            # The page bytes or the configuration no longer match what
+            # this entry was compiled from ("new software installed").
+            skipped += 1
+            continue
+        try:
+            payload = store.load(key)
+            if payload is None:
+                skipped += 1
+                continue
+            record = codec.decode_record(payload)
+            codec.validate_record(record, codec.page_digest(image),
+                                  page_size)
+            translation = codec.materialize(
+                record,
+                layout=system.translator._layout,
+                new_translation=system.translator.new_translation,
+                page_vaddr=vaddr if vaddr is not None else paddr,
+                page_paddr=paddr,
+                code_base=system._allocate_code_base(paddr))
+            if system._verifier is not None:
+                for group in translation.entries.values():
+                    check = system._verifier.verify_group(group)
+                    if check.violations:
+                        raise StoreFormatError(
+                            "verify",
+                            f"restored group {group.entry_pc:#x} fails "
+                            f"invariant check")
+        except StoreFormatError:
+            skipped += 1
+            continue
+        translation.store_synced = len(translation.entries)
+        system._account_reservation(translation)
         system.translation_cache.insert(translation)
-        system.memory.protect_range(translation.page_paddr,
-                                    translation.page_size)
-        system._pages_ever_translated.add(translation.page_paddr)
+        system.memory.protect_range(paddr, page_size)
+        system._pages_ever_translated.add(paddr)
         restored += 1
     return restored, skipped

@@ -57,6 +57,10 @@ from repro.runtime.events import (
     ItlbMiss,
     PageQuarantined,
     PageTranslated,
+    StoreHit,
+    StoreMiss,
+    StoreRejected,
+    StoreSaved,
     TierDemotion,
     TranslationAbort,
     TranslationInvalidated,
@@ -67,6 +71,9 @@ from repro.runtime.events import (
 from repro.runtime.profiling import PerfTrace
 from repro.runtime.result import CacheSnapshot
 from repro.runtime.tiers import PageWatchdog, RecoveryPolicy, TieredController
+from repro.store import codec as store_codec
+from repro.store.codec import StoreFormatError
+from repro.store.store import TranslationStore, resolve_store_mode
 from repro.verify import GroupVerifier, MEMO as VERIFY_MEMO, resolve_mode
 from repro.vliw.codegen import compile_group
 from repro.vliw.engine import (
@@ -126,6 +133,15 @@ class DaisyRunResult:
     itlb_misses: int = 0
     output: List[int] = field(default_factory=list)
     cache_stats: Optional[CacheSnapshot] = None
+    #: Persistent translation-store traffic (docs/store.md): cache
+    #: misses served from disk, keys not present, pages written back,
+    #: and entries refused (corruption / staleness / verify failures —
+    #: every reject is also a clean miss).
+    store_mode: str = "off"
+    store_hits: int = 0
+    store_misses: int = 0
+    store_saves: int = 0
+    store_rejects: int = 0
     #: Chapter 6 interpretive-compilation accounting: instructions
     #: executed by the VMM interpreter before each entry was compiled.
     interpreted_instructions: int = 0
@@ -205,7 +221,9 @@ class DaisySystem:
                  recovery: Optional[RecoveryPolicy] = None,
                  chaining: bool = True,
                  exec_mode: str = "compiled",
-                 verify_translations=None):
+                 verify_translations=None,
+                 store=None,
+                 store_mode: Optional[str] = None):
         """``strategy`` selects Chapter 3's translated-code mapping:
 
         * ``"expansion"`` — the n*N + VLIW_BASE layout: fast cross-page
@@ -262,6 +280,21 @@ class DaisySystem:
         (the same degrade-don't-crash contract as the translation
         sandbox).
 
+        ``store`` attaches a persistent translation store
+        (:class:`~repro.store.store.TranslationStore`, or a directory
+        path one is opened at): translation-cache misses consult the
+        store — content-addressed by the raw page image plus both
+        configurations — before the translator, and fresh translations
+        are written back.  ``store_mode`` gates the traffic: ``"off"``
+        detaches the store, ``"read"`` serves warm-start loads only,
+        ``"read-write"`` (the default when a store is attached) also
+        saves.  Loaded entries are validated (framing checksum, page
+        digest, artifact content keys) and — in report/strict verify
+        modes — re-verified group by group before control can enter
+        them; anything suspect degrades to a clean miss
+        (:class:`~repro.runtime.events.StoreRejected`), never a crash
+        (docs/store.md).
+
         ``verify_translations`` selects the static-verification mode
         (:mod:`repro.verify`, docs/verification.md): every emitted
         group is invariant-checked before control enters it.  ``None``
@@ -306,6 +339,13 @@ class DaisySystem:
         self.translation_cache = TranslationCache(translation_capacity_bytes)
         self.translation_cache.on_evict = self._on_evict
         self.translation_cache.event_sink = self.bus.publish
+        #: Persistent translation store (docs/store.md).  A path is
+        #: opened here; a live TranslationStore may be shared across
+        #: many systems (the serving daemon's whole point).
+        if store is not None and not isinstance(store, TranslationStore):
+            store = TranslationStore(store)
+        self.store_mode = resolve_store_mode(store_mode, store)
+        self.store = store if self.store_mode != "off" else None
         self.itlb = Itlb()
         self.itlb.event_sink = self.bus.publish
         self.pinned_pages = self.translation_cache.pinned
@@ -526,6 +566,22 @@ class DaisySystem:
             page_paddr = paddr - paddr % page_size
             translation = self.translation_cache.lookup(page_paddr)
             created = False
+            if translation is None and self.store is not None:
+                # Warm start: consult the persistent store before the
+                # translator (docs/store.md).  A validated load is a
+                # fully usable translation; anything suspect returned
+                # None (a clean miss) and falls through below.
+                translation = self._store_load(pc, page_paddr)
+                if translation is not None:
+                    self._account_reservation(translation)
+                    self.translation_cache.insert(translation)
+                    self.memory.protect_range(page_paddr, page_size)
+                    first_time = \
+                        page_paddr not in self._pages_ever_translated
+                    self._pages_ever_translated.add(page_paddr)
+                    self.bus.publish(PageTranslated(
+                        page_vaddr=translation.page_vaddr,
+                        page_paddr=page_paddr, first_time=first_time))
             if translation is None:
                 # "VLIW translation missing" exception (Section 3.1).
                 self.bus.publish(TranslationMissing(pc=pc))
@@ -554,6 +610,7 @@ class DaisySystem:
             if created:
                 group = translation.group_at(pc % page_size)
                 self._compile_pending(translation)
+                self._maybe_store_save(translation)
                 self._current_page_paddr = translation.page_paddr
                 return group, translation
 
@@ -572,6 +629,7 @@ class DaisySystem:
             self._account_reservation(translation)
             self.translation_cache.touch_size(translation)
         self._compile_pending(translation)
+        self._maybe_store_save(translation)
         self._current_page_paddr = translation.page_paddr
         return group, translation
 
@@ -615,6 +673,151 @@ class DaisySystem:
         finally:
             if perf is not None:
                 perf.codegen += perf.clock() - started
+
+    # ------------------------------------------------------------------
+    # Persistent translation store (docs/store.md)
+    # ------------------------------------------------------------------
+
+    def _store_load(self, pc: int, page_paddr: int):
+        """Warm start: try to revive this page's translation from the
+        attached store.  Returns a fully laid-out, executor-finalized
+        :class:`PageTranslation`, or None — every failure mode
+        (corruption, format skew, stale bytes, tampered artifacts,
+        verify-on-load violations, even an unexpected crash in the
+        decode path) publishes a :class:`StoreRejected` and degrades to
+        a clean miss for the translator to fill."""
+        page_size = self.options.page_size
+        perf = self.perf
+        started = perf.clock() if perf is not None else 0.0
+        key = ""
+        try:
+            pair = store_codec.read_page(self.memory, page_paddr,
+                                         page_size)
+            if pair is None:
+                return None
+            image, boundary = pair
+            key = store_codec.store_key(image, boundary, self.config,
+                                        self.options)
+            payload = self.store.load(key)
+            if payload is None:
+                self.bus.publish(StoreMiss(page_paddr=page_paddr,
+                                           key=key))
+                return None
+            record = store_codec.decode_record(payload)
+            store_codec.validate_record(
+                record, store_codec.page_digest(image), page_size)
+            translation = store_codec.materialize(
+                record,
+                layout=self.translator._layout,
+                new_translation=self.translator.new_translation,
+                page_vaddr=pc - pc % page_size,
+                page_paddr=page_paddr,
+                code_base=self._allocate_code_base(page_paddr))
+            # Verify-on-load (report/strict modes): a persisted group
+            # is re-checked against the paper invariants before control
+            # can enter it.  Deliberately NOT through _verify_group —
+            # the memo there is keyed by page image, which a tampered
+            # *group* shares with the clean translation; a memo hit
+            # would bless it unseen.
+            if self._verifier is not None:
+                for group in translation.entries.values():
+                    check = self._verifier.verify_group(group)
+                    self.bus.publish(TranslationVerified(
+                        pc=group.entry_pc, vliws=check.vliws,
+                        routes=check.routes,
+                        violations=len(check.violations)))
+                    if check.violations:
+                        for violation in check.violations:
+                            self.bus.publish(VerifyViolation(
+                                kind=violation.kind,
+                                entry_pc=violation.entry_pc,
+                                vliw_index=violation.vliw_index,
+                                base_pc=violation.base_pc or 0,
+                                detail=violation.message))
+                        raise StoreFormatError(
+                            "verify", f"loaded group {group.entry_pc:#x}"
+                                      f" fails invariant check")
+            translation.store_synced = len(translation.entries)
+            self.bus.publish(StoreHit(page_paddr=page_paddr, key=key,
+                                      entries=len(translation.entries)))
+            return translation
+        except StoreFormatError as error:
+            if key:
+                self.store.discard(key)
+            self.bus.publish(StoreRejected(page_paddr=page_paddr,
+                                           key=key,
+                                           reason=error.reason))
+            return None
+        except Exception as error:          # noqa: BLE001 - never crash
+            if key:
+                self.store.discard(key)
+            self.bus.publish(StoreRejected(
+                page_paddr=page_paddr, key=key,
+                reason=f"load:{type(error).__name__}"))
+            return None
+        finally:
+            if perf is not None:
+                perf.store += perf.clock() - started
+
+    def _maybe_store_save(self, translation: PageTranslation) -> None:
+        """Write a freshly (re)translated page back to the store.  O(1)
+        when nothing changed since the last sync.  Pages carrying
+        verify-flagged groups are never persisted — the store must only
+        ever serve translations that passed their invariant check."""
+        store = self.store
+        entries = translation.entries
+        if store is None or self.store_mode != "read-write" \
+                or not entries or translation.store_synced == len(entries):
+            return
+        perf = self.perf
+        started = perf.clock() if perf is not None else 0.0
+        # Whatever happens below, don't retry on every subsequent
+        # lookup of this page: one attempt per entry-set.
+        translation.store_synced = len(entries)
+        try:
+            if any(group.verify_dirty for group in entries.values()):
+                return
+            pair = store_codec.read_page(
+                self.memory, translation.page_paddr,
+                translation.page_size)
+            if pair is None:
+                return
+            image, boundary = pair
+            key = store_codec.store_key(image, boundary, self.config,
+                                        self.options)
+            payload = store_codec.encode_translation(
+                translation, store_codec.page_digest(image))
+            framed = store_codec.frame(payload)
+            store.put(key, framed,
+                      page_paddr=translation.page_paddr,
+                      page_vaddr=translation.page_vaddr)
+            self.bus.publish(StoreSaved(
+                page_paddr=translation.page_paddr, key=key,
+                bytes=len(framed), entries=len(entries)))
+        except Exception as error:          # noqa: BLE001 - never crash
+            self.bus.publish(StoreRejected(
+                page_paddr=translation.page_paddr, key="",
+                reason=f"save:{type(error).__name__}"))
+        finally:
+            if perf is not None:
+                perf.store += perf.clock() - started
+
+    def store_discard_page(self, page_paddr: int) -> None:
+        """Drop this page's current store entry (if any), so the next
+        lookup pays a real translation instead of a warm start.  Used
+        by the chaos injector's translator seams: arming a translator
+        fault and then letting the store revive the page would starve
+        the fault of the translation it is waiting to blow up."""
+        if self.store is None:
+            return
+        pair = store_codec.read_page(self.memory, page_paddr,
+                                     self.options.page_size)
+        if pair is None:
+            return
+        image, boundary = pair
+        key = store_codec.store_key(image, boundary, self.config,
+                                    self.options)
+        self.store.discard(key)
 
     def _allocate_code_base(self, page_paddr: int) -> int:
         """Where this page's translation lives in VLIW memory."""
@@ -1059,6 +1262,11 @@ class DaisySystem:
         result.exec_mode = self.exec_mode
         result.groups_compiled = counters.count(GroupCompiled)
         result.codegen_aborts = counters.count(CodegenAbort)
+        result.store_mode = self.store_mode
+        result.store_hits = counters.count(StoreHit)
+        result.store_misses = counters.count(StoreMiss)
+        result.store_saves = counters.count(StoreSaved)
+        result.store_rejects = counters.count(StoreRejected)
         result.exit_code = exit_code
         result.base_instructions = stats.completed
         result.vliws = stats.vliws

@@ -251,7 +251,8 @@ class TestProfileCli:
         assert report["chain"]["follows"] > 0
         buckets = report["perf"]["seconds"]
         assert set(buckets) == {"total", "execute", "translate",
-                                "codegen", "interpret", "vmm_dispatch"}
+                                "codegen", "store", "interpret",
+                                "vmm_dispatch"}
 
     def test_profile_compare_chain_axis(self, capsys):
         from repro.cli import main

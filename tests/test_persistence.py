@@ -79,3 +79,21 @@ class TestSaveRestore:
         second.load_program(workload.program)
         restored, skipped = load_translations(second, path)
         assert restored == 0 and skipped > 0
+
+
+class TestDeprecation:
+    """Both entry points are compatibility shims over repro.store now:
+    old call sites keep passing, but each call warns."""
+
+    def test_save_and_load_warn(self, workload, tmp_path):
+        first = fresh_system(workload)
+        first.run()
+        path = str(tmp_path / "cache.bin")
+        with pytest.deprecated_call():
+            count = save_translations(first, path)
+        assert count > 0
+
+        second = fresh_system(workload)
+        with pytest.deprecated_call():
+            restored, skipped = load_translations(second, path)
+        assert restored == count and skipped == 0

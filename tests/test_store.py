@@ -1,0 +1,237 @@
+"""The persistent translation store: codec, disk cache, warm start.
+
+Unit coverage for :mod:`repro.store` (framing, restricted decode,
+LRU eviction, index reconciliation) plus the DaisySystem integration:
+a cold run writes translations back, a fresh system warm-starts from
+them with bit-identical architected results, and the ``store_mode``
+knob gates traffic in both directions.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.store import (
+    FORMAT_VERSION,
+    STORE_MODES,
+    StoreFormatError,
+    TranslationStore,
+    resolve_store_mode,
+    store_key,
+)
+from repro.store import codec
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+from tests.helpers import run_native
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = b"payload bytes"
+        assert codec.unframe(codec.frame(payload)) == payload
+
+    def test_truncated(self):
+        with pytest.raises(StoreFormatError) as err:
+            codec.unframe(b"DSY")
+        assert err.value.reason == "truncated"
+
+    def test_wrong_magic(self):
+        framed = bytearray(codec.frame(b"x"))
+        framed[0] ^= 0xFF
+        with pytest.raises(StoreFormatError) as err:
+            codec.unframe(bytes(framed))
+        assert err.value.reason == "magic"
+
+    def test_wrong_version(self):
+        framed = bytearray(codec.frame(b"x"))
+        framed[len(codec.MAGIC) + 1] ^= 0xFF
+        with pytest.raises(StoreFormatError) as err:
+            codec.unframe(bytes(framed))
+        assert err.value.reason == "version"
+
+    def test_payload_bit_flip(self):
+        framed = bytearray(codec.frame(b"some longer payload"))
+        framed[-1] ^= 0x01
+        with pytest.raises(StoreFormatError) as err:
+            codec.unframe(bytes(framed))
+        assert err.value.reason == "checksum"
+
+    def test_restricted_unpickler_rejects_foreign_globals(self):
+        # A payload naming anything outside repro.* / safe builtins is
+        # rejected at decode, before any object is constructed.
+        evil = pickle.dumps({"format": FORMAT_VERSION,
+                             "hook": print}, protocol=4)
+        with pytest.raises(StoreFormatError) as err:
+            codec.decode_record(evil)
+        assert err.value.reason == "decode"
+
+    def test_content_key_depends_on_image_and_config(self):
+        config = MachineConfig.default()
+        from repro.core.options import TranslationOptions
+        options = TranslationOptions()
+        base = store_key(b"\x00" * 64, b"", config, options)
+        assert store_key(b"\x01" + b"\x00" * 63, b"", config,
+                         options) != base
+        assert store_key(b"\x00" * 64, b"\xff", config, options) != base
+        assert store_key(b"\x00" * 64, b"", config,
+                         TranslationOptions(page_size=1024)) != base
+        assert store_key(b"\x00" * 64, b"", config, options) == base
+
+
+class TestTranslationStore:
+    def _key(self, n: int) -> str:
+        return f"{n:064x}"
+
+    def test_put_get_roundtrip(self, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        framed = codec.frame(b"abc")
+        store.put(self._key(1), framed)
+        assert store.get(self._key(1)) == framed
+        assert store.load(self._key(1)) == b"abc"
+        assert self._key(1) in store and len(store) == 1
+
+    def test_miss(self, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        assert store.get(self._key(9)) is None
+        assert store.load(self._key(9)) is None
+        assert store.misses == 2 and store.hits == 0
+
+    def test_discard(self, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        store.put(self._key(1), codec.frame(b"abc"))
+        store.discard(self._key(1))
+        assert store.get(self._key(1)) is None
+
+    def test_corrupt_object_is_dropped_and_misses(self, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        store.put(self._key(1), codec.frame(b"abc"))
+        with open(store._object_path(self._key(1)), "wb") as fh:
+            fh.write(b"garbage")
+        with pytest.raises(StoreFormatError):
+            store.load(self._key(1))
+        assert store.rejects == 1
+        # The damaged entry is gone: subsequent lookups are clean misses.
+        assert store.load(self._key(1)) is None
+
+    def test_lru_eviction_respects_budget_and_recency(self, tmp_path):
+        framed = codec.frame(b"x" * 100)
+        store = TranslationStore(str(tmp_path),
+                                 max_bytes=3 * len(framed))
+        for n in range(3):
+            store.put(self._key(n), framed)
+        store.get(self._key(0))              # 0 is now most recent
+        store.put(self._key(3), framed)      # over budget: evict LRU (1)
+        assert self._key(1) not in store
+        assert self._key(0) in store and self._key(3) in store
+        assert store.evictions == 1
+        assert store.total_bytes <= store.max_bytes
+
+    def test_reopen_rebuilds_index_from_objects(self, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        store.put(self._key(1), codec.frame(b"abc"),
+                  page_paddr=0x1000, page_vaddr=0x1000)
+        # Ground truth is the objects directory: losing index.json
+        # costs metadata, never entries.
+        (tmp_path / "index.json").unlink()
+        again = TranslationStore(str(tmp_path))
+        assert again.load(self._key(1)) == b"abc"
+        assert again.page_hint(self._key(1)) == (None, None)
+
+    def test_mangled_index_degrades_cleanly(self, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        store.put(self._key(1), codec.frame(b"abc"))
+        (tmp_path / "index.json").write_text("{not json", encoding="utf-8")
+        again = TranslationStore(str(tmp_path))
+        assert again.load(self._key(1)) == b"abc"
+
+    def test_flush_persists_hints(self, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        store.put(self._key(1), codec.frame(b"abc"),
+                  page_paddr=0x2000, page_vaddr=0x2000)
+        store.flush()
+        doc = json.loads((tmp_path / "index.json").read_text())
+        assert doc["format"] == FORMAT_VERSION
+        again = TranslationStore(str(tmp_path))
+        assert again.page_hint(self._key(1)) == (0x2000, 0x2000)
+
+    def test_stats_shape(self, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        stats = store.stats()
+        assert set(stats) == {"entries", "bytes", "hits", "misses",
+                              "puts", "rejects", "evictions"}
+
+
+class TestStoreMode:
+    def test_defaults(self):
+        assert resolve_store_mode(None, None) == "off"
+        assert resolve_store_mode(None, object()) == "read-write"
+        for mode in STORE_MODES:
+            assert resolve_store_mode(mode, object()) == mode
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_store_mode("write-only", object())
+
+
+# ----------------------------------------------------------------------
+# DaisySystem warm start
+# ----------------------------------------------------------------------
+
+
+def _run(workload, store=None, store_mode=None):
+    system = DaisySystem(MachineConfig.default(), store=store,
+                         store_mode=store_mode)
+    system.load_program(workload.program)
+    return system, system.run()
+
+
+class TestWarmStart:
+    @pytest.fixture
+    def workload(self):
+        return build_workload("c_sieve", "tiny")
+
+    def test_cold_run_saves(self, workload, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        _, result = _run(workload, store=store)
+        assert result.store_mode == "read-write"
+        assert result.store_saves > 0
+        assert result.store_misses > 0 and result.store_hits == 0
+        assert len(store) > 0
+
+    def test_warm_run_is_bit_identical(self, workload, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        _, cold = _run(workload, store=store)
+        warm_system, warm = _run(workload, store=store)
+        assert warm.store_hits > 0
+        assert warm.exit_code == cold.exit_code == 0
+        assert warm.base_instructions == cold.base_instructions
+        assert warm.cycles == cold.cycles
+        assert list(warm.output) == list(cold.output)
+        interp, native = run_native(workload.program)
+        native_snap = interp.state.snapshot()
+        daisy_snap = warm_system.state.snapshot()
+        native_snap.pop("pc")
+        daisy_snap.pop("pc")
+        assert native_snap == daisy_snap
+
+    def test_read_mode_never_writes(self, workload, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        _, result = _run(workload, store=store, store_mode="read")
+        assert result.store_mode == "read"
+        assert result.store_saves == 0 and store.puts == 0
+        assert len(store) == 0
+
+    def test_off_mode_detaches(self, workload, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        system, result = _run(workload, store=store, store_mode="off")
+        assert result.store_mode == "off" and system.store is None
+        assert result.store_hits == result.store_saves == 0
+
+    def test_store_accepts_path(self, workload, tmp_path):
+        _, cold = _run(workload, store=str(tmp_path))
+        assert cold.store_saves > 0
+        _, warm = _run(workload, store=str(tmp_path))
+        assert warm.store_hits > 0

@@ -1,0 +1,229 @@
+"""Adversarial store entries: every one loads as a clean miss.
+
+A persisted translation is input, not trusted state.  These tests
+damage store entries every way the threat model names — truncation,
+bit flips, format skew, stale page images, tampered compiled sources
+(naive and consistently re-keyed), invariant-violating groups seeded
+with the :mod:`repro.verify.corrupt` mutators — and assert the same
+outcome for all of them: the run completes with correct architected
+results, the damaged entry is rejected with a published
+:class:`~repro.runtime.events.StoreRejected` carrying the right
+reason, and no tampered artifact ever executes.
+"""
+
+import hashlib
+import io
+import os
+import pickle
+
+import pytest
+
+from repro.runtime.events import CodegenAbort, StoreRejected
+from repro.store import TranslationStore
+from repro.store import codec
+from repro.verify.corrupt import CORRUPTIONS, apply_corruption
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+
+WORKLOAD = "c_sieve"
+
+
+def _system(store=None, store_mode=None, verify=None):
+    kwargs = {}
+    if verify is not None:
+        kwargs["verify_translations"] = verify
+    system = DaisySystem(MachineConfig.default(), store=store,
+                         store_mode=store_mode, **kwargs)
+    system.load_program(build_workload(WORKLOAD, "tiny").program)
+    return system
+
+
+@pytest.fixture
+def reference():
+    result = _system().run()
+    assert result.exit_code == 0
+    return result
+
+
+@pytest.fixture
+def populated(tmp_path):
+    """A store holding one clean cold run's translations."""
+    store = TranslationStore(str(tmp_path))
+    result = _system(store=store).run()
+    assert result.store_saves > 0
+    return store
+
+
+def _object_paths(store):
+    paths = [store._object_path(key) for key in store.keys()]
+    assert paths
+    return paths
+
+
+def _run_against(store, reference, expect_reasons):
+    """A warm run over a damaged store must behave exactly like a cold
+    run — and publish rejections with the expected reason slugs."""
+    rejected = []
+    system = _system(store=store)
+    system.bus.subscribe(StoreRejected,
+                         lambda event: rejected.append(event.reason))
+    result = system.run()
+    assert result.exit_code == 0
+    assert result.base_instructions == reference.base_instructions
+    assert result.cycles == reference.cycles
+    assert list(result.output) == list(reference.output)
+    assert result.store_rejects == len(rejected) > 0
+    assert set(rejected) <= set(expect_reasons), rejected
+    return result
+
+
+class TestDamagedEntries:
+    def test_truncated_entry_is_clean_miss(self, populated, reference):
+        for path in _object_paths(populated):
+            with open(path, "rb") as fh:
+                data = fh.read()
+            with open(path, "wb") as fh:
+                fh.write(data[:10])
+        _run_against(populated, reference, {"truncated"})
+
+    def test_bit_flipped_payload_is_clean_miss(self, populated, reference):
+        for path in _object_paths(populated):
+            with open(path, "r+b") as fh:
+                fh.seek(codec._HEADER_BYTES + 3)
+                byte = fh.read(1)
+                fh.seek(codec._HEADER_BYTES + 3)
+                fh.write(bytes([byte[0] ^ 0x40]))
+        _run_against(populated, reference, {"checksum"})
+
+    def test_wrong_version_is_clean_miss(self, populated, reference):
+        for path in _object_paths(populated):
+            with open(path, "r+b") as fh:
+                fh.seek(len(codec.MAGIC))
+                fh.write((codec.FORMAT_VERSION + 1).to_bytes(2, "big"))
+        _run_against(populated, reference, {"version"})
+
+    def test_garbage_object_is_clean_miss(self, populated, reference):
+        for path in _object_paths(populated):
+            with open(path, "wb") as fh:
+                fh.write(os.urandom(200))
+        _run_against(populated, reference,
+                     {"magic", "truncated", "version", "checksum"})
+
+    def test_stale_page_entry_is_clean_miss(self, populated, reference,
+                                            tmp_path):
+        # Re-home a well-formed entry under the key of a *different*
+        # page: the frame checks pass, the embedded page digest does
+        # not match the bytes in memory.
+        paths = _object_paths(populated)
+        donor = paths[0]
+        with open(donor, "rb") as fh:
+            donor_bytes = fh.read()
+        payload = codec.unframe(donor_bytes)
+        record = pickle.loads(payload)
+        record["page_digest"] = "0" * 64
+        reframed = codec.frame(pickle.dumps(record, protocol=4))
+        for key in populated.keys():
+            populated.put(key, reframed)
+        _run_against(populated, reference, {"stale-page"})
+
+
+def _rewrite_entries(store, mutate):
+    """Apply ``mutate(record)`` to every entry, re-framing in place
+    (the frame checksum is recomputed — the adversary controls the
+    whole file)."""
+    for key in list(store.keys()):
+        payload = store.load(key)
+        record = pickle.loads(payload)
+        mutate(record)
+        store.put(key, codec.frame(pickle.dumps(record, protocol=4)))
+
+
+class TestTamperedArtifacts:
+    def test_naive_source_tamper_rejected_as_artifact(
+            self, populated, reference):
+        # Source edited, content key left stale: caught by
+        # validate_record before anything is materialized.
+        def mutate(record):
+            for _, group in record["entries"]:
+                if group.compiled is not None:
+                    group.compiled.source += "\nEVIL = 1\n"
+        _rewrite_entries(populated, mutate)
+        _run_against(populated, reference, {"artifact"})
+
+    def test_rekeyed_source_tamper_never_executes(
+            self, populated, reference):
+        # The adversary also fixes up the content key, so the record
+        # validates and the load succeeds — but CompiledGroup.bind
+        # re-emits from the group and byte-compares before building
+        # the function: the tampered source never reaches exec, and
+        # the group degrades to the bound path.
+        tampered = []
+
+        def mutate(record):
+            for _, group in record["entries"]:
+                compiled = group.compiled
+                if compiled is None:
+                    continue
+                compiled.source += "\nos.system('true')\n"
+                compiled.key = hashlib.sha256(
+                    compiled.source.encode()).hexdigest()
+                tampered.append(group.entry_pc)
+        _rewrite_entries(populated, mutate)
+        assert tampered
+
+        aborts = []
+        system = _system(store=populated)
+        system.bus.subscribe(CodegenAbort,
+                             lambda event: aborts.append(event.pc))
+        result = system.run()
+        assert result.exit_code == 0
+        assert result.base_instructions == reference.base_instructions
+        assert list(result.output) == list(reference.output)
+        assert result.store_hits > 0      # the load itself succeeded
+        assert aborts                     # ...but bind refused to exec
+
+
+class TestVerifyOnLoad:
+    @pytest.mark.parametrize("corruption", sorted(CORRUPTIONS))
+    def test_corrupted_group_rejected_by_verifier(
+            self, corruption, reference, tmp_path):
+        # Build a clean run, seed a known-bad mutation into its live
+        # groups, and persist the result by hand (the running system
+        # itself refuses to save verify-dirty pages).  The consumer's
+        # verify-on-load must catch what the frame checks cannot: the
+        # entry is internally consistent, just wrong.
+        producer = _system()
+        producer.run()
+        store = TranslationStore(str(tmp_path))
+        seeded = 0
+        for paddr in list(producer.translation_cache.live_pages):
+            translation = producer.translation_cache.lookup(paddr)
+            if translation is None or not translation.entries:
+                continue
+            for group in translation.entries.values():
+                if apply_corruption(corruption, group):
+                    group.compiled = None   # codegen predates the edit
+                    seeded += 1
+            pair = codec.read_page(producer.memory, paddr,
+                                   translation.page_size)
+            image, boundary = pair
+            key = codec.store_key(image, boundary, producer.config,
+                                  producer.options)
+            payload = codec.encode_translation(
+                translation, codec.page_digest(image))
+            store.put(key, codec.frame(payload), page_paddr=paddr,
+                      page_vaddr=translation.page_vaddr)
+        if not seeded:
+            pytest.skip(f"no {corruption} site in {WORKLOAD}[tiny]")
+
+        rejected = []
+        consumer = _system(store=store, verify="strict")
+        consumer.bus.subscribe(StoreRejected,
+                               lambda event: rejected.append(event.reason))
+        result = consumer.run()
+        assert result.exit_code == 0
+        assert result.base_instructions == reference.base_instructions
+        assert list(result.output) == list(reference.output)
+        assert "verify" in rejected

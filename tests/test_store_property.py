@@ -1,0 +1,100 @@
+"""Property tests: store round-trips preserve execution bit-for-bit.
+
+For fuzzer-generated programs (the conformance corpus generator, so
+every case is reproducible from its index), a run that warm-starts
+from the persistent store must be indistinguishable — exit code,
+committed instruction count, cycle count, output stream, final
+architected state — from a run that translates everything fresh, in
+both group-executor modes.  Derandomized: the corpus is fixed, CI runs
+the same cases every time.
+"""
+
+import tempfile
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.conform.fuzz import FuzzConfig, generate_case
+from repro.faults import InstructionBudgetExceeded
+from repro.isa.assembler import Assembler
+from repro.store import TranslationStore
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+
+_SEED = 20260808
+_CONFIG = FuzzConfig(exceptions=True)
+
+_SETTINGS = dict(max_examples=20, derandomize=True, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _execute(program, exec_mode, store=None, store_mode=None):
+    system = DaisySystem(MachineConfig.default(), exec_mode=exec_mode,
+                        store=store, store_mode=store_mode)
+    system.load_program(program)
+    # The corpus generates faulting programs; deliver to OS vectors so
+    # the run is deterministic instead of aborting mid-group.  The
+    # tight VLIW cap bounds delivered-fault runaways — hitting it is
+    # itself a deterministic outcome the parity check covers.
+    try:
+        result = system.run(max_vliws=20_000, deliver_faults=True)
+    except InstructionBudgetExceeded:
+        result = None
+    return system, result
+
+
+def _signature(system, result):
+    """Everything observable about one run."""
+    if result is None:                     # runaway, stopped at the cap
+        return ("budget", system.state.snapshot())
+    return (result.exit_code, result.base_instructions, result.cycles,
+            list(result.output), system.state.snapshot())
+
+
+def _check_roundtrip(index: int, exec_mode: str) -> None:
+    case = generate_case(_SEED, index, _CONFIG)
+    program = Assembler().assemble(case.source)
+
+    fresh_system, fresh = _execute(program, exec_mode)
+    reference = _signature(fresh_system, fresh)
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as root:
+        store = TranslationStore(root)
+        cold_system, cold = _execute(program, exec_mode, store=store)
+        assert _signature(cold_system, cold) == reference
+
+        warm_system, warm = _execute(program, exec_mode, store=store)
+        assert _signature(warm_system, warm) == reference
+        if cold is not None and warm is not None:
+            if cold.store_saves > 0:
+                assert warm.store_hits > 0
+            assert warm.store_rejects == 0
+
+
+@given(index=st.integers(min_value=0, max_value=500))
+@settings(**_SETTINGS)
+def test_store_roundtrip_parity_compiled(index):
+    _check_roundtrip(index, "compiled")
+
+
+@given(index=st.integers(min_value=0, max_value=500))
+@settings(**_SETTINGS)
+def test_store_roundtrip_parity_bound(index):
+    _check_roundtrip(index, "bound")
+
+
+@given(index=st.integers(min_value=0, max_value=500))
+@settings(**_SETTINGS)
+def test_cross_mode_store_sharing(index):
+    """A store populated by a compiled-mode producer serves a
+    bound-mode consumer (and vice versa) with identical results —
+    the persisted record is executor-agnostic."""
+    case = generate_case(_SEED, index, _CONFIG)
+    program = Assembler().assemble(case.source)
+    fresh_system, fresh = _execute(program, "bound")
+    reference = _signature(fresh_system, fresh)
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as root:
+        store = TranslationStore(root)
+        _execute(program, "compiled", store=store)
+        warm_system, warm = _execute(program, "bound", store=store)
+        assert _signature(warm_system, warm) == reference
+        assert warm is None or warm.store_rejects == 0
