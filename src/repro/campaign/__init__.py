@@ -1,0 +1,47 @@
+"""Coverage-directed robustness campaigns over crash-isolated workers.
+
+The standing adversary of ROADMAP item 5: ``repro campaign`` schedules
+conform-fuzz, chaos, store-adversarial, and verify-corruption cases
+through killable worker subprocesses, weights generators toward the
+translator paths / fault seams / verifier invariants / store-reject
+reasons they *newly* exercise, appends every result to a crash-safe
+corpus (``--resume`` continues an interrupted run), ddmin-shrinks and
+signature-clusters divergences, and emits a JSON + text analysis
+report for CI.  See docs/campaigns.md.
+
+Module map:
+
+* :mod:`.isolate` / :mod:`.worker` — the subprocess protocol (shared
+  by the ``--timeout`` paths of ``repro conform`` / ``repro chaos``);
+* :mod:`.cases` — case bodies + event-bus coverage harvesting;
+* :mod:`.generators` — the schedulable generator configurations;
+* :mod:`.scheduler` — deterministic coverage-weighted rounds;
+* :mod:`.corpus` — atomic-write records, scan-rebuilt index;
+* :mod:`.runner` — retries, quarantine, resume, the report;
+* :mod:`.analysis` — growth curves, heatmap, clusters, perf trend.
+"""
+
+from repro.campaign.corpus import CampaignCorpus, CorpusError
+from repro.campaign.generators import (
+    GeneratorSpec,
+    default_generators,
+    resolve_generators,
+)
+from repro.campaign.runner import (
+    CampaignConfig,
+    CampaignError,
+    CampaignReport,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignCorpus",
+    "CampaignError",
+    "CampaignReport",
+    "CorpusError",
+    "GeneratorSpec",
+    "default_generators",
+    "resolve_generators",
+    "run_campaign",
+]

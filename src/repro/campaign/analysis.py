@@ -1,0 +1,265 @@
+"""The campaign's final analysis stage.
+
+Turns the ordered record stream plus scheduler state into the report
+artifact CI uploads:
+
+* **coverage growth curve** — cumulative distinct features after each
+  case, so a flat tail says "this campaign stopped learning";
+* **seam/invariant heatmap** — generators × feature classes, exposing
+  which generator exercises which machinery (and which seams nobody
+  does: ``unexercised_seams`` is called out explicitly);
+* **divergence clusters** — failures deduped by attribution signature
+  (case kind + divergence kind + backend + detail shape), each with a
+  representative record and its ddmin-shrunk reproducer when one
+  exists;
+* **perf trend** — a small live hotloop probe placed against the
+  recorded ``BENCH_*.json`` trajectory, so a campaign run doubles as a
+  cheap regression sentinel.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+#: Feature classes the heatmap columns aggregate (the token prefix up
+#: to the first ``:``).
+_HEAT_CLASSES = ("path", "seam", "invariant", "store-reject", "abort",
+                 "quarantine", "crosspage", "shape", "tamper",
+                 "verify", "corrupt")
+
+
+# ----------------------------------------------------------------------
+# Divergence clustering
+# ----------------------------------------------------------------------
+
+def record_signatures(record: dict) -> List[str]:
+    """Attribution signatures for one record.  Two failures with the
+    same signature are almost certainly the same bug: same case kind,
+    same divergence kind, same backend, same mismatching fields."""
+    status = record.get("status")
+    kind = record.get("kind") or (record.get("spec") or {}).get("kind")
+    if status == "timeout":
+        return [f"{kind}/timeout"]
+    if status == "crash":
+        stderr = record.get("stderr", "")
+        # The last traceback line names the exception; that plus the
+        # generator is the crash's identity.
+        last = stderr.strip().rsplit("\n", 1)[-1][:80] if stderr else ""
+        digest = hashlib.sha256(last.encode()).hexdigest()[:8]
+        return [f"{kind}/worker-crash/{digest}"]
+    signatures = []
+    for divergence in record.get("divergences", ()):
+        detail_keys = "+".join(sorted(divergence.get("detail") or ()))
+        signatures.append("/".join(filter(None, (
+            str(kind), str(divergence.get("kind")),
+            str(divergence.get("backend", "")), detail_keys))))
+    return signatures
+
+
+def cluster_divergences(records: List[dict]) -> List[dict]:
+    """Dedup failing records into signature clusters, each with one
+    representative (the first, by schedule order — deterministic)."""
+    clusters: Dict[str, dict] = {}
+    for record in records:
+        if record.get("status") == "ok":
+            continue
+        for signature in record_signatures(record):
+            cluster = clusters.get(signature)
+            if cluster is None:
+                case = record.get("case") or {}
+                shrunk = (case.get("shrunk_source")
+                          if isinstance(case, dict) else None)
+                cluster = clusters[signature] = {
+                    "signature": signature,
+                    "count": 0,
+                    "case_ids": [],
+                    "representative": record.get("case_id"),
+                    "shrunk_source": shrunk,
+                    "shrunk": shrunk is not None,
+                }
+            cluster["count"] += 1
+            cluster["case_ids"].append(record.get("case_id"))
+    return sorted(clusters.values(),
+                  key=lambda c: (-c["count"], c["signature"]))
+
+
+# ----------------------------------------------------------------------
+# Perf trend
+# ----------------------------------------------------------------------
+
+def bench_trajectory(bench_dir: str = ".") -> List[dict]:
+    """Every ``speedup`` figure recorded in the repo's ``BENCH_*.json``
+    trajectory files, flattened to rows — whatever nesting each PR's
+    bench format used."""
+    rows: List[dict] = []
+
+    def walk(node, file, path):
+        if isinstance(node, dict):
+            speedup = node.get("speedup")
+            if isinstance(speedup, (int, float)):
+                rows.append({"file": file, "where": path or "/",
+                             "speedup": round(float(speedup), 3)})
+            for key, value in sorted(node.items()):
+                walk(value, file, f"{path}/{key}")
+        elif isinstance(node, list):
+            for position, value in enumerate(node):
+                walk(value, file, f"{path}[{position}]")
+
+    for path in sorted(glob.glob(os.path.join(bench_dir,
+                                              "BENCH_*.json"))):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        walk(doc, os.path.basename(path), "")
+    return rows
+
+
+def perf_probe(size: str = "tiny") -> Optional[dict]:
+    """One quick compiled-vs-bound hotloop measurement, comparable to
+    the BENCH trajectory's exec-mode axis.  Best-effort: a probe
+    failure degrades to ``None`` rather than failing the campaign."""
+    try:
+        import time
+
+        from repro.runtime.backend import DaisyBackend
+        from repro.workloads import build_workload
+
+        program = build_workload("hotloop", size).program
+
+        def run(exec_mode):
+            system = DaisyBackend(exec_mode=exec_mode).build_system()
+            system.load_program(program)
+            started = time.perf_counter()
+            system.run()
+            return time.perf_counter() - started
+
+        bound = run("bound")
+        compiled = run("compiled")
+        return {
+            "target": "hotloop", "size": size, "axis": "exec",
+            "bound_seconds": round(bound, 6),
+            "compiled_seconds": round(compiled, 6),
+            "speedup": round(bound / compiled, 3) if compiled else 0.0,
+        }
+    except Exception:                       # noqa: BLE001 - best effort
+        return None
+
+
+# ----------------------------------------------------------------------
+# The full analysis
+# ----------------------------------------------------------------------
+
+def analyze_campaign(records: List[dict], scheduler, config,
+                     probe: bool = True) -> dict:
+    """Everything the report carries, from the schedule-ordered record
+    stream + final scheduler state."""
+    from repro.resilience.plan import SEAMS
+
+    growth: List[int] = []
+    seen: set = set()
+    status_counts = {"ok": 0, "diverged": 0, "timeout": 0, "crash": 0}
+    heatmap: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        seen |= set(record.get("features", ()))
+        growth.append(len(seen))
+        status = record.get("status", "crash")
+        status_counts[status] = status_counts.get(status, 0) + 1
+        row = heatmap.setdefault(record.get("generator", "?"), {})
+        for feature in record.get("features", ()):
+            klass = feature.split(":", 1)[0]
+            if klass in _HEAT_CLASSES:
+                row[klass] = row.get(klass, 0) + 1
+
+    exercised_seams = sorted(feature.split(":", 1)[1]
+                             for feature in seen
+                             if feature.startswith("seam:"))
+    return {
+        "cases": len(records),
+        "status_counts": status_counts,
+        "features": len(seen),
+        "coverage": sorted(seen),
+        "coverage_growth": growth,
+        "heatmap": {name: dict(sorted(row.items()))
+                    for name, row in sorted(heatmap.items())},
+        "generators": [state.to_row() for state
+                       in scheduler.states.values()],
+        "quarantined": scheduler.quarantined,
+        "clusters": cluster_divergences(records),
+        "exercised_seams": exercised_seams,
+        "unexercised_seams": [seam for seam in SEAMS
+                              if seam not in exercised_seams],
+        "perf": {
+            "probe": perf_probe(config.size) if probe else None,
+            "trajectory": bench_trajectory(config.bench_dir),
+        },
+    }
+
+
+def render_text(analysis: dict, config) -> str:
+    """The human-readable report.txt."""
+    counts = analysis["status_counts"]
+    growth = analysis["coverage_growth"]
+    lines = [
+        f"campaign: seed={config.seed} cases={analysis['cases']} "
+        f"workers={config.workers} timeout={config.timeout:g}s",
+        f"status: {counts.get('ok', 0)} ok, "
+        f"{counts.get('diverged', 0)} diverged, "
+        f"{counts.get('timeout', 0)} timeout, "
+        f"{counts.get('crash', 0)} crash",
+        f"coverage: {analysis['features']} features "
+        f"(growth {growth[:1]}→{growth[-1:]} over {len(growth)} cases)",
+    ]
+    lines.append("generators:")
+    for row in analysis["generators"]:
+        flags = " QUARANTINED" if row["quarantined"] else ""
+        lines.append(
+            f"  {row['generator']:20s} {row['cases']:>4d} cases  "
+            f"{row['new_features']:>4d} new features  "
+            f"{row['divergences']:>3d} div  {row['crashes']:>3d} crash  "
+            f"{row['timeouts']:>3d} t/o  w={row['weight']:.2f}{flags}")
+    lines.append("heatmap (generator x feature class):")
+    for name, row in analysis["heatmap"].items():
+        cells = ", ".join(f"{klass}={count}"
+                          for klass, count in row.items())
+        lines.append(f"  {name:20s} {cells or '(none)'}")
+    unexercised = analysis["unexercised_seams"]
+    lines.append("unexercised seams: "
+                 + (", ".join(unexercised) if unexercised else "none"))
+    clusters = analysis["clusters"]
+    if clusters:
+        lines.append(f"divergence clusters ({len(clusters)}):")
+        for cluster in clusters:
+            shrunk = " [shrunk]" if cluster["shrunk"] else ""
+            lines.append(f"  x{cluster['count']:<3d} "
+                         f"{cluster['signature']}  "
+                         f"rep={cluster['representative']}{shrunk}")
+            if cluster["shrunk_source"]:
+                lines.extend("    | " + line for line in
+                             cluster["shrunk_source"]
+                             .strip().splitlines()[:12])
+    else:
+        lines.append("divergence clusters: none")
+    probe = analysis["perf"]["probe"]
+    if probe:
+        lines.append(
+            f"perf probe: hotloop[{probe['size']}] compiled "
+            f"{probe['speedup']}x over bound "
+            f"({probe['compiled_seconds']}s vs {probe['bound_seconds']}s)")
+    trajectory = analysis["perf"]["trajectory"]
+    if trajectory:
+        tail = trajectory[-3:]
+        lines.append("bench trajectory (last rows): " + "; ".join(
+            f"{row['file']}{row['where']}={row['speedup']}x"
+            for row in tail))
+    return "\n".join(lines)
+
+
+__all__ = ["analyze_campaign", "bench_trajectory",
+           "cluster_divergences", "perf_probe", "record_signatures",
+           "render_text"]

@@ -1,0 +1,410 @@
+"""Case bodies for the campaign worker.
+
+``execute_spec`` maps one JSON case spec to one JSON result.  Four
+real case kinds (plus a test-only ``selftest``) reuse the existing
+harnesses — the point of the campaign layer is scheduling and
+isolation, not new oracles:
+
+* ``conform-fuzz`` — one seeded fuzz program under full lockstep
+  (:func:`repro.conform.harness.run_fuzz_case`), ddmin-shrunk on
+  divergence;
+* ``conform-workload`` — one bundled workload under lockstep;
+* ``chaos`` — one workload under one seeded fault schedule
+  (:func:`repro.resilience.chaos.run_chaos_case`);
+* ``store-adversarial`` — cold-fill a private persistent store, tamper
+  with it the way a crash or an attacker would (bit flip, truncation,
+  garbage, index loss, orphan tmp files), then warm-start and demand
+  bit-identical architected results with corruption surfacing only as
+  clean-miss rejects;
+* ``verify-corruption`` — seed one translation corruption and demand
+  the static verifier catches it (the PR-5 loudness self-test).
+
+Every result carries ``features``: coverage tokens harvested from the
+event bus (translator paths taken, verifier invariants fired, fault
+seams injected, store reject reasons).  The scheduler weights
+generators by which features they *newly* exercise, so the campaign
+drifts toward whatever the corpus has not seen yet.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import tempfile
+from typing import Dict, List, Optional, Set
+
+#: Deterministic tamper modes for ``store-adversarial`` cases, cycled
+#: by case index.  The first three corrupt an object (the store must
+#: reject it as a clean miss); the last two simulate a writer killed
+#: mid-put (the store must shrug them off entirely).
+STORE_TAMPERS = ("flip", "truncate", "garbage", "delete-index",
+                 "tmp-litter")
+
+#: Tampers that damage a stored object and therefore MUST produce at
+#: least one ``StoreRejected`` on the warm run.
+_CORRUPTING_TAMPERS = ("flip", "truncate", "garbage")
+
+
+# ----------------------------------------------------------------------
+# Coverage harvesting
+# ----------------------------------------------------------------------
+
+def harvest_features(counters) -> Set[str]:
+    """Map one system's :class:`~repro.runtime.events.EventCounters`
+    snapshot to coverage tokens.
+
+    ``path:*`` marks a translator/runtime path taken at least once;
+    the keyed families (``seam:``, ``invariant:``, ``store-reject:``,
+    ``abort:``, ``quarantine:``, ``crosspage:``, ``codegen-abort:``)
+    expand each event's key field, so a campaign can tell "some seam
+    fired" apart from "the smc-write seam fired".
+    """
+    from repro.runtime import events as ev
+
+    features: Set[str] = set()
+    path_events = {
+        ev.PageTranslated: "path:translate",
+        ev.EntryTranslated: "path:entry-translate",
+        ev.InterpretedEpisode: "path:interpret",
+        ev.CodeModification: "path:smc",
+        ev.TranslationInvalidated: "path:invalidate",
+        ev.InvalidEntry: "path:invalid-entry",
+        ev.Castout: "path:castout",
+        ev.AliasRecovery: "path:alias",
+        ev.ItlbFlush: "path:itlb-flush",
+        ev.FaultDelivered: "path:fault-deliver",
+        ev.ExternalInterrupt: "path:ext-interrupt",
+        ev.TierPromotion: "path:promote",
+        ev.TierDemotion: "path:demote",
+        ev.GroupCompiled: "path:codegen",
+        ev.OverBudget: "path:over-budget",
+        ev.DegradationLatch: "path:degradation-latch",
+        ev.StoreHit: "path:store-hit",
+        ev.StoreMiss: "path:store-miss",
+        ev.StoreSaved: "path:store-save",
+    }
+    for event_type, token in path_events.items():
+        if counters.count(event_type) > 0:
+            features.add(token)
+    keyed_events = {
+        ev.CrossPage: "crosspage",
+        ev.FaultInjected: "seam",
+        ev.VerifyViolation: "invariant",
+        ev.StoreRejected: "store-reject",
+        ev.TranslationAbort: "abort",
+        ev.PageQuarantined: "quarantine",
+        ev.CodegenAbort: "codegen-abort",
+    }
+    for event_type, prefix in keyed_events.items():
+        for key, count in counters.by_key(event_type).items():
+            if count > 0:
+                features.add(f"{prefix}:{key}")
+    return features
+
+
+def _harvest_systems(systems) -> Set[str]:
+    features: Set[str] = set()
+    for system in systems:
+        counters = getattr(system, "bus_counters", None)
+        if counters is not None:
+            features |= harvest_features(counters)
+    return features
+
+
+# ----------------------------------------------------------------------
+# Case kinds
+# ----------------------------------------------------------------------
+
+def _run_conform_fuzz(spec: dict) -> dict:
+    from repro.conform.fuzz import FuzzConfig, generate_case
+    from repro.conform.harness import run_fuzz_case
+
+    config = (FuzzConfig(**spec["fuzz_config"])
+              if spec.get("fuzz_config") else FuzzConfig(exceptions=True))
+    case = generate_case(int(spec["seed"]), int(spec["index"]), config)
+    systems: list = []
+    result = run_fuzz_case(case, spec.get("backend", "daisy"),
+                           shrink=bool(spec.get("shrink", True)),
+                           store=spec.get("store"),
+                           system_sink=systems)
+    features = _harvest_systems(systems)
+    features.add("case:conform-fuzz")
+    for block in case.blocks:
+        if block.shape:
+            features.add(f"shape:{block.shape}")
+    return {
+        "status": "diverged" if result.diverged else "ok",
+        "features": sorted(features),
+        "divergences": [d.to_dict() for d in result.divergences],
+        "case": result.to_dict(),
+    }
+
+
+def _run_conform_workload(spec: dict) -> dict:
+    from repro.conform.harness import run_case
+    from repro.workloads import build_workload
+
+    name = spec["workload"]
+    program = build_workload(name, spec.get("size", "tiny")).program
+    systems: list = []
+    result = run_case(program, name, spec.get("backend", "daisy"),
+                      store=spec.get("store"), system_sink=systems)
+    features = _harvest_systems(systems)
+    features |= {"case:conform-workload", f"workload:{name}"}
+    return {
+        "status": "diverged" if result.diverged else "ok",
+        "features": sorted(features),
+        "divergences": [d.to_dict() for d in result.divergences],
+        "case": result.to_dict(),
+    }
+
+
+def _run_chaos(spec: dict) -> dict:
+    from repro.resilience.chaos import run_chaos_case
+    from repro.resilience.plan import FaultPlan, validate_seams
+
+    seams = validate_seams(spec.get("seams"))
+    plan = FaultPlan.generate(int(spec["plan_seed"]),
+                              int(spec.get("faults", 60)), seams=seams)
+    systems: list = []
+    case = run_chaos_case(
+        spec["workload"], plan,
+        backend=spec.get("backend", "daisy"),
+        size=spec.get("size", "tiny"),
+        sandbox=bool(spec.get("sandbox", True)),
+        max_vliws=int(spec.get("max_vliws", 50_000_000)),
+        store=spec.get("store"), system_sink=systems)
+    features = _harvest_systems(systems)
+    features |= {"case:chaos", f"workload:{case.workload}"}
+    for seam, fired in case.injected.items():
+        if fired > 0:
+            features.add(f"seam:{seam}")
+    divergences: List[dict] = [
+        {"kind": kind, "case": case.workload, "backend":
+            spec.get("backend", "daisy")}
+        for kind in case.divergence_kinds]
+    if case.crashed:
+        divergences.append({"kind": "crash", "case": case.workload,
+                            "detail": {"error": case.crashed}})
+    return {
+        "status": "diverged" if divergences else "ok",
+        "features": sorted(features),
+        "divergences": divergences,
+        "case": case.to_dict(),
+    }
+
+
+def _tamper_store(root: str, tamper: str, rng: random.Random) -> dict:
+    """Damage a store on disk the way a crash or attacker would.  The
+    tamper writes are deliberately non-atomic — that is the attack."""
+    objects_dir = os.path.join(root, "objects")
+    detail: Dict[str, object] = {"tamper": tamper}
+    if tamper == "delete-index":
+        index_path = os.path.join(root, "index.json")
+        if os.path.exists(index_path):
+            os.unlink(index_path)
+        detail["victim"] = "index.json"
+        return detail
+    if tamper == "tmp-litter":
+        target_dir = objects_dir if os.path.isdir(objects_dir) else root
+        for count in range(3):
+            litter = os.path.join(target_dir, f".tmp-litter{count}")
+            with open(litter, "wb") as handle:
+                handle.write(b"\x00" * (16 << count))
+        detail["victim"] = "(orphan tmp files)"
+        return detail
+
+    victims = []
+    for dirpath, _dirnames, filenames in os.walk(objects_dir):
+        for filename in sorted(filenames):
+            victims.append(os.path.join(dirpath, filename))
+    victims.sort()
+    if not victims:
+        detail["victim"] = None
+        return detail
+    path = victims[rng.randrange(len(victims))]
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if tamper == "flip" and data:
+        pos = rng.randrange(len(data))
+        data = data[:pos] + bytes([data[pos] ^ 0xFF]) + data[pos + 1:]
+    elif tamper == "truncate":
+        data = data[:max(1, len(data) // 2)]
+    elif tamper == "garbage":
+        data = bytes(rng.randrange(256) for _ in range(max(1, len(data))))
+    with open(path, "wb") as handle:
+        handle.write(data)
+    detail["victim"] = os.path.relpath(path, root)
+    return detail
+
+
+def _run_store_adversarial(spec: dict) -> dict:
+    """Cold-fill, tamper, warm-start: the store's crash/corruption
+    promise under lockstep with itself.  Divergence kinds:
+
+    * ``store`` — warm architected results differ from cold;
+    * ``store-silent`` — a corrupting tamper produced zero rejects
+      (the store served damaged bytes without noticing).
+    """
+    from repro.runtime.backend import DaisyBackend
+    from repro.store.store import TranslationStore
+    from repro.workloads import build_workload
+
+    index = int(spec.get("index", 0))
+    tamper = spec.get("tamper") or STORE_TAMPERS[index % len(STORE_TAMPERS)]
+    rng = random.Random(
+        f"daisy-campaign-store:{spec.get('seed', 0)}:{index}")
+    name = spec.get("workload", "wc")
+    program = build_workload(name, spec.get("size", "tiny")).program
+    root = tempfile.mkdtemp(prefix="campaign-store-")
+    features: Set[str] = {"case:store-adversarial", f"tamper:{tamper}",
+                          f"workload:{name}"}
+    divergences: List[dict] = []
+    case: Dict[str, object] = {"workload": name, "tamper": tamper,
+                               "store_root": root}
+    try:
+        def run(mode, sink):
+            system = DaisyBackend(store=TranslationStore(root),
+                                  store_mode=mode).build_system()
+            sink.append(system)
+            system.load_program(program)
+            return system.run()
+
+        systems: list = []
+        cold = run("read-write", systems)
+        detail = _tamper_store(root, tamper, rng)
+        case.update(detail)
+        warm = run("read", systems)
+        features |= _harvest_systems(systems)
+
+        mismatches = {}
+        for attr in ("exit_code", "base_instructions", "cycles"):
+            cold_value = getattr(cold, attr)
+            warm_value = getattr(warm, attr)
+            if cold_value != warm_value:
+                mismatches[attr] = (cold_value, warm_value)
+        if list(cold.output) != list(warm.output):
+            mismatches["output"] = (list(cold.output), list(warm.output))
+        if mismatches:
+            divergences.append({"kind": "store", "case": name,
+                                "detail": mismatches})
+        if (tamper in _CORRUPTING_TAMPERS and detail.get("victim")
+                and warm.store_rejects == 0):
+            divergences.append({
+                "kind": "store-silent", "case": name,
+                "detail": {"tamper": tamper,
+                           "victim": detail.get("victim")}})
+        case.update({
+            "cold_saves": cold.store_saves,
+            "warm_hits": warm.store_hits,
+            "warm_rejects": warm.store_rejects,
+            "exit_code": warm.exit_code,
+            "instructions": warm.base_instructions,
+        })
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "status": "diverged" if divergences else "ok",
+        "features": sorted(features),
+        "divergences": divergences,
+        "case": case,
+    }
+
+
+def _run_verify_corruption(spec: dict) -> dict:
+    """One seeded corruption through the static verifier: the case
+    diverges (kind ``verify-miss``) when the verifier fails to flag a
+    planted bug with the expected invariant kind."""
+    from repro.verify.corrupt import EXPECTED_KINDS
+    from repro.verify.runner import verify_corruption
+
+    corruption = spec["corruption"]
+    name = spec.get("workload", "c_sieve")
+    report = verify_corruption(corruption, workload=name,
+                               size=spec.get("size", "tiny"))
+    features: Set[str] = {"case:verify-corruption",
+                          f"corrupt:{corruption}", f"workload:{name}"}
+    for violation in report.violations:
+        features.add(f"invariant:{violation.kind}")
+    divergences: List[dict] = []
+    if report.corrupted is None:
+        features.add("verify:no-site")
+    else:
+        expected = EXPECTED_KINDS.get(corruption, ())
+        caught = any(violation.kind in expected
+                     for violation in report.violations)
+        if caught:
+            features.add("verify:caught")
+        else:
+            divergences.append({
+                "kind": "verify-miss", "case": report.target,
+                "detail": {"corruption": corruption,
+                           "expected": list(expected),
+                           "found": [v.kind for v in report.violations]}})
+    return {
+        "status": "diverged" if divergences else "ok",
+        "features": sorted(features),
+        "divergences": divergences,
+        "case": report.to_dict(),
+    }
+
+
+def _run_selftest(spec: dict) -> dict:
+    """Deterministic worker behaviours for campaign plumbing tests:
+    ``ok``, ``diverge``, ``crash`` (unhandled exception), ``hard-crash``
+    (no traceback, no cleanup), ``hang``, and ``flaky`` (crashes on the
+    first attempt, succeeds on retry)."""
+    mode = spec.get("mode", "ok")
+    if mode == "crash":
+        raise RuntimeError("selftest: injected worker crash")
+    if mode == "hard-crash":
+        os._exit(9)
+    if mode == "hang":
+        import time
+        time.sleep(float(spec.get("hang_seconds", 3600)))
+    if mode == "flaky" and int(spec.get("attempt", 1)) < 2:
+        raise RuntimeError("selftest: injected flaky crash (attempt 1)")
+    divergences = ([{"kind": "selftest", "case": "selftest",
+                     "detail": {"mode": mode}}]
+                   if mode == "diverge" else [])
+    return {
+        "status": "diverged" if divergences else "ok",
+        "features": [f"selftest:{mode}"],
+        "divergences": divergences,
+        "case": {"mode": mode, "attempt": spec.get("attempt", 1)},
+    }
+
+
+_HANDLERS = {
+    "conform-fuzz": _run_conform_fuzz,
+    "conform-workload": _run_conform_workload,
+    "chaos": _run_chaos,
+    "store-adversarial": _run_store_adversarial,
+    "verify-corruption": _run_verify_corruption,
+    "selftest": _run_selftest,
+}
+
+CASE_KINDS = tuple(_HANDLERS)
+
+
+def execute_spec(spec: dict) -> dict:
+    """Run one case spec to completion; the worker's whole job.
+
+    The returned dict always carries ``kind``, ``status``
+    (``ok``/``diverged``), ``features``, ``divergences`` and ``case``.
+    Unknown kinds raise (→ a ``crash`` outcome in the parent), which is
+    the correct failure mode for a version-skewed spec.
+    """
+    kind = spec.get("kind")
+    handler = _HANDLERS.get(kind)
+    if handler is None:
+        raise ValueError(f"unknown case kind {kind!r} "
+                         f"(known: {', '.join(CASE_KINDS)})")
+    result = handler(spec)
+    result["kind"] = kind
+    return result
+
+
+__all__ = ["CASE_KINDS", "STORE_TAMPERS", "execute_spec",
+           "harvest_features"]

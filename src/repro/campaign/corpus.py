@@ -1,0 +1,152 @@
+"""The crash-safe on-disk campaign corpus.
+
+Layout, in the ``repro.store`` style (atomic writes, advisory
+metadata, truth rebuilt by scan):
+
+.. code-block:: text
+
+    <root>/
+      campaign.json        # config snapshot, written once at start
+      records/
+        <case-id>.json     # one finished case, atomic tmp+os.replace
+      report.json          # final analysis (rewritten at completion)
+      report.txt
+
+Every record is written to a hidden temp file in the same directory
+and published with ``os.replace``, so a record either exists complete
+or not at all — kill the writer at any instant and no record is ever
+half-written.  Nothing trusts directory listings beyond that:
+:meth:`CampaignCorpus.scan` re-parses every record, silently discards
+orphan temp files, and *deletes* any record that fails to parse (a
+damaged record is indistinguishable from a missing one, and the
+resumed campaign will simply re-run that case).  This is what makes
+``repro campaign --resume`` lose at most the cases that were in
+flight at the kill.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from typing import Dict, Optional
+
+_CASE_ID = re.compile(r"^[A-Za-z0-9_.-]{1,128}$")
+
+
+class CorpusError(Exception):
+    """The corpus root is unusable (not resumable, bad meta, ...)."""
+
+
+class CampaignCorpus:
+    """One campaign's on-disk state."""
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+        self.records_dir = os.path.join(self.root, "records")
+        self.meta_path = os.path.join(self.root, "campaign.json")
+        os.makedirs(self.records_dir, exist_ok=True)
+
+    # -- atomic plumbing ------------------------------------------------
+
+    def _atomic_write(self, path: str, payload: str) -> None:
+        directory = os.path.dirname(path)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- campaign meta --------------------------------------------------
+
+    def write_meta(self, meta: dict) -> None:
+        self._atomic_write(self.meta_path, json.dumps(meta, indent=2))
+
+    def read_meta(self) -> Optional[dict]:
+        """The config snapshot, or ``None`` when absent/damaged."""
+        try:
+            with open(self.meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    # -- case records ---------------------------------------------------
+
+    def record_path(self, case_id: str) -> str:
+        if not _CASE_ID.match(case_id):
+            raise CorpusError(f"invalid case id {case_id!r}")
+        return os.path.join(self.records_dir, case_id + ".json")
+
+    def write_record(self, record: dict) -> None:
+        path = self.record_path(str(record["case_id"]))
+        self._atomic_write(path, json.dumps(record, indent=1))
+
+    def scan(self) -> Dict[str, dict]:
+        """Rebuild the record index by parsing every record on disk.
+
+        Orphan temp files (a writer killed mid-publish) are removed;
+        damaged records (truncated, not JSON, wrong id) are *deleted*
+        so a resumed campaign re-runs those cases rather than trusting
+        bad data.  The advisory nothing-is-trusted stance of
+        ``repro.store``, applied to the corpus."""
+        records: Dict[str, dict] = {}
+        try:
+            names = sorted(os.listdir(self.records_dir))
+        except OSError:
+            return records
+        for name in names:
+            path = os.path.join(self.records_dir, name)
+            if name.startswith("."):
+                # Orphan tmp file from a killed writer: never published,
+                # safe to drop.
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            if not name.endswith(".json"):
+                continue
+            case_id = name[:-len(".json")]
+            record = self._load_record(path, case_id)
+            if record is None:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            records[case_id] = record
+        return records
+
+    @staticmethod
+    def _load_record(path: str, case_id: str) -> Optional[dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("case_id") != case_id:
+            return None
+        if record.get("status") not in ("ok", "diverged", "timeout",
+                                        "crash"):
+            return None
+        return record
+
+    # -- final report ---------------------------------------------------
+
+    def write_report(self, report: dict, text: str) -> None:
+        self._atomic_write(os.path.join(self.root, "report.json"),
+                           json.dumps(report, indent=2))
+        self._atomic_write(os.path.join(self.root, "report.txt"), text)
+
+
+__all__ = ["CampaignCorpus", "CorpusError"]

@@ -1,0 +1,181 @@
+"""Case generators: the schedulable units of a campaign.
+
+A :class:`GeneratorSpec` is one *configuration* of a case kind — e.g.
+"conform-fuzz with SMC and exceptions on", or "chaos over the branchy
+workloads".  The scheduler draws generators (coverage-weighted), each
+draw advances that generator's private case index, and
+:func:`spec_for_case` maps ``(generator, campaign config, index)`` to
+the JSON spec a worker executes.  Everything is a pure function of the
+campaign seed, so the whole schedule — and therefore the whole corpus
+— is reproducible, and ``--resume`` can replay it.
+
+Adding a generator is two steps: a case kind in
+:mod:`repro.campaign.cases` (or reuse of an existing one) and an entry
+here (or a custom list passed to ``CampaignConfig``); see
+docs/campaigns.md.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Chaos/store/verify cases cycle over these (quick, branchy, and
+#: store-heavy respectively — the chaos harness default corpus plus
+#: the verifier's usual subjects).
+_CHAOS_WORKLOADS = ("wc", "cmp", "c_sieve")
+_STORE_WORKLOADS = ("wc", "cmp")
+_VERIFY_WORKLOADS = ("c_sieve", "compress", "wc")
+
+#: Per-workload chaos plan seeds are decorrelated with this prime
+#: stride (mirrors :data:`repro.resilience.chaos._SEED_STRIDE`).
+_PLAN_STRIDE = 7919
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """One schedulable case-generator configuration."""
+
+    #: Unique name; also the case-id prefix, so it must be
+    #: filename-safe (letters, digits, ``-``, ``_``).
+    name: str
+    #: Case kind dispatched by the worker
+    #: (:data:`repro.campaign.cases.CASE_KINDS`).
+    kind: str
+    #: Kind-specific knobs (fuzz config overrides, workload lists...).
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Base scheduling weight before coverage feedback.
+    weight: float = 1.0
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind,
+                "params": dict(self.params), "weight": self.weight}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GeneratorSpec":
+        return cls(name=str(data["name"]), kind=str(data["kind"]),
+                   params=dict(data.get("params", {})),
+                   weight=float(data.get("weight", 1.0)))
+
+
+def generator_seed(campaign_seed: int, name: str) -> int:
+    """A per-generator seed stream decorrelated from the campaign seed
+    and from every other generator (stable across runs and platforms —
+    crc32, not ``hash()``, which is salted per process)."""
+    return (campaign_seed * 1_000_003
+            + zlib.crc32(name.encode("utf-8"))) & 0x7FFF_FFFF
+
+
+def _cycle(options, index: int):
+    return options[index % len(options)]
+
+
+def spec_for_case(generator: GeneratorSpec, config, index: int) -> dict:
+    """The worker spec for draw ``index`` of ``generator`` under
+    ``config`` (a :class:`~repro.campaign.runner.CampaignConfig`).
+    Deterministic: same arguments, same spec."""
+    params = generator.params
+    seed = generator_seed(config.seed, generator.name)
+    backend = params.get("backend", config.backend)
+    size = params.get("size", config.size)
+    store = params.get("store", config.store)
+    kind = generator.kind
+    if kind == "conform-fuzz":
+        return {"kind": kind, "seed": seed, "index": index,
+                "backend": backend, "shrink": True,
+                "fuzz_config": params.get("fuzz_config"),
+                "store": store}
+    if kind == "conform-workload":
+        workloads = params.get("workloads", _CHAOS_WORKLOADS)
+        return {"kind": kind, "workload": _cycle(workloads, index),
+                "size": size, "backend": backend, "store": store}
+    if kind == "chaos":
+        workloads = params.get("workloads", _CHAOS_WORKLOADS)
+        return {"kind": kind, "workload": _cycle(workloads, index),
+                "plan_seed": seed + _PLAN_STRIDE * index,
+                "faults": params.get("faults", 60),
+                "seams": params.get("seams"),
+                "backend": backend, "size": size,
+                "sandbox": params.get("sandbox", True),
+                "store": store}
+    if kind == "store-adversarial":
+        workloads = params.get("workloads", _STORE_WORKLOADS)
+        return {"kind": kind, "workload": _cycle(workloads, index),
+                "seed": seed, "index": index, "size": size,
+                "tamper": params.get("tamper")}
+    if kind == "verify-corruption":
+        from repro.verify.corrupt import CORRUPTIONS
+        corruptions = params.get("corruptions",
+                                 tuple(sorted(CORRUPTIONS)))
+        workloads = params.get("workloads", _VERIFY_WORKLOADS)
+        return {"kind": kind, "corruption": _cycle(corruptions, index),
+                "workload": _cycle(workloads,
+                                   index // max(1, len(corruptions))),
+                "size": size}
+    if kind == "selftest":
+        return {"kind": kind, "mode": params.get("mode", "ok"),
+                "hang_seconds": params.get("hang_seconds", 3600),
+                "index": index}
+    raise ValueError(f"generator {generator.name!r} has unknown case "
+                     f"kind {kind!r}")
+
+
+def default_generators() -> List[GeneratorSpec]:
+    """The standing adversary: every harness in the repo, in several
+    configurations, so a fresh campaign exercises translator paths,
+    fault seams, store rejects, and verifier invariants from round
+    one."""
+    from repro.conform.fuzz import FuzzConfig
+
+    straight = FuzzConfig.straight_line()
+    return [
+        GeneratorSpec("conform-fuzz", "conform-fuzz", {}),
+        GeneratorSpec("conform-straight", "conform-fuzz", {
+            "fuzz_config": {
+                "min_blocks": straight.min_blocks,
+                "max_blocks": straight.max_blocks,
+                "memory": straight.memory,
+                "branches": straight.branches,
+                "loops": straight.loops,
+                "calls": straight.calls,
+                "smc": straight.smc,
+                "alias": straight.alias,
+                "floats": straight.floats,
+                "cr_logic": straight.cr_logic,
+                "spr": straight.spr,
+                "multi": straight.multi,
+                "exceptions": straight.exceptions,
+            }}),
+        GeneratorSpec("conform-ctrl", "conform-fuzz", {
+            "fuzz_config": {"memory": False, "alias": False,
+                            "smc": False, "floats": False,
+                            "exceptions": True}}),
+        GeneratorSpec("chaos", "chaos",
+                      {"workloads": list(_CHAOS_WORKLOADS)}),
+        GeneratorSpec("store-adversarial", "store-adversarial",
+                      {"workloads": list(_STORE_WORKLOADS)}),
+        GeneratorSpec("verify-corruption", "verify-corruption",
+                      {"workloads": list(_VERIFY_WORKLOADS)}),
+    ]
+
+
+def resolve_generators(names: Optional[List[str]],
+                       available: Optional[List[GeneratorSpec]] = None
+                       ) -> List[GeneratorSpec]:
+    """Filter the generator set by name (``None`` = all), raising on
+    unknowns with the known names listed."""
+    pool = available if available is not None else default_generators()
+    if names is None:
+        return list(pool)
+    by_name = {generator.name: generator for generator in pool}
+    unknown = [name for name in names if name not in by_name]
+    if unknown:
+        raise ValueError(
+            f"unknown generator(s) {', '.join(unknown)} "
+            f"(known: {', '.join(by_name)})")
+    return [by_name[name] for name in names]
+
+
+__all__ = ["GeneratorSpec", "default_generators", "generator_seed",
+           "resolve_generators", "spec_for_case"]

@@ -1,0 +1,312 @@
+"""The campaign runner: rounds, workers, retries, quarantine, resume.
+
+``run_campaign`` drives the whole lifecycle:
+
+1. write (or, on ``--resume``, reload) the ``campaign.json`` config
+   snapshot, and rebuild the record index by scanning the corpus;
+2. loop in fixed-size rounds: the scheduler plans a round
+   deterministically, already-valid records are *reused* (the resume
+   path), the rest execute in a thread pool where each case is a
+   killable worker subprocess (:mod:`.isolate`);
+3. a crashed worker retries with linear backoff up to ``max_retries``;
+   ``quarantine_after`` consecutive crashes quarantines that generator
+   (the campaign *degrades* — it never aborts).  A hung worker is
+   killed at ``timeout`` and recorded as a failure immediately: hangs
+   are deterministic enough that retrying one is wasted wall clock;
+4. results fold back into the coverage map in plan order, so the
+   schedule is a pure function of ``(seed, config, results)`` — not of
+   worker count or completion timing;
+5. the analysis stage (:mod:`.analysis`) writes ``report.json`` +
+   ``report.txt`` into the corpus.
+
+Determinism contract: given the same ``--seed`` and config, two runs
+produce the same case ids, specs, statuses, features and clusters
+(wall-clock fields differ, nothing else), and ``--resume`` after a
+kill converges to that same report having lost at most the in-flight
+cases.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.campaign.analysis import analyze_campaign, render_text
+from repro.campaign.corpus import CampaignCorpus
+from repro.campaign.generators import (
+    GeneratorSpec,
+    default_generators,
+)
+from repro.campaign.isolate import run_spec
+from repro.campaign.scheduler import CampaignScheduler, PlannedCase
+from repro.runtime.events import (
+    CampaignCaseFinished,
+    EventBus,
+    GeneratorQuarantined,
+)
+
+
+class CampaignError(Exception):
+    """Unusable campaign invocation (nothing to resume, bad config)."""
+
+
+@dataclass
+class CampaignConfig:
+    """Everything that determines a campaign's schedule."""
+
+    seed: int = 0
+    #: Total cases to run (the campaign may stop earlier only if every
+    #: generator ends up quarantined).
+    cases: int = 40
+    #: Concurrent worker subprocesses.
+    workers: int = 2
+    #: Per-case wall-clock budget (seconds).
+    timeout: float = 120.0
+    #: Cases planned per scheduling round.  Fixed by config — NOT by
+    #: worker count — so the schedule is identical however many
+    #: workers execute it.
+    round_size: int = 8
+    #: Crash retries per case before the crash is recorded.
+    max_retries: int = 2
+    #: Linear backoff step between crash retries (seconds).
+    backoff: float = 0.05
+    #: Consecutive recorded crashes that quarantine a generator.
+    quarantine_after: int = 3
+    backend: str = "daisy"
+    size: str = "tiny"
+    #: Shared persistent translation store root for conform/chaos
+    #: cases (``None`` = no store).
+    store: Optional[str] = None
+    #: Where the ``BENCH_*.json`` trajectory lives.
+    bench_dir: str = "."
+    #: Run the live perf probe in the analysis stage.
+    perf_probe: bool = True
+    #: ``None`` = the default generator set.
+    generators: Optional[List[GeneratorSpec]] = field(default=None)
+
+    def resolved_generators(self) -> List[GeneratorSpec]:
+        return (list(self.generators) if self.generators is not None
+                else default_generators())
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed, "cases": self.cases,
+            "workers": self.workers, "timeout": self.timeout,
+            "round_size": self.round_size,
+            "max_retries": self.max_retries, "backoff": self.backoff,
+            "quarantine_after": self.quarantine_after,
+            "backend": self.backend, "size": self.size,
+            "store": self.store, "bench_dir": self.bench_dir,
+            "perf_probe": self.perf_probe,
+            "generators": (None if self.generators is None else
+                           [g.to_dict() for g in self.generators]),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignConfig":
+        generators = data.get("generators")
+        return cls(
+            seed=int(data.get("seed", 0)),
+            cases=int(data.get("cases", 40)),
+            workers=int(data.get("workers", 2)),
+            timeout=float(data.get("timeout", 120.0)),
+            round_size=int(data.get("round_size", 8)),
+            max_retries=int(data.get("max_retries", 2)),
+            backoff=float(data.get("backoff", 0.05)),
+            quarantine_after=int(data.get("quarantine_after", 3)),
+            backend=str(data.get("backend", "daisy")),
+            size=str(data.get("size", "tiny")),
+            store=data.get("store"),
+            bench_dir=str(data.get("bench_dir", ".")),
+            perf_probe=bool(data.get("perf_probe", True)),
+            generators=(None if generators is None else
+                        [GeneratorSpec.from_dict(g) for g in generators]),
+        )
+
+
+@dataclass
+class CampaignReport:
+    """The finished campaign, as the CLI and CI consume it."""
+
+    root: str
+    config: CampaignConfig
+    analysis: dict
+    resumed: bool = False
+    reused_records: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        counts = self.analysis["status_counts"]
+        return (counts.get("diverged", 0) == 0
+                and counts.get("timeout", 0) == 0
+                and counts.get("crash", 0) == 0)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.analysis["quarantined"])
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "resumed": self.resumed,
+            "reused_records": self.reused_records,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "config": self.config.to_dict(),
+            **self.analysis,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def summary(self) -> str:
+        lines = [render_text(self.analysis, self.config)]
+        if self.resumed:
+            lines.append(f"resumed: {self.reused_records} records "
+                         f"reused from the corpus")
+        if self.degraded:
+            lines.append("DEGRADED: quarantined generators: "
+                         + ", ".join(self.analysis["quarantined"]))
+        lines.append(f"result: {'OK' if self.ok else 'FAIL'} "
+                     f"in {self.wall_seconds:.1f}s")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+
+
+def _execute_case(planned: PlannedCase, config: CampaignConfig) -> dict:
+    """One case through the isolated worker, with crash retries.
+
+    Timeouts are final on first occurrence (a hang burns ``timeout``
+    wall-clock seconds per attempt — rerunning it is the one thing a
+    bounded campaign cannot afford); crashes retry with linear backoff
+    because a worker killed by e.g. memory pressure may well succeed
+    on a calmer machine."""
+    attempts = 0
+    while True:
+        attempts += 1
+        spec = dict(planned.spec)
+        spec["attempt"] = attempts
+        outcome = run_spec(spec, timeout=config.timeout)
+        if (outcome.status == "crash"
+                and attempts <= config.max_retries):
+            time.sleep(config.backoff * attempts)
+            continue
+        break
+
+    record = {
+        "case_id": planned.case_id,
+        "generator": planned.generator,
+        "ordinal": planned.ordinal,
+        "kind": planned.spec.get("kind"),
+        "spec": planned.spec,
+        "status": outcome.status,
+        "attempts": attempts,
+        "wall_seconds": round(outcome.wall_seconds, 3),
+        "features": [],
+        "divergences": [],
+        "case": None,
+    }
+    if outcome.result is not None:
+        record["features"] = outcome.result.get("features", [])
+        record["divergences"] = outcome.result.get("divergences", [])
+        record["case"] = outcome.result.get("case")
+    if outcome.status in ("crash", "timeout"):
+        record["stderr"] = outcome.stderr
+        record["exit_code"] = outcome.exit_code
+    return record
+
+
+def _reusable(record: Optional[dict], planned: PlannedCase) -> bool:
+    """A corpus record satisfies a planned case iff it was produced by
+    the *same* generator running the *same* spec — anything else
+    (config drift, a damaged record already dropped by scan) re-runs."""
+    return (record is not None
+            and record.get("generator") == planned.generator
+            and record.get("spec") == planned.spec)
+
+
+def run_campaign(root: str, config: Optional[CampaignConfig] = None,
+                 resume: bool = False,
+                 bus: Optional[EventBus] = None) -> CampaignReport:
+    """Run (or resume) one campaign rooted at ``root``."""
+    corpus = CampaignCorpus(root)
+    if resume:
+        meta = corpus.read_meta()
+        if meta is None:
+            raise CampaignError(
+                f"nothing to resume at {root!r}: no readable "
+                f"campaign.json (start a fresh campaign instead)")
+        config = CampaignConfig.from_dict(meta)
+        existing = corpus.scan()
+    else:
+        config = config if config is not None else CampaignConfig()
+        corpus.write_meta(config.to_dict())
+        existing = {}
+
+    scheduler = CampaignScheduler(config.resolved_generators(),
+                                  config.seed)
+    records: List[dict] = []
+    reused = 0
+    started = time.perf_counter()
+
+    with ThreadPoolExecutor(
+            max_workers=max(1, config.workers)) as pool:
+        while scheduler.planned < config.cases:
+            remaining = config.cases - scheduler.planned
+            batch = scheduler.plan_round(
+                min(config.round_size, remaining), config)
+            if not batch:
+                break               # every generator quarantined
+            futures = {}
+            for planned in batch:
+                record = existing.get(planned.case_id)
+                if _reusable(record, planned):
+                    planned.record = record
+                    planned.reused = True
+                else:
+                    futures[planned.case_id] = pool.submit(
+                        _execute_case, planned, config)
+            for planned in batch:
+                if planned.reused:
+                    reused += 1
+                else:
+                    planned.record = futures[planned.case_id].result()
+                    corpus.write_record(planned.record)
+                record = planned.record
+                fresh = scheduler.fold(planned, record)
+                records.append(record)
+                if bus is not None:
+                    bus.publish(CampaignCaseFinished(
+                        case_id=planned.case_id,
+                        generator=planned.generator,
+                        status=record.get("status", ""),
+                        new_features=len(fresh)))
+                state = scheduler.states[planned.generator]
+                if (not state.quarantined
+                        and state.crash_streak
+                        >= config.quarantine_after):
+                    scheduler.quarantine(planned.generator)
+                    if bus is not None:
+                        bus.publish(GeneratorQuarantined(
+                            generator=planned.generator,
+                            crashes=state.crashes))
+
+    analysis = analyze_campaign(records, scheduler, config,
+                                probe=config.perf_probe)
+    report = CampaignReport(root=corpus.root, config=config,
+                            analysis=analysis, resumed=resume,
+                            reused_records=reused,
+                            wall_seconds=time.perf_counter() - started)
+    corpus.write_report(report.to_dict(), report.summary())
+    return report
+
+
+__all__ = ["CampaignConfig", "CampaignError", "CampaignReport",
+           "run_campaign"]

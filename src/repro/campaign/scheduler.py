@@ -1,0 +1,190 @@
+"""Coverage-directed, deterministic campaign scheduling.
+
+The scheduler owns three things:
+
+* the **coverage map** — every feature token any case has exercised,
+  with the ordinal of its first sighting (that history is the coverage
+  growth curve in the final report);
+* per-generator **state** — case counter, novelty score, crash streak,
+  quarantine flag;
+* the **draw stream** — a private ``random.Random`` seeded from the
+  campaign seed.
+
+Scheduling is planned in fixed-size *rounds*: a whole round is drawn
+up front (consuming the RNG deterministically), the round's cases
+execute in whatever parallel order the worker pool produces, and
+results are *folded back in plan order* between rounds.  Because the
+fold order equals the plan order, the weights seen by round N+1 — and
+hence the entire schedule — depend only on ``(seed, config, case
+results)``, never on worker count or timing.  That is also exactly
+what ``--resume`` needs: replay the same draws, reuse the records that
+survived, re-run the holes.
+
+Weights are an exploration floor plus a novelty ratio (new features
+discovered per case run), so a generator that keeps finding new
+translator paths gets drawn more, and one that has gone stale decays
+toward the floor — but never to zero unless quarantined for crashing
+its workers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.generators import GeneratorSpec, spec_for_case
+
+#: Every generator keeps at least this weight (relative to its base
+#: weight) no matter how stale its coverage: a campaign must keep
+#: probing paths that *stopped* being exercised, which is the failure
+#: mode coverage-greedy schedulers are blind to.
+EXPLORATION_FLOOR = 0.25
+
+
+class CoverageMap:
+    """Which features the corpus has exercised, and when first."""
+
+    def __init__(self):
+        self.first_seen: Dict[str, int] = {}
+
+    def fold(self, features, ordinal: int) -> List[str]:
+        """Record ``features`` for the case at ``ordinal``; returns the
+        ones never seen before (sorted, for determinism)."""
+        fresh = sorted(feature for feature in features
+                       if feature not in self.first_seen)
+        for feature in fresh:
+            self.first_seen[feature] = ordinal
+        return fresh
+
+    def __len__(self) -> int:
+        return len(self.first_seen)
+
+
+@dataclass
+class GeneratorState:
+    """Live scheduling state for one generator."""
+
+    spec: GeneratorSpec
+    next_index: int = 0
+    cases: int = 0
+    new_features: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    divergences: int = 0
+    crash_streak: int = 0
+    quarantined: bool = False
+
+    @property
+    def weight(self) -> float:
+        if self.quarantined:
+            return 0.0
+        novelty = (1 + self.new_features) / (1 + self.cases)
+        return self.spec.weight * (EXPLORATION_FLOOR + novelty)
+
+    def to_row(self) -> dict:
+        return {
+            "generator": self.spec.name,
+            "kind": self.spec.kind,
+            "cases": self.cases,
+            "new_features": self.new_features,
+            "divergences": self.divergences,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
+            "weight": round(self.weight, 4),
+        }
+
+
+@dataclass
+class PlannedCase:
+    """One scheduled draw, before/after execution."""
+
+    generator: str
+    case_id: str
+    ordinal: int
+    spec: dict
+    #: Filled by the runner: the finished record (fresh or reused).
+    record: Optional[dict] = None
+    reused: bool = False
+
+
+class CampaignScheduler:
+    """Deterministic coverage-weighted draws over the generator set."""
+
+    def __init__(self, generators: List[GeneratorSpec], seed: int):
+        if not generators:
+            raise ValueError("a campaign needs at least one generator")
+        self.states: Dict[str, GeneratorState] = {}
+        for generator in generators:
+            if generator.name in self.states:
+                raise ValueError(
+                    f"duplicate generator name {generator.name!r}")
+            self.states[generator.name] = GeneratorState(generator)
+        self.rng = random.Random(f"daisy-campaign:{seed}")
+        self.coverage = CoverageMap()
+        self.planned = 0
+
+    # -- planning -------------------------------------------------------
+
+    @property
+    def active(self) -> List[GeneratorState]:
+        return [state for state in self.states.values()
+                if not state.quarantined]
+
+    def plan_round(self, count: int, config) -> List[PlannedCase]:
+        """Draw the next ``count`` cases.  Consumes the RNG the same
+        way regardless of what executes or is reused — the resume
+        invariant."""
+        batch: List[PlannedCase] = []
+        for _ in range(count):
+            active = self.active
+            if not active:
+                break
+            names = [state.spec.name for state in active]
+            weights = [state.weight for state in active]
+            name = self.rng.choices(names, weights=weights, k=1)[0]
+            state = self.states[name]
+            index = state.next_index
+            state.next_index += 1
+            batch.append(PlannedCase(
+                generator=name,
+                case_id=f"{name}-{index:05d}",
+                ordinal=self.planned,
+                spec=spec_for_case(state.spec, config, index)))
+            self.planned += 1
+        return batch
+
+    # -- feedback -------------------------------------------------------
+
+    def fold(self, planned: PlannedCase, record: dict) -> List[str]:
+        """Fold one finished case back into coverage + generator
+        state; returns the newly exercised features."""
+        state = self.states[planned.generator]
+        status = record.get("status")
+        fresh = self.coverage.fold(record.get("features", ()),
+                                   planned.ordinal)
+        state.cases += 1
+        state.new_features += len(fresh)
+        if status == "crash":
+            state.crashes += 1
+            state.crash_streak += 1
+        else:
+            state.crash_streak = 0
+        if status == "timeout":
+            state.timeouts += 1
+        if status == "diverged":
+            state.divergences += 1
+        return fresh
+
+    def quarantine(self, name: str) -> None:
+        self.states[name].quarantined = True
+
+    @property
+    def quarantined(self) -> List[str]:
+        return sorted(name for name, state in self.states.items()
+                      if state.quarantined)
+
+
+__all__ = ["CampaignScheduler", "CoverageMap", "EXPLORATION_FLOOR",
+           "GeneratorState", "PlannedCase"]

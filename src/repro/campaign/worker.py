@@ -1,0 +1,28 @@
+"""The crash-isolated case worker: ``python -m repro.campaign.worker``.
+
+Reads one JSON case spec from stdin, executes it via
+:func:`repro.campaign.cases.execute_spec`, and writes one JSON result
+to stdout.  Anything else — an unhandled exception, a hard exit, a
+hang — is the *parent's* problem by design: :mod:`.isolate` maps those
+to ``crash``/``timeout`` outcomes.  Keep this module import-light; the
+heavy VMM imports happen inside ``execute_spec`` so a spec parse error
+still dies with a clean traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main() -> int:
+    spec = json.load(sys.stdin)
+    from repro.campaign.cases import execute_spec
+    result = execute_spec(spec)
+    json.dump(result, sys.stdout)
+    sys.stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -201,19 +201,27 @@ def cmd_codegen(args) -> int:
 
 def cmd_chaos(args) -> int:
     from repro.conform.harness import LOCKSTEP_BACKENDS
-    from repro.resilience import run_chaos
+    from repro.resilience import UnknownSeamError, run_chaos, validate_seams
 
     if args.backend not in LOCKSTEP_BACKENDS:
         print(f"chaos requires a lockstep backend "
               f"(choose from {', '.join(LOCKSTEP_BACKENDS)})",
               file=sys.stderr)
         return 2
+    seams = None if args.seams is None else \
+        [s.strip() for s in args.seams.split(",") if s.strip()]
+    try:
+        validate_seams(seams)
+    except (UnknownSeamError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
     workloads = None if args.workloads is None else \
         [w.strip() for w in args.workloads.split(",") if w.strip()]
     report = run_chaos(seed=args.seed, faults=args.faults,
                        workloads=workloads, backend=args.backend,
                        size=args.size, sandbox=not args.no_sandbox,
-                       store=args.store)
+                       store=args.store, seams=seams,
+                       timeout=args.timeout)
     if args.json:
         print(report.to_json())
     else:
@@ -515,7 +523,59 @@ def cmd_serve(args) -> int:
         args.store, workloads=workloads, runs=args.runs,
         concurrency=args.concurrency, size=args.size,
         store_mode=args.store_mode or "read-write",
-        exec_mode=args.exec_mode)
+        exec_mode=args.exec_mode, guest_budget=args.guest_budget)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_campaign(args) -> int:
+    """Run (or resume) a coverage-directed robustness campaign
+    (docs/campaigns.md): crash-isolated fuzz/chaos/store/verify
+    workers, crash-safe corpus, analysis report."""
+    from repro.campaign import (
+        CampaignConfig,
+        CampaignError,
+        resolve_generators,
+        run_campaign,
+    )
+    from repro.runtime.events import (
+        CampaignCaseFinished,
+        EventBus,
+        GeneratorQuarantined,
+    )
+
+    bus = EventBus()
+    if not args.json:
+        bus.subscribe(CampaignCaseFinished, lambda event: print(
+            f"  {event.case_id}: {event.status}"
+            + (f" (+{event.new_features} features)"
+               if event.new_features else ""), file=sys.stderr))
+        bus.subscribe(GeneratorQuarantined, lambda event: print(
+            f"  QUARANTINED {event.generator} "
+            f"after {event.crashes} worker crashes", file=sys.stderr))
+
+    try:
+        if args.resume:
+            report = run_campaign(args.root, resume=True, bus=bus)
+        else:
+            names = None if args.generators is None else \
+                [g.strip() for g in args.generators.split(",")
+                 if g.strip()]
+            generators = (None if names is None
+                          else resolve_generators(names))
+            config = CampaignConfig(
+                seed=args.seed, cases=args.cases, workers=args.workers,
+                timeout=args.timeout, round_size=args.round_size,
+                backend=args.backend, size=args.size,
+                store=args.store, generators=generators,
+                perf_probe=not args.no_perf_probe)
+            report = run_campaign(args.root, config, bus=bus)
+    except (CampaignError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
     if args.json:
         print(report.to_json())
     else:
@@ -545,7 +605,8 @@ def cmd_conform(args) -> int:
     report = run_conformance(
         seed=args.seed, cases=args.cases, backend=args.backend,
         size=args.size, workloads=workloads,
-        shrink=not args.no_shrink, bus=bus, store=args.store)
+        shrink=not args.no_shrink, bus=bus, store=args.store,
+        timeout=args.timeout)
     if args.json:
         print(report.to_json())
     else:
@@ -738,6 +799,12 @@ def main(argv: Optional[list] = None) -> int:
                               choices=["compiled", "bound"],
                               default="compiled",
                               help="group executor for the guests")
+    serve_parser.add_argument("--guest-budget", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-guest wall-clock budget; a guest "
+                                   "that exceeds it is recorded as a "
+                                   "degraded row (exit 1) instead of "
+                                   "stalling the fleet")
     serve_parser.add_argument("--json", action="store_true",
                               help="emit the fleet report as JSON")
     serve_parser.set_defaults(func=cmd_serve)
@@ -771,6 +838,13 @@ def main(argv: Optional[list] = None) -> int:
                                      "store attached to every case: "
                                      "warm-started groups face the same "
                                      "lockstep check (docs/store.md)")
+    conform_parser.add_argument("--timeout", type=float, default=None,
+                                metavar="SECONDS",
+                                help="per-case wall-clock budget; each "
+                                     "case then runs in a killable "
+                                     "worker subprocess and a hang is "
+                                     "reported as a failure with its "
+                                     "seed (repro.campaign.isolate)")
     conform_parser.add_argument("--json", action="store_true",
                                 help="emit the full report (sources and "
                                      "shrunk reproducers included) as "
@@ -805,6 +879,18 @@ def main(argv: Optional[list] = None) -> int:
                                    "same schedules then crash the VMM "
                                    "— demonstrates what the resilience "
                                    "layer buys)")
+    chaos_parser.add_argument("--seams", default=None,
+                              help="comma-separated fault seams to "
+                                   "schedule (default: all of "
+                                   "repro.resilience.SEAMS; unknown "
+                                   "names exit 2 listing the registry)")
+    chaos_parser.add_argument("--timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-case wall-clock budget; each "
+                                   "case then runs in a killable worker "
+                                   "subprocess and a hang is reported "
+                                   "as a crashed case with its plan "
+                                   "seed (repro.campaign.isolate)")
     chaos_parser.add_argument("--json", action="store_true",
                               help="emit the full report as JSON")
     chaos_parser.set_defaults(func=cmd_chaos)
@@ -834,6 +920,59 @@ def main(argv: Optional[list] = None) -> int:
     verify_parser.add_argument("--json", action="store_true",
                                help="emit the violation report as JSON")
     verify_parser.set_defaults(func=cmd_verify)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="coverage-directed robustness campaign: conform-fuzz, "
+             "chaos, store-adversarial and verify-corruption cases "
+             "through crash-isolated workers, with a crash-safe "
+             "resumable corpus and a clustered analysis report "
+             "(repro.campaign; docs/campaigns.md)")
+    campaign_parser.add_argument("--root", required=True, metavar="DIR",
+                                 help="corpus directory (records, "
+                                      "campaign.json, report.json/.txt)")
+    campaign_parser.add_argument("--seed", type=int, default=0,
+                                 help="campaign seed: same seed + config "
+                                      "=> same schedule, corpus and "
+                                      "clusters")
+    campaign_parser.add_argument("--cases", type=int, default=40,
+                                 help="total cases to run")
+    campaign_parser.add_argument("--workers", type=int, default=2,
+                                 help="concurrent worker subprocesses "
+                                      "(does not affect the schedule)")
+    campaign_parser.add_argument("--timeout", type=float, default=120.0,
+                                 metavar="SECONDS",
+                                 help="per-case wall-clock budget; a "
+                                      "hung worker is killed and "
+                                      "recorded as a failure")
+    campaign_parser.add_argument("--round-size", type=int, default=8,
+                                 help="cases planned per scheduling "
+                                      "round")
+    campaign_parser.add_argument("--backend", default="daisy",
+                                 help="subject backend for conform/"
+                                      "chaos cases")
+    campaign_parser.add_argument("--size", default="tiny",
+                                 choices=["tiny", "small", "default"],
+                                 help="workload size preset")
+    campaign_parser.add_argument("--store", default=None, metavar="DIR",
+                                 help="shared persistent translation "
+                                      "store for conform/chaos cases")
+    campaign_parser.add_argument("--generators", default=None,
+                                 help="comma-separated generator names "
+                                      "(default: the full default set; "
+                                      "unknown names exit 2 listing "
+                                      "what exists)")
+    campaign_parser.add_argument("--resume", action="store_true",
+                                 help="continue the campaign at --root: "
+                                      "reload campaign.json, rescan the "
+                                      "corpus, reuse surviving records, "
+                                      "re-run only the holes")
+    campaign_parser.add_argument("--no-perf-probe", action="store_true",
+                                 help="skip the live perf probe in the "
+                                      "analysis stage")
+    campaign_parser.add_argument("--json", action="store_true",
+                                 help="emit the analysis report as JSON")
+    campaign_parser.set_defaults(func=cmd_campaign)
 
     report_parser = sub.add_parser(
         "report", help="paper-vs-measured summary of the headline results")

@@ -19,6 +19,7 @@ exit code and committed instruction count against the golden run.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Callable, Dict, List, Optional
 
 from repro.conform.fuzz import (
@@ -67,8 +68,9 @@ CONFORM_BACKENDS = (tuple(LOCKSTEP_BACKENDS) + ("traditional",)
 FUZZ_MAX_INSTRUCTIONS = 1_000_000
 
 
-def _lockstep_factory(backend: str, program,
-                      store=None) -> Callable[[], object]:
+def _lockstep_factory(backend: str, program, store=None,
+                      system_sink: Optional[list] = None
+                      ) -> Callable[[], object]:
     """A fresh-system factory for one program on a lockstep backend.
 
     Every lockstep subject runs with the static verifier in ``report``
@@ -80,18 +82,31 @@ def _lockstep_factory(backend: str, program,
     attaches the persistent translation store in read-write mode, so
     the whole sweep exercises warm-start loads under lockstep: any
     stale or mistranslated revived group diverges at its first commit.
+
+    ``system_sink``, when given, collects every subject system built,
+    so callers (the campaign worker) can harvest event-bus counters
+    after the case for coverage-directed scheduling.
     """
     if backend in LOCKSTEP_BACKENDS:
         knobs = dict(LOCKSTEP_BACKENDS[backend])
         knobs.setdefault("verify", "report")
-        return DaisyBackend(store=store, **knobs).build_system
-    if backend == "traditional":
+        build = DaisyBackend(store=store, **knobs).build_system
+    elif backend == "traditional":
         from repro.baselines.traditional import traditional_options
         profile = ExecutionContext(program).branch_profile
         options = traditional_options(profile, page_size=1 << 16)
-        return DaisyBackend(options=options, store=store,
-                            verify="report").build_system
-    raise ValueError(f"backend {backend!r} does not support lockstep")
+        build = DaisyBackend(options=options, store=store,
+                             verify="report").build_system
+    else:
+        raise ValueError(f"backend {backend!r} does not support lockstep")
+    if system_sink is None:
+        return build
+
+    def build_and_record():
+        system = build()
+        system_sink.append(system)
+        return system
+    return build_and_record
 
 
 def _run_result_case(program, name: str, backend: str,
@@ -123,12 +138,13 @@ def _run_result_case(program, name: str, backend: str,
 
 def run_case(program, name: str, backend: str,
              max_instructions: int = 50_000_000,
-             store=None) -> CaseResult:
+             store=None, system_sink: Optional[list] = None) -> CaseResult:
     """Differentially check one program on one backend (the right
     comparison depth for that backend)."""
     if backend in RESULT_BACKENDS:
         return _run_result_case(program, name, backend, max_instructions)
-    factory = _lockstep_factory(backend, program, store=store)
+    factory = _lockstep_factory(backend, program, store=store,
+                                system_sink=system_sink)
     return run_lockstep(program, factory, case=name, backend=backend,
                         max_instructions=max_instructions)
 
@@ -181,7 +197,8 @@ def _shrink_case(case: FuzzCase, backend: str):
 
 
 def run_fuzz_case(case: FuzzCase, backend: str,
-                  shrink: bool = True, store=None) -> CaseResult:
+                  shrink: bool = True, store=None,
+                  system_sink: Optional[list] = None) -> CaseResult:
     """Check one generated case; shrink on divergence."""
     source = case.source
     try:
@@ -199,7 +216,8 @@ def run_fuzz_case(case: FuzzCase, backend: str,
         result = _run_result_case(program, case.name, backend,
                                   FUZZ_MAX_INSTRUCTIONS)
     else:
-        factory = _lockstep_factory(backend, program, store=store)
+        factory = _lockstep_factory(backend, program, store=store,
+                                    system_sink=system_sink)
         result = run_lockstep(program, factory, case=case.name,
                               backend=backend,
                               max_instructions=FUZZ_MAX_INSTRUCTIONS)
@@ -220,6 +238,34 @@ def run_fuzz_case(case: FuzzCase, backend: str,
 # ----------------------------------------------------------------------
 
 
+def _isolated_conform_case(spec: dict, timeout: float, name: str,
+                           backend: str, seed=None,
+                           index=None) -> CaseResult:
+    """Run one conformance case in a killable subprocess worker (the
+    campaign isolation helper).  A hung case is killed and reported as
+    a ``timeout`` divergence carrying its seed — a reproduction recipe,
+    never a stuck CLI; a crashed worker becomes a ``worker-crash``
+    divergence the same way."""
+    from repro.campaign.isolate import run_spec
+
+    outcome = run_spec(spec, timeout=timeout)
+    if outcome.status in ("timeout", "crash"):
+        result = CaseResult(name=name, backend=backend,
+                            seed=seed, case_index=index)
+        detail: dict = {"seed": seed, "case_index": index}
+        if outcome.status == "timeout":
+            detail["timeout_seconds"] = timeout
+            kind = "timeout"
+        else:
+            detail["exit_code"] = outcome.exit_code
+            detail["stderr"] = outcome.stderr[-300:]
+            kind = "worker-crash"
+        result.divergences.append(Divergence(
+            kind=kind, case=name, backend=backend, detail=detail))
+        return result
+    return CaseResult.from_dict(outcome.result["case"])
+
+
 def run_conformance(seed: int = 0, cases: int = 200,
                     backend: str = "daisy",
                     size: str = "tiny",
@@ -228,7 +274,8 @@ def run_conformance(seed: int = 0, cases: int = 200,
                     shrink: bool = True,
                     bus: Optional[EventBus] = None,
                     stop_on_divergence: bool = False,
-                    store=None) -> ConformReport:
+                    store=None,
+                    timeout: Optional[float] = None) -> ConformReport:
     """The full conformance sweep: bundled workloads + fuzz corpus.
 
     ``workloads=[]`` skips the workload phase (fuzz only);
@@ -241,6 +288,11 @@ def run_conformance(seed: int = 0, cases: int = 200,
     to every VMM-executing subject, so later cases warm-start from
     earlier ones and every revived group faces the same lockstep check
     as a fresh translation.
+
+    ``timeout`` (seconds) runs every case in a crash-isolated
+    subprocess worker with a per-case wall-clock budget: a hung case is
+    killed and reported as a ``timeout`` divergence with its seed, a
+    crashed worker as ``worker-crash`` — the sweep itself never hangs.
     """
     if backend not in CONFORM_BACKENDS:
         raise ValueError(f"unknown conformance backend {backend!r} "
@@ -249,22 +301,41 @@ def run_conformance(seed: int = 0, cases: int = 200,
         from repro.store import TranslationStore
         if not isinstance(store, TranslationStore):
             store = TranslationStore(store)
+    store_root = getattr(store, "root", None)
     report = ConformReport(backend=backend, seed=seed)
     config = fuzz_config if fuzz_config is not None else \
         FuzzConfig(exceptions=True)
 
     names = list(WORKLOAD_NAMES) if workloads is None else workloads
     for name in names:
-        workload = build_workload(name, size)
-        result = run_case(workload.program, name, backend, store=store)
+        if timeout is not None:
+            result = _isolated_conform_case(
+                {"kind": "conform-workload", "workload": name,
+                 "size": size, "backend": backend,
+                 "store": store_root},
+                timeout, name=name, backend=backend)
+        else:
+            workload = build_workload(name, size)
+            result = run_case(workload.program, name, backend,
+                              store=store)
         _publish(bus, result)
         report.cases.append(result)
         if stop_on_divergence and result.diverged:
             return report
 
     for index in range(cases):
-        case = generate_case(seed, index, config)
-        result = run_fuzz_case(case, backend, shrink=shrink, store=store)
+        if timeout is not None:
+            case_name = f"fuzz[{seed}:{index}]"
+            result = _isolated_conform_case(
+                {"kind": "conform-fuzz", "seed": seed, "index": index,
+                 "backend": backend, "shrink": shrink,
+                 "fuzz_config": asdict(config), "store": store_root},
+                timeout, name=case_name, backend=backend,
+                seed=seed, index=index)
+        else:
+            case = generate_case(seed, index, config)
+            result = run_fuzz_case(case, backend, shrink=shrink,
+                                   store=store)
         _publish(bus, result)
         report.cases.append(result)
         if stop_on_divergence and result.diverged:

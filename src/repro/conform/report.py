@@ -69,6 +69,27 @@ class Divergence:
             "vliw_route": self.vliw_route,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Divergence":
+        """Inverse of :meth:`to_dict` — the round-trip a crash-isolated
+        worker uses to hand results back over a pipe.  Tuple-valued
+        detail entries come back as lists from JSON and are restored."""
+        detail = {key: tuple(value) if isinstance(value, list) else value
+                  for key, value in (data.get("detail") or {}).items()}
+        base_pc = data.get("base_pc")
+        return cls(
+            kind=str(data["kind"]),
+            case=str(data.get("case", "")),
+            backend=str(data.get("backend", "")),
+            completed=int(data.get("completed", 0)),
+            window_start=int(data.get("window_start", 0)),
+            detail=detail,
+            base_pc=None if base_pc is None else int(base_pc),
+            route_base_pcs=[int(pc) for pc
+                            in data.get("route_base_pcs", [])],
+            vliw_route=str(data.get("vliw_route", "")),
+        )
+
     def describe(self) -> str:
         where = (f"base pc {self.base_pc:#x}" if self.base_pc is not None
                  else f"instructions ({self.window_start}, "
@@ -116,6 +137,26 @@ class CaseResult:
             record["seed"] = self.seed
             record["case_index"] = self.case_index
         return record
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CaseResult":
+        """Inverse of :meth:`to_dict` (see
+        :meth:`Divergence.from_dict`)."""
+        shrunk = data.get("shrunk_instructions")
+        seed = data.get("seed")
+        index = data.get("case_index")
+        return cls(
+            name=str(data["name"]),
+            backend=str(data.get("backend", "")),
+            instructions=int(data.get("instructions", 0)),
+            divergences=[Divergence.from_dict(item)
+                         for item in data.get("divergences", [])],
+            source=data.get("source"),
+            shrunk_source=data.get("shrunk_source"),
+            shrunk_instructions=None if shrunk is None else int(shrunk),
+            seed=None if seed is None else int(seed),
+            case_index=None if index is None else int(index),
+        )
 
 
 @dataclass

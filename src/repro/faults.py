@@ -150,3 +150,15 @@ class ProgramExit(Exception):
 
 class InstructionBudgetExceeded(Exception):
     """Safety valve: the run exceeded its instruction/cycle budget."""
+
+
+class WallClockBudgetExceeded(Exception):
+    """Safety valve: the run exceeded its wall-clock budget.
+
+    Raised cooperatively by :meth:`~repro.vmm.system.DaisySystem.run`
+    when a ``deadline`` was given — checked at group-dispatch
+    boundaries, so a guest sharing a thread-pool fleet (``repro
+    serve``) can be bounded without killing its thread.  The serving
+    daemon reports the guest as a degraded row instead of stalling the
+    whole fleet report.
+    """

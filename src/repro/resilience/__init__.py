@@ -25,21 +25,31 @@ re-translation watchdog) lives with the mechanisms it protects, in
 ``docs/resilience.md`` for the whole state machine.
 """
 
-from repro.resilience.chaos import ChaosReport, run_chaos
+from repro.resilience.chaos import ChaosCase, ChaosReport, run_chaos, run_chaos_case
 from repro.resilience.injector import (
     FaultInjector,
     InjectedBudgetExhaustion,
     InjectedTranslatorCrash,
 )
-from repro.resilience.plan import SEAMS, FaultEvent, FaultPlan
+from repro.resilience.plan import (
+    SEAMS,
+    FaultEvent,
+    FaultPlan,
+    UnknownSeamError,
+    validate_seams,
+)
 
 __all__ = [
     "SEAMS",
     "FaultEvent",
     "FaultPlan",
+    "UnknownSeamError",
+    "validate_seams",
     "FaultInjector",
     "InjectedBudgetExhaustion",
     "InjectedTranslatorCrash",
+    "ChaosCase",
     "ChaosReport",
     "run_chaos",
+    "run_chaos_case",
 ]

@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.conform.harness import LOCKSTEP_BACKENDS
 from repro.conform.lockstep import run_lockstep
 from repro.resilience.injector import FaultInjector
-from repro.resilience.plan import SEAMS, FaultPlan
+from repro.resilience.plan import SEAMS, FaultPlan, validate_seams
 from repro.runtime.backend import DaisyBackend
 from repro.runtime.events import (
     PageQuarantined,
@@ -84,6 +84,29 @@ class ChaosCase:
             "verify_violations": self.verify_violations,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosCase":
+        """Inverse of :meth:`to_dict` — the round-trip a crash-isolated
+        worker uses to hand a finished case back over a pipe."""
+        return cls(
+            workload=str(data["workload"]),
+            plan_seed=int(data["plan_seed"]),
+            instructions=int(data.get("instructions", 0)),
+            divergences=int(data.get("divergences", 0)),
+            divergence_kinds=[str(kind) for kind
+                              in data.get("divergence_kinds", [])],
+            crashed=data.get("crashed"),
+            injected={str(seam): int(count) for seam, count
+                      in (data.get("injected") or {}).items()},
+            pending_faults=int(data.get("pending_faults", 0)),
+            translation_aborts=int(data.get("translation_aborts", 0)),
+            pages_quarantined=int(data.get("pages_quarantined", 0)),
+            watchdog_trips=int(data.get("watchdog_trips", 0)),
+            castouts=int(data.get("castouts", 0)),
+            groups_verified=int(data.get("groups_verified", 0)),
+            verify_violations=int(data.get("verify_violations", 0)),
+        )
+
 
 @dataclass
 class ChaosReport:
@@ -94,13 +117,16 @@ class ChaosReport:
     faults: int
     sandbox: bool
     size: str
+    #: The seam subset this sweep injected (defaults to the full
+    #: registry); ``ok`` only demands that *these* seams fired.
+    seams: Tuple[str, ...] = SEAMS
     cases: List[ChaosCase] = field(default_factory=list)
 
     # ------------------------------------------------------------------
 
     @property
     def injected(self) -> Dict[str, int]:
-        totals = {seam: 0 for seam in SEAMS}
+        totals = {seam: 0 for seam in self.seams}
         for case in self.cases:
             for seam, count in case.injected.items():
                 totals[seam] = totals.get(seam, 0) + count
@@ -116,9 +142,17 @@ class ChaosReport:
                 for case in self.cases if case.crashed]
 
     @property
-    def all_seams_exercised(self) -> bool:
+    def unexercised_seams(self) -> List[str]:
+        """Selected seams that never actually fired — the coverage
+        hole a chaos sweep exists to close, named explicitly so a
+        report reader never has to diff two count tables."""
         injected = self.injected
-        return all(injected.get(seam, 0) > 0 for seam in SEAMS)
+        return [seam for seam in self.seams
+                if injected.get(seam, 0) == 0]
+
+    @property
+    def all_seams_exercised(self) -> bool:
+        return not self.unexercised_seams
 
     @property
     def ok(self) -> bool:
@@ -137,7 +171,9 @@ class ChaosReport:
             "ok": self.ok,
             "divergences": self.divergences,
             "crashes": self.crashes,
+            "seams": list(self.seams),
             "all_seams_exercised": self.all_seams_exercised,
+            "unexercised_seams": self.unexercised_seams,
             "injected": self.injected,
             "cases": [case.to_dict() for case in self.cases],
         }
@@ -166,7 +202,11 @@ class ChaosReport:
                 lines.append(f"             {case.crashed}")
         injected = self.injected
         lines.append("  injected by seam: " + ", ".join(
-            f"{seam}={injected[seam]}" for seam in SEAMS))
+            f"{seam}={injected[seam]}" for seam in self.seams))
+        unexercised = self.unexercised_seams
+        lines.append("  unexercised seams: "
+                     + (", ".join(unexercised) if unexercised
+                        else "none"))
         lines.append(f"  result: "
                      f"{'OK' if self.ok else 'FAIL'} "
                      f"({self.divergences} divergences, "
@@ -179,12 +219,107 @@ class ChaosReport:
 # ----------------------------------------------------------------------
 
 
+def run_chaos_case(name: str, plan: FaultPlan,
+                   backend: str = "daisy", size: str = "tiny",
+                   sandbox: bool = True,
+                   max_vliws: int = 50_000_000,
+                   store=None, system_sink=None) -> ChaosCase:
+    """One workload under one fault schedule, lockstep-checked.
+
+    The per-case body of :func:`run_chaos`, exposed so the campaign
+    worker (:mod:`repro.campaign.cases`) can run a single schedule in a
+    crash-isolated subprocess.  ``system_sink``, when given, receives
+    every subject :class:`~repro.vmm.system.DaisySystem` built for the
+    case so the caller can harvest event-bus counters for
+    coverage-directed scheduling.
+    """
+    case = ChaosCase(workload=name, plan_seed=plan.seed)
+    attached: dict = {}
+
+    def factory():
+        # verify="report": every group translated under fault
+        # pressure is statically invariant-checked before it runs;
+        # violations surface as "verify" divergences.
+        system = DaisyBackend(
+            recovery=RecoveryPolicy(sandbox=sandbox),
+            verify="report", store=store,
+            **LOCKSTEP_BACKENDS[backend]).build_system()
+        attached["system"] = system
+        attached["injector"] = FaultInjector(plan).attach(system)
+        if system_sink is not None:
+            system_sink.append(system)
+        return system
+
+    program = build_workload(name, size).program
+    try:
+        result = run_lockstep(program, factory, case=name,
+                              backend=backend, max_vliws=max_vliws)
+        case.instructions = result.instructions
+        case.divergences = len(result.divergences)
+        case.divergence_kinds = [d.kind for d in result.divergences]
+    except Exception as error:        # noqa: BLE001 - the VMM died
+        case.crashed = f"{type(error).__name__}: {error}"
+
+    system = attached.get("system")
+    injector = attached.get("injector")
+    if injector is not None:
+        case.injected = dict(injector.fired)
+        case.pending_faults = injector.pending
+    if system is not None:
+        counters = system.bus_counters
+        case.groups_verified = counters.count(TranslationVerified)
+        case.verify_violations = counters.count(VerifyViolation)
+        case.translation_aborts = counters.count(TranslationAbort)
+        case.pages_quarantined = counters.count(PageQuarantined)
+        case.watchdog_trips = system.watchdog.trips
+        case.castouts = system.translation_cache.castouts
+    return case
+
+
+def _isolated_chaos_case(name: str, plan_seed: int, faults: int,
+                         seams: Tuple[str, ...], backend: str,
+                         size: str, sandbox: bool, max_vliws: int,
+                         store, timeout: float) -> ChaosCase:
+    """Run one schedule in a killable subprocess worker (the campaign
+    isolation helper); a hung or crashed worker comes back as a
+    ``crashed`` case carrying its plan seed, never a stuck CLI."""
+    from repro.campaign.isolate import run_spec
+
+    spec = {
+        "kind": "chaos",
+        "workload": name,
+        "plan_seed": plan_seed,
+        "faults": faults,
+        "seams": list(seams),
+        "backend": backend,
+        "size": size,
+        "sandbox": sandbox,
+        "max_vliws": max_vliws,
+        "store": getattr(store, "root", store),
+    }
+    outcome = run_spec(spec, timeout=timeout)
+    if outcome.status == "timeout":
+        return ChaosCase(
+            workload=name, plan_seed=plan_seed,
+            crashed=f"timeout: exceeded {timeout:g}s wall-clock "
+                    f"(worker killed; replay with plan seed "
+                    f"{plan_seed})")
+    if outcome.status == "crash":
+        return ChaosCase(
+            workload=name, plan_seed=plan_seed,
+            crashed=f"worker-crash: exit {outcome.exit_code} "
+                    f"(plan seed {plan_seed}) {outcome.stderr[-300:]}")
+    return ChaosCase.from_dict(outcome.result["case"])
+
+
 def run_chaos(seed: int = 0, faults: int = 200,
               workloads: Optional[List[str]] = None,
               backend: str = "daisy", size: str = "tiny",
               sandbox: bool = True,
               max_vliws: int = 50_000_000,
-              store=None) -> ChaosReport:
+              store=None,
+              seams: Optional[Sequence[str]] = None,
+              timeout: Optional[float] = None) -> ChaosReport:
     """Run each workload under lockstep checking with a per-workload
     fault schedule of ``faults`` events attached.
 
@@ -195,61 +330,37 @@ def run_chaos(seed: int = 0, faults: int = 200,
     attaches one shared persistent translation store to every case, so
     warm-started groups run under the same fault pressure and lockstep
     check as fresh ones (fault-dirtied groups are never persisted; see
-    docs/store.md).
+    docs/store.md).  ``seams`` restricts injection to a validated
+    registry subset (:class:`~repro.resilience.plan.UnknownSeamError`
+    on a bad name); ``timeout`` runs each case in a crash-isolated
+    subprocess with a wall-clock budget — a hung case is killed and
+    reported as a failure with its plan seed instead of hanging the
+    sweep.
     """
     if backend not in LOCKSTEP_BACKENDS:
         raise ValueError(
             f"chaos requires a lockstep backend "
             f"(choose from {tuple(LOCKSTEP_BACKENDS)})")
+    selected = validate_seams(seams)
     if store is not None:
         from repro.store import TranslationStore
         if not isinstance(store, TranslationStore):
             store = TranslationStore(store)
     names = list(DEFAULT_WORKLOADS) if workloads is None else workloads
     report = ChaosReport(seed=seed, backend=backend, faults=faults,
-                         sandbox=sandbox, size=size)
+                         sandbox=sandbox, size=size, seams=selected)
 
     for windex, name in enumerate(names):
         plan_seed = seed + _SEED_STRIDE * windex
-        plan = FaultPlan.generate(plan_seed, faults)
-        case = ChaosCase(workload=name, plan_seed=plan_seed)
-        attached: dict = {}
-
-        def factory():
-            # verify="report": every group translated under fault
-            # pressure is statically invariant-checked before it runs;
-            # violations surface as "verify" divergences.
-            system = DaisyBackend(
-                recovery=RecoveryPolicy(sandbox=sandbox),
-                verify="report", store=store,
-                **LOCKSTEP_BACKENDS[backend]).build_system()
-            attached["system"] = system
-            attached["injector"] = FaultInjector(plan).attach(system)
-            return system
-
-        program = build_workload(name, size).program
-        try:
-            result = run_lockstep(program, factory, case=name,
-                                  backend=backend, max_vliws=max_vliws)
-            case.instructions = result.instructions
-            case.divergences = len(result.divergences)
-            case.divergence_kinds = [d.kind for d in result.divergences]
-        except Exception as error:        # noqa: BLE001 - the VMM died
-            case.crashed = f"{type(error).__name__}: {error}"
-
-        system = attached.get("system")
-        injector = attached.get("injector")
-        if injector is not None:
-            case.injected = dict(injector.fired)
-            case.pending_faults = injector.pending
-        if system is not None:
-            counters = system.bus_counters
-            case.groups_verified = counters.count(TranslationVerified)
-            case.verify_violations = counters.count(VerifyViolation)
-            case.translation_aborts = counters.count(TranslationAbort)
-            case.pages_quarantined = counters.count(PageQuarantined)
-            case.watchdog_trips = system.watchdog.trips
-            case.castouts = system.translation_cache.castouts
+        if timeout is not None:
+            case = _isolated_chaos_case(
+                name, plan_seed, faults, selected, backend, size,
+                sandbox, max_vliws, store, timeout)
+        else:
+            plan = FaultPlan.generate(plan_seed, faults, seams=selected)
+            case = run_chaos_case(name, plan, backend=backend,
+                                  size=size, sandbox=sandbox,
+                                  max_vliws=max_vliws, store=store)
         report.cases.append(case)
 
     return report

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: The named seams of the VMM that the injector can perturb (ordered
 #: least- to most-destructive — the round-robin prefix of every plan
@@ -46,6 +46,43 @@ SEAMS = ("itlb-flush", "cache-pressure", "smc-write",
 _PRESSURE_EIGHTHS = (0, 4)
 
 
+class UnknownSeamError(ValueError):
+    """A seam name outside the :data:`SEAMS` registry.
+
+    Raised by :func:`validate_seams` (and therefore by
+    ``FaultPlan.generate(seams=...)``, ``FaultEvent.from_dict`` and the
+    ``repro chaos --seams`` flag) so that a typo in a seam subset or a
+    hand-edited plan JSON fails loudly with the known registry listed,
+    instead of silently generating a plan that never fires."""
+
+    def __init__(self, seam: str):
+        self.seam = seam
+        self.known = SEAMS
+        super().__init__(f"unknown fault seam {seam!r} "
+                         f"(known seams: {', '.join(SEAMS)})")
+
+
+def validate_seams(seams: Optional[Iterable[str]]) -> Tuple[str, ...]:
+    """Normalise a seam subset against the registry.
+
+    ``None`` means *all seams*.  Otherwise every name must be in
+    :data:`SEAMS` (else :class:`UnknownSeamError`); duplicates are
+    dropped and the result is ordered as the registry orders it
+    (least- to most-destructive), so plan prefixes stay canonical
+    whatever order the caller wrote the subset in."""
+    if seams is None:
+        return SEAMS
+    requested = set()
+    for seam in seams:
+        if seam not in SEAMS:
+            raise UnknownSeamError(seam)
+        requested.add(seam)
+    if not requested:
+        raise ValueError("empty seam subset: at least one of "
+                         f"{', '.join(SEAMS)} is required")
+    return tuple(seam for seam in SEAMS if seam in requested)
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled fault: fire ``seam`` at the first commit point at
@@ -63,7 +100,10 @@ class FaultEvent:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultEvent":
-        return cls(index=int(data["index"]), seam=str(data["seam"]),
+        seam = str(data["seam"])
+        if seam not in SEAMS:
+            raise UnknownSeamError(seam)
+        return cls(index=int(data["index"]), seam=seam,
                    trigger=int(data["trigger"]),
                    param=int(data.get("param", 0)))
 
@@ -76,20 +116,23 @@ class FaultPlan:
     events: List[FaultEvent]
 
     @classmethod
-    def generate(cls, seed: int, count: int,
-                 max_gap: int = 40) -> "FaultPlan":
+    def generate(cls, seed: int, count: int, max_gap: int = 40,
+                 seams: Optional[Sequence[str]] = None) -> "FaultPlan":
         """``count`` events with triggers spaced 1..``max_gap``
-        committed instructions apart.  The first ``len(SEAMS)`` events
-        round-robin through every seam class, so even short runs
-        exercise each one; the rest are drawn uniformly."""
+        committed instructions apart.  The first ``len(selected)``
+        events round-robin through every selected seam class, so even
+        short runs exercise each one; the rest are drawn uniformly.
+        ``seams`` restricts the plan to a registry subset (validated —
+        :class:`UnknownSeamError` on a name outside :data:`SEAMS`)."""
+        selected = validate_seams(seams)
         rng = random.Random(seed)
         events: List[FaultEvent] = []
         trigger = 0
         for index in range(count):
-            if index < len(SEAMS):
-                seam = SEAMS[index % len(SEAMS)]
+            if index < len(selected):
+                seam = selected[index % len(selected)]
             else:
-                seam = rng.choice(SEAMS)
+                seam = rng.choice(selected)
             trigger += rng.randint(1, max_gap)
             events.append(FaultEvent(index=index, seam=seam,
                                      trigger=trigger,

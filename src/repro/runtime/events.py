@@ -422,6 +422,33 @@ class DecodeCacheSampled:
 
 
 @dataclass(frozen=True)
+class CampaignCaseFinished:
+    """One campaign case completed (in any status) and was folded into
+    the coverage map (:mod:`repro.campaign`)."""
+
+    case_id: str = ""
+    generator: str = ""
+    #: ``ok`` / ``diverged`` / ``timeout`` / ``crash``.
+    status: str = ""
+    #: Coverage features this case exercised for the first time.
+    new_features: int = 0
+
+    _key_field = "status"
+    _sum_fields = ("new_features",)
+
+
+@dataclass(frozen=True)
+class GeneratorQuarantined:
+    """A campaign generator config kept crashing its workers and was
+    taken out of the schedule; the campaign continues degraded."""
+
+    generator: str = ""
+    crashes: int = 0
+
+    _key_field = "generator"
+
+
+@dataclass(frozen=True)
 class TierPromotion:
     """An entry crossed the hot-threshold and was compiled to VLIWs."""
     pc: int = 0
@@ -578,4 +605,5 @@ EVENT_TYPES: Tuple[Type, ...] = (
     TierPromotion, TierDemotion,
     TranslationAbort, PageQuarantined, DegradationLatch, OverBudget,
     FaultInjected,
+    CampaignCaseFinished, GeneratorQuarantined,
 )

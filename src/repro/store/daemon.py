@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.faults import WallClockBudgetExceeded
 from repro.runtime.backend import DaisyBackend
 from repro.runtime.profiling import PerfTrace
 from repro.store.store import TranslationStore
@@ -61,6 +62,15 @@ class GuestRun:
     pages_translated: int = 0
     output: List[int] = field(default_factory=list)
     error: str = ""
+    #: The guest blew its per-guest wall-clock budget and was stopped
+    #: cooperatively (``error`` carries the detail).
+    timed_out: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        """Timed out or crashed: the run is reported as a degraded row
+        (non-zero exit) instead of stalling the fleet."""
+        return bool(self.error)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -78,6 +88,8 @@ class GuestRun:
             "store_rejects": self.store_rejects,
             "pages_translated": self.pages_translated,
             "error": self.error,
+            "timed_out": self.timed_out,
+            "degraded": self.degraded,
         }
 
 
@@ -99,6 +111,13 @@ class FleetReport:
     def ok(self) -> bool:
         return self.consistent and all(
             run.exit_code == 0 and not run.error for run in self.runs)
+
+    @property
+    def degraded_runs(self) -> List[GuestRun]:
+        """Guests that timed out or crashed — they get degraded rows
+        (non-zero exit, error detail) and the fleet report still
+        completes."""
+        return [run for run in self.runs if run.degraded]
 
     @property
     def store_hits(self) -> int:
@@ -147,6 +166,7 @@ class FleetReport:
             "wall_seconds": round(self.wall_seconds, 6),
             "fleet": {
                 "runs": len(self.runs),
+                "degraded": len(self.degraded_runs),
                 "store_hits": self.store_hits,
                 "store_misses": self.store_misses,
                 "hit_rate": round(self.hit_rate, 4),
@@ -177,6 +197,12 @@ class FleetReport:
         ]
         for detail in self.inconsistencies:
             lines.append(f"  {detail}")
+        degraded = self.degraded_runs
+        if degraded:
+            lines.append(f"degraded guests: {len(degraded)}")
+            for run in degraded:
+                lines.append(f"  run {run.index} ({run.workload}): "
+                             f"{run.error}")
         return "\n".join(lines)
 
 
@@ -185,8 +211,14 @@ class FleetReport:
 
 def _run_guest(index: int, name: str, program, store: TranslationStore,
                store_mode: str, exec_mode: str, verify,
-               max_vliws: int) -> GuestRun:
-    """One synchronous guest execution (thread-pool worker body)."""
+               max_vliws: int,
+               guest_budget: Optional[float] = None) -> GuestRun:
+    """One synchronous guest execution (thread-pool worker body).
+
+    ``guest_budget`` (seconds) bounds the guest's wall clock via the
+    cooperative deadline in :meth:`DaisySystem.run`; a blown budget
+    comes back as a degraded row (``timed_out``, non-zero exit), never
+    a thread stuck in the pool stalling the fleet report."""
     run = GuestRun(index=index, workload=name)
     backend = DaisyBackend(store=store, store_mode=store_mode,
                            exec_mode=exec_mode, verify=verify)
@@ -194,8 +226,10 @@ def _run_guest(index: int, name: str, program, store: TranslationStore,
         system = backend.build_system()
         system.perf = PerfTrace()
         system.load_program(program)
+        deadline = (time.monotonic() + guest_budget
+                    if guest_budget is not None else None)
         started = time.perf_counter()
-        raw = system.run(max_vliws=max_vliws)
+        raw = system.run(max_vliws=max_vliws, deadline=deadline)
         run.wall_seconds = time.perf_counter() - started
         run.exit_code = raw.exit_code
         run.instructions = raw.base_instructions
@@ -208,6 +242,11 @@ def _run_guest(index: int, name: str, program, store: TranslationStore,
         run.store_rejects = raw.store_rejects
         run.pages_translated = raw.pages_translated
         run.output = list(raw.output)
+    except WallClockBudgetExceeded as error:
+        run.error = (f"timeout: guest exceeded {guest_budget:g}s "
+                     f"wall-clock budget ({error})")
+        run.exit_code = -1
+        run.timed_out = True
     except Exception as error:              # noqa: BLE001 - reported
         run.error = f"{type(error).__name__}: {error}"
         run.exit_code = -1
@@ -215,13 +254,13 @@ def _run_guest(index: int, name: str, program, store: TranslationStore,
 
 
 async def _drive(schedule, store, store_mode, exec_mode, verify,
-                 max_vliws, concurrency) -> List[GuestRun]:
+                 max_vliws, concurrency, guest_budget) -> List[GuestRun]:
     loop = asyncio.get_running_loop()
     with ThreadPoolExecutor(max_workers=concurrency) as pool:
         futures = [
             loop.run_in_executor(
                 pool, _run_guest, index, name, program, store,
-                store_mode, exec_mode, verify, max_vliws)
+                store_mode, exec_mode, verify, max_vliws, guest_budget)
             for index, (name, program) in enumerate(schedule)
         ]
         return list(await asyncio.gather(*futures))
@@ -229,9 +268,13 @@ async def _drive(schedule, store, store_mode, exec_mode, verify,
 
 def _check_consistency(report: FleetReport) -> None:
     """Every run of one workload must produce identical architected
-    results — whatever interleaving the fleet's store races took."""
+    results — whatever interleaving the fleet's store races took.
+    Degraded rows (timed-out or crashed guests) never completed, so
+    they carry no architected result to compare."""
     reference: Dict[str, GuestRun] = {}
     for run in report.runs:
+        if run.degraded:
+            continue
         first = reference.get(run.workload)
         if first is None:
             reference[run.workload] = run
@@ -250,9 +293,12 @@ def serve_fleet(store, workloads: Optional[Sequence[str]] = None,
                 runs: int = 8, concurrency: int = 4,
                 size: str = "tiny", store_mode: str = "read-write",
                 exec_mode: str = "compiled", verify=None,
-                max_vliws: int = 50_000_000) -> FleetReport:
+                max_vliws: int = 50_000_000,
+                guest_budget: Optional[float] = None) -> FleetReport:
     """Run ``runs`` guest workloads (round-robin over ``workloads``)
-    concurrently against one shared store; returns the fleet report."""
+    concurrently against one shared store; returns the fleet report.
+    ``guest_budget`` bounds each guest's wall clock; over-budget guests
+    become degraded rows instead of stalling the fleet."""
     if not isinstance(store, TranslationStore):
         store = TranslationStore(store)
     names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
@@ -268,7 +314,7 @@ def serve_fleet(store, workloads: Optional[Sequence[str]] = None,
     started = time.perf_counter()
     report.runs = asyncio.run(_drive(
         schedule, store, store_mode, exec_mode, verify, max_vliws,
-        report.concurrency))
+        report.concurrency, guest_budget))
     report.wall_seconds = time.perf_counter() - started
     store.flush()
     report.store_stats = store.stats()

@@ -18,6 +18,7 @@ drives the execute/translate loop:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -30,6 +31,7 @@ from repro.faults import (
     ProgramExit,
     VerifyError,
     VmmError,
+    WallClockBudgetExceeded,
 )
 from repro.isa.encoding import decode
 from repro.isa.services import EmulatorServices
@@ -881,9 +883,17 @@ class DaisySystem:
 
     def run(self, entry: Optional[int] = None,
             max_vliws: int = 50_000_000,
-            deliver_faults: bool = False) -> DaisyRunResult:
+            deliver_faults: bool = False,
+            deadline: Optional[float] = None) -> DaisyRunResult:
         """Run the loaded program under dynamic translation until it
-        exits (or faults, when ``deliver_faults`` is false)."""
+        exits (or faults, when ``deliver_faults`` is false).
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant; past
+        it the run raises
+        :class:`~repro.faults.WallClockBudgetExceeded`.  The check is
+        cooperative — at group-dispatch boundaries, so architected
+        state stays consistent — which is what lets the ``repro serve``
+        fleet bound a guest without killing its thread."""
         pc = entry if entry is not None else self.state.pc
         result = DaisyRunResult()
         stats = self.engine.stats
@@ -905,6 +915,11 @@ class DaisySystem:
             if stats.vliws > max_vliws:
                 raise InstructionBudgetExceeded(
                     f"exceeded {max_vliws} VLIWs")
+
+            if deadline is not None and time.monotonic() > deadline:
+                raise WallClockBudgetExceeded(
+                    f"wall-clock budget exhausted after "
+                    f"{stats.vliws} VLIWs at pc {pc:#x}")
 
             if self._quarantined_page_of(pc) is not None:
                 # Permanently demoted page: always-correct tier.

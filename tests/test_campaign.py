@@ -1,0 +1,358 @@
+"""Campaign layer: corpus, scheduler, isolation, runner, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.analysis import cluster_divergences, record_signatures
+from repro.campaign.cases import execute_spec
+from repro.campaign.corpus import CampaignCorpus, CorpusError
+from repro.campaign.generators import (
+    GeneratorSpec,
+    default_generators,
+    generator_seed,
+    resolve_generators,
+    spec_for_case,
+)
+from repro.campaign.isolate import run_spec
+from repro.campaign.runner import CampaignConfig, CampaignError, run_campaign
+from repro.campaign.scheduler import (
+    EXPLORATION_FLOOR,
+    CampaignScheduler,
+    GeneratorState,
+)
+from repro.cli import main
+
+
+def selftest_generators(mode="ok", **params):
+    params = {"mode": mode, **params}
+    return [GeneratorSpec(f"st-{mode}", "selftest", params)]
+
+
+def selftest_config(mode="ok", **overrides):
+    defaults = dict(seed=0, cases=4, workers=2, round_size=2,
+                    timeout=30.0, backoff=0.0, perf_probe=False,
+                    generators=selftest_generators(mode))
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+class TestCorpus:
+    def test_record_roundtrip(self, tmp_path):
+        corpus = CampaignCorpus(str(tmp_path))
+        record = {"case_id": "gen-00000", "status": "ok",
+                  "features": ["path:translate"]}
+        corpus.write_record(record)
+        assert corpus.scan() == {"gen-00000": record}
+
+    def test_scan_deletes_damaged_record(self, tmp_path):
+        corpus = CampaignCorpus(str(tmp_path))
+        corpus.write_record({"case_id": "gen-00000", "status": "ok"})
+        path = corpus.record_path("gen-00000")
+        payload = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(payload[:len(payload) // 2])
+        assert corpus.scan() == {}
+        assert not os.path.exists(path)
+
+    def test_scan_removes_orphan_tmp(self, tmp_path):
+        corpus = CampaignCorpus(str(tmp_path))
+        litter = os.path.join(corpus.records_dir, ".tmp-killed")
+        with open(litter, "w") as handle:
+            handle.write('{"case_id": "half')
+        assert corpus.scan() == {}
+        assert not os.path.exists(litter)
+
+    def test_scan_rejects_mismatched_id_and_status(self, tmp_path):
+        corpus = CampaignCorpus(str(tmp_path))
+        with open(os.path.join(corpus.records_dir, "a.json"), "w") as f:
+            json.dump({"case_id": "b", "status": "ok"}, f)
+        with open(os.path.join(corpus.records_dir, "c.json"), "w") as f:
+            json.dump({"case_id": "c", "status": "bogus"}, f)
+        assert corpus.scan() == {}
+
+    def test_meta_roundtrip_and_damage(self, tmp_path):
+        corpus = CampaignCorpus(str(tmp_path))
+        assert corpus.read_meta() is None
+        corpus.write_meta({"seed": 7})
+        assert corpus.read_meta() == {"seed": 7}
+        with open(corpus.meta_path, "w") as handle:
+            handle.write("{not json")
+        assert corpus.read_meta() is None
+
+    def test_invalid_case_id_rejected(self, tmp_path):
+        corpus = CampaignCorpus(str(tmp_path))
+        with pytest.raises(CorpusError):
+            corpus.record_path("../escape")
+
+
+class TestGenerators:
+    def test_spec_for_case_deterministic(self):
+        config = CampaignConfig(seed=3)
+        for generator in default_generators():
+            first = spec_for_case(generator, config, 2)
+            again = spec_for_case(generator, config, 2)
+            assert first == again
+
+    def test_generator_seed_stable_and_distinct(self):
+        assert generator_seed(1, "chaos") == generator_seed(1, "chaos")
+        assert generator_seed(1, "chaos") != generator_seed(1, "fuzz")
+        assert generator_seed(1, "chaos") != generator_seed(2, "chaos")
+
+    def test_default_names_unique(self):
+        names = [g.name for g in default_generators()]
+        assert len(names) == len(set(names))
+
+    def test_resolve_unknown_lists_known(self):
+        with pytest.raises(ValueError, match="conform-fuzz"):
+            resolve_generators(["no-such-generator"])
+
+    def test_resolve_subset_preserves_order(self):
+        picked = resolve_generators(["chaos", "conform-fuzz"])
+        assert [g.name for g in picked] == ["chaos", "conform-fuzz"]
+
+
+class TestScheduler:
+    def test_plan_is_deterministic(self):
+        config = CampaignConfig(seed=11)
+        generators = default_generators()
+        one = CampaignScheduler(generators, 11).plan_round(8, config)
+        two = CampaignScheduler(generators, 11).plan_round(8, config)
+        assert [p.case_id for p in one] == [p.case_id for p in two]
+        assert [p.spec for p in one] == [p.spec for p in two]
+
+    def test_quarantine_stops_draws(self):
+        config = selftest_config()
+        scheduler = CampaignScheduler(config.resolved_generators(), 0)
+        scheduler.quarantine("st-ok")
+        assert scheduler.plan_round(4, config) == []
+        assert scheduler.quarantined == ["st-ok"]
+
+    def test_weight_never_below_floor(self):
+        state = GeneratorState(GeneratorSpec("stale", "selftest"))
+        state.cases, state.new_features = 500, 0
+        assert state.weight >= EXPLORATION_FLOOR
+        state.quarantined = True
+        assert state.weight == 0.0
+
+    def test_fold_tracks_crash_streak(self):
+        config = selftest_config()
+        scheduler = CampaignScheduler(config.resolved_generators(), 0)
+        state = scheduler.states["st-ok"]
+        for expected in (1, 2):
+            planned = scheduler.plan_round(1, config)[0]
+            scheduler.fold(planned, {"status": "crash", "features": []})
+            assert state.crash_streak == expected
+        planned = scheduler.plan_round(1, config)[0]
+        fresh = scheduler.fold(planned,
+                               {"status": "ok",
+                                "features": ["selftest:ok"]})
+        assert state.crash_streak == 0
+        assert fresh == ["selftest:ok"]
+
+
+class TestSignatures:
+    def test_timeout_and_crash_signatures(self):
+        assert record_signatures(
+            {"status": "timeout", "kind": "chaos"}) == ["chaos/timeout"]
+        crash = {"status": "crash", "kind": "conform-fuzz",
+                 "stderr": "Traceback ...\nRuntimeError: boom"}
+        (sig,) = record_signatures(crash)
+        assert sig.startswith("conform-fuzz/worker-crash/")
+        assert record_signatures(dict(crash)) == [sig]
+        other = dict(crash, stderr="Traceback ...\nValueError: other")
+        assert record_signatures(other) != [sig]
+
+    def test_divergence_signature_shape(self):
+        record = {"status": "diverged", "kind": "conform-fuzz",
+                  "divergences": [{"kind": "register", "backend": "daisy",
+                                   "detail": {"want": 1, "got": 2}}]}
+        assert record_signatures(record) == \
+            ["conform-fuzz/register/daisy/got+want"]
+
+    def test_clustering_dedups_by_signature(self):
+        failing = {"status": "timeout", "kind": "chaos"}
+        records = [dict(failing, case_id="chaos-00000"),
+                   dict(failing, case_id="chaos-00003"),
+                   {"status": "ok", "case_id": "x", "kind": "chaos"}]
+        clusters = cluster_divergences(records)
+        assert len(clusters) == 1
+        assert clusters[0]["count"] == 2
+        assert clusters[0]["representative"] == "chaos-00000"
+
+
+class TestExecuteSpec:
+    def test_selftest_modes(self):
+        assert execute_spec({"kind": "selftest"})["status"] == "ok"
+        diverged = execute_spec({"kind": "selftest", "mode": "diverge"})
+        assert diverged["status"] == "diverged"
+        assert diverged["divergences"]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="case kind"):
+            execute_spec({"kind": "no-such-kind"})
+
+    def test_conform_fuzz_case_harvests_features(self):
+        result = execute_spec({"kind": "conform-fuzz", "seed": 5,
+                               "index": 0, "backend": "daisy",
+                               "shrink": False})
+        assert result["status"] == "ok"
+        assert any(f.startswith("shape:") for f in result["features"])
+
+    def test_store_tamper_survives_writer_kill_litter(self):
+        # tmp-litter + delete-index model a store writer killed
+        # mid-put: the warm run must come back bit-identical.
+        for tamper in ("tmp-litter", "delete-index"):
+            result = execute_spec({"kind": "store-adversarial",
+                                   "workload": "wc", "seed": 9,
+                                   "index": 0, "size": "tiny",
+                                   "tamper": tamper})
+            assert result["status"] == "ok", tamper
+
+
+class TestIsolate:
+    def test_ok_roundtrip(self):
+        outcome = run_spec({"kind": "selftest", "mode": "ok"},
+                           timeout=60)
+        assert outcome.status == "ok"
+        assert outcome.result["features"] == ["selftest:ok"]
+
+    def test_crash_captures_stderr(self):
+        outcome = run_spec({"kind": "selftest", "mode": "crash"},
+                           timeout=60)
+        assert outcome.status == "crash"
+        assert outcome.exit_code not in (0, None)
+        assert "injected worker crash" in outcome.stderr
+
+    def test_hard_crash_exit_code(self):
+        outcome = run_spec({"kind": "selftest", "mode": "hard-crash"},
+                           timeout=60)
+        assert outcome.status == "crash"
+        assert outcome.exit_code == 9
+
+    def test_hang_is_killed_at_timeout(self):
+        outcome = run_spec({"kind": "selftest", "mode": "hang",
+                            "hang_seconds": 60}, timeout=2.0)
+        assert outcome.status == "timeout"
+        assert outcome.wall_seconds < 30
+
+
+class TestRunCampaign:
+    def test_ok_campaign_then_resume_reuses_all(self, tmp_path):
+        root = str(tmp_path / "camp")
+        config = selftest_config(cases=6, round_size=3)
+        report = run_campaign(root, config)
+        assert report.ok and not report.degraded
+        assert report.analysis["cases"] == 6
+        assert os.path.exists(os.path.join(root, "report.json"))
+        assert os.path.exists(os.path.join(root, "report.txt"))
+
+        resumed = run_campaign(root, resume=True)
+        assert resumed.ok and resumed.reused_records == 6
+        assert resumed.analysis["coverage"] == \
+            report.analysis["coverage"]
+
+    def test_resume_without_meta_raises(self, tmp_path):
+        with pytest.raises(CampaignError, match="nothing to resume"):
+            run_campaign(str(tmp_path / "empty"), resume=True)
+
+    def test_flaky_case_succeeds_on_retry(self, tmp_path):
+        config = selftest_config(mode="flaky", cases=1, round_size=1,
+                                 max_retries=2)
+        report = run_campaign(str(tmp_path / "camp"), config)
+        assert report.ok
+        corpus = CampaignCorpus(str(tmp_path / "camp"))
+        (record,) = corpus.scan().values()
+        assert record["status"] == "ok"
+        assert record["attempts"] == 2
+
+    def test_crashing_generator_quarantines_and_degrades(self, tmp_path):
+        config = selftest_config(mode="crash", cases=8, round_size=4,
+                                 max_retries=0, quarantine_after=2)
+        report = run_campaign(str(tmp_path / "camp"), config)
+        assert not report.ok
+        assert report.degraded
+        assert report.analysis["quarantined"] == ["st-crash"]
+        # The campaign degrades (stops early) rather than aborting.
+        assert report.analysis["cases"] < 8
+        assert "DEGRADED" in report.summary()
+
+    def test_hung_worker_recorded_as_failure(self, tmp_path):
+        config = selftest_config(mode="hang", cases=1, round_size=1,
+                                 timeout=2.0,
+                                 generators=selftest_generators(
+                                     "hang", hang_seconds=60))
+        report = run_campaign(str(tmp_path / "camp"), config)
+        assert not report.ok
+        assert report.analysis["status_counts"]["timeout"] == 1
+        (cluster,) = report.analysis["clusters"]
+        assert cluster["signature"] == "selftest/timeout"
+
+    def test_divergences_cluster(self, tmp_path):
+        config = selftest_config(mode="diverge", cases=2, round_size=2)
+        report = run_campaign(str(tmp_path / "camp"), config)
+        assert not report.ok
+        (cluster,) = report.analysis["clusters"]
+        assert cluster["count"] == 2
+
+
+class TestCampaignCLI:
+    def test_campaign_json(self, tmp_path, capsys):
+        assert main(["campaign", "--root", str(tmp_path / "camp"),
+                     "--cases", "3", "--workers", "2",
+                     "--generators", "verify-corruption",
+                     "--no-perf-probe", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["cases"] == 3
+        assert any(f.startswith("corrupt:") for f in report["coverage"])
+
+    def test_campaign_unknown_generator_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "--root", str(tmp_path / "camp"),
+                     "--generators", "bogus"]) == 2
+        assert "conform-fuzz" in capsys.readouterr().err
+
+    def test_campaign_resume_nothing_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "--root", str(tmp_path / "camp"),
+                     "--resume"]) == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+
+class TestTimeoutFlags:
+    def test_conform_timeout_isolates_cases(self, capsys):
+        assert main(["conform", "--cases", "1", "--workloads", "",
+                     "--timeout", "120"]) == 0
+        assert "no divergences" in capsys.readouterr().out
+
+    def test_chaos_unknown_seam_exits_2(self, capsys):
+        assert main(["chaos", "--seams", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fault seam" in err
+        assert "itlb-flush" in err
+
+    def test_chaos_seam_subset(self, capsys):
+        assert main(["chaos", "--seams", "itlb-flush,smc-write",
+                     "--faults", "8", "--workloads", "wc"]) == 0
+        out = capsys.readouterr().out
+        assert "unexercised seams: none" in out
+
+
+class TestServeGuestBudget:
+    def test_over_budget_guest_degrades_not_stalls(self, tmp_path):
+        from repro.store.daemon import serve_fleet
+
+        report = serve_fleet(str(tmp_path / "store"),
+                             workloads=["hotloop"], runs=2,
+                             concurrency=2, size="small",
+                             guest_budget=0.0005)
+        assert not report.ok
+        assert len(report.degraded_runs) == 2
+        for run in report.runs:
+            assert run.timed_out and run.degraded
+            assert run.exit_code == -1
+            assert "wall-clock budget" in run.error
+        # Degraded rows are excluded from the consistency check
+        # rather than reported as divergence.
+        assert report.consistent
+        assert "degraded guests: 2" in report.summary()

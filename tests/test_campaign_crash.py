@@ -1,0 +1,150 @@
+"""Campaign crash safety: kill the runner, damage the corpus, resume.
+
+The acceptance contract of docs/campaigns.md: a campaign killed at any
+instant loses at most its in-flight cases — ``--resume`` rescans the
+corpus (discarding whatever the kill half-wrote), replays the same
+deterministic schedule, reuses every surviving record, and converges
+to the same final report a never-killed run produces.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.campaign.corpus import CampaignCorpus
+from repro.campaign.generators import GeneratorSpec
+from repro.campaign.runner import CampaignConfig, run_campaign
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+def slow_ok_config(cases=8):
+    """Each case sleeps briefly then succeeds — slow enough to kill a
+    campaign mid-corpus, fast enough for a test."""
+    return CampaignConfig(
+        seed=5, cases=cases, workers=2, round_size=4, timeout=30.0,
+        backoff=0.0, perf_probe=False,
+        generators=[GeneratorSpec("st-slow", "selftest",
+                                  {"mode": "hang",
+                                   "hang_seconds": 0.3})])
+
+
+def projection(report):
+    """The deterministic slice of a campaign report (everything but
+    wall-clock measurements)."""
+    analysis = report.analysis
+    return {
+        "cases": analysis["cases"],
+        "status_counts": analysis["status_counts"],
+        "coverage": analysis["coverage"],
+        "quarantined": analysis["quarantined"],
+        "clusters": [cluster["signature"]
+                     for cluster in analysis["clusters"]],
+        "generators": [(row["generator"], row["cases"])
+                       for row in analysis["generators"]],
+    }
+
+
+class TestCorpusDamageResume:
+    def test_resume_heals_damaged_corpus(self, tmp_path):
+        root = str(tmp_path / "camp")
+        config = slow_ok_config(cases=6)
+        clean = run_campaign(root, config)
+        assert clean.ok and clean.analysis["cases"] == 6
+
+        corpus = CampaignCorpus(root)
+        records = sorted(corpus.scan())
+        # Simulate a writer killed mid-publish: one record truncated,
+        # one deleted outright, plus an orphan temp file.
+        victim = corpus.record_path(records[0])
+        payload = open(victim).read()
+        with open(victim, "w") as handle:
+            handle.write(payload[:40])
+        os.unlink(corpus.record_path(records[1]))
+        with open(os.path.join(corpus.records_dir, ".tmp-kill"),
+                  "w") as handle:
+            handle.write("{half")
+
+        resumed = run_campaign(root, resume=True)
+        assert resumed.ok
+        assert resumed.reused_records == 4   # 6 minus the 2 damaged
+        assert projection(resumed) == projection(clean)
+        assert sorted(corpus.scan()) == records
+        assert not os.path.exists(
+            os.path.join(corpus.records_dir, ".tmp-kill"))
+
+
+class TestSigkillResume:
+    def test_sigkill_mid_run_then_resume_converges(self, tmp_path):
+        killed_root = str(tmp_path / "killed")
+        clean_root = str(tmp_path / "clean")
+        config = slow_ok_config(cases=8)
+
+        # Seed the corpus meta, then let a separate process run the
+        # campaign so we can SIGKILL it mid-corpus-write.
+        CampaignCorpus(killed_root).write_meta(config.to_dict())
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        child = subprocess.Popen(
+            [sys.executable, "-c",
+             "import sys; from repro.campaign import run_campaign; "
+             "run_campaign(sys.argv[1], resume=True)", killed_root],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        records_dir = CampaignCorpus(killed_root).records_dir
+        deadline = time.monotonic() + 60
+        try:
+            while time.monotonic() < deadline:
+                done = [name for name in os.listdir(records_dir)
+                        if name.endswith(".json")]
+                if len(done) >= 2:
+                    break
+                if child.poll() is not None:
+                    break
+                time.sleep(0.05)
+        finally:
+            if child.poll() is None:
+                child.send_signal(signal.SIGKILL)
+            child.wait()
+
+        survivors = CampaignCorpus(killed_root).scan()
+        assert len(survivors) < 8    # genuinely interrupted
+
+        resumed = run_campaign(killed_root, resume=True)
+        clean = run_campaign(clean_root, config)
+        assert resumed.ok and clean.ok
+        assert resumed.reused_records == len(survivors)
+        assert projection(resumed) == projection(clean)
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_report_despite_worker_count(self, tmp_path):
+        base = dict(seed=9, cases=6, round_size=3, timeout=30.0,
+                    backoff=0.0, perf_probe=False,
+                    generators=[
+                        GeneratorSpec("st-ok", "selftest", {}),
+                        GeneratorSpec("st-div", "selftest",
+                                      {"mode": "diverge"}),
+                    ])
+        one = run_campaign(str(tmp_path / "a"),
+                           CampaignConfig(workers=1, **base))
+        four = run_campaign(str(tmp_path / "b"),
+                            CampaignConfig(workers=4, **base))
+        assert projection(one) == projection(four)
+        ids = sorted(CampaignCorpus(str(tmp_path / "a")).scan())
+        assert ids == sorted(CampaignCorpus(str(tmp_path / "b")).scan())
+
+    def test_report_artifacts_match_corpus(self, tmp_path):
+        root = str(tmp_path / "camp")
+        report = run_campaign(root, slow_ok_config(cases=4))
+        with open(os.path.join(root, "report.json")) as handle:
+            on_disk = json.load(handle)
+        assert on_disk["cases"] == report.analysis["cases"]
+        assert on_disk["coverage"] == report.analysis["coverage"]
+        text = open(os.path.join(root, "report.txt")).read()
+        assert "unexercised seams:" in text
