@@ -17,7 +17,10 @@ isolation, not new oracles:
   bit-identical architected results with corruption surfacing only as
   clean-miss rejects;
 * ``verify-corruption`` — seed one translation corruption and demand
-  the static verifier catches it (the PR-5 loudness self-test).
+  the static verifier catches it (the PR-5 loudness self-test);
+* ``fleet`` — run one small process-sharded fleet (docs/serving.md),
+  optionally over a tampered store, asserting report consistency and
+  harvesting ``shard:`` / ``store-reject:`` coverage tokens.
 
 Every result carries ``features``: coverage tokens harvested from the
 event bus (translator paths taken, verifier invariants fired, fault
@@ -350,6 +353,107 @@ def _run_verify_corruption(spec: dict) -> dict:
     }
 
 
+def _run_fleet(spec: dict) -> dict:
+    """One small sharded fleet (docs/serving.md) against a private
+    store, optionally tampered between the fill and the serve phase.
+    The oracle is the fleet report itself — divergence kinds:
+
+    * ``fleet-inconsistent`` — two runs of one workload produced
+      different architected results across shards;
+    * ``fleet-degraded`` — a guest crashed/timed out (a deterministic
+      tiny fleet has no business degrading);
+    * ``store-silent`` — the tamper damaged an object yet no shard
+      rejected it (stale index or silent corruption).
+    """
+    from repro.serve.fleet import serve_fleet
+
+    index = int(spec.get("index", 0))
+    shards = max(1, int(spec.get("shards", 1 + index % 2)))
+    runs = int(spec.get("runs", 4))
+    names = spec.get("workloads") or ["wc", "hotloop"]
+    tamper = spec.get("tamper")
+    rng = random.Random(
+        f"daisy-campaign-fleet:{spec.get('seed', 0)}:{index}")
+    root = tempfile.mkdtemp(prefix="campaign-fleet-")
+    features: Set[str] = {"case:fleet", f"shards:{shards}"}
+    features |= {f"workload:{name}" for name in names}
+    divergences: List[dict] = []
+    case: Dict[str, object] = {"shards": shards, "runs": runs,
+                               "workloads": list(names),
+                               "tamper": tamper, "store_root": root}
+    try:
+        detail: Dict[str, object] = {}
+        if tamper:
+            # Warm the store first so the tamper has objects to damage,
+            # then serve read-only off the damaged store: every shard
+            # must reject cleanly and retranslate to the same results.
+            from repro.serve.fleet import run_guest
+            from repro.store.store import TranslationStore
+            from repro.workloads import build_workload
+
+            fill_store = TranslationStore(root)
+            for name in names:
+                program = build_workload(
+                    name, spec.get("size", "tiny")).program
+                run_guest(-1, name, program, fill_store, "read-write",
+                          "compiled", None, 50_000_000)
+            fill_store.flush()
+            detail = _tamper_store(root, tamper, rng)
+            case.update(detail)
+            features.add(f"tamper:{tamper}")
+        report = serve_fleet(
+            root, workloads=names, runs=runs, size=spec.get("size",
+                                                            "tiny"),
+            store_mode="read" if tamper else "read-write",
+            shards=shards, harvest=True,
+            guest_budget=spec.get("guest_budget"),
+            shard_timeout=spec.get("shard_timeout"))
+        for run in report.runs:
+            features |= set(run.features)
+        for row in report.shard_rows:
+            if row.guests:
+                features.add(f"shard:{row.shard}")
+            if row.crashes:
+                features.add("shard:crash")
+            if row.restarts:
+                features.add("shard:restart")
+        if report.degraded_runs:
+            features.add("shard:degraded")
+            divergences.append({
+                "kind": "fleet-degraded", "case": "+".join(names),
+                "detail": {"degraded": [
+                    {"index": run.index, "workload": run.workload,
+                     "error": run.error}
+                    for run in report.degraded_runs]}})
+        if not report.consistent:
+            divergences.append({
+                "kind": "fleet-inconsistent", "case": "+".join(names),
+                "detail": {"inconsistencies": report.inconsistencies}})
+        total_rejects = sum(run.store_rejects for run in report.runs)
+        if (tamper in _CORRUPTING_TAMPERS and detail.get("victim")
+                and total_rejects == 0):
+            divergences.append({
+                "kind": "store-silent", "case": "+".join(names),
+                "detail": {"tamper": tamper,
+                           "victim": detail.get("victim")}})
+        case.update({
+            "consistent": report.consistent,
+            "degraded": len(report.degraded_runs),
+            "store_hits": report.store_hits,
+            "store_misses": report.store_misses,
+            "store_rejects": total_rejects,
+            "guests_per_sec": round(report.guests_per_sec, 3),
+        })
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "status": "diverged" if divergences else "ok",
+        "features": sorted(features),
+        "divergences": divergences,
+        "case": case,
+    }
+
+
 def _run_selftest(spec: dict) -> dict:
     """Deterministic worker behaviours for campaign plumbing tests:
     ``ok``, ``diverge``, ``crash`` (unhandled exception), ``hard-crash``
@@ -382,6 +486,7 @@ _HANDLERS = {
     "chaos": _run_chaos,
     "store-adversarial": _run_store_adversarial,
     "verify-corruption": _run_verify_corruption,
+    "fleet": _run_fleet,
     "selftest": _run_selftest,
 }
 

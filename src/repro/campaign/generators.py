@@ -28,6 +28,14 @@ _CHAOS_WORKLOADS = ("wc", "cmp", "c_sieve")
 _STORE_WORKLOADS = ("wc", "cmp")
 _VERIFY_WORKLOADS = ("c_sieve", "compress", "wc")
 
+#: Fleet cases cycle over these small mixes (quick pairs — a fleet
+#: case runs every guest in the mix several times over).
+_FLEET_MIXES = (("wc", "hotloop"), ("cmp", "c_sieve"))
+
+#: Every third fleet case serves off a tampered store (cycled over the
+#: corrupting tampers), so shards exercise the reject path.
+_FLEET_TAMPERS = (None, None, "flip", None, None, "truncate")
+
 #: Per-workload chaos plan seeds are decorrelated with this prime
 #: stride (mirrors :data:`repro.resilience.chaos._SEED_STRIDE`).
 _PLAN_STRIDE = 7919
@@ -113,6 +121,17 @@ def spec_for_case(generator: GeneratorSpec, config, index: int) -> dict:
                 "workload": _cycle(workloads,
                                    index // max(1, len(corruptions))),
                 "size": size}
+    if kind == "fleet":
+        mixes = params.get("mixes", _FLEET_MIXES)
+        tampers = params.get("tampers", _FLEET_TAMPERS)
+        return {"kind": kind, "seed": seed, "index": index,
+                "workloads": list(_cycle(mixes, index)),
+                "shards": params.get("shards", 1 + index % 2),
+                "runs": params.get("runs", 4),
+                "tamper": _cycle(tampers, index),
+                "size": size,
+                "guest_budget": params.get("guest_budget"),
+                "shard_timeout": params.get("shard_timeout")}
     if kind == "selftest":
         return {"kind": kind, "mode": params.get("mode", "ok"),
                 "hang_seconds": params.get("hang_seconds", 3600),
@@ -157,6 +176,9 @@ def default_generators() -> List[GeneratorSpec]:
                       {"workloads": list(_STORE_WORKLOADS)}),
         GeneratorSpec("verify-corruption", "verify-corruption",
                       {"workloads": list(_VERIFY_WORKLOADS)}),
+        # A fleet case runs several guests per draw (and every other
+        # draw spawns shard subprocesses), so schedule it sparingly.
+        GeneratorSpec("fleet", "fleet", {}, weight=0.5),
     ]
 
 

@@ -1,121 +1,41 @@
-"""Crash-isolated execution of one case spec in a killable subprocess.
+"""Crash-isolated execution of one campaign case (compatibility shim).
 
-The campaign runner (and the ``--timeout`` paths of ``repro conform``
-and ``repro chaos``) must survive three failure modes that an
-in-process call cannot: a case that *hangs* (translator livelock, a
-pathological fuzz program), a case that *kills the interpreter*
-(segfault in a C extension, ``os._exit``, OOM kill), and a case that
-corrupts interpreter state for everything after it.  The fix is the
-classic fuzzer architecture: each case runs in a fresh
-``python -m repro.campaign.worker`` subprocess speaking JSON over
-stdin/stdout, and the parent holds a kill switch.
+The subprocess spec/result protocol that used to live here is now the
+shared :mod:`repro.runtime.isolate` layer, consumed by both campaign
+workers (one case per subprocess, via :func:`run_spec`) and the
+``repro serve --shards`` fleet executor (persistent per-shard workers,
+via :class:`repro.runtime.isolate.LineWorker`) — one kill/timeout/
+drain implementation for every harness.
 
-* A worker that exceeds ``timeout`` is killed (SIGKILL via
-  ``Popen.kill``) and reported as ``status="timeout"`` — a recorded
-  failure, never a stuck campaign.
-* A worker that exits non-zero or emits unparseable output is
-  ``status="crash"`` with the stderr tail attached for attribution.
-* A healthy worker's JSON result comes back verbatim; its status is
-  ``"diverged"`` when it found divergences, ``"ok"`` otherwise.
-
-The subprocess boundary also guarantees the kill is safe: the worker
-owns no shared mutable state beyond the crash-safe stores it writes
-with atomic renames, so killing it mid-case can lose at most that one
-case.
+This module keeps the historical import surface: campaign callers
+``from repro.campaign.isolate import run_spec`` and get exactly the
+PR-8 behavior (same worker module, same statuses, same stderr-tail
+attribution).
 """
 
 from __future__ import annotations
 
-import json
-import os
-import subprocess
-import sys
-import time
-from dataclasses import dataclass
 from typing import Optional
+
+from repro.runtime.isolate import (
+    KILL_DRAIN_SECONDS as _KILL_DRAIN_SECONDS,
+    STDERR_TAIL,
+    WorkerOutcome,
+    run_spec as _run_spec,
+    tail as _tail,
+    worker_env as _worker_env,
+)
 
 WORKER_MODULE = "repro.campaign.worker"
 
-#: Keep only this much of a crashed worker's stderr (the traceback
-#: tail is the attribution signal; the head is noise).
-STDERR_TAIL = 2000
-
-#: Grace period for draining pipes after a kill.
-_KILL_DRAIN_SECONDS = 5.0
-
-
-@dataclass
-class WorkerOutcome:
-    """What happened to one isolated case."""
-
-    #: ``ok`` / ``diverged`` / ``timeout`` / ``crash``.
-    status: str
-    #: The worker's parsed JSON result (``ok``/``diverged`` only).
-    result: Optional[dict] = None
-    wall_seconds: float = 0.0
-    #: Worker exit code; ``None`` when it was killed on timeout.
-    exit_code: Optional[int] = None
-    stderr: str = ""
-
-
-def _tail(text: str, limit: int = STDERR_TAIL) -> str:
-    text = text or ""
-    return text[-limit:]
-
-
-def _worker_env() -> dict:
-    """The child must be able to ``import repro`` however the parent
-    was launched (installed package, ``PYTHONPATH=src``, or a test
-    runner with a mangled path): prepend our own source root."""
-    env = dict(os.environ)
-    src_root = os.path.dirname(os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__))))
-    existing = env.get("PYTHONPATH", "")
-    env["PYTHONPATH"] = (src_root + os.pathsep + existing
-                         if existing else src_root)
-    return env
-
 
 def run_spec(spec: dict, timeout: Optional[float] = None) -> WorkerOutcome:
-    """Run one case spec in a fresh worker subprocess.
+    """Run one campaign case spec in a fresh worker subprocess (see
+    :func:`repro.runtime.isolate.run_spec`)."""
+    return _run_spec(spec, timeout=timeout, module=WORKER_MODULE)
 
-    ``timeout`` is the per-case wall-clock budget in seconds (``None``
-    = unbounded).  This function never raises for worker misbehaviour —
-    hang, crash, and garbage output all come back as a typed
-    :class:`WorkerOutcome`.
-    """
-    started = time.perf_counter()
-    proc = subprocess.Popen(
-        [sys.executable, "-m", WORKER_MODULE],
-        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE, text=True, env=_worker_env())
-    try:
-        out, err = proc.communicate(json.dumps(spec), timeout=timeout)
-    except subprocess.TimeoutExpired:
-        proc.kill()
-        try:
-            _, err = proc.communicate(timeout=_KILL_DRAIN_SECONDS)
-        except (subprocess.TimeoutExpired, OSError):  # pragma: no cover
-            err = ""
-        return WorkerOutcome(
-            status="timeout",
-            wall_seconds=time.perf_counter() - started,
-            exit_code=None, stderr=_tail(err))
-    wall = time.perf_counter() - started
-    if proc.returncode != 0:
-        return WorkerOutcome(status="crash", wall_seconds=wall,
-                             exit_code=proc.returncode,
-                             stderr=_tail(err))
-    try:
-        result = json.loads(out)
-        if not isinstance(result, dict):
-            raise ValueError("worker result is not an object")
-    except ValueError:
-        return WorkerOutcome(
-            status="crash", wall_seconds=wall, exit_code=proc.returncode,
-            stderr=_tail(f"unparseable worker output: {out[-300:]!r}\n"
-                         + (err or "")))
-    status = "diverged" if result.get("divergences") else "ok"
-    return WorkerOutcome(status=status, result=result,
-                         wall_seconds=wall, exit_code=proc.returncode,
-                         stderr=_tail(err))
+
+__all__ = ["STDERR_TAIL", "WORKER_MODULE", "WorkerOutcome", "run_spec"]
+
+# Historical private names, kept for any straggler imports.
+_ = (_KILL_DRAIN_SECONDS, _tail, _worker_env)

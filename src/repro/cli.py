@@ -293,7 +293,47 @@ def _bench_backend(name: str, args):
     return create_backend(name)
 
 
+def _cmd_bench_fleet(args) -> int:
+    """``repro bench --fleet``: the guests/sec scale-out curve
+    (docs/serving.md, BENCH_9.json)."""
+    from repro.serve.bench import (
+        DEFAULT_MIX,
+        format_fleet_bench,
+        run_fleet_bench,
+    )
+
+    mix = args.workloads or list(DEFAULT_MIX)
+    try:
+        shard_counts = [int(n) for n in
+                        args.fleet_shards.split(",") if n.strip()]
+    except ValueError:
+        print(f"bad --fleet-shards {args.fleet_shards!r} "
+              f"(expected comma-separated integers)", file=sys.stderr)
+        return 2
+    doc = run_fleet_bench(workloads=mix, runs=args.fleet_runs,
+                          shard_counts=shard_counts, size=args.size,
+                          guest_budget=args.guest_budget)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(format_fleet_bench(doc))
+    if not doc["consistent"]:
+        return 1
+    if args.min_fleet_speedup is not None:
+        speedups = doc.get("speedups_vs_1_shard", {})
+        top = str(max(shard_counts))
+        ratio = speedups.get(top, 0.0)
+        if ratio < args.min_fleet_speedup:
+            print(f"fleet speedup gate FAILED: {ratio:.2f}x at {top} "
+                  f"shards vs 1 (< {args.min_fleet_speedup:.2f}x)",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
 def cmd_bench(args) -> int:
+    if args.fleet:
+        return _cmd_bench_fleet(args)
     names = args.workloads or list(WORKLOAD_NAMES)
     backend_names = [b.strip() for b in args.backends.split(",") if b.strip()]
     for name in backend_names:
@@ -512,10 +552,19 @@ def cmd_profile(args) -> int:
     return 0 if report["exit_code"] == 0 else 1
 
 
+#: ``repro serve`` exit code for a fleet that stayed consistent but
+#: had degraded (crashed/timed-out/drained) or failing guest rows —
+#: distinct from 1 (result divergence) so callers can tell "wrong
+#: answers" from "lost guests".
+SERVE_EXIT_DEGRADED = 3
+
+
 def cmd_serve(args) -> int:
-    """Run a fleet of concurrent guest workloads against one shared
-    persistent store (docs/store.md) and report fleet metrics."""
-    from repro.store.daemon import serve_fleet
+    """Run a fleet of guest workloads against one shared persistent
+    store (docs/serving.md) and report fleet metrics.  ``--shards N``
+    fans the fleet out over worker subprocesses; the default is the
+    thread mode of PR 7."""
+    from repro.serve import serve_fleet
 
     workloads = None if args.workloads is None else \
         [w.strip() for w in args.workloads.split(",") if w.strip()]
@@ -523,12 +572,18 @@ def cmd_serve(args) -> int:
         args.store, workloads=workloads, runs=args.runs,
         concurrency=args.concurrency, size=args.size,
         store_mode=args.store_mode or "read-write",
-        exec_mode=args.exec_mode, guest_budget=args.guest_budget)
+        exec_mode=args.exec_mode, guest_budget=args.guest_budget,
+        shards=args.shards, shard_timeout=args.shard_timeout,
+        writer=args.writer)
     if args.json:
         print(report.to_json())
     else:
         print(report.summary())
-    return 0 if report.ok else 1
+    if not report.consistent:
+        return 1
+    if report.failed_runs:
+        return SERVE_EXIT_DEGRADED
+    return 0
 
 
 def cmd_campaign(args) -> int:
@@ -739,6 +794,29 @@ def main(argv: Optional[list] = None) -> int:
                                    "read-write when --store is given)")
     bench_parser.add_argument("--json", action="store_true",
                               help="emit machine-readable JSON")
+    bench_parser.add_argument("--fleet", action="store_true",
+                              help="run the fleet throughput "
+                                   "microbenchmark instead: guests/sec "
+                                   "at each --fleet-shards count over "
+                                   "the workload mix (docs/serving.md, "
+                                   "BENCH_9.json)")
+    bench_parser.add_argument("--fleet-runs", type=int, default=12,
+                              help="guest runs per fleet bench point")
+    bench_parser.add_argument("--fleet-shards", default="1,2,4",
+                              metavar="N,N,...",
+                              help="shard counts to measure "
+                                   "(default: 1,2,4; thread-mode "
+                                   "baseline always included)")
+    bench_parser.add_argument("--guest-budget", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-guest wall-clock budget for "
+                                   "fleet bench guests")
+    bench_parser.add_argument("--min-fleet-speedup", type=float,
+                              default=None, metavar="RATIO",
+                              help="with --fleet: exit nonzero when "
+                                   "guests/sec at the highest shard "
+                                   "count is below RATIO x the 1-shard "
+                                   "point (the CI serve-scale gate)")
     bench_parser.set_defaults(func=cmd_bench, deliver_faults=False)
 
     profile_parser = sub.add_parser(
@@ -774,9 +852,11 @@ def main(argv: Optional[list] = None) -> int:
 
     serve_parser = sub.add_parser(
         "serve",
-        help="run a fleet of concurrent guest workloads against one "
-             "shared persistent translation store and report hit/miss "
-             "and translate-amortization metrics (repro.store.daemon)")
+        help="run a fleet of guest workloads against one shared "
+             "persistent translation store and report hit/miss, "
+             "translate-amortization and guests/sec metrics "
+             "(repro.serve, docs/serving.md); --shards N runs the "
+             "fleet across worker subprocesses")
     serve_parser.add_argument("--store", required=True, metavar="DIR",
                               help="store directory shared by the fleet")
     serve_parser.add_argument("--workloads", default=None,
@@ -803,8 +883,29 @@ def main(argv: Optional[list] = None) -> int:
                               metavar="SECONDS",
                               help="per-guest wall-clock budget; a guest "
                                    "that exceeds it is recorded as a "
-                                   "degraded row (exit 1) instead of "
+                                   "degraded row (exit 3) instead of "
                                    "stalling the fleet")
+    serve_parser.add_argument("--shards", type=int, default=0,
+                              metavar="N",
+                              help="run the fleet across N worker "
+                                   "subprocesses sharing the store "
+                                   "directory (default 0: thread mode, "
+                                   "byte-compatible with earlier "
+                                   "releases)")
+    serve_parser.add_argument("--shard-timeout", type=float,
+                              default=None, metavar="SECONDS",
+                              help="hard per-guest wall-clock bound in "
+                                   "sharded mode: a shard that exceeds "
+                                   "it is killed and restarted, the "
+                                   "guest becomes a degraded row")
+    serve_parser.add_argument("--writer", choices=["prefill", "none"],
+                              default="prefill",
+                              help="sharded-mode store writer policy: "
+                                   "'prefill' (default) fill-then-"
+                                   "freeze — the parent warms the store "
+                                   "once, shards read hot entries; "
+                                   "'none' lets every shard run the "
+                                   "requested --store-mode")
     serve_parser.add_argument("--json", action="store_true",
                               help="emit the fleet report as JSON")
     serve_parser.set_defaults(func=cmd_serve)

@@ -449,6 +449,48 @@ class GeneratorQuarantined:
 
 
 @dataclass(frozen=True)
+class ShardStarted:
+    """A fleet shard worker subprocess came up (:mod:`repro.serve`).
+    Published on the initial spawn and again on every restart after a
+    crash or hang-kill."""
+
+    shard: int = 0
+    pid: int = 0
+    #: 0 on the initial spawn; counts restarts after that.
+    restarts: int = 0
+    _sum_fields = ("restarts",)
+
+
+@dataclass(frozen=True)
+class ShardCrashed:
+    """A fleet shard worker died (crash) or was killed (hang) while a
+    guest was in flight; that guest becomes a degraded row and the
+    shard is restarted (up to the pool's restart budget) — the fleet
+    degrades, it never stalls."""
+
+    shard: int = 0
+    #: ``crash`` (worker died or spoke garbage) or ``timeout`` (killed
+    #: by the hang watchdog).
+    reason: str = ""
+    #: Index of the guest that was in flight (-1: none).
+    guest: int = -1
+    _key_field = "reason"
+
+
+@dataclass(frozen=True)
+class FleetCompleted:
+    """One ``repro serve`` fleet session finished (thread or sharded
+    mode); headline throughput for subscribers that track the serving
+    trajectory (:mod:`repro.serve`)."""
+
+    runs: int = 0
+    shards: int = 0
+    degraded: int = 0
+    guests_per_sec: float = 0.0
+    consistent: bool = True
+
+
+@dataclass(frozen=True)
 class TierPromotion:
     """An entry crossed the hot-threshold and was compiled to VLIWs."""
     pc: int = 0
@@ -606,4 +648,5 @@ EVENT_TYPES: Tuple[Type, ...] = (
     TranslationAbort, PageQuarantined, DegradationLatch, OverBudget,
     FaultInjected,
     CampaignCaseFinished, GeneratorQuarantined,
+    ShardStarted, ShardCrashed, FleetCompleted,
 )

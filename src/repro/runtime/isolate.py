@@ -1,0 +1,271 @@
+"""The shared subprocess isolation layer: one kill/timeout/drain
+implementation for every harness that runs work in a killable child.
+
+Two consumers with the same three failure modes — a child that *hangs*
+(translator livelock, a pathological fuzz program), a child that *dies*
+(segfault, ``os._exit``, OOM kill), and a child that would corrupt
+interpreter state for everything after it:
+
+* the campaign runner and the ``--timeout`` paths of ``repro conform``
+  / ``repro chaos`` run **one case per subprocess** — JSON spec on
+  stdin, JSON result on stdout, exit (:func:`run_spec`, historically
+  :mod:`repro.campaign.isolate`, which remains as a re-export shim);
+* the ``repro serve --shards`` fleet executor keeps **one long-lived
+  worker subprocess per shard** speaking newline-delimited JSON — one
+  spec line in, one result line out, many times over, so per-process
+  warm state (imports, decode caches, the open store handle) amortizes
+  across guests (:class:`LineWorker`).
+
+Both paths share the environment bootstrap (:func:`worker_env`), the
+stderr-tail attribution capture, and the kill-with-drain discipline:
+a killed child gets :data:`KILL_DRAIN_SECONDS` to flush its pipes so
+the traceback tail survives for attribution, and never longer.
+
+The subprocess boundary is what makes the kill safe: a worker owns no
+shared mutable state beyond crash-safe stores written with atomic
+renames, so killing it mid-case loses at most that one case.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+#: Keep only this much of a crashed worker's stderr (the traceback
+#: tail is the attribution signal; the head is noise).
+STDERR_TAIL = 2000
+
+#: Grace period for draining pipes after a kill.
+KILL_DRAIN_SECONDS = 5.0
+
+
+@dataclass
+class WorkerOutcome:
+    """What happened to one isolated case."""
+
+    #: ``ok`` / ``diverged`` / ``timeout`` / ``crash``.
+    status: str
+    #: The worker's parsed JSON result (``ok``/``diverged`` only).
+    result: Optional[dict] = None
+    wall_seconds: float = 0.0
+    #: Worker exit code; ``None`` when it was killed on timeout.
+    exit_code: Optional[int] = None
+    stderr: str = ""
+
+
+def tail(text: str, limit: int = STDERR_TAIL) -> str:
+    """The attribution-relevant suffix of a child's stderr."""
+    text = text or ""
+    return text[-limit:]
+
+
+def worker_env() -> dict:
+    """The child must be able to ``import repro`` however the parent
+    was launched (installed package, ``PYTHONPATH=src``, or a test
+    runner with a mangled path): prepend our own source root."""
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (src_root + os.pathsep + existing
+                         if existing else src_root)
+    return env
+
+
+def run_spec(spec: dict, timeout: Optional[float] = None,
+             module: str = "repro.campaign.worker") -> WorkerOutcome:
+    """Run one case spec in a fresh ``python -m module`` subprocess.
+
+    ``timeout`` is the per-case wall-clock budget in seconds (``None``
+    = unbounded).  This function never raises for worker misbehaviour —
+    hang, crash, and garbage output all come back as a typed
+    :class:`WorkerOutcome`.
+    """
+    started = time.perf_counter()
+    proc = subprocess.Popen(
+        [sys.executable, "-m", module],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=worker_env())
+    try:
+        out, err = proc.communicate(json.dumps(spec), timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        try:
+            _, err = proc.communicate(timeout=KILL_DRAIN_SECONDS)
+        except (subprocess.TimeoutExpired, OSError):  # pragma: no cover
+            err = ""
+        return WorkerOutcome(
+            status="timeout",
+            wall_seconds=time.perf_counter() - started,
+            exit_code=None, stderr=tail(err))
+    wall = time.perf_counter() - started
+    if proc.returncode != 0:
+        return WorkerOutcome(status="crash", wall_seconds=wall,
+                             exit_code=proc.returncode,
+                             stderr=tail(err))
+    try:
+        result = json.loads(out)
+        if not isinstance(result, dict):
+            raise ValueError("worker result is not an object")
+    except ValueError:
+        return WorkerOutcome(
+            status="crash", wall_seconds=wall, exit_code=proc.returncode,
+            stderr=tail(f"unparseable worker output: {out[-300:]!r}\n"
+                        + (err or "")))
+    status = "diverged" if result.get("divergences") else "ok"
+    return WorkerOutcome(status=status, result=result,
+                         wall_seconds=wall, exit_code=proc.returncode,
+                         stderr=tail(err))
+
+
+# ----------------------------------------------------------------------
+# Persistent line-protocol workers (fleet shards)
+# ----------------------------------------------------------------------
+
+
+class LineWorkerError(Exception):
+    """The persistent worker died or spoke garbage; carries the stderr
+    tail for attribution.  The caller decides whether to restart."""
+
+    def __init__(self, message: str, stderr: str = "",
+                 exit_code: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.stderr = stderr
+        self.exit_code = exit_code
+
+
+class LineWorker:
+    """One long-lived ``python -m module`` subprocess speaking
+    newline-delimited JSON: :meth:`submit` writes one spec line,
+    :meth:`read_result` blocks for one result line.
+
+    The caller is responsible for pacing (one request in flight at a
+    time — the worker is sequential by design) and for hang policy:
+    :meth:`read_result` blocks until a line or EOF, so a watchdog that
+    decides the worker has hung calls :meth:`kill` from another thread,
+    which closes the pipe and unblocks the read with a
+    :class:`LineWorkerError`.
+
+    Shutdown discipline mirrors :func:`run_spec`: :meth:`close` drains
+    gracefully (EOF on stdin, wait, collect stderr), :meth:`kill`
+    SIGKILLs and still drains the pipes for :data:`KILL_DRAIN_SECONDS`
+    so the traceback tail survives.
+    """
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.proc: Optional[subprocess.Popen] = None
+        self._stderr_tail = ""
+        self._killed = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "LineWorker":
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", self.module],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True, bufsize=1,
+            env=worker_env())
+        self._killed = False
+        return self
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid if self.proc is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    @property
+    def killed(self) -> bool:
+        """True once :meth:`kill` fired (the watchdog path) — lets the
+        reader side tell a hang-kill from a spontaneous crash."""
+        return self._killed
+
+    # -- protocol ------------------------------------------------------
+
+    def submit(self, spec: dict) -> None:
+        """Write one spec line.  Raises :class:`LineWorkerError` when
+        the worker is gone (broken pipe)."""
+        if self.proc is None or self.proc.stdin is None:
+            raise LineWorkerError("worker not started")
+        try:
+            self.proc.stdin.write(json.dumps(spec) + "\n")
+            self.proc.stdin.flush()
+        except (BrokenPipeError, OSError) as error:
+            raise LineWorkerError(
+                f"worker pipe closed on submit: {error}",
+                stderr=self.drain_stderr(),
+                exit_code=self.proc.poll()) from None
+
+    def read_result(self) -> dict:
+        """Block for one result line; raises :class:`LineWorkerError`
+        on EOF (crash or kill) or unparseable output."""
+        if self.proc is None or self.proc.stdout is None:
+            raise LineWorkerError("worker not started")
+        line = self.proc.stdout.readline()
+        if not line:
+            exit_code = self.proc.poll()
+            raise LineWorkerError(
+                "worker closed its pipe mid-request",
+                stderr=self.drain_stderr(), exit_code=exit_code)
+        try:
+            result = json.loads(line)
+            if not isinstance(result, dict):
+                raise ValueError("worker result is not an object")
+        except ValueError:
+            raise LineWorkerError(
+                f"unparseable worker line: {line[-300:]!r}",
+                stderr=self.drain_stderr(),
+                exit_code=self.proc.poll()) from None
+        return result
+
+    # -- teardown ------------------------------------------------------
+
+    def drain_stderr(self) -> str:
+        """Collect (and cache) the worker's stderr tail after it has
+        exited or been killed; bounded by :data:`KILL_DRAIN_SECONDS`."""
+        if self.proc is None:
+            return self._stderr_tail
+        if self.proc.poll() is None:
+            return self._stderr_tail
+        try:
+            _, err = self.proc.communicate(timeout=KILL_DRAIN_SECONDS)
+            self._stderr_tail = tail(err or "")
+        except (subprocess.TimeoutExpired, ValueError,
+                OSError):  # pragma: no cover - already drained
+            pass
+        return self._stderr_tail
+
+    def kill(self) -> None:
+        """SIGKILL the worker (the watchdog's hang switch).  Safe to
+        call from another thread and idempotent."""
+        self._killed = True
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+
+    def close(self, timeout: float = KILL_DRAIN_SECONDS) -> None:
+        """Graceful drain: EOF on stdin, bounded wait, then kill."""
+        if self.proc is None:
+            return
+        try:
+            if self.proc.stdin is not None:
+                self.proc.stdin.close()
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        try:
+            self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - hung
+            self.proc.kill()
+            self.proc.wait()
+
+
+__all__ = ["KILL_DRAIN_SECONDS", "LineWorker", "LineWorkerError",
+           "STDERR_TAIL", "WorkerOutcome", "run_spec", "tail",
+           "worker_env"]

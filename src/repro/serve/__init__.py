@@ -1,0 +1,36 @@
+"""Fleet serving: many guests, one hot translation store.
+
+The package behind ``repro serve`` (docs/serving.md).  Grown out of
+the PR-7 ``repro.store.daemon`` thread-pool prototype — which remains
+as a re-export shim — into a process-sharded executor:
+
+* :mod:`repro.serve.fleet` — the executor and report
+  (:func:`serve_fleet`, :class:`FleetReport`, :class:`GuestRun`);
+* :mod:`repro.serve.shards` — the worker-subprocess pool
+  (:class:`ShardPool`): shared-queue dispatch, watchdog hang kill,
+  crash→degraded-row, SIGTERM drain;
+* :mod:`repro.serve.worker` — the per-shard ``python -m`` worker with
+  its per-process warm caches;
+* :mod:`repro.serve.bench` — the guests/sec scale-out microbenchmark
+  (``repro bench --fleet``, BENCH_9.json).
+"""
+
+from repro.serve.fleet import (
+    DEFAULT_WORKLOADS,
+    FleetReport,
+    GuestRun,
+    ShardRow,
+    WRITER_POLICIES,
+    run_guest,
+    serve_fleet,
+)
+
+__all__ = [
+    "DEFAULT_WORKLOADS",
+    "FleetReport",
+    "GuestRun",
+    "ShardRow",
+    "WRITER_POLICIES",
+    "run_guest",
+    "serve_fleet",
+]

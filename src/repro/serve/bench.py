@@ -1,0 +1,129 @@
+"""The fleet throughput microbenchmark behind ``repro bench --fleet``.
+
+Measures aggregate **guests/sec** for the same mixed-workload run list
+at several shard counts, each against its own freshly-filled store, and
+reports the speedup curve — the scale-out axis of the BENCH trajectory
+(BENCH_9.json).  Methodology (docs/serving.md):
+
+* every point runs the *identical* schedule (round-robin over the
+  workload mix), so points differ only in parallelism;
+* stores are per-point and pre-filled via the fill-then-freeze writer
+  policy, so every point serves 100% warm — the comparison isolates
+  execute-phase parallelism from translate amortization;
+* throughput counts completed guests over the serve-phase wall clock
+  (prefill excluded: it is a one-time cost shared by all points);
+* the consistency check must stay green at every point — speed that
+  diverges is a bug, not a result.
+
+The ``shards=0`` point is the PR-7 thread mode (GIL-bound baseline);
+``shards=1`` adds the subprocess round-trip cost; higher counts buy
+real parallelism on multi-core hosts.  On a single-core host the curve
+is honest and flat — the CI ``serve-scale-smoke`` gate runs on a
+multi-core runner for that reason.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, Optional, Sequence
+
+from repro.serve.fleet import serve_fleet
+
+DEFAULT_MIX = ("hotloop", "c_sieve", "compress", "wc")
+DEFAULT_SHARD_COUNTS = (1, 2, 4)
+
+
+def run_fleet_bench(workloads: Optional[Sequence[str]] = None,
+                    runs: int = 12,
+                    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+                    size: str = "tiny",
+                    guest_budget: Optional[float] = None,
+                    include_thread_baseline: bool = True,
+                    store_parent: Optional[str] = None
+                    ) -> Dict[str, object]:
+    """Run the fleet at each shard count; returns the benchmark doc.
+
+    ``include_thread_baseline`` prepends the ``shards=0`` thread-mode
+    point.  ``store_parent`` hosts the per-point store directories
+    (default: a temporary directory, removed afterwards).
+    """
+    mix = list(workloads) if workloads else list(DEFAULT_MIX)
+    points = []
+    counts = ([0] if include_thread_baseline else []) \
+        + [n for n in shard_counts if n >= 1]
+    with tempfile.TemporaryDirectory(dir=store_parent) as parent:
+        for shards in counts:
+            root = os.path.join(parent, f"store-{shards}")
+            report = serve_fleet(
+                root, workloads=mix, runs=runs,
+                concurrency=(shards or 4), size=size,
+                shards=shards, guest_budget=guest_budget)
+            points.append({
+                "shards": shards,
+                "mode": "sharded" if shards else "thread",
+                "guests_per_sec": round(report.guests_per_sec, 3),
+                "serve_seconds": round(
+                    report.serve_seconds or report.wall_seconds, 6),
+                "wall_seconds": round(report.wall_seconds, 6),
+                "prefill_seconds": round(
+                    sum(run.wall_seconds
+                        for run in report.prefill_runs), 6),
+                "hit_rate": round(report.hit_rate, 4),
+                "translate_amortization": round(
+                    report.translate_amortization, 2),
+                "degraded": len(report.degraded_runs),
+                "consistent": report.consistent,
+                "ok": report.ok,
+            })
+    by_shards = {point["shards"]: point for point in points}
+    doc: Dict[str, object] = {
+        "workloads": mix,
+        "runs": runs,
+        "size": size,
+        "cpu_count": os.cpu_count() or 1,
+        "points": points,
+        "consistent": all(point["consistent"] for point in points),
+    }
+    base = by_shards.get(1)
+    if base and base["guests_per_sec"] > 0:
+        doc["speedups_vs_1_shard"] = {
+            str(point["shards"]):
+                round(point["guests_per_sec"]
+                      / base["guests_per_sec"], 3)
+            for point in points if point["shards"] >= 1
+        }
+    return doc
+
+
+def format_fleet_bench(doc: Dict[str, object]) -> str:
+    """Human-readable table for the text report."""
+    lines = [
+        f"fleet bench: {doc['runs']} guests over "
+        f"{'/'.join(doc['workloads'])} ({doc['size']}), "
+        f"{doc['cpu_count']} cpu(s)",
+        f"{'shards':>8} {'mode':>8} {'guests/s':>10} "
+        f"{'serve s':>9} {'hit%':>6} {'amort':>6} {'ok':>4}",
+    ]
+    for point in doc["points"]:
+        lines.append(
+            f"{point['shards']:>8} {point['mode']:>8} "
+            f"{point['guests_per_sec']:>10.3f} "
+            f"{point['serve_seconds']:>9.3f} "
+            f"{point['hit_rate'] * 100:>6.1f} "
+            f"{point['translate_amortization']:>6.2f} "
+            f"{'yes' if point['ok'] else 'NO':>4}")
+    speedups = doc.get("speedups_vs_1_shard")
+    if speedups:
+        pairs = ", ".join(f"{shards} shards: {ratio:.2f}x"
+                          for shards, ratio in sorted(
+                              speedups.items(), key=lambda kv: int(kv[0])))
+        lines.append(f"speedup vs 1 shard: {pairs}")
+    if not doc["consistent"]:
+        lines.append("CONSISTENCY FAILURE: per-guest results diverged "
+                     "across points")
+    return "\n".join(lines)
+
+
+__all__ = ["DEFAULT_MIX", "DEFAULT_SHARD_COUNTS", "format_fleet_bench",
+           "run_fleet_bench"]

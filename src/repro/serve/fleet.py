@@ -1,0 +1,593 @@
+"""The fleet executor behind ``repro serve``.
+
+Runs many guest workloads — each in its own
+:class:`~repro.vmm.system.DaisySystem` — against ONE hot
+:class:`~repro.store.store.TranslationStore`, the fleet picture of
+*Instruction Set Migration at Warehouse Scale* (PAPERS.md): the first
+guest to touch a page pays the translate cost once, every subsequent
+guest (concurrent or later) warm-starts from the store.
+
+Two execution modes share one report shape:
+
+* **Thread mode** (``shards=0``, the default — byte-compatible with
+  the PR-7 daemon): asyncio over a thread pool.  Guests are
+  synchronous CPU-bound simulations, so the event loop's job is
+  admission control (``concurrency`` guests in flight) and metric
+  collection — aggregate throughput serializes on the GIL.
+* **Sharded mode** (``shards=N``): each shard is a worker subprocess
+  (:mod:`repro.serve.shards` / :mod:`repro.serve.worker`) hosting its
+  own systems against the *same* store directory.  Content addressing
+  makes cross-process sharing safe by construction (the store's
+  atomic-rename discipline survives arbitrary interleavings), so
+  shards need no coordination beyond the filesystem — and guest
+  execution actually parallelizes across cores.  The default writer
+  policy is **fill-then-freeze**: the parent cold-fills the store once
+  per distinct workload, then every shard reads hot entries
+  (``store_mode="read"``), so translate work is paid exactly once
+  fleetwide.
+
+The report carries per-run rows plus fleet metrics:
+
+* ``hit_rate`` — store hits / (hits + misses) across the fleet;
+* ``translate_amortization`` — estimated cost of translating every
+  run cold, divided by the translate+codegen+store seconds actually
+  spent: how many times over the fleet amortized its translation work;
+* ``consistent`` — every run of a workload produced identical
+  architected results (exit code, instruction count, output), however
+  the runs raced on the store;
+* sharded mode adds per-shard rows, ``guests_per_sec`` (completed
+  guests over the serve-phase wall clock), and prefill accounting —
+  the throughput axis of the BENCH trajectory (BENCH_9.json).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults import WallClockBudgetExceeded
+from repro.runtime.backend import DaisyBackend
+from repro.runtime.events import EventBus, FleetCompleted
+from repro.runtime.profiling import PerfTrace
+from repro.store.store import TranslationStore
+from repro.workloads import build_workload
+
+DEFAULT_WORKLOADS = ("wc", "cmp", "c_sieve", "hotloop")
+
+#: Writer policies for sharded mode.  ``prefill`` (fill-then-freeze,
+#: the default): the parent cold-fills the store once per distinct
+#: workload, then shards run read-only.  ``none``: every shard runs
+#: the requested ``store_mode`` — concurrent read-write writers are
+#: safe by content addressing, they just duplicate translate work.
+WRITER_POLICIES = ("prefill", "none")
+
+#: Fields a shard worker's result row carries back to the parent.
+_GUEST_RUN_FIELDS = (
+    "index", "workload", "exit_code", "instructions", "wall_seconds",
+    "translate_seconds", "codegen_seconds", "store_seconds",
+    "store_hits", "store_misses", "store_saves", "store_rejects",
+    "pages_translated", "output", "error", "timed_out")
+
+
+@dataclass
+class GuestRun:
+    """One guest workload execution inside the fleet."""
+
+    index: int
+    workload: str
+    exit_code: int = 0
+    instructions: int = 0
+    wall_seconds: float = 0.0
+    translate_seconds: float = 0.0
+    codegen_seconds: float = 0.0
+    store_seconds: float = 0.0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_saves: int = 0
+    store_rejects: int = 0
+    pages_translated: int = 0
+    output: List[int] = field(default_factory=list)
+    error: str = ""
+    #: The guest blew its per-guest wall-clock budget and was stopped
+    #: cooperatively (``error`` carries the detail).
+    timed_out: bool = False
+    #: Shard that executed this guest (``None``: thread mode).
+    shard: Optional[int] = None
+    #: Coverage tokens harvested from the guest's event bus when the
+    #: fleet was asked to (campaign ``fleet`` cases).
+    features: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Timed out or crashed: the run is reported as a degraded row
+        (non-zero exit) instead of stalling the fleet."""
+        return bool(self.error)
+
+    @property
+    def failure_reason(self) -> str:
+        """Why this row is not ok (empty when it is): the degraded
+        error detail, or the guest's non-zero exit status."""
+        if self.error:
+            return self.error
+        if self.exit_code != 0:
+            return f"guest exited {self.exit_code}"
+        return ""
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "index": self.index,
+            "workload": self.workload,
+            "exit_code": self.exit_code,
+            "instructions": self.instructions,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "translate_seconds": round(self.translate_seconds, 6),
+            "codegen_seconds": round(self.codegen_seconds, 6),
+            "store_seconds": round(self.store_seconds, 6),
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "store_saves": self.store_saves,
+            "store_rejects": self.store_rejects,
+            "pages_translated": self.pages_translated,
+            "error": self.error,
+            "timed_out": self.timed_out,
+            "degraded": self.degraded,
+        }
+        # Sharded-mode-only keys, so thread-mode reports stay
+        # byte-compatible with the PR-7 daemon.
+        if self.shard is not None:
+            doc["shard"] = self.shard
+        if self.features:
+            doc["features"] = list(self.features)
+        return doc
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, object]) -> "GuestRun":
+        run = cls(index=int(row.get("index", -1)),
+                  workload=str(row.get("workload", "")))
+        for name in _GUEST_RUN_FIELDS[2:]:
+            if name in row:
+                setattr(run, name, row[name])
+        if row.get("shard") is not None:
+            run.shard = int(row["shard"])
+        run.features = list(row.get("features", ()))
+        return run
+
+
+@dataclass
+class ShardRow:
+    """Aggregate view of one shard's slice of the fleet."""
+
+    shard: int
+    guests: int = 0
+    degraded: int = 0
+    restarts: int = 0
+    crashes: int = 0
+    wall_seconds: float = 0.0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_rejects: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "guests": self.guests,
+            "degraded": self.degraded,
+            "restarts": self.restarts,
+            "crashes": self.crashes,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "store_rejects": self.store_rejects,
+        }
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one serving session."""
+
+    store_root: str
+    concurrency: int
+    runs: List[GuestRun] = field(default_factory=list)
+    store_stats: Dict[str, int] = field(default_factory=dict)
+    consistent: bool = True
+    inconsistencies: List[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    #: Worker subprocesses (0: thread mode).
+    shards: int = 0
+    shard_rows: List[ShardRow] = field(default_factory=list)
+    #: Writer policy used in sharded mode.
+    writer: str = ""
+    #: Fill-then-freeze warm-up runs (sharded mode, not fleet rows).
+    prefill_runs: List[GuestRun] = field(default_factory=list)
+    #: Serve-phase wall clock (sharded mode: excludes the prefill).
+    serve_seconds: float = 0.0
+    #: The fleet was asked to stop early (SIGTERM drain): in-flight
+    #: guests finished, queued guests became degraded rows.
+    drained: bool = False
+
+    # -- fleet metrics -------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return self.consistent and all(
+            run.exit_code == 0 and not run.error for run in self.runs)
+
+    @property
+    def degraded_runs(self) -> List[GuestRun]:
+        """Guests that timed out or crashed — they get degraded rows
+        (non-zero exit, error detail) and the fleet report still
+        completes."""
+        return [run for run in self.runs if run.degraded]
+
+    @property
+    def failed_runs(self) -> List[GuestRun]:
+        """Every not-ok row: degraded (crash/timeout/drain) plus
+        completed guests with a non-zero exit status."""
+        return [run for run in self.runs
+                if run.degraded or run.exit_code != 0]
+
+    @property
+    def store_hits(self) -> int:
+        return sum(run.store_hits for run in self.runs)
+
+    @property
+    def store_misses(self) -> int:
+        return sum(run.store_misses for run in self.runs)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.store_hits + self.store_misses
+        return self.store_hits / lookups if lookups else 0.0
+
+    @property
+    def translate_seconds(self) -> float:
+        """Translate + codegen + store seconds actually spent fleetwide
+        (including the sharded-mode prefill, which is where the
+        fill-then-freeze policy concentrates the translate bill)."""
+        return sum(run.translate_seconds + run.codegen_seconds
+                   + run.store_seconds
+                   for run in self.runs + self.prefill_runs)
+
+    @property
+    def translate_amortization(self) -> float:
+        """How many times over the fleet amortized translation: the
+        estimated all-cold translate bill (each workload's most
+        expensive observed translate, charged once per run) divided by
+        the seconds actually spent."""
+        cold: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for run in self.runs + self.prefill_runs:
+            per_run = run.translate_seconds + run.codegen_seconds
+            cold[run.workload] = max(cold.get(run.workload, 0.0), per_run)
+            counts[run.workload] = counts.get(run.workload, 0) + 1
+        expected = sum(cold[name] * counts[name] for name in cold)
+        actual = self.translate_seconds
+        return expected / actual if actual > 0 else 0.0
+
+    @property
+    def completed_runs(self) -> int:
+        return sum(1 for run in self.runs if not run.degraded)
+
+    @property
+    def guests_per_sec(self) -> float:
+        """Aggregate fleet throughput: completed guests over the
+        serve-phase wall clock (the sharded scale-out axis)."""
+        window = self.serve_seconds if self.serve_seconds > 0 \
+            else self.wall_seconds
+        return self.completed_runs / window if window > 0 else 0.0
+
+    # -- rendering -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "store_root": self.store_root,
+            "concurrency": self.concurrency,
+            "ok": self.ok,
+            "consistent": self.consistent,
+            "inconsistencies": self.inconsistencies,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "fleet": {
+                "runs": len(self.runs),
+                "degraded": len(self.degraded_runs),
+                "store_hits": self.store_hits,
+                "store_misses": self.store_misses,
+                "hit_rate": round(self.hit_rate, 4),
+                "translate_seconds": round(self.translate_seconds, 6),
+                "translate_amortization":
+                    round(self.translate_amortization, 2),
+            },
+            "store": self.store_stats,
+            "guests": [run.to_dict() for run in self.runs],
+        }
+        if self.shards:
+            # Sharded-mode extension keys only — the thread-mode
+            # document above is byte-compatible with the PR-7 daemon.
+            doc["shards"] = self.shards
+            doc["writer"] = self.writer
+            doc["drained"] = self.drained
+            doc["fleet"]["guests_per_sec"] = round(self.guests_per_sec, 3)
+            doc["fleet"]["serve_seconds"] = round(self.serve_seconds, 6)
+            doc["fleet"]["prefill_seconds"] = round(
+                sum(run.wall_seconds for run in self.prefill_runs), 6)
+            doc["shard_rows"] = [row.to_dict()
+                                 for row in self.shard_rows]
+            doc["prefill"] = [run.to_dict()
+                              for run in self.prefill_runs]
+        return doc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def summary(self) -> str:
+        mode = (f"{self.shards} shard processes" if self.shards
+                else f"concurrency {self.concurrency}")
+        lines = [
+            f"served {len(self.runs)} guest runs "
+            f"({mode}) in "
+            f"{self.wall_seconds:.3f} s",
+            f"store: {self.store_hits} hits, {self.store_misses} misses "
+            f"(hit rate {self.hit_rate * 100:.1f}%), "
+            f"{self.store_stats.get('entries', 0)} entries / "
+            f"{self.store_stats.get('bytes', 0)} bytes on disk",
+            f"translate: {self.translate_seconds:.4f} s spent fleetwide, "
+            f"amortization {self.translate_amortization:.1f}x",
+            f"consistency: "
+            f"{'ok' if self.consistent else 'DIVERGED'}",
+        ]
+        for detail in self.inconsistencies:
+            lines.append(f"  {detail}")
+        if self.shards:
+            lines.insert(1, f"throughput: {self.guests_per_sec:.2f} "
+                            f"guests/sec over {self.serve_seconds:.3f} s "
+                            f"serve phase (writer policy: {self.writer})")
+            for row in self.shard_rows:
+                lines.append(
+                    f"shard {row.shard}: {row.guests} guests "
+                    f"({row.degraded} degraded), {row.store_hits} hits, "
+                    f"{row.store_misses} misses, {row.crashes} crashes, "
+                    f"{row.restarts} restarts")
+        if self.drained:
+            lines.append("DRAINED: the fleet was stopped early "
+                         "(SIGTERM); queued guests were not run")
+        degraded = self.degraded_runs
+        if degraded:
+            lines.append(f"degraded guests: {len(degraded)}")
+            for run in degraded:
+                lines.append(f"  run {run.index} ({run.workload}): "
+                             f"{run.error}")
+        failed = [run for run in self.failed_runs if not run.degraded]
+        if failed:
+            lines.append(f"failed guests: {len(failed)}")
+            for run in failed:
+                lines.append(f"  run {run.index} ({run.workload}): "
+                             f"{run.failure_reason}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+
+
+def run_guest(index: int, name: str, program, store,
+              store_mode: str, exec_mode: str, verify,
+              max_vliws: int,
+              guest_budget: Optional[float] = None,
+              harvest: bool = False,
+              shard: Optional[int] = None) -> GuestRun:
+    """One synchronous guest execution — the body shared by the
+    thread-pool path, the shard worker subprocess, and the prefill
+    pass.
+
+    ``guest_budget`` (seconds) bounds the guest's wall clock via the
+    cooperative deadline in :meth:`DaisySystem.run`; a blown budget
+    comes back as a degraded row (``timed_out``, non-zero exit), never
+    a thread stuck in the pool stalling the fleet.  ``harvest`` adds
+    campaign coverage tokens from the guest's event bus to the row."""
+    run = GuestRun(index=index, workload=name, shard=shard)
+    backend = DaisyBackend(store=store, store_mode=store_mode,
+                           exec_mode=exec_mode, verify=verify)
+    try:
+        system = backend.build_system()
+        system.perf = PerfTrace()
+        system.load_program(program)
+        deadline = (time.monotonic() + guest_budget
+                    if guest_budget is not None else None)
+        started = time.perf_counter()
+        raw = system.run(max_vliws=max_vliws, deadline=deadline)
+        run.wall_seconds = time.perf_counter() - started
+        run.exit_code = raw.exit_code
+        run.instructions = raw.base_instructions
+        run.translate_seconds = system.perf.translate
+        run.codegen_seconds = system.perf.codegen
+        run.store_seconds = system.perf.store
+        run.store_hits = raw.store_hits
+        run.store_misses = raw.store_misses
+        run.store_saves = raw.store_saves
+        run.store_rejects = raw.store_rejects
+        run.pages_translated = raw.pages_translated
+        run.output = list(raw.output)
+        if harvest:
+            from repro.campaign.cases import harvest_features
+            run.features = sorted(harvest_features(system.bus_counters))
+    except WallClockBudgetExceeded as error:
+        run.error = (f"timeout: guest exceeded {guest_budget:g}s "
+                     f"wall-clock budget ({error})")
+        run.exit_code = -1
+        run.timed_out = True
+    except Exception as error:              # noqa: BLE001 - reported
+        run.error = f"{type(error).__name__}: {error}"
+        run.exit_code = -1
+    return run
+
+
+async def _drive(schedule, store, store_mode, exec_mode, verify,
+                 max_vliws, concurrency, guest_budget) -> List[GuestRun]:
+    loop = asyncio.get_running_loop()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        futures = [
+            loop.run_in_executor(
+                pool, run_guest, index, name, program, store,
+                store_mode, exec_mode, verify, max_vliws, guest_budget)
+            for index, (name, program) in enumerate(schedule)
+        ]
+        return list(await asyncio.gather(*futures))
+
+
+def _check_consistency(report: FleetReport) -> None:
+    """Every run of one workload must produce identical architected
+    results — whatever interleaving the fleet's store races took.
+    Degraded rows (timed-out or crashed guests) never completed, so
+    they carry no architected result to compare.  In sharded mode the
+    prefill rows seed the references: every warm shard run must match
+    the cold fill that produced its store entries."""
+    reference: Dict[str, GuestRun] = {}
+    for run in report.prefill_runs:
+        if not run.degraded:
+            reference.setdefault(run.workload, run)
+    for run in report.runs:
+        if run.degraded:
+            continue
+        first = reference.get(run.workload)
+        if first is None:
+            reference[run.workload] = run
+            continue
+        if (run.exit_code, run.instructions, list(run.output)) != \
+                (first.exit_code, first.instructions,
+                 list(first.output)):
+            report.consistent = False
+            report.inconsistencies.append(
+                f"{run.workload}: run {run.index} "
+                f"(exit {run.exit_code}, {run.instructions} instr) "
+                f"!= run {first.index} "
+                f"(exit {first.exit_code}, {first.instructions} instr)")
+
+
+def _serve_sharded(store: TranslationStore, schedule, size: str,
+                   store_mode: str, exec_mode: str, verify,
+                   max_vliws: int, guest_budget: Optional[float],
+                   shards: int, shard_timeout: Optional[float],
+                   writer: str, harvest: bool,
+                   bus: Optional[EventBus],
+                   report: FleetReport) -> None:
+    """The sharded serve phase: prefill, fan out, aggregate."""
+    from repro.serve.shards import ShardPool
+
+    report.shards = shards
+    report.writer = writer
+
+    # Fill-then-freeze: cold-fill each distinct workload once so the
+    # store warms exactly once and every shard reads hot entries.
+    # Only meaningful when the fleet may write; an explicitly read-only
+    # fleet is assumed pre-warmed, a storeless fleet has nothing to
+    # fill.
+    shard_store_mode = store_mode
+    seen: Dict[str, object] = {}
+    for name, program in schedule:
+        seen.setdefault(name, program)
+    if writer == "prefill" and store_mode == "read-write":
+        for offset, (name, program) in enumerate(seen.items()):
+            report.prefill_runs.append(run_guest(
+                -(offset + 1), name, program, store, "read-write",
+                exec_mode, verify, max_vliws, guest_budget))
+        store.flush()
+        shard_store_mode = "read"
+
+    jobs = []
+    for index, (name, _program) in enumerate(schedule):
+        jobs.append({
+            "op": "guest",
+            "index": index,
+            "workload": name,
+            "size": size,
+            "store_root": (store.root
+                           if shard_store_mode != "off" else None),
+            "store_mode": shard_store_mode,
+            "exec_mode": exec_mode,
+            "verify": verify,
+            "max_vliws": max_vliws,
+            "guest_budget": guest_budget,
+            "harvest": harvest,
+        })
+
+    pool = ShardPool(shards, timeout=shard_timeout, bus=bus)
+    started = time.perf_counter()
+    rows, shard_rows, drained = pool.run(jobs)
+    report.serve_seconds = time.perf_counter() - started
+    report.drained = drained
+    report.runs = sorted((GuestRun.from_dict(row) for row in rows),
+                         key=lambda run: run.index)
+    report.shard_rows = shard_rows
+
+    for run in report.runs:
+        if run.shard is None:
+            continue
+        row = report.shard_rows[run.shard]
+        row.guests += 1
+        row.degraded += bool(run.degraded)
+        row.store_hits += run.store_hits
+        row.store_misses += run.store_misses
+        row.store_rejects += run.store_rejects
+
+
+def serve_fleet(store, workloads: Optional[Sequence[str]] = None,
+                runs: int = 8, concurrency: int = 4,
+                size: str = "tiny", store_mode: str = "read-write",
+                exec_mode: str = "compiled", verify=None,
+                max_vliws: int = 50_000_000,
+                guest_budget: Optional[float] = None,
+                shards: int = 0,
+                shard_timeout: Optional[float] = None,
+                writer: str = "prefill",
+                harvest: bool = False,
+                bus: Optional[EventBus] = None) -> FleetReport:
+    """Run ``runs`` guest workloads (round-robin over ``workloads``)
+    against one shared store; returns the fleet report.
+
+    ``shards=0`` (default) is thread mode — byte-compatible with the
+    PR-7 daemon.  ``shards=N`` fans the run list out over N worker
+    subprocesses (docs/serving.md): the store warms once under the
+    ``writer`` policy, a crashed or hung shard degrades its in-flight
+    guest and restarts, and SIGTERM drains gracefully.
+    ``guest_budget`` bounds each guest's wall clock; over-budget guests
+    become degraded rows instead of stalling the fleet."""
+    if not isinstance(store, TranslationStore):
+        store = TranslationStore(store)
+    if writer not in WRITER_POLICIES:
+        raise ValueError(f"unknown writer policy {writer!r} "
+                         f"(choose from {', '.join(WRITER_POLICIES)})")
+    if shards < 0:
+        raise ValueError("shards must be >= 0 (0: thread mode)")
+    names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
+    try:
+        programs = {name: build_workload(name, size).program
+                    for name in names}
+    except KeyError as error:
+        raise ValueError(f"unknown workload {error.args[0]!r}") from None
+    schedule = [(names[i % len(names)], programs[names[i % len(names)]])
+                for i in range(runs)]
+    report = FleetReport(store_root=store.root,
+                         concurrency=(shards if shards
+                                      else max(1, concurrency)))
+    started = time.perf_counter()
+    if shards:
+        _serve_sharded(store, schedule, size, store_mode, exec_mode,
+                       verify, max_vliws, guest_budget, shards,
+                       shard_timeout, writer, harvest, bus, report)
+    else:
+        report.runs = asyncio.run(_drive(
+            schedule, store, store_mode, exec_mode, verify, max_vliws,
+            report.concurrency, guest_budget))
+    report.wall_seconds = time.perf_counter() - started
+    store.flush()
+    report.store_stats = store.stats()
+    _check_consistency(report)
+    if bus is not None:
+        bus.publish(FleetCompleted(
+            runs=len(report.runs), shards=report.shards,
+            degraded=len(report.degraded_runs),
+            guests_per_sec=round(report.guests_per_sec, 3),
+            consistent=report.consistent))
+    return report

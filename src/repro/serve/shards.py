@@ -1,0 +1,259 @@
+"""The process shard pool behind ``repro serve --shards``.
+
+Each shard is one long-lived worker subprocess
+(:mod:`repro.serve.worker`, driven over the shared
+:class:`repro.runtime.isolate.LineWorker` protocol) hosting its own
+``DaisySystem`` instances against the same read-only store directory.
+The pool gives the fleet executor three guarantees:
+
+* **Least-loaded dispatch by construction** — shards pull jobs from
+  one shared queue, so a shard that finishes early immediately picks
+  up the next guest; no static partitioning, no stragglers from an
+  unlucky split.
+* **Crash is a row, not a stall** — a shard that dies mid-guest
+  (segfault, OOM kill, ``os._exit``) degrades exactly its in-flight
+  guest and restarts (bounded by ``max_restarts``); a shard that
+  *hangs* past the per-guest ``timeout`` is killed by the watchdog,
+  which closes its pipe and unblocks the driver the same way.  The
+  fleet report always completes.
+* **Graceful drain on SIGTERM** — in-flight guests finish, queued
+  guests become degraded ``drained`` rows, workers get EOF and exit.
+
+Threading model: one driver thread per shard (each blocked on its
+worker's stdout between submit and result), plus the caller's thread
+running the watchdog loop.  Shared state is the job queue, the row
+list (append-only under the GIL), and each shard's in-flight deadline
+slot — the watchdog reads the slot and calls ``worker.kill()``, which
+is thread-safe and idempotent by design.
+"""
+
+from __future__ import annotations
+
+import queue
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.runtime.events import EventBus, ShardCrashed, ShardStarted
+from repro.runtime.isolate import LineWorker, LineWorkerError
+from repro.serve.fleet import ShardRow
+
+WORKER_MODULE = "repro.serve.worker"
+
+#: How many times one shard may be respawned after a crash/hang-kill
+#: before the pool stops feeding it (its remaining jobs migrate to the
+#: surviving shards via the shared queue).
+DEFAULT_MAX_RESTARTS = 2
+
+#: Watchdog poll interval (seconds).
+WATCHDOG_TICK = 0.05
+
+
+@dataclass
+class _ShardState:
+    """One shard's driver-side bookkeeping."""
+
+    index: int
+    worker: Optional[LineWorker] = None
+    #: ``(job, deadline)`` while a request is in flight, else ``None``.
+    #: Written by the driver thread, read by the watchdog.
+    in_flight: Optional[Tuple[dict, Optional[float]]] = None
+    restarts: int = 0
+    crashes: int = 0
+    guest_seconds: float = 0.0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+def _degraded_row(job: dict, shard: Optional[int],
+                  error: str) -> dict:
+    """A synthetic result row for a guest that never completed."""
+    return {
+        "index": job.get("index", -1),
+        "workload": job.get("workload", ""),
+        "exit_code": -1,
+        "error": error,
+        "timed_out": error.startswith("timeout"),
+        "shard": shard,
+    }
+
+
+class ShardPool:
+    """Run a job list across ``shards`` worker subprocesses.
+
+    ``timeout`` is the per-guest hard wall-clock bound enforced by the
+    watchdog kill (``None``: rely on the guests' cooperative budgets
+    only).  ``bus`` receives :class:`ShardStarted` / \
+    :class:`ShardCrashed` events when provided.
+    """
+
+    def __init__(self, shards: int, timeout: Optional[float] = None,
+                 bus: Optional[EventBus] = None,
+                 max_restarts: int = DEFAULT_MAX_RESTARTS,
+                 module: str = WORKER_MODULE) -> None:
+        if shards < 1:
+            raise ValueError("ShardPool needs at least one shard")
+        self.shards = shards
+        self.timeout = timeout
+        self.bus = bus
+        self.max_restarts = max_restarts
+        self.module = module
+        self._stop = threading.Event()
+
+    # -- events --------------------------------------------------------
+
+    def _publish(self, event: object) -> None:
+        if self.bus is not None:
+            self.bus.publish(event)
+
+    # -- shard driver --------------------------------------------------
+
+    def _spawn(self, state: _ShardState) -> None:
+        state.worker = LineWorker(self.module).start()
+        self._publish(ShardStarted(shard=state.index,
+                                   pid=state.worker.pid or 0,
+                                   restarts=state.restarts))
+
+    def _drive(self, state: _ShardState, jobs: "queue.Queue[dict]",
+               rows: List[dict]) -> None:
+        """Driver thread body: pull jobs until the queue is dry, the
+        pool is draining, or the shard exhausted its restarts."""
+        try:
+            self._spawn(state)
+        except OSError as error:  # pragma: no cover - spawn failure
+            state.crashes += 1
+            self._publish(ShardCrashed(shard=state.index,
+                                       reason="crash"))
+            rows.append(_degraded_row(
+                {"index": -1}, state.index,
+                f"shard {state.index} failed to start: {error}"))
+            return
+        while not self._stop.is_set():
+            try:
+                job = jobs.get_nowait()
+            except queue.Empty:
+                break
+            deadline = (time.monotonic() + self.timeout
+                        if self.timeout is not None else None)
+            with state.lock:
+                state.in_flight = (job, deadline)
+            started = time.perf_counter()
+            try:
+                state.worker.submit(job)
+                row = state.worker.read_result()
+                row["shard"] = state.index
+                rows.append(row)
+            except LineWorkerError as error:
+                reason = "timeout" if state.worker.killed else "crash"
+                state.crashes += 1
+                self._publish(ShardCrashed(
+                    shard=state.index, reason=reason,
+                    guest=int(job.get("index", -1))))
+                detail = (f"timeout: shard {state.index} killed after "
+                          f"{self.timeout:g}s hard wall-clock bound"
+                          if reason == "timeout" else
+                          f"shard {state.index} crashed mid-guest: "
+                          f"{error}")
+                if error.stderr:
+                    detail += f" [stderr: {error.stderr[-300:]}]"
+                rows.append(_degraded_row(job, state.index, detail))
+                state.worker.kill()
+                state.worker.close()
+                if (state.restarts >= self.max_restarts
+                        or self._stop.is_set()):
+                    with state.lock:
+                        state.in_flight = None
+                    return
+                state.restarts += 1
+                self._spawn(state)
+            finally:
+                state.guest_seconds += time.perf_counter() - started
+                with state.lock:
+                    state.in_flight = None
+
+    # -- watchdog ------------------------------------------------------
+
+    def _watch(self, states: List[_ShardState],
+               drivers: List[threading.Thread]) -> None:
+        """Kill shards whose in-flight guest blew the hard deadline.
+        Runs in the caller's thread until every driver finished."""
+        while any(driver.is_alive() for driver in drivers):
+            now = time.monotonic()
+            for state in states:
+                with state.lock:
+                    slot = state.in_flight
+                if slot is None or state.worker is None:
+                    continue
+                _job, deadline = slot
+                if deadline is not None and now > deadline:
+                    state.worker.kill()
+            for driver in drivers:
+                driver.join(timeout=WATCHDOG_TICK)
+
+    # -- entry point ---------------------------------------------------
+
+    def stop(self) -> None:
+        """Request a graceful drain: in-flight guests finish, queued
+        guests are reported as ``drained`` degraded rows.  Safe to call
+        from a signal handler."""
+        self._stop.set()
+
+    def run(self, job_list: List[dict]
+            ) -> Tuple[List[dict], List[ShardRow], bool]:
+        """Execute ``job_list``; returns ``(rows, shard_rows,
+        drained)``.  Installs a SIGTERM handler for the duration when
+        running on the main thread (restored on exit)."""
+        self._stop.clear()
+        jobs: "queue.Queue[dict]" = queue.Queue()
+        for job in job_list:
+            jobs.put(job)
+        rows: List[dict] = []
+        states = [_ShardState(index=i) for i in range(self.shards)]
+        previous = None
+        installed = False
+        try:
+            previous = signal.signal(
+                signal.SIGTERM, lambda _sig, _frm: self.stop())
+            installed = True
+        except ValueError:
+            pass  # not the main thread: caller owns signal policy
+        drivers = [
+            threading.Thread(target=self._drive,
+                             args=(state, jobs, rows),
+                             name=f"shard-{state.index}", daemon=True)
+            for state in states
+        ]
+        try:
+            for driver in drivers:
+                driver.start()
+            self._watch(states, drivers)
+        finally:
+            if installed:
+                signal.signal(signal.SIGTERM, previous)
+            for state in states:
+                if state.worker is not None:
+                    state.worker.close()
+        drained = self._stop.is_set()
+        leftovers: List[dict] = []
+        while True:
+            try:
+                leftovers.append(jobs.get_nowait())
+            except queue.Empty:
+                break
+        leftover_error = (
+            "drained: fleet stopped before this guest ran" if drained
+            else "stalled: every shard exhausted its restarts before "
+                 "this guest ran")
+        for job in leftovers:
+            rows.append(_degraded_row(job, None, leftover_error))
+        shard_rows = [
+            ShardRow(shard=state.index, restarts=state.restarts,
+                     crashes=state.crashes,
+                     wall_seconds=state.guest_seconds)
+            for state in states
+        ]
+        return rows, shard_rows, drained
+
+
+__all__ = ["DEFAULT_MAX_RESTARTS", "ShardPool", "WORKER_MODULE"]

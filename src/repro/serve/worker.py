@@ -1,0 +1,131 @@
+"""The shard worker: ``python -m repro.serve.worker``.
+
+One long-lived subprocess per fleet shard, speaking the
+newline-delimited JSON protocol of
+:class:`repro.runtime.isolate.LineWorker`: one spec object per stdin
+line, one result row per stdout line, forever, until stdin EOF.
+
+Persistence is the point — versus the campaign's one-case-per-process
+workers, a shard amortizes per-process warm state across every guest
+it serves: the interpreter and ``repro`` imports (paid once at spawn),
+the open :class:`TranslationStore` handle with its scanned index, and
+the built workload programs (cached per ``(workload, size)``).  That
+warm state is exactly what makes ``--shards N`` a throughput win
+rather than N times the campaign's spawn bill.
+
+Failure discipline: an in-guest exception becomes a degraded result
+row and the worker lives on (the next guest gets the warm process);
+only protocol-level damage — unparseable spec, broken stdout — kills
+the worker, and the parent's :class:`ShardPool` turns that into a
+degraded row plus a restart.
+
+Guest prints must never corrupt the protocol stream, so the module
+rebinds ``sys.stdout`` to stderr and keeps a private handle to the
+real stdout for result lines (the campaign worker's discipline).
+
+Test hooks: a spec with ``"op": "crash"`` hard-exits the process and
+``"op": "hang"`` sleeps forever — the two failure modes the parent's
+degraded-row machinery must survive, made injectable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.serve.fleet import _GUEST_RUN_FIELDS, run_guest
+from repro.store.store import TranslationStore
+from repro.workloads import build_workload
+
+#: Exit code for the injected-crash test hook (distinguishable from a
+#: Python traceback's exit 1 in the parent's attribution).
+CRASH_EXIT = 17
+
+
+def _to_wire(run) -> dict:
+    """Full field dump for the result line — unlike
+    :meth:`GuestRun.to_dict` this keeps ``output`` (the parent needs
+    it for the fleet consistency check) and skips rounding."""
+    row = {name: getattr(run, name) for name in _GUEST_RUN_FIELDS}
+    if run.features:
+        row["features"] = list(run.features)
+    return row
+
+
+class _WarmState:
+    """Per-process caches that amortize across guests."""
+
+    def __init__(self) -> None:
+        self.stores: Dict[str, TranslationStore] = {}
+        self.programs: Dict[Tuple[str, str], object] = {}
+
+    def store_for(self, root: Optional[str]) -> Optional[TranslationStore]:
+        if root is None:
+            return None
+        if root not in self.stores:
+            self.stores[root] = TranslationStore(root)
+        return self.stores[root]
+
+    def program_for(self, workload: str, size: str):
+        key = (workload, size)
+        if key not in self.programs:
+            self.programs[key] = build_workload(workload, size).program
+        return self.programs[key]
+
+
+def handle(spec: dict, warm: _WarmState) -> dict:
+    """One spec → one result row.  Guest failures degrade the row;
+    they never take the worker down."""
+    op = spec.get("op", "guest")
+    if op == "crash":        # test hook: die like a segfault would
+        os._exit(CRASH_EXIT)
+    if op == "hang":         # test hook: wedge until the watchdog kill
+        time.sleep(float(spec.get("seconds", 3600.0)))
+        return {"index": spec.get("index", -1), "op": "hang"}
+    if op == "ping":
+        return {"op": "ping", "pid": os.getpid()}
+    index = int(spec.get("index", -1))
+    workload = str(spec.get("workload", ""))
+    try:
+        program = warm.program_for(workload, str(spec.get("size",
+                                                          "tiny")))
+        store = warm.store_for(spec.get("store_root"))
+        run = run_guest(
+            index, workload, program, store,
+            store_mode=str(spec.get("store_mode", "read")),
+            exec_mode=str(spec.get("exec_mode", "compiled")),
+            verify=spec.get("verify"),
+            max_vliws=int(spec.get("max_vliws", 50_000_000)),
+            guest_budget=spec.get("guest_budget"),
+            harvest=bool(spec.get("harvest", False)))
+        return _to_wire(run)
+    except Exception as error:       # noqa: BLE001 - degraded row
+        return {
+            "index": index,
+            "workload": workload,
+            "exit_code": -1,
+            "error": f"{type(error).__name__}: {error}",
+            "timed_out": False,
+        }
+
+
+def main() -> int:
+    protocol = sys.stdout
+    sys.stdout = sys.stderr      # guest prints must not reach protocol
+    warm = _WarmState()
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        spec = json.loads(line)  # garbage spec = protocol damage: die
+        row = handle(spec, warm)
+        protocol.write(json.dumps(row) + "\n")
+        protocol.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

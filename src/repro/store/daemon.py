@@ -1,322 +1,26 @@
-"""The shared-cache serving daemon behind ``repro serve``.
+"""Compatibility shim: the serving daemon grew into
+:mod:`repro.serve` (docs/serving.md).
 
-Runs many concurrent guest workloads — each in its own
-:class:`~repro.vmm.system.DaisySystem` — against ONE hot
-:class:`~repro.store.store.TranslationStore`, the fleet picture of
-*Instruction Set Migration at Warehouse Scale* (PAPERS.md): the first
-guest to touch a page pays the translate cost once, every subsequent
-guest (concurrent or later) warm-starts from the store.
-
-Scheduling is asyncio over a thread pool: guests are synchronous
-CPU-bound simulations, so the event loop's job is admission control
-(``concurrency`` guests in flight) and metric collection, not I/O
-multiplexing.  The store itself is thread-safe (one RLock) and every
-system is private to its guest — shared mutable state between guests
-is exactly the store, which is the point.
-
-The report carries per-run rows plus fleet metrics:
-
-* ``hit_rate`` — store hits / (hits + misses) across the fleet;
-* ``translate_amortization`` — estimated cost of translating every
-  run cold, divided by the translate+codegen+store seconds actually
-  spent: how many times over the fleet amortized its translation work;
-* ``consistent`` — every run of a workload produced identical
-  architected results (exit code, instruction count, output), however
-  the runs raced on the store.
+PR 7 prototyped fleet serving here as asyncio over a thread pool; the
+process-sharded executor now lives in :mod:`repro.serve.fleet` (same
+:func:`serve_fleet` signature and thread-mode behavior, plus the
+``shards=N`` subprocess path).  This module keeps the historical
+import surface — ``from repro.store.daemon import serve_fleet`` — and
+stays byte-compatible for thread-mode reports.
 """
 
 from __future__ import annotations
 
-import asyncio
-import json
-import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from repro.serve.fleet import (
+    DEFAULT_WORKLOADS,
+    FleetReport,
+    GuestRun,
+    run_guest as _run_guest,
+    serve_fleet,
+)
 
-from repro.faults import WallClockBudgetExceeded
-from repro.runtime.backend import DaisyBackend
-from repro.runtime.profiling import PerfTrace
-from repro.store.store import TranslationStore
-from repro.workloads import build_workload
+__all__ = ["DEFAULT_WORKLOADS", "FleetReport", "GuestRun",
+           "serve_fleet"]
 
-DEFAULT_WORKLOADS = ("wc", "cmp", "c_sieve", "hotloop")
-
-
-@dataclass
-class GuestRun:
-    """One guest workload execution inside the fleet."""
-
-    index: int
-    workload: str
-    exit_code: int = 0
-    instructions: int = 0
-    wall_seconds: float = 0.0
-    translate_seconds: float = 0.0
-    codegen_seconds: float = 0.0
-    store_seconds: float = 0.0
-    store_hits: int = 0
-    store_misses: int = 0
-    store_saves: int = 0
-    store_rejects: int = 0
-    pages_translated: int = 0
-    output: List[int] = field(default_factory=list)
-    error: str = ""
-    #: The guest blew its per-guest wall-clock budget and was stopped
-    #: cooperatively (``error`` carries the detail).
-    timed_out: bool = False
-
-    @property
-    def degraded(self) -> bool:
-        """Timed out or crashed: the run is reported as a degraded row
-        (non-zero exit) instead of stalling the fleet."""
-        return bool(self.error)
-
-    def to_dict(self) -> Dict[str, object]:
-        return {
-            "index": self.index,
-            "workload": self.workload,
-            "exit_code": self.exit_code,
-            "instructions": self.instructions,
-            "wall_seconds": round(self.wall_seconds, 6),
-            "translate_seconds": round(self.translate_seconds, 6),
-            "codegen_seconds": round(self.codegen_seconds, 6),
-            "store_seconds": round(self.store_seconds, 6),
-            "store_hits": self.store_hits,
-            "store_misses": self.store_misses,
-            "store_saves": self.store_saves,
-            "store_rejects": self.store_rejects,
-            "pages_translated": self.pages_translated,
-            "error": self.error,
-            "timed_out": self.timed_out,
-            "degraded": self.degraded,
-        }
-
-
-@dataclass
-class FleetReport:
-    """Outcome of one serving session."""
-
-    store_root: str
-    concurrency: int
-    runs: List[GuestRun] = field(default_factory=list)
-    store_stats: Dict[str, int] = field(default_factory=dict)
-    consistent: bool = True
-    inconsistencies: List[str] = field(default_factory=list)
-    wall_seconds: float = 0.0
-
-    # -- fleet metrics -------------------------------------------------
-
-    @property
-    def ok(self) -> bool:
-        return self.consistent and all(
-            run.exit_code == 0 and not run.error for run in self.runs)
-
-    @property
-    def degraded_runs(self) -> List[GuestRun]:
-        """Guests that timed out or crashed — they get degraded rows
-        (non-zero exit, error detail) and the fleet report still
-        completes."""
-        return [run for run in self.runs if run.degraded]
-
-    @property
-    def store_hits(self) -> int:
-        return sum(run.store_hits for run in self.runs)
-
-    @property
-    def store_misses(self) -> int:
-        return sum(run.store_misses for run in self.runs)
-
-    @property
-    def hit_rate(self) -> float:
-        lookups = self.store_hits + self.store_misses
-        return self.store_hits / lookups if lookups else 0.0
-
-    @property
-    def translate_seconds(self) -> float:
-        """Translate + codegen + store seconds actually spent fleetwide."""
-        return sum(run.translate_seconds + run.codegen_seconds
-                   + run.store_seconds for run in self.runs)
-
-    @property
-    def translate_amortization(self) -> float:
-        """How many times over the fleet amortized translation: the
-        estimated all-cold translate bill (each workload's most
-        expensive observed translate, charged once per run) divided by
-        the seconds actually spent."""
-        cold: Dict[str, float] = {}
-        counts: Dict[str, int] = {}
-        for run in self.runs:
-            per_run = run.translate_seconds + run.codegen_seconds
-            cold[run.workload] = max(cold.get(run.workload, 0.0), per_run)
-            counts[run.workload] = counts.get(run.workload, 0) + 1
-        expected = sum(cold[name] * counts[name] for name in cold)
-        actual = self.translate_seconds
-        return expected / actual if actual > 0 else 0.0
-
-    # -- rendering -----------------------------------------------------
-
-    def to_dict(self) -> Dict[str, object]:
-        return {
-            "store_root": self.store_root,
-            "concurrency": self.concurrency,
-            "ok": self.ok,
-            "consistent": self.consistent,
-            "inconsistencies": self.inconsistencies,
-            "wall_seconds": round(self.wall_seconds, 6),
-            "fleet": {
-                "runs": len(self.runs),
-                "degraded": len(self.degraded_runs),
-                "store_hits": self.store_hits,
-                "store_misses": self.store_misses,
-                "hit_rate": round(self.hit_rate, 4),
-                "translate_seconds": round(self.translate_seconds, 6),
-                "translate_amortization":
-                    round(self.translate_amortization, 2),
-            },
-            "store": self.store_stats,
-            "guests": [run.to_dict() for run in self.runs],
-        }
-
-    def to_json(self) -> str:
-        return json.dumps(self.to_dict(), indent=2)
-
-    def summary(self) -> str:
-        lines = [
-            f"served {len(self.runs)} guest runs "
-            f"(concurrency {self.concurrency}) in "
-            f"{self.wall_seconds:.3f} s",
-            f"store: {self.store_hits} hits, {self.store_misses} misses "
-            f"(hit rate {self.hit_rate * 100:.1f}%), "
-            f"{self.store_stats.get('entries', 0)} entries / "
-            f"{self.store_stats.get('bytes', 0)} bytes on disk",
-            f"translate: {self.translate_seconds:.4f} s spent fleetwide, "
-            f"amortization {self.translate_amortization:.1f}x",
-            f"consistency: "
-            f"{'ok' if self.consistent else 'DIVERGED'}",
-        ]
-        for detail in self.inconsistencies:
-            lines.append(f"  {detail}")
-        degraded = self.degraded_runs
-        if degraded:
-            lines.append(f"degraded guests: {len(degraded)}")
-            for run in degraded:
-                lines.append(f"  run {run.index} ({run.workload}): "
-                             f"{run.error}")
-        return "\n".join(lines)
-
-
-# ----------------------------------------------------------------------
-
-
-def _run_guest(index: int, name: str, program, store: TranslationStore,
-               store_mode: str, exec_mode: str, verify,
-               max_vliws: int,
-               guest_budget: Optional[float] = None) -> GuestRun:
-    """One synchronous guest execution (thread-pool worker body).
-
-    ``guest_budget`` (seconds) bounds the guest's wall clock via the
-    cooperative deadline in :meth:`DaisySystem.run`; a blown budget
-    comes back as a degraded row (``timed_out``, non-zero exit), never
-    a thread stuck in the pool stalling the fleet report."""
-    run = GuestRun(index=index, workload=name)
-    backend = DaisyBackend(store=store, store_mode=store_mode,
-                           exec_mode=exec_mode, verify=verify)
-    try:
-        system = backend.build_system()
-        system.perf = PerfTrace()
-        system.load_program(program)
-        deadline = (time.monotonic() + guest_budget
-                    if guest_budget is not None else None)
-        started = time.perf_counter()
-        raw = system.run(max_vliws=max_vliws, deadline=deadline)
-        run.wall_seconds = time.perf_counter() - started
-        run.exit_code = raw.exit_code
-        run.instructions = raw.base_instructions
-        run.translate_seconds = system.perf.translate
-        run.codegen_seconds = system.perf.codegen
-        run.store_seconds = system.perf.store
-        run.store_hits = raw.store_hits
-        run.store_misses = raw.store_misses
-        run.store_saves = raw.store_saves
-        run.store_rejects = raw.store_rejects
-        run.pages_translated = raw.pages_translated
-        run.output = list(raw.output)
-    except WallClockBudgetExceeded as error:
-        run.error = (f"timeout: guest exceeded {guest_budget:g}s "
-                     f"wall-clock budget ({error})")
-        run.exit_code = -1
-        run.timed_out = True
-    except Exception as error:              # noqa: BLE001 - reported
-        run.error = f"{type(error).__name__}: {error}"
-        run.exit_code = -1
-    return run
-
-
-async def _drive(schedule, store, store_mode, exec_mode, verify,
-                 max_vliws, concurrency, guest_budget) -> List[GuestRun]:
-    loop = asyncio.get_running_loop()
-    with ThreadPoolExecutor(max_workers=concurrency) as pool:
-        futures = [
-            loop.run_in_executor(
-                pool, _run_guest, index, name, program, store,
-                store_mode, exec_mode, verify, max_vliws, guest_budget)
-            for index, (name, program) in enumerate(schedule)
-        ]
-        return list(await asyncio.gather(*futures))
-
-
-def _check_consistency(report: FleetReport) -> None:
-    """Every run of one workload must produce identical architected
-    results — whatever interleaving the fleet's store races took.
-    Degraded rows (timed-out or crashed guests) never completed, so
-    they carry no architected result to compare."""
-    reference: Dict[str, GuestRun] = {}
-    for run in report.runs:
-        if run.degraded:
-            continue
-        first = reference.get(run.workload)
-        if first is None:
-            reference[run.workload] = run
-            continue
-        if (run.exit_code, run.instructions, run.output) != \
-                (first.exit_code, first.instructions, first.output):
-            report.consistent = False
-            report.inconsistencies.append(
-                f"{run.workload}: run {run.index} "
-                f"(exit {run.exit_code}, {run.instructions} instr) "
-                f"!= run {first.index} "
-                f"(exit {first.exit_code}, {first.instructions} instr)")
-
-
-def serve_fleet(store, workloads: Optional[Sequence[str]] = None,
-                runs: int = 8, concurrency: int = 4,
-                size: str = "tiny", store_mode: str = "read-write",
-                exec_mode: str = "compiled", verify=None,
-                max_vliws: int = 50_000_000,
-                guest_budget: Optional[float] = None) -> FleetReport:
-    """Run ``runs`` guest workloads (round-robin over ``workloads``)
-    concurrently against one shared store; returns the fleet report.
-    ``guest_budget`` bounds each guest's wall clock; over-budget guests
-    become degraded rows instead of stalling the fleet."""
-    if not isinstance(store, TranslationStore):
-        store = TranslationStore(store)
-    names = list(workloads) if workloads else list(DEFAULT_WORKLOADS)
-    try:
-        programs = {name: build_workload(name, size).program
-                    for name in names}
-    except KeyError as error:
-        raise ValueError(f"unknown workload {error.args[0]!r}") from None
-    schedule = [(names[i % len(names)], programs[names[i % len(names)]])
-                for i in range(runs)]
-    report = FleetReport(store_root=store.root,
-                         concurrency=max(1, concurrency))
-    started = time.perf_counter()
-    report.runs = asyncio.run(_drive(
-        schedule, store, store_mode, exec_mode, verify, max_vliws,
-        report.concurrency, guest_budget))
-    report.wall_seconds = time.perf_counter() - started
-    store.flush()
-    report.store_stats = store.stats()
-    _check_consistency(report)
-    return report
+# Historical private name, kept for any straggler imports.
+_ = _run_guest

@@ -1,0 +1,398 @@
+"""The process-sharded fleet executor (repro.serve, docs/serving.md).
+
+Claims under test:
+
+* **Determinism** — a sharded fleet report is the serial projection of
+  the same run list: per-workload architected results are identical
+  whatever the shard count (including the thread-mode baseline), and
+  per-guest rows come back in schedule order regardless of which shard
+  served them.
+* **Byte compatibility** — the thread-mode (``shards=0``) JSON report
+  carries exactly the PR-7 daemon's key set; sharded extension keys
+  appear only in sharded mode.
+* **Failure containment** — a shard that crashes or hangs degrades
+  exactly its in-flight guest (with the reason in the row) and the
+  fleet completes; exhausted restarts stall the queue into explicit
+  degraded rows, never an exception.
+* **Store safety under pressure** — concurrent process readers against
+  a writer evicting under a tight byte budget see only clean hits and
+  clean misses, never an exception or a wrong result.
+* **Exit codes** — ``repro serve`` distinguishes divergence (1) from
+  degraded-but-consistent fleets (3) from clean runs (0), and the text
+  report names every failing row.
+"""
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.cli import SERVE_EXIT_DEGRADED, main
+from repro.serve import serve_fleet
+from repro.serve.bench import format_fleet_bench, run_fleet_bench
+from repro.serve.fleet import GuestRun
+from repro.serve.shards import ShardPool
+from repro.store import TranslationStore
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+WORKLOADS = ["wc", "cmp"]
+
+
+def _by_workload(report):
+    table = {}
+    for run in report.runs:
+        table.setdefault(run.workload,
+                         (run.exit_code, run.instructions,
+                          list(run.output)))
+    return table
+
+
+# ----------------------------------------------------------------------
+# Sharded fleet determinism and report shape
+# ----------------------------------------------------------------------
+
+
+class TestShardedFleet:
+    def test_sharded_equals_serial_projection(self, tmp_path):
+        """Same run list, three parallelism shapes, one answer —
+        worker-count independence, the PR-8 determinism discipline."""
+        thread = serve_fleet(str(tmp_path / "t"), workloads=WORKLOADS,
+                             runs=4, concurrency=2, size="tiny")
+        one = serve_fleet(str(tmp_path / "s1"), workloads=WORKLOADS,
+                          runs=4, shards=1, size="tiny")
+        two = serve_fleet(str(tmp_path / "s2"), workloads=WORKLOADS,
+                          runs=4, shards=2, size="tiny")
+        assert thread.ok and one.ok and two.ok
+        assert _by_workload(thread) == _by_workload(one) \
+            == _by_workload(two)
+        # Rows come back in schedule order whatever shard served them.
+        assert [run.index for run in two.runs] == list(range(4))
+        assert all(run.shard in (0, 1) for run in two.runs)
+
+    def test_prefill_freezes_store_hot(self, tmp_path):
+        """Fill-then-freeze: shards serve 100% warm, translate cost is
+        concentrated in the prefill rows."""
+        report = serve_fleet(str(tmp_path), workloads=WORKLOADS,
+                             runs=4, shards=2, size="tiny")
+        assert report.ok
+        assert report.prefill_runs
+        assert {run.workload for run in report.prefill_runs} \
+            == set(WORKLOADS)
+        assert report.store_misses == 0
+        assert report.hit_rate == 1.0
+        assert report.guests_per_sec > 0
+        # Per-shard counters aggregate to the fleet totals.
+        assert sum(row.store_hits for row in report.shard_rows) \
+            == report.store_hits
+        assert sum(row.guests for row in report.shard_rows) == 4
+
+    def test_writer_none_keeps_consistency(self, tmp_path):
+        """Concurrent read-write shards duplicate translate work but
+        stay consistent — content addressing absorbs the race."""
+        report = serve_fleet(str(tmp_path), workloads=["wc"], runs=3,
+                             shards=2, writer="none", size="tiny")
+        assert report.ok and report.consistent
+        assert not report.prefill_runs
+
+    def test_thread_mode_report_is_byte_compatible(self, tmp_path):
+        """The shards=0 document is exactly the PR-7 key set — no
+        sharded extension keys leak into the default mode."""
+        report = serve_fleet(str(tmp_path), workloads=["wc"], runs=2,
+                             concurrency=2, size="tiny")
+        doc = report.to_dict()
+        assert sorted(doc) == ["concurrency", "consistent", "fleet",
+                               "guests", "inconsistencies", "ok",
+                               "store", "store_root", "wall_seconds"]
+        assert sorted(doc["fleet"]) == [
+            "degraded", "hit_rate", "runs", "store_hits",
+            "store_misses", "translate_amortization",
+            "translate_seconds"]
+        assert sorted(doc["guests"][0]) == [
+            "codegen_seconds", "degraded", "error", "exit_code",
+            "index", "instructions", "pages_translated", "store_hits",
+            "store_misses", "store_rejects", "store_saves",
+            "store_seconds", "timed_out", "translate_seconds",
+            "wall_seconds", "workload"]
+        json.loads(report.to_json())
+
+    def test_sharded_report_extension_keys(self, tmp_path):
+        report = serve_fleet(str(tmp_path), workloads=["wc"], runs=2,
+                             shards=1, size="tiny")
+        doc = report.to_dict()
+        assert doc["shards"] == 1
+        assert doc["writer"] == "prefill"
+        assert doc["drained"] is False
+        assert "guests_per_sec" in doc["fleet"]
+        assert len(doc["shard_rows"]) == 1
+        assert doc["guests"][0]["shard"] == 0
+        assert doc["prefill"]
+
+    def test_guest_run_round_trips_through_wire(self):
+        run = GuestRun(index=3, workload="wc", exit_code=0,
+                       instructions=100, output=[1, 2], shard=1,
+                       store_hits=4)
+        back = GuestRun.from_dict(
+            json.loads(json.dumps(run.to_dict() | {
+                "output": run.output, "shard": run.shard})))
+        assert (back.index, back.workload, back.shard,
+                back.store_hits, back.output) == (3, "wc", 1, 4, [1, 2])
+
+    def test_bad_arguments_rejected_up_front(self, tmp_path):
+        with pytest.raises(ValueError):
+            serve_fleet(str(tmp_path), writer="chaos", runs=1)
+        with pytest.raises(ValueError):
+            serve_fleet(str(tmp_path), shards=-1, runs=1)
+
+
+# ----------------------------------------------------------------------
+# Shard failure containment (injected via the worker's test hooks)
+# ----------------------------------------------------------------------
+
+
+class TestShardFailures:
+    def _guest_job(self, index, workload="wc"):
+        return {"op": "guest", "index": index, "workload": workload,
+                "size": "tiny", "store_root": None, "store_mode": "off",
+                "exec_mode": "compiled", "verify": None,
+                "max_vliws": 50_000_000, "guest_budget": None,
+                "harvest": False}
+
+    def test_crash_degrades_one_guest_and_restarts(self):
+        pool = ShardPool(1)
+        jobs = [{"op": "crash", "index": 0, "workload": "boom"},
+                self._guest_job(1)]
+        rows, shard_rows, drained = pool.run(jobs)
+        assert not drained
+        rows.sort(key=lambda row: row["index"])
+        assert "crashed mid-guest" in rows[0]["error"]
+        assert rows[0]["exit_code"] == -1
+        assert not rows[1].get("error")       # survivor ran clean
+        assert shard_rows[0].crashes == 1
+        assert shard_rows[0].restarts == 1
+
+    def test_hang_is_killed_as_timeout(self):
+        pool = ShardPool(1, timeout=1.0)
+        rows, shard_rows, _drained = pool.run(
+            [{"op": "hang", "index": 0, "workload": "wedge"}])
+        assert rows[0]["error"].startswith("timeout")
+        assert rows[0]["timed_out"] is True
+        assert shard_rows[0].crashes == 1
+
+    def test_exhausted_restarts_stall_queue_into_rows(self):
+        pool = ShardPool(1, max_restarts=0)
+        jobs = [{"op": "crash", "index": 0, "workload": "boom"},
+                self._guest_job(1)]
+        rows, shard_rows, drained = pool.run(jobs)
+        assert not drained
+        assert len(rows) == 2
+        rows.sort(key=lambda row: row["index"])
+        assert "crashed" in rows[0]["error"]
+        assert "stalled" in rows[1]["error"]
+        assert shard_rows[0].restarts == 0
+
+    def test_stop_drains_queued_jobs_into_degraded_rows(self):
+        pool = ShardPool(1)
+        jobs = [{"op": "hang", "seconds": 0.3, "index": i,
+                 "workload": "slow"} for i in range(5)]
+        timer = threading.Timer(0.35, pool.stop)
+        timer.start()
+        try:
+            rows, _shard_rows, drained = pool.run(jobs)
+        finally:
+            timer.cancel()
+        assert drained
+        drained_rows = [row for row in rows
+                        if str(row.get("error", "")).startswith(
+                            "drained")]
+        assert drained_rows                   # queue did not fully run
+        assert len(rows) == 5                 # every job accounted for
+
+    def test_sharded_fleet_survives_worker_crash(self, tmp_path,
+                                                 monkeypatch):
+        """End to end: a guest that kills its worker process becomes a
+        degraded row in the fleet report, the fleet completes, ok is
+        False but the report renders."""
+        def sabotage(jobs):
+            jobs[0]["op"] = "crash"
+            return jobs
+
+        real_run = ShardPool.run
+
+        def patched_run(self, job_list):
+            return real_run(self, sabotage(job_list))
+
+        monkeypatch.setattr(ShardPool, "run", patched_run)
+        report = serve_fleet(str(tmp_path), workloads=["wc"], runs=3,
+                             shards=1, size="tiny")
+        assert not report.ok
+        assert len(report.degraded_runs) == 1
+        assert report.consistent              # survivors still agree
+        assert "degraded guests: 1" in report.summary()
+        assert report.shard_rows[0].crashes == 1
+
+
+# ----------------------------------------------------------------------
+# repro serve / repro bench --fleet CLI
+# ----------------------------------------------------------------------
+
+
+class TestServeCli:
+    def test_clean_fleet_exits_zero(self, tmp_path, capsys):
+        code = main(["serve", "--store", str(tmp_path), "--runs", "2",
+                     "--workloads", "wc", "--size", "tiny"])
+        assert code == 0
+        assert "consistency: ok" in capsys.readouterr().out
+
+    def test_degraded_rows_exit_distinctly_with_reasons(self, tmp_path,
+                                                        capsys):
+        code = main(["serve", "--store", str(tmp_path), "--runs", "2",
+                     "--workloads", "wc", "--size", "tiny",
+                     "--guest-budget", "0.000001"])
+        assert code == SERVE_EXIT_DEGRADED == 3
+        out = capsys.readouterr().out
+        assert "degraded guests: 2" in out
+        assert "timeout: guest exceeded" in out   # per-row reason
+
+    def test_sharded_serve_cli_json(self, tmp_path, capsys):
+        code = main(["serve", "--store", str(tmp_path), "--runs", "2",
+                     "--workloads", "wc", "--size", "tiny",
+                     "--shards", "1", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["shards"] == 1
+        assert doc["fleet"]["guests_per_sec"] > 0
+
+
+class TestFleetBench:
+    def test_bench_doc_shape_and_consistency(self):
+        doc = run_fleet_bench(workloads=["wc"], runs=2,
+                              shard_counts=(1,), size="tiny")
+        assert doc["consistent"]
+        assert [point["shards"] for point in doc["points"]] == [0, 1]
+        assert doc["points"][0]["mode"] == "thread"
+        assert doc["points"][1]["mode"] == "sharded"
+        assert doc["speedups_vs_1_shard"]["1"] == 1.0
+        assert "guests/s" in format_fleet_bench(doc)
+
+    def test_bench_fleet_cli(self, capsys):
+        code = main(["bench", "--fleet", "--fleet-runs", "2",
+                     "--fleet-shards", "1", "--size", "tiny", "wc",
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workloads"] == ["wc"]
+        assert doc["consistent"]
+
+
+# ----------------------------------------------------------------------
+# Concurrent readers under LRU eviction pressure
+# ----------------------------------------------------------------------
+
+
+def _evicting_writer(root: str, rounds: int) -> int:
+    """Hammer the store under a byte budget small enough that every
+    put evicts something: maximum churn for the readers to race."""
+    failures = 0
+    programs = [build_workload(name, "tiny").program
+                for name in ("wc", "cmp")]
+    for round_index in range(rounds):
+        store = TranslationStore(root, max_bytes=200_000)
+        system = DaisySystem(MachineConfig.default(), store=store,
+                             store_mode="read-write")
+        system.load_program(programs[round_index % len(programs)])
+        failures += system.run().exit_code != 0
+    return failures
+
+
+def _pressured_reader(root: str, rounds: int) -> int:
+    """Read-only guests against the churning store: every lookup must
+    be a clean hit or a clean miss — wrong results or exceptions count
+    as failures."""
+    program = build_workload("wc", "tiny").program
+    reference = None
+    failures = 0
+    for _ in range(rounds):
+        try:
+            system = DaisySystem(MachineConfig.default(), store=root,
+                                 store_mode="read")
+            system.load_program(program)
+            result = system.run()
+        except Exception:
+            return 1000
+        failures += result.exit_code != 0
+        signature = (result.exit_code, result.base_instructions,
+                     tuple(result.output))
+        if reference is None:
+            reference = signature
+        failures += signature != reference
+    return failures
+
+
+class TestEvictionPressure:
+    @pytest.mark.slow
+    def test_readers_survive_writer_evicting_under_budget(self,
+                                                          tmp_path):
+        root = str(tmp_path)
+        # Seed the store so readers start against real entries.
+        assert _evicting_writer(root, 1) == 0
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(3) as pool:
+            writer = pool.apply_async(_evicting_writer, (root, 4))
+            readers = [pool.apply_async(_pressured_reader, (root, 4))
+                       for _ in range(2)]
+            assert writer.get(timeout=120) == 0
+            assert [reader.get(timeout=120) for reader in readers] \
+                == [0, 0]
+        # The budget was enforced (evictions really happened) and the
+        # survivor set is fully loadable.
+        store = TranslationStore(root, max_bytes=200_000)
+        assert store.stats()["bytes"] <= 200_000 or len(store) <= 1
+        for key in store.keys():
+            assert store.load(key) is not None
+
+
+# ----------------------------------------------------------------------
+# Campaign fleet case
+# ----------------------------------------------------------------------
+
+
+class TestCampaignFleetCase:
+    def test_fleet_case_harvests_shard_tokens(self):
+        from repro.campaign.cases import execute_spec
+
+        result = execute_spec({"kind": "fleet", "seed": 1, "index": 0,
+                               "workloads": ["wc"], "shards": 1,
+                               "runs": 2})
+        assert result["status"] == "ok"
+        assert "case:fleet" in result["features"]
+        assert "shard:0" in result["features"]
+        assert result["case"]["consistent"] is True
+
+    def test_tampered_fleet_case_sees_clean_rejects(self):
+        from repro.campaign.cases import execute_spec
+
+        result = execute_spec({"kind": "fleet", "seed": 1, "index": 2,
+                               "workloads": ["wc"], "shards": 1,
+                               "runs": 2, "tamper": "flip"})
+        assert result["status"] == "ok"      # rejected cleanly
+        assert any(feature.startswith("store-reject:")
+                   for feature in result["features"])
+
+    def test_fleet_generator_specs_are_deterministic(self):
+        from repro.campaign.generators import (
+            default_generators,
+            spec_for_case,
+        )
+        from repro.campaign.runner import CampaignConfig
+
+        config = CampaignConfig(seed=11)
+        generator = next(g for g in default_generators()
+                         if g.kind == "fleet")
+        first = [spec_for_case(generator, config, i) for i in range(6)]
+        second = [spec_for_case(generator, config, i) for i in range(6)]
+        assert first == second
+        assert {spec["shards"] for spec in first} == {1, 2}
+        assert any(spec["tamper"] for spec in first)
