@@ -1,0 +1,36 @@
+"""Ahead-of-time whole-binary translation (docs/aot.md).
+
+The static tier above the dynamic translator: ``repro translate-ahead``
+walks a workload image's statically decidable control flow
+(:mod:`repro.aot.discovery`), pre-translates every reachable page
+through the existing translator/verifier/codegen pipeline into the
+content-addressed store (:mod:`repro.aot.driver`), and records what it
+covered and where the *discovery frontier* — computed branches, SMC,
+dynamically minted entries — hands over to the dynamic tier
+(:mod:`repro.aot.manifest`).  A subsequent
+``DaisySystem(store_mode="read", aot=True)`` run starts warm on every
+statically covered page; frontier crossings surface as
+``AotFrontierMiss`` events and degrade to clean dynamic translations,
+never divergences.
+"""
+
+from repro.aot.discovery import (
+    FRONTIER_KINDS,
+    Discovery,
+    FrontierSite,
+    discover,
+)
+from repro.aot.driver import translate_ahead, translate_ahead_workload
+from repro.aot.manifest import AotCoverage, AotManifest, AotPage
+
+__all__ = [
+    "AotCoverage",
+    "AotManifest",
+    "AotPage",
+    "Discovery",
+    "FRONTIER_KINDS",
+    "FrontierSite",
+    "discover",
+    "translate_ahead",
+    "translate_ahead_workload",
+]

@@ -1,0 +1,253 @@
+"""Static reachability discovery over a guest binary image.
+
+The ahead-of-time tier (docs/aot.md) starts here: given an assembled
+:class:`~repro.isa.assembler.Program`, walk every control-flow edge
+that is *statically decidable* — fall-through, direct branches
+(conditional and unconditional), and the return/continuation points
+after link-setting calls and service calls — and report
+
+* the set of guest pages containing statically reachable code,
+* the *entry pcs* a running VMM would dispatch to on each page (the
+  prefill worklist for :func:`repro.aot.driver.translate_ahead`), and
+* the **discovery frontier**: the places static analysis stops and the
+  dynamic tier takes over.  Computed branches (``blr``/``bctr`` and
+  their link forms), ``rfi``, undecodable words reached by
+  fall-through, and best-effort-detected self-modifying stores are
+  recorded as explicit :class:`FrontierSite` entries — never guessed
+  at (*Deterministic Fully-Static Whole-Binary Translation without
+  Heuristics*, PAPERS.md).
+
+Everything is a pure function of the image bytes: repeated calls (in
+any process, under any worker count) produce the same page set, the
+same sorted entry lists, and — downstream — the same store keys.
+There is no timing, no randomness, and no heuristic target guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.instructions import Opcode
+
+#: Frontier kinds, in the order the manifest reports them.
+FRONTIER_KINDS = ("computed", "rfi", "smc", "decode")
+
+
+@dataclass(frozen=True)
+class FrontierSite:
+    """One place static discovery stopped and recorded why.
+
+    ``kind``:
+
+    * ``"computed"`` — an indirect branch (``blr``/``blrl``/``bctr``/
+      ``bctrl``); the target register's value is a runtime fact.
+    * ``"rfi"`` — return from interrupt; the resume pc lives in SRR0.
+    * ``"smc"`` — a store whose (best-effort, ``li``-peephole) address
+      lands in a statically discovered code page; the patched page
+      hashes to a new store key, so its post-patch translation is
+      runtime work by construction.  ``detail`` is the target page
+      vaddr.
+    * ``"decode"`` — fall-through reached a word that does not decode;
+      execution arriving here raises the illegal-instruction fault the
+      dynamic tier already delivers precisely.
+    """
+
+    pc: int
+    kind: str
+    detail: int = 0
+
+    def to_dict(self) -> dict:
+        return {"pc": self.pc, "kind": self.kind, "detail": self.detail}
+
+
+@dataclass
+class Discovery:
+    """The result of one static walk (all fields sorted/deterministic)."""
+
+    #: Program entry pc the walk started from.
+    entry: int = 0
+    page_size: int = 4096
+    #: All statically reachable instruction pcs.
+    visited: Set[int] = field(default_factory=set)
+    #: Dispatchable entry pcs per code page: the program entry,
+    #: cross-page direct-branch targets, page-boundary fall-ins, and
+    #: the continuations after calls / service calls (re-entered via
+    #: ``blr``/``rfi``, i.e. through VMM dispatch).
+    entries_by_page: Dict[int, List[int]] = field(default_factory=dict)
+    #: Where static analysis stopped (sorted by pc, then kind).
+    frontier: List[FrontierSite] = field(default_factory=list)
+
+    @property
+    def pages(self) -> List[int]:
+        """Sorted vaddrs of pages containing reachable code."""
+        return sorted(self.entries_by_page)
+
+    @property
+    def entry_pcs(self) -> List[int]:
+        """The full prefill worklist, sorted ascending."""
+        return sorted(pc for pcs in self.entries_by_page.values()
+                      for pc in pcs)
+
+    def to_dict(self) -> dict:
+        return {
+            "entry": self.entry,
+            "page_size": self.page_size,
+            "instructions": len(self.visited),
+            "pages": [{"page_vaddr": page,
+                       "entries": list(self.entries_by_page[page])}
+                      for page in self.pages],
+            "frontier": [site.to_dict() for site in self.frontier],
+        }
+
+
+def _word_map(program) -> Dict[int, int]:
+    """{aligned pc: 32-bit word} over every loaded section (code and
+    data alike — discovery decides what is code by walking, not by
+    section name)."""
+    words: Dict[int, int] = {}
+    for addr, data in program.sections():
+        base = addr & ~3
+        for offset in range(0, len(data) - 3, 4):
+            pc = base + offset
+            words[pc] = int.from_bytes(data[offset:offset + 4], "big")
+    return words
+
+
+def discover(program, page_size: int = 4096) -> Discovery:
+    """Walk the statically decidable control flow of ``program``.
+
+    A worklist of pcs, seeded with the program entry.  Per decoded
+    instruction:
+
+    * non-branch → fall to ``pc + 4``;
+    * ``b``/``bc`` (and link forms) → the pc-relative target; the
+      conditional forms also fall through;
+    * link-setting branches (``bl``/``bcl``/``blrl``/``bctrl``) and
+      ``sc`` → their ``pc + 4`` continuation is walked **and** minted
+      as an entry pc (it is re-entered through ``blr``/``rfi``, i.e.
+      through VMM dispatch, so the prefill must cover it);
+    * indirect branches / ``rfi`` → a :class:`FrontierSite`, and the
+      path stops (targets are never guessed).
+
+    Entry pcs additionally include every direct target or fall-through
+    that crosses a page boundary (the GO_ACROSS_PAGE dispatch points)
+    and every direct branch target, so a warm start finds every group
+    the dynamic tier would mint at dispatch granularity.
+    """
+    words = _word_map(program)
+    visited: Set[int] = set()
+    entries: Set[int] = set()
+    frontier: Dict[Tuple[int, str, int], FrontierSite] = {}
+    worklist: List[int] = []
+    #: (store pc, effective address) pairs from the li-peephole, graded
+    #: against discovered code pages after the walk.
+    store_sites: List[Tuple[int, int]] = []
+
+    def push(pc: int) -> None:
+        if pc in words and pc not in visited:
+            worklist.append(pc)
+
+    def mint_entry(pc: int) -> None:
+        if pc in words:
+            entries.add(pc)
+
+    def note_frontier(pc: int, kind: str, detail: int = 0) -> None:
+        frontier.setdefault((pc, kind, detail),
+                            FrontierSite(pc=pc, kind=kind, detail=detail))
+
+    entry = program.entry
+    mint_entry(entry)
+    push(entry)
+
+    #: Best-effort ``li`` value tracking for the SMC peephole: register
+    #: → immediate, valid only along straight-line decode order and
+    #: cleared at every branch (a peephole, not a dataflow analysis).
+    li_values: Dict[int, int] = {}
+
+    while worklist:
+        pc = worklist.pop()
+        if pc in visited or pc not in words:
+            continue
+        visited.add(pc)
+        try:
+            instr = decode(words[pc])
+        except DecodeError:
+            note_frontier(pc, "decode")
+            li_values.clear()
+            continue
+
+        opcode = instr.opcode
+        if opcode == Opcode.LI:
+            li_values[instr.rt] = instr.imm
+        elif opcode in (Opcode.STW, Opcode.STB, Opcode.STH):
+            base = li_values.get(instr.ra)
+            if base is not None:
+                store_sites.append((pc, base + instr.imm))
+        elif instr.rt and not instr.is_store() and not instr.is_branch():
+            # Anything else writing rt invalidates a tracked li value.
+            li_values.pop(instr.rt, None)
+
+        if not instr.is_branch():
+            fall = pc + 4
+            if fall in words and fall // page_size != pc // page_size:
+                # Fall-through across the page boundary dispatches via
+                # GO_ACROSS_PAGE: the landing pc is an entry point.
+                mint_entry(fall)
+            push(fall)
+            continue
+
+        li_values.clear()
+        if opcode in (Opcode.B, Opcode.BL, Opcode.BC, Opcode.BCL):
+            target = pc + instr.offset * 4
+            mint_entry(target)
+            push(target)
+            if opcode in (Opcode.BC, Opcode.BCL):
+                # Conditional: the not-taken arm falls through.
+                push(pc + 4)
+            if instr.sets_link() or opcode == Opcode.BCL:
+                # The return continuation is re-entered via blr —
+                # VMM dispatch — so it must be a prefilled entry.
+                mint_entry(pc + 4)
+                push(pc + 4)
+        elif instr.is_indirect_branch():
+            note_frontier(pc, "computed")
+            if instr.sets_link():
+                # blrl/bctrl return here through another indirect
+                # branch: walk and mint the continuation.
+                mint_entry(pc + 4)
+                push(pc + 4)
+        elif opcode == Opcode.SC:
+            # Service calls resume at pc + 4 (when they resume at all);
+            # the VMM dispatches the continuation.
+            mint_entry(pc + 4)
+            push(pc + 4)
+        elif opcode == Opcode.RFI:
+            note_frontier(pc, "rfi")
+        # mtmsr/other system opcodes are not in BRANCH_OPCODES.
+
+    code_pages = {pc // page_size * page_size for pc in visited}
+    for store_pc, ea in store_sites:
+        target_page = ea // page_size * page_size
+        if target_page in code_pages:
+            note_frontier(store_pc, "smc", target_page)
+
+    discovery = Discovery(entry=entry, page_size=page_size,
+                          visited=visited)
+    for pc in sorted(entries):
+        if pc not in visited:
+            continue
+        page = pc // page_size * page_size
+        discovery.entries_by_page.setdefault(page, []).append(pc)
+    # Pages reached only by fall-through from another page still need
+    # their first pc coverable; every such page got its fall-in minted
+    # above, so entries_by_page covers exactly the dispatchable surface.
+    discovery.frontier = sorted(
+        frontier.values(),
+        key=lambda site: (site.pc, FRONTIER_KINDS.index(site.kind),
+                          site.detail))
+    return discovery
+
+
+__all__ = ["Discovery", "FrontierSite", "FRONTIER_KINDS", "discover"]

@@ -1,0 +1,127 @@
+"""The ahead-of-time translation driver: ``repro translate-ahead``.
+
+:func:`translate_ahead` runs the full dynamic pipeline — translator,
+verifier, codegen, store write-back — *offline*, over the pages and
+entry pcs :func:`repro.aot.discovery.discover` proves statically
+reachable, so a later ``DaisySystem(store_mode="read", aot=True)`` run
+starts warm on every statically covered page and only the discovery
+frontier (computed branches, SMC, dynamically minted entries) pays the
+dynamic tier.
+
+The prefill deliberately reuses ``DaisySystem._lookup_group`` per
+entry pc rather than a bespoke batch path: every invariant the runtime
+enforces (verification before codegen, ``verify_dirty`` pages never
+persisted, content-addressed keys over the *loaded* page image) holds
+for AOT output by construction, and the store keys are byte-identical
+to what a cold dynamic run would have written — the store cannot tell
+the tiers apart.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.aot.discovery import Discovery, discover
+from repro.aot.manifest import AotManifest, AotPage
+from repro.runtime.backend import DaisyBackend
+from repro.store import codec as store_codec
+from repro.store.store import TranslationStore
+
+
+def translate_ahead(program, store, *,
+                    name: str = "",
+                    config=None,
+                    options=None,
+                    exec_mode: str = "compiled",
+                    verify=None,
+                    backend: Optional[DaisyBackend] = None,
+                    discovery: Optional[Discovery] = None) -> AotManifest:
+    """Statically discover and pre-translate ``program`` into ``store``.
+
+    ``backend`` (optional) supplies the exact machine/translation knobs
+    the eventual consumer will run with — store keys cover
+    ``repr(config)`` and ``repr(options)``, so the prefill must be
+    built from the same configuration to be warm for it.  When omitted,
+    a backend is built from ``config``/``options``/``exec_mode``/
+    ``verify`` with the same defaults ``repro run`` uses.
+
+    Translation failures degrade per entry (recorded in the manifest's
+    ``aborted`` list), never abort the pass — mirroring the runtime's
+    sandbox contract.  The pass is idempotent: re-running against a
+    populated store revalidates via warm hits and writes nothing new.
+    """
+    if store is not None and not isinstance(store, TranslationStore):
+        store = TranslationStore(store)
+    if backend is None:
+        backend = DaisyBackend(config=config, options=options,
+                               exec_mode=exec_mode, verify=verify)
+    prefill = DaisyBackend(config=backend.config, options=backend.options,
+                           strategy=backend.strategy,
+                           recovery=backend.recovery,
+                           chaining=backend.chaining,
+                           exec_mode=backend.exec_mode,
+                           verify=backend.verify,
+                           store=store, store_mode="read-write")
+    system = prefill.build_system()
+    system.load_program(program)
+    page_size = system.options.page_size
+    if discovery is None:
+        discovery = discover(program, page_size)
+
+    started = time.perf_counter()
+    aborted_by_page = {}
+    for pc in discovery.entry_pcs:
+        try:
+            system._lookup_group(pc, via_itlb=False)
+        except Exception:   # noqa: BLE001 - degrade per entry, never abort
+            page = pc // page_size * page_size
+            aborted_by_page.setdefault(page, []).append(pc)
+    seconds = time.perf_counter() - started
+
+    pages: List[AotPage] = []
+    for page_vaddr in discovery.pages:
+        entries = discovery.entries_by_page[page_vaddr]
+        key = ""
+        saved = False
+        try:
+            paddr = system.mmu.translate_fetch(page_vaddr)
+            page_paddr = paddr - paddr % page_size
+            pair = store_codec.read_page(system.memory, page_paddr,
+                                         page_size)
+            if pair is not None:
+                image, boundary = pair
+                key = store_codec.store_key(image, boundary,
+                                            system.config, system.options)
+                saved = store.load(key) is not None
+        except Exception:   # noqa: BLE001 - a page we cannot key is
+            pass            # reported unsaved, not a crash
+        pages.append(AotPage(page_vaddr=page_vaddr,
+                             entries=list(entries),
+                             store_key=key, saved=saved,
+                             aborted=sorted(
+                                 aborted_by_page.get(page_vaddr, []))))
+
+    return AotManifest(
+        workload=name,
+        entry=discovery.entry,
+        page_size=page_size,
+        instructions=len(discovery.visited),
+        pages=pages,
+        frontier=list(discovery.frontier),
+        translate_seconds=seconds,
+        store_path=str(getattr(store, "root", "")))
+
+
+def translate_ahead_workload(workload_name: str, store, *,
+                             size: str = "default",
+                             **kwargs) -> AotManifest:
+    """:func:`translate_ahead` over a registry workload by name."""
+    from repro.workloads import build_workload
+
+    workload = build_workload(workload_name, size)
+    kwargs.setdefault("name", workload_name)
+    return translate_ahead(workload.program, store, **kwargs)
+
+
+__all__ = ["translate_ahead", "translate_ahead_workload"]

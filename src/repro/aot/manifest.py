@@ -1,0 +1,143 @@
+"""Coverage manifests for the ahead-of-time tier (docs/aot.md).
+
+An :class:`AotManifest` is the durable record of one
+``repro translate-ahead`` pass: which pages the static walk covered,
+the entry pcs prefilled on each, the content keys written to the
+store, and the discovery frontier left to the dynamic tier.  It is
+pure data (JSON round-trippable) so CI can diff manifests across runs
+— the discovery-determinism property tests assert exactly that.
+
+:class:`AotCoverage` is the runtime half: attach it to a system's bus
+during an ``aot=True`` run and it ledgers which pages the static tier
+actually served (``AotHit``) versus which lookups crossed the frontier
+into the dynamic translator (``AotFrontierMiss``), so a manifest's
+static claim can be compared against observed behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.aot.discovery import FrontierSite
+from repro.runtime.events import AotFrontierMiss, AotHit, EventBus
+
+
+@dataclass
+class AotPage:
+    """One statically covered page in a manifest."""
+
+    page_vaddr: int = 0
+    #: Entry pcs prefilled on this page, ascending.
+    entries: List[int] = field(default_factory=list)
+    #: Content key the page's translation is stored under ("" when the
+    #: page could not be keyed — e.g. every entry aborted).
+    store_key: str = ""
+    #: Whether the store holds this key after the pass.
+    saved: bool = False
+    #: Entry pcs whose translation failed (degraded, not fatal).
+    aborted: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"page_vaddr": self.page_vaddr,
+                "entries": list(self.entries),
+                "store_key": self.store_key,
+                "saved": self.saved,
+                "aborted": list(self.aborted)}
+
+
+@dataclass
+class AotManifest:
+    """What one ahead-of-time pass statically covered."""
+
+    workload: str = ""
+    entry: int = 0
+    page_size: int = 4096
+    #: Statically reachable instructions walked by discovery.
+    instructions: int = 0
+    pages: List[AotPage] = field(default_factory=list)
+    frontier: List[FrontierSite] = field(default_factory=list)
+    translate_seconds: float = 0.0
+    store_path: str = ""
+
+    @property
+    def store_keys(self) -> List[str]:
+        """Content keys of every saved page, in page order."""
+        return [page.store_key for page in self.pages if page.saved]
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(page.entries) for page in self.pages)
+
+    @property
+    def frontier_kinds(self) -> Dict[str, int]:
+        kinds: Dict[str, int] = {}
+        for site in self.frontier:
+            kinds[site.kind] = kinds.get(site.kind, 0) + 1
+        return kinds
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "entry": self.entry,
+            "page_size": self.page_size,
+            "instructions": self.instructions,
+            "pages": [page.to_dict() for page in self.pages],
+            "frontier": [site.to_dict() for site in self.frontier],
+            "frontier_kinds": self.frontier_kinds,
+            "entry_count": self.entry_count,
+            "saved_pages": len(self.store_keys),
+            "translate_seconds": self.translate_seconds,
+            "store_path": self.store_path,
+        }
+
+    def signature(self) -> dict:
+        """The timing-free projection two passes over the same image
+        must agree on exactly (determinism tests diff this)."""
+        data = self.to_dict()
+        data.pop("translate_seconds")
+        data.pop("store_path")
+        return data
+
+
+class AotCoverage:
+    """Bus subscriber splitting a run's pages into statically-covered
+    versus runtime-discovered (the manifest's frontier made manifest)."""
+
+    def __init__(self, bus: EventBus):
+        self.static_pages: Set[int] = set()
+        self.frontier_pages: Set[int] = set()
+        #: Frontier crossings as (pc, kind) — ``kind`` is ``"page"``
+        #: (page unknown to the store) or ``"entry"`` (entry minted
+        #: dynamically inside a covered page).
+        self.crossings: List[tuple] = []
+        bus.subscribe(AotHit, self._on_hit)
+        bus.subscribe(AotFrontierMiss, self._on_miss)
+
+    def _on_hit(self, event) -> None:
+        self.static_pages.add(event.page_paddr)
+
+    def _on_miss(self, event) -> None:
+        self.frontier_pages.add(event.page_paddr)
+        self.crossings.append((event.pc, event.kind))
+
+    def report(self, manifest: Optional[AotManifest] = None) -> dict:
+        """JSON summary; with a manifest attached, also grades the
+        static claim (a page both claimed and served is ``confirmed``;
+        frontier crossings are expected for manifest-frontier sites)."""
+        data = {
+            "static_pages": sorted(self.static_pages),
+            "runtime_pages": sorted(self.frontier_pages
+                                    - self.static_pages),
+            "crossings": [{"pc": pc, "kind": kind}
+                          for pc, kind in self.crossings],
+        }
+        if manifest is not None:
+            claimed = {page.page_vaddr for page in manifest.pages
+                       if page.saved}
+            data["claimed_pages"] = sorted(claimed)
+            data["confirmed_pages"] = sorted(claimed & self.static_pages)
+        return data
+
+
+__all__ = ["AotCoverage", "AotManifest", "AotPage"]

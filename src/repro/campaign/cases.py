@@ -20,7 +20,11 @@ isolation, not new oracles:
   the static verifier catches it (the PR-5 loudness self-test);
 * ``fleet`` — run one small process-sharded fleet (docs/serving.md),
   optionally over a tampered store, asserting report consistency and
-  harvesting ``shard:`` / ``store-reject:`` coverage tokens.
+  harvesting ``shard:`` / ``store-reject:`` coverage tokens;
+* ``aot`` — one seeded discovery-frontier program (computed branches
+  and SMC on) through the three-way AOT differential
+  (:func:`repro.conform.harness.run_aot_case`): AOT-prefilled vs
+  dynamic vs golden, harvesting ``aot-frontier:*`` crossing tokens.
 
 Every result carries ``features``: coverage tokens harvested from the
 event bus (translator paths taken, verifier invariants fired, fault
@@ -86,6 +90,7 @@ def harvest_features(counters) -> Set[str]:
         ev.StoreHit: "path:store-hit",
         ev.StoreMiss: "path:store-miss",
         ev.StoreSaved: "path:store-save",
+        ev.AotHit: "path:aot-hit",
     }
     for event_type, token in path_events.items():
         if counters.count(event_type) > 0:
@@ -98,6 +103,7 @@ def harvest_features(counters) -> Set[str]:
         ev.TranslationAbort: "abort",
         ev.PageQuarantined: "quarantine",
         ev.CodegenAbort: "codegen-abort",
+        ev.AotFrontierMiss: "aot-frontier",
     }
     for event_type, prefix in keyed_events.items():
         for key, count in counters.by_key(event_type).items():
@@ -123,16 +129,23 @@ def _run_conform_fuzz(spec: dict) -> dict:
     from repro.conform.fuzz import FuzzConfig, generate_case
     from repro.conform.harness import run_fuzz_case
 
-    config = (FuzzConfig(**spec["fuzz_config"])
-              if spec.get("fuzz_config") else FuzzConfig(exceptions=True))
+    aot = bool(spec.get("aot", False))
+    if spec.get("fuzz_config"):
+        config = FuzzConfig(**spec["fuzz_config"])
+    elif aot:
+        config = FuzzConfig.aot_frontier()
+    else:
+        config = FuzzConfig(exceptions=True)
     case = generate_case(int(spec["seed"]), int(spec["index"]), config)
     systems: list = []
     result = run_fuzz_case(case, spec.get("backend", "daisy"),
                            shrink=bool(spec.get("shrink", True)),
                            store=spec.get("store"),
-                           system_sink=systems)
+                           system_sink=systems, aot=aot)
     features = _harvest_systems(systems)
     features.add("case:conform-fuzz")
+    if aot:
+        features.add("mode:aot")
     for block in case.blocks:
         if block.shape:
             features.add(f"shape:{block.shape}")
@@ -151,10 +164,18 @@ def _run_conform_workload(spec: dict) -> dict:
     name = spec["workload"]
     program = build_workload(name, spec.get("size", "tiny")).program
     systems: list = []
-    result = run_case(program, name, spec.get("backend", "daisy"),
-                      store=spec.get("store"), system_sink=systems)
+    if spec.get("aot"):
+        from repro.conform.harness import run_aot_case
+        result = run_aot_case(program, name,
+                              spec.get("backend", "daisy"),
+                              system_sink=systems)
+    else:
+        result = run_case(program, name, spec.get("backend", "daisy"),
+                          store=spec.get("store"), system_sink=systems)
     features = _harvest_systems(systems)
     features |= {"case:conform-workload", f"workload:{name}"}
+    if spec.get("aot"):
+        features.add("mode:aot")
     return {
         "status": "diverged" if result.diverged else "ok",
         "features": sorted(features),
@@ -177,7 +198,8 @@ def _run_chaos(spec: dict) -> dict:
         size=spec.get("size", "tiny"),
         sandbox=bool(spec.get("sandbox", True)),
         max_vliws=int(spec.get("max_vliws", 50_000_000)),
-        store=spec.get("store"), system_sink=systems)
+        store=spec.get("store"), store_mode=spec.get("store_mode"),
+        aot=bool(spec.get("aot", False)), system_sink=systems)
     features = _harvest_systems(systems)
     features |= {"case:chaos", f"workload:{case.workload}"}
     for seam, fired in case.injected.items():
@@ -454,6 +476,40 @@ def _run_fleet(spec: dict) -> dict:
     }
 
 
+def _run_aot(spec: dict) -> dict:
+    """One seeded discovery-frontier program through the three-way AOT
+    differential (docs/aot.md): translate-ahead into a throwaway store,
+    then AOT-prefilled vs cold-dynamic vs golden interpreter under full
+    lockstep.  The fuzz diet defaults to
+    :meth:`~repro.conform.fuzz.FuzzConfig.aot_frontier` — computed
+    branches, SMC, calls and exceptions — so most cases cross the
+    static/dynamic handover; crossings surface as ``aot-frontier:page``
+    / ``aot-frontier:entry`` coverage tokens.  A statically missed page
+    must degrade to a clean dynamic translation — any state or stats
+    mismatch is a divergence."""
+    from repro.conform.fuzz import FuzzConfig, generate_case
+    from repro.conform.harness import run_fuzz_case
+
+    config = (FuzzConfig(**spec["fuzz_config"])
+              if spec.get("fuzz_config") else FuzzConfig.aot_frontier())
+    case = generate_case(int(spec["seed"]), int(spec["index"]), config)
+    systems: list = []
+    result = run_fuzz_case(case, spec.get("backend", "daisy"),
+                           shrink=bool(spec.get("shrink", True)),
+                           system_sink=systems, aot=True)
+    features = _harvest_systems(systems)
+    features |= {"case:aot", "mode:aot"}
+    for block in case.blocks:
+        if block.shape:
+            features.add(f"shape:{block.shape}")
+    return {
+        "status": "diverged" if result.diverged else "ok",
+        "features": sorted(features),
+        "divergences": [d.to_dict() for d in result.divergences],
+        "case": result.to_dict(),
+    }
+
+
 def _run_selftest(spec: dict) -> dict:
     """Deterministic worker behaviours for campaign plumbing tests:
     ``ok``, ``diverge``, ``crash`` (unhandled exception), ``hard-crash``
@@ -487,6 +543,7 @@ _HANDLERS = {
     "store-adversarial": _run_store_adversarial,
     "verify-corruption": _run_verify_corruption,
     "fleet": _run_fleet,
+    "aot": _run_aot,
     "selftest": _run_selftest,
 }
 

@@ -132,6 +132,10 @@ def spec_for_case(generator: GeneratorSpec, config, index: int) -> dict:
                 "size": size,
                 "guest_budget": params.get("guest_budget"),
                 "shard_timeout": params.get("shard_timeout")}
+    if kind == "aot":
+        return {"kind": kind, "seed": seed, "index": index,
+                "backend": backend, "shrink": True,
+                "fuzz_config": params.get("fuzz_config")}
     if kind == "selftest":
         return {"kind": kind, "mode": params.get("mode", "ok"),
                 "hang_seconds": params.get("hang_seconds", 3600),
@@ -179,6 +183,9 @@ def default_generators() -> List[GeneratorSpec]:
         # A fleet case runs several guests per draw (and every other
         # draw spawns shard subprocesses), so schedule it sparingly.
         GeneratorSpec("fleet", "fleet", {}, weight=0.5),
+        # An aot case runs three legs (translate-ahead + two lockstep
+        # runs) per draw; weight it below the plain fuzzers.
+        GeneratorSpec("aot", "aot", {}, weight=0.7),
     ]
 
 

@@ -74,6 +74,26 @@ def _build_backend(args) -> DaisyBackend:
         store_mode=getattr(args, "store_mode", None))
 
 
+def _aot_prefill(args, program, name: str, root=None):
+    """``--aot`` front half: translate-ahead ``program`` into a store
+    (``--store`` when given, else a throwaway directory) with the same
+    machine/translation knobs the run will use, so the run itself can
+    start ``store_mode="read"``, ``aot=True`` — ~100% warm with only
+    discovery-frontier pages hitting the dynamic tier (docs/aot.md)."""
+    import tempfile
+
+    from repro.aot import translate_ahead
+    from repro.store import TranslationStore
+
+    if root is None:
+        root = getattr(args, "store", None) \
+            or tempfile.mkdtemp(prefix="repro-aot-")
+    store = TranslationStore(root)
+    manifest = translate_ahead(program, store, name=name,
+                               backend=_build_backend(args))
+    return store, manifest
+
+
 def _print_summary(result) -> None:
     print(f"exit code:            {result.exit_code}")
     print(f"base instructions:    {result.base_instructions}")
@@ -91,6 +111,9 @@ def _print_summary(result) -> None:
               f"{result.store_hits} hits, {result.store_misses} misses, "
               f"{result.store_saves} saves, "
               f"{result.store_rejects} rejects")
+    if getattr(result, "aot", False):
+        print(f"aot tier:             {result.aot_hits} static hits, "
+              f"{result.aot_frontier_misses} frontier misses")
     print(f"cross-page branches:  {dict(result.events.crosspage)}")
     if result.interpreted_episodes:
         print(f"interpreted:          {result.interpreted_instructions} "
@@ -110,7 +133,16 @@ def cmd_run(args) -> int:
     program, description = _load_program(args.target, args.size)
     print(f"running: {description}")
     print(f"machine: {PAPER_CONFIGS[args.config].name}\n")
-    _, run = _build_backend(args).execute(program)
+    backend = _build_backend(args)
+    if getattr(args, "aot", False):
+        store, manifest = _aot_prefill(args, program, args.target)
+        backend.store = store
+        backend.store_mode = "read"
+        backend.aot = True
+        print(f"aot: {len(manifest.store_keys)} pages prefilled, "
+              f"{manifest.entry_count} entries, "
+              f"{len(manifest.frontier)} frontier sites\n")
+    _, run = backend.execute(program)
     _print_summary(run.raw)
     return 0 if run.exit_code == 0 else 1
 
@@ -221,7 +253,7 @@ def cmd_chaos(args) -> int:
                        workloads=workloads, backend=args.backend,
                        size=args.size, sandbox=not args.no_sandbox,
                        store=args.store, seams=seams,
-                       timeout=args.timeout)
+                       timeout=args.timeout, aot=args.aot)
     if args.json:
         print(report.to_json())
     else:
@@ -343,13 +375,28 @@ def cmd_bench(args) -> int:
                   file=sys.stderr)
             return 2
 
+    aot_root = None
+    if getattr(args, "aot", False):
+        import tempfile
+        aot_root = args.store or tempfile.mkdtemp(prefix="repro-aot-")
+
     rows = []
     failures = 0
     for workload_name in names:
         program, _ = _load_program(workload_name, args.size)
         context = ExecutionContext(program, workload_name)
+        aot_store = None
+        if aot_root is not None:
+            aot_store, _ = _aot_prefill(args, program, workload_name,
+                                        root=aot_root)
         for backend_name in backend_names:
-            result = _bench_backend(backend_name, args).run(context)
+            backend = _bench_backend(backend_name, args)
+            if aot_store is not None and isinstance(backend,
+                                                   DaisyBackend):
+                backend.store = aot_store
+                backend.store_mode = "read"
+                backend.aot = True
+            result = backend.run(context)
             rows.append(result)
             failures += result.exit_code != 0
 
@@ -368,7 +415,7 @@ def cmd_bench(args) -> int:
 def _profile_run(args, program, chaining: bool,
                  exec_mode: Optional[str] = None,
                  store=None, store_mode: Optional[str] = None,
-                 repeat: Optional[int] = None):
+                 repeat: Optional[int] = None, aot: bool = False):
     """Best-of-``--repeat`` timed run; returns (perf, system, result)."""
     from repro.runtime.profiling import PerfTrace
 
@@ -380,6 +427,7 @@ def _profile_run(args, program, chaining: bool,
         backend.store = store
     if store_mode is not None:
         backend.store_mode = store_mode
+    backend.aot = aot
     best = None
     for _ in range(max(1, repeat if repeat is not None else args.repeat)):
         system = backend.build_system()
@@ -395,14 +443,18 @@ def _profile_run(args, program, chaining: bool,
 def _profile_report(args, program, chaining: bool,
                     exec_mode: Optional[str] = None,
                     store=None, store_mode: Optional[str] = None,
-                    repeat: Optional[int] = None) -> dict:
+                    repeat: Optional[int] = None,
+                    aot: bool = False) -> dict:
     from repro.isa.encoding import decode
 
     perf, system, result = _profile_run(args, program, chaining,
                                         exec_mode, store=store,
                                         store_mode=store_mode,
-                                        repeat=repeat)
+                                        repeat=repeat, aot=aot)
     return {
+        "aot": {"enabled": result.aot,
+                "hits": result.aot_hits,
+                "frontier_misses": result.aot_frontier_misses},
         "exec_mode": result.exec_mode,
         "chaining": chaining,
         "exit_code": result.exit_code,
@@ -447,6 +499,10 @@ def _print_profile(report: dict) -> None:
         print(f"store ({store['mode']}):   {store['hits']} hits, "
               f"{store['misses']} misses, {store['saves']} saves, "
               f"{store['rejects']} rejects")
+    aot = report.get("aot") or {}
+    if aot.get("enabled"):
+        print(f"aot tier:             {aot['hits']} static hits, "
+              f"{aot['frontier_misses']} frontier misses")
     print(f"compiled groups:      {codegen['groups_compiled']} "
           f"({codegen['aborts']} codegen aborts)")
     print(f"chain links:          {chain['links_installed']} installed, "
@@ -465,6 +521,7 @@ def _print_profile(report: dict) -> None:
 
 def cmd_profile(args) -> int:
     program, description = _load_program(args.target, args.size)
+    aot_manifest = None
     if args.compare:
         chaining = not args.no_chain
         if args.compare == "chain":
@@ -494,6 +551,32 @@ def cmd_profile(args) -> int:
                                    store=store, store_mode="read")
             base_key, fast_key = "cold", "warm"
             label = "warm-start speedup"
+        elif args.compare == "aot":
+            # The ahead-of-time axis (docs/aot.md): both sides are a
+            # FIRST run against a persistent store — the cold side
+            # against an empty one (the first run of dynamic warming:
+            # it pays translate + codegen + save), the fast side
+            # against an AOT-prefilled one built offline by
+            # translate-ahead (its time is in the manifest, not
+            # charged to the run).  Like the store axis, the speedup
+            # is over translate wall-time (translate + codegen +
+            # store buckets) — AOT's job is to move the first run's
+            # translate bill offline, not to shrink the execute bill.
+            import tempfile
+
+            from repro.store import TranslationStore
+            store, aot_manifest = _aot_prefill(args, program,
+                                               args.target)
+            cold_store = TranslationStore(
+                tempfile.mkdtemp(prefix="repro-aot-cold-"))
+            base = _profile_report(args, program, chaining=chaining,
+                                   store=cold_store,
+                                   store_mode="read-write", repeat=1)
+            fast = _profile_report(args, program, chaining=chaining,
+                                   store=store, store_mode="read",
+                                   aot=True)
+            base_key, fast_key = "cold", "aot"
+            label = "aot-start speedup"
         else:
             # The codegen axis: bound oracle vs compiled artifacts,
             # identical chaining and translate costs on both sides.
@@ -503,7 +586,7 @@ def cmd_profile(args) -> int:
                                    exec_mode="compiled")
             base_key, fast_key = "bound", "compiled"
             label = "compiled speedup"
-        if args.compare == "store":
+        if args.compare in ("store", "aot"):
             def _translate_bill(side: dict) -> float:
                 sec = side["perf"]["seconds"]
                 return sec["translate"] + sec["codegen"] + sec["store"]
@@ -517,6 +600,8 @@ def cmd_profile(args) -> int:
                   "description": description, "axis": args.compare,
                   base_key: base, fast_key: fast,
                   "speedup": round(speedup, 3)}
+        if aot_manifest is not None:
+            report["manifest"] = aot_manifest.to_dict()
         if args.json:
             print(json.dumps(report, indent=2))
         else:
@@ -528,7 +613,7 @@ def cmd_profile(args) -> int:
         failed = (base["exit_code"] != 0 or fast["exit_code"] != 0
                   or (args.min_speedup is not None
                       and speedup < args.min_speedup))
-        if args.compare == "store":
+        if args.compare in ("store", "aot"):
             # A warm-start claim is meaningless unless the warm side
             # actually hit the store AND reproduced the cold run.
             failed = (failed or fast["store"]["hits"] == 0
@@ -540,8 +625,16 @@ def cmd_profile(args) -> int:
                   f"[{verdict}]")
         return 1 if failed else 0
 
-    report = _profile_report(args, program,
-                             chaining=not args.no_chain)
+    if getattr(args, "aot", False):
+        store, aot_manifest = _aot_prefill(args, program, args.target)
+        report = _profile_report(args, program,
+                                 chaining=not args.no_chain,
+                                 store=store, store_mode="read",
+                                 aot=True)
+        report["manifest"] = aot_manifest.to_dict()
+    else:
+        report = _profile_report(args, program,
+                                 chaining=not args.no_chain)
     report.update({"target": args.target, "size": args.size,
                    "description": description})
     if args.json:
@@ -638,14 +731,68 @@ def cmd_campaign(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_translate_ahead(args) -> int:
+    """Statically discover and pre-translate workload images into a
+    persistent store (docs/aot.md): the offline half of the AOT tier.
+    Prints per-workload coverage — pages saved, entries, discovery
+    frontier — and the manifest(s) as JSON with ``--json``."""
+    from repro.aot import translate_ahead
+    from repro.store import TranslationStore
+
+    if args.workload == "all":
+        names = WORKLOAD_NAMES + ["tomcatv", "hotloop"]
+    else:
+        names = [w.strip() for w in args.workload.split(",")
+                 if w.strip()]
+    store = TranslationStore(args.store)
+    manifests = []
+    failures = 0
+    for name in names:
+        try:
+            program, _ = _load_program(name, args.size)
+        except (KeyError, OSError) as error:
+            print(f"unknown workload or unreadable file {name!r}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        manifest = translate_ahead(program, store, name=name,
+                                   backend=_build_backend(args))
+        manifests.append(manifest)
+        if not manifest.store_keys:
+            failures += 1
+    store.flush()
+    if args.json:
+        print(json.dumps([m.to_dict() for m in manifests], indent=2))
+    else:
+        print(f"{'workload':12s} {'pages':>6s} {'saved':>6s} "
+              f"{'entries':>8s} {'frontier':>9s} {'seconds':>8s}")
+        for manifest in manifests:
+            print(f"{manifest.workload:12s} {len(manifest.pages):6d} "
+                  f"{len(manifest.store_keys):6d} "
+                  f"{manifest.entry_count:8d} "
+                  f"{len(manifest.frontier):9d} "
+                  f"{manifest.translate_seconds:8.3f}")
+            kinds = manifest.frontier_kinds
+            if kinds:
+                print("             frontier: " + ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(kinds.items())))
+        print(f"store: {store.root}")
+    return 1 if failures else 0
+
+
 def cmd_conform(args) -> int:
     from repro.conform import run_conformance
-    from repro.conform.harness import CONFORM_BACKENDS
+    from repro.conform.harness import CONFORM_BACKENDS, LOCKSTEP_BACKENDS
     from repro.runtime.events import DivergenceFound, EventBus
 
     if args.backend not in CONFORM_BACKENDS:
         print(f"unknown backend {args.backend!r} "
               f"(choose from {', '.join(CONFORM_BACKENDS)})",
+              file=sys.stderr)
+        return 2
+    if args.aot and args.backend not in LOCKSTEP_BACKENDS:
+        print(f"--aot requires a lockstep backend "
+              f"(choose from {', '.join(LOCKSTEP_BACKENDS)})",
               file=sys.stderr)
         return 2
 
@@ -661,7 +808,7 @@ def cmd_conform(args) -> int:
         seed=args.seed, cases=args.cases, backend=args.backend,
         size=args.size, workloads=workloads,
         shrink=not args.no_shrink, bus=bus, store=args.store,
-        timeout=args.timeout)
+        timeout=args.timeout, aot=args.aot)
     if args.json:
         print(report.to_json())
     else:
@@ -727,7 +874,60 @@ def main(argv: Optional[list] = None) -> int:
 
     run_parser = sub.add_parser("run", help="run a program under DAISY")
     _common_flags(run_parser)
+    run_parser.add_argument("--aot", action="store_true",
+                            help="translate-ahead first (docs/aot.md), "
+                                 "then run warm from the prefilled "
+                                 "store (--store when given, else a "
+                                 "throwaway directory) with the AOT "
+                                 "instrumentation on")
     run_parser.set_defaults(func=cmd_run)
+
+    aot_parser = sub.add_parser(
+        "translate-ahead",
+        help="ahead-of-time tier (repro.aot, docs/aot.md): statically "
+             "discover every reachable page of a workload image and "
+             "pre-translate it into a persistent store, so later "
+             "--aot runs start ~100%% warm with only the discovery "
+             "frontier (computed branches, SMC) hitting the dynamic "
+             "tier")
+    aot_parser.add_argument("--workload", default="all",
+                            help="comma-separated workload names or "
+                                 "assembly (.s) files; 'all' (default) "
+                                 "translates the full registry")
+    aot_parser.add_argument("--store", required=True, metavar="DIR",
+                            help="persistent translation store "
+                                 "directory to prefill (docs/store.md)")
+    aot_parser.add_argument("--size", default="small",
+                            choices=["tiny", "small", "default"],
+                            help="workload size preset")
+    aot_parser.add_argument("--config", type=int, default=10,
+                            choices=sorted(PAPER_CONFIGS),
+                            help="machine configuration — store keys "
+                                 "cover it, so it must match the "
+                                 "consuming run")
+    aot_parser.add_argument("--page-size", type=int, default=4096,
+                            help="translation page size in bytes")
+    aot_parser.add_argument("--caches",
+                            choices=["none", "default", "small"],
+                            default="none", help="cache hierarchy model")
+    aot_parser.add_argument("--strategy",
+                            choices=["expansion", "hash"],
+                            default="expansion",
+                            help="translated-code mapping (Chapter 3)")
+    aot_parser.add_argument("--no-chain", action="store_true",
+                            help="disable group chaining in the "
+                                 "prefilled translations")
+    aot_parser.add_argument("--exec-mode",
+                            choices=["compiled", "bound"],
+                            default="compiled",
+                            help="group executor the prefilled "
+                                 "artifacts target")
+    aot_parser.add_argument("--json", action="store_true",
+                            help="emit the coverage manifest(s) as "
+                                 "JSON")
+    aot_parser.set_defaults(func=cmd_translate_ahead, tier=None,
+                            interpretive=False, hot_threshold=None,
+                            deliver_faults=False, store_mode=None)
 
     translate_parser = sub.add_parser(
         "translate", help="run and dump the tree-VLIW code")
@@ -792,6 +992,11 @@ def main(argv: Optional[list] = None) -> int:
                               default=None,
                               help="store traffic policy (default: "
                                    "read-write when --store is given)")
+    bench_parser.add_argument("--aot", action="store_true",
+                              help="translate-ahead each workload "
+                                   "first (docs/aot.md); DAISY-family "
+                                   "backends then run warm from the "
+                                   "prefilled store")
     bench_parser.add_argument("--json", action="store_true",
                               help="emit machine-readable JSON")
     bench_parser.add_argument("--fleet", action="store_true",
@@ -829,7 +1034,8 @@ def main(argv: Optional[list] = None) -> int:
                                 help="timed repetitions; the best "
                                      "(lowest wall time) is reported")
     profile_parser.add_argument("--compare", nargs="?", const="exec",
-                                choices=["exec", "chain", "store"],
+                                choices=["exec", "chain", "store",
+                                         "aot"],
                                 default=None,
                                 help="run both sides of an axis and "
                                      "report the speedup: 'exec' "
@@ -841,7 +1047,15 @@ def main(argv: Optional[list] = None) -> int:
                                      "translate against a warm start "
                                      "from the persistent store "
                                      "(speedup over translate "
-                                     "wall-time)")
+                                     "wall-time); 'aot' compares a "
+                                     "cold no-store run against an "
+                                     "AOT-prefilled read-mode start "
+                                     "(docs/aot.md; speedup over "
+                                     "translate wall-time)")
+    profile_parser.add_argument("--aot", action="store_true",
+                                help="translate-ahead first, then "
+                                     "profile the warm AOT run itself "
+                                     "(docs/aot.md)")
     profile_parser.add_argument("--min-speedup", type=float, default=None,
                                 help="with --compare: exit nonzero when "
                                      "the chained speedup is below this "
@@ -946,6 +1160,15 @@ def main(argv: Optional[list] = None) -> int:
                                      "worker subprocess and a hang is "
                                      "reported as a failure with its "
                                      "seed (repro.campaign.isolate)")
+    conform_parser.add_argument("--aot", action="store_true",
+                                help="three-way AOT differential "
+                                     "(docs/aot.md): every case runs "
+                                     "AOT-prefilled vs cold dynamic "
+                                     "vs golden interpreter, with the "
+                                     "fuzz diet defaulting to "
+                                     "computed-branch/SMC programs "
+                                     "that stress the discovery "
+                                     "frontier")
     conform_parser.add_argument("--json", action="store_true",
                                 help="emit the full report (sources and "
                                      "shrunk reproducers included) as "
@@ -992,6 +1215,13 @@ def main(argv: Optional[list] = None) -> int:
                                    "subprocess and a hang is reported "
                                    "as a crashed case with its plan "
                                    "seed (repro.campaign.isolate)")
+    chaos_parser.add_argument("--aot", action="store_true",
+                              help="translate-ahead each workload into "
+                                   "the store first and run the "
+                                   "subject warm in read mode "
+                                   "(docs/aot.md): fault schedules "
+                                   "then hammer the static/dynamic "
+                                   "handover")
     chaos_parser.add_argument("--json", action="store_true",
                               help="emit the full report as JSON")
     chaos_parser.set_defaults(func=cmd_chaos)

@@ -190,6 +190,22 @@ class FuzzConfig:
     #: Include loads/stores through invalid pointers (the case then ends
     #: in a precise fault both sides must agree on).
     exceptions: bool = False
+    #: Include computed-branch shapes (targets materialized in
+    #: registers and dispatched via ctr/lr): the control flow the AOT
+    #: discovery pass records as *frontier* rather than follows, so
+    #: corpora with this knob on deliberately generate pages and
+    #: entries the static tier missed (docs/aot.md).  Off by default to
+    #: keep historical (seed, index) corpora stable.
+    computed: bool = False
+
+    @classmethod
+    def aot_frontier(cls) -> "FuzzConfig":
+        """The discovery-boundary diet (``repro conform --aot``):
+        computed branches and SMC emphasized, so statically-missed
+        pages and dynamically-patched pages appear constantly and must
+        degrade to clean dynamic translations."""
+        return cls(computed=True, smc=True, calls=True,
+                   exceptions=True)
 
     @classmethod
     def straight_line(cls) -> "FuzzConfig":
@@ -438,6 +454,53 @@ class CaseGenerator:
         ], atomic=True, shape="smc_target")
         return patcher, patchee
 
+    def shape_computed(self) -> Block:
+        """A computed branch: the target address is materialized in a
+        register and dispatched through ctr or lr.  Static discovery
+        (:mod:`repro.aot.discovery`) records these as frontier sites
+        instead of following them, so the far-page variant produces a
+        page only the dynamic tier ever translates — the AOT
+        differential harness leans on this shape to stress the
+        discovery boundary."""
+        ident = self._label_id()
+        reg = self.rng.choice(DEST_REGS)
+        variant = self.rng.randrange(3)
+        if variant == 0:
+            # Indirect call to a far page reachable *only* via ctr:
+            # a statically-missed page by construction.
+            label = f"fx{ident}"
+            self._note(Opcode.LI, Opcode.MTCTR, Opcode.BCTRL,
+                       Opcode.BLR)
+            far = [f"{label}:"]
+            for _ in range(self.rng.randint(1, 3)):
+                op = self._pick(_ALU3)
+                far.append(f"    {op} {self._dest()}, {self._src()}, "
+                           f"{self._src()}")
+            far.append("    blr")
+            return Block([f"    li r{reg}, {label}",
+                          f"    mtctr r{reg}",
+                          "    bctrl"],
+                         far_lines=far, atomic=True, shape="computed")
+        label = f"Lx{ident}"
+        if variant == 1:
+            self._note(Opcode.LI, Opcode.MTCTR, Opcode.BCTR)
+            lines = [f"    li r{reg}, {label}",
+                     f"    mtctr r{reg}",
+                     "    bctr"]
+        else:
+            self._note(Opcode.LI, Opcode.MTLR, Opcode.BLR)
+            lines = [f"    li r{reg}, {label}",
+                     f"    mtlr r{reg}",
+                     "    blr"]
+        # A couple of never-executed words between the indirect jump
+        # and its landing pad: the dynamic entry is minted mid-page.
+        for _ in range(self.rng.randint(1, 2)):
+            op = self._pick(_ALU3)
+            lines.append(f"    {op} {self._dest()}, {self._src()}, "
+                         f"{self._src()}")
+        lines.append(f"{label}:")
+        return Block(lines, atomic=True, shape="computed")
+
     def shape_fp(self) -> Block:
         lines = []
         fregs = [f"f{self.rng.randrange(32)}" for _ in range(4)]
@@ -501,6 +564,8 @@ class CaseGenerator:
             menu.append(("smc", 0.5))
         if config.floats:
             menu.append(("fp", 1.0))
+        if config.computed:
+            menu.append(("computed", 1.4))
         return menu
 
     def generate(self) -> FuzzCase:

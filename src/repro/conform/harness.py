@@ -68,6 +68,109 @@ CONFORM_BACKENDS = (tuple(LOCKSTEP_BACKENDS) + ("traditional",)
 FUZZ_MAX_INSTRUCTIONS = 1_000_000
 
 
+# ----------------------------------------------------------------------
+# Three-way AOT mode (docs/aot.md)
+# ----------------------------------------------------------------------
+
+
+def run_aot_case(program, name: str, backend: str = "daisy",
+                 max_instructions: int = 50_000_000,
+                 system_sink: Optional[list] = None) -> CaseResult:
+    """The three-way differential: AOT-prefilled vs dynamic vs golden.
+
+    1. ``repro.aot.translate_ahead`` pre-translates the program's
+       statically reachable pages into a fresh throwaway store;
+    2. the *dynamic* subject runs under full commit-point lockstep
+       against the golden interpreter (no store);
+    3. the *AOT-prefilled* subject (``store_mode="read"``, ``aot=True``)
+       runs under the same lockstep — every statically covered page
+       starts warm, every frontier page pays a dynamic translation
+       mid-lockstep;
+    4. the two subjects are then cross-checked bit-for-bit on the
+       engine's own accounting (committed instructions, VLIWs, cycles,
+       output) — state the golden interpreter cannot see.
+
+    A page the static pass missed must surface only as an
+    ``AotFrontierMiss`` followed by a clean dynamic translation; any
+    divergence or crash in either leg fails the case.  The throwaway
+    store is deleted afterwards, so cases stay independent and
+    reproducible from ``(seed, index)`` alone.
+    """
+    import shutil
+    import tempfile
+
+    from repro.aot.driver import translate_ahead
+    from repro.store import TranslationStore
+
+    if backend not in LOCKSTEP_BACKENDS:
+        raise ValueError(
+            f"backend {backend!r} does not support the AOT three-way "
+            f"mode (choose from {tuple(LOCKSTEP_BACKENDS)})")
+    knobs = dict(LOCKSTEP_BACKENDS[backend])
+    knobs.setdefault("verify", "report")
+    tmp = tempfile.mkdtemp(prefix="daisy-aot-conform-")
+    try:
+        store = TranslationStore(tmp)
+        translate_ahead(program, store, name=name,
+                        backend=DaisyBackend(**knobs))
+        dynamic_sink: list = []
+        dynamic = run_lockstep(
+            program, _lockstep_factory(backend, program,
+                                       system_sink=dynamic_sink),
+            case=name, backend=backend,
+            max_instructions=max_instructions)
+        aot_sink: list = []
+        aot_build = DaisyBackend(store=store, store_mode="read",
+                                 aot=True, **knobs).build_system
+
+        def aot_factory():
+            system = aot_build()
+            aot_sink.append(system)
+            if system_sink is not None:
+                system_sink.append(system)
+            return system
+
+        prefilled = run_lockstep(program, aot_factory, case=name,
+                                 backend=f"aot+{backend}",
+                                 max_instructions=max_instructions)
+        if system_sink is not None:
+            system_sink.extend(dynamic_sink)
+
+        result = CaseResult(name=name, backend=f"aot+{backend}",
+                            instructions=prefilled.instructions)
+        result.divergences.extend(dynamic.divergences)
+        result.divergences.extend(prefilled.divergences)
+        if not result.divergences:
+            result.divergences.extend(_aot_cross_check(
+                name, backend, dynamic_sink, aot_sink))
+        return result
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _aot_cross_check(name: str, backend: str, dynamic_sink: list,
+                     aot_sink: list) -> List[Divergence]:
+    """Bit-for-bit comparison of the two subjects' engine accounting —
+    the half of the state the golden interpreter cannot arbitrate."""
+    if not dynamic_sink or not aot_sink:
+        return []
+    cold, warm = dynamic_sink[-1], aot_sink[-1]
+    detail: dict = {}
+    for attr in ("completed", "vliws", "cycles"):
+        cold_value = getattr(cold.engine.stats, attr)
+        warm_value = getattr(warm.engine.stats, attr)
+        if cold_value != warm_value:
+            detail[attr] = (cold_value, warm_value)
+    cold_out = list(getattr(cold.services, "output", []))
+    warm_out = list(getattr(warm.services, "output", []))
+    if cold_out != warm_out:
+        detail["output"] = (cold_out, warm_out)
+    if not detail:
+        return []
+    return [Divergence(kind="aot-cross", case=name,
+                       backend=f"aot+{backend}", detail=detail)]
+
+
 def _lockstep_factory(backend: str, program, store=None,
                       system_sink: Optional[list] = None
                       ) -> Callable[[], object]:
@@ -156,21 +259,28 @@ def _assemble(source: str):
     return Assembler().assemble(source)
 
 
-def _fuzz_diverges(backend: str) \
+def _fuzz_diverges(backend: str, aot: bool = False) \
         -> Callable[[List[str], List[Block]], bool]:
     """The shrinking oracle: does this (prologue, blocks) candidate
     still diverge?  Candidates that fail to assemble (a removed block
-    owned a label) are invalid, not interesting."""
+    owned a label) are invalid, not interesting.  With ``aot`` the
+    oracle re-runs the full three-way check, so reproducers shrink
+    against the same prefill-plus-lockstep pipeline that flagged them."""
     def oracle(prologue: List[str], blocks: List[Block]) -> bool:
         try:
             program = _assemble(build_source(prologue, blocks))
         except AssemblyError:
             return False
         try:
-            factory = _lockstep_factory(backend, program)
-            result = run_lockstep(
-                program, factory, case="shrink", backend=backend,
-                max_instructions=FUZZ_MAX_INSTRUCTIONS)
+            if aot:
+                result = run_aot_case(
+                    program, "shrink", backend,
+                    max_instructions=FUZZ_MAX_INSTRUCTIONS)
+            else:
+                factory = _lockstep_factory(backend, program)
+                result = run_lockstep(
+                    program, factory, case="shrink", backend=backend,
+                    max_instructions=FUZZ_MAX_INSTRUCTIONS)
         except Exception:                  # noqa: BLE001
             # A candidate that crashes the harness itself is still a
             # reproducer-worthy disagreement.
@@ -179,10 +289,10 @@ def _fuzz_diverges(backend: str) \
     return oracle
 
 
-def _shrink_case(case: FuzzCase, backend: str):
+def _shrink_case(case: FuzzCase, backend: str, aot: bool = False):
     """Minimize a diverging case: blocks first (ddmin + line strip),
     then the prologue's register-initialization lines."""
-    oracle = _fuzz_diverges(backend)
+    oracle = _fuzz_diverges(backend, aot=aot)
     minimal = shrink_blocks(
         case.blocks, lambda blocks: oracle(case.prologue, blocks))
     prologue = list(case.prologue)
@@ -198,8 +308,11 @@ def _shrink_case(case: FuzzCase, backend: str):
 
 def run_fuzz_case(case: FuzzCase, backend: str,
                   shrink: bool = True, store=None,
-                  system_sink: Optional[list] = None) -> CaseResult:
-    """Check one generated case; shrink on divergence."""
+                  system_sink: Optional[list] = None,
+                  aot: bool = False) -> CaseResult:
+    """Check one generated case; shrink on divergence.  ``aot`` runs
+    the three-way AOT mode (:func:`run_aot_case`) instead of the plain
+    subject-vs-golden lockstep."""
     source = case.source
     try:
         program = _assemble(source)
@@ -212,7 +325,11 @@ def run_fuzz_case(case: FuzzCase, backend: str,
             detail={"assembly": (str(error), None)}))
         return result
 
-    if backend in RESULT_BACKENDS:
+    if aot:
+        result = run_aot_case(program, case.name, backend,
+                              max_instructions=FUZZ_MAX_INSTRUCTIONS,
+                              system_sink=system_sink)
+    elif backend in RESULT_BACKENDS:
         result = _run_result_case(program, case.name, backend,
                                   FUZZ_MAX_INSTRUCTIONS)
     else:
@@ -227,7 +344,7 @@ def run_fuzz_case(case: FuzzCase, backend: str,
     if result.diverged:
         result.source = source
         if shrink and backend not in RESULT_BACKENDS:
-            prologue, minimal = _shrink_case(case, backend)
+            prologue, minimal = _shrink_case(case, backend, aot=aot)
             result.shrunk_source = build_source(prologue, minimal)
             result.shrunk_instructions = (
                 len(prologue)
@@ -275,7 +392,8 @@ def run_conformance(seed: int = 0, cases: int = 200,
                     bus: Optional[EventBus] = None,
                     stop_on_divergence: bool = False,
                     store=None,
-                    timeout: Optional[float] = None) -> ConformReport:
+                    timeout: Optional[float] = None,
+                    aot: bool = False) -> ConformReport:
     """The full conformance sweep: bundled workloads + fuzz corpus.
 
     ``workloads=[]`` skips the workload phase (fuzz only);
@@ -293,18 +411,34 @@ def run_conformance(seed: int = 0, cases: int = 200,
     subprocess worker with a per-case wall-clock budget: a hung case is
     killed and reported as a ``timeout`` divergence with its seed, a
     crashed worker as ``worker-crash`` — the sweep itself never hangs.
+
+    ``aot`` switches every case to the three-way AOT differential
+    (:func:`run_aot_case`): AOT-prefilled vs dynamic vs golden, with
+    the fuzz corpus defaulting to the discovery-boundary diet
+    (:meth:`FuzzConfig.aot_frontier` — computed branches and SMC on).
+    ``store`` is ignored in this mode: each case prefills its own
+    throwaway store so cases stay independent.
     """
     if backend not in CONFORM_BACKENDS:
         raise ValueError(f"unknown conformance backend {backend!r} "
                          f"(choose from {CONFORM_BACKENDS})")
+    if aot and backend not in LOCKSTEP_BACKENDS:
+        raise ValueError(
+            f"backend {backend!r} does not support the AOT three-way "
+            f"mode (choose from {tuple(LOCKSTEP_BACKENDS)})")
     if store is not None:
         from repro.store import TranslationStore
         if not isinstance(store, TranslationStore):
             store = TranslationStore(store)
     store_root = getattr(store, "root", None)
-    report = ConformReport(backend=backend, seed=seed)
-    config = fuzz_config if fuzz_config is not None else \
-        FuzzConfig(exceptions=True)
+    report = ConformReport(backend=f"aot+{backend}" if aot else backend,
+                           seed=seed)
+    if fuzz_config is not None:
+        config = fuzz_config
+    elif aot:
+        config = FuzzConfig.aot_frontier()
+    else:
+        config = FuzzConfig(exceptions=True)
 
     names = list(WORKLOAD_NAMES) if workloads is None else workloads
     for name in names:
@@ -312,8 +446,11 @@ def run_conformance(seed: int = 0, cases: int = 200,
             result = _isolated_conform_case(
                 {"kind": "conform-workload", "workload": name,
                  "size": size, "backend": backend,
-                 "store": store_root},
+                 "store": store_root, "aot": aot},
                 timeout, name=name, backend=backend)
+        elif aot:
+            workload = build_workload(name, size)
+            result = run_aot_case(workload.program, name, backend)
         else:
             workload = build_workload(name, size)
             result = run_case(workload.program, name, backend,
@@ -329,13 +466,14 @@ def run_conformance(seed: int = 0, cases: int = 200,
             result = _isolated_conform_case(
                 {"kind": "conform-fuzz", "seed": seed, "index": index,
                  "backend": backend, "shrink": shrink,
-                 "fuzz_config": asdict(config), "store": store_root},
+                 "fuzz_config": asdict(config), "store": store_root,
+                 "aot": aot},
                 timeout, name=case_name, backend=backend,
                 seed=seed, index=index)
         else:
             case = generate_case(seed, index, config)
             result = run_fuzz_case(case, backend, shrink=shrink,
-                                   store=store)
+                                   store=store, aot=aot)
         _publish(bus, result)
         report.cases.append(result)
         if stop_on_divergence and result.diverged:

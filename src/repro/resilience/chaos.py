@@ -223,7 +223,8 @@ def run_chaos_case(name: str, plan: FaultPlan,
                    backend: str = "daisy", size: str = "tiny",
                    sandbox: bool = True,
                    max_vliws: int = 50_000_000,
-                   store=None, system_sink=None) -> ChaosCase:
+                   store=None, store_mode: Optional[str] = None,
+                   aot: bool = False, system_sink=None) -> ChaosCase:
     """One workload under one fault schedule, lockstep-checked.
 
     The per-case body of :func:`run_chaos`, exposed so the campaign
@@ -242,8 +243,8 @@ def run_chaos_case(name: str, plan: FaultPlan,
         # violations surface as "verify" divergences.
         system = DaisyBackend(
             recovery=RecoveryPolicy(sandbox=sandbox),
-            verify="report", store=store,
-            **LOCKSTEP_BACKENDS[backend]).build_system()
+            verify="report", store=store, store_mode=store_mode,
+            aot=aot, **LOCKSTEP_BACKENDS[backend]).build_system()
         attached["system"] = system
         attached["injector"] = FaultInjector(plan).attach(system)
         if system_sink is not None:
@@ -279,7 +280,8 @@ def run_chaos_case(name: str, plan: FaultPlan,
 def _isolated_chaos_case(name: str, plan_seed: int, faults: int,
                          seams: Tuple[str, ...], backend: str,
                          size: str, sandbox: bool, max_vliws: int,
-                         store, timeout: float) -> ChaosCase:
+                         store, store_mode: Optional[str],
+                         aot: bool, timeout: float) -> ChaosCase:
     """Run one schedule in a killable subprocess worker (the campaign
     isolation helper); a hung or crashed worker comes back as a
     ``crashed`` case carrying its plan seed, never a stuck CLI."""
@@ -296,6 +298,8 @@ def _isolated_chaos_case(name: str, plan_seed: int, faults: int,
         "sandbox": sandbox,
         "max_vliws": max_vliws,
         "store": getattr(store, "root", store),
+        "store_mode": store_mode,
+        "aot": aot,
     }
     outcome = run_spec(spec, timeout=timeout)
     if outcome.status == "timeout":
@@ -319,7 +323,8 @@ def run_chaos(seed: int = 0, faults: int = 200,
               max_vliws: int = 50_000_000,
               store=None,
               seams: Optional[Sequence[str]] = None,
-              timeout: Optional[float] = None) -> ChaosReport:
+              timeout: Optional[float] = None,
+              aot: bool = False) -> ChaosReport:
     """Run each workload under lockstep checking with a per-workload
     fault schedule of ``faults`` events attached.
 
@@ -350,17 +355,43 @@ def run_chaos(seed: int = 0, faults: int = 200,
     report = ChaosReport(seed=seed, backend=backend, faults=faults,
                          sandbox=sandbox, size=size, seams=selected)
 
-    for windex, name in enumerate(names):
-        plan_seed = seed + _SEED_STRIDE * windex
-        if timeout is not None:
-            case = _isolated_chaos_case(
-                name, plan_seed, faults, selected, backend, size,
-                sandbox, max_vliws, store, timeout)
-        else:
-            plan = FaultPlan.generate(plan_seed, faults, seams=selected)
-            case = run_chaos_case(name, plan, backend=backend,
-                                  size=size, sandbox=sandbox,
-                                  max_vliws=max_vliws, store=store)
-        report.cases.append(case)
+    store_mode = None
+    temp_root = None
+    if aot:
+        from repro.aot import translate_ahead
+        from repro.store import TranslationStore
+
+        if store is None:
+            import tempfile
+            temp_root = tempfile.mkdtemp(prefix="repro-chaos-aot-")
+            store = TranslationStore(temp_root)
+        prefill = DaisyBackend(verify="report",
+                               **LOCKSTEP_BACKENDS[backend])
+        for name in names:
+            translate_ahead(build_workload(name, size).program, store,
+                            name=name, backend=prefill)
+        store.flush()
+        store_mode = "read"
+
+    try:
+        for windex, name in enumerate(names):
+            plan_seed = seed + _SEED_STRIDE * windex
+            if timeout is not None:
+                case = _isolated_chaos_case(
+                    name, plan_seed, faults, selected, backend, size,
+                    sandbox, max_vliws, store, store_mode, aot,
+                    timeout)
+            else:
+                plan = FaultPlan.generate(plan_seed, faults,
+                                          seams=selected)
+                case = run_chaos_case(name, plan, backend=backend,
+                                      size=size, sandbox=sandbox,
+                                      max_vliws=max_vliws, store=store,
+                                      store_mode=store_mode, aot=aot)
+            report.cases.append(case)
+    finally:
+        if temp_root is not None:
+            import shutil
+            shutil.rmtree(temp_root, ignore_errors=True)
 
     return report

@@ -157,7 +157,8 @@ class DaisyBackend:
                  exec_mode: str = "compiled",
                  verify=None,
                  store=None,
-                 store_mode: Optional[str] = None):
+                 store_mode: Optional[str] = None,
+                 aot: bool = False):
         self.config = config if config is not None else \
             MachineConfig.default()
         self.options = options
@@ -186,6 +187,10 @@ class DaisyBackend:
                 store = TranslationStore(store)
         self.store = store
         self.store_mode = store_mode
+        #: Mark the store as an ahead-of-time prefill (:mod:`repro.aot`,
+        #: docs/aot.md): systems publish AotHit/AotFrontierMiss so runs
+        #: report static-tier coverage.  Instrumentation only.
+        self.aot = aot
 
     def build_system(self) -> DaisySystem:
         """A fresh :class:`DaisySystem` for one run.  Options are
@@ -202,7 +207,8 @@ class DaisyBackend:
                            exec_mode=self.exec_mode,
                            verify_translations=self.verify,
                            store=self.store,
-                           store_mode=self.store_mode)
+                           store_mode=self.store_mode,
+                           aot=self.aot)
 
     def execute(self, program, name: str = ""):
         """Run ``program``; returns ``(system, RunResult)`` for callers

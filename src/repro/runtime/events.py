@@ -410,6 +410,32 @@ class StoreRejected:
 
 
 @dataclass(frozen=True)
+class AotHit:
+    """A translation-cache miss was served by an entry the ahead-of-time
+    pass wrote (:mod:`repro.aot`): the static tier answered before the
+    dynamic translator ran.  Only published when the system runs with
+    ``aot=True`` — plain warm starts stay :class:`StoreHit`-only."""
+    page_paddr: int = 0
+    entries: int = 0
+    _sum_fields = ("entries",)
+
+
+@dataclass(frozen=True)
+class AotFrontierMiss:
+    """Under ``aot=True``, a lookup fell past the static tier to the
+    dynamic translator — the page (or the entry within an AOT-covered
+    page) was on the discovery frontier: reached through a computed
+    branch, self-modifying code, or any path the static pass records
+    rather than guesses.  ``kind`` is ``"page"`` (whole page unknown to
+    the store) or ``"entry"`` (page loaded, entry point minted
+    dynamically)."""
+    pc: int = 0
+    page_paddr: int = 0
+    kind: str = "page"
+    _key_field = "kind"
+
+
+@dataclass(frozen=True)
 class DecodeCacheSampled:
     """Per-run sample of :func:`repro.isa.encoding.decode`'s bounded
     memo: hit/miss deltas over one run plus the cache's population at
@@ -644,6 +670,7 @@ EVENT_TYPES: Tuple[Type, ...] = (
     TranslationVerified, VerifyViolation,
     GroupCompiled, CodegenAbort, DecodeCacheSampled,
     StoreHit, StoreMiss, StoreSaved, StoreRejected,
+    AotHit, AotFrontierMiss,
     TierPromotion, TierDemotion,
     TranslationAbort, PageQuarantined, DegradationLatch, OverBudget,
     FaultInjected,

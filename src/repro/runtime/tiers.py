@@ -18,6 +18,17 @@ re-earn their heat before being compiled again.  This mirrors staged
 rollout of translated code at fleet scale: nothing is committed to the
 expensive tier until it proves hot, and invalidated code falls back to
 the always-correct tier.
+
+With an ahead-of-time prefill attached (:mod:`repro.aot`, docs/aot.md)
+the ladder grows a rung above ``daisy``: **static → dynamic →
+interpret**.  The controller listens for the
+:class:`~repro.runtime.events.AotHit` / ``AotFrontierMiss`` overlay
+the VMM publishes under ``aot=True`` and keeps the static-tier ledger
+— which pages the offline pass served, which lookups crossed the
+discovery frontier into the dynamic translator, and which
+statically-served pages later fell off the static tier (SMC
+invalidation / cast-out forces a dynamic retranslation, since the
+patched image hashes to a new store key).
 """
 
 from __future__ import annotations
@@ -26,6 +37,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.runtime.events import (
+    AotFrontierMiss,
+    AotHit,
     Castout,
     DegradationLatch,
     EventBus,
@@ -127,6 +140,21 @@ class TieredController:
         self._quarantined: Set[int] = set()
         self.promotions = 0
         self.demotions = 0
+        #: Static-tier ledger (docs/aot.md): pages currently served by
+        #: the ahead-of-time prefill, lookups it answered, frontier
+        #: crossings into the dynamic tier, and statically-served pages
+        #: later demoted off the static tier (SMC / cast-out — the
+        #: patched image hashes to a new store key, so the re-fill is
+        #: dynamic by construction).
+        self._static_pages: Set[int] = set()
+        self.static_hits = 0
+        self.frontier_misses = 0
+        self.static_demotions = 0
+        self.bus.subscribe(AotHit, self._on_aot_hit)
+        self.bus.subscribe(AotFrontierMiss, self._on_aot_frontier)
+        self.bus.subscribe(TranslationInvalidated,
+                           self._on_static_page_dropped)
+        self.bus.subscribe(Castout, self._on_static_page_dropped)
         if self.active:
             self.bus.subscribe(TranslationInvalidated, self._on_page_dropped)
             self.bus.subscribe(Castout, self._on_page_dropped)
@@ -183,6 +211,31 @@ class TieredController:
     @property
     def quarantined_pages(self) -> Set[int]:
         return set(self._quarantined)
+
+    # ------------------------------------------------------------------
+    # Static tier (ahead-of-time prefill, docs/aot.md)
+    # ------------------------------------------------------------------
+
+    @property
+    def static_pages(self) -> Set[int]:
+        """Pages currently executing off the static (AOT) tier."""
+        return set(self._static_pages)
+
+    def _on_aot_hit(self, event) -> None:
+        self.static_hits += 1
+        self._static_pages.add(event.page_paddr)
+
+    def _on_aot_frontier(self, event) -> None:
+        self.frontier_misses += 1
+
+    def _on_static_page_dropped(self, event) -> None:
+        """SMC invalidation / cast-out of a statically-served page: the
+        page leaves the static tier.  Its next lookup is dynamic unless
+        the (re)translated image still content-matches a store entry —
+        exactly the static→dynamic demotion rung of the ladder."""
+        if event.page_paddr in self._static_pages:
+            self._static_pages.discard(event.page_paddr)
+            self.static_demotions += 1
 
     # ------------------------------------------------------------------
 

@@ -40,6 +40,8 @@ from repro.memory.memory import PhysicalMemory
 from repro.memory.mmu import Mmu
 from repro.runtime.events import (
     AliasRecovery,
+    AotFrontierMiss,
+    AotHit,
     Castout,
     CodegenAbort,
     CodeModification,
@@ -144,6 +146,12 @@ class DaisyRunResult:
     store_misses: int = 0
     store_saves: int = 0
     store_rejects: int = 0
+    #: Static-tier accounting (``aot=True`` runs, docs/aot.md): lookups
+    #: the ahead-of-time prefill answered vs lookups that crossed the
+    #: discovery frontier into the dynamic translator.
+    aot: bool = False
+    aot_hits: int = 0
+    aot_frontier_misses: int = 0
     #: Chapter 6 interpretive-compilation accounting: instructions
     #: executed by the VMM interpreter before each entry was compiled.
     interpreted_instructions: int = 0
@@ -225,7 +233,8 @@ class DaisySystem:
                  exec_mode: str = "compiled",
                  verify_translations=None,
                  store=None,
-                 store_mode: Optional[str] = None):
+                 store_mode: Optional[str] = None,
+                 aot: bool = False):
         """``strategy`` selects Chapter 3's translated-code mapping:
 
         * ``"expansion"`` — the n*N + VLIW_BASE layout: fast cross-page
@@ -297,6 +306,16 @@ class DaisySystem:
         (:class:`~repro.runtime.events.StoreRejected`), never a crash
         (docs/store.md).
 
+        ``aot`` marks the attached store as an ahead-of-time prefill
+        (:mod:`repro.aot`, docs/aot.md): store-served lookups publish
+        :class:`~repro.runtime.events.AotHit` (the static tier
+        answered) and lookups that fall through to the dynamic
+        translator publish
+        :class:`~repro.runtime.events.AotFrontierMiss` (the discovery
+        frontier: computed-branch / SMC / dynamically-minted-entry
+        pages).  Purely an instrumentation overlay — execution is
+        bit-identical with the flag off.
+
         ``verify_translations`` selects the static-verification mode
         (:mod:`repro.verify`, docs/verification.md): every emitted
         group is invariant-checked before control enters it.  ``None``
@@ -348,6 +367,9 @@ class DaisySystem:
             store = TranslationStore(store)
         self.store_mode = resolve_store_mode(store_mode, store)
         self.store = store if self.store_mode != "off" else None
+        #: Static-tier instrumentation overlay (docs/aot.md): only
+        #: meaningful with a store attached.
+        self.aot = bool(aot) and self.store is not None
         self.itlb = Itlb()
         self.itlb.event_sink = self.bus.publish
         self.pinned_pages = self.translation_cache.pinned
@@ -584,9 +606,18 @@ class DaisySystem:
                     self.bus.publish(PageTranslated(
                         page_vaddr=translation.page_vaddr,
                         page_paddr=page_paddr, first_time=first_time))
+                    if self.aot:
+                        self.bus.publish(AotHit(
+                            page_paddr=page_paddr,
+                            entries=len(translation.entries)))
             if translation is None:
                 # "VLIW translation missing" exception (Section 3.1).
                 self.bus.publish(TranslationMissing(pc=pc))
+                if self.aot:
+                    # The static pass never saw this page: a discovery-
+                    # frontier crossing into the dynamic tier.
+                    self.bus.publish(AotFrontierMiss(
+                        pc=pc, page_paddr=page_paddr, kind="page"))
                 translation = self.translator.new_translation(
                     page_vaddr=pc - pc % page_size,
                     page_paddr=page_paddr,
@@ -620,6 +651,13 @@ class DaisySystem:
         if group is None:
             # "Invalid entry point" exception (Section 3.4).
             self.bus.publish(InvalidEntry(pc=pc))
+            if self.aot:
+                # Page known to the static tier, entry point not: an
+                # entry-grain frontier crossing (e.g. a computed-branch
+                # target inside an AOT-covered page).
+                self.bus.publish(AotFrontierMiss(
+                    pc=pc, page_paddr=translation.page_paddr,
+                    kind="entry"))
             perf = self.perf
             if perf is not None:
                 started = perf.clock()
@@ -1282,6 +1320,9 @@ class DaisySystem:
         result.store_misses = counters.count(StoreMiss)
         result.store_saves = counters.count(StoreSaved)
         result.store_rejects = counters.count(StoreRejected)
+        result.aot = self.aot
+        result.aot_hits = counters.count(AotHit)
+        result.aot_frontier_misses = counters.count(AotFrontierMiss)
         result.exit_code = exit_code
         result.base_instructions = stats.completed
         result.vliws = stats.vliws

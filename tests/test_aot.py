@@ -1,0 +1,414 @@
+"""The ahead-of-time tier (repro.aot, docs/aot.md).
+
+Static discovery walks exactly the decidable control flow — direct
+branches, falls, call continuations — and refuses to guess at the
+rest: computed branches, SMC targets, undecodable words become
+explicit *discovery frontier* sites.  translate-ahead prefills the
+persistent store through the normal translate/verify/codegen pipeline,
+so an ``aot=True`` read-mode run starts warm on every covered page,
+and a page the static pass missed degrades to a clean dynamic
+translation — never a divergence.  These tests pin the discovery
+algorithm, the driver/manifest, the AotHit/AotFrontierMiss event
+overlay, the TieredController static ledger, the three-way conformance
+harness, and the CLI surfaces.
+"""
+
+import json
+
+import pytest
+
+from repro.aot import (
+    FRONTIER_KINDS,
+    discover,
+    translate_ahead,
+    translate_ahead_workload,
+)
+from repro.aot.manifest import AotCoverage
+from repro.cli import main
+from repro.conform.fuzz import FuzzConfig, generate_case
+from repro.conform.harness import run_aot_case
+from repro.isa.assembler import Assembler
+from repro.runtime.backend import DaisyBackend
+from repro.store import TranslationStore
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+
+def _assemble(source: str):
+    return Assembler().assemble(source)
+
+
+def _cold_run(program):
+    system = DaisySystem(MachineConfig.default())
+    system.load_program(program)
+    return system, system.run()
+
+
+def _aot_run(program, store):
+    system = DaisySystem(MachineConfig.default(), store=store,
+                         store_mode="read", aot=True)
+    system.load_program(program)
+    return system, system.run()
+
+
+def _identical(cold, warm):
+    assert warm.exit_code == cold.exit_code
+    assert warm.base_instructions == cold.base_instructions
+    assert warm.cycles == cold.cycles
+    assert list(warm.output) == list(cold.output)
+
+
+# ----------------------------------------------------------------------
+# Discovery
+# ----------------------------------------------------------------------
+
+class TestDiscovery:
+    def test_straight_line_and_direct_branches(self):
+        program = _assemble("""
+        _start:
+            li r3, 1
+            b mid
+        skip:
+            li r3, 99
+        mid:
+            addi r3, r3, 2
+            li r0, 31
+            sc
+        """)
+        discovery = discover(program)
+        # The unconditionally skipped block is still statically
+        # reachable via fall-through analysis?  No: `b mid` jumps over
+        # it and nothing targets it, but the fall *into* skip never
+        # happens (b is unconditional).  The walk must not visit it.
+        labels = program.symbols
+        assert labels["_start"] in discovery.visited
+        assert labels["mid"] in discovery.visited
+        assert labels["skip"] not in discovery.visited
+        assert discovery.frontier == []
+        assert discovery.entry == program.entry == labels["_start"]
+
+    def test_conditional_covers_both_arms(self):
+        program = _assemble("""
+        _start:
+            cmpi cr0, r3, 0
+            beq cr0, yes
+        no:
+            li r3, 1
+            b out
+        yes:
+            li r3, 2
+        out:
+            li r0, 31
+            sc
+        """)
+        discovery = discover(program)
+        labels = program.symbols
+        assert labels["no"] in discovery.visited
+        assert labels["yes"] in discovery.visited
+
+    def test_call_continuation_is_entry(self):
+        program = _assemble("""
+        _start:
+            bl func
+            li r0, 31
+            sc
+        func:
+            addi r3, r3, 1
+            blr
+        """)
+        discovery = discover(program)
+        labels = program.symbols
+        cont = labels["_start"] + 4           # pc after the bl
+        assert cont in discovery.entry_pcs
+        assert labels["func"] in discovery.visited
+        # blr is a computed branch: a frontier site, not a guess.
+        kinds = {site.kind for site in discovery.frontier}
+        assert "computed" in kinds
+
+    def test_indirect_target_not_guessed(self):
+        # The landing pad is reachable only via mtctr/bctr; discovery
+        # must record the frontier site and must NOT claim the pad.
+        program = _assemble("""
+        _start:
+            li r5, pad
+            mtctr r5
+            bctr
+        pad:
+            li r0, 31
+            sc
+        """)
+        discovery = discover(program)
+        labels = program.symbols
+        sites = [s for s in discovery.frontier if s.kind == "computed"]
+        assert sites
+        assert labels["pad"] not in discovery.visited
+
+    def test_rfi_and_decode_frontiers(self):
+        program = _assemble("""
+        _start:
+            rfi
+            .word 0xffffffff
+        """)
+        discovery = discover(program)
+        kinds = {site.kind for site in discovery.frontier}
+        assert "rfi" in kinds
+        for kind in kinds:
+            assert kind in FRONTIER_KINDS
+
+    def test_smc_store_into_code_page_is_frontier(self):
+        program = _assemble("""
+        _start:
+            li r5, target
+            li r6, 0
+            stw r6, 0(r5)
+        target:
+            li r0, 31
+            sc
+        """)
+        discovery = discover(program)
+        kinds = {site.kind for site in discovery.frontier}
+        assert "smc" in kinds
+
+    def test_store_into_data_is_not_smc(self):
+        program = _assemble("""
+        _start:
+            li r5, 0x20000
+            li r6, 7
+            stw r6, 0(r5)
+            li r0, 31
+            sc
+        """)
+        discovery = discover(program)
+        assert not [s for s in discovery.frontier if s.kind == "smc"]
+
+    def test_deterministic(self):
+        program = build_workload("gcc", "tiny").program
+        first = discover(program)
+        second = discover(program)
+        assert first.to_dict() == second.to_dict()
+
+    @pytest.mark.parametrize("name", ["wc", "gcc", "hotloop", "sort"])
+    def test_registry_workloads_cover_entry(self, name):
+        workload = build_workload(name, "tiny")
+        discovery = discover(workload.program)
+        assert workload.program.entry in discovery.entry_pcs
+        for site in discovery.frontier:
+            assert site.kind in FRONTIER_KINDS
+
+
+# ----------------------------------------------------------------------
+# Driver + manifest
+# ----------------------------------------------------------------------
+
+class TestTranslateAhead:
+    def test_prefill_saves_discovered_pages(self, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        manifest = translate_ahead_workload("wc", store, size="tiny")
+        assert manifest.workload == "wc"
+        assert manifest.store_keys
+        for key in manifest.store_keys:
+            assert store.load(key) is not None
+        assert manifest.entry_count >= len(manifest.pages)
+        assert manifest.instructions > 0
+
+    def test_idempotent_and_deterministic(self, tmp_path):
+        store = TranslationStore(str(tmp_path / "a"))
+        first = translate_ahead_workload("sort", store, size="tiny")
+        again = translate_ahead_workload("sort", store, size="tiny")
+        assert first.signature() == again.signature()
+        other = TranslationStore(str(tmp_path / "b"))
+        fresh = translate_ahead_workload("sort", other, size="tiny")
+        assert fresh.signature() == first.signature()
+        assert fresh.store_keys == first.store_keys
+
+    def test_manifest_roundtrips_to_json(self, tmp_path):
+        store = TranslationStore(str(tmp_path))
+        manifest = translate_ahead_workload("gcc", store, size="tiny")
+        data = json.loads(json.dumps(manifest.to_dict()))
+        assert data["workload"] == "gcc"
+        assert data["saved_pages"] == len(manifest.store_keys)
+        # gcc's jump tables are computed: the frontier must say so.
+        assert data["frontier_kinds"].get("computed", 0) > 0
+
+    def test_store_keys_match_cold_dynamic_writer(self, tmp_path):
+        # The store cannot tell the tiers apart: a cold dynamic
+        # read-write run against a translate-ahead store sees hits,
+        # never key misses, on statically covered pages.
+        program = build_workload("wc", "tiny").program
+        store = TranslationStore(str(tmp_path))
+        manifest = translate_ahead(program, store, name="wc")
+        system = DaisySystem(MachineConfig.default(), store=store,
+                             store_mode="read-write")
+        system.load_program(program)
+        result = system.run()
+        assert result.exit_code == 0
+        assert result.store_hits >= len(manifest.store_keys)
+        assert result.store_saves == 0
+
+
+# ----------------------------------------------------------------------
+# Events, system overlay, tier ledger
+# ----------------------------------------------------------------------
+
+class TestAotRun:
+    def test_warm_run_is_bit_identical(self, tmp_path):
+        program = build_workload("c_sieve", "tiny").program
+        _, cold = _cold_run(program)
+        store = TranslationStore(str(tmp_path))
+        manifest = translate_ahead(program, store, name="c_sieve")
+        system, warm = _aot_run(program, store)
+        _identical(cold, warm)
+        assert warm.aot
+        assert warm.aot_hits == len(manifest.store_keys)
+        assert warm.aot_frontier_misses == 0
+        assert warm.store_misses == 0
+
+    def test_frontier_pages_degrade_cleanly(self, tmp_path):
+        # gcc reaches most of its pages through ctr-indirect jump
+        # tables: the static pass cannot see them, the dynamic tier
+        # must pick them up without any architected difference.
+        program = build_workload("gcc", "tiny").program
+        _, cold = _cold_run(program)
+        store = TranslationStore(str(tmp_path))
+        manifest = translate_ahead(program, store, name="gcc")
+        system, warm = _aot_run(program, store)
+        _identical(cold, warm)
+        assert warm.aot_hits > 0
+        assert warm.aot_frontier_misses > 0
+        coverage_kinds = {s.kind for s in manifest.frontier}
+        assert "computed" in coverage_kinds
+
+    def test_coverage_report_grades_manifest(self, tmp_path):
+        program = build_workload("gcc", "tiny").program
+        store = TranslationStore(str(tmp_path))
+        manifest = translate_ahead(program, store, name="gcc")
+        system = DaisySystem(MachineConfig.default(), store=store,
+                             store_mode="read", aot=True)
+        coverage = AotCoverage(system.bus)
+        system.load_program(program)
+        system.run()
+        report = coverage.report(manifest)
+        assert report["confirmed_pages"]
+        assert set(report["confirmed_pages"]) <= \
+            set(report["claimed_pages"])
+        assert report["runtime_pages"]
+        assert all(kind in ("page", "entry")
+                   for c in report["crossings"]
+                   for kind in [c["kind"]])
+
+    def test_tier_controller_static_ledger(self, tmp_path):
+        program = build_workload("hotloop", "tiny").program
+        store = TranslationStore(str(tmp_path))
+        translate_ahead(program, store, name="hotloop")
+        system, warm = _aot_run(program, store)
+        tiers = system.tier_controller
+        assert tiers.static_hits == warm.aot_hits > 0
+        assert len(tiers.static_pages) == warm.aot_hits
+        assert tiers.frontier_misses == warm.aot_frontier_misses == 0
+        assert tiers.static_demotions == 0
+
+    def test_aot_flag_without_store_is_off(self):
+        system = DaisySystem(MachineConfig.default(), aot=True)
+        assert system.aot is False
+
+    def test_aot_off_runs_publish_nothing(self, tmp_path):
+        program = build_workload("wc", "tiny").program
+        store = TranslationStore(str(tmp_path))
+        translate_ahead(program, store, name="wc")
+        system = DaisySystem(MachineConfig.default(), store=store,
+                             store_mode="read")
+        system.load_program(program)
+        result = system.run()
+        assert result.aot is False
+        assert result.aot_hits == 0
+        assert result.store_hits > 0
+
+
+# ----------------------------------------------------------------------
+# Three-way conformance + discovery-frontier fuzz
+# ----------------------------------------------------------------------
+
+class TestThreeWay:
+    @pytest.mark.parametrize("backend", ["daisy", "bound"])
+    def test_workload_three_way(self, backend):
+        program = build_workload("wc", "tiny").program
+        result = run_aot_case(program, "wc", backend)
+        assert not result.diverged, \
+            [d.to_dict() for d in result.divergences]
+        assert result.backend == f"aot+{backend}"
+
+    def test_fuzzed_entry_frontier_degrades_cleanly(self):
+        # Discovery-frontier fuzz assert #1: a computed-branch case
+        # whose landing label is minted as a dynamic *entry* inside a
+        # statically covered page.  The three-way check must pass and
+        # the frontier crossing must actually have happened.
+        self._frontier_case(index=2, expect_kinds={"entry"})
+
+    def test_fuzzed_page_frontier_degrades_cleanly(self):
+        # Discovery-frontier fuzz assert #2: a far-page bctrl case —
+        # the whole landing page is invisible to the static pass and
+        # is discovered at runtime (kind "page").
+        self._frontier_case(index=12, expect_kinds={"page", "entry"})
+
+    @staticmethod
+    def _frontier_case(index: int, expect_kinds):
+        from repro.runtime.events import AotFrontierMiss
+
+        case = generate_case(7, index, FuzzConfig.aot_frontier())
+        assert any(b.shape == "computed" for b in case.blocks)
+        program = _assemble(case.source)
+        systems = []
+        result = run_aot_case(program, case.name, "daisy",
+                              system_sink=systems)
+        assert not result.diverged, \
+            [d.to_dict() for d in result.divergences]
+        kinds = set()
+        for system in systems:
+            for key in system.bus_counters.by_key(AotFrontierMiss):
+                kinds.add(key)
+        assert expect_kinds <= kinds
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_translate_ahead_json(self, tmp_path, capsys):
+        rc = main(["translate-ahead", "--workload", "wc,sort",
+                   "--size", "tiny", "--store", str(tmp_path),
+                   "--json"])
+        assert rc == 0
+        manifests = json.loads(capsys.readouterr().out)
+        assert [m["workload"] for m in manifests] == ["wc", "sort"]
+        assert all(m["saved_pages"] > 0 for m in manifests)
+
+    def test_translate_ahead_unknown_workload(self, tmp_path, capsys):
+        rc = main(["translate-ahead", "--workload", "nope",
+                   "--store", str(tmp_path)])
+        assert rc == 2
+
+    def test_run_aot_reuses_prefilled_store(self, tmp_path, capsys):
+        rc = main(["translate-ahead", "--workload", "hotloop",
+                   "--size", "tiny", "--store", str(tmp_path)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["run", "hotloop", "--size", "tiny", "--aot",
+                   "--store", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "aot tier:" in out
+        assert "0 frontier misses" in out
+
+    def test_conform_aot_small_sweep(self, capsys):
+        rc = main(["conform", "--aot", "--cases", "4",
+                   "--workloads", "wc", "--seed", "9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "aot+daisy" in out
+
+    def test_conform_aot_rejects_result_backends(self, capsys):
+        rc = main(["conform", "--aot", "--backend", "superscalar",
+                   "--cases", "1", "--workloads", ""])
+        assert rc == 2

@@ -1,0 +1,166 @@
+"""Adversarial AOT→store seam: tampered prefills are clean misses.
+
+The ahead-of-time pass (docs/aot.md) is just another store producer,
+so a damaged AOT artifact must get exactly the treatment
+``tests/test_store_adversarial.py`` pins for dynamically produced
+entries: rejected with a published
+:class:`~repro.runtime.events.StoreRejected` carrying the right
+reason, re-translated dynamically, architected results bit-identical
+to a cold run — and, because the consumer here runs with ``aot=True``,
+every reject must also surface on the AOT ledger as a frontier
+crossing (``AotFrontierMiss``), never as a silent static hit.
+"""
+
+import hashlib
+import os
+import pickle
+
+import pytest
+
+from repro.aot import translate_ahead
+from repro.runtime.events import AotFrontierMiss, CodegenAbort, StoreRejected
+from repro.store import TranslationStore
+from repro.store import codec
+from repro.vliw.machine import MachineConfig
+from repro.vmm.system import DaisySystem
+from repro.workloads import build_workload
+
+
+WORKLOAD = "c_sieve"
+
+
+def _program():
+    return build_workload(WORKLOAD, "tiny").program
+
+
+def _system(store=None, store_mode=None, aot=False):
+    system = DaisySystem(MachineConfig.default(), store=store,
+                         store_mode=store_mode, aot=aot)
+    system.load_program(_program())
+    return system
+
+
+@pytest.fixture
+def reference():
+    result = _system().run()
+    assert result.exit_code == 0
+    return result
+
+
+@pytest.fixture
+def prefilled(tmp_path):
+    """A store populated by translate-ahead — no guest ran to fill it."""
+    store = TranslationStore(str(tmp_path))
+    manifest = translate_ahead(_program(), store, name=WORKLOAD)
+    assert manifest.store_keys
+    return store
+
+
+def _object_paths(store):
+    paths = [store._object_path(key) for key in store.keys()]
+    assert paths
+    return paths
+
+
+def _run_against(store, reference, expect_reasons):
+    """An aot=True consumer over a damaged prefill must behave exactly
+    like a cold run, publish the expected reject reasons, and ledger
+    every reject as a frontier crossing."""
+    rejected = []
+    crossings = []
+    system = _system(store=store, store_mode="read", aot=True)
+    system.bus.subscribe(StoreRejected,
+                         lambda event: rejected.append(event.reason))
+    system.bus.subscribe(AotFrontierMiss,
+                         lambda event: crossings.append(event.kind))
+    result = system.run()
+    assert result.exit_code == 0
+    assert result.base_instructions == reference.base_instructions
+    assert result.cycles == reference.cycles
+    assert list(result.output) == list(reference.output)
+    assert result.store_rejects == len(rejected) > 0
+    assert set(rejected) <= set(expect_reasons), rejected
+    # A rejected prefill page is, to the AOT tier, a page it failed
+    # to cover: the run must cross the frontier, not claim static hits
+    # for translations it re-did dynamically.
+    assert result.aot_frontier_misses == len(crossings) > 0
+    assert "page" in set(crossings)
+    return result
+
+
+class TestDamagedPrefill:
+    def test_truncated_entry_is_clean_frontier_miss(
+            self, prefilled, reference):
+        for path in _object_paths(prefilled):
+            with open(path, "rb") as fh:
+                data = fh.read()
+            with open(path, "wb") as fh:
+                fh.write(data[:10])
+        _run_against(prefilled, reference, {"truncated"})
+
+    def test_bit_flipped_payload_is_clean_frontier_miss(
+            self, prefilled, reference):
+        for path in _object_paths(prefilled):
+            with open(path, "r+b") as fh:
+                fh.seek(codec._HEADER_BYTES + 3)
+                byte = fh.read(1)
+                fh.seek(codec._HEADER_BYTES + 3)
+                fh.write(bytes([byte[0] ^ 0x40]))
+        _run_against(prefilled, reference, {"checksum"})
+
+    def test_garbage_object_is_clean_frontier_miss(
+            self, prefilled, reference):
+        for path in _object_paths(prefilled):
+            with open(path, "wb") as fh:
+                fh.write(os.urandom(200))
+        _run_against(prefilled, reference,
+                     {"magic", "truncated", "version", "checksum"})
+
+    def test_stale_page_prefill_is_clean_frontier_miss(
+            self, prefilled, reference):
+        donor = _object_paths(prefilled)[0]
+        with open(donor, "rb") as fh:
+            donor_bytes = fh.read()
+        record = pickle.loads(codec.unframe(donor_bytes))
+        record["page_digest"] = "0" * 64
+        reframed = codec.frame(pickle.dumps(record, protocol=4))
+        for key in prefilled.keys():
+            prefilled.put(key, reframed)
+        _run_against(prefilled, reference, {"stale-page"})
+
+
+class TestTamperedPrefill:
+    def test_rekeyed_source_tamper_never_executes(
+            self, prefilled, reference):
+        # The strongest adversary: source tampered AND content key
+        # fixed up, so the record validates and the static tier
+        # *claims* the page — but CompiledGroup.bind re-emits from the
+        # group trees and byte-compares before building a function, so
+        # the tampered source never reaches exec and the group
+        # degrades to the bound path with identical results.
+        tampered = []
+        for key in list(prefilled.keys()):
+            record = pickle.loads(prefilled.load(key))
+            for _, group in record["entries"]:
+                compiled = group.compiled
+                if compiled is None:
+                    continue
+                compiled.source += "\nos.system('true')\n"
+                compiled.key = hashlib.sha256(
+                    compiled.source.encode()).hexdigest()
+                tampered.append(group.entry_pc)
+            prefilled.put(key, codec.frame(
+                pickle.dumps(record, protocol=4)))
+        assert tampered
+
+        aborts = []
+        system = _system(store=prefilled, store_mode="read", aot=True)
+        system.bus.subscribe(CodegenAbort,
+                             lambda event: aborts.append(event.pc))
+        result = system.run()
+        assert result.exit_code == 0
+        assert result.base_instructions == reference.base_instructions
+        assert list(result.output) == list(reference.output)
+        assert result.store_hits > 0        # the load itself succeeded
+        assert result.aot_hits > 0          # ...and the tier claimed it
+        assert aborts                       # ...but bind refused to exec
